@@ -1,0 +1,79 @@
+// Experiment D1 — online vs offline embedding (extension; no paper
+// counterpart): growing a divide & conquer recursion tree live on the
+// machine with the greedy online rule, versus re-running the offline
+// Theorem 1 algorithm on the final tree.
+#include <iostream>
+
+#include "btree/generators.hpp"
+#include "core/dynamic_embedder.hpp"
+#include "core/xtree_embedder.hpp"
+#include "embedding/metrics.hpp"
+#include "topology/xtree.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace xt {
+namespace {
+
+// Grows the dynamic embedder with the shape of `target` (same parent
+// structure, insertion in BFS order).
+void grow_like(DynamicEmbedder& dyn, const BinaryTree& target) {
+  // target node -> dynamic node (root already exists).
+  std::vector<NodeId> image(static_cast<std::size_t>(target.num_nodes()),
+                            kInvalidNode);
+  image[static_cast<std::size_t>(target.root())] = dyn.guest().root();
+  std::vector<NodeId> queue{target.root()};
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId v = queue[head];
+    for (int w = 0; w < 2; ++w) {
+      const NodeId c = target.child(v, w);
+      if (c == kInvalidNode) continue;
+      image[static_cast<std::size_t>(c)] =
+          dyn.add_leaf(image[static_cast<std::size_t>(v)]);
+      queue.push_back(c);
+    }
+  }
+}
+
+int run(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto max_r = static_cast<std::int32_t>(cli.get_int("max-r", 7));
+
+  std::cout << "== D1: online (greedy, leaf-at-a-time) vs offline "
+               "(Theorem 1) embedding\n\n";
+  Table table({"family", "r", "n", "online_dil", "online_mean",
+               "offline_dil", "offline_mean"});
+  for (const std::string family :
+       {"random", "complete", "path", "golden"}) {
+    for (std::int32_t r = 4; r <= max_r; ++r) {
+      const auto n = static_cast<NodeId>(16 * ((std::int64_t{2} << r) - 1));
+      Rng rng(static_cast<std::uint64_t>(r) * 13 + 5);
+      const BinaryTree guest = make_family_tree(family, n, rng);
+
+      DynamicEmbedder dyn(r);
+      grow_like(dyn, guest);
+      const Embedding online = dyn.snapshot();
+      const XTree host(r);
+      const auto online_rep = dilation_xtree(dyn.guest(), online, host);
+
+      const auto offline = XTreeEmbedder::embed(guest);
+      const auto offline_rep =
+          dilation_xtree(guest, offline.embedding, host);
+
+      table.rowf(family, r, n, online_rep.max, online_rep.mean,
+                 offline_rep.max, offline_rep.mean);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nThe offline algorithm holds dilation <= 3 on every shape; "
+               "the online rule is\ncompetitive on balanced growth and "
+               "degrades on adversarial shapes — the price\nof not knowing "
+               "the future (the paper's construction is inherently "
+               "offline).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace xt
+
+int main(int argc, char** argv) { return xt::run(argc, argv); }

@@ -1,0 +1,81 @@
+// Experiments F1/F2 — the paper's two figures.
+//
+// F1 (Figure 1): the X-tree family — vertex/edge counts, degrees and
+// diameters per height, with the height-3 instance of the figure
+// rendered explicitly.
+//
+// F2 (Figure 2): the neighbourhood N(a) — |N(a)-{a}| <= 20, the <= 5
+// reverse-only vertices, and the 25*16 + 15 = 415 degree-bound
+// arithmetic of §3.
+#include <iostream>
+
+#include "core/nset.hpp"
+#include "graph/bfs.hpp"
+#include "topology/xtree.hpp"
+#include "util/table.hpp"
+
+namespace xt {
+namespace {
+
+int run() {
+  std::cout << "== F1: Figure 1 — the X-tree X(r)\n\n";
+  Table f1({"r", "vertices", "edges", "tree_edges", "cross_edges",
+            "max_degree", "diameter"});
+  for (std::int32_t r = 0; r <= 12; ++r) {
+    const XTree x(r);
+    const std::int64_t tree_edges = (std::int64_t{2} << r) - 2;
+    const Graph g = x.to_graph();
+    // Exact diameter is an O(n^2) sweep; keep it to moderate sizes.
+    const std::int32_t diam = r <= 9 ? diameter(g) : -1;
+    f1.rowf(r, static_cast<std::int64_t>(x.num_vertices()), x.num_edges(),
+            tree_edges, x.num_edges() - tree_edges,
+            static_cast<std::int64_t>(g.max_degree()),
+            diam < 0 ? std::string("-") : std::to_string(diam));
+  }
+  f1.print(std::cout);
+
+  std::cout << "\nThe X-tree of height 3 (Figure 1), as an edge list:\n";
+  const XTree x3(3);
+  const Graph g3 = x3.to_graph();
+  for (const auto& [u, v] : g3.edge_list()) {
+    const std::string lu = x3.label_of(u);
+    const std::string lv = x3.label_of(v);
+    std::cout << "  " << (lu.empty() ? "e" : lu) << " -- "
+              << (lv.empty() ? "e" : lv) << '\n';
+  }
+
+  std::cout << "\n== F2: Figure 2 — the neighbourhood N(a)\n\n";
+  Table f2({"r", "max_|N(a)-a|", "max_reverse_only", "max_symmetric",
+            "degree_bound_415_ok"});
+  bool ok = true;
+  for (std::int32_t r = 3; r <= 9; ++r) {
+    const XTree x(r);
+    std::size_t max_n = 0;
+    std::size_t max_sym = 0;
+    int max_rev = 0;
+    for (VertexId a = 0; a < x.num_vertices(); ++a) {
+      max_n = std::max(max_n, n_set(x, a).size() - 1);
+      const auto sym = n_set_symmetric(x, a);
+      max_sym = std::max(max_sym, sym.size());
+      int rev = 0;
+      for (VertexId b : sym) {
+        if (!in_n_set(x, a, b)) ++rev;
+      }
+      max_rev = std::max(max_rev, rev);
+    }
+    const bool row_ok = max_n <= 20 && max_rev <= 5 && max_sym <= 25;
+    ok = ok && row_ok;
+    f2.rowf(r, static_cast<std::int64_t>(max_n), max_rev,
+            static_cast<std::int64_t>(max_sym), row_ok ? "yes" : "NO");
+  }
+  f2.print(std::cout);
+  std::cout << "\npaper arithmetic: |N(a)-{a}| <= 20, <= 5 reverse-only, "
+               "degree <= 25*16 + 15 = 415\n"
+            << (ok ? "all bounds hold\n" : "BOUND VIOLATED\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace xt
+
+int main() { return xt::run(); }

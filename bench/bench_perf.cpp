@@ -1,0 +1,134 @@
+// Experiment P1 — performance characteristics (google-benchmark):
+// embedding construction throughput, separator splits, X-tree distance
+// queries, the Lemma 3 map, and simulator cycle rate.
+#include <benchmark/benchmark.h>
+
+#include "btree/generators.hpp"
+#include "core/lemma3.hpp"
+#include "core/xtree_embedder.hpp"
+#include "separator/piece.hpp"
+#include "separator/splitter.hpp"
+#include "sim/network_sim.hpp"
+#include "sim/parallel_sim.hpp"
+#include "topology/xtree.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+void BM_EmbedRandomTree(benchmark::State& state) {
+  const auto r = static_cast<std::int32_t>(state.range(0));
+  const auto n = static_cast<NodeId>(16 * ((std::int64_t{2} << r) - 1));
+  Rng rng(42);
+  const BinaryTree guest = make_random_tree(n, rng);
+  XTreeEmbedder::Options opt;
+  opt.check_discipline = false;  // measure the algorithm, not the audit
+  for (auto _ : state) {
+    auto res = XTreeEmbedder::embed(guest, opt);
+    benchmark::DoNotOptimize(res.embedding.num_placed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EmbedRandomTree)->DenseRange(4, 10, 2)->Unit(benchmark::kMillisecond);
+
+void BM_EmbedPathTree(benchmark::State& state) {
+  const auto r = static_cast<std::int32_t>(state.range(0));
+  const auto n = static_cast<NodeId>(16 * ((std::int64_t{2} << r) - 1));
+  const BinaryTree guest = make_path_tree(n);
+  XTreeEmbedder::Options opt;
+  opt.check_discipline = false;
+  for (auto _ : state) {
+    auto res = XTreeEmbedder::embed(guest, opt);
+    benchmark::DoNotOptimize(res.embedding.num_placed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EmbedPathTree)->DenseRange(4, 10, 2)->Unit(benchmark::kMillisecond);
+
+void BM_SplitPiece(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(7);
+  const BinaryTree t = make_random_tree(n, rng);
+  Piece piece;
+  piece.nodes.resize(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) piece.nodes[static_cast<std::size_t>(v)] = v;
+  piece.add_designated(0);
+  piece.add_designated(n - 1);
+  for (auto _ : state) {
+    auto res = split_piece(t, piece, n / 3, SplitQuality::kLemma2);
+    benchmark::DoNotOptimize(res.extract_total);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SplitPiece)->Range(256, 1 << 16);
+
+void BM_XTreeDistance(benchmark::State& state) {
+  const auto r = static_cast<std::int32_t>(state.range(0));
+  const XTree x(r);
+  Rng rng(5);
+  std::vector<std::pair<VertexId, VertexId>> queries;
+  for (int i = 0; i < 512; ++i) {
+    queries.emplace_back(static_cast<VertexId>(rng.below(x.num_vertices())),
+                         static_cast<VertexId>(rng.below(x.num_vertices())));
+  }
+  std::size_t idx = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = queries[idx++ & 511];
+    benchmark::DoNotOptimize(x.distance(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_XTreeDistance)->DenseRange(6, 22, 4);
+
+void BM_Lemma3Map(benchmark::State& state) {
+  const XTree x(20);
+  Rng rng(9);
+  std::vector<VertexId> vs;
+  for (int i = 0; i < 512; ++i)
+    vs.push_back(static_cast<VertexId>(rng.below(x.num_vertices())));
+  std::size_t idx = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lemma3_map(x, vs[idx++ & 511]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Lemma3Map);
+
+void BM_SimulatorReduction(benchmark::State& state) {
+  const auto r = static_cast<std::int32_t>(state.range(0));
+  const auto n = static_cast<NodeId>(16 * ((std::int64_t{2} << r) - 1));
+  Rng rng(3);
+  const BinaryTree guest = make_random_tree(n, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  const XTree xtree(res.stats.height);
+  const Graph host = xtree.to_graph();
+  for (auto _ : state) {
+    NetworkSim sim(host, guest, res.embedding);
+    benchmark::DoNotOptimize(sim.run_reduction().cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimulatorReduction)->DenseRange(4, 8, 2)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelSimulatorReduction(benchmark::State& state) {
+  const auto r = static_cast<std::int32_t>(state.range(0));
+  const auto n = static_cast<NodeId>(16 * ((std::int64_t{2} << r) - 1));
+  Rng rng(3);
+  const BinaryTree guest = make_random_tree(n, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  const XTree xtree(res.stats.height);
+  const Graph host = xtree.to_graph();
+  for (auto _ : state) {
+    ParallelNetworkSim sim(host, guest, res.embedding);
+    benchmark::DoNotOptimize(sim.run_reduction().cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelSimulatorReduction)
+    ->DenseRange(4, 8, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xt
+
+BENCHMARK_MAIN();

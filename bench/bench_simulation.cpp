@@ -1,0 +1,106 @@
+// Experiment B2 — operational simulation: running tree programs
+// (reduction / broadcast / divide&conquer) on a simulated X-tree
+// machine under the Theorem 1 embedding vs baselines, reporting the
+// slowdown against a dedicated tree-shaped machine.
+//
+// This is the paper's motivation made measurable: constant dilation +
+// constant load => constant-factor simulation of any binary-tree
+// program by the X-tree network.
+#include <iostream>
+
+#include "baseline/naive_xtree.hpp"
+#include "btree/generators.hpp"
+#include "core/xtree_embedder.hpp"
+#include "sim/workloads.hpp"
+#include "topology/xtree.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace xt {
+namespace {
+
+int run(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto max_r = static_cast<std::int32_t>(cli.get_int("max-r", 6));
+  const std::string family = cli.get("family", "random");
+
+  std::cout << "== B2: simulated execution on the X-tree machine\n"
+            << "   slowdown = cycles on X(r) (16 guests/processor, unit "
+               "links) / cycles on a dedicated tree machine\n\n";
+
+  Table table({"r", "n", "workload", "embedder", "cycles", "ideal",
+               "slowdown", "max_link_wait"});
+  double worst_paper_slowdown = 0.0;
+  for (std::int32_t r = 3; r <= max_r; ++r) {
+    const auto n = static_cast<NodeId>(16 * ((std::int64_t{2} << r) - 1));
+    Rng rng(static_cast<std::uint64_t>(r) * 5 + 1);
+    const BinaryTree guest = make_family_tree(family, n, rng);
+    const XTree host(r);
+    const Graph host_graph = host.to_graph();
+
+    const auto paper = XTreeEmbedder::embed(guest);
+    Embedding random_emb =
+        embed_baseline(guest, host, 16, BaselineKind::kRandom, rng);
+
+    for (Workload w : all_workloads()) {
+      for (const auto& [name, emb] :
+           {std::pair<const char*, const Embedding*>{"x-tree(paper)",
+                                                     &paper.embedding},
+            std::pair<const char*, const Embedding*>{"random", &random_emb}}) {
+        const auto rep = measure_slowdown(host_graph, guest, *emb, w);
+        if (name[0] == 'x')
+          worst_paper_slowdown = std::max(worst_paper_slowdown, rep.slowdown);
+        table.rowf(r, n, workload_name(w), name, rep.measured.cycles,
+                   rep.ideal, rep.slowdown, rep.measured.max_link_wait);
+      }
+    }
+  }
+  table.print(std::cout);
+
+  // Permutation routing: n random point-to-point messages injected at
+  // once — stresses the routing/congestion side of the embedding.
+  std::cout << "\n-- permutation routing (batch of n random unicasts)\n";
+  Table perm_table({"r", "n", "embedder", "cycles", "total_hops",
+                    "max_link_wait"});
+  for (std::int32_t r = 3; r <= max_r; ++r) {
+    const auto n = static_cast<NodeId>(16 * ((std::int64_t{2} << r) - 1));
+    Rng rng(static_cast<std::uint64_t>(r) * 7 + 2);
+    const BinaryTree guest = make_family_tree(family, n, rng);
+    const XTree host(r);
+    const Graph host_graph = host.to_graph();
+    const auto paper = XTreeEmbedder::embed(guest);
+    Embedding random_emb =
+        embed_baseline(guest, host, 16, BaselineKind::kRandom, rng);
+    std::vector<std::pair<NodeId, NodeId>> messages;
+    std::vector<NodeId> perm(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) perm[static_cast<std::size_t>(v)] = v;
+    for (std::size_t i = perm.size(); i > 1; --i)
+      std::swap(perm[i - 1], perm[rng.below(i)]);
+    for (NodeId v = 0; v < n; ++v)
+      messages.emplace_back(v, perm[static_cast<std::size_t>(v)]);
+    for (const auto& [name, emb] :
+         {std::pair<const char*, const Embedding*>{"x-tree(paper)",
+                                                   &paper.embedding},
+          std::pair<const char*, const Embedding*>{"random", &random_emb}}) {
+      NetworkSim sim(host_graph, guest, *emb);
+      const SimResult out = sim.run_unicast_batch(messages);
+      perm_table.rowf(r, n, name, out.cycles, out.total_hops,
+                      out.max_link_wait);
+    }
+  }
+  perm_table.print(std::cout);
+  std::cout << "\n(no embedding helps a random permutation much — traffic "
+               "is global by design;\nthe tree-program tables above are "
+               "where locality pays.)\n";
+
+  std::cout << "\nworst paper-embedding slowdown: " << worst_paper_slowdown
+            << " — bounded by a constant independent of n (the point of "
+               "Theorem 1);\nthe random embedding's slowdown grows with n "
+               "(routing distance ~ diameter).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace xt
+
+int main(int argc, char** argv) { return xt::run(argc, argv); }

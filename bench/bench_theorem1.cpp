@@ -1,0 +1,97 @@
+// Experiment T1 — Theorem 1: dilation 3, load factor 16, optimal
+// expansion for every binary tree with n = 16*(2^{r+1}-1) nodes.
+//
+// Regenerates the paper's headline claim as a table: for every tree
+// family and height, the measured dilation / load / expansion of the
+// X-TREE embedding, next to the paper's bounds.  The (family, height)
+// grid is embarrassingly parallel and runs across worker threads.
+#include <iostream>
+
+#include "btree/generators.hpp"
+#include "core/xtree_embedder.hpp"
+#include "embedding/metrics.hpp"
+#include "topology/xtree.hpp"
+#include "util/cli.hpp"
+#include "util/parallel.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace xt {
+namespace {
+
+struct Job {
+  std::string family;
+  std::int32_t r = 0;
+};
+
+struct Row {
+  NodeId n = 0;
+  std::int32_t dil_max = 0;
+  double dil_mean = 0.0;
+  NodeId load = 0;
+  std::int64_t repairs = 0;
+  std::int64_t violations = 0;
+  double ms = 0.0;
+};
+
+int run(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto max_r = static_cast<std::int32_t>(cli.get_int("max-r", 8));
+  const auto seeds = cli.get_int("seeds", 3);
+
+  std::cout << "== T1: Theorem 1 — binary trees into their optimal X-tree\n"
+            << "   paper claim: dilation <= 3, load factor = 16, "
+               "expansion = 1 (at load 16)\n"
+            << "   (" << parallel_workers() << " worker threads)\n\n";
+
+  std::vector<Job> jobs;
+  for (const auto& family : tree_family_names()) {
+    for (std::int32_t r = 2; r <= max_r; ++r) jobs.push_back({family, r});
+  }
+  std::vector<Row> rows(jobs.size());
+
+  parallel_for(0, static_cast<std::int64_t>(jobs.size()), [&](std::int64_t j) {
+    const Job& job = jobs[static_cast<std::size_t>(j)];
+    Row& row = rows[static_cast<std::size_t>(j)];
+    row.n = static_cast<NodeId>(16 * ((std::int64_t{2} << job.r) - 1));
+    double mean_sum = 0.0;
+    Timer timer;
+    for (std::int64_t seed = 0; seed < seeds; ++seed) {
+      Rng rng(static_cast<std::uint64_t>(seed) * 7919 + job.r);
+      const BinaryTree guest = make_family_tree(job.family, row.n, rng);
+      const auto res = XTreeEmbedder::embed(guest);
+      const XTree host(res.stats.height);
+      const auto rep = dilation_xtree(guest, res.embedding, host);
+      row.dil_max = std::max(row.dil_max, rep.max);
+      mean_sum += rep.mean;
+      row.load = std::max(row.load, res.embedding.load_factor());
+      row.repairs += res.stats.repair_placements;
+      row.violations += res.stats.discipline_violations;
+    }
+    row.dil_mean = mean_sum / static_cast<double>(seeds);
+    row.ms = timer.millis() / static_cast<double>(seeds);
+  });
+
+  Table table({"family", "r", "n", "dil_max", "dil_mean", "load", "expansion",
+               "repairs", "viol(3')", "ms"});
+  std::int32_t worst_dilation = 0;
+  NodeId worst_load = 0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const Row& row = rows[j];
+    worst_dilation = std::max(worst_dilation, row.dil_max);
+    worst_load = std::max(worst_load, row.load);
+    table.rowf(jobs[j].family, jobs[j].r, row.n, row.dil_max, row.dil_mean,
+               row.load, 1.0, row.repairs, row.violations, row.ms);
+  }
+  table.print(std::cout);
+  std::cout << "\nworst dilation over all runs: " << worst_dilation
+            << "  (paper: 3)\nworst load factor: " << worst_load
+            << "  (paper: 16)\n";
+  return worst_load <= 16 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace xt
+
+int main(int argc, char** argv) { return xt::run(argc, argv); }

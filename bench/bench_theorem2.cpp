@@ -1,0 +1,53 @@
+// Experiment T2 — Theorem 2: injective embedding into X(r+4) with
+// dilation 11 (constant expansion).
+#include <iostream>
+
+#include "btree/generators.hpp"
+#include "core/injective_lift.hpp"
+#include "core/xtree_embedder.hpp"
+#include "embedding/metrics.hpp"
+#include "topology/xtree.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace xt {
+namespace {
+
+int run(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto max_r = static_cast<std::int32_t>(cli.get_int("max-r", 6));
+
+  std::cout << "== T2: Theorem 2 — injective embedding into X(r+4)\n"
+            << "   paper claim: dilation <= 11 (3 in the base + 4 down + 4 "
+               "across the lifted levels)\n\n";
+
+  Table table({"family", "r", "n", "host", "dil_max", "dil_mean", "injective",
+               "expansion"});
+  std::int32_t worst = 0;
+  for (const auto& family : tree_family_names()) {
+    for (std::int32_t r = 2; r <= max_r; ++r) {
+      const auto n = static_cast<NodeId>(16 * ((std::int64_t{2} << r) - 1));
+      Rng rng(static_cast<std::uint64_t>(r) * 31 + 7);
+      const BinaryTree guest = make_family_tree(family, n, rng);
+      const auto base = XTreeEmbedder::embed(guest);
+      const XTree base_host(base.stats.height);
+      const auto lift = lift_injective(guest, base.embedding, base_host);
+      const XTree lifted_host(lift.host_height);
+      const auto rep = dilation_xtree(guest, lift.embedding, lifted_host);
+      worst = std::max(worst, rep.max);
+      table.rowf(family, r, n,
+                 "X(" + std::to_string(lift.host_height) + ")", rep.max,
+                 rep.mean, lift.embedding.injective() ? "yes" : "NO",
+                 lift.embedding.expansion());
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nworst dilation over all runs: " << worst
+            << "  (paper: 11)\n";
+  return worst <= 11 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace xt
+
+int main(int argc, char** argv) { return xt::run(argc, argv); }

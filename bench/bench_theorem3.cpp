@@ -1,0 +1,60 @@
+// Experiment T3 — Theorem 3: binary trees into their optimal
+// hypercube with load 16 and dilation 4 (X-TREE composed with the
+// Lemma 3 map), plus the injective dilation-8 corollary.
+#include <iostream>
+
+#include "btree/generators.hpp"
+#include "core/hypercube_embedding.hpp"
+#include "embedding/metrics.hpp"
+#include "topology/hypercube.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace xt {
+namespace {
+
+int run(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto max_r = static_cast<std::int32_t>(cli.get_int("max-r", 7));
+
+  std::cout << "== T3: Theorem 3 — binary trees into hypercubes via X-trees\n"
+            << "   paper claims: load 16 / dilation 4 into the optimal Q_r "
+               "(n = 16*(2^r - 1));\n"
+            << "   corollary: injective dilation 8 into Q_r for n <= 2^r - "
+               "16\n\n";
+
+  Table table({"family", "r", "n", "load16_dil", "load16_mean", "load",
+               "inj_dil", "inj_mean"});
+  std::int32_t worst_l16 = 0;
+  std::int32_t worst_inj = 0;
+  for (const auto& family : tree_family_names()) {
+    for (std::int32_t r = 3; r <= max_r; ++r) {
+      const auto n = static_cast<NodeId>(16 * ((std::int64_t{1} << r) - 1));
+      Rng rng(static_cast<std::uint64_t>(r) * 97 + 13);
+      const BinaryTree guest = make_family_tree(family, n, rng);
+
+      const auto l16 = embed_hypercube_load16(guest);
+      const Hypercube q16(l16.dimension);
+      const auto rep16 = dilation_hypercube(guest, l16.embedding, q16);
+      worst_l16 = std::max(worst_l16, rep16.max);
+
+      const auto inj = embed_hypercube_injective(guest);
+      const Hypercube qinj(inj.dimension);
+      const auto repinj = dilation_hypercube(guest, inj.embedding, qinj);
+      worst_inj = std::max(worst_inj, repinj.max);
+
+      table.rowf(family, r, n, rep16.max, rep16.mean,
+                 l16.embedding.load_factor(), repinj.max, repinj.mean);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nworst load-16 dilation: " << worst_l16
+            << "  (paper: 4)\nworst injective dilation: " << worst_inj
+            << "  (paper: 8)\n";
+  return (worst_l16 <= 4 && worst_inj <= 8) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace xt
+
+int main(int argc, char** argv) { return xt::run(argc, argv); }

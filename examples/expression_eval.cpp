@@ -1,0 +1,224 @@
+// Expression evaluation on the X-tree machine.
+//
+// Arithmetic expression trees are the textbook "binary tree data
+// structure" of the paper's introduction.  This example parses an
+// expression (or generates a random one), embeds its tree with
+// algorithm X-TREE, evaluates it twice — directly, and on the
+// cycle-level network simulator as a leaf-to-root reduction — and
+// reports the parallel cost on the simulated machine.
+//
+//   ./expression_eval --expr "((1+2)*(3+4))-(5*(6-7))"
+//   ./expression_eval --random-ops 500
+#include <cctype>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "btree/binary_tree.hpp"
+#include "core/xtree_embedder.hpp"
+#include "embedding/metrics.hpp"
+#include "sim/network_sim.hpp"
+#include "topology/xtree.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace xt;
+
+// Loose AST built by the parser, converted to the canonical
+// append-only BinaryTree afterwards.
+struct AstNode {
+  char op = 0;  // '+','-','*' or 0 for a literal
+  std::int64_t value = 0;
+  std::int32_t left = -1;
+  std::int32_t right = -1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string text) : text_(std::move(text)) {}
+
+  // Grammar: sum := product (('+'|'-') product)*
+  //          product := atom ('*' atom)*
+  //          atom := number | '(' sum ')'
+  std::int32_t parse(std::vector<AstNode>& out) {
+    nodes_ = &out;
+    const std::int32_t root = parse_sum();
+    XT_CHECK_MSG(pos_ == text_.size(), "trailing characters in expression");
+    return root;
+  }
+
+ private:
+  std::int32_t parse_sum() {
+    std::int32_t lhs = parse_product();
+    while (peek() == '+' || peek() == '-') {
+      const char op = take();
+      const std::int32_t rhs = parse_product();
+      lhs = make_op(op, lhs, rhs);
+    }
+    return lhs;
+  }
+
+  std::int32_t parse_product() {
+    std::int32_t lhs = parse_atom();
+    while (peek() == '*') {
+      take();
+      const std::int32_t rhs = parse_atom();
+      lhs = make_op('*', lhs, rhs);
+    }
+    return lhs;
+  }
+
+  std::int32_t parse_atom() {
+    if (peek() == '(') {
+      take();
+      const std::int32_t inner = parse_sum();
+      XT_CHECK_MSG(take() == ')', "missing )");
+      return inner;
+    }
+    XT_CHECK_MSG(std::isdigit(static_cast<unsigned char>(peek())),
+                 "expected a number");
+    std::int64_t value = 0;
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      value = value * 10 + (take() - '0');
+    nodes_->push_back({0, value, -1, -1});
+    return static_cast<std::int32_t>(nodes_->size() - 1);
+  }
+
+  std::int32_t make_op(char op, std::int32_t l, std::int32_t r) {
+    nodes_->push_back({op, 0, l, r});
+    return static_cast<std::int32_t>(nodes_->size() - 1);
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  char take() { return text_[pos_++]; }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+  std::vector<AstNode>* nodes_ = nullptr;
+};
+
+struct Expr {
+  BinaryTree tree;
+  std::vector<char> op;            // per tree node
+  std::vector<std::int64_t> leaf;  // per tree node
+};
+
+// Converts the loose AST into a canonical BinaryTree (preorder ids)
+// with parallel payload arrays.
+Expr to_expr(const std::vector<AstNode>& ast, std::int32_t root) {
+  Expr e;
+  e.tree = BinaryTree::single();
+  e.op.assign(1, ast[static_cast<std::size_t>(root)].op);
+  e.leaf.assign(1, ast[static_cast<std::size_t>(root)].value);
+  // Stack of (ast id, canonical parent); right pushed first.
+  std::vector<std::pair<std::int32_t, NodeId>> stack;
+  const auto push_children = [&](std::int32_t a, NodeId canon) {
+    const AstNode& node = ast[static_cast<std::size_t>(a)];
+    if (node.right >= 0) stack.emplace_back(node.right, canon);
+    if (node.left >= 0) stack.emplace_back(node.left, canon);
+  };
+  push_children(root, 0);
+  while (!stack.empty()) {
+    const auto [a, parent] = stack.back();
+    stack.pop_back();
+    const NodeId v = e.tree.add_child(parent);
+    e.op.push_back(ast[static_cast<std::size_t>(a)].op);
+    e.leaf.push_back(ast[static_cast<std::size_t>(a)].value);
+    push_children(a, v);
+  }
+  e.tree.validate();
+  return e;
+}
+
+// Random expression AST with the given number of operators.
+std::int32_t random_ast(NodeId ops, Rng& rng, std::vector<AstNode>& ast) {
+  ast.push_back({0, static_cast<std::int64_t>(rng.below(10)), -1, -1});
+  std::vector<std::int32_t> leaves{0};
+  const char kOps[3] = {'+', '-', '*'};
+  for (NodeId i = 0; i < ops; ++i) {
+    const std::size_t pick = rng.below(leaves.size());
+    const std::int32_t v = leaves[pick];
+    leaves[pick] = leaves.back();
+    leaves.pop_back();
+    AstNode& node = ast[static_cast<std::size_t>(v)];
+    node.op = kOps[rng.below(3)];
+    node.left = static_cast<std::int32_t>(ast.size());
+    ast.push_back({0, static_cast<std::int64_t>(rng.below(10)), -1, -1});
+    node.right = static_cast<std::int32_t>(ast.size());
+    ast.push_back({0, static_cast<std::int64_t>(rng.below(10)), -1, -1});
+    leaves.push_back(node.left);
+    leaves.push_back(node.right);
+  }
+  return 0;
+}
+
+// Iterative post-order evaluation over the canonical tree.
+std::int64_t evaluate(const Expr& e) {
+  std::vector<std::int64_t> value(static_cast<std::size_t>(e.tree.num_nodes()));
+  // Ids are preorder, so reverse id order is a valid evaluation order.
+  for (NodeId v = e.tree.num_nodes() - 1; v >= 0; --v) {
+    const char op = e.op[static_cast<std::size_t>(v)];
+    if (op == 0) {
+      value[static_cast<std::size_t>(v)] = e.leaf[static_cast<std::size_t>(v)];
+      continue;
+    }
+    const std::int64_t a =
+        value[static_cast<std::size_t>(e.tree.child(v, 0))];
+    const std::int64_t b =
+        value[static_cast<std::size_t>(e.tree.child(v, 1))];
+    value[static_cast<std::size_t>(v)] =
+        op == '+' ? a + b : (op == '-' ? a - b : a * b);
+  }
+  return value[0];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xt;
+  const Cli cli(argc, argv);
+
+  std::vector<AstNode> ast;
+  std::int32_t root = 0;
+  if (cli.has("expr")) {
+    Parser parser(cli.get("expr", ""));
+    root = parser.parse(ast);
+  } else {
+    Rng rng(cli.get_int("seed", 4));
+    root = random_ast(static_cast<NodeId>(cli.get_int("random-ops", 500)),
+                      rng, ast);
+  }
+  const Expr expr = to_expr(ast, root);
+
+  const std::int64_t value = evaluate(expr);
+  std::cout << "expression tree: " << expr.tree.num_nodes()
+            << " nodes, height " << expr.tree.height() << "\n"
+            << "sequential value: " << value << "\n\n";
+
+  const auto res = XTreeEmbedder::embed(expr.tree);
+  const XTree xtree(res.stats.height);
+  const auto dil = dilation_xtree(expr.tree, res.embedding, xtree);
+  std::cout << "embedded into X(" << xtree.height() << "): dilation "
+            << dil.max << ", load " << res.embedding.load_factor() << "\n";
+
+  const Graph machine = xtree.to_graph();
+  NetworkSim sim(machine, expr.tree, res.embedding);
+  const auto run = sim.run_reduction();
+  const auto ideal = ideal_reduction_cycles(expr.tree);
+  std::cout << "parallel evaluation (leaf-to-root reduction): "
+            << run.cycles << " cycles on " << xtree.num_vertices()
+            << " processors\n"
+            << "dedicated tree machine would take " << ideal
+            << " cycles on " << expr.tree.num_nodes() << " processors\n"
+            << "slowdown: "
+            << static_cast<double>(run.cycles) / static_cast<double>(ideal)
+            << "x with "
+            << static_cast<double>(expr.tree.num_nodes()) /
+                   static_cast<double>(xtree.num_vertices())
+            << "x fewer processors\n";
+  return 0;
+}

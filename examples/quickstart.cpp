@@ -1,0 +1,55 @@
+// Quickstart: embed a binary tree into its optimal X-tree and inspect
+// the result — the 10-line tour of the public API.
+//
+//   ./quickstart --n 1008 --family random --seed 1
+#include <iostream>
+
+#include "btree/generators.hpp"
+#include "core/xtree_embedder.hpp"
+#include "embedding/metrics.hpp"
+#include "topology/xtree.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xt;
+  const Cli cli(argc, argv);
+  const auto n = static_cast<NodeId>(cli.get_int("n", 1008));
+  const std::string family = cli.get("family", "random");
+  Rng rng(cli.get_int("seed", 1));
+
+  // 1. A guest binary tree (any shape, any size).
+  const BinaryTree guest = make_family_tree(family, n, rng);
+  std::cout << "guest: " << family << " tree, " << guest.num_nodes()
+            << " nodes, height " << guest.height() << ", "
+            << guest.num_leaves() << " leaves\n";
+
+  // 2. Algorithm X-TREE (Theorem 1): into the optimal X-tree at load 16.
+  const auto result = XTreeEmbedder::embed(guest);
+  const XTree host(result.stats.height);
+  std::cout << "host:  X(" << host.height() << ") with "
+            << host.num_vertices() << " vertices (capacity "
+            << 16 * host.num_vertices() << ")\n";
+
+  // 3. Quality metrics.
+  const auto dil = dilation_xtree(guest, result.embedding, host);
+  std::cout << "dilation: max " << dil.max << " (paper: 3), mean "
+            << dil.mean << '\n'
+            << "load factor: " << result.embedding.load_factor()
+            << " (paper: 16)\n"
+            << "host is the optimal X-tree: capacity "
+            << 16 * host.num_vertices() << " for " << guest.num_nodes()
+            << " nodes\n";
+
+  // 4. Where did the guest root land?
+  const VertexId root_host = result.embedding.host_of(guest.root());
+  std::cout << "guest root lives on host vertex \""
+            << host.label_of(root_host) << "\" (level "
+            << host.level_of(root_host) << ")\n";
+
+  // 5. Per-edge dilation histogram.
+  std::cout << "edge dilation histogram:";
+  for (std::size_t d = 0; d <= static_cast<std::size_t>(dil.max); ++d)
+    std::cout << "  " << d << "->" << dil.histogram.count(d);
+  std::cout << '\n';
+  return 0;
+}

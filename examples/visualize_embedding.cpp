@@ -1,0 +1,93 @@
+// ASCII visualisation of a Theorem 1 embedding: the X-tree printed
+// level by level, each vertex annotated with its load and the guest
+// subtree it hosts, plus a per-edge dilation map.  Small instances
+// only — meant for building intuition about how algorithm X-TREE
+// carves the guest.
+//
+//   ./visualize_embedding --r 3 --family random --seed 7
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+
+#include "btree/generators.hpp"
+#include "core/xtree_embedder.hpp"
+#include "io/svg.hpp"
+#include "embedding/metrics.hpp"
+#include "topology/xtree.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xt;
+  const Cli cli(argc, argv);
+  const auto r = static_cast<std::int32_t>(cli.get_int("r", 3));
+  const std::string family = cli.get("family", "random");
+  const auto n = static_cast<NodeId>(16 * ((std::int64_t{2} << r) - 1));
+  Rng rng(cli.get_int("seed", 7));
+
+  const BinaryTree guest = make_family_tree(family, n, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  const XTree host(res.stats.height);
+
+  std::cout << "guest: " << family << ", n = " << n << ", height "
+            << guest.height() << "  ->  host X(" << host.height() << ")\n\n";
+
+  // Per-vertex: load and the range of guest depths it hosts.
+  const auto depths = guest.depths();
+  std::cout << "host vertex map (label: load, guest-depth range):\n";
+  for (std::int32_t level = 0; level <= host.height(); ++level) {
+    std::cout << "  level " << level << ":";
+    const std::int64_t first = (std::int64_t{1} << level) - 1;
+    for (std::int64_t k = 0; k < (std::int64_t{1} << level); ++k) {
+      const auto v = static_cast<VertexId>(first + k);
+      std::int32_t lo = -1;
+      std::int32_t hi = -1;
+      NodeId load = 0;
+      for (NodeId g : res.embedding.guests_on(v)) {
+        const std::int32_t d = depths[static_cast<std::size_t>(g)];
+        lo = lo < 0 ? d : std::min(lo, d);
+        hi = std::max(hi, d);
+        ++load;
+      }
+      const std::string label = host.label_of(v);
+      std::cout << "  [" << (label.empty() ? "e" : label) << ": " << load
+                << ", d" << lo << "-" << hi << "]";
+    }
+    std::cout << '\n';
+  }
+
+  // Guest-depth vs host-level correlation: the paper's condition (4)
+  // says neighbours' host levels differ by <= 2; the whole embedding
+  // "unrolls" the guest down the X-tree.
+  std::cout << "\nper-edge dilation:";
+  const auto rep = dilation_xtree(guest, res.embedding, host);
+  for (std::size_t d = 0; d <= static_cast<std::size_t>(rep.max); ++d) {
+    std::cout << "  " << d << " hops x " << rep.histogram.count(d);
+  }
+  std::cout << "\nmax dilation " << rep.max << " (paper bound: 3), load "
+            << res.embedding.load_factor() << " (paper: 16)\n";
+
+  // Host-level histogram of each guest depth band (coarse): shows the
+  // level-by-level unrolling.
+  std::cout << "\nguest depth -> mean host level:\n";
+  std::vector<double> sum(static_cast<std::size_t>(guest.height()) + 1, 0);
+  std::vector<std::int64_t> cnt(sum.size(), 0);
+  for (NodeId v = 0; v < guest.num_nodes(); ++v) {
+    const auto d = static_cast<std::size_t>(depths[static_cast<std::size_t>(v)]);
+    sum[d] += host.level_of(res.embedding.host_of(v));
+    ++cnt[d];
+  }
+  for (std::size_t d = 0; d < sum.size(); d += std::max<std::size_t>(sum.size() / 16, 1)) {
+    if (cnt[d] == 0) continue;
+    std::cout << "  depth " << std::setw(4) << d << " (" << std::setw(5)
+              << cnt[d] << " nodes): level "
+              << std::fixed << std::setprecision(2)
+              << sum[d] / static_cast<double>(cnt[d]) << '\n';
+  }
+  if (cli.has("svg")) {
+    const std::string path = cli.get("svg", "embedding.svg");
+    std::ofstream svg(path);
+    svg << embedding_to_svg(host, guest, res.embedding);
+    std::cout << "\nSVG written to " << path << '\n';
+  }
+  return 0;
+}

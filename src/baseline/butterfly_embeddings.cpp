@@ -1,0 +1,34 @@
+#include "baseline/butterfly_embeddings.hpp"
+
+#include "util/check.hpp"
+
+namespace xt {
+
+Embedding cbt_into_butterfly(const CompleteBinaryTree& tree,
+                             const Butterfly& host) {
+  XT_CHECK_MSG(host.dimension() >= tree.height(),
+               "butterfly dimension must cover the tree height");
+  Embedding emb(static_cast<NodeId>(tree.num_vertices()),
+                host.num_vertices());
+  // Heap index v at depth k has root-path bits b_1..b_k where b_i is
+  // the i-th branching decision; bit i of (v+1) below the leading one,
+  // read from the top.  Packing b_i into row bit i-1 makes the child
+  // step "append b_{k+1}" exactly the butterfly's level-k straight /
+  // cross edge.
+  for (VertexId v = 0; v < tree.num_vertices(); ++v) {
+    const std::int32_t depth = tree.level_of(v);
+    const std::int64_t path =
+        static_cast<std::int64_t>(v) + 1 - (std::int64_t{1} << depth);
+    // path bit j (0 = last decision) corresponds to b_{depth-j}; we
+    // need row bit i-1 = b_i, i.e. reverse the path bits.
+    std::int64_t row = 0;
+    for (std::int32_t i = 0; i < depth; ++i) {
+      if ((path >> (depth - 1 - i)) & 1) row |= std::int64_t{1} << i;
+    }
+    emb.place(static_cast<NodeId>(v), host.id_of(depth, row));
+  }
+  XT_CHECK(emb.injective());
+  return emb;
+}
+
+}  // namespace xt

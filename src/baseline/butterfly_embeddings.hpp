@@ -1,0 +1,23 @@
+// Context constructions from §1 / [3]: complete binary trees embed
+// into butterflies with constant dilation, while X-trees provably need
+// dilation Omega(log log n) there.  We provide the positive
+// construction exactly (dilation 1) and use the greedy graph embedder
+// to exhibit the negative trend empirically.
+#pragma once
+
+#include "embedding/embedding.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/complete_binary_tree.hpp"
+
+namespace xt {
+
+/// The complete binary tree of height h as a *subgraph* of BF(h): the
+/// depth-k node whose root path has bits b_1..b_k maps to butterfly
+/// vertex (level k, row with bit i-1 = b_i).  Every tree edge is a
+/// butterfly edge (dilation 1).  Expansion is (h+1)*2^h / (2^{h+1}-1)
+/// ~ (log n)/2 — the paper's [3] shows constant expansion is also
+/// possible; dilation, not expansion, is the point here.
+Embedding cbt_into_butterfly(const CompleteBinaryTree& tree,
+                             const Butterfly& host);
+
+}  // namespace xt

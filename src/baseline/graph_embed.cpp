@@ -1,0 +1,94 @@
+#include "baseline/graph_embed.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/bfs.hpp"
+#include "util/check.hpp"
+
+namespace xt {
+
+Embedding greedy_graph_embed(const Graph& guest, const Graph& host,
+                             NodeId load) {
+  XT_CHECK(guest.num_vertices() >= 1);
+  XT_CHECK(static_cast<std::int64_t>(load) * host.num_vertices() >=
+           guest.num_vertices());
+  XT_CHECK_MSG(is_connected(guest), "greedy embedder needs a connected guest");
+
+  Embedding emb(static_cast<NodeId>(guest.num_vertices()),
+                host.num_vertices());
+  std::vector<NodeId> free(static_cast<std::size_t>(host.num_vertices()),
+                           load);
+  const auto nearest_free = [&](VertexId from) {
+    std::vector<char> seen(static_cast<std::size_t>(host.num_vertices()), 0);
+    std::vector<VertexId> queue{from};
+    seen[static_cast<std::size_t>(from)] = 1;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const VertexId x = queue[head];
+      if (free[static_cast<std::size_t>(x)] > 0) return x;
+      for (VertexId y : host.neighbors(x)) {
+        if (!seen[static_cast<std::size_t>(y)]) {
+          seen[static_cast<std::size_t>(y)] = 1;
+          queue.push_back(y);
+        }
+      }
+    }
+    XT_CHECK_MSG(false, "host out of capacity");
+    return kInvalidVertex;
+  };
+
+  // Guest BFS order from vertex 0.
+  std::vector<VertexId> order{0};
+  std::vector<VertexId> parent(static_cast<std::size_t>(guest.num_vertices()),
+                               kInvalidVertex);
+  std::vector<char> seen(static_cast<std::size_t>(guest.num_vertices()), 0);
+  seen[0] = 1;
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    for (VertexId v : guest.neighbors(order[head])) {
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = 1;
+        parent[static_cast<std::size_t>(v)] = order[head];
+        order.push_back(v);
+      }
+    }
+  }
+  XT_CHECK(order.size() == static_cast<std::size_t>(guest.num_vertices()));
+
+  for (VertexId g : order) {
+    const VertexId p = parent[static_cast<std::size_t>(g)];
+    const VertexId anchor =
+        p == kInvalidVertex ? VertexId{0} : emb.host_of(static_cast<NodeId>(p));
+    const VertexId h = nearest_free(anchor);
+    emb.place(static_cast<NodeId>(g), h);
+    --free[static_cast<std::size_t>(h)];
+  }
+  return emb;
+}
+
+GraphDilationReport graph_dilation(const Graph& guest, const Embedding& emb,
+                                   const Graph& host) {
+  XT_CHECK(emb.complete());
+  std::unordered_map<VertexId, std::vector<VertexId>> targets_by_src;
+  for (const auto& [u, v] : guest.edge_list()) {
+    targets_by_src[emb.host_of(static_cast<NodeId>(u))].push_back(
+        emb.host_of(static_cast<NodeId>(v)));
+  }
+  GraphDilationReport rep;
+  double sum = 0.0;
+  std::int64_t edges = 0;
+  BfsWorkspace bfs(host);
+  for (const auto& [src, targets] : targets_by_src) {
+    const auto& dist = bfs.run(src);
+    for (VertexId t : targets) {
+      const std::int32_t d = dist[static_cast<std::size_t>(t)];
+      XT_CHECK(d != kUnreachable);
+      rep.max = std::max(rep.max, d);
+      sum += d;
+      ++edges;
+    }
+  }
+  if (edges > 0) rep.mean = sum / static_cast<double>(edges);
+  return rep;
+}
+
+}  // namespace xt

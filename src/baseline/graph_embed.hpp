@@ -1,0 +1,30 @@
+// Generic graph-to-graph embedding machinery for the context
+// experiments (§1 of the paper): embedding X-trees, grids and complete
+// binary trees into constant-degree hypercube derivatives (butterfly,
+// CCC) to exhibit the dilation behaviour proved in [3].
+#pragma once
+
+#include "embedding/embedding.hpp"
+#include "graph/graph.hpp"
+
+namespace xt {
+
+/// Greedy locality embedding of an arbitrary connected guest graph
+/// into a host graph under a load cap: guests are placed in BFS order,
+/// each at the free host vertex nearest to its first placed
+/// neighbour's image.  This is an upper-bound heuristic — good enough
+/// to show *shape* (constant vs growing dilation), not optimal.
+Embedding greedy_graph_embed(const Graph& guest, const Graph& host,
+                             NodeId load);
+
+struct GraphDilationReport {
+  std::int32_t max = 0;
+  double mean = 0.0;
+};
+
+/// Dilation of a guest-graph embedding (BFS distances in the host,
+/// one search per distinct source image).
+GraphDilationReport graph_dilation(const Graph& guest, const Embedding& emb,
+                                   const Graph& host);
+
+}  // namespace xt

@@ -1,0 +1,28 @@
+#include "baseline/inorder_hypercube.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace xt {
+
+VertexId inorder_map(const CompleteBinaryTree& tree, VertexId v) {
+  XT_CHECK(tree.contains(v));
+  const std::int32_t level = tree.level_of(v);
+  const std::int64_t pos =
+      static_cast<std::int64_t>(v) + 1 - (std::int64_t{1} << level);
+  const std::int32_t r = tree.height();
+  // alpha . 1 . 0^{r - |alpha|}, first character most significant.
+  return static_cast<VertexId>(((pos << 1) | 1) << (r - level));
+}
+
+Embedding inorder_embedding(const CompleteBinaryTree& tree) {
+  Embedding emb(static_cast<NodeId>(tree.num_vertices()),
+                static_cast<VertexId>(std::int64_t{1} << (tree.height() + 1)));
+  for (VertexId v = 0; v < tree.num_vertices(); ++v)
+    emb.place(static_cast<NodeId>(v), inorder_map(tree, v));
+  XT_CHECK(emb.injective());
+  return emb;
+}
+
+}  // namespace xt

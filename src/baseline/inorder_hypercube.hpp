@@ -1,0 +1,26 @@
+// The classical inorder embedding of the complete binary tree B_r
+// into its optimal hypercube Q_{r+1} with dilation 2 (§3 of the
+// paper, after [8]):
+//
+//   delta_io(alpha) = alpha . 1 . 0^{r - |alpha|}
+//
+// It also satisfies the additive-stretch property (distance Delta in
+// B_r maps to <= Delta + 1 in Q_{r+1}) that Lemma 3 generalises to
+// X-trees.
+#pragma once
+
+#include <cstdint>
+
+#include "embedding/embedding.hpp"
+#include "topology/complete_binary_tree.hpp"
+#include "topology/hypercube.hpp"
+
+namespace xt {
+
+/// Hypercube vertex assigned to CBT vertex v (heap id) of B_r.
+VertexId inorder_map(const CompleteBinaryTree& tree, VertexId v);
+
+/// Full embedding of B_r into Q_{r+1} (injective).
+Embedding inorder_embedding(const CompleteBinaryTree& tree);
+
+}  // namespace xt

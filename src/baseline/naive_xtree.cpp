@@ -1,0 +1,148 @@
+#include "baseline/naive_xtree.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace xt {
+namespace {
+
+std::vector<NodeId> guest_bfs_order(const BinaryTree& guest) {
+  std::vector<NodeId> order{guest.root()};
+  order.reserve(static_cast<std::size_t>(guest.num_nodes()));
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    for (int w = 0; w < 2; ++w) {
+      const NodeId c = guest.child(order[head], w);
+      if (c != kInvalidNode) order.push_back(c);
+    }
+  }
+  return order;
+}
+
+std::vector<NodeId> guest_dfs_order(const BinaryTree& guest) {
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(guest.num_nodes()));
+  std::vector<NodeId> stack{guest.root()};
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    for (int w = 1; w >= 0; --w) {
+      const NodeId c = guest.child(v, w);
+      if (c != kInvalidNode) stack.push_back(c);
+    }
+  }
+  return order;
+}
+
+Embedding zip_order(const BinaryTree& guest, const XTree& host, NodeId load,
+                    const std::vector<NodeId>& order) {
+  Embedding emb(guest.num_nodes(), host.num_vertices());
+  VertexId h = 0;
+  NodeId used = 0;
+  for (NodeId v : order) {
+    if (used == load) {
+      ++h;
+      used = 0;
+    }
+    XT_CHECK(h < host.num_vertices());
+    emb.place(v, h);
+    ++used;
+  }
+  return emb;
+}
+
+Embedding random_assignment(const BinaryTree& guest, const XTree& host,
+                            NodeId load, Rng& rng) {
+  // All host slots, shuffled; guests take the first n.
+  std::vector<VertexId> slots;
+  slots.reserve(static_cast<std::size_t>(host.num_vertices()) *
+                static_cast<std::size_t>(load));
+  for (VertexId h = 0; h < host.num_vertices(); ++h) {
+    for (NodeId s = 0; s < load; ++s) slots.push_back(h);
+  }
+  for (std::size_t i = slots.size(); i > 1; --i)
+    std::swap(slots[i - 1], slots[rng.below(i)]);
+  Embedding emb(guest.num_nodes(), host.num_vertices());
+  for (NodeId v = 0; v < guest.num_nodes(); ++v)
+    emb.place(v, slots[static_cast<std::size_t>(v)]);
+  return emb;
+}
+
+Embedding greedy_assignment(const BinaryTree& guest, const XTree& host,
+                            NodeId load) {
+  Embedding emb(guest.num_nodes(), host.num_vertices());
+  std::vector<NodeId> free(static_cast<std::size_t>(host.num_vertices()),
+                           load);
+  std::vector<VertexId> nbr;
+  auto nearest_free = [&](VertexId from) {
+    std::vector<char> seen(static_cast<std::size_t>(host.num_vertices()), 0);
+    std::vector<VertexId> queue{from};
+    seen[static_cast<std::size_t>(from)] = 1;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const VertexId x = queue[head];
+      if (free[static_cast<std::size_t>(x)] > 0) return x;
+      nbr.clear();
+      host.neighbors(x, nbr);
+      for (VertexId y : nbr) {
+        if (!seen[static_cast<std::size_t>(y)]) {
+          seen[static_cast<std::size_t>(y)] = 1;
+          queue.push_back(y);
+        }
+      }
+    }
+    XT_CHECK_MSG(false, "greedy baseline ran out of capacity");
+    return kInvalidVertex;
+  };
+  for (NodeId v : guest_bfs_order(guest)) {
+    const NodeId p = guest.parent(v);
+    const VertexId anchor = p == kInvalidNode ? host.root() : emb.host_of(p);
+    const VertexId h = nearest_free(anchor);
+    emb.place(v, h);
+    --free[static_cast<std::size_t>(h)];
+  }
+  return emb;
+}
+
+}  // namespace
+
+const char* baseline_name(BaselineKind kind) {
+  switch (kind) {
+    case BaselineKind::kBfsOrder:
+      return "bfs_order";
+    case BaselineKind::kDfsOrder:
+      return "dfs_order";
+    case BaselineKind::kRandom:
+      return "random";
+    case BaselineKind::kGreedy:
+      return "greedy";
+  }
+  return "?";
+}
+
+const std::vector<BaselineKind>& all_baselines() {
+  static const std::vector<BaselineKind> kinds{
+      BaselineKind::kBfsOrder, BaselineKind::kDfsOrder, BaselineKind::kRandom,
+      BaselineKind::kGreedy};
+  return kinds;
+}
+
+Embedding embed_baseline(const BinaryTree& guest, const XTree& host,
+                         NodeId load, BaselineKind kind, Rng& rng) {
+  XT_CHECK(static_cast<std::int64_t>(load) * host.num_vertices() >=
+           guest.num_nodes());
+  switch (kind) {
+    case BaselineKind::kBfsOrder:
+      return zip_order(guest, host, load, guest_bfs_order(guest));
+    case BaselineKind::kDfsOrder:
+      return zip_order(guest, host, load, guest_dfs_order(guest));
+    case BaselineKind::kRandom:
+      return random_assignment(guest, host, load, rng);
+    case BaselineKind::kGreedy:
+      return greedy_assignment(guest, host, load);
+  }
+  XT_CHECK(false);
+  return Embedding(0, 0);
+}
+
+}  // namespace xt

@@ -1,0 +1,33 @@
+// Baseline binary-tree -> X-tree embedders (experiment B1).
+//
+// None of these controls dilation; they exist to quantify how far the
+// Theorem 1 machinery moves the needle.  All respect the load cap and
+// use the same optimal host as the real embedder.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "btree/binary_tree.hpp"
+#include "embedding/embedding.hpp"
+#include "topology/xtree.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+
+enum class BaselineKind {
+  kBfsOrder,   // guest BFS order zipped with host level order
+  kDfsOrder,   // guest DFS preorder zipped with host level order
+  kRandom,     // uniformly random slot assignment
+  kGreedy,     // place each node at the free vertex nearest its parent
+};
+
+const char* baseline_name(BaselineKind kind);
+const std::vector<BaselineKind>& all_baselines();
+
+/// Embeds `guest` into X(height) — pass XTreeEmbedder::optimal_height
+/// — with at most `load` guests per vertex.
+Embedding embed_baseline(const BinaryTree& guest, const XTree& host,
+                         NodeId load, BaselineKind kind, Rng& rng);
+
+}  // namespace xt

@@ -1,0 +1,180 @@
+#include "btree/binary_tree.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace xt {
+
+BinaryTree BinaryTree::single() {
+  BinaryTree t;
+  t.parent_.push_back(kInvalidNode);
+  t.child_.push_back({kInvalidNode, kInvalidNode});
+  return t;
+}
+
+NodeId BinaryTree::add_child(NodeId p) {
+  XT_CHECK(p >= 0 && p < num_nodes());
+  XT_CHECK_MSG(child_[static_cast<std::size_t>(p)][0] == kInvalidNode ||
+                   child_[static_cast<std::size_t>(p)][1] == kInvalidNode,
+               "node " << p << " already has two children");
+  const NodeId v = num_nodes();
+  parent_.push_back(p);
+  child_.push_back({kInvalidNode, kInvalidNode});
+  // Re-index after push_back: the vector may have reallocated.
+  auto& slots = child_[static_cast<std::size_t>(p)];
+  (slots[0] == kInvalidNode ? slots[0] : slots[1]) = v;
+  return v;
+}
+
+std::vector<std::pair<NodeId, NodeId>> BinaryTree::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> result;
+  result.reserve(static_cast<std::size_t>(std::max(num_nodes() - 1, 0)));
+  for (NodeId v = 1; v < num_nodes(); ++v) result.emplace_back(parent(v), v);
+  return result;
+}
+
+void BinaryTree::neighbors(NodeId v, std::vector<NodeId>& out) const {
+  if (parent(v) != kInvalidNode) out.push_back(parent(v));
+  for (int w = 0; w < 2; ++w)
+    if (child(v, w) != kInvalidNode) out.push_back(child(v, w));
+}
+
+std::int32_t BinaryTree::height() const {
+  if (empty()) return -1;
+  std::int32_t best = 0;
+  for (std::int32_t d : depths()) best = std::max(best, d);
+  return best;
+}
+
+NodeId BinaryTree::num_leaves() const {
+  NodeId count = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) count += is_leaf(v);
+  return count;
+}
+
+std::vector<NodeId> BinaryTree::subtree_sizes() const {
+  std::vector<NodeId> size(static_cast<std::size_t>(num_nodes()), 1);
+  // Children always have larger ids than parents only if built by
+  // add_child; from_paren also guarantees preorder ids.  We rely on
+  // that: reverse-id order is a valid post-order for accumulation.
+  for (NodeId v = num_nodes() - 1; v > 0; --v)
+    size[static_cast<std::size_t>(parent(v))] +=
+        size[static_cast<std::size_t>(v)];
+  return size;
+}
+
+std::vector<std::int32_t> BinaryTree::depths() const {
+  std::vector<std::int32_t> depth(static_cast<std::size_t>(num_nodes()), 0);
+  for (NodeId v = 1; v < num_nodes(); ++v)
+    depth[static_cast<std::size_t>(v)] =
+        depth[static_cast<std::size_t>(parent(v))] + 1;
+  return depth;
+}
+
+void BinaryTree::validate() const {
+  XT_CHECK(parent_.size() == child_.size());
+  if (empty()) return;
+  XT_CHECK(parent(0) == kInvalidNode);
+  for (NodeId v = 1; v < num_nodes(); ++v) {
+    const NodeId p = parent(v);
+    XT_CHECK_MSG(p >= 0 && p < num_nodes(), "node " << v << " bad parent");
+    XT_CHECK_MSG(p < v, "node " << v << " parent id not smaller (id order)");
+    XT_CHECK_MSG(child(p, 0) == v || child(p, 1) == v,
+                 "parent/child arrays inconsistent at node " << v);
+  }
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    for (int w = 0; w < 2; ++w) {
+      const NodeId c = child(v, w);
+      if (c != kInvalidNode) {
+        XT_CHECK(c > 0 && c < num_nodes());
+        XT_CHECK(parent(c) == v);
+      }
+    }
+    XT_CHECK(child(v, 0) == kInvalidNode || child(v, 0) != child(v, 1));
+  }
+}
+
+std::string BinaryTree::to_paren() const {
+  std::string out;
+  // Iterative preorder with explicit closing markers.
+  struct Frame {
+    NodeId node;
+    int phase;  // 0: open, 1: left done, 2: right done
+  };
+  if (empty()) return out;
+  std::vector<Frame> stack{{root(), 0}};
+  while (!stack.empty()) {
+    auto& [v, phase] = stack.back();
+    if (phase == 0) {
+      out += '(';
+      phase = 1;
+      if (child(v, 0) != kInvalidNode) {
+        stack.push_back({child(v, 0), 0});
+        continue;
+      }
+      out += '.';
+    }
+    if (phase == 1) {
+      phase = 2;
+      if (child(v, 1) != kInvalidNode) {
+        stack.push_back({child(v, 1), 0});
+        continue;
+      }
+      out += '.';
+    }
+    out += ')';
+    stack.pop_back();
+  }
+  return out;
+}
+
+BinaryTree BinaryTree::from_paren(const std::string& s) {
+  BinaryTree t;
+  if (s.empty()) return t;
+  std::vector<NodeId> stack;
+  for (char ch : s) {
+    switch (ch) {
+      case '(': {
+        const NodeId v = t.num_nodes();
+        t.parent_.push_back(stack.empty() ? kInvalidNode : stack.back());
+        t.child_.push_back({kInvalidNode, kInvalidNode});
+        if (!stack.empty()) {
+          auto& slots = t.child_[static_cast<std::size_t>(stack.back())];
+          XT_CHECK(slots[0] == kInvalidNode || slots[1] == kInvalidNode);
+          (slots[0] == kInvalidNode ? slots[0] : slots[1]) = v;
+        } else {
+          XT_CHECK_MSG(v == 0, "multiple roots in paren string");
+        }
+        stack.push_back(v);
+        break;
+      }
+      case ')':
+        XT_CHECK_MSG(!stack.empty(), "unbalanced paren string");
+        stack.pop_back();
+        break;
+      case '.': {
+        // Explicit absent-child marker: reserve the next child slot so
+        // "(.(..))" puts the subtree in the *right* slot.
+        XT_CHECK(!stack.empty());
+        auto& slots = t.child_[static_cast<std::size_t>(stack.back())];
+        XT_CHECK_MSG(slots[0] == kInvalidNode || slots[1] == kInvalidNode,
+                     "too many children in paren string");
+        (slots[0] == kInvalidNode ? slots[0] : slots[1]) = -2;  // placeholder
+        break;
+      }
+      default:
+        XT_CHECK_MSG(false, "bad character in paren string: " << ch);
+    }
+  }
+  XT_CHECK_MSG(stack.empty(), "unbalanced paren string");
+  // Clear placeholders back to absent.
+  for (auto& slots : t.child_) {
+    for (auto& c : slots)
+      if (c == -2) c = kInvalidNode;
+  }
+  t.validate();
+  return t;
+}
+
+}  // namespace xt

@@ -1,0 +1,81 @@
+// Guest binary trees: rooted, every node has at most two (ordered)
+// children, so total degree is at most 3.  This is the tree family the
+// paper embeds (Theorems 1-4).
+//
+// Representation is pointer-free: dense node ids, parallel parent /
+// child arrays.  Node 0 is always the root.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xt {
+
+using NodeId = std::int32_t;
+constexpr NodeId kInvalidNode = -1;
+
+class BinaryTree {
+ public:
+  BinaryTree() = default;
+
+  /// A tree with a single root node.
+  static BinaryTree single();
+
+  [[nodiscard]] NodeId num_nodes() const {
+    return static_cast<NodeId>(parent_.size());
+  }
+  [[nodiscard]] bool empty() const { return parent_.empty(); }
+  [[nodiscard]] NodeId root() const { return 0; }
+
+  [[nodiscard]] NodeId parent(NodeId v) const {
+    return parent_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] NodeId child(NodeId v, int which) const {
+    return child_[static_cast<std::size_t>(v)][static_cast<std::size_t>(which)];
+  }
+  [[nodiscard]] int num_children(NodeId v) const {
+    return (child(v, 0) != kInvalidNode) + (child(v, 1) != kInvalidNode);
+  }
+  [[nodiscard]] bool is_leaf(NodeId v) const { return num_children(v) == 0; }
+
+  /// Total degree (parent + children); at most 3 by construction.
+  [[nodiscard]] int degree(NodeId v) const {
+    return (parent(v) != kInvalidNode) + num_children(v);
+  }
+
+  /// Appends a new node as a child of `p` in the first free slot and
+  /// returns its id.  p must have a free child slot (checked).
+  NodeId add_child(NodeId p);
+
+  /// All undirected edges as (parent, child) pairs, child ascending.
+  [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+  /// The up-to-3 neighbours of v.
+  void neighbors(NodeId v, std::vector<NodeId>& out) const;
+
+  // --- structural statistics -------------------------------------------
+  [[nodiscard]] std::int32_t height() const;
+  [[nodiscard]] NodeId num_leaves() const;
+  /// Subtree sizes indexed by node (iterative post-order).
+  [[nodiscard]] std::vector<NodeId> subtree_sizes() const;
+  /// Depth of each node (root = 0).
+  [[nodiscard]] std::vector<std::int32_t> depths() const;
+
+  /// Structural invariants: root is 0, parent/child arrays consistent,
+  /// connected, acyclic.  Throws check_error on violation.
+  void validate() const;
+
+  /// Compact preorder serialisation (for golden tests / debugging):
+  /// e.g. "(()(()()))".
+  [[nodiscard]] std::string to_paren() const;
+  static BinaryTree from_paren(const std::string& s);
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<std::array<NodeId, 2>> child_;
+};
+
+}  // namespace xt

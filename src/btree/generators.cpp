@@ -1,0 +1,280 @@
+#include "btree/generators.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace xt {
+namespace {
+
+// Rebuilds a tree described by loose parent/child arrays (ids in any
+// order, possibly with deleted holes) into a canonical BinaryTree with
+// preorder ids.  `root` is the loose root id.
+BinaryTree rebuild_preorder(
+    const std::vector<std::array<NodeId, 2>>& loose_children, NodeId root) {
+  BinaryTree out = BinaryTree::single();
+  // Stack of (loose id, canonical parent id); children pushed right
+  // first so the left child is visited first (preorder).
+  std::vector<std::pair<NodeId, NodeId>> stack;
+  auto push_children = [&](NodeId loose, NodeId canon) {
+    const auto& c = loose_children[static_cast<std::size_t>(loose)];
+    if (c[1] != kInvalidNode) stack.emplace_back(c[1], canon);
+    if (c[0] != kInvalidNode) stack.emplace_back(c[0], canon);
+  };
+  push_children(root, 0);
+  while (!stack.empty()) {
+    auto [loose, canon_parent] = stack.back();
+    stack.pop_back();
+    const NodeId canon = out.add_child(canon_parent);
+    push_children(loose, canon);
+  }
+  return out;
+}
+
+}  // namespace
+
+BinaryTree make_complete_tree(std::int32_t height) {
+  XT_CHECK(height >= 0);
+  BinaryTree t = BinaryTree::single();
+  // Level-order growth; ids stay heap-ordered.
+  const NodeId total = static_cast<NodeId>((std::int64_t{2} << height) - 1);
+  for (NodeId v = 0; 2 * v + 2 < total; ++v) {
+    t.add_child(v);
+    t.add_child(v);
+  }
+  XT_CHECK(t.num_nodes() == total);
+  return t;
+}
+
+BinaryTree make_path_tree(NodeId n) {
+  XT_CHECK(n >= 1);
+  BinaryTree t = BinaryTree::single();
+  NodeId tip = t.root();
+  for (NodeId i = 1; i < n; ++i) tip = t.add_child(tip);
+  return t;
+}
+
+BinaryTree make_caterpillar_tree(NodeId n) {
+  XT_CHECK(n >= 1);
+  BinaryTree t = BinaryTree::single();
+  NodeId spine = t.root();
+  while (t.num_nodes() < n) {
+    // Alternate: leaf, then next spine node, so the spine carries a
+    // pendant leaf at every vertex.
+    if (t.num_nodes() + 1 <= n && t.num_children(spine) == 0) {
+      t.add_child(spine);  // pendant leaf
+    }
+    if (t.num_nodes() < n) {
+      spine = t.add_child(spine);  // spine continues
+    }
+  }
+  return t;
+}
+
+BinaryTree make_comb_tree(NodeId n, NodeId tooth) {
+  XT_CHECK(n >= 1 && tooth >= 1);
+  BinaryTree t = BinaryTree::single();
+  NodeId spine = t.root();
+  while (t.num_nodes() < n) {
+    // Tooth: a chain hanging off the spine node.
+    NodeId tip = spine;
+    for (NodeId i = 0; i < tooth && t.num_nodes() < n; ++i)
+      tip = t.add_child(tip);
+    if (t.num_nodes() < n) spine = t.add_child(spine);
+  }
+  return t;
+}
+
+BinaryTree make_broom_tree(NodeId n) {
+  XT_CHECK(n >= 1);
+  BinaryTree t = BinaryTree::single();
+  NodeId tip = t.root();
+  const NodeId handle = std::max<NodeId>(n / 2, 1);
+  for (NodeId i = 1; i < handle; ++i) tip = t.add_child(tip);
+  // Brush: fill a complete tree below the handle end, level by level.
+  std::vector<NodeId> frontier{tip};
+  while (t.num_nodes() < n) {
+    std::vector<NodeId> next;
+    for (NodeId v : frontier) {
+      for (int w = 0; w < 2 && t.num_nodes() < n; ++w)
+        next.push_back(t.add_child(v));
+    }
+    frontier = std::move(next);
+  }
+  return t;
+}
+
+BinaryTree make_golden_tree(NodeId n) {
+  XT_CHECK(n >= 1);
+  BinaryTree t = BinaryTree::single();
+  struct Frame {
+    NodeId node;
+    NodeId budget;  // nodes to build below (budget includes `node`)
+  };
+  std::vector<Frame> stack{{t.root(), n}};
+  while (!stack.empty()) {
+    const auto [v, budget] = stack.back();
+    stack.pop_back();
+    const NodeId rest = budget - 1;
+    if (rest == 0) continue;
+    // Larger side gets ~61.8% of the remainder.
+    NodeId left = std::max<NodeId>(1, static_cast<NodeId>(
+                                          (static_cast<std::int64_t>(rest) *
+                                           618) /
+                                          1000));
+    left = std::min(left, rest);
+    const NodeId lchild = t.add_child(v);
+    stack.push_back({lchild, left});
+    if (rest - left > 0) {
+      const NodeId rchild = t.add_child(v);
+      stack.push_back({rchild, rest - left});
+    }
+  }
+  XT_CHECK(t.num_nodes() == n);
+  return t;
+}
+
+BinaryTree make_random_attachment_tree(NodeId n, Rng& rng) {
+  XT_CHECK(n >= 1);
+  BinaryTree t = BinaryTree::single();
+  std::vector<NodeId> open{t.root()};  // nodes with a free child slot
+  while (t.num_nodes() < n) {
+    const std::size_t idx =
+        static_cast<std::size_t>(rng.below(open.size()));
+    const NodeId p = open[idx];
+    const NodeId leaf = t.add_child(p);
+    if (t.num_children(p) == 2) {
+      open[idx] = open.back();
+      open.pop_back();
+    }
+    open.push_back(leaf);
+  }
+  return t;
+}
+
+BinaryTree make_remy_tree(NodeId leaves, Rng& rng) {
+  XT_CHECK(leaves >= 1);
+  // Remy's algorithm over a loose arena: at step k, pick a uniform
+  // existing node x and a side s; a fresh internal node takes x's
+  // place in the tree with x on side s and a fresh leaf on the other.
+  std::vector<std::array<NodeId, 2>> children{{kInvalidNode, kInvalidNode}};
+  std::vector<NodeId> parent{kInvalidNode};
+  NodeId root = 0;
+  for (NodeId k = 1; k < leaves; ++k) {
+    const auto x = static_cast<NodeId>(rng.below(children.size()));
+    const int side = static_cast<int>(rng.below(2));
+    const NodeId internal = static_cast<NodeId>(children.size());
+    children.push_back({kInvalidNode, kInvalidNode});
+    parent.push_back(kInvalidNode);
+    const NodeId leaf = static_cast<NodeId>(children.size());
+    children.push_back({kInvalidNode, kInvalidNode});
+    parent.push_back(internal);
+
+    const NodeId px = parent[static_cast<std::size_t>(x)];
+    parent[static_cast<std::size_t>(internal)] = px;
+    if (px == kInvalidNode) {
+      root = internal;
+    } else {
+      auto& pc = children[static_cast<std::size_t>(px)];
+      (pc[0] == x ? pc[0] : pc[1]) = internal;
+    }
+    parent[static_cast<std::size_t>(x)] = internal;
+    children[static_cast<std::size_t>(internal)][static_cast<std::size_t>(side)] = x;
+    children[static_cast<std::size_t>(internal)][static_cast<std::size_t>(1 - side)] =
+        leaf;
+  }
+  BinaryTree t = rebuild_preorder(children, root);
+  XT_CHECK(t.num_nodes() == 2 * leaves - 1);
+  t.validate();
+  return t;
+}
+
+BinaryTree make_random_bst_tree(NodeId n, Rng& rng) {
+  XT_CHECK(n >= 1);
+  std::vector<NodeId> keys(static_cast<std::size_t>(n));
+  for (NodeId i = 0; i < n; ++i) keys[static_cast<std::size_t>(i)] = i;
+  for (std::size_t i = keys.size(); i > 1; --i)
+    std::swap(keys[i - 1], keys[rng.below(i)]);
+
+  BinaryTree t = BinaryTree::single();
+  std::vector<NodeId> node_key{keys[0]};
+  // child slot 0 = "smaller", slot 1 = "larger" during construction;
+  // we must steer add_child's slot choice, so track slots explicitly.
+  std::vector<std::array<NodeId, 2>> slots{{kInvalidNode, kInvalidNode}};
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    NodeId cur = t.root();
+    const NodeId key = keys[i];
+    for (;;) {
+      const int side = key < node_key[static_cast<std::size_t>(cur)] ? 0 : 1;
+      NodeId& slot = slots[static_cast<std::size_t>(cur)][static_cast<std::size_t>(side)];
+      if (slot == kInvalidNode) {
+        slot = t.add_child(cur);
+        node_key.push_back(key);
+        slots.push_back({kInvalidNode, kInvalidNode});
+        break;
+      }
+      cur = slot;
+    }
+  }
+  return t;
+}
+
+BinaryTree make_random_tree(NodeId n, Rng& rng) {
+  XT_CHECK(n >= 1);
+  const NodeId m = (n % 2 == 1) ? n : n + 1;  // full trees are odd-sized
+  BinaryTree full = make_remy_tree((m + 1) / 2, rng);
+  if (m == n) return full;
+  // Drop one uniformly random leaf, then renumber.
+  std::vector<NodeId> leaves;
+  for (NodeId v = 0; v < full.num_nodes(); ++v)
+    if (full.is_leaf(v)) leaves.push_back(v);
+  const NodeId victim = leaves[rng.below(leaves.size())];
+  std::vector<std::array<NodeId, 2>> children(
+      static_cast<std::size_t>(full.num_nodes()));
+  for (NodeId v = 0; v < full.num_nodes(); ++v)
+    children[static_cast<std::size_t>(v)] = {full.child(v, 0),
+                                             full.child(v, 1)};
+  auto& pc = children[static_cast<std::size_t>(full.parent(victim))];
+  (pc[0] == victim ? pc[0] : pc[1]) = kInvalidNode;
+  BinaryTree t = rebuild_preorder(children, full.root());
+  XT_CHECK(t.num_nodes() == n);
+  return t;
+}
+
+BinaryTree make_family_tree(const std::string& family, NodeId n, Rng& rng) {
+  if (family == "complete") {
+    // Nearest complete tree at or below n nodes, padded back up to n
+    // by a broom-style fill to keep the node count exact.
+    BinaryTree t = BinaryTree::single();
+    std::vector<NodeId> frontier{t.root()};
+    while (t.num_nodes() < n) {
+      std::vector<NodeId> next;
+      for (NodeId v : frontier) {
+        for (int w = 0; w < 2 && t.num_nodes() < n; ++w)
+          next.push_back(t.add_child(v));
+      }
+      frontier = std::move(next);
+    }
+    return t;
+  }
+  if (family == "path") return make_path_tree(n);
+  if (family == "caterpillar") return make_caterpillar_tree(n);
+  if (family == "comb") return make_comb_tree(n);
+  if (family == "broom") return make_broom_tree(n);
+  if (family == "golden") return make_golden_tree(n);
+  if (family == "random") return make_random_tree(n, rng);
+  if (family == "random_bst") return make_random_bst_tree(n, rng);
+  if (family == "random_attach") return make_random_attachment_tree(n, rng);
+  XT_CHECK_MSG(false, "unknown tree family: " << family);
+  return BinaryTree::single();
+}
+
+const std::vector<std::string>& tree_family_names() {
+  static const std::vector<std::string> names{
+      "complete", "path",   "caterpillar", "comb",        "broom",
+      "golden",   "random", "random_bst",  "random_attach"};
+  return names;
+}
+
+}  // namespace xt

@@ -1,0 +1,67 @@
+// Binary-tree workload generators for the experiment harnesses.
+//
+// The theorems hold for *arbitrary* binary trees, so the benchmark
+// suites sweep structurally extreme families (paths, combs, brooms,
+// caterpillars, complete trees) alongside random families (uniform
+// full trees via Remy's algorithm, random binary search tree shapes,
+// random attachment growth).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "btree/binary_tree.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+
+/// Complete binary tree of the given height (2^{h+1} - 1 nodes).
+BinaryTree make_complete_tree(std::int32_t height);
+
+/// Path ("vine"): each node has exactly one child; n >= 1 nodes.
+BinaryTree make_path_tree(NodeId n);
+
+/// Caterpillar: a spine of ceil(n/2) nodes, a leaf hanging off each
+/// spine node until n nodes are reached.
+BinaryTree make_caterpillar_tree(NodeId n);
+
+/// Comb: right-leaning spine where every spine node carries a left
+/// leaf chain of the given tooth length.
+BinaryTree make_comb_tree(NodeId n, NodeId tooth = 2);
+
+/// Broom: a path of n/2 nodes ending in a complete tree of ~n/2 nodes.
+BinaryTree make_broom_tree(NodeId n);
+
+/// Golden tree: every node splits its remaining budget in the golden
+/// ratio (~0.618 / 0.382) — the maximally unbalanced shape that still
+/// has logarithmic height (Fibonacci/AVL-worst-case flavour).
+BinaryTree make_golden_tree(NodeId n);
+
+/// Random growth: repeatedly attach a new leaf to a uniformly random
+/// node that still has a free child slot.
+BinaryTree make_random_attachment_tree(NodeId n, Rng& rng);
+
+/// Uniformly random *full* binary tree (every node has 0 or 2
+/// children) with the given number of leaves, via Remy's algorithm.
+/// Total nodes = 2 * leaves - 1.
+BinaryTree make_remy_tree(NodeId leaves, Rng& rng);
+
+/// Random binary search tree shape: insert a random permutation of
+/// 1..n into an (unbalanced) BST and keep the shape.
+BinaryTree make_random_bst_tree(NodeId n, Rng& rng);
+
+/// Random tree of *exactly* n nodes with shape close to a uniform full
+/// tree: Remy tree of the right size, then random leaves are removed
+/// until n nodes remain.
+BinaryTree make_random_tree(NodeId n, Rng& rng);
+
+/// Named family dispatcher used by the benchmark harnesses.
+/// Families: complete, path, caterpillar, comb, broom, random,
+/// random_bst, random_attach.
+BinaryTree make_family_tree(const std::string& family, NodeId n, Rng& rng);
+
+/// The family names accepted by make_family_tree, in harness order.
+const std::vector<std::string>& tree_family_names();
+
+}  // namespace xt

@@ -1,0 +1,84 @@
+#include "core/dynamic_embedder.hpp"
+
+#include <algorithm>
+
+#include "core/nset.hpp"
+#include "util/check.hpp"
+
+namespace xt {
+
+DynamicEmbedder::DynamicEmbedder(std::int32_t height, NodeId load)
+    : host_(height),
+      load_(load),
+      guest_(BinaryTree::single()),
+      assign_{host_.root()},
+      load_of_(static_cast<std::size_t>(host_.num_vertices()), 0) {
+  XT_CHECK(load >= 1);
+  load_of_[static_cast<std::size_t>(host_.root())] = 1;
+}
+
+std::int64_t DynamicEmbedder::free_capacity() const {
+  return static_cast<std::int64_t>(load_) * host_.num_vertices() -
+         guest_.num_nodes();
+}
+
+NodeId DynamicEmbedder::add_leaf(NodeId parent) {
+  XT_CHECK_MSG(free_capacity() > 0, "machine is full");
+  const VertexId slot = pick_slot(host_of(parent));
+  const NodeId leaf = guest_.add_child(parent);
+  assign_.push_back(slot);
+  ++load_of_[static_cast<std::size_t>(slot)];
+  return leaf;
+}
+
+VertexId DynamicEmbedder::pick_slot(VertexId parent_host) const {
+  // BFS rings around the parent's image; first collect the nearest
+  // free vertices (two rings past the first hit), then prefer one that
+  // keeps condition (3'), then the closest.
+  std::vector<char> seen(static_cast<std::size_t>(host_.num_vertices()), 0);
+  std::vector<std::pair<VertexId, std::int32_t>> queue{{parent_host, 0}};
+  seen[static_cast<std::size_t>(parent_host)] = 1;
+  VertexId best = kInvalidVertex;
+  std::int64_t best_score = 0;
+  std::int32_t stop_depth = -1;
+  std::vector<VertexId> nbr;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const auto [x, depth] = queue[head];
+    if (stop_depth >= 0 && depth > stop_depth) break;
+    if (load_of_[static_cast<std::size_t>(x)] < load_) {
+      const std::int64_t score =
+          (respects_condition_3prime(host_, parent_host, x) ? 0 : 1000) +
+          depth;
+      if (best == kInvalidVertex || score < best_score) {
+        best = x;
+        best_score = score;
+      }
+      if (stop_depth < 0) stop_depth = depth + 2;
+    }
+    nbr.clear();
+    host_.neighbors(x, nbr);
+    for (VertexId y : nbr) {
+      if (!seen[static_cast<std::size_t>(y)]) {
+        seen[static_cast<std::size_t>(y)] = 1;
+        queue.emplace_back(y, depth + 1);
+      }
+    }
+  }
+  XT_CHECK(best != kInvalidVertex);
+  return best;
+}
+
+std::int32_t DynamicEmbedder::current_dilation() const {
+  std::int32_t worst = 0;
+  for (const auto& [u, v] : guest_.edges())
+    worst = std::max(worst, host_.distance(host_of(u), host_of(v)));
+  return worst;
+}
+
+Embedding DynamicEmbedder::snapshot() const {
+  Embedding emb(guest_.num_nodes(), host_.num_vertices());
+  for (NodeId v = 0; v < guest_.num_nodes(); ++v) emb.place(v, host_of(v));
+  return emb;
+}
+
+}  // namespace xt

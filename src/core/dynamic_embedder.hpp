@@ -1,0 +1,60 @@
+// Online embedding: growing a binary tree leaf by leaf on a live
+// X-tree machine.
+//
+// The paper's motivation is divide & conquer, whose recursion tree
+// unfolds *during* execution — but Theorem 1 is an offline
+// construction.  This extension keeps an embedding valid while the
+// guest grows: each new leaf is placed on the free host vertex that
+// best respects condition (3') relative to its parent's image
+// (greedy; no constant-dilation guarantee — the benches compare the
+// online quality against re-running the offline algorithm, which is
+// exactly the trade-off a scheduler would face).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "btree/binary_tree.hpp"
+#include "embedding/embedding.hpp"
+#include "topology/xtree.hpp"
+
+namespace xt {
+
+class DynamicEmbedder {
+ public:
+  /// An X(height) machine with `load` slots per vertex; the guest
+  /// starts as a single root placed on the host root.
+  explicit DynamicEmbedder(std::int32_t height, NodeId load = 16);
+
+  [[nodiscard]] const BinaryTree& guest() const { return guest_; }
+  [[nodiscard]] const XTree& host() const { return host_; }
+  [[nodiscard]] NodeId load_cap() const { return load_; }
+
+  /// Remaining total capacity of the machine.
+  [[nodiscard]] std::int64_t free_capacity() const;
+
+  /// Grows the guest by a leaf under `parent` (which must have a free
+  /// child slot) and places it.  Throws when the machine is full.
+  NodeId add_leaf(NodeId parent);
+
+  [[nodiscard]] VertexId host_of(NodeId v) const {
+    return assign_[static_cast<std::size_t>(v)];
+  }
+
+  /// Current max host distance over guest edges (exact, O(n)).
+  [[nodiscard]] std::int32_t current_dilation() const;
+
+  /// Immutable snapshot of the current assignment.
+  [[nodiscard]] Embedding snapshot() const;
+
+ private:
+  [[nodiscard]] VertexId pick_slot(VertexId parent_host) const;
+
+  XTree host_;
+  NodeId load_;
+  BinaryTree guest_;
+  std::vector<VertexId> assign_;
+  std::vector<NodeId> load_of_;
+};
+
+}  // namespace xt

@@ -1,0 +1,54 @@
+#include "core/hypercube_embedding.hpp"
+
+#include <vector>
+
+#include "core/lemma3.hpp"
+#include "topology/xtree.hpp"
+#include "util/check.hpp"
+
+namespace xt {
+
+HypercubeEmbedding embed_hypercube_load16(const BinaryTree& guest) {
+  // Theorem 1 into the optimal X-tree X(r-1) ...
+  XTreeEmbedder::Options opt;
+  auto t1 = XTreeEmbedder::embed(guest, opt);
+  const XTree xtree(t1.stats.height);
+  const std::int32_t dim = lemma3_dimension(xtree);
+
+  // ... composed with the Lemma 3 map into Q_r.
+  HypercubeEmbedding out{Embedding(guest.num_nodes(),
+                                   static_cast<VertexId>(std::int64_t{1}
+                                                         << dim)),
+                         dim, std::move(t1.stats)};
+  for (NodeId v = 0; v < guest.num_nodes(); ++v)
+    out.embedding.place(v, lemma3_map(xtree, t1.embedding.host_of(v)));
+  XT_CHECK(out.embedding.load_factor() <= 16);
+  return out;
+}
+
+HypercubeEmbedding embed_hypercube_injective(const BinaryTree& guest) {
+  auto base = embed_hypercube_load16(guest);
+  const std::int32_t dim = base.dimension + 4;
+  XT_CHECK_MSG(guest.num_nodes() <= (std::int64_t{1} << dim) - 16,
+               "corollary requires n <= 2^r - 16");
+
+  // Q_r = Q_{r-4} x Q_4: co-located guests take distinct 4-bit
+  // sub-cube coordinates.  Base edges had dilation <= 4; suffixes add
+  // at most 4 more, total <= 8.
+  HypercubeEmbedding out{
+      Embedding(guest.num_nodes(),
+                static_cast<VertexId>(std::int64_t{1} << dim)),
+      dim, std::move(base.xtree_stats)};
+  std::vector<std::int32_t> next_suffix(
+      static_cast<std::size_t>(base.embedding.num_host_vertices()), 0);
+  for (NodeId v = 0; v < guest.num_nodes(); ++v) {
+    const VertexId h = base.embedding.host_of(v);
+    const std::int32_t mu = next_suffix[static_cast<std::size_t>(h)]++;
+    XT_CHECK(mu < 16);
+    out.embedding.place(v, (h << 4) | mu);
+  }
+  XT_CHECK(out.embedding.injective());
+  return out;
+}
+
+}  // namespace xt

@@ -1,0 +1,36 @@
+// Theorem 3: binary trees into hypercubes via X-trees.
+//
+// Composing the Theorem 1 embedding (dilation 3, load 16 into
+// X(r-1)) with the Lemma 3 map (X(r-1) -> Q_r, stretch <= +1) embeds
+// every binary tree with n = 16*(2^r - 1) nodes into its optimal
+// hypercube Q_r with load 16 and dilation 4.  The corollary in §3
+// derives an *injective* dilation-8 embedding into Q_r for any tree
+// with at most 2^r - 16 nodes by spending four extra cube dimensions
+// on the 16 slots.
+#pragma once
+
+#include <cstdint>
+
+#include "btree/binary_tree.hpp"
+#include "core/xtree_embedder.hpp"
+#include "embedding/embedding.hpp"
+#include "topology/hypercube.hpp"
+
+namespace xt {
+
+struct HypercubeEmbedding {
+  Embedding embedding;
+  std::int32_t dimension = 0;
+  XTreeEmbedder::Stats xtree_stats;  // stats of the underlying Theorem 1 run
+};
+
+/// Theorem 3: load-16, dilation-4 embedding of `guest` into the
+/// smallest hypercube Q_r with 16*2^r >= ... (exact-form inputs
+/// n = 16*(2^r - 1) land in their optimal hypercube).
+HypercubeEmbedding embed_hypercube_load16(const BinaryTree& guest);
+
+/// Corollary: injective dilation-8 embedding into Q_r; requires
+/// n <= 2^r - 16 for the chosen r (smallest such r is used).
+HypercubeEmbedding embed_hypercube_injective(const BinaryTree& guest);
+
+}  // namespace xt

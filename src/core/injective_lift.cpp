@@ -1,0 +1,37 @@
+#include "core/injective_lift.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace xt {
+
+InjectiveLift lift_injective(const BinaryTree& guest, const Embedding& load16,
+                             const XTree& base_host) {
+  XT_CHECK(load16.complete());
+  XT_CHECK_MSG(load16.load_factor() <= 16,
+               "lift requires load factor <= 16 (got "
+                   << load16.load_factor() << ")");
+  const std::int32_t lifted_height = base_host.height() + 4;
+  const XTree lifted(lifted_height);
+
+  InjectiveLift out{
+      Embedding(guest.num_nodes(), lifted.num_vertices()), lifted_height};
+
+  // Next free 4-bit suffix per base vertex.
+  std::vector<std::int32_t> next_suffix(
+      static_cast<std::size_t>(base_host.num_vertices()), 0);
+  for (NodeId v = 0; v < guest.num_nodes(); ++v) {
+    const VertexId base = load16.host_of(v);
+    const XCoord c = base_host.coord_of(base);
+    const std::int32_t mu = next_suffix[static_cast<std::size_t>(base)]++;
+    XT_CHECK(mu < 16);
+    // delta(u) . mu: the descendant of `base` four levels down whose
+    // last four string bits are mu.
+    out.embedding.place(v, XTree::id_of({c.level + 4, c.pos * 16 + mu}));
+  }
+  XT_CHECK(out.embedding.injective());
+  return out;
+}
+
+}  // namespace xt

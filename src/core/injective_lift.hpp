@@ -1,0 +1,29 @@
+// Theorem 2: lifting the load-16 embedding of Theorem 1 to an
+// *injective* embedding chi into X(r+4) with dilation 11.
+//
+// chi(u) = delta(u) . mu  for a 4-bit string mu: each host vertex of
+// X(r) owns 16 distinct descendants four levels down in X(r+4), one
+// per co-located guest node.  A guest edge whose images were <= 3
+// apart in X(r) stretches to <= 4 + 3 + 4 = 11.
+#pragma once
+
+#include <cstdint>
+
+#include "btree/binary_tree.hpp"
+#include "embedding/embedding.hpp"
+#include "topology/xtree.hpp"
+
+namespace xt {
+
+struct InjectiveLift {
+  Embedding embedding;       // guest -> X(base_height + 4), injective
+  std::int32_t host_height;  // base_height + 4
+};
+
+/// Lifts a (load <= 16) embedding into X(base) to an injective
+/// embedding into X(base + 4).  Requires `load16` complete with load
+/// factor <= 16.
+InjectiveLift lift_injective(const BinaryTree& guest, const Embedding& load16,
+                             const XTree& base_host);
+
+}  // namespace xt

@@ -1,0 +1,20 @@
+#include "core/lemma3.hpp"
+
+#include "util/check.hpp"
+
+namespace xt {
+
+VertexId lemma3_map(const XTree& xtree, VertexId v) {
+  const XCoord c = xtree.coord_of(v);
+  const std::int32_t r = xtree.height();
+  // a_1..a_l: the vertex string, a_1 most significant bit of pos.
+  // chi: b_1 = a_1, b_v = a_v XOR a_{v-1}  ==  pos XOR (pos >> 1).
+  const std::int64_t chi = c.pos ^ (c.pos >> 1);
+  // Bit string chi(alpha) . 1 . 0^{r - l}, first character most
+  // significant in the Q_{r+1} vertex number.
+  const std::int64_t word = ((chi << 1) | 1) << (r - c.level);
+  XT_CHECK(word >= 0 && word < (std::int64_t{1} << (r + 1)));
+  return static_cast<VertexId>(word);
+}
+
+}  // namespace xt

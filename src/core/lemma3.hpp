@@ -1,0 +1,28 @@
+// Lemma 3: an injective embedding of the X-tree X(r) into the
+// hypercube Q_{r+1} with additive distance stretch <= 1.
+//
+//   delta(alpha) = chi(alpha) . 1 . 0^{r-|alpha|}
+//
+// where chi is the prefix-XOR transform b_1 = a_1, b_v = a_v XOR
+// a_{v-1} (the paper's "b_v = a_v iff a_{v-1} = 0").  Siblings along a
+// level differ in exactly one chi bit, so horizontal X-tree edges map
+// to hypercube edges; tree edges map to distance <= 2.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/hypercube.hpp"
+#include "topology/xtree.hpp"
+
+namespace xt {
+
+/// The hypercube vertex (in Q_{host_height+1}) that Lemma 3 assigns to
+/// X-tree vertex v of X(host_height).
+VertexId lemma3_map(const XTree& xtree, VertexId v);
+
+/// Dimension of the target hypercube: r + 1.
+inline std::int32_t lemma3_dimension(const XTree& xtree) {
+  return xtree.height() + 1;
+}
+
+}  // namespace xt

@@ -1,0 +1,72 @@
+#include "core/nset.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace xt {
+namespace {
+
+void add_range(const XTree& xtree, std::int32_t level, std::int64_t lo,
+               std::int64_t hi, std::vector<VertexId>& out) {
+  if (level < 0 || level > xtree.height()) return;
+  const std::int64_t max_pos = (std::int64_t{1} << level) - 1;
+  lo = std::max<std::int64_t>(lo, 0);
+  hi = std::min(hi, max_pos);
+  for (std::int64_t p = lo; p <= hi; ++p)
+    out.push_back(XTree::id_of({level, p}));
+}
+
+}  // namespace
+
+std::vector<VertexId> n_set(const XTree& xtree, VertexId a) {
+  const XCoord c = xtree.coord_of(a);
+  std::vector<VertexId> out;
+  // <= 3 horizontal edges on a's own level.
+  add_range(xtree, c.level, c.pos - 3, c.pos + 3, out);
+  // one downward edge (children span [2p, 2p+1]) then <= 2 horizontal.
+  add_range(xtree, c.level + 1, 2 * c.pos - 2, 2 * c.pos + 1 + 2, out);
+  // two downward edges (grandchildren span [4p, 4p+3]) then <= 2.
+  add_range(xtree, c.level + 2, 4 * c.pos - 2, 4 * c.pos + 3 + 2, out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool in_n_set(const XTree& xtree, VertexId a, VertexId b) {
+  const XCoord ca = xtree.coord_of(a);
+  const XCoord cb = xtree.coord_of(b);
+  if (cb.level == ca.level) return std::abs(cb.pos - ca.pos) <= 3;
+  if (cb.level == ca.level + 1)
+    return cb.pos >= 2 * ca.pos - 2 && cb.pos <= 2 * ca.pos + 3;
+  if (cb.level == ca.level + 2)
+    return cb.pos >= 4 * ca.pos - 2 && cb.pos <= 4 * ca.pos + 5;
+  return false;
+}
+
+bool respects_condition_3prime(const XTree& xtree, VertexId a, VertexId b) {
+  if (a == b) return true;
+  return xtree.level_of(a) <= xtree.level_of(b) ? in_n_set(xtree, a, b)
+                                                : in_n_set(xtree, b, a);
+}
+
+std::vector<VertexId> n_set_symmetric(const XTree& xtree, VertexId a) {
+  const XCoord c = xtree.coord_of(a);
+  std::vector<VertexId> out = n_set(xtree, a);
+  // Reverse direction: candidates b one or two levels up whose
+  // down-cone reaches a (generous ranges, then filtered exactly).
+  std::vector<VertexId> candidates;
+  add_range(xtree, c.level - 1, (c.pos - 3) / 2 - 1, (c.pos + 2) / 2 + 1,
+            candidates);
+  add_range(xtree, c.level - 2, (c.pos - 5) / 4 - 1, (c.pos + 2) / 4 + 1,
+            candidates);
+  for (VertexId b : candidates) {
+    if (in_n_set(xtree, b, a)) out.push_back(b);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  out.erase(std::remove(out.begin(), out.end(), a), out.end());
+  return out;
+}
+
+}  // namespace xt

@@ -1,0 +1,33 @@
+// The neighbourhood N(a) of Figure 2: all X-tree vertices reachable
+// from a by at most three horizontal edges, or by at most two
+// downward edges followed by at most two horizontal edges.
+//
+// Condition (3') of the Theorem 1 proof promises that the image of a
+// guest edge always lands inside N of the shallower endpoint's image;
+// §3 turns |N(a) - {a}| <= 20 plus the <= 5 "reverse-only" vertices
+// into the degree bound 25*16 + 15 = 415 of the universal graph.
+#pragma once
+
+#include <vector>
+
+#include "topology/xtree.hpp"
+
+namespace xt {
+
+/// N(a), including a itself.  |N(a)| <= 21.
+std::vector<VertexId> n_set(const XTree& xtree, VertexId a);
+
+/// True iff b is in N(a).
+bool in_n_set(const XTree& xtree, VertexId a, VertexId b);
+
+/// The symmetric closure N(a) ∪ N^{-1}(a) \ {a} — the potential images
+/// of neighbours of a guest node placed on a; size <= 25.
+std::vector<VertexId> n_set_symmetric(const XTree& xtree, VertexId a);
+
+/// Condition (3') of the Theorem 1 proof: for host vertices a, b
+/// carrying adjacent guest nodes, the deeper image must lie in N of
+/// the shallower one.  Implies X-tree distance <= 3 (but is stricter —
+/// this is the relation the universal graph of Theorem 4 wires up).
+bool respects_condition_3prime(const XTree& xtree, VertexId a, VertexId b);
+
+}  // namespace xt

@@ -1,0 +1,115 @@
+#include "core/universal_graph.hpp"
+
+#include <vector>
+
+#include "core/nset.hpp"
+#include "core/xtree_embedder.hpp"
+#include "topology/xtree.hpp"
+#include "util/check.hpp"
+
+namespace xt {
+
+UniversalGraph build_universal_graph(std::int32_t xtree_height) {
+  const XTree xtree(xtree_height);
+  UniversalGraph out;
+  out.xtree_height = xtree_height;
+  out.num_nodes = static_cast<NodeId>(16 * (xtree.num_vertices()));
+  GraphBuilder builder(out.num_nodes);
+  for (VertexId a = 0; a < xtree.num_vertices(); ++a) {
+    // Intra-vertex clique over the 16 slots.
+    for (std::int32_t s = 0; s < 16; ++s) {
+      for (std::int32_t t = s + 1; t < 16; ++t)
+        builder.add_edge(out.vertex_of(a, s), out.vertex_of(a, t));
+    }
+    // Slot-complete edges to every vertex of N(a) (the reverse
+    // direction is added when the other endpoint is processed).
+    for (VertexId b : n_set(xtree, a)) {
+      if (b == a) continue;
+      for (std::int32_t s = 0; s < 16; ++s) {
+        for (std::int32_t t = 0; t < 16; ++t)
+          builder.add_edge(out.vertex_of(a, s), out.vertex_of(b, t));
+      }
+    }
+  }
+  out.graph = builder.build();
+  return out;
+}
+
+Embedding universal_spanning_embedding(const BinaryTree& guest,
+                                       const UniversalGraph& universal,
+                                       std::int64_t* edges_outside) {
+  XT_CHECK_MSG(guest.num_nodes() == universal.num_nodes,
+               "guest size " << guest.num_nodes() << " != universal size "
+                             << universal.num_nodes);
+  XTreeEmbedder::Options opt;
+  opt.height = universal.xtree_height;
+  auto t1 = XTreeEmbedder::embed(guest, opt);
+
+  Embedding out(guest.num_nodes(), universal.num_nodes);
+  std::vector<std::int32_t> next_slot(
+      static_cast<std::size_t>((std::int64_t{2} << universal.xtree_height) -
+                               1),
+      0);
+  for (NodeId v = 0; v < guest.num_nodes(); ++v) {
+    const VertexId h = t1.embedding.host_of(v);
+    const std::int32_t slot = next_slot[static_cast<std::size_t>(h)]++;
+    XT_CHECK(slot < 16);
+    out.place(v, universal.vertex_of(h, slot));
+  }
+  XT_CHECK(out.injective());
+
+  if (edges_outside != nullptr) {
+    *edges_outside = 0;
+    for (const auto& [u, v] : guest.edges()) {
+      if (!universal.graph.has_edge(out.host_of(u), out.host_of(v)))
+        ++*edges_outside;
+    }
+  }
+  return out;
+}
+
+Embedding universal_subgraph_embedding(const BinaryTree& guest,
+                                       const UniversalGraph& universal,
+                                       std::int64_t* edges_outside) {
+  XT_CHECK_MSG(guest.num_nodes() <= universal.num_nodes,
+               "guest larger than the universal graph");
+  // Pad the guest to the exact spanning size with a pendant chain
+  // (node ids 0..n-1 are preserved, padding ids follow).
+  BinaryTree padded = BinaryTree::single();
+  for (NodeId v = 1; v < guest.num_nodes(); ++v)
+    padded.add_child(guest.parent(v));
+  NodeId hook = kInvalidNode;
+  for (NodeId v = 0; v < padded.num_nodes(); ++v) {
+    if (padded.num_children(v) < 2) {
+      hook = v;
+      break;
+    }
+  }
+  XT_CHECK(hook != kInvalidNode);
+  while (padded.num_nodes() < universal.num_nodes)
+    hook = padded.add_child(hook);
+
+  const Embedding full =
+      universal_spanning_embedding(padded, universal, nullptr);
+  Embedding out(guest.num_nodes(), universal.num_nodes);
+  for (NodeId v = 0; v < guest.num_nodes(); ++v)
+    out.place(v, full.host_of(v));
+  XT_CHECK(out.injective());
+
+  if (edges_outside != nullptr) {
+    *edges_outside = 0;
+    for (const auto& [u, v] : guest.edges()) {
+      if (!universal.graph.has_edge(out.host_of(u), out.host_of(v)))
+        ++*edges_outside;
+    }
+  }
+  return out;
+}
+
+std::int32_t universal_height_for(NodeId n) {
+  std::int32_t r = 1;
+  while ((std::int64_t{1} << (r + 5)) - 16 < n) ++r;
+  return r;
+}
+
+}  // namespace xt

@@ -1,0 +1,63 @@
+// Theorem 4: a bounded-degree universal graph for binary trees.
+//
+// For n = 2^t - 16 = 16*(2^{r+1} - 1) with r = t - 5, the graph G_n
+// has one vertex per (X(r) vertex, slot in 0..15) pair and edges
+//
+//   * between the 16 slots of one X-tree vertex (15 per vertex), and
+//   * between every slot of a and every slot of b whenever b lies in
+//     N(a) or a lies in N(b)  (<= 25 * 16 per vertex),
+//
+// for a degree bound of 25*16 + 15 = 415.  Because the Theorem 1
+// embedding satisfies condition (3'), placing a guest tree with it and
+// assigning slots injectively realises the tree as a spanning subgraph
+// of G_n.
+#pragma once
+
+#include <cstdint>
+
+#include "btree/binary_tree.hpp"
+#include "embedding/embedding.hpp"
+#include "graph/graph.hpp"
+
+namespace xt {
+
+struct UniversalGraph {
+  Graph graph;
+  std::int32_t xtree_height = 0;  // r
+  NodeId num_nodes = 0;           // n = 16*(2^{r+1}-1)
+
+  /// Vertex id of (X-tree vertex, slot).
+  [[nodiscard]] VertexId vertex_of(VertexId xtree_vertex,
+                                   std::int32_t slot) const {
+    return xtree_vertex * 16 + slot;
+  }
+};
+
+/// Builds G_n for X-tree height r (i.e. n = 2^{r+5} - 16 nodes).
+UniversalGraph build_universal_graph(std::int32_t xtree_height);
+
+/// Runs the Theorem 1 embedding of `guest` (which must have exactly
+/// universal.num_nodes nodes), assigns slots injectively, and returns
+/// the guest -> G_n vertex map.  `edges_outside` receives the number
+/// of guest edges NOT realised by G_n edges (0 when the embedding
+/// respected condition (3') everywhere).
+Embedding universal_spanning_embedding(const BinaryTree& guest,
+                                       const UniversalGraph& universal,
+                                       std::int64_t* edges_outside);
+
+/// The generalisation the paper leaves as future work ("we have no
+/// doubt that one could generalize this result to hold also for
+/// arbitrary n"): any binary tree with AT MOST universal.num_nodes
+/// nodes embeds injectively into G_n with every guest edge realised
+/// (subgraph universality rather than spanning).  Implemented by
+/// padding the guest with a pendant chain to the exact size, running
+/// the Theorem 1 pipeline, and dropping the padding.
+Embedding universal_subgraph_embedding(const BinaryTree& guest,
+                                       const UniversalGraph& universal,
+                                       std::int64_t* edges_outside);
+
+/// Smallest X-tree height r such that G (of 2^{r+5}-16 nodes) can host
+/// a guest of n nodes via universal_subgraph_embedding.
+std::int32_t universal_height_for(NodeId n);
+
+}  // namespace xt

@@ -1,0 +1,1016 @@
+#include "core/xtree_embedder.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <limits>
+#include <cstdio>
+#include <utility>
+
+#include "core/nset.hpp"
+#include "separator/piece.hpp"
+#include "separator/splitter.hpp"
+#include "util/check.hpp"
+
+namespace xt {
+namespace {
+
+/// A piece hanging off the partial embedding: the piece itself plus
+/// its characteristic address (the single host vertex holding all of
+/// its embedded neighbours, paper condition (6)).
+struct Attached {
+  Piece piece;
+  VertexId char_addr = kInvalidVertex;
+};
+
+class EmbedderImpl {
+ public:
+  EmbedderImpl(const BinaryTree& guest, const XTreeEmbedder::Options& opt)
+      : guest_(guest),
+        opt_(opt),
+        height_(opt.height >= 0
+                    ? opt.height
+                    : XTreeEmbedder::optimal_height(guest.num_nodes(),
+                                                    opt.load)),
+        host_(height_),
+        assign_(static_cast<std::size_t>(guest.num_nodes()), kInvalidVertex),
+        load_(static_cast<std::size_t>(host_.num_vertices()), 0),
+        pool_(static_cast<std::size_t>(host_.num_vertices())),
+        weight_(static_cast<std::size_t>(host_.num_vertices()), 0) {
+    XT_CHECK(guest.num_nodes() >= 1);
+    XT_CHECK(opt.load >= 1);
+    XT_CHECK_MSG(static_cast<std::int64_t>(opt.load) *
+                         (host_.num_vertices()) >=
+                     guest.num_nodes(),
+                 "X(" << height_ << ") cannot hold " << guest.num_nodes()
+                      << " nodes at load " << opt.load);
+    stats_.height = height_;
+  }
+
+  XTreeEmbedder::Result run() {
+    seed_round0();
+    for (std::int32_t round = 1; round <= height_; ++round) {
+      run_round(round);
+      if (opt_.audit_rounds) audit(round);
+    }
+    final_repair();
+    XT_CHECK(placed_count_ == guest_.num_nodes());
+    Embedding emb(guest_.num_nodes(), host_.num_vertices());
+    for (NodeId v = 0; v < guest_.num_nodes(); ++v)
+      emb.place(v, assign_[static_cast<std::size_t>(v)]);
+    return {std::move(emb), std::move(stats_)};
+  }
+
+  [[nodiscard]] bool is_placed(NodeId v) const {
+    return assign_[static_cast<std::size_t>(v)] != kInvalidVertex;
+  }
+  [[nodiscard]] VertexId host_of(NodeId v) const {
+    return assign_[static_cast<std::size_t>(v)];
+  }
+
+ private:
+  // --- placement ----------------------------------------------------------
+
+  [[nodiscard]] NodeId free_slots(VertexId x) const {
+    return opt_.load - load_[static_cast<std::size_t>(x)];
+  }
+
+  void place(NodeId v, VertexId x) {
+    XT_CHECK_MSG(free_slots(x) > 0, "vertex " << x << " over capacity");
+    XT_CHECK_MSG(!is_placed(v), "guest node placed twice");
+    assign_[static_cast<std::size_t>(v)] = x;
+    ++placed_count_;
+    ++load_[static_cast<std::size_t>(x)];
+    if (opt_.check_discipline) {
+      scratch_nbr_.clear();
+      guest_.neighbors(v, scratch_nbr_);
+      for (NodeId u : scratch_nbr_) {
+        if (!is_placed(u)) continue;
+        const std::int32_t d = host_.distance(host_of(u), x);
+        stats_.max_observed_embed_distance =
+            std::max(stats_.max_observed_embed_distance, d);
+        if (!respects_condition_3prime(host_, host_of(u), x)) {
+          ++stats_.discipline_violations;
+          if (debug_phase_ != nullptr) {
+            std::fprintf(stderr, "VIOL phase=%s node=%d at=%s nbr=%s d=%d\n",
+                         debug_phase_, v, host_.label_of(x).c_str(),
+                         host_.label_of(host_of(u)).c_str(), d);
+          }
+        }
+      }
+    }
+  }
+
+  void place_all(const std::vector<NodeId>& nodes, VertexId x) {
+    for (NodeId v : nodes) place(v, x);
+  }
+
+  void attach(Piece&& piece, VertexId at, VertexId char_addr) {
+    XT_CHECK(piece.num_designated() >= 1);
+    pool_[static_cast<std::size_t>(at)].push_back(
+        {std::move(piece), char_addr});
+  }
+
+  /// Applies a split result: the remain boundary and pieces stay at
+  /// `remain_at`, the extract side goes to `extract_at`.
+  void apply_split(SplitResult&& res, VertexId remain_at,
+                   VertexId extract_at) {
+    place_all(res.embed_remain, remain_at);
+    place_all(res.embed_extract, extract_at);
+    for (auto& p : res.pieces_remain) attach(std::move(p), remain_at, remain_at);
+    for (auto& p : res.pieces_extract)
+      attach(std::move(p), extract_at, extract_at);
+    stats_.median_fixes += res.median_fixes;
+  }
+
+  // --- round 0 ------------------------------------------------------------
+
+  void seed_round0() {
+    // D_0: the first min(load, n) nodes of a BFS from the guest root —
+    // a connected subtree, so every complement component hangs by one
+    // edge (collinearity is immediate).
+    const NodeId take = std::min<NodeId>(opt_.load, guest_.num_nodes());
+    std::vector<NodeId> queue{guest_.root()};
+    std::vector<char> chosen(static_cast<std::size_t>(guest_.num_nodes()), 0);
+    chosen[static_cast<std::size_t>(guest_.root())] = 1;
+    for (std::size_t head = 0;
+         head < queue.size() && queue.size() < static_cast<std::size_t>(take);
+         ++head) {
+      scratch_nbr_.clear();
+      guest_.neighbors(queue[head], scratch_nbr_);
+      for (NodeId v : scratch_nbr_) {
+        if (chosen[static_cast<std::size_t>(v)]) continue;
+        if (queue.size() >= static_cast<std::size_t>(take)) break;
+        chosen[static_cast<std::size_t>(v)] = 1;
+        queue.push_back(v);
+      }
+    }
+    const VertexId root = host_.root();
+    for (NodeId v : queue) place(v, root);
+    for (Piece& p : collect_pieces(guest_, chosen))
+      attach(std::move(p), root, root);
+  }
+
+  // --- per-round driver -----------------------------------------------------
+
+  [[nodiscard]] SplitQuality split_quality() const {
+    return opt_.lemma1_only ? SplitQuality::kLemma1 : SplitQuality::kLemma2;
+  }
+
+  /// Balancing cut dispatch: the generic carve-and-refine splitter by
+  /// default, the paper's literal find2 under Options::paper_find2.
+  [[nodiscard]] SplitResult run_split(const Piece& piece, NodeId delta) {
+    if (opt_.paper_find2 && !opt_.lemma1_only)
+      return split_piece_find2(guest_, piece, delta);
+    return split_piece(guest_, piece, delta, split_quality());
+  }
+
+  void run_round(std::int32_t round) {
+    compute_weights(round - 1);
+    for (std::int32_t j = 0; opt_.disable_adjust ? false : j <= round - 2;
+         ++j) {
+      const std::int64_t first = (std::int64_t{1} << j) - 1;
+      const std::int64_t count = std::int64_t{1} << j;
+      for (std::int64_t k = 0; k < count; ++k)
+        adjust(static_cast<VertexId>(first + k), round);
+    }
+    const std::int64_t first = (std::int64_t{1} << (round - 1)) - 1;
+    const std::int64_t count = std::int64_t{1} << (round - 1);
+    for (std::int64_t k = 0; k < count; ++k)
+      split(static_cast<VertexId>(first + k), round);
+    if (!opt_.disable_level_fill) level_fill(round);
+    if (opt_.record_trace) record_trace(round);
+  }
+
+  /// Cross-leaf fill after the SPLIT sweep: a leaf with free slots
+  /// borrows whole pieces from its sibling and horizontal neighbours
+  /// (all within distance <= 3 of any borrowed piece's characteristic
+  /// address).  This is the paper's last-two-levels rearrangement
+  /// applied at every level, and it keeps deficits from accumulating.
+  void level_fill(std::int32_t round) {
+    set_phase("level_fill");
+    const std::int64_t first = (std::int64_t{1} << round) - 1;
+    const std::int64_t count = std::int64_t{1} << round;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::int64_t k = 0; k < count; ++k) {
+        const auto v = static_cast<VertexId>(first + k);
+        if (free_slots(v) == 0) continue;
+        fill_vertex(v);
+        while (free_slots(v) > 0) {
+          const VertexId parent = host_.parent(v);
+          const VertexId sibling =
+              host_.child(parent, 0) == v ? host_.child(parent, 1)
+                                          : host_.child(parent, 0);
+          bool borrowed = false;
+          // Donor ring: sibling and horizontal neighbours up to 3
+          // away.  A piece may be pulled only if its characteristic
+          // address stays within distance 3 of v.
+          const VertexId p1 = host_.predecessor(v);
+          const VertexId s1 = host_.successor(v);
+          const VertexId p2 = p1 == kInvalidVertex ? kInvalidVertex
+                                                   : host_.predecessor(p1);
+          const VertexId s2 = s1 == kInvalidVertex ? kInvalidVertex
+                                                   : host_.successor(s1);
+          const VertexId p3 = p2 == kInvalidVertex ? kInvalidVertex
+                                                   : host_.predecessor(p2);
+          const VertexId s3 = s2 == kInvalidVertex ? kInvalidVertex
+                                                   : host_.successor(s2);
+          for (VertexId donor : {sibling, p1, s1, p2, s2, p3, s3}) {
+            if (donor == kInvalidVertex) continue;
+            auto& dp = pool_[static_cast<std::size_t>(donor)];
+            for (std::size_t i = 0; i < dp.size(); ++i) {
+              if (!respects_condition_3prime(host_, dp[i].char_addr, v))
+                continue;
+              if (dp[i].piece.num_designated() <=
+                  static_cast<int>(free_slots(v))) {
+                Attached unit = std::move(dp[i]);
+                dp[i] = std::move(dp.back());
+                dp.pop_back();
+                SplitResult res = extract_whole_piece(guest_, unit.piece);
+                stats_.peel_fills +=
+                    static_cast<std::int64_t>(res.embed_extract.size());
+                place_all(res.embed_extract, v);
+                for (auto& p : res.pieces_extract) attach(std::move(p), v, v);
+                borrowed = true;
+                progress = true;
+                break;
+              }
+            }
+            if (borrowed) break;
+          }
+          if (!borrowed && round == height_) {
+            // Final level only: a two-designated piece may surrender a
+            // single designated node even though the remainder then
+            // touches two embedded vertices — there are no further
+            // SPLIT rounds to confuse, and the repair pass works from
+            // real adjacency, not characteristic addresses.
+            for (VertexId d :
+                 {sibling, p1, s1, p2, s2, p3, s3}) {
+              if (d == kInvalidVertex) continue;
+              auto& dp = pool_[static_cast<std::size_t>(d)];
+              for (std::size_t i = 0; i < dp.size(); ++i) {
+                if (dp[i].piece.num_designated() != 2) continue;
+                if (!respects_condition_3prime(host_, dp[i].char_addr, v))
+                continue;
+                Attached unit = std::move(dp[i]);
+                dp[i] = std::move(dp.back());
+                dp.pop_back();
+                const NodeId keep = unit.piece.designated[1];
+                Piece half = std::move(unit.piece);
+                half.designated[1] = kInvalidNode;
+                SplitResult res = extract_whole_piece(guest_, half);
+                stats_.peel_fills +=
+                    static_cast<std::int64_t>(res.embed_extract.size());
+                place_all(res.embed_extract, v);
+                for (auto& p : res.pieces_extract) {
+                  if (std::find(p.nodes.begin(), p.nodes.end(), keep) !=
+                      p.nodes.end())
+                    p.add_designated(keep);
+                  attach(std::move(p), d, unit.char_addr);
+                }
+                borrowed = true;
+                progress = true;
+                break;
+              }
+              if (borrowed) break;
+            }
+          }
+          if (!borrowed) break;
+          fill_vertex(v);
+        }
+      }
+    }
+  }
+
+  // Subtree weights (embedded + attached mass) for all vertices on
+  // levels 0..top_level, attributing deeper deposits to their
+  // top_level ancestors' children pools.
+  void compute_weights(std::int32_t top_level) {
+    const VertexId last =
+        static_cast<VertexId>((std::int64_t{2} << top_level) - 2);
+    for (VertexId v = last; v >= 0; --v) {
+      std::int64_t w = load_[static_cast<std::size_t>(v)];
+      for (const auto& a : pool_[static_cast<std::size_t>(v)])
+        w += a.piece.size();
+      if (host_.level_of(v) < top_level) {
+        w += weight_[static_cast<std::size_t>(host_.child(v, 0))];
+        w += weight_[static_cast<std::size_t>(host_.child(v, 1))];
+      }
+      weight_[static_cast<std::size_t>(v)] = w;
+    }
+  }
+
+  /// Adds `delta` to the weights of `leaf` (a level-(round-1) vertex)
+  /// and all its ancestors.
+  void bump_weights(VertexId leaf, std::int64_t delta) {
+    for (VertexId v = leaf; v != kInvalidVertex; v = host_.parent(v))
+      weight_[static_cast<std::size_t>(v)] += delta;
+  }
+
+  [[nodiscard]] VertexId descend(VertexId v, int which,
+                                 std::int32_t to_level) const {
+    while (host_.level_of(v) < to_level) v = host_.child(v, which);
+    return v;
+  }
+
+  // --- ADJUST ---------------------------------------------------------------
+
+  void adjust(VertexId a, std::int32_t round) {
+    set_phase("adjust");
+    ++stats_.adjust_calls;
+    const VertexId a0 = host_.child(a, 0);
+    const VertexId a1 = host_.child(a, 1);
+    const std::int64_t diff = weight_[static_cast<std::size_t>(a0)] -
+                              weight_[static_cast<std::size_t>(a1)];
+    if (std::abs(diff) < 2) return;
+
+    // Donor corner leaf D (level round-1) on the heavy side; boundary
+    // vertices vd (heavy corner, level round) and vr = its horizontal
+    // neighbour under the light side.  Paper: trees attached to
+    // a01^{i-2-|a|} shift to a10^{i-2-|a|}, boundary laid at
+    // a01^{i-1-|a|} and a10^{i-1-|a|}.
+    const bool heavy_left = diff > 0;
+    const VertexId donor = heavy_left ? descend(a0, 1, round - 1)
+                                      : descend(a1, 0, round - 1);
+    const VertexId receiver_leaf =
+        heavy_left ? host_.successor(donor) : host_.predecessor(donor);
+    XT_CHECK(receiver_leaf != kInvalidVertex);
+    const VertexId vd = host_.child(donor, heavy_left ? 1 : 0);
+    const VertexId vr = host_.child(receiver_leaf, heavy_left ? 0 : 1);
+    XT_CHECK(heavy_left ? host_.successor(vd) == vr
+                        : host_.predecessor(vd) == vr);
+
+    std::int64_t remaining = std::abs(diff) / 2;
+    NodeId laid_vd = 0;
+    NodeId laid_vr = 0;
+    // Donor pools: the corner leaf itself, then (the paper's omitted
+    // "revision of ADJUST" corner case, reconstructed) its neighbours
+    // deeper inside the heavy subtree — any piece is eligible as long
+    // as its characteristic address stays within distance 3 of both
+    // boundary vertices.
+    std::vector<VertexId> donors{donor};
+    {
+      VertexId back = donor;
+      for (int step = 0; step < 2; ++step) {
+        back = heavy_left ? host_.predecessor(back) : host_.successor(back);
+        if (back == kInvalidVertex) break;
+        donors.push_back(back);
+      }
+    }
+    auto pick_unit = [&](Attached& out) {
+      for (VertexId d : donors) {
+        auto& dp = pool_[static_cast<std::size_t>(d)];
+        std::size_t best = dp.size();
+        for (std::size_t i = 0; i < dp.size(); ++i) {
+          if (d != donor &&
+              (!respects_condition_3prime(host_, dp[i].char_addr, vd) ||
+               !respects_condition_3prime(host_, dp[i].char_addr, vr)))
+            continue;
+          if (best == dp.size() ||
+              dp[i].piece.size() > dp[best].piece.size())
+            best = i;
+        }
+        if (best < dp.size()) {
+          out = std::move(dp[best]);
+          dp[best] = std::move(dp.back());
+          dp.pop_back();
+          return true;
+        }
+      }
+      return false;
+    };
+    auto& donor_pool = pool_[static_cast<std::size_t>(donor)];
+    while (remaining >= 1) {
+      Attached unit;
+      if (!pick_unit(unit)) break;
+
+      const NodeId psize = unit.piece.size();
+      const NodeId embeds_needed = std::min<NodeId>(
+          2, static_cast<NodeId>(unit.piece.num_designated()));
+      // Budget: the paper lays at most 4 ADJUST nodes per corner.  We
+      // stop shifting rather than exceed it (shortfall is recorded).
+      if (laid_vr + embeds_needed > 4 || free_slots(vr) < embeds_needed) {
+        donor_pool.push_back(std::move(unit));
+        break;
+      }
+      std::int64_t moved = 0;
+      if (3 * static_cast<std::int64_t>(psize) <= 4 * remaining) {
+        // Shift the whole piece: designated nodes land on vr, the rest
+        // re-forms attached to vr.
+        SplitResult res = extract_whole_piece(guest_, unit.piece);
+        laid_vr += static_cast<NodeId>(res.embed_extract.size());
+        apply_split(std::move(res), vd, vr);
+        ++stats_.whole_moves;
+        moved = psize;
+      } else {
+        // Lemma 2 split: extract ~remaining nodes across the corner.
+        SplitResult res = run_split(unit.piece,
+                                    static_cast<NodeId>(remaining));
+        // Boundary sets are usually <= 4 but a collinearity promotion
+        // can add a node; verify against the actual result.
+        if (static_cast<NodeId>(res.embed_remain.size()) > free_slots(vd) ||
+            static_cast<NodeId>(res.embed_extract.size()) > free_slots(vr)) {
+          donor_pool.push_back(std::move(unit));
+          break;
+        }
+        laid_vd += static_cast<NodeId>(res.embed_remain.size());
+        laid_vr += static_cast<NodeId>(res.embed_extract.size());
+        moved = res.extract_total;
+        apply_split(std::move(res), vd, vr);
+        ++stats_.lemma_splits;
+        ++stats_.adjust_shifts;
+        remaining -= moved;
+        bump_weights(donor, -moved);
+        bump_weights(receiver_leaf, moved);
+        break;  // a split lands within the lemma tolerance of the target
+      }
+      ++stats_.adjust_shifts;
+      remaining -= moved;
+      bump_weights(donor, -moved);
+      bump_weights(receiver_leaf, moved);
+    }
+    if (remaining > 0) {
+      stats_.unmet_adjust_demand += remaining;
+      if (debug_phase_ != nullptr) {
+        std::fprintf(stderr,
+                     "UNMET round=%d a=%s unmet=%lld diff=%lld donorpool=%zu\n",
+                     round, host_.label_of(a).c_str(),
+                     static_cast<long long>(remaining),
+                     static_cast<long long>(diff),
+                     pool_[static_cast<std::size_t>(donor)].size());
+      }
+    }
+    if (laid_vd > 4 || laid_vr > 4) ++stats_.adjust_budget_overruns;
+  }
+
+  // --- SPLIT ---------------------------------------------------------------
+
+  void split(VertexId b, std::int32_t round) {
+    set_phase("split");
+    ++stats_.split_calls;
+    const VertexId c0 = host_.child(b, 0);
+    const VertexId c1 = host_.child(b, 1);
+
+    // Gather units: pieces attached to b plus this round's ADJUST
+    // deposits already sitting at the children (the paper's S3 set,
+    // re-assignable between siblings).
+    std::vector<Attached> units;
+    for (VertexId src : {b, c0, c1}) {
+      auto& p = pool_[static_cast<std::size_t>(src)];
+      for (auto& a : p) units.push_back(std::move(a));
+      p.clear();
+    }
+
+    // Greedy LPT assignment (stands in for the paper's pairwise
+    // interval matching; both bound the imbalance by the largest
+    // unit).  Base loads are this round's ADJUST boundary nodes.
+    std::sort(units.begin(), units.end(),
+              [](const Attached& x, const Attached& y) {
+                return x.piece.size() > y.piece.size();
+              });
+    std::array<std::int64_t, 2> mass{load_[static_cast<std::size_t>(c0)],
+                                     load_[static_cast<std::size_t>(c1)]};
+    std::vector<int> side(units.size(), 0);
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      const int s = mass[0] <= mass[1] ? 0 : 1;
+      side[i] = s;
+      mass[static_cast<std::size_t>(s)] += units[i].piece.size();
+    }
+
+    // Orientation (paper: "the larger difference affects the larger
+    // set"): mirror the whole assignment if that strictly improves the
+    // balance, and otherwise orient the heavier half toward the
+    // lighter outside neighbour so next round's ADJUST finds mass at
+    // the right corner.
+    {
+      const std::int64_t base0 = load_[static_cast<std::size_t>(c0)];
+      const std::int64_t base1 = load_[static_cast<std::size_t>(c1)];
+      const std::int64_t m0 = mass[0] - base0;
+      const std::int64_t m1 = mass[1] - base1;
+      const std::int64_t keep = std::abs(base0 + m0 - base1 - m1);
+      const std::int64_t flip = std::abs(base0 + m1 - base1 - m0);
+      bool mirror = flip < keep;
+      if (flip == keep && m0 != m1) {
+        const VertexId left_nbr = host_.predecessor(b);
+        const VertexId right_nbr = host_.successor(b);
+        const std::int64_t wl =
+            left_nbr == kInvalidVertex
+                ? std::numeric_limits<std::int64_t>::max()
+                : weight_[static_cast<std::size_t>(left_nbr)];
+        const std::int64_t wr =
+            right_nbr == kInvalidVertex
+                ? std::numeric_limits<std::int64_t>::max()
+                : weight_[static_cast<std::size_t>(right_nbr)];
+        const bool heavier_left = m0 > m1;
+        const bool want_heavy_left = wl <= wr;
+        mirror = heavier_left != want_heavy_left;
+      }
+      if (mirror) {
+        for (auto& s : side) s ^= 1;
+      }
+    }
+
+    // Process units: pieces whose characteristic address is two or
+    // more levels up are *due* — their designated nodes are laid out
+    // now (the paper's S1 layout and the "children of grandparent
+    // nodes" rule).  Everything else just attaches.
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      VertexId c = side[i] == 0 ? c0 : c1;
+      Attached& unit = units[i];
+      const std::int32_t char_level = host_.level_of(unit.char_addr);
+      if (char_level <= round - 2) {
+        const auto embeds =
+            static_cast<NodeId>(unit.piece.num_designated());
+        if (free_slots(c) < embeds) {
+          const VertexId other = (c == c0) ? c1 : c0;
+          if (free_slots(other) >= embeds) c = other;
+        }
+        if (free_slots(c) >= embeds) {
+          SplitResult res = extract_whole_piece(guest_, unit.piece);
+          place_all(res.embed_extract, c);
+          for (auto& p : res.pieces_extract) attach(std::move(p), c, c);
+        } else {
+          // No room anywhere: keep it attached (overdue); a later
+          // round or the repair phase resolves it and the measured
+          // dilation reports the cost.
+          attach(std::move(unit.piece), c, unit.char_addr);
+        }
+      } else {
+        attach(std::move(unit.piece), c, unit.char_addr);
+      }
+    }
+
+    // Fine balance between the two children with one Lemma 2 split
+    // across the sibling edge (paper: "the 4 free places ... reduce
+    // the difference between A(a0) and A(a1)").
+    balance_children(c0, c1);
+
+    fill_vertex(c0);
+    fill_vertex(c1);
+  }
+
+  [[nodiscard]] std::int64_t vertex_mass(VertexId v) const {
+    std::int64_t w = load_[static_cast<std::size_t>(v)];
+    for (const auto& a : pool_[static_cast<std::size_t>(v)])
+      w += a.piece.size();
+    return w;
+  }
+
+  void balance_children(VertexId c0, VertexId c1) {
+    set_phase("balance");
+    const std::int64_t diff = vertex_mass(c0) - vertex_mass(c1);
+    const std::int64_t target = std::abs(diff) / 2;
+    if (target < 1) return;
+    const VertexId heavy = diff > 0 ? c0 : c1;
+    const VertexId light = diff > 0 ? c1 : c0;
+    auto& hp = pool_[static_cast<std::size_t>(heavy)];
+    if (hp.empty()) return;
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < hp.size(); ++i) {
+      if (hp[i].piece.size() > hp[best].piece.size()) best = i;
+    }
+    Attached unit = std::move(hp[best]);
+    hp[best] = std::move(hp.back());
+    hp.pop_back();
+    const NodeId psize = unit.piece.size();
+    if (3 * static_cast<std::int64_t>(psize) <= 4 * target) {
+      SplitResult res = extract_whole_piece(guest_, unit.piece);
+      if (static_cast<NodeId>(res.embed_extract.size()) > free_slots(light)) {
+        hp.push_back(std::move(unit));
+        return;
+      }
+      apply_split(std::move(res), heavy, light);
+      ++stats_.whole_moves;
+    } else {
+      SplitResult res = run_split(unit.piece, static_cast<NodeId>(target));
+      if (static_cast<NodeId>(res.embed_remain.size()) > free_slots(heavy) ||
+          static_cast<NodeId>(res.embed_extract.size()) > free_slots(light)) {
+        hp.push_back(std::move(unit));
+        return;
+      }
+      apply_split(std::move(res), heavy, light);
+      ++stats_.lemma_splits;
+    }
+  }
+
+  /// Fills vertex c to `load` by peeling attached pieces: laying out
+  /// all designated nodes of a piece keeps every re-formed component's
+  /// embedded neighbours on the single vertex c.
+  void fill_vertex(VertexId c) {
+    set_phase("fill");
+    auto& pool = pool_[static_cast<std::size_t>(c)];
+    while (free_slots(c) > 0 && !pool.empty()) {
+      // Prefer the most urgent piece (lowest characteristic address
+      // level), then the smallest, so intervals clear early and
+      // fragments get absorbed whole.
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < pool.size(); ++i) {
+        const auto li = host_.level_of(pool[i].char_addr);
+        const auto lb = host_.level_of(pool[best].char_addr);
+        if (li < lb ||
+            (li == lb && pool[i].piece.size() < pool[best].piece.size()))
+          best = i;
+      }
+      if (pool[best].piece.num_designated() > free_slots(c)) {
+        // Find any piece whose designated fit into the free slots, or
+        // a two-designated piece already addressed at c — that one can
+        // legally surrender a single designated node (the remaining
+        // component keeps its other neighbour on the same vertex c).
+        bool found = false;
+        std::size_t halvable = pool.size();
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+          if (pool[i].piece.num_designated() <= free_slots(c)) {
+            best = i;
+            found = true;
+            break;
+          }
+          if (pool[i].char_addr == c) halvable = i;
+        }
+        if (!found && halvable < pool.size()) {
+          Attached unit = std::move(pool[halvable]);
+          pool[halvable] = std::move(pool.back());
+          pool.pop_back();
+          peel_single_designated(c, std::move(unit));
+          continue;
+        }
+        if (!found) break;  // deficit; repair handles the remainder
+      }
+      Attached unit = std::move(pool[best]);
+      pool[best] = std::move(pool.back());
+      pool.pop_back();
+      SplitResult res = extract_whole_piece(guest_, unit.piece);
+      stats_.peel_fills += static_cast<std::int64_t>(res.embed_extract.size());
+      place_all(res.embed_extract, c);
+      for (auto& p : res.pieces_extract) attach(std::move(p), c, c);
+    }
+  }
+
+  /// Lays out only designated[0] of a two-designated piece whose
+  /// characteristic address is already c: the component retaining
+  /// designated[1] keeps all its embedded neighbours on c.
+  void peel_single_designated(VertexId c, Attached unit) {
+    XT_CHECK(unit.char_addr == c && unit.piece.num_designated() == 2);
+    const NodeId keep = unit.piece.designated[1];
+    Piece half = std::move(unit.piece);
+    half.designated[1] = kInvalidNode;
+    SplitResult res = extract_whole_piece(guest_, half);
+    stats_.peel_fills += static_cast<std::int64_t>(res.embed_extract.size());
+    place_all(res.embed_extract, c);
+    for (auto& p : res.pieces_extract) {
+      if (std::find(p.nodes.begin(), p.nodes.end(), keep) != p.nodes.end())
+        p.add_designated(keep);
+      attach(std::move(p), c, c);
+    }
+  }
+
+  // --- final repair ---------------------------------------------------------
+
+  void final_repair() {
+    set_phase("repair");
+    if (debug_phase_ != nullptr) {
+      for (VertexId v = 0; v < host_.num_vertices(); ++v) {
+        std::int64_t m = 0;
+        for (const auto& a : pool_[static_cast<std::size_t>(v)]) m += a.piece.size();
+        if (m > 0 || free_slots(v) > 0)
+          std::fprintf(stderr, "LEAF %s pool=%lld free=%d\n",
+                       host_.label_of(v).c_str(), (long long)m, free_slots(v));
+      }
+    }
+    // Exact-form inputs typically leave nothing here; any residue is
+    // placed node by node, each at the nearest vertex with a free slot
+    // (the paper's "simple rearrangement in the last two levels",
+    // generalised to a measured repair).  Single-node placement copes
+    // with fragmented capacity where whole-piece moves cannot.
+    for (auto& pool : pool_) pool.clear();
+    std::vector<NodeId> frontier;
+    std::vector<NodeId> nbr;
+    for (NodeId v = 0; v < guest_.num_nodes(); ++v) {
+      if (is_placed(v)) continue;
+      nbr.clear();
+      guest_.neighbors(v, nbr);
+      for (NodeId u : nbr) {
+        if (is_placed(u)) {
+          frontier.push_back(v);
+          break;
+        }
+      }
+    }
+    for (std::size_t head = 0; head < frontier.size(); ++head) {
+      const NodeId v = frontier[head];
+      if (is_placed(v)) continue;
+      nbr.clear();
+      guest_.neighbors(v, nbr);
+      VertexId anchor = kInvalidVertex;
+      for (NodeId u : nbr) {
+        if (is_placed(u)) {
+          anchor = host_of(u);
+          break;
+        }
+      }
+      XT_CHECK(anchor != kInvalidVertex);
+      repair_place(v, anchor);
+      ++stats_.repair_placements;
+      for (NodeId u : nbr) {
+        if (!is_placed(u)) frontier.push_back(u);
+      }
+    }
+  }
+
+  /// Places a stranded node: directly if a free vertex exists within
+  /// distance 3 of all its placed neighbours, otherwise by cascading —
+  /// sliding one resident per vertex along the host path towards the
+  /// nearest free capacity so that a slot opens next to the anchor
+  /// (the generalised "rearrangement in the last two levels").
+  void repair_place(NodeId v, VertexId anchor) {
+    const VertexId direct = best_free_near(anchor, v);
+    std::vector<NodeId> gnbr;
+    guest_.neighbors(v, gnbr);
+    bool direct_ok = true;
+    for (NodeId u : gnbr) {
+      if (is_placed(u) &&
+          !respects_condition_3prime(host_, host_of(u), direct))
+        direct_ok = false;
+    }
+    if (direct_ok) {
+      place(v, direct);
+      return;
+    }
+    // Cascade along a shortest host path anchor -> direct.
+    const std::vector<VertexId> path = host_path(anchor, direct);
+    if (path.size() < 2) {
+      // direct == anchor: no sliding can improve the pre-existing
+      // geometry of the other neighbours; take the free slot.
+      place(v, direct);
+      return;
+    }
+    for (std::size_t i = path.size() - 1; i >= 2; --i) {
+      shift_resident(path[i - 1], path[i]);
+    }
+    place(v, path[1]);
+  }
+
+  /// Moves the resident of `from` that tolerates the move best (its
+  /// worst guest-edge distance after moving to `to` is minimal).
+  void shift_resident(VertexId from, VertexId to) {
+    XT_CHECK(free_slots(to) > 0);
+    NodeId best = kInvalidNode;
+    std::int32_t best_score = 0;
+    std::vector<NodeId> gnbr;
+    // Residents scan: guest is a few hundred thousand nodes at most
+    // and cascades are rare (a handful per run), so a linear scan is
+    // fine here.
+    for (NodeId u = 0; u < guest_.num_nodes(); ++u) {
+      if (host_of(u) != from) continue;
+      gnbr.clear();
+      guest_.neighbors(u, gnbr);
+      std::int32_t score = 0;
+      std::int32_t worst_dist = 0;
+      for (NodeId w : gnbr) {
+        if (u == w || !is_placed(w)) continue;
+        if (!respects_condition_3prime(host_, host_of(w), to)) score += 1000;
+        worst_dist = std::max(worst_dist, host_.distance(host_of(w), to));
+      }
+      score += worst_dist;
+      if (best == kInvalidNode || score < best_score) {
+        best = u;
+        best_score = score;
+      }
+    }
+    XT_CHECK(best != kInvalidNode);
+    assign_[static_cast<std::size_t>(best)] = to;
+    --load_[static_cast<std::size_t>(from)];
+    ++load_[static_cast<std::size_t>(to)];
+    ++stats_.repair_relocations;
+    stats_.max_observed_embed_distance = std::max(
+        stats_.max_observed_embed_distance, best_score % 1000);
+    if (best_score >= 1000) ++stats_.discipline_violations;
+  }
+
+  /// One shortest path in the host between two vertices (BFS over the
+  /// implicit adjacency).
+  [[nodiscard]] std::vector<VertexId> host_path(VertexId from,
+                                                VertexId to) const {
+    std::vector<VertexId> parent(
+        static_cast<std::size_t>(host_.num_vertices()), kInvalidVertex);
+    std::vector<char> seen(static_cast<std::size_t>(host_.num_vertices()), 0);
+    std::vector<VertexId> queue{from};
+    seen[static_cast<std::size_t>(from)] = 1;
+    std::vector<VertexId> nbr;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const VertexId x = queue[head];
+      if (x == to) break;
+      nbr.clear();
+      host_.neighbors(x, nbr);
+      for (VertexId y : nbr) {
+        if (!seen[static_cast<std::size_t>(y)]) {
+          seen[static_cast<std::size_t>(y)] = 1;
+          parent[static_cast<std::size_t>(y)] = x;
+          queue.push_back(y);
+        }
+      }
+    }
+    std::vector<VertexId> path;
+    for (VertexId x = to; x != kInvalidVertex;
+         x = parent[static_cast<std::size_t>(x)])
+      path.push_back(x);
+    std::reverse(path.begin(), path.end());
+    XT_CHECK(path.front() == from && path.back() == to);
+    return path;
+  }
+
+  /// Free vertex minimising the worst distance to v's already-placed
+  /// guest neighbours; candidates are the free vertices nearest to the
+  /// anchor (BFS rings, a couple of rings past the first hit).
+  [[nodiscard]] VertexId best_free_near(VertexId anchor, NodeId v) const {
+    std::vector<NodeId> gnbr;
+    guest_.neighbors(v, gnbr);
+    std::vector<VertexId> anchors;
+    for (NodeId u : gnbr) {
+      if (is_placed(u)) anchors.push_back(host_of(u));
+    }
+    std::vector<char> seen(static_cast<std::size_t>(host_.num_vertices()), 0);
+    std::vector<std::pair<VertexId, std::int32_t>> queue{{anchor, 0}};
+    seen[static_cast<std::size_t>(anchor)] = 1;
+    VertexId best = kInvalidVertex;
+    std::int32_t best_score = 0;
+    std::int32_t stop_depth = -1;
+    std::vector<VertexId> hnbr;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const auto [x, depth] = queue[head];
+      if (stop_depth >= 0 && depth > stop_depth) break;
+      if (free_slots(x) > 0) {
+        // Lexicographic score: condition-3' violations first, then the
+        // worst host distance to any placed guest neighbour.
+        std::int32_t score = 0;
+        std::int32_t worst_dist = 0;
+        for (VertexId a : anchors) {
+          if (!respects_condition_3prime(host_, a, x)) score += 1000;
+          worst_dist = std::max(worst_dist, host_.distance(a, x));
+        }
+        score += worst_dist;
+        if (best == kInvalidVertex || score < best_score) {
+          best = x;
+          best_score = score;
+        }
+        if (stop_depth < 0) stop_depth = depth + 2;
+      }
+      hnbr.clear();
+      host_.neighbors(x, hnbr);
+      for (VertexId y : hnbr) {
+        if (!seen[static_cast<std::size_t>(y)]) {
+          seen[static_cast<std::size_t>(y)] = 1;
+          queue.emplace_back(y, depth + 1);
+        }
+      }
+    }
+    XT_CHECK_MSG(best != kInvalidVertex, "host out of capacity during repair");
+    return best;
+  }
+
+  /// Nearest vertex (BFS over the host) with >= slots free capacity.
+  [[nodiscard]] VertexId nearest_free(VertexId from, NodeId slots) const {
+    std::vector<char> seen(static_cast<std::size_t>(host_.num_vertices()), 0);
+    std::vector<VertexId> queue{from};
+    seen[static_cast<std::size_t>(from)] = 1;
+    std::vector<VertexId> nbr;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const VertexId x = queue[head];
+      if (free_slots(x) >= slots) return x;
+      nbr.clear();
+      host_.neighbors(x, nbr);
+      for (VertexId y : nbr) {
+        if (!seen[static_cast<std::size_t>(y)]) {
+          seen[static_cast<std::size_t>(y)] = 1;
+          queue.push_back(y);
+        }
+      }
+    }
+    XT_CHECK_MSG(false, "host out of capacity during repair");
+    return kInvalidVertex;
+  }
+
+  // --- instrumentation -------------------------------------------------------
+
+  void record_trace(std::int32_t round) {
+    compute_weights(round);
+    std::vector<std::int64_t> per_level;
+    std::vector<std::int64_t> occupancy;
+    for (std::int32_t j = 0; j < round; ++j) {
+      std::int64_t worst = 0;
+      const std::int64_t first = (std::int64_t{1} << j) - 1;
+      for (std::int64_t k = 0; k < (std::int64_t{1} << j); ++k) {
+        const auto v = static_cast<VertexId>(first + k);
+        worst = std::max(
+            worst,
+            std::abs(weight_[static_cast<std::size_t>(host_.child(v, 0))] -
+                     weight_[static_cast<std::size_t>(host_.child(v, 1))]));
+      }
+      per_level.push_back(worst);
+    }
+    // a(j,i): deviation of each level-j region's mass from its final
+    // target n_{r-j} = load * (2^{r-j+1} - 1).
+    for (std::int32_t j = 0; j <= round; ++j) {
+      const std::int64_t target =
+          opt_.load * ((std::int64_t{2} << (height_ - j)) - 1);
+      std::int64_t worst = 0;
+      const std::int64_t first = (std::int64_t{1} << j) - 1;
+      for (std::int64_t k = 0; k < (std::int64_t{1} << j); ++k) {
+        const auto v = static_cast<VertexId>(first + k);
+        worst = std::max(
+            worst,
+            std::abs(weight_[static_cast<std::size_t>(v)] - target));
+      }
+      occupancy.push_back(worst);
+    }
+    stats_.imbalance_trace.push_back(std::move(per_level));
+    stats_.occupancy_trace.push_back(std::move(occupancy));
+  }
+
+  void audit(std::int32_t round) const {
+    // Collinearity + characteristic-address audit over the whole
+    // state (O(n)): pool pieces partition the unembedded nodes, their
+    // designated lists are exact, and their embedded neighbours all
+    // map to the recorded characteristic address.
+    std::vector<char> embedded(static_cast<std::size_t>(guest_.num_nodes()),
+                               0);
+    for (NodeId v = 0; v < guest_.num_nodes(); ++v)
+      embedded[static_cast<std::size_t>(v)] = is_placed(v) ? 1 : 0;
+    std::int64_t pooled = 0;
+    std::vector<NodeId> nbr;
+    for (VertexId x = 0; x < host_.num_vertices(); ++x) {
+      XT_CHECK(load_[static_cast<std::size_t>(x)] <= opt_.load);
+      for (const auto& a : pool_[static_cast<std::size_t>(x)]) {
+        validate_piece(guest_, embedded, a.piece);
+        pooled += a.piece.size();
+        for (NodeId v : a.piece.nodes) {
+          nbr.clear();
+          guest_.neighbors(v, nbr);
+          for (NodeId u : nbr) {
+            if (is_placed(u)) {
+              // Condition (6): one characteristic address per piece.
+              // The final round's halving borrow may legitimately
+              // leave a second address; it must still satisfy (3').
+              if (round < height_) {
+                XT_CHECK_MSG(host_of(u) == a.char_addr,
+                             "piece neighbour embedded off-address in round "
+                                 << round);
+              } else {
+                XT_CHECK_MSG(
+                    host_of(u) == a.char_addr ||
+                        respects_condition_3prime(host_, host_of(u),
+                                                  a.char_addr),
+                    "final-round piece neighbour too far off-address");
+              }
+            }
+          }
+        }
+        const std::int32_t cl = host_.level_of(a.char_addr);
+        XT_CHECK_MSG(cl >= round - 2,
+                     "piece with stale characteristic address survived round "
+                         << round);
+      }
+    }
+    XT_CHECK(pooled + placed_count_ == guest_.num_nodes());
+  }
+
+  const BinaryTree& guest_;
+  const XTreeEmbedder::Options& opt_;
+  std::int32_t height_;
+  XTree host_;
+  std::vector<VertexId> assign_;
+  NodeId placed_count_ = 0;
+  std::vector<NodeId> load_;
+  std::vector<std::vector<Attached>> pool_;
+  std::vector<std::int64_t> weight_;
+  std::vector<NodeId> scratch_nbr_;
+  // Debug tracing: set XT_DEBUG_PHASE=1 in the environment to get a
+  // stderr line for every condition-(3') violation and every ADJUST
+  // shortfall, tagged with the algorithm phase that caused it.
+  const char* debug_phase_ = std::getenv("XT_DEBUG_PHASE") ? "start" : nullptr;
+  void set_phase(const char* p) { if (debug_phase_) debug_phase_ = p; }
+  XTreeEmbedder::Stats stats_;
+};
+
+}  // namespace
+
+std::int32_t XTreeEmbedder::optimal_height(NodeId n, NodeId load) {
+  XT_CHECK(n >= 1 && load >= 1);
+  std::int32_t r = 0;
+  while (static_cast<std::int64_t>(load) * ((std::int64_t{2} << r) - 1) < n)
+    ++r;
+  return r;
+}
+
+XTreeEmbedder::Result XTreeEmbedder::embed(const BinaryTree& guest,
+                                           const Options& options) {
+  EmbedderImpl impl(guest, options);
+  return impl.run();
+}
+
+XTreeEmbedder::Result XTreeEmbedder::embed(const BinaryTree& guest) {
+  return embed(guest, Options{});
+}
+
+}  // namespace xt

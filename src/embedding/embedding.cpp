@@ -1,0 +1,44 @@
+#include "embedding/embedding.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace xt {
+
+Embedding::Embedding(NodeId num_guest_nodes, VertexId num_host_vertices)
+    : host_vertices_(num_host_vertices),
+      host_of_(static_cast<std::size_t>(num_guest_nodes), kInvalidVertex) {
+  XT_CHECK(num_guest_nodes >= 0 && num_host_vertices >= 0);
+}
+
+void Embedding::place(NodeId v, VertexId h) {
+  XT_CHECK(v >= 0 && v < num_guest_nodes());
+  XT_CHECK(h >= 0 && h < host_vertices_);
+  XT_CHECK_MSG(host_of_[static_cast<std::size_t>(v)] == kInvalidVertex,
+               "guest node " << v << " placed twice");
+  host_of_[static_cast<std::size_t>(v)] = h;
+  ++num_placed_;
+}
+
+std::vector<NodeId> Embedding::loads() const {
+  std::vector<NodeId> load(static_cast<std::size_t>(host_vertices_), 0);
+  for (VertexId h : host_of_) {
+    if (h != kInvalidVertex) ++load[static_cast<std::size_t>(h)];
+  }
+  return load;
+}
+
+NodeId Embedding::load_factor() const {
+  const auto load = loads();
+  return load.empty() ? 0 : *std::max_element(load.begin(), load.end());
+}
+
+std::vector<NodeId> Embedding::guests_on(VertexId h) const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < num_guest_nodes(); ++v)
+    if (host_of(v) == h) out.push_back(v);
+  return out;
+}
+
+}  // namespace xt

@@ -1,0 +1,62 @@
+// Embeddings of guest binary trees into host networks.
+//
+// Following §1 of the paper: an embedding maps the vertices of the
+// guest tree to the nodes of the host.  Its *dilation* is the maximum
+// host distance between images of adjacent guest vertices, its *load
+// factor* is the maximum number of guest vertices on one host node,
+// and its *expansion* is |host| / |guest|.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "btree/binary_tree.hpp"
+#include "graph/graph.hpp"
+
+namespace xt {
+
+class Embedding {
+ public:
+  Embedding(NodeId num_guest_nodes, VertexId num_host_vertices);
+
+  [[nodiscard]] NodeId num_guest_nodes() const {
+    return static_cast<NodeId>(host_of_.size());
+  }
+  [[nodiscard]] VertexId num_host_vertices() const { return host_vertices_; }
+
+  /// Places guest node v on host vertex h.  A node may be placed only
+  /// once (the paper's delta_i are extensions of delta_{i-1}).
+  void place(NodeId v, VertexId h);
+
+  [[nodiscard]] bool is_placed(NodeId v) const {
+    return host_of_[static_cast<std::size_t>(v)] != kInvalidVertex;
+  }
+  [[nodiscard]] VertexId host_of(NodeId v) const {
+    return host_of_[static_cast<std::size_t>(v)];
+  }
+
+  [[nodiscard]] NodeId num_placed() const { return num_placed_; }
+  [[nodiscard]] bool complete() const {
+    return num_placed_ == num_guest_nodes();
+  }
+
+  /// Guest nodes per host vertex.
+  [[nodiscard]] std::vector<NodeId> loads() const;
+  [[nodiscard]] NodeId load_factor() const;
+  [[nodiscard]] bool injective() const { return load_factor() <= 1; }
+
+  [[nodiscard]] double expansion() const {
+    return static_cast<double>(host_vertices_) /
+           static_cast<double>(num_guest_nodes());
+  }
+
+  /// Guest nodes placed on host vertex h (linear scan; for tests).
+  [[nodiscard]] std::vector<NodeId> guests_on(VertexId h) const;
+
+ private:
+  VertexId host_vertices_;
+  NodeId num_placed_ = 0;
+  std::vector<VertexId> host_of_;
+};
+
+}  // namespace xt

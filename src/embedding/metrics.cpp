@@ -1,0 +1,111 @@
+#include "embedding/metrics.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/bfs.hpp"
+#include "util/check.hpp"
+
+namespace xt {
+
+DilationReport dilation(const BinaryTree& guest, const Embedding& emb,
+                        const DistanceFn& host_distance) {
+  XT_CHECK_MSG(emb.complete(), "dilation of an incomplete embedding");
+  DilationReport report;
+  double sum = 0.0;
+  for (const auto& [u, v] : guest.edges()) {
+    const std::int32_t d = host_distance(emb.host_of(u), emb.host_of(v));
+    report.max = std::max(report.max, d);
+    report.histogram.add(d);
+    sum += d;
+    ++report.num_edges;
+  }
+  if (report.num_edges > 0)
+    report.mean = sum / static_cast<double>(report.num_edges);
+  return report;
+}
+
+DilationReport dilation_xtree(const BinaryTree& guest, const Embedding& emb,
+                              const XTree& host) {
+  return dilation(guest, emb, [&host](VertexId a, VertexId b) {
+    return host.distance(a, b);
+  });
+}
+
+DilationReport dilation_hypercube(const BinaryTree& guest,
+                                  const Embedding& emb,
+                                  const Hypercube& host) {
+  return dilation(guest, emb, [&host](VertexId a, VertexId b) {
+    return host.distance(a, b);
+  });
+}
+
+DilationReport dilation_graph(const BinaryTree& guest, const Embedding& emb,
+                              const Graph& host) {
+  XT_CHECK_MSG(emb.complete(), "dilation of an incomplete embedding");
+  // Group guest edges by source image so each distinct image vertex
+  // pays exactly one BFS.
+  std::unordered_map<VertexId, std::vector<std::pair<NodeId, NodeId>>> by_src;
+  for (const auto& e : guest.edges()) by_src[emb.host_of(e.first)].push_back(e);
+
+  DilationReport report;
+  double sum = 0.0;
+  BfsWorkspace bfs(host);
+  for (const auto& [src, edges] : by_src) {
+    const auto& dist = bfs.run(src);
+    for (const auto& [u, v] : edges) {
+      const std::int32_t d = dist[static_cast<std::size_t>(emb.host_of(v))];
+      XT_CHECK_MSG(d != kUnreachable, "guest edge maps across components");
+      report.max = std::max(report.max, d);
+      report.histogram.add(d);
+      sum += d;
+      ++report.num_edges;
+    }
+  }
+  if (report.num_edges > 0)
+    report.mean = sum / static_cast<double>(report.num_edges);
+  return report;
+}
+
+CongestionReport congestion(const BinaryTree& guest, const Embedding& emb,
+                            const Graph& host) {
+  XT_CHECK_MSG(emb.complete(), "congestion of an incomplete embedding");
+  // Host-edge key: 64-bit (min << 32 | max).
+  std::unordered_map<std::uint64_t, std::int64_t> traffic;
+  auto key = [](VertexId a, VertexId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+           static_cast<std::uint32_t>(b);
+  };
+  for (const auto& [u, v] : guest.edges()) {
+    const VertexId hu = emb.host_of(u);
+    const VertexId hv = emb.host_of(v);
+    if (hu == hv) continue;  // same processor: no link traffic
+    const auto path = bfs_shortest_path(host, hu, hv);
+    XT_CHECK(!path.empty());
+    for (std::size_t i = 0; i + 1 < path.size(); ++i)
+      ++traffic[key(path[i], path[i + 1])];
+  }
+  CongestionReport report;
+  double sum = 0.0;
+  for (const auto& [unused_edge, count] : traffic) {
+    report.max = std::max(report.max, count);
+    sum += static_cast<double>(count);
+  }
+  report.used_edges = static_cast<std::int64_t>(traffic.size());
+  if (report.used_edges > 0)
+    report.mean = sum / static_cast<double>(report.used_edges);
+  return report;
+}
+
+NodeId validate_embedding(const BinaryTree& guest, const Embedding& emb,
+                          NodeId max_load) {
+  XT_CHECK(emb.num_guest_nodes() == guest.num_nodes());
+  XT_CHECK_MSG(emb.complete(), "embedding leaves guest nodes unplaced");
+  const NodeId lf = emb.load_factor();
+  XT_CHECK_MSG(lf <= max_load,
+               "load factor " << lf << " exceeds bound " << max_load);
+  return lf;
+}
+
+}  // namespace xt

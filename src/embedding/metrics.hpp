@@ -1,0 +1,67 @@
+// Embedding quality metrics: dilation, load, expansion, congestion.
+//
+// Dilation is computed with *exact* host distances: closed forms for
+// hypercubes/trees/grids, the corridor-Dijkstra for X-trees, and BFS
+// for arbitrary graphs.  Congestion routes every guest edge along a
+// deterministic shortest path and counts host-edge usage.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "btree/binary_tree.hpp"
+#include "embedding/embedding.hpp"
+#include "graph/graph.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/xtree.hpp"
+#include "util/stats.hpp"
+
+namespace xt {
+
+struct DilationReport {
+  std::int32_t max = 0;
+  double mean = 0.0;
+  IntHistogram histogram{32};
+  std::int64_t num_edges = 0;
+};
+
+/// Distance oracle signature for dilation computation.
+using DistanceFn = std::function<std::int32_t(VertexId, VertexId)>;
+
+/// Dilation of `emb` with respect to an arbitrary distance oracle.
+/// Requires a complete embedding.
+DilationReport dilation(const BinaryTree& guest, const Embedding& emb,
+                        const DistanceFn& host_distance);
+
+/// Dilation into an X-tree host (exact corridor distances).
+DilationReport dilation_xtree(const BinaryTree& guest, const Embedding& emb,
+                              const XTree& host);
+
+/// Dilation into a hypercube host (Hamming distances).
+DilationReport dilation_hypercube(const BinaryTree& guest,
+                                  const Embedding& emb,
+                                  const Hypercube& host);
+
+/// Dilation into an arbitrary graph host.  One BFS per distinct image
+/// vertex that appears as an edge endpoint; O(#images * (n + m)).
+DilationReport dilation_graph(const BinaryTree& guest, const Embedding& emb,
+                              const Graph& host);
+
+struct CongestionReport {
+  std::int64_t max = 0;        // maximum guest-paths crossing one host edge
+  double mean = 0.0;           // over host edges with nonzero traffic
+  std::int64_t used_edges = 0; // host edges carrying at least one path
+};
+
+/// Routes every guest edge on a deterministic BFS shortest path in the
+/// host graph and reports host-edge congestion.
+CongestionReport congestion(const BinaryTree& guest, const Embedding& emb,
+                            const Graph& host);
+
+/// Structural validity: every guest node placed exactly once onto a
+/// valid host vertex and load factor within `max_load`.  Throws
+/// check_error on violation; returns the observed load factor.
+NodeId validate_embedding(const BinaryTree& guest, const Embedding& emb,
+                          NodeId max_load);
+
+}  // namespace xt

@@ -1,0 +1,139 @@
+#include "graph/bfs.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace xt {
+
+std::vector<std::int32_t> bfs_distances(const Graph& g, VertexId source) {
+  XT_CHECK(source >= 0 && source < g.num_vertices());
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(g.num_vertices()),
+                                 kUnreachable);
+  std::vector<VertexId> queue;
+  queue.reserve(static_cast<std::size_t>(g.num_vertices()));
+  dist[static_cast<std::size_t>(source)] = 0;
+  queue.push_back(source);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const VertexId u = queue[head];
+    const std::int32_t du = dist[static_cast<std::size_t>(u)];
+    for (VertexId v : g.neighbors(u)) {
+      if (dist[static_cast<std::size_t>(v)] == kUnreachable) {
+        dist[static_cast<std::size_t>(v)] = du + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::int32_t bfs_distance(const Graph& g, VertexId source, VertexId target) {
+  XT_CHECK(source >= 0 && source < g.num_vertices());
+  XT_CHECK(target >= 0 && target < g.num_vertices());
+  if (source == target) return 0;
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(g.num_vertices()),
+                                 kUnreachable);
+  std::vector<VertexId> queue;
+  dist[static_cast<std::size_t>(source)] = 0;
+  queue.push_back(source);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const VertexId u = queue[head];
+    if (u == target) return dist[static_cast<std::size_t>(u)];
+    const std::int32_t du = dist[static_cast<std::size_t>(u)];
+    for (VertexId v : g.neighbors(u)) {
+      if (dist[static_cast<std::size_t>(v)] == kUnreachable) {
+        dist[static_cast<std::size_t>(v)] = du + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist[static_cast<std::size_t>(target)];
+}
+
+std::vector<VertexId> bfs_shortest_path(const Graph& g, VertexId source,
+                                        VertexId target) {
+  XT_CHECK(source >= 0 && source < g.num_vertices());
+  XT_CHECK(target >= 0 && target < g.num_vertices());
+  std::vector<VertexId> parent(static_cast<std::size_t>(g.num_vertices()),
+                               kInvalidVertex);
+  std::vector<char> seen(static_cast<std::size_t>(g.num_vertices()), 0);
+  std::vector<VertexId> queue;
+  seen[static_cast<std::size_t>(source)] = 1;
+  queue.push_back(source);
+  bool found = source == target;
+  for (std::size_t head = 0; head < queue.size() && !found; ++head) {
+    const VertexId u = queue[head];
+    // Deterministic tie-break: neighbours are CSR-sorted ascending.
+    for (VertexId v : g.neighbors(u)) {
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = 1;
+        parent[static_cast<std::size_t>(v)] = u;
+        if (v == target) {
+          found = true;
+          break;
+        }
+        queue.push_back(v);
+      }
+    }
+  }
+  if (!found) return {};
+  std::vector<VertexId> path;
+  for (VertexId v = target; v != kInvalidVertex;
+       v = parent[static_cast<std::size_t>(v)]) {
+    path.push_back(v);
+    if (v == source) break;
+  }
+  std::reverse(path.begin(), path.end());
+  XT_CHECK(path.front() == source && path.back() == target);
+  return path;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() <= 1) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::int32_t d) { return d == kUnreachable; });
+}
+
+std::int32_t eccentricity(const Graph& g, VertexId source) {
+  const auto dist = bfs_distances(g, source);
+  std::int32_t ecc = 0;
+  for (std::int32_t d : dist) {
+    XT_CHECK_MSG(d != kUnreachable, "eccentricity on disconnected graph");
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::int32_t diameter(const Graph& g) {
+  std::int32_t best = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    best = std::max(best, eccentricity(g, v));
+  return best;
+}
+
+BfsWorkspace::BfsWorkspace(const Graph& g)
+    : g_(&g),
+      dist_(static_cast<std::size_t>(g.num_vertices()), kUnreachable) {
+  queue_.reserve(dist_.size());
+}
+
+const std::vector<std::int32_t>& BfsWorkspace::run(VertexId source) {
+  std::fill(dist_.begin(), dist_.end(), kUnreachable);
+  queue_.clear();
+  dist_[static_cast<std::size_t>(source)] = 0;
+  queue_.push_back(source);
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const VertexId u = queue_[head];
+    const std::int32_t du = dist_[static_cast<std::size_t>(u)];
+    for (VertexId v : g_->neighbors(u)) {
+      if (dist_[static_cast<std::size_t>(v)] == kUnreachable) {
+        dist_[static_cast<std::size_t>(v)] = du + 1;
+        queue_.push_back(v);
+      }
+    }
+  }
+  return dist_;
+}
+
+}  // namespace xt

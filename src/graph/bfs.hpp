@@ -1,0 +1,54 @@
+// Breadth-first search utilities: single-source distances, pairwise
+// distance, eccentricity/diameter, connectivity, and shortest-path
+// extraction (used by the congestion router in src/embedding).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace xt {
+
+constexpr std::int32_t kUnreachable = -1;
+
+/// Distances from `source` to every vertex (kUnreachable if not
+/// connected).  O(n + m).
+std::vector<std::int32_t> bfs_distances(const Graph& g, VertexId source);
+
+/// Distance between two vertices; early-exits once `target` is popped.
+std::int32_t bfs_distance(const Graph& g, VertexId source, VertexId target);
+
+/// One shortest path from source to target, inclusive of endpoints.
+/// Empty if unreachable.  Tie-breaking is by vertex id (deterministic).
+std::vector<VertexId> bfs_shortest_path(const Graph& g, VertexId source,
+                                        VertexId target);
+
+/// True iff the graph is connected (vacuously true for n <= 1).
+bool is_connected(const Graph& g);
+
+/// Eccentricity of `source` = max distance to any vertex; requires a
+/// connected graph.
+std::int32_t eccentricity(const Graph& g, VertexId source);
+
+/// Exact diameter via n BFS runs.  Only call on small/medium graphs.
+std::int32_t diameter(const Graph& g);
+
+/// Reusable BFS workspace: avoids reallocating the distance array when
+/// many single-source queries run against one graph (the dilation
+/// metric does one BFS per distinct host image vertex).
+class BfsWorkspace {
+ public:
+  explicit BfsWorkspace(const Graph& g);
+
+  /// Runs BFS from `source`; the returned span is valid until the next
+  /// run() call.
+  const std::vector<std::int32_t>& run(VertexId source);
+
+ private:
+  const Graph* g_;
+  std::vector<std::int32_t> dist_;
+  std::vector<VertexId> queue_;
+};
+
+}  // namespace xt

@@ -1,0 +1,78 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace xt {
+
+std::size_t Graph::max_degree() const {
+  std::size_t best = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v)
+    best = std::max(best, degree(v));
+  return best;
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  for (VertexId w : neighbors(u))
+    if (w == v) return true;
+  return false;
+}
+
+std::vector<std::pair<VertexId, VertexId>> Graph::edge_list() const {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(num_edges());
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    for (VertexId v : neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+std::string Graph::to_dot(const std::string& name) const {
+  std::ostringstream os;
+  os << "graph " << name << " {\n";
+  for (const auto& [u, v] : edge_list())
+    os << "  " << u << " -- " << v << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+GraphBuilder::GraphBuilder(VertexId num_vertices) : n_(num_vertices) {
+  XT_CHECK(num_vertices >= 0);
+}
+
+void GraphBuilder::add_edge(VertexId u, VertexId v) {
+  XT_CHECK_MSG(u != v, "self-loop at vertex " << u);
+  XT_CHECK(u >= 0 && u < n_ && v >= 0 && v < n_);
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+Graph GraphBuilder::build() const {
+  auto edges = edges_;
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  Graph g;
+  g.offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (const auto& [u, v] : edges) {
+    ++g.offsets_[static_cast<std::size_t>(u) + 1];
+    ++g.offsets_[static_cast<std::size_t>(v) + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i)
+    g.offsets_[i] += g.offsets_[i - 1];
+
+  g.targets_.assign(g.offsets_.back(), kInvalidVertex);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    g.targets_[cursor[static_cast<std::size_t>(u)]++] = v;
+    g.targets_[cursor[static_cast<std::size_t>(v)]++] = u;
+  }
+  return g;
+}
+
+}  // namespace xt

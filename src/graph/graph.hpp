@@ -1,0 +1,79 @@
+// Static undirected graph in compressed-sparse-row form.
+//
+// All host topologies (X-tree, hypercube, CCC, butterfly, grid) and the
+// universal graph of Theorem 4 export this representation, and all
+// generic algorithms (BFS, diameter, spanning-subgraph tests) consume
+// it.  Vertices are dense 0-based ids; edges are stored once per
+// direction for O(1) neighbour iteration.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xt {
+
+using VertexId = std::int32_t;
+constexpr VertexId kInvalidVertex = -1;
+
+/// Immutable CSR adjacency structure.  Build via GraphBuilder.
+class Graph {
+ public:
+  Graph() = default;
+
+  [[nodiscard]] VertexId num_vertices() const {
+    return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges.
+  [[nodiscard]] std::size_t num_edges() const { return targets_.size() / 2; }
+
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const {
+    return {targets_.data() + offsets_[static_cast<std::size_t>(v)],
+            targets_.data() + offsets_[static_cast<std::size_t>(v) + 1]};
+  }
+
+  [[nodiscard]] std::size_t degree(VertexId v) const {
+    return offsets_[static_cast<std::size_t>(v) + 1] -
+           offsets_[static_cast<std::size_t>(v)];
+  }
+
+  [[nodiscard]] std::size_t max_degree() const;
+
+  /// Linear scan over v's adjacency list (degrees here are small
+  /// constants for every topology in this project).
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
+
+  /// Edge list with u < v, sorted; used by spanning-subgraph checks.
+  [[nodiscard]] std::vector<std::pair<VertexId, VertexId>> edge_list() const;
+
+  /// Graphviz DOT rendering (small graphs / documentation figures).
+  [[nodiscard]] std::string to_dot(const std::string& name = "G") const;
+
+ private:
+  friend class GraphBuilder;
+  std::vector<std::size_t> offsets_;  // size n+1
+  std::vector<VertexId> targets_;     // size 2m
+};
+
+/// Accumulates undirected edges, deduplicates, and freezes into a
+/// Graph.  Self-loops are rejected; duplicate edges collapse.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(VertexId num_vertices);
+
+  void add_edge(VertexId u, VertexId v);
+
+  [[nodiscard]] VertexId num_vertices() const { return n_; }
+
+  /// Freezes into CSR form.  The builder may be reused afterwards.
+  [[nodiscard]] Graph build() const;
+
+ private:
+  VertexId n_ = 0;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+}  // namespace xt

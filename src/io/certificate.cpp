@@ -1,0 +1,87 @@
+#include "io/certificate.hpp"
+
+#include <sstream>
+
+#include "embedding/metrics.hpp"
+#include "topology/xtree.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t assignment_hash(const Embedding& emb) {
+  // Order-dependent mix over (guest, host) pairs.
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (NodeId v = 0; v < emb.num_guest_nodes(); ++v) {
+    std::uint64_t x = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(v))
+                       << 32) |
+                      static_cast<std::uint32_t>(emb.host_of(v));
+    h ^= splitmix64(x);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+EmbeddingCertificate issue_certificate(const BinaryTree& guest,
+                                       const Embedding& emb,
+                                       std::int32_t host_height) {
+  XT_CHECK(emb.complete());
+  const XTree host(host_height);
+  XT_CHECK(emb.num_host_vertices() == host.num_vertices());
+  EmbeddingCertificate cert;
+  cert.guest_fingerprint = fnv1a(guest.to_paren());
+  cert.assignment_fingerprint = assignment_hash(emb);
+  cert.guest_nodes = guest.num_nodes();
+  cert.host_height = host_height;
+  cert.dilation = dilation_xtree(guest, emb, host).max;
+  cert.load_factor = emb.load_factor();
+  return cert;
+}
+
+bool verify_certificate(const EmbeddingCertificate& cert,
+                        const BinaryTree& guest, const Embedding& emb) {
+  if (cert.guest_nodes != guest.num_nodes()) return false;
+  if (!emb.complete()) return false;
+  if (cert.guest_fingerprint != fnv1a(guest.to_paren())) return false;
+  if (cert.assignment_fingerprint != assignment_hash(emb)) return false;
+  const XTree host(cert.host_height);
+  if (emb.num_host_vertices() != host.num_vertices()) return false;
+  if (emb.load_factor() != cert.load_factor) return false;
+  return dilation_xtree(guest, emb, host).max == cert.dilation;
+}
+
+std::string certificate_to_string(const EmbeddingCertificate& cert) {
+  std::ostringstream os;
+  os << "xtreesim-cert v1 " << cert.guest_fingerprint << ' '
+     << cert.assignment_fingerprint << ' ' << cert.guest_nodes << ' '
+     << cert.host_height << ' ' << cert.dilation << ' ' << cert.load_factor;
+  return os.str();
+}
+
+EmbeddingCertificate certificate_from_string(const std::string& text) {
+  std::istringstream is(text);
+  std::string magic;
+  std::string version;
+  EmbeddingCertificate cert;
+  is >> magic >> version >> cert.guest_fingerprint >>
+      cert.assignment_fingerprint >> cert.guest_nodes >> cert.host_height >>
+      cert.dilation >> cert.load_factor;
+  XT_CHECK_MSG(static_cast<bool>(is) && magic == "xtreesim-cert" &&
+                   version == "v1",
+               "bad certificate text");
+  return cert;
+}
+
+}  // namespace xt

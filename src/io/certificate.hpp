@@ -1,0 +1,46 @@
+// Embedding certificates: a compact, self-checking record that a
+// particular embedding achieves particular quality numbers, decoupled
+// from the machinery that produced it.
+//
+// A certificate binds a fingerprint of the guest tree and of the
+// assignment to the claimed dilation / load / host height.  `verify`
+// recomputes everything from scratch (independent code path from the
+// embedder: the metric layer plus the distance oracle), so a
+// certificate that verifies is evidence about the *result*, not trust
+// in the algorithm.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "btree/binary_tree.hpp"
+#include "embedding/embedding.hpp"
+
+namespace xt {
+
+struct EmbeddingCertificate {
+  std::uint64_t guest_fingerprint = 0;   // hash of the paren form
+  std::uint64_t assignment_fingerprint = 0;  // hash of the host map
+  NodeId guest_nodes = 0;
+  std::int32_t host_height = 0;   // X(r) host
+  std::int32_t dilation = 0;      // claimed max dilation
+  NodeId load_factor = 0;         // claimed max load
+};
+
+/// Measures `emb` (which must be a complete embedding into X(height))
+/// and issues the certificate.
+EmbeddingCertificate issue_certificate(const BinaryTree& guest,
+                                       const Embedding& emb,
+                                       std::int32_t host_height);
+
+/// Recomputes all claims from scratch; returns true iff the guest,
+/// assignment and quality numbers all match.
+bool verify_certificate(const EmbeddingCertificate& cert,
+                        const BinaryTree& guest, const Embedding& emb);
+
+/// One-line text form "xtreesim-cert v1 <fields...>" and its parser.
+std::string certificate_to_string(const EmbeddingCertificate& cert);
+EmbeddingCertificate certificate_from_string(const std::string& text);
+
+}  // namespace xt

@@ -1,0 +1,75 @@
+#include "io/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace xt {
+
+void save_tree(std::ostream& os, const BinaryTree& tree) {
+  os << tree.to_paren() << '\n';
+}
+
+BinaryTree load_tree(std::istream& is) {
+  std::string line;
+  XT_CHECK_MSG(static_cast<bool>(std::getline(is, line)),
+               "empty tree stream");
+  return BinaryTree::from_paren(line);
+}
+
+void save_embedding(std::ostream& os, const Embedding& emb) {
+  os << "xtreesim-embedding v1 " << emb.num_guest_nodes() << ' '
+     << emb.num_host_vertices() << '\n';
+  for (NodeId v = 0; v < emb.num_guest_nodes(); ++v) {
+    XT_CHECK_MSG(emb.is_placed(v), "cannot save an incomplete embedding");
+    os << v << ' ' << emb.host_of(v) << '\n';
+  }
+}
+
+Embedding load_embedding(std::istream& is) {
+  std::string magic;
+  std::string version;
+  NodeId guests = 0;
+  VertexId hosts = 0;
+  is >> magic >> version >> guests >> hosts;
+  XT_CHECK_MSG(magic == "xtreesim-embedding" && version == "v1",
+               "bad embedding header");
+  XT_CHECK(guests >= 0 && hosts >= 0);
+  Embedding emb(guests, hosts);
+  for (NodeId i = 0; i < guests; ++i) {
+    NodeId v = kInvalidNode;
+    VertexId h = kInvalidVertex;
+    is >> v >> h;
+    XT_CHECK_MSG(static_cast<bool>(is), "truncated embedding stream");
+    emb.place(v, h);  // place() validates ranges and duplicates
+  }
+  XT_CHECK(emb.complete());
+  return emb;
+}
+
+void save_tree_file(const std::string& path, const BinaryTree& tree) {
+  std::ofstream os(path);
+  XT_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  save_tree(os, tree);
+}
+
+BinaryTree load_tree_file(const std::string& path) {
+  std::ifstream is(path);
+  XT_CHECK_MSG(is.good(), "cannot open " << path);
+  return load_tree(is);
+}
+
+void save_embedding_file(const std::string& path, const Embedding& emb) {
+  std::ofstream os(path);
+  XT_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  save_embedding(os, emb);
+}
+
+Embedding load_embedding_file(const std::string& path) {
+  std::ifstream is(path);
+  XT_CHECK_MSG(is.good(), "cannot open " << path);
+  return load_embedding(is);
+}
+
+}  // namespace xt

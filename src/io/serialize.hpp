@@ -1,0 +1,32 @@
+// Plain-text serialisation for guest trees and embeddings, so
+// experiments can be scripted across processes and results archived:
+//
+//   tree:      one line, the paren form ("((..)(..))")
+//   embedding: header "xtreesim-embedding v1 <guests> <hosts>" then one
+//              "guest host" pair per line.
+//
+// All loaders validate exhaustively (sizes, ranges, completeness) and
+// throw check_error on malformed input.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "btree/binary_tree.hpp"
+#include "embedding/embedding.hpp"
+
+namespace xt {
+
+void save_tree(std::ostream& os, const BinaryTree& tree);
+BinaryTree load_tree(std::istream& is);
+
+void save_embedding(std::ostream& os, const Embedding& emb);
+Embedding load_embedding(std::istream& is);
+
+/// Convenience file-path wrappers.
+void save_tree_file(const std::string& path, const BinaryTree& tree);
+BinaryTree load_tree_file(const std::string& path);
+void save_embedding_file(const std::string& path, const Embedding& emb);
+Embedding load_embedding_file(const std::string& path);
+
+}  // namespace xt

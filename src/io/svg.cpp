@@ -1,0 +1,129 @@
+#include "io/svg.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace xt {
+namespace {
+
+constexpr double kLevelHeight = 70.0;
+constexpr double kRadius = 12.0;
+constexpr double kMargin = 30.0;
+
+// Horizontal pixel position of a vertex: its position centred within
+// its level band, scaled to the leaf row's width.
+double x_of(const XTree& xtree, VertexId v, double width) {
+  const XCoord c = xtree.coord_of(v);
+  const double slots = static_cast<double>(std::int64_t{1} << c.level);
+  return kMargin +
+         (static_cast<double>(c.pos) + 0.5) * (width - 2 * kMargin) / slots;
+}
+
+double y_of(const XTree& xtree, VertexId v) {
+  return kMargin + kLevelHeight * xtree.level_of(v);
+}
+
+void emit_edges(std::ostringstream& os, const XTree& xtree, double width) {
+  for (VertexId v = 0; v < xtree.num_vertices(); ++v) {
+    for (int w = 0; w < 2; ++w) {
+      const VertexId c = xtree.child(v, w);
+      if (c == kInvalidVertex) continue;
+      os << "<line x1='" << x_of(xtree, v, width) << "' y1='"
+         << y_of(xtree, v) << "' x2='" << x_of(xtree, c, width) << "' y2='"
+         << y_of(xtree, c) << "' stroke='#444' stroke-width='1.3'/>\n";
+    }
+    const VertexId s = xtree.successor(v);
+    if (s != kInvalidVertex) {
+      os << "<line x1='" << x_of(xtree, v, width) << "' y1='"
+         << y_of(xtree, v) << "' x2='" << x_of(xtree, s, width) << "' y2='"
+         << y_of(xtree, s)
+         << "' stroke='#888' stroke-width='1' stroke-dasharray='4 3'/>\n";
+    }
+  }
+}
+
+std::string wrap_svg(const std::string& body, double width, double height) {
+  std::ostringstream os;
+  os << "<svg xmlns='http://www.w3.org/2000/svg' width='" << width
+     << "' height='" << height << "' viewBox='0 0 " << width << ' ' << height
+     << "'>\n<rect width='100%' height='100%' fill='white'/>\n"
+     << body << "</svg>\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string xtree_to_svg(const XTree& xtree) {
+  XT_CHECK_MSG(xtree.height() <= 8, "SVG rendering is for small heights");
+  const double width =
+      2 * kMargin +
+      static_cast<double>(std::int64_t{1} << xtree.height()) * 44.0;
+  const double height = 2 * kMargin + kLevelHeight * xtree.height();
+  std::ostringstream os;
+  emit_edges(os, xtree, width);
+  for (VertexId v = 0; v < xtree.num_vertices(); ++v) {
+    const double x = x_of(xtree, v, width);
+    const double y = y_of(xtree, v);
+    os << "<circle cx='" << x << "' cy='" << y << "' r='" << kRadius
+       << "' fill='#eef' stroke='#335'/>\n";
+    const std::string label = xtree.label_of(v);
+    os << "<text x='" << x << "' y='" << y + 4
+       << "' font-size='9' text-anchor='middle' font-family='monospace'>"
+       << (label.empty() ? "e" : label) << "</text>\n";
+  }
+  return wrap_svg(os.str(), width, height);
+}
+
+std::string embedding_to_svg(const XTree& xtree, const BinaryTree& guest,
+                             const Embedding& emb) {
+  XT_CHECK_MSG(xtree.height() <= 8, "SVG rendering is for small heights");
+  XT_CHECK(emb.complete());
+  XT_CHECK(emb.num_host_vertices() == xtree.num_vertices());
+
+  // Per-vertex worst incident guest-edge dilation.
+  std::vector<std::int32_t> worst(
+      static_cast<std::size_t>(xtree.num_vertices()), 0);
+  std::int32_t global_worst = 1;
+  for (const auto& [u, v] : guest.edges()) {
+    const VertexId hu = emb.host_of(u);
+    const VertexId hv = emb.host_of(v);
+    const std::int32_t d = xtree.distance(hu, hv);
+    worst[static_cast<std::size_t>(hu)] =
+        std::max(worst[static_cast<std::size_t>(hu)], d);
+    worst[static_cast<std::size_t>(hv)] =
+        std::max(worst[static_cast<std::size_t>(hv)], d);
+    global_worst = std::max(global_worst, d);
+  }
+  const auto loads = emb.loads();
+
+  const double width =
+      2 * kMargin +
+      static_cast<double>(std::int64_t{1} << xtree.height()) * 44.0;
+  const double height = 2 * kMargin + kLevelHeight * xtree.height();
+  std::ostringstream os;
+  emit_edges(os, xtree, width);
+  for (VertexId v = 0; v < xtree.num_vertices(); ++v) {
+    const double x = x_of(xtree, v, width);
+    const double y = y_of(xtree, v);
+    // Green (0) .. red (global worst).
+    const double t = static_cast<double>(worst[static_cast<std::size_t>(v)]) /
+                     static_cast<double>(global_worst);
+    const int red = static_cast<int>(80 + 175 * t);
+    const int green = static_cast<int>(200 - 140 * t);
+    os << "<circle cx='" << x << "' cy='" << y << "' r='" << kRadius
+       << "' fill='rgb(" << red << ',' << green << ",90)' stroke='#222'/>\n";
+    os << "<text x='" << x << "' y='" << y + 4
+       << "' font-size='10' text-anchor='middle' font-family='monospace'>"
+       << loads[static_cast<std::size_t>(v)] << "</text>\n";
+  }
+  os << "<text x='" << kMargin << "' y='" << height - 8
+     << "' font-size='12' font-family='monospace'>load per vertex; colour = "
+        "worst incident dilation (max "
+     << global_worst << ")</text>\n";
+  return wrap_svg(os.str(), width, height);
+}
+
+}  // namespace xt

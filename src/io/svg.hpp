@@ -1,0 +1,24 @@
+// SVG rendering of X-trees and embeddings — publication-style figures
+// straight from the library (Figure 1 of the paper, and load/dilation
+// heat views of computed embeddings).
+#pragma once
+
+#include <string>
+
+#include "btree/binary_tree.hpp"
+#include "embedding/embedding.hpp"
+#include "topology/xtree.hpp"
+
+namespace xt {
+
+/// The bare X-tree X(r) (tree edges solid, cross edges dashed) — the
+/// paper's Figure 1 for r = 3.
+std::string xtree_to_svg(const XTree& xtree);
+
+/// The X-tree with each vertex annotated by its load under `emb` and
+/// coloured by the worst dilation of any guest edge incident to a
+/// guest hosted there (green = all local, red = at the bound).
+std::string embedding_to_svg(const XTree& xtree, const BinaryTree& guest,
+                             const Embedding& emb);
+
+}  // namespace xt

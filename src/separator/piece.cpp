@@ -1,0 +1,170 @@
+#include "separator/piece.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace xt {
+
+void Piece::add_designated(NodeId v) {
+  if (designated[0] == v || designated[1] == v) return;
+  XT_CHECK_MSG(designated[1] == kInvalidNode,
+               "piece already has two designated nodes; cannot add " << v);
+  (designated[0] == kInvalidNode ? designated[0] : designated[1]) = v;
+}
+
+PieceView::PieceView(const BinaryTree& tree, const Piece& piece)
+    : tree_(&tree), piece_(&piece) {
+  const auto n = static_cast<std::size_t>(piece.size());
+  XT_CHECK(n > 0);
+  local_index_.reserve(n * 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool inserted =
+        local_index_.emplace(piece.nodes[i], static_cast<std::int32_t>(i))
+            .second;
+    XT_CHECK_MSG(inserted, "duplicate node in piece");
+  }
+  root_ = piece.designated[0] != kInvalidNode ? local_of(piece.designated[0])
+                                              : 0;
+  XT_CHECK(root_ >= 0);
+
+  parent_.assign(n, -1);
+  depth_.assign(n, 0);
+  subtree_size_.assign(n, 1);
+  children_.assign(n, {});
+  order_.clear();
+  order_.reserve(n);
+
+  // Iterative DFS building the rooted structure over the piece-induced
+  // adjacency.
+  std::vector<char> seen(n, 0);
+  std::vector<std::int32_t> stack{root_};
+  seen[static_cast<std::size_t>(root_)] = 1;
+  std::vector<NodeId> nbr;
+  while (!stack.empty()) {
+    const std::int32_t u = stack.back();
+    stack.pop_back();
+    order_.push_back(u);
+    nbr.clear();
+    tree.neighbors(global_of(u), nbr);
+    for (NodeId g : nbr) {
+      const std::int32_t v = local_of(g);
+      if (v < 0 || seen[static_cast<std::size_t>(v)]) continue;
+      seen[static_cast<std::size_t>(v)] = 1;
+      parent_[static_cast<std::size_t>(v)] = u;
+      depth_[static_cast<std::size_t>(v)] = depth_[static_cast<std::size_t>(u)] + 1;
+      children_[static_cast<std::size_t>(u)].push_back(v);
+      stack.push_back(v);
+    }
+  }
+  XT_CHECK_MSG(order_.size() == n, "piece is not connected");
+
+  // Subtree sizes: accumulate in reverse preorder.
+  for (std::size_t i = order_.size(); i-- > 0;) {
+    const std::int32_t u = order_[i];
+    const std::int32_t p = parent_[static_cast<std::size_t>(u)];
+    if (p >= 0)
+      subtree_size_[static_cast<std::size_t>(p)] +=
+          subtree_size_[static_cast<std::size_t>(u)];
+  }
+}
+
+std::int32_t PieceView::local_of(NodeId global) const {
+  const auto it = local_index_.find(global);
+  return it == local_index_.end() ? -1 : it->second;
+}
+
+std::int32_t PieceView::lca(std::int32_t a, std::int32_t b) const {
+  while (a != b) {
+    if (depth(a) < depth(b)) std::swap(a, b);
+    a = parent(a);
+    XT_CHECK(a >= 0);
+  }
+  return a;
+}
+
+std::int32_t PieceView::median(std::int32_t a, std::int32_t b,
+                               std::int32_t c) const {
+  const std::int32_t x = lca(a, b);
+  const std::int32_t y = lca(a, c);
+  const std::int32_t z = lca(b, c);
+  // Exactly one of the pairwise LCAs is deepest (or all coincide); it
+  // is the Steiner point.
+  std::int32_t best = x;
+  if (depth(y) > depth(best)) best = y;
+  if (depth(z) > depth(best)) best = z;
+  return best;
+}
+
+std::vector<Piece> collect_pieces(const BinaryTree& tree,
+                                  const std::vector<char>& embedded) {
+  XT_CHECK(embedded.size() == static_cast<std::size_t>(tree.num_nodes()));
+  std::vector<char> visited(embedded.size(), 0);
+  std::vector<Piece> pieces;
+  std::vector<NodeId> stack;
+  std::vector<NodeId> nbr;
+  for (NodeId s = 0; s < tree.num_nodes(); ++s) {
+    if (embedded[static_cast<std::size_t>(s)] ||
+        visited[static_cast<std::size_t>(s)])
+      continue;
+    Piece piece;
+    stack.assign(1, s);
+    visited[static_cast<std::size_t>(s)] = 1;
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      piece.nodes.push_back(u);
+      nbr.clear();
+      tree.neighbors(u, nbr);
+      for (NodeId v : nbr) {
+        if (embedded[static_cast<std::size_t>(v)]) {
+          piece.add_designated(u);  // u borders the embedded region
+        } else if (!visited[static_cast<std::size_t>(v)]) {
+          visited[static_cast<std::size_t>(v)] = 1;
+          stack.push_back(v);
+        }
+      }
+    }
+    pieces.push_back(std::move(piece));
+  }
+  return pieces;
+}
+
+void validate_piece(const BinaryTree& tree, const std::vector<char>& embedded,
+                    const Piece& piece) {
+  XT_CHECK(piece.size() > 0);
+  // Connectivity + rooted structure.
+  const PieceView view(tree, piece);
+  // Disjoint from embedded; designated exactness.
+  std::vector<NodeId> nbr;
+  std::array<NodeId, 2> expected{kInvalidNode, kInvalidNode};
+  int expected_count = 0;
+  int designated_edges = 0;
+  for (NodeId v : piece.nodes) {
+    XT_CHECK_MSG(!embedded[static_cast<std::size_t>(v)],
+                 "piece contains embedded node " << v);
+    nbr.clear();
+    tree.neighbors(v, nbr);
+    bool borders = false;
+    for (NodeId w : nbr) {
+      if (embedded[static_cast<std::size_t>(w)]) {
+        borders = true;
+        ++designated_edges;
+      }
+    }
+    if (borders) {
+      XT_CHECK_MSG(expected_count < 2,
+                   "piece has more than two designated nodes (collinearity)");
+      expected[static_cast<std::size_t>(expected_count++)] = v;
+    }
+  }
+  XT_CHECK_MSG(designated_edges <= 2,
+               "piece connected to embedded region by " << designated_edges
+                                                        << " > 2 edges");
+  std::array<NodeId, 2> actual = piece.designated;
+  std::sort(actual.begin(), actual.end());
+  std::sort(expected.begin(), expected.end());
+  XT_CHECK_MSG(actual == expected, "piece designated list out of date");
+}
+
+}  // namespace xt

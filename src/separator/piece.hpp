@@ -1,0 +1,113 @@
+// Pieces: the unit of bookkeeping of algorithm X-TREE (§2).
+//
+// During the iterative embedding, the not-yet-laid-out part of the
+// guest tree is a forest.  Each component is a *piece*: a connected
+// set of guest nodes with at most two *designated* nodes (nodes
+// adjacent to already-embedded guest nodes).  All embedded neighbours
+// of one piece live on a single host vertex, its *characteristic
+// address* (paper condition (6)); pieces with two designated nodes —
+// or logical pairs of one-designated pieces sharing a characteristic
+// address — are the paper's "intervals".
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "btree/binary_tree.hpp"
+
+namespace xt {
+
+struct Piece {
+  std::vector<NodeId> nodes;  // connected in the guest tree, unembedded
+  std::array<NodeId, 2> designated{kInvalidNode, kInvalidNode};
+
+  [[nodiscard]] NodeId size() const {
+    return static_cast<NodeId>(nodes.size());
+  }
+  [[nodiscard]] int num_designated() const {
+    return (designated[0] != kInvalidNode) + (designated[1] != kInvalidNode);
+  }
+  void add_designated(NodeId v);
+};
+
+/// Rooted local view of one piece: local dense indices, adjacency
+/// restricted to the piece, parent/depth/subtree-size arrays.  Costs
+/// O(|piece|) to build; every splitter operation is linear in the
+/// piece, which keeps the whole embedding near O(n log n).
+class PieceView {
+ public:
+  PieceView(const BinaryTree& tree, const Piece& piece);
+
+  [[nodiscard]] NodeId size() const {
+    return static_cast<NodeId>(order_.size());
+  }
+
+  /// Local index of a global node, or -1 if not in the piece.
+  [[nodiscard]] std::int32_t local_of(NodeId global) const;
+  [[nodiscard]] NodeId global_of(std::int32_t local) const {
+    return piece_->nodes[static_cast<std::size_t>(local)];
+  }
+
+  /// Root is designated[0] if present, else the first node.
+  [[nodiscard]] std::int32_t root() const { return root_; }
+  [[nodiscard]] std::int32_t parent(std::int32_t local) const {
+    return parent_[static_cast<std::size_t>(local)];
+  }
+  [[nodiscard]] std::int32_t depth(std::int32_t local) const {
+    return depth_[static_cast<std::size_t>(local)];
+  }
+  /// Size of the subtree rooted at `local` (w.r.t. the piece root).
+  [[nodiscard]] NodeId subtree_size(std::int32_t local) const {
+    return subtree_size_[static_cast<std::size_t>(local)];
+  }
+  /// Children of `local` in the rooted piece (up to 3 at the root).
+  [[nodiscard]] const std::vector<std::int32_t>& children(
+      std::int32_t local) const {
+    return children_[static_cast<std::size_t>(local)];
+  }
+
+  /// Locals in DFS preorder from the root.
+  [[nodiscard]] const std::vector<std::int32_t>& preorder() const {
+    return order_;
+  }
+
+  /// Lowest common ancestor in the rooted piece (walks parents; piece
+  /// depths are modest and calls are rare).
+  [[nodiscard]] std::int32_t lca(std::int32_t a, std::int32_t b) const;
+
+  /// Median (Steiner point) of three locals: the unique node lying on
+  /// all three pairwise paths.
+  [[nodiscard]] std::int32_t median(std::int32_t a, std::int32_t b,
+                                    std::int32_t c) const;
+
+  [[nodiscard]] const Piece& piece() const { return *piece_; }
+  [[nodiscard]] const BinaryTree& tree() const { return *tree_; }
+
+ private:
+  const BinaryTree* tree_;
+  const Piece* piece_;
+  std::int32_t root_ = 0;
+  std::unordered_map<NodeId, std::int32_t> local_index_;
+  std::vector<std::int32_t> parent_;
+  std::vector<std::int32_t> depth_;
+  std::vector<NodeId> subtree_size_;
+  std::vector<std::vector<std::int32_t>> children_;
+  std::vector<std::int32_t> order_;  // preorder of locals
+};
+
+/// Computes all pieces of the currently-unembedded forest: components
+/// of { v : !embedded[v] } with designated nodes = members adjacent to
+/// embedded nodes.  Throws if any component has more than two
+/// designated nodes (collinearity, paper condition (5)).
+std::vector<Piece> collect_pieces(const BinaryTree& tree,
+                                  const std::vector<char>& embedded);
+
+/// Audit helper: checks that `piece` is connected, disjoint from
+/// embedded nodes, and that its designated list is exactly the set of
+/// members adjacent to embedded nodes.
+void validate_piece(const BinaryTree& tree, const std::vector<char>& embedded,
+                    const Piece& piece);
+
+}  // namespace xt

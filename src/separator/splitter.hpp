@@ -1,0 +1,96 @@
+// Tree-separation engine: executable form of Lemmas 1 and 2 (§2).
+//
+// Given a piece P (connected, <= 2 designated nodes) and a target
+// size Delta, split_piece partitions P into an *extract* side of
+// ~Delta nodes and a *remain* side.  A small set of *boundary* nodes
+// per side is surrendered for immediate layout (the lemmas' S1, S2);
+// everything else re-forms into new pieces hanging off the boundary of
+// their side.
+//
+// Contract (checked by validate_split and the property tests):
+//   * every old designated node of P is in one of the embed lists
+//     (lemma condition (1): {r1, r2} \subseteq S1 \cup S2);
+//   * every edge crossing the two sides has both endpoints embedded
+//     (condition (3): the cut runs between S1 and S2);
+//   * every new piece touches embedded nodes of exactly one side, by
+//     at most two edges (conditions (4)-(6): collinearity + a unique
+//     characteristic address);
+//   * |extract_total - Delta| <= floor((Delta+1)/3) for kLemma1 grade
+//     and <= floor((Delta+4)/9) for kLemma2 grade, provided
+//     |P| > 4*Delta/3;
+//   * boundary sizes match the lemmas (|S| <= 2+2 cut endpoints and
+//     designated per side; a rare median fix can add one more — the
+//     result records whether it fired so harnesses can report it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "btree/binary_tree.hpp"
+#include "separator/piece.hpp"
+
+namespace xt {
+
+enum class SplitQuality {
+  kLemma1,  // single cut, balance within floor((Delta+1)/3)
+  kLemma2,  // <= 2 cuts,  balance within floor((Delta+4)/9)
+};
+
+struct SplitResult {
+  // Nodes to lay out now (the lemmas' S-sets), by side.
+  std::vector<NodeId> embed_extract;
+  std::vector<NodeId> embed_remain;
+  // Re-formed pieces, hanging off the same side's embed set.
+  std::vector<Piece> pieces_extract;
+  std::vector<Piece> pieces_remain;
+  // Node totals per side (embeds + pieces); extract_total ~ Delta.
+  NodeId extract_total = 0;
+  NodeId remain_total = 0;
+  // Diagnostics.
+  int num_cuts = 0;
+  int median_fixes = 0;
+};
+
+/// Splits `piece` so that the extract side holds ~`delta` nodes.
+/// Requires 1 <= delta < piece.size().  Quality selects the balance /
+/// boundary trade-off of Lemma 1 vs Lemma 2.
+SplitResult split_piece(const BinaryTree& tree, const Piece& piece,
+                        NodeId delta, SplitQuality quality);
+
+/// The paper's literal find2 procedure (proof of Lemma 2): walk from
+/// r1 along the r1-r2 path while the subtree holds more than
+/// 4*delta/3 nodes, then apply the three-case analysis (v = r2 and
+/// still heavy / |T(v)| < delta / delta <= |T(v)| <= 4*delta/3), each
+/// resolved with one or two find1 carvings; the complementary range
+/// delta < n <= 4*delta/3 is solved with delta' = n - delta and the
+/// sides interchanged.  Guarantees match split_piece's kLemma2 grade.
+/// The case analysis keeps every boundary set at <= 4 on all small
+/// instances (verified exhaustively up to 7 nodes); on large trees a
+/// rare collinearity promotion — the detail the extended abstract
+/// omits "for lack of space" — can add one more node per promotion
+/// (counted in SplitResult::median_fixes).  Requires the piece to have
+/// at least one designated node.
+SplitResult split_piece_find2(const BinaryTree& tree, const Piece& piece,
+                              NodeId delta);
+
+/// Degenerate split moving the *whole* piece to the extract side: its
+/// designated nodes are laid out, the rest re-forms into pieces
+/// hanging off them.  Used by ADJUST when shifting an interval
+/// wholesale.  Requires piece.num_designated() >= 1.
+SplitResult extract_whole_piece(const BinaryTree& tree, const Piece& piece);
+
+/// The paper's balance bounds, exposed for tests and harnesses.
+/// Lemma 1's bound additionally presumes the piece root (a designated
+/// node) has at most two subtrees — automatic when the designated node
+/// borders the embedded region, as in every call the embedder makes.
+constexpr NodeId lemma1_tolerance(NodeId delta) { return (delta + 1) / 3; }
+constexpr NodeId lemma2_tolerance(NodeId delta) { return (delta + 4) / 9; }
+
+/// Full audit of a split result against the contract above (O(|P|)).
+/// `max_boundary` is the lemma bound on each embed list (2 for the
+/// lemma-1 remain side, otherwise 4); pass a larger value to merely
+/// record.  Throws check_error on structural violations.
+void validate_split(const BinaryTree& tree, const Piece& original,
+                    const SplitResult& result);
+
+}  // namespace xt

@@ -1,0 +1,235 @@
+#include "sim/network_sim.hpp"
+
+#include <algorithm>
+
+#include "graph/bfs.hpp"
+#include "util/check.hpp"
+
+namespace xt {
+
+NetworkSim::NetworkSim(const Graph& host, const BinaryTree& guest,
+                       const Embedding& emb, SimConfig config)
+    : host_(host), guest_(guest), emb_(emb), config_(config) {
+  XT_CHECK(emb.complete());
+  XT_CHECK(emb.num_host_vertices() == host.num_vertices());
+  XT_CHECK(config_.proc_capacity >= 1 && config_.link_capacity >= 1);
+}
+
+std::int32_t NetworkSim::route_between(VertexId a, VertexId b) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+      static_cast<std::uint32_t>(b);
+  const auto it = route_cache_.find(key);
+  if (it != route_cache_.end()) return it->second;
+  auto path = route_fn_ ? route_fn_(a, b) : bfs_shortest_path(host_, a, b);
+  XT_CHECK(!path.empty());
+  XT_CHECK(path.front() == a && path.back() == b);
+  const auto id = static_cast<std::int32_t>(routes_.size());
+  routes_.push_back(std::move(path));
+  route_cache_.emplace(key, id);
+  return id;
+}
+
+SimResult NetworkSim::run_wave(Direction direction) {
+  const NodeId n = guest_.num_nodes();
+  // pending[v]: messages still awaited before v may execute.
+  std::vector<std::int32_t> pending(static_cast<std::size_t>(n), 0);
+  std::vector<char> executed(static_cast<std::size_t>(n), 0);
+  NodeId executed_count = 0;
+
+  // Per-host FIFO of guest nodes ready to execute.
+  std::vector<std::vector<NodeId>> ready(
+      static_cast<std::size_t>(host_.num_vertices()));
+  auto make_ready = [&](NodeId v) {
+    ready[static_cast<std::size_t>(emb_.host_of(v))].push_back(v);
+  };
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (direction == Direction::kUp) {
+      pending[static_cast<std::size_t>(v)] = guest_.num_children(v);
+    } else {
+      pending[static_cast<std::size_t>(v)] = v == guest_.root() ? 0 : 1;
+    }
+    if (pending[static_cast<std::size_t>(v)] == 0) make_ready(v);
+  }
+
+  // Destinations a node notifies once executed.
+  auto targets_of = [&](NodeId v, std::vector<NodeId>& out) {
+    out.clear();
+    if (direction == Direction::kUp) {
+      if (guest_.parent(v) != kInvalidNode) out.push_back(guest_.parent(v));
+    } else {
+      for (int w = 0; w < 2; ++w) {
+        if (guest_.child(v, w) != kInvalidNode)
+          out.push_back(guest_.child(v, w));
+      }
+    }
+  };
+
+  SimResult result;
+  std::vector<Message> in_flight;
+  std::vector<NodeId> targets;
+  // Directed-link usage this cycle, keyed (from << 32 | to).
+  std::unordered_map<std::uint64_t, std::int32_t> link_used;
+
+  while (executed_count < n) {
+    ++result.cycles;
+    XT_CHECK_MSG(result.cycles < std::int64_t{1} << 40, "simulator wedged");
+    // Deliveries land at the *end* of the cycle, so a value produced
+    // in cycle t is visible — local or remote — from cycle t+1 on.
+    std::vector<NodeId> delivered;
+
+    // 1. Processors execute up to proc_capacity ready guests each and
+    //    emit their messages (which start moving next cycle).
+    std::vector<Message> emitted;
+    for (auto& queue : ready) {
+      const auto take = std::min<std::size_t>(
+          queue.size(), static_cast<std::size_t>(config_.proc_capacity));
+      for (std::size_t i = 0; i < take; ++i) {
+        const NodeId v = queue[i];
+        executed[static_cast<std::size_t>(v)] = 1;
+        ++executed_count;
+        targets_of(v, targets);
+        for (NodeId t : targets) {
+          ++result.messages;
+          const VertexId from = emb_.host_of(v);
+          const VertexId to = emb_.host_of(t);
+          if (from == to) {
+            delivered.push_back(t);  // intra-processor hand-over
+          } else {
+            emitted.push_back({t, route_between(from, to), 0, 0});
+          }
+        }
+      }
+      queue.erase(queue.begin(),
+                  queue.begin() + static_cast<std::ptrdiff_t>(take));
+    }
+
+    // 2. Messages advance one hop, at most link_capacity per directed
+    //    link per cycle, in FIFO order of the in-flight list.
+    link_used.clear();
+    std::vector<Message> still_flying;
+    for (Message& m : in_flight) {
+      const auto& route = routes_[static_cast<std::size_t>(m.route_id)];
+      const VertexId from = route[static_cast<std::size_t>(m.position)];
+      const VertexId to = route[static_cast<std::size_t>(m.position) + 1];
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from))
+           << 32) |
+          static_cast<std::uint32_t>(to);
+      auto& used = link_used[key];
+      if (used < config_.link_capacity) {
+        ++used;
+        ++m.position;
+        ++result.total_hops;
+        if (m.position + 1 ==
+            static_cast<std::int32_t>(route.size())) {
+          delivered.push_back(m.dst);
+          continue;
+        }
+      } else {
+        ++m.wait;
+        result.max_link_wait = std::max(result.max_link_wait, m.wait);
+      }
+      still_flying.push_back(m);
+    }
+    in_flight = std::move(still_flying);
+    for (Message& m : emitted) in_flight.push_back(m);
+
+    // 3. End of cycle: deliveries become visible.
+    for (NodeId t : delivered) {
+      if (--pending[static_cast<std::size_t>(t)] == 0) make_ready(t);
+    }
+  }
+  return result;
+}
+
+SimResult NetworkSim::run_reduction() { return run_wave(Direction::kUp); }
+
+SimResult NetworkSim::run_broadcast() { return run_wave(Direction::kDown); }
+
+SimResult NetworkSim::run_unicast_batch(
+    const std::vector<std::pair<NodeId, NodeId>>& messages) {
+  SimResult result;
+  std::vector<Message> in_flight;
+  std::int64_t pending_deliveries = 0;
+  for (const auto& [src, dst] : messages) {
+    XT_CHECK(src >= 0 && src < guest_.num_nodes());
+    XT_CHECK(dst >= 0 && dst < guest_.num_nodes());
+    ++result.messages;
+    const VertexId from = emb_.host_of(src);
+    const VertexId to = emb_.host_of(dst);
+    if (from == to) continue;  // co-located: free
+    in_flight.push_back({dst, route_between(from, to), 0, 0});
+    ++pending_deliveries;
+  }
+  std::unordered_map<std::uint64_t, std::int32_t> link_used;
+  while (pending_deliveries > 0) {
+    ++result.cycles;
+    XT_CHECK_MSG(result.cycles < std::int64_t{1} << 40, "simulator wedged");
+    link_used.clear();
+    std::vector<Message> still_flying;
+    for (Message& m : in_flight) {
+      const auto& route = routes_[static_cast<std::size_t>(m.route_id)];
+      const VertexId from = route[static_cast<std::size_t>(m.position)];
+      const VertexId to = route[static_cast<std::size_t>(m.position) + 1];
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from))
+           << 32) |
+          static_cast<std::uint32_t>(to);
+      auto& used = link_used[key];
+      if (used < config_.link_capacity) {
+        ++used;
+        ++m.position;
+        ++result.total_hops;
+        if (m.position + 1 == static_cast<std::int32_t>(route.size())) {
+          --pending_deliveries;
+          continue;
+        }
+      } else {
+        ++m.wait;
+        result.max_link_wait = std::max(result.max_link_wait, m.wait);
+      }
+      still_flying.push_back(m);
+    }
+    in_flight = std::move(still_flying);
+  }
+  return result;
+}
+
+SimResult NetworkSim::run_divide_and_conquer() {
+  const SimResult down = run_broadcast();
+  const SimResult up = run_reduction();
+  return {down.cycles + up.cycles, down.messages + up.messages,
+          down.total_hops + up.total_hops,
+          std::max(down.max_link_wait, up.max_link_wait)};
+}
+
+Graph guest_as_graph(const BinaryTree& guest) {
+  GraphBuilder b(static_cast<VertexId>(guest.num_nodes()));
+  for (const auto& [u, v] : guest.edges()) b.add_edge(u, v);
+  return b.build();
+}
+
+Embedding identity_embedding(const BinaryTree& guest) {
+  Embedding emb(guest.num_nodes(),
+                static_cast<VertexId>(guest.num_nodes()));
+  for (NodeId v = 0; v < guest.num_nodes(); ++v) emb.place(v, v);
+  return emb;
+}
+
+std::int64_t ideal_reduction_cycles(const BinaryTree& guest) {
+  const Graph g = guest_as_graph(guest);
+  const Embedding id = identity_embedding(guest);
+  NetworkSim sim(g, guest, id);
+  return sim.run_reduction().cycles;
+}
+
+std::int64_t ideal_broadcast_cycles(const BinaryTree& guest) {
+  const Graph g = guest_as_graph(guest);
+  const Embedding id = identity_embedding(guest);
+  NetworkSim sim(g, guest, id);
+  return sim.run_broadcast().cycles;
+}
+
+}  // namespace xt

@@ -1,0 +1,107 @@
+// Synchronous message-level network simulator (experiment B2).
+//
+// Models a host network executing a guest binary-tree program under a
+// given embedding: one processor per host vertex, unit-latency links
+// with per-cycle capacity, and a processor executing at most
+// `proc_capacity` guest-node steps per cycle (so a load-16 embedding
+// really pays for its load).  Guest messages follow fixed shortest
+// paths, so observed slowdown decomposes into dilation (path length),
+// congestion (link contention) and load (processor contention) — the
+// three quantities §1 of the paper motivates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "btree/binary_tree.hpp"
+#include "embedding/embedding.hpp"
+#include "graph/graph.hpp"
+
+namespace xt {
+
+struct SimConfig {
+  std::int32_t proc_capacity = 1;  // guest steps per host vertex per cycle
+  std::int32_t link_capacity = 1;  // messages per directed link per cycle
+};
+
+struct SimResult {
+  std::int64_t cycles = 0;        // makespan of the workload
+  std::int64_t messages = 0;      // guest messages sent
+  std::int64_t total_hops = 0;    // link traversals performed
+  std::int64_t max_link_wait = 0; // worst queuing delay on one message
+};
+
+class NetworkSim {
+ public:
+  /// `emb` must be a complete embedding of `guest` into `host`'s
+  /// vertex set.  References are retained: all three arguments must
+  /// outlive the simulator (do not pass temporaries).
+  NetworkSim(const Graph& host, const BinaryTree& guest, const Embedding& emb,
+             SimConfig config = {});
+
+  /// Route provider: given (from, to) host vertices returns a path
+  /// inclusive of endpoints.  Default: BFS shortest paths on the host
+  /// graph.  Plug in e.g. XTreeRouter::route for oracle-driven routing
+  /// on X-tree hosts (paths must be valid host walks; lengths may be
+  /// anything, the simulator charges what it gets).
+  using RouteFn = std::function<std::vector<VertexId>(VertexId, VertexId)>;
+  void set_route_fn(RouteFn fn) { route_fn_ = std::move(fn); }
+
+  /// Leaf-to-root reduction: every leaf fires at cycle 1; an inner
+  /// node executes once all children's values arrived.
+  SimResult run_reduction();
+
+  /// Root-to-leaf broadcast.
+  SimResult run_broadcast();
+
+  /// Divide & conquer: broadcast of the problem followed by reduction
+  /// of the results.
+  SimResult run_divide_and_conquer();
+
+  /// Batch unicast: all (src, dst) guest messages are injected at
+  /// cycle 1 and the makespan until the last delivery is measured.
+  /// Exercises routing and link contention beyond tree edges
+  /// (e.g. permutation routing).
+  SimResult run_unicast_batch(
+      const std::vector<std::pair<NodeId, NodeId>>& messages);
+
+ private:
+  struct Message {
+    NodeId dst = kInvalidNode;
+    std::int32_t route_id = -1;
+    std::int32_t position = 0;
+    std::int64_t wait = 0;
+  };
+
+  enum class Direction { kUp, kDown };
+
+  SimResult run_wave(Direction direction);
+
+  /// Cached shortest route between two host vertices (id into
+  /// routes_); identical host pairs share storage.
+  std::int32_t route_between(VertexId a, VertexId b);
+
+  const Graph& host_;
+  const BinaryTree& guest_;
+  const Embedding& emb_;
+  SimConfig config_;
+  RouteFn route_fn_;
+  std::vector<std::vector<VertexId>> routes_;
+  std::unordered_map<std::uint64_t, std::int32_t> route_cache_;
+};
+
+/// Ideal makespan: the same workload on a dedicated one-node-per-
+/// processor machine shaped exactly like the guest tree (identity
+/// embedding).  Slowdown = measured cycles / ideal cycles.
+std::int64_t ideal_reduction_cycles(const BinaryTree& guest);
+std::int64_t ideal_broadcast_cycles(const BinaryTree& guest);
+
+/// The guest tree as a host Graph (for ideal-machine runs).
+Graph guest_as_graph(const BinaryTree& guest);
+
+/// Identity embedding of a guest onto its own tree graph.
+Embedding identity_embedding(const BinaryTree& guest);
+
+}  // namespace xt

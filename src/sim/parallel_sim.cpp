@@ -1,0 +1,224 @@
+#include "sim/parallel_sim.hpp"
+
+#include <algorithm>
+
+#include "graph/bfs.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+
+namespace xt {
+namespace {
+
+struct Message {
+  NodeId dst = kInvalidNode;
+  std::int32_t route_id = -1;
+  std::int32_t position = 0;
+  std::int64_t wait = 0;
+};
+
+std::uint64_t link_key(VertexId from, VertexId to) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+         static_cast<std::uint32_t>(to);
+}
+
+}  // namespace
+
+ParallelNetworkSim::ParallelNetworkSim(const Graph& host,
+                                       const BinaryTree& guest,
+                                       const Embedding& emb, SimConfig config,
+                                       unsigned workers)
+    : host_(host),
+      guest_(guest),
+      emb_(emb),
+      config_(config),
+      workers_(workers == 0 ? parallel_workers() : workers) {
+  XT_CHECK(emb.complete());
+  XT_CHECK(emb.num_host_vertices() == host.num_vertices());
+  XT_CHECK(config_.proc_capacity >= 1 && config_.link_capacity >= 1);
+}
+
+std::int32_t ParallelNetworkSim::route_between(VertexId a, VertexId b) {
+  const std::uint64_t key = link_key(a, b);
+  const auto it = route_cache_.find(key);
+  if (it != route_cache_.end()) return it->second;
+  auto path = bfs_shortest_path(host_, a, b);
+  XT_CHECK(!path.empty());
+  const auto id = static_cast<std::int32_t>(routes_.size());
+  routes_.push_back(std::move(path));
+  route_cache_.emplace(key, id);
+  return id;
+}
+
+SimResult ParallelNetworkSim::run_wave(Direction direction) {
+  const NodeId n = guest_.num_nodes();
+  std::vector<std::int32_t> pending(static_cast<std::size_t>(n), 0);
+  std::vector<std::vector<NodeId>> ready(
+      static_cast<std::size_t>(host_.num_vertices()));
+  auto make_ready = [&](NodeId v) {
+    ready[static_cast<std::size_t>(emb_.host_of(v))].push_back(v);
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    pending[static_cast<std::size_t>(v)] =
+        direction == Direction::kUp
+            ? guest_.num_children(v)
+            : (v == guest_.root() ? 0 : 1);
+    if (pending[static_cast<std::size_t>(v)] == 0) make_ready(v);
+  }
+
+  // Pre-resolve every route sequentially (the cache is not
+  // thread-safe); each guest edge appears in at most one direction.
+  std::vector<std::int32_t> edge_route(
+      static_cast<std::size_t>(n), -1);  // indexed by the *moving* node
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId to = direction == Direction::kUp
+                          ? guest_.parent(v)
+                          : v;  // down: message arrives at v from parent
+    const NodeId from = direction == Direction::kUp ? v : guest_.parent(v);
+    if (to == kInvalidNode || from == kInvalidNode) continue;
+    const VertexId hf = emb_.host_of(from);
+    const VertexId ht = emb_.host_of(direction == Direction::kUp ? to : v);
+    if (hf != ht) edge_route[static_cast<std::size_t>(v)] =
+        route_between(hf, ht);
+  }
+
+  SimResult result;
+  NodeId executed_count = 0;
+  std::vector<Message> in_flight;  // global sequence order
+
+  // Per-vertex emission buffers (phase A) and per-thread scratch.
+  std::vector<std::vector<Message>> emitted(
+      static_cast<std::size_t>(host_.num_vertices()));
+  std::vector<std::vector<NodeId>> local_deliveries(
+      static_cast<std::size_t>(host_.num_vertices()));
+
+  while (executed_count < n) {
+    ++result.cycles;
+    XT_CHECK_MSG(result.cycles < std::int64_t{1} << 40, "simulator wedged");
+
+    // --- phase A: processors execute in parallel ------------------------
+    std::vector<NodeId> executed_per_vertex(
+        static_cast<std::size_t>(host_.num_vertices()), 0);
+    std::vector<std::int64_t> sent_per_vertex(
+        static_cast<std::size_t>(host_.num_vertices()), 0);
+    parallel_for(
+        0, host_.num_vertices(),
+        [&](std::int64_t xi) {
+          const auto x = static_cast<std::size_t>(xi);
+          auto& queue = ready[x];
+          const auto take = std::min<std::size_t>(
+              queue.size(), static_cast<std::size_t>(config_.proc_capacity));
+          for (std::size_t i = 0; i < take; ++i) {
+            const NodeId v = queue[i];
+            ++executed_per_vertex[x];
+            // Targets.
+            if (direction == Direction::kUp) {
+              const NodeId p = guest_.parent(v);
+              if (p != kInvalidNode) {
+                ++sent_per_vertex[x];
+                if (emb_.host_of(p) == emb_.host_of(v)) {
+                  local_deliveries[x].push_back(p);
+                } else {
+                  emitted[x].push_back(
+                      {p, edge_route[static_cast<std::size_t>(v)], 0, 0});
+                }
+              }
+            } else {
+              for (int w = 0; w < 2; ++w) {
+                const NodeId c = guest_.child(v, w);
+                if (c == kInvalidNode) continue;
+                ++sent_per_vertex[x];
+                if (emb_.host_of(c) == emb_.host_of(v)) {
+                  local_deliveries[x].push_back(c);
+                } else {
+                  emitted[x].push_back(
+                      {c, edge_route[static_cast<std::size_t>(c)], 0, 0});
+                }
+              }
+            }
+          }
+          queue.erase(queue.begin(),
+                      queue.begin() + static_cast<std::ptrdiff_t>(take));
+        },
+        workers_);
+
+    // --- phase B: links advance in parallel ------------------------------
+    // Bucket the in-flight messages by their current link, preserving
+    // global order (contiguous chunks per thread, merged in order).
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
+    for (std::size_t i = 0; i < in_flight.size(); ++i) {
+      const auto& route =
+          routes_[static_cast<std::size_t>(in_flight[i].route_id)];
+      const VertexId from =
+          route[static_cast<std::size_t>(in_flight[i].position)];
+      const VertexId to =
+          route[static_cast<std::size_t>(in_flight[i].position) + 1];
+      buckets[link_key(from, to)].push_back(i);
+    }
+    std::vector<std::vector<std::size_t>*> bucket_list;
+    bucket_list.reserve(buckets.size());
+    for (auto& [key, idx] : buckets) bucket_list.push_back(&idx);
+    std::vector<char> advanced(in_flight.size(), 0);
+    parallel_for(
+        0, static_cast<std::int64_t>(bucket_list.size()),
+        [&](std::int64_t bi) {
+          auto& idx = *bucket_list[static_cast<std::size_t>(bi)];
+          const auto cap = static_cast<std::size_t>(config_.link_capacity);
+          for (std::size_t i = 0; i < idx.size(); ++i) {
+            Message& m = in_flight[idx[i]];
+            if (i < cap) {
+              advanced[idx[i]] = 1;
+              ++m.position;
+            } else {
+              ++m.wait;
+            }
+          }
+        },
+        workers_);
+
+    // --- phase C: sequential commit --------------------------------------
+    std::vector<NodeId> delivered;
+    for (VertexId x = 0; x < host_.num_vertices(); ++x) {
+      executed_count += executed_per_vertex[static_cast<std::size_t>(x)];
+      result.messages += sent_per_vertex[static_cast<std::size_t>(x)];
+      for (NodeId t : local_deliveries[static_cast<std::size_t>(x)])
+        delivered.push_back(t);
+      local_deliveries[static_cast<std::size_t>(x)].clear();
+    }
+    std::vector<Message> still_flying;
+    still_flying.reserve(in_flight.size());
+    for (std::size_t i = 0; i < in_flight.size(); ++i) {
+      Message& m = in_flight[i];
+      if (advanced[i]) {
+        ++result.total_hops;
+        const auto& route = routes_[static_cast<std::size_t>(m.route_id)];
+        if (m.position + 1 == static_cast<std::int32_t>(route.size())) {
+          delivered.push_back(m.dst);
+          continue;
+        }
+      } else {
+        result.max_link_wait = std::max(result.max_link_wait, m.wait);
+      }
+      still_flying.push_back(m);
+    }
+    in_flight = std::move(still_flying);
+    for (VertexId x = 0; x < host_.num_vertices(); ++x) {
+      for (Message& m : emitted[static_cast<std::size_t>(x)])
+        in_flight.push_back(m);
+      emitted[static_cast<std::size_t>(x)].clear();
+    }
+    for (NodeId t : delivered) {
+      if (--pending[static_cast<std::size_t>(t)] == 0) make_ready(t);
+    }
+  }
+  return result;
+}
+
+SimResult ParallelNetworkSim::run_reduction() {
+  return run_wave(Direction::kUp);
+}
+
+SimResult ParallelNetworkSim::run_broadcast() {
+  return run_wave(Direction::kDown);
+}
+
+}  // namespace xt

@@ -1,0 +1,66 @@
+#include "sim/workloads.hpp"
+
+#include "util/check.hpp"
+
+namespace xt {
+
+const char* workload_name(Workload w) {
+  switch (w) {
+    case Workload::kReduction:
+      return "reduction";
+    case Workload::kBroadcast:
+      return "broadcast";
+    case Workload::kDivideAndConquer:
+      return "divide_and_conquer";
+  }
+  return "?";
+}
+
+const std::vector<Workload>& all_workloads() {
+  static const std::vector<Workload> kinds{Workload::kReduction,
+                                           Workload::kBroadcast,
+                                           Workload::kDivideAndConquer};
+  return kinds;
+}
+
+SimResult run_workload(NetworkSim& sim, Workload w) {
+  switch (w) {
+    case Workload::kReduction:
+      return sim.run_reduction();
+    case Workload::kBroadcast:
+      return sim.run_broadcast();
+    case Workload::kDivideAndConquer:
+      return sim.run_divide_and_conquer();
+  }
+  XT_CHECK(false);
+  return {};
+}
+
+std::int64_t ideal_cycles(const BinaryTree& guest, Workload w) {
+  switch (w) {
+    case Workload::kReduction:
+      return ideal_reduction_cycles(guest);
+    case Workload::kBroadcast:
+      return ideal_broadcast_cycles(guest);
+    case Workload::kDivideAndConquer:
+      return ideal_broadcast_cycles(guest) + ideal_reduction_cycles(guest);
+  }
+  XT_CHECK(false);
+  return 0;
+}
+
+SlowdownReport measure_slowdown(const Graph& host, const BinaryTree& guest,
+                                const Embedding& emb, Workload w,
+                                SimConfig config) {
+  NetworkSim sim(host, guest, emb, config);
+  SlowdownReport report;
+  report.measured = run_workload(sim, w);
+  report.ideal = ideal_cycles(guest, w);
+  report.slowdown = report.ideal > 0
+                        ? static_cast<double>(report.measured.cycles) /
+                              static_cast<double>(report.ideal)
+                        : 0.0;
+  return report;
+}
+
+}  // namespace xt

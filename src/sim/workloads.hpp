@@ -1,0 +1,34 @@
+// Workload harness helpers on top of NetworkSim: named workloads and
+// slowdown (measured cycles / ideal cycles on a dedicated guest-shaped
+// machine).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/network_sim.hpp"
+
+namespace xt {
+
+enum class Workload { kReduction, kBroadcast, kDivideAndConquer };
+
+const char* workload_name(Workload w);
+const std::vector<Workload>& all_workloads();
+
+SimResult run_workload(NetworkSim& sim, Workload w);
+
+/// Ideal cycles for the workload on a one-node-per-processor machine.
+std::int64_t ideal_cycles(const BinaryTree& guest, Workload w);
+
+struct SlowdownReport {
+  SimResult measured;
+  std::int64_t ideal = 0;
+  double slowdown = 0.0;
+};
+
+/// Runs `w` on (host, emb) and relates it to the ideal execution.
+SlowdownReport measure_slowdown(const Graph& host, const BinaryTree& guest,
+                                const Embedding& emb, Workload w,
+                                SimConfig config = {});
+
+}  // namespace xt

@@ -1,0 +1,37 @@
+#include "topology/butterfly.hpp"
+
+#include "util/check.hpp"
+
+namespace xt {
+
+Butterfly::Butterfly(std::int32_t dimension) : dim_(dimension) {
+  XT_CHECK_MSG(dimension >= 1 && dimension <= 22,
+               "butterfly dimension " << dimension << " out of range [1,22]");
+}
+
+void Butterfly::neighbors(VertexId v, std::vector<VertexId>& out) const {
+  const std::int32_t l = level_of(v);
+  const std::int64_t row = row_of(v);
+  if (l > 0) {
+    out.push_back(id_of(l - 1, row));
+    out.push_back(id_of(l - 1, row ^ (std::int64_t{1} << (l - 1))));
+  }
+  if (l < dim_) {
+    out.push_back(id_of(l + 1, row));
+    out.push_back(id_of(l + 1, row ^ (std::int64_t{1} << l)));
+  }
+}
+
+Graph Butterfly::to_graph() const {
+  GraphBuilder b(num_vertices());
+  std::vector<VertexId> nbr;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    nbr.clear();
+    neighbors(v, nbr);
+    for (VertexId u : nbr)
+      if (u > v) b.add_edge(v, u);
+  }
+  return b.build();
+}
+
+}  // namespace xt

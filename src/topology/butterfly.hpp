@@ -1,0 +1,44 @@
+// The (unwrapped) butterfly network BF(d): vertices are (level, row)
+// with 0 <= level <= d and row a d-bit string; straight edges keep the
+// row, cross edges flip bit `level`.  Constant degree <= 4.  Context
+// topology from the paper's introduction ([3]).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace xt {
+
+class Butterfly {
+ public:
+  explicit Butterfly(std::int32_t dimension);
+
+  [[nodiscard]] std::int32_t dimension() const { return dim_; }
+  [[nodiscard]] VertexId num_vertices() const {
+    return static_cast<VertexId>((std::int64_t{1} << dim_) * (dim_ + 1));
+  }
+  [[nodiscard]] bool contains(VertexId v) const {
+    return v >= 0 && v < num_vertices();
+  }
+
+  /// Vertex coding: id = level * 2^d + row.
+  [[nodiscard]] VertexId id_of(std::int32_t level, std::int64_t row) const {
+    return static_cast<VertexId>(level * (std::int64_t{1} << dim_) + row);
+  }
+  [[nodiscard]] std::int32_t level_of(VertexId v) const {
+    return static_cast<std::int32_t>(v >> dim_);
+  }
+  [[nodiscard]] std::int64_t row_of(VertexId v) const {
+    return v & ((std::int64_t{1} << dim_) - 1);
+  }
+
+  void neighbors(VertexId v, std::vector<VertexId>& out) const;
+  [[nodiscard]] Graph to_graph() const;
+
+ private:
+  std::int32_t dim_;
+};
+
+}  // namespace xt

@@ -1,0 +1,33 @@
+#include "topology/ccc.hpp"
+
+#include "util/check.hpp"
+
+namespace xt {
+
+CubeConnectedCycles::CubeConnectedCycles(std::int32_t dimension)
+    : dim_(dimension) {
+  XT_CHECK_MSG(dimension >= 3 && dimension <= 22,
+               "CCC dimension " << dimension << " out of range [3,22]");
+}
+
+void CubeConnectedCycles::neighbors(VertexId v, std::vector<VertexId>& out) const {
+  const std::int64_t x = corner_of(v);
+  const std::int32_t i = cycle_of(v);
+  out.push_back(id_of(x, (i + 1) % dim_));
+  out.push_back(id_of(x, (i + dim_ - 1) % dim_));
+  out.push_back(id_of(x ^ (std::int64_t{1} << i), i));
+}
+
+Graph CubeConnectedCycles::to_graph() const {
+  GraphBuilder b(num_vertices());
+  std::vector<VertexId> nbr;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    nbr.clear();
+    neighbors(v, nbr);
+    for (VertexId u : nbr)
+      if (u > v) b.add_edge(v, u);
+  }
+  return b.build();
+}
+
+}  // namespace xt

@@ -1,0 +1,43 @@
+// Cube-connected cycles CCC(d): each hypercube corner is replaced by a
+// d-cycle; cycle position i of corner x connects across dimension i.
+// Constant degree 3.  Quoted in the paper's introduction as a network
+// into which X-trees need dilation Omega(log log n); used here as a
+// context topology for the baseline benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace xt {
+
+class CubeConnectedCycles {
+ public:
+  explicit CubeConnectedCycles(std::int32_t dimension);
+
+  [[nodiscard]] std::int32_t dimension() const { return dim_; }
+  [[nodiscard]] VertexId num_vertices() const {
+    return static_cast<VertexId>((std::int64_t{1} << dim_) * dim_);
+  }
+  [[nodiscard]] bool contains(VertexId v) const {
+    return v >= 0 && v < num_vertices();
+  }
+
+  /// Vertex coding: id = corner * d + cycle_position.
+  [[nodiscard]] VertexId id_of(std::int64_t corner, std::int32_t cycle) const {
+    return static_cast<VertexId>(corner * dim_ + cycle);
+  }
+  [[nodiscard]] std::int64_t corner_of(VertexId v) const { return v / dim_; }
+  [[nodiscard]] std::int32_t cycle_of(VertexId v) const {
+    return static_cast<std::int32_t>(v % dim_);
+  }
+
+  void neighbors(VertexId v, std::vector<VertexId>& out) const;
+  [[nodiscard]] Graph to_graph() const;
+
+ private:
+  std::int32_t dim_;
+};
+
+}  // namespace xt

@@ -1,0 +1,66 @@
+#include "topology/complete_binary_tree.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace xt {
+
+CompleteBinaryTree::CompleteBinaryTree(std::int32_t height) : height_(height) {
+  XT_CHECK(height >= 0 && height <= 25);
+}
+
+std::int32_t CompleteBinaryTree::level_of(VertexId v) const {
+  XT_CHECK(contains(v));
+  return static_cast<std::int32_t>(
+             std::bit_width(static_cast<std::uint64_t>(v) + 1)) -
+         1;
+}
+
+VertexId CompleteBinaryTree::parent(VertexId v) const {
+  XT_CHECK(contains(v));
+  return v == 0 ? kInvalidVertex : (v - 1) / 2;
+}
+
+VertexId CompleteBinaryTree::child(VertexId v, int which) const {
+  XT_CHECK(contains(v));
+  XT_CHECK(which == 0 || which == 1);
+  const VertexId c = 2 * v + 1 + which;
+  return c < num_vertices() ? c : kInvalidVertex;
+}
+
+std::int32_t CompleteBinaryTree::distance(VertexId a, VertexId b) const {
+  XT_CHECK(contains(a) && contains(b));
+  std::int32_t la = level_of(a);
+  std::int32_t lb = level_of(b);
+  std::int32_t d = 0;
+  while (la > lb) {
+    a = (a - 1) / 2;
+    --la;
+    ++d;
+  }
+  while (lb > la) {
+    b = (b - 1) / 2;
+    --lb;
+    ++d;
+  }
+  while (a != b) {
+    a = (a - 1) / 2;
+    b = (b - 1) / 2;
+    d += 2;
+  }
+  return d;
+}
+
+void CompleteBinaryTree::neighbors(VertexId v, std::vector<VertexId>& out) const {
+  for (VertexId u : {parent(v), child(v, 0), child(v, 1)})
+    if (u != kInvalidVertex) out.push_back(u);
+}
+
+Graph CompleteBinaryTree::to_graph() const {
+  GraphBuilder b(num_vertices());
+  for (VertexId v = 1; v < num_vertices(); ++v) b.add_edge(v, (v - 1) / 2);
+  return b.build();
+}
+
+}  // namespace xt

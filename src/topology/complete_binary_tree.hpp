@@ -1,0 +1,39 @@
+// The complete binary tree B_r (heap-coded), i.e. X(r) without cross
+// edges.  Used as a host baseline and by the inorder hypercube
+// embedding of §3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace xt {
+
+class CompleteBinaryTree {
+ public:
+  explicit CompleteBinaryTree(std::int32_t height);
+
+  [[nodiscard]] std::int32_t height() const { return height_; }
+  [[nodiscard]] VertexId num_vertices() const {
+    return static_cast<VertexId>((std::int64_t{2} << height_) - 1);
+  }
+  [[nodiscard]] bool contains(VertexId v) const {
+    return v >= 0 && v < num_vertices();
+  }
+
+  [[nodiscard]] std::int32_t level_of(VertexId v) const;
+  [[nodiscard]] VertexId parent(VertexId v) const;            // -1 at root
+  [[nodiscard]] VertexId child(VertexId v, int which) const;  // -1 at leaves
+
+  /// Exact tree distance through the lowest common ancestor, O(r).
+  [[nodiscard]] std::int32_t distance(VertexId a, VertexId b) const;
+
+  void neighbors(VertexId v, std::vector<VertexId>& out) const;
+  [[nodiscard]] Graph to_graph() const;
+
+ private:
+  std::int32_t height_;
+};
+
+}  // namespace xt

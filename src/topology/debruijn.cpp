@@ -1,0 +1,75 @@
+#include "topology/debruijn.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace xt {
+
+DeBruijn::DeBruijn(std::int32_t dimension) : dim_(dimension) {
+  XT_CHECK_MSG(dimension >= 1 && dimension <= 25,
+               "de Bruijn dimension " << dimension << " out of range [1,25]");
+}
+
+void DeBruijn::neighbors(VertexId v, std::vector<VertexId>& out) const {
+  const VertexId mask = num_vertices() - 1;
+  for (VertexId b : {0, 1}) {
+    const VertexId left = ((v << 1) | b) & mask;           // shift in b
+    const VertexId right =
+        (v >> 1) | static_cast<VertexId>(b << (dim_ - 1));  // shift out
+    if (left != v) out.push_back(left);
+    if (right != v) out.push_back(right);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+Graph DeBruijn::to_graph() const {
+  GraphBuilder builder(num_vertices());
+  std::vector<VertexId> nbr;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    nbr.clear();
+    neighbors(v, nbr);
+    for (VertexId u : nbr)
+      if (u > v) builder.add_edge(v, u);
+  }
+  return builder.build();
+}
+
+ShuffleExchange::ShuffleExchange(std::int32_t dimension) : dim_(dimension) {
+  XT_CHECK_MSG(dimension >= 2 && dimension <= 25,
+               "shuffle-exchange dimension " << dimension
+                                             << " out of range [2,25]");
+}
+
+VertexId ShuffleExchange::shuffle(VertexId v) const {
+  const VertexId mask = num_vertices() - 1;
+  return ((v << 1) | (v >> (dim_ - 1))) & mask;
+}
+
+void ShuffleExchange::neighbors(VertexId v, std::vector<VertexId>& out) const {
+  out.push_back(v ^ 1);  // exchange
+  const VertexId s = shuffle(v);
+  if (s != v) out.push_back(s);
+  // Inverse shuffle (right rotation).
+  const VertexId mask = num_vertices() - 1;
+  const VertexId r =
+      ((v >> 1) | (v << (dim_ - 1))) & mask;
+  if (r != v) out.push_back(r);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+Graph ShuffleExchange::to_graph() const {
+  GraphBuilder builder(num_vertices());
+  std::vector<VertexId> nbr;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    nbr.clear();
+    neighbors(v, nbr);
+    for (VertexId u : nbr)
+      if (u > v) builder.add_edge(v, u);
+  }
+  return builder.build();
+}
+
+}  // namespace xt

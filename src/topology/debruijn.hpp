@@ -1,0 +1,62 @@
+// The binary de Bruijn graph DB(d) and the shuffle-exchange network
+// SE(d) — the remaining classic constant-degree "hypercubic" networks,
+// rounding out the context family (hypercube, CCC, butterfly) from the
+// paper's introduction.
+//
+// DB(d): vertices are d-bit strings; x is adjacent to its left shifts
+// (2x + b mod 2^d) and right shifts, degree <= 4 (self-loops at the
+// all-0 / all-1 strings are dropped).
+//
+// SE(d): exchange edges x ~ x^1 and shuffle edges x ~ rotl(x),
+// degree <= 3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace xt {
+
+class DeBruijn {
+ public:
+  explicit DeBruijn(std::int32_t dimension);
+
+  [[nodiscard]] std::int32_t dimension() const { return dim_; }
+  [[nodiscard]] VertexId num_vertices() const {
+    return static_cast<VertexId>(std::int64_t{1} << dim_);
+  }
+  [[nodiscard]] bool contains(VertexId v) const {
+    return v >= 0 && v < num_vertices();
+  }
+
+  void neighbors(VertexId v, std::vector<VertexId>& out) const;
+  [[nodiscard]] Graph to_graph() const;
+
+ private:
+  std::int32_t dim_;
+};
+
+class ShuffleExchange {
+ public:
+  explicit ShuffleExchange(std::int32_t dimension);
+
+  [[nodiscard]] std::int32_t dimension() const { return dim_; }
+  [[nodiscard]] VertexId num_vertices() const {
+    return static_cast<VertexId>(std::int64_t{1} << dim_);
+  }
+  [[nodiscard]] bool contains(VertexId v) const {
+    return v >= 0 && v < num_vertices();
+  }
+
+  /// Left rotation of the d-bit string.
+  [[nodiscard]] VertexId shuffle(VertexId v) const;
+
+  void neighbors(VertexId v, std::vector<VertexId>& out) const;
+  [[nodiscard]] Graph to_graph() const;
+
+ private:
+  std::int32_t dim_;
+};
+
+}  // namespace xt

@@ -1,0 +1,34 @@
+#include "topology/grid.hpp"
+
+#include "util/check.hpp"
+
+namespace xt {
+
+Grid::Grid(std::int32_t width, std::int32_t height)
+    : width_(width), height_(height) {
+  XT_CHECK(width >= 1 && height >= 1);
+  XT_CHECK(std::int64_t{width} * height < (std::int64_t{1} << 31));
+}
+
+void Grid::neighbors(VertexId v, std::vector<VertexId>& out) const {
+  const std::int32_t x = x_of(v);
+  const std::int32_t y = y_of(v);
+  if (x > 0) out.push_back(id_of(x - 1, y));
+  if (x + 1 < width_) out.push_back(id_of(x + 1, y));
+  if (y > 0) out.push_back(id_of(x, y - 1));
+  if (y + 1 < height_) out.push_back(id_of(x, y + 1));
+}
+
+Graph Grid::to_graph() const {
+  GraphBuilder b(num_vertices());
+  std::vector<VertexId> nbr;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    nbr.clear();
+    neighbors(v, nbr);
+    for (VertexId u : nbr)
+      if (u > v) b.add_edge(v, u);
+  }
+  return b.build();
+}
+
+}  // namespace xt

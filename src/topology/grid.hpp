@@ -1,0 +1,45 @@
+// A W x H 2-D mesh.  Context topology from the paper's introduction
+// (grids need dilation Theta(log n) into CCC/butterfly networks).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace xt {
+
+class Grid {
+ public:
+  Grid(std::int32_t width, std::int32_t height);
+
+  [[nodiscard]] std::int32_t width() const { return width_; }
+  [[nodiscard]] std::int32_t height() const { return height_; }
+  [[nodiscard]] VertexId num_vertices() const {
+    return static_cast<VertexId>(std::int64_t{width_} * height_);
+  }
+  [[nodiscard]] bool contains(VertexId v) const {
+    return v >= 0 && v < num_vertices();
+  }
+
+  [[nodiscard]] VertexId id_of(std::int32_t x, std::int32_t y) const {
+    return static_cast<VertexId>(y) * width_ + x;
+  }
+  [[nodiscard]] std::int32_t x_of(VertexId v) const { return v % width_; }
+  [[nodiscard]] std::int32_t y_of(VertexId v) const { return v / width_; }
+
+  /// Exact distance = Manhattan distance.
+  [[nodiscard]] std::int32_t distance(VertexId a, VertexId b) const {
+    return std::abs(x_of(a) - x_of(b)) + std::abs(y_of(a) - y_of(b));
+  }
+
+  void neighbors(VertexId v, std::vector<VertexId>& out) const;
+  [[nodiscard]] Graph to_graph() const;
+
+ private:
+  std::int32_t width_;
+  std::int32_t height_;
+};
+
+}  // namespace xt

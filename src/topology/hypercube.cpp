@@ -1,0 +1,28 @@
+#include "topology/hypercube.hpp"
+
+#include "util/check.hpp"
+
+namespace xt {
+
+Hypercube::Hypercube(std::int32_t dimension) : dim_(dimension) {
+  XT_CHECK_MSG(dimension >= 1 && dimension <= 25,
+               "hypercube dimension " << dimension << " out of range [1,25]");
+}
+
+void Hypercube::neighbors(VertexId v, std::vector<VertexId>& out) const {
+  for (std::int32_t i = 0; i < dim_; ++i)
+    out.push_back(v ^ static_cast<VertexId>(1 << i));
+}
+
+Graph Hypercube::to_graph() const {
+  GraphBuilder b(num_vertices());
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    for (std::int32_t i = 0; i < dim_; ++i) {
+      const VertexId u = v ^ static_cast<VertexId>(1 << i);
+      if (u > v) b.add_edge(v, u);
+    }
+  }
+  return b.build();
+}
+
+}  // namespace xt

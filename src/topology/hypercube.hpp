@@ -1,0 +1,42 @@
+// The hypercube Q_d: vertices are d-bit strings, edges join strings at
+// Hamming distance 1.  Host for Theorem 3 and Lemma 3.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace xt {
+
+class Hypercube {
+ public:
+  explicit Hypercube(std::int32_t dimension);
+
+  [[nodiscard]] std::int32_t dimension() const { return dim_; }
+  [[nodiscard]] VertexId num_vertices() const {
+    return static_cast<VertexId>(std::int64_t{1} << dim_);
+  }
+  [[nodiscard]] std::int64_t num_edges() const {
+    return (std::int64_t{1} << (dim_ - 1)) * dim_;
+  }
+
+  [[nodiscard]] bool contains(VertexId v) const {
+    return v >= 0 && v < num_vertices();
+  }
+
+  /// Exact distance = Hamming distance.
+  [[nodiscard]] std::int32_t distance(VertexId a, VertexId b) const {
+    return std::popcount(static_cast<std::uint32_t>(a ^ b));
+  }
+
+  void neighbors(VertexId v, std::vector<VertexId>& out) const;
+
+  [[nodiscard]] Graph to_graph() const;
+
+ private:
+  std::int32_t dim_;
+};
+
+}  // namespace xt

@@ -1,0 +1,266 @@
+#include "topology/xtree.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace xt {
+namespace {
+
+// Corridor margin for the restricted-Dijkstra distance routine.  The
+// optimal meeting level of two X-tree vertices has horizontal gap
+// <= ~8 (going one level up costs 2 and halves the gap, so traversing
+// pays once the gap drops below ~4); all vertical runs happen within a
+// few positions of the endpoints' level projections.  32 leaves a wide
+// safety factor; tests validate exhaustively against BFS.
+constexpr std::int64_t kCorridorMargin = 32;
+
+}  // namespace
+
+XTree::XTree(std::int32_t height) : height_(height) {
+  XT_CHECK_MSG(height >= 0 && height <= 25,
+               "X-tree height " << height << " out of supported range [0,25]");
+}
+
+std::int64_t XTree::num_edges() const {
+  // Tree edges: 2^{r+1} - 2.  Cross edges on level l: 2^l - 1.
+  const std::int64_t tree_edges = (std::int64_t{2} << height_) - 2;
+  std::int64_t cross_edges = 0;
+  for (std::int32_t l = 1; l <= height_; ++l)
+    cross_edges += (std::int64_t{1} << l) - 1;
+  return tree_edges + cross_edges;
+}
+
+XCoord XTree::coord_of(VertexId v) const {
+  XT_CHECK_MSG(contains(v), "vertex " << v << " outside X(" << height_ << ")");
+  const auto u = static_cast<std::uint64_t>(v) + 1;  // heap index, 1-based
+  const auto level = static_cast<std::int32_t>(std::bit_width(u)) - 1;
+  const std::int64_t pos =
+      static_cast<std::int64_t>(u) - (std::int64_t{1} << level);
+  return {level, pos};
+}
+
+std::string XTree::label_of(VertexId v) const {
+  const XCoord c = coord_of(v);
+  std::string s(static_cast<std::size_t>(c.level), '0');
+  for (std::int32_t i = 0; i < c.level; ++i) {
+    if ((c.pos >> (c.level - 1 - i)) & 1) s[static_cast<std::size_t>(i)] = '1';
+  }
+  return s;
+}
+
+VertexId XTree::vertex_of_label(const std::string& s) const {
+  XT_CHECK(static_cast<std::int32_t>(s.size()) <= height_);
+  std::int64_t pos = 0;
+  for (char ch : s) {
+    XT_CHECK(ch == '0' || ch == '1');
+    pos = pos * 2 + (ch == '1');
+  }
+  return id_of({static_cast<std::int32_t>(s.size()), pos});
+}
+
+VertexId XTree::parent(VertexId v) const {
+  const XCoord c = coord_of(v);
+  if (c.level == 0) return kInvalidVertex;
+  return id_of({c.level - 1, c.pos >> 1});
+}
+
+VertexId XTree::child(VertexId v, int which) const {
+  XT_CHECK(which == 0 || which == 1);
+  const XCoord c = coord_of(v);
+  if (c.level == height_) return kInvalidVertex;
+  return id_of({c.level + 1, c.pos * 2 + which});
+}
+
+VertexId XTree::successor(VertexId v) const {
+  const XCoord c = coord_of(v);
+  if (c.pos + 1 >= (std::int64_t{1} << c.level)) return kInvalidVertex;
+  return id_of({c.level, c.pos + 1});
+}
+
+VertexId XTree::predecessor(VertexId v) const {
+  const XCoord c = coord_of(v);
+  if (c.pos == 0) return kInvalidVertex;
+  return id_of({c.level, c.pos - 1});
+}
+
+void XTree::neighbors(VertexId v, std::vector<VertexId>& out) const {
+  for (VertexId u : {parent(v), child(v, 0), child(v, 1), predecessor(v),
+                     successor(v)}) {
+    if (u != kInvalidVertex) out.push_back(u);
+  }
+}
+
+Graph XTree::to_graph() const {
+  GraphBuilder b(num_vertices());
+  std::vector<VertexId> nbr;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    nbr.clear();
+    neighbors(v, nbr);
+    for (VertexId u : nbr)
+      if (u > v) b.add_edge(v, u);
+  }
+  return b.build();
+}
+
+namespace {
+
+// One contiguous run of corridor positions at a fixed level.
+struct Interval {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;          // inclusive
+  std::int32_t node_base = 0;   // index of position `lo` in the node array
+};
+
+struct Corridor {
+  // intervals[l] = merged, sorted runs at level l.
+  std::vector<std::vector<Interval>> intervals;
+  std::int32_t node_count = 0;
+
+  [[nodiscard]] std::int32_t node_of(std::int32_t level,
+                                     std::int64_t pos) const {
+    const auto& runs = intervals[static_cast<std::size_t>(level)];
+    for (const auto& run : runs) {
+      if (pos >= run.lo && pos <= run.hi)
+        return run.node_base + static_cast<std::int32_t>(pos - run.lo);
+    }
+    return -1;
+  }
+};
+
+// Builds the corridor of interest around vertices a and b: at each
+// level, windows of width 2*margin+1 around the upward projections of
+// both positions and around both edges of their downward cones.
+Corridor build_corridor(std::int32_t max_level, XCoord a, XCoord b,
+                        std::int64_t margin) {
+  Corridor c;
+  c.intervals.resize(static_cast<std::size_t>(max_level) + 1);
+  for (std::int32_t l = 0; l <= max_level; ++l) {
+    const std::int64_t level_max = (std::int64_t{1} << l) - 1;
+    std::vector<std::pair<std::int64_t, std::int64_t>> wins;
+    auto add_point = [&](std::int64_t p) {
+      wins.emplace_back(std::max<std::int64_t>(0, p - margin),
+                        std::min(level_max, p + margin));
+    };
+    for (const XCoord& e : {a, b}) {
+      if (l <= e.level) {
+        add_point(e.pos >> (e.level - l));
+      } else {
+        const std::int32_t down = l - e.level;
+        add_point(e.pos << down);
+        add_point(((e.pos + 1) << down) - 1);
+      }
+    }
+    std::sort(wins.begin(), wins.end());
+    auto& runs = c.intervals[static_cast<std::size_t>(l)];
+    for (const auto& w : wins) {
+      if (!runs.empty() && w.first <= runs.back().hi + 1) {
+        runs.back().hi = std::max(runs.back().hi, w.second);
+      } else {
+        runs.push_back({w.first, w.second, 0});
+      }
+    }
+    for (auto& run : runs) {
+      run.node_base = c.node_count;
+      c.node_count += static_cast<std::int32_t>(run.hi - run.lo + 1);
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+std::int32_t XTree::distance(VertexId a, VertexId b) const {
+  const std::int32_t d =
+      distance_bounded(a, b, std::numeric_limits<std::int32_t>::max() / 4);
+  XT_CHECK(d >= 0);  // X-trees are connected
+  return d;
+}
+
+bool XTree::distance_at_most(VertexId a, VertexId b,
+                             std::int32_t bound) const {
+  return distance_bounded(a, b, bound) >= 0;
+}
+
+std::int32_t XTree::distance_bounded(VertexId a, VertexId b,
+                                     std::int32_t bound) const {
+  XT_CHECK(contains(a) && contains(b));
+  if (a == b) return 0;
+  const XCoord ca = coord_of(a);
+  const XCoord cb = coord_of(b);
+  const std::int32_t max_level = std::max(ca.level, cb.level);
+  const Corridor corridor =
+      build_corridor(max_level, ca, cb, kCorridorMargin);
+
+  const std::int32_t src = corridor.node_of(ca.level, ca.pos);
+  const std::int32_t dst = corridor.node_of(cb.level, cb.pos);
+  XT_CHECK(src >= 0 && dst >= 0);
+
+  constexpr std::int32_t kInf = std::numeric_limits<std::int32_t>::max() / 2;
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(corridor.node_count),
+                                 kInf);
+  using Item = std::pair<std::int32_t, std::int32_t>;  // (dist, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[static_cast<std::size_t>(src)] = 0;
+  heap.emplace(0, src);
+
+  // Reverse lookup node -> (level, pos) for edge generation.
+  std::vector<std::pair<std::int32_t, std::int64_t>> where(
+      static_cast<std::size_t>(corridor.node_count));
+  for (std::int32_t l = 0; l <= max_level; ++l) {
+    for (const auto& run : corridor.intervals[static_cast<std::size_t>(l)]) {
+      for (std::int64_t p = run.lo; p <= run.hi; ++p) {
+        where[static_cast<std::size_t>(run.node_base + (p - run.lo))] = {l, p};
+      }
+    }
+  }
+
+  auto relax = [&](std::int32_t node, std::int32_t nd) {
+    if (node >= 0 && nd < dist[static_cast<std::size_t>(node)]) {
+      dist[static_cast<std::size_t>(node)] = nd;
+      heap.emplace(nd, node);
+    }
+  };
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    if (d > bound) return -1;
+    if (u == dst) return d;
+    const auto [l, p] = where[static_cast<std::size_t>(u)];
+    // Vertical moves.
+    if (l > 0) relax(corridor.node_of(l - 1, p >> 1), d + 1);
+    if (l < max_level) {
+      relax(corridor.node_of(l + 1, p * 2), d + 1);
+      relax(corridor.node_of(l + 1, p * 2 + 1), d + 1);
+    }
+    // Horizontal moves: one step inside a run, plus exact "slide"
+    // edges across the gap between runs (a level is a path graph, so
+    // the cost of jumping from position p to q is exactly |p - q|).
+    const auto& runs = corridor.intervals[static_cast<std::size_t>(l)];
+    for (std::size_t ri = 0; ri < runs.size(); ++ri) {
+      const auto& run = runs[ri];
+      if (p >= run.lo && p <= run.hi) {
+        if (p > run.lo) relax(run.node_base + static_cast<std::int32_t>(p - 1 - run.lo), d + 1);
+        if (p < run.hi) relax(run.node_base + static_cast<std::int32_t>(p + 1 - run.lo), d + 1);
+        if (p == run.lo && ri > 0) {
+          const auto& left = runs[ri - 1];
+          relax(left.node_base + static_cast<std::int32_t>(left.hi - left.lo),
+                d + static_cast<std::int32_t>(p - left.hi));
+        }
+        if (p == run.hi && ri + 1 < runs.size()) {
+          const auto& right = runs[ri + 1];
+          relax(right.node_base, d + static_cast<std::int32_t>(right.lo - p));
+        }
+        break;
+      }
+    }
+  }
+  return -1;
+}
+
+}  // namespace xt

@@ -1,0 +1,101 @@
+// The X-tree host network X(r) of Monien (SPAA'91), Definition §2.
+//
+// X(r) is the complete binary tree of height r augmented with
+// "cross" (horizontal) edges joining consecutive vertices of each
+// level.  Vertices are the binary strings of length <= r; the string
+// of length l with binary value k is coded here as the heap index
+//   id = 2^l - 1 + k,
+// so ids are dense in [0, 2^{r+1} - 1).  Maximum degree is 5
+// (parent, two children, two horizontal neighbours).
+//
+// Figure 1 of the paper is X(3); tests/topology_test.cpp checks that
+// instance vertex-by-vertex.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace xt {
+
+/// (level, position) coordinate of an X-tree vertex; position is the
+/// binary value of the vertex's string, 0 <= pos < 2^level.
+struct XCoord {
+  std::int32_t level = 0;
+  std::int64_t pos = 0;
+
+  friend bool operator==(const XCoord&, const XCoord&) = default;
+};
+
+class XTree {
+ public:
+  /// Builds X(height).  height >= 0; height <= 25 keeps ids in int32.
+  explicit XTree(std::int32_t height);
+
+  [[nodiscard]] std::int32_t height() const { return height_; }
+
+  /// |X(r)| = 2^{r+1} - 1.
+  [[nodiscard]] VertexId num_vertices() const {
+    return static_cast<VertexId>((std::int64_t{2} << height_) - 1);
+  }
+
+  /// Tree edges (2^{r+1}-2) plus cross edges (sum over levels l>=1 of
+  /// 2^l - 1), i.e. 3*2^{r+1}/2 ... computed exactly here.
+  [[nodiscard]] std::int64_t num_edges() const;
+
+  // --- coding -----------------------------------------------------------
+  [[nodiscard]] static VertexId id_of(XCoord c) {
+    return static_cast<VertexId>(((std::int64_t{1} << c.level) - 1) + c.pos);
+  }
+  [[nodiscard]] XCoord coord_of(VertexId v) const;
+  [[nodiscard]] std::int32_t level_of(VertexId v) const {
+    return coord_of(v).level;
+  }
+  /// The vertex's binary string ("" for the root), as in the paper.
+  [[nodiscard]] std::string label_of(VertexId v) const;
+  /// Inverse of label_of; accepts "" for the root.
+  [[nodiscard]] VertexId vertex_of_label(const std::string& s) const;
+
+  [[nodiscard]] bool contains(VertexId v) const {
+    return v >= 0 && v < num_vertices();
+  }
+
+  // --- structure --------------------------------------------------------
+  [[nodiscard]] VertexId root() const { return 0; }
+  [[nodiscard]] VertexId parent(VertexId v) const;              // -1 at root
+  [[nodiscard]] VertexId child(VertexId v, int which) const;    // -1 at leaves
+  /// Horizontal successor on the same level (binary value + 1), or -1.
+  [[nodiscard]] VertexId successor(VertexId v) const;
+  [[nodiscard]] VertexId predecessor(VertexId v) const;
+  [[nodiscard]] bool is_leaf(VertexId v) const {
+    return level_of(v) == height_;
+  }
+
+  /// Appends all neighbours of v (degree <= 5).
+  void neighbors(VertexId v, std::vector<VertexId>& out) const;
+
+  /// Exact shortest-path distance in X(r).  Runs a Dijkstra restricted
+  /// to a corridor of positions around the two endpoints' projections
+  /// (exact horizontal "slide" moves make the restriction lossless; the
+  /// corridor margin is validated exhaustively against BFS in tests).
+  /// O(r * margin * log) per query.
+  [[nodiscard]] std::int32_t distance(VertexId a, VertexId b) const;
+
+  /// True iff distance(a, b) <= bound (same algorithm, early exit).
+  [[nodiscard]] bool distance_at_most(VertexId a, VertexId b,
+                                      std::int32_t bound) const;
+
+  /// Materialises the adjacency as a CSR graph.
+  [[nodiscard]] Graph to_graph() const;
+
+ private:
+  /// Shared search core: exact distance, or -1 once it exceeds bound.
+  [[nodiscard]] std::int32_t distance_bounded(VertexId a, VertexId b,
+                                              std::int32_t bound) const;
+
+  std::int32_t height_;
+};
+
+}  // namespace xt

@@ -1,0 +1,46 @@
+#include "topology/xtree_router.hpp"
+
+#include "util/check.hpp"
+
+namespace xt {
+
+XTreeRouter::XTreeRouter(const XTree& xtree) : xtree_(&xtree) {}
+
+VertexId XTreeRouter::next_hop(VertexId from, VertexId to) const {
+  if (from == to) return from;
+  const std::int32_t d = xtree_->distance(from, to);
+  std::vector<VertexId> nbr;
+  xtree_->neighbors(from, nbr);
+  // Neighbours come out in a fixed order (parent, children, pred,
+  // succ); the first strictly-closer one is the deterministic choice.
+  for (VertexId n : nbr) {
+    if (xtree_->distance_at_most(n, to, d - 1)) return n;
+  }
+  XT_CHECK_MSG(false, "no closer neighbour — distance oracle inconsistent");
+  return kInvalidVertex;
+}
+
+std::vector<VertexId> XTreeRouter::route(VertexId from, VertexId to) const {
+  std::vector<VertexId> path{from};
+  VertexId cur = from;
+  while (cur != to) {
+    cur = next_hop(cur, to);
+    path.push_back(cur);
+    XT_CHECK_MSG(path.size() <=
+                     static_cast<std::size_t>(4 * xtree_->height() + 4),
+                 "route does not converge");
+  }
+  return path;
+}
+
+const std::vector<VertexId>& XTreeRouter::route_cached(VertexId from,
+                                                       VertexId to) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+      static_cast<std::uint32_t>(to);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) it = cache_.emplace(key, route(from, to)).first;
+  return it->second;
+}
+
+}  // namespace xt

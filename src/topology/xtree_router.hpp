@@ -1,0 +1,44 @@
+// Distributed-style routing on the X-tree.
+//
+// §1 motivates dilation as "the number of clock cycles needed in the
+// X-tree network to communicate between formerly adjacent processors";
+// this router supplies the message paths.  Each hop is chosen greedily
+// by the exact distance oracle (any neighbour strictly closer to the
+// destination lies on a shortest path, so greedy routing is optimal on
+// X-trees), with deterministic tie-breaking so routes are stable across
+// runs.  A per-pair route cache amortises repeated queries from the
+// network simulator.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/xtree.hpp"
+
+namespace xt {
+
+class XTreeRouter {
+ public:
+  explicit XTreeRouter(const XTree& xtree);
+
+  /// The neighbour of `from` that a shortest path to `to` uses
+  /// (deterministic; `from` itself when already there).
+  [[nodiscard]] VertexId next_hop(VertexId from, VertexId to) const;
+
+  /// Full shortest path, endpoints inclusive.  Length is exactly
+  /// distance(from, to) + 1 vertices.
+  [[nodiscard]] std::vector<VertexId> route(VertexId from, VertexId to) const;
+
+  /// Cached variant for hot loops (e.g. the simulator); returns a
+  /// stable reference valid until the router is destroyed.
+  const std::vector<VertexId>& route_cached(VertexId from, VertexId to);
+
+  [[nodiscard]] const XTree& xtree() const { return *xtree_; }
+
+ private:
+  const XTree* xtree_;
+  std::unordered_map<std::uint64_t, std::vector<VertexId>> cache_;
+};
+
+}  // namespace xt

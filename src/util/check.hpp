@@ -1,0 +1,63 @@
+// Invariant-checking macros used throughout xtreesim.
+//
+// The embedding algorithm of Monien (SPAA'91) maintains a long list of
+// structural invariants (collinearity, boundary-set sizes, balance
+// bounds).  The extended abstract omits several proof details, so the
+// implementation leans on *always-on* cheap checks (XT_CHECK) plus
+// heavier debug-only checks (XT_DCHECK) to make every deviation loud
+// instead of silently producing a bad embedding.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace xt {
+
+/// Thrown when a checked invariant fails.  Carries the failing
+/// expression and location so property tests can report precisely.
+class check_error : public std::logic_error {
+ public:
+  explicit check_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << "XT_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw check_error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace xt
+
+/// Always-on invariant check.  Cheap enough to keep in release builds;
+/// the algorithms here are combinatorial and the checks are O(1).
+#define XT_CHECK(expr)                                                \
+  do {                                                                \
+    if (!(expr)) ::xt::detail::check_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Always-on check with a formatted message (streamed).
+#define XT_CHECK_MSG(expr, msg)                                      \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream xt_os_;                                     \
+      xt_os_ << msg;                                                 \
+      ::xt::detail::check_fail(#expr, __FILE__, __LINE__, xt_os_.str()); \
+    }                                                                \
+  } while (0)
+
+/// Debug-only check for O(n) validations (full collinearity scans,
+/// whole-embedding audits).  Compiled out with NDEBUG.
+#ifdef NDEBUG
+#define XT_DCHECK(expr) \
+  do {                  \
+  } while (0)
+#else
+#define XT_DCHECK(expr) XT_CHECK(expr)
+#endif

@@ -1,0 +1,39 @@
+// Minimal command-line flag parsing for the example binaries and the
+// table-emitting benchmark harnesses (we avoid external dependencies).
+//
+// Syntax: --name=value or --name value; bare --flag sets "1".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xt {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace xt

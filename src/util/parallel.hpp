@@ -1,0 +1,55 @@
+// Minimal fork-join parallelism for the experiment harnesses.
+//
+// The workloads here are embarrassingly parallel sweeps (one embedding
+// per (family, height, seed) triple; one distance query per guest
+// edge), so a static block partition over std::thread is the right
+// tool — no work stealing, no shared mutable state, deterministic
+// results regardless of thread count.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace xt {
+
+/// Number of workers used by parallel_for: hardware concurrency,
+/// clamped to [1, 16] (the sweeps saturate memory bandwidth quickly).
+inline unsigned parallel_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return 1;
+  return hw > 16 ? 16 : hw;
+}
+
+/// Applies fn(i) for i in [begin, end) across worker threads in static
+/// contiguous blocks.  fn must be safe to call concurrently for
+/// distinct i; exceptions thrown by fn terminate (keep worker bodies
+/// noexcept in spirit).  Falls back to the calling thread for small
+/// ranges.
+template <typename Fn>
+void parallel_for(std::int64_t begin, std::int64_t end, Fn&& fn,
+                  unsigned workers = parallel_workers()) {
+  const std::int64_t count = end - begin;
+  if (count <= 0) return;
+  if (workers <= 1 || count < 2 * static_cast<std::int64_t>(workers)) {
+    for (std::int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const auto block =
+      (count + static_cast<std::int64_t>(workers) - 1) /
+      static_cast<std::int64_t>(workers);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    const std::int64_t lo = begin + static_cast<std::int64_t>(w) * block;
+    const std::int64_t hi = std::min(end, lo + block);
+    if (lo >= hi) break;
+    threads.emplace_back([lo, hi, &fn] {
+      for (std::int64_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace xt

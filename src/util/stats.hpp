@@ -1,0 +1,108 @@
+// Streaming summary statistics used by the benchmark harnesses to
+// report dilation/load/congestion distributions across many trees.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace xt {
+
+/// Accumulates samples and reports min / max / mean / stddev and exact
+/// percentiles (samples are retained; experiment sample counts are
+/// small — thousands, not billions).
+class Summary {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  [[nodiscard]] double min() const { return at_rank(0); }
+  [[nodiscard]] double max() const {
+    return at_rank(static_cast<double>(samples_.size() - 1));
+  }
+
+  [[nodiscard]] double mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  [[nodiscard]] double stddev() const {
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double s = 0.0;
+    for (double x : samples_) s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+  }
+
+  /// Exact percentile via nearest-rank on the sorted sample set.
+  /// q in [0, 100].
+  [[nodiscard]] double percentile(double q) const {
+    if (samples_.empty()) return 0.0;
+    const auto n = static_cast<double>(samples_.size());
+    double rank = q / 100.0 * (n - 1);
+    rank = std::clamp(rank, 0.0, n - 1);
+    return at_rank(rank);
+  }
+
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+ private:
+  // Sorted-sample accessor with linear interpolation between adjacent
+  // ranks; sorts lazily.
+  [[nodiscard]] double at_rank(double rank) const {
+    if (!sorted_) {
+      sorted_samples_ = samples_;
+      std::sort(sorted_samples_.begin(), sorted_samples_.end());
+      sorted_ = true;
+    }
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, sorted_samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted_samples_[lo] * (1.0 - frac) + sorted_samples_[hi] * frac;
+  }
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Histogram over small non-negative integer values (e.g. per-edge
+/// dilation).  Values above the cap are clamped into the last bucket.
+class IntHistogram {
+ public:
+  explicit IntHistogram(std::size_t max_value = 64)
+      : buckets_(max_value + 1, 0) {}
+
+  void add(std::int64_t v) {
+    auto idx = static_cast<std::size_t>(std::max<std::int64_t>(v, 0));
+    idx = std::min(idx, buckets_.size() - 1);
+    ++buckets_[idx];
+    ++total_;
+  }
+
+  [[nodiscard]] std::uint64_t count(std::size_t value) const {
+    return value < buckets_.size() ? buckets_[value] : 0;
+  }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  [[nodiscard]] std::size_t max_observed() const {
+    for (std::size_t i = buckets_.size(); i-- > 0;) {
+      if (buckets_[i] > 0) return i;
+    }
+    return 0;
+  }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace xt

@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace xt {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  XT_CHECK(!header_.empty());
+}
+
+void Table::row(std::vector<std::string> cells) {
+  XT_CHECK_MSG(cells.size() == header_.size(),
+               "row arity " << cells.size() << " != header arity "
+                            << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::format_cell(double v) {
+  // Integral doubles print without a fractional part so counts stay
+  // readable; everything else uses 3 decimals.
+  if (std::abs(v - std::round(v)) < 1e-9 && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+  }
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << cells[c];
+      for (std::size_t pad = cells[c].size(); pad < width[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+
+  emit(header_);
+  std::size_t total = header_.size() - 1;
+  for (std::size_t w : width) total += 2 + w;
+  for (std::size_t i = 0; i + 2 < total; ++i) os << '-';
+  os << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace xt

@@ -1,0 +1,46 @@
+// Fixed-width table printing for the benchmark harnesses.  Every
+// experiment in EXPERIMENTS.md is emitted through this printer so the
+// reproduction output has a uniform, diff-able shape.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xt {
+
+/// Column-aligned text table.  Usage:
+///   Table t({"r", "n", "dilation", "load"});
+///   t.row({"3", "240", "3", "16"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must match the header arity.
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: formats each cell with to_string-like semantics.
+  template <typename... Ts>
+  void rowf(const Ts&... cells) {
+    row({format_cell(cells)...});
+  }
+
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  static std::string format_cell(const std::string& s) { return s; }
+  static std::string format_cell(const char* s) { return s; }
+  static std::string format_cell(double v);
+  template <typename T>
+  static std::string format_cell(T v) {
+    return std::to_string(v);
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xt

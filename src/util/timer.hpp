@@ -1,0 +1,26 @@
+// Wall-clock scope timing for harness reporting (google-benchmark owns
+// the fine-grained perf measurements; this is for coarse table rows).
+#pragma once
+
+#include <chrono>
+
+namespace xt {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace xt

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "baseline/inorder_hypercube.hpp"
+#include "baseline/naive_xtree.hpp"
+#include "btree/generators.hpp"
+#include "core/xtree_embedder.hpp"
+#include "embedding/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+TEST(InorderEmbedding, InjectiveIntoOptimalHypercube) {
+  for (std::int32_t r : {1, 2, 3, 4, 5}) {
+    const CompleteBinaryTree tree(r);
+    const Embedding emb = inorder_embedding(tree);
+    EXPECT_TRUE(emb.injective());
+    // 2^{r+1}-1 nodes into 2^{r+1} hypercube vertices.
+    EXPECT_EQ(emb.num_host_vertices(), tree.num_vertices() + 1);
+  }
+}
+
+TEST(InorderEmbedding, DilationExactlyTwo) {
+  // [8]: the left-child edge has dilation 2, the right-child edge 1.
+  for (std::int32_t r : {2, 3, 4, 5, 6}) {
+    const CompleteBinaryTree tree(r);
+    const Hypercube q(r + 1);
+    std::int32_t max_d = 0;
+    for (VertexId v = 0; v < tree.num_vertices(); ++v) {
+      for (int w = 0; w < 2; ++w) {
+        const VertexId c = tree.child(v, w);
+        if (c == kInvalidVertex) continue;
+        max_d = std::max(max_d,
+                         q.distance(inorder_map(tree, v), inorder_map(tree, c)));
+      }
+    }
+    EXPECT_EQ(max_d, 2) << "r=" << r;
+  }
+}
+
+TEST(InorderEmbedding, AdditiveStretchProperty) {
+  // distance Delta in B_r maps to at most Delta + 1 in Q_{r+1}.
+  const CompleteBinaryTree tree(5);
+  const Hypercube q(6);
+  for (VertexId a = 0; a < tree.num_vertices(); a += 3) {
+    for (VertexId b = 0; b < tree.num_vertices(); b += 5) {
+      EXPECT_LE(q.distance(inorder_map(tree, a), inorder_map(tree, b)),
+                tree.distance(a, b) + 1);
+    }
+  }
+}
+
+class BaselineSweep : public ::testing::TestWithParam<BaselineKind> {};
+
+TEST_P(BaselineSweep, ProducesValidLoadBoundedEmbedding) {
+  Rng rng(70);
+  for (NodeId n : {48, 240, 500}) {
+    const BinaryTree guest = make_random_tree(n, rng);
+    const XTree host(XTreeEmbedder::optimal_height(n, 16));
+    Embedding emb = embed_baseline(guest, host, 16, GetParam(), rng);
+    validate_embedding(guest, emb, 16);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, BaselineSweep, ::testing::ValuesIn(all_baselines()),
+    [](const ::testing::TestParamInfo<BaselineKind>& param_info) {
+      return std::string(baseline_name(param_info.param));
+    });
+
+TEST(Baselines, GreedyBeatsRandomOnPaths) {
+  Rng rng(71);
+  const NodeId n = 496;  // 16 * 31: exact form for r = 4
+  const BinaryTree guest = make_path_tree(n);
+  const XTree host(XTreeEmbedder::optimal_height(n, 16));
+  Embedding greedy =
+      embed_baseline(guest, host, 16, BaselineKind::kGreedy, rng);
+  Embedding random =
+      embed_baseline(guest, host, 16, BaselineKind::kRandom, rng);
+  const auto dg = dilation_xtree(guest, greedy, host);
+  const auto dr = dilation_xtree(guest, random, host);
+  EXPECT_LT(dg.max, dr.max);
+}
+
+TEST(Baselines, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (BaselineKind k : all_baselines()) names.insert(baseline_name(k));
+  EXPECT_EQ(names.size(), all_baselines().size());
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "btree/binary_tree.hpp"
+#include "btree/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+TEST(BinaryTree, SingleNode) {
+  const BinaryTree t = BinaryTree::single();
+  EXPECT_EQ(t.num_nodes(), 1);
+  EXPECT_TRUE(t.is_leaf(0));
+  EXPECT_EQ(t.degree(0), 0);
+  EXPECT_EQ(t.height(), 0);
+  t.validate();
+}
+
+TEST(BinaryTree, AddChildBuildsStructure) {
+  BinaryTree t = BinaryTree::single();
+  const NodeId a = t.add_child(0);
+  const NodeId b = t.add_child(0);
+  const NodeId c = t.add_child(a);
+  t.validate();
+  EXPECT_EQ(t.num_nodes(), 4);
+  EXPECT_EQ(t.parent(c), a);
+  EXPECT_EQ(t.num_children(0), 2);
+  EXPECT_EQ(t.degree(a), 2);
+  EXPECT_EQ(t.degree(0), 2);
+  EXPECT_THROW(t.add_child(0), check_error);  // already two children
+  EXPECT_EQ(t.num_leaves(), 2);
+  EXPECT_EQ(t.height(), 2);
+  (void)b;
+}
+
+TEST(BinaryTree, SubtreeSizesAndDepths) {
+  const BinaryTree t = make_complete_tree(3);
+  const auto sizes = t.subtree_sizes();
+  EXPECT_EQ(sizes[0], 15);
+  EXPECT_EQ(sizes[static_cast<std::size_t>(t.child(0, 0))], 7);
+  const auto depth = t.depths();
+  EXPECT_EQ(depth[0], 0);
+  EXPECT_EQ(*std::max_element(depth.begin(), depth.end()), 3);
+}
+
+TEST(BinaryTree, ParenRoundTrip) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    const BinaryTree t = make_random_tree(1 + static_cast<NodeId>(rng.below(200)), rng);
+    const std::string s = t.to_paren();
+    const BinaryTree back = BinaryTree::from_paren(s);
+    EXPECT_EQ(back.num_nodes(), t.num_nodes());
+    EXPECT_EQ(back.to_paren(), s);
+  }
+}
+
+TEST(BinaryTree, ParenDistinguishesChildSlots) {
+  // Left-only vs right-only single child.
+  const BinaryTree left = BinaryTree::from_paren("((..).)");
+  const BinaryTree right = BinaryTree::from_paren("(.(..))");
+  EXPECT_EQ(left.num_nodes(), 2);
+  EXPECT_EQ(right.num_nodes(), 2);
+  EXPECT_NE(left.to_paren(), right.to_paren());
+}
+
+TEST(BinaryTree, FromParenRejectsMalformed) {
+  EXPECT_THROW(BinaryTree::from_paren("(()"), check_error);
+  EXPECT_THROW(BinaryTree::from_paren("(..))"), check_error);
+  EXPECT_THROW(BinaryTree::from_paren("(x)"), check_error);
+  EXPECT_THROW(BinaryTree::from_paren("(...)"), check_error);
+}
+
+TEST(Generators, CompleteTree) {
+  const BinaryTree t = make_complete_tree(4);
+  t.validate();
+  EXPECT_EQ(t.num_nodes(), 31);
+  EXPECT_EQ(t.height(), 4);
+  EXPECT_EQ(t.num_leaves(), 16);
+}
+
+TEST(Generators, PathTree) {
+  const BinaryTree t = make_path_tree(10);
+  t.validate();
+  EXPECT_EQ(t.num_nodes(), 10);
+  EXPECT_EQ(t.height(), 9);
+  EXPECT_EQ(t.num_leaves(), 1);
+}
+
+TEST(Generators, CaterpillarTree) {
+  const BinaryTree t = make_caterpillar_tree(20);
+  t.validate();
+  EXPECT_EQ(t.num_nodes(), 20);
+  // Roughly half the nodes are pendant leaves.
+  EXPECT_GE(t.num_leaves(), 9);
+}
+
+TEST(Generators, CombAndBroom) {
+  const BinaryTree comb = make_comb_tree(25, 3);
+  comb.validate();
+  EXPECT_EQ(comb.num_nodes(), 25);
+  const BinaryTree broom = make_broom_tree(40);
+  broom.validate();
+  EXPECT_EQ(broom.num_nodes(), 40);
+}
+
+TEST(Generators, RemyProducesFullTrees) {
+  Rng rng(17);
+  for (NodeId leaves : {1, 2, 3, 10, 50}) {
+    const BinaryTree t = make_remy_tree(leaves, rng);
+    EXPECT_EQ(t.num_nodes(), 2 * leaves - 1);
+    EXPECT_EQ(t.num_leaves(), leaves);
+    for (NodeId v = 0; v < t.num_nodes(); ++v)
+      EXPECT_NE(t.num_children(v), 1);  // full: 0 or 2 children
+  }
+}
+
+TEST(Generators, RemyIsReasonablyBalancedOnAverage) {
+  // Expected height of a uniform full binary tree is Theta(sqrt(n));
+  // a gross regression (e.g. always a path) would blow this bound.
+  Rng rng(1234);
+  double total_height = 0;
+  const int trials = 30;
+  for (int i = 0; i < trials; ++i)
+    total_height += make_remy_tree(200, rng).height();
+  EXPECT_LT(total_height / trials, 120.0);
+  EXPECT_GT(total_height / trials, 10.0);
+}
+
+TEST(Generators, RandomTreeExactSize) {
+  Rng rng(5);
+  for (NodeId n : {1, 2, 3, 4, 15, 16, 100, 101}) {
+    const BinaryTree t = make_random_tree(n, rng);
+    t.validate();
+    EXPECT_EQ(t.num_nodes(), n);
+  }
+}
+
+TEST(Generators, RandomBstAndAttachment) {
+  Rng rng(6);
+  const BinaryTree bst = make_random_bst_tree(300, rng);
+  bst.validate();
+  EXPECT_EQ(bst.num_nodes(), 300);
+  const BinaryTree att = make_random_attachment_tree(300, rng);
+  att.validate();
+  EXPECT_EQ(att.num_nodes(), 300);
+}
+
+class FamilyGenerator : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FamilyGenerator, ProducesValidTreeOfExactSize) {
+  Rng rng(42);
+  for (NodeId n : {1, 2, 7, 48, 240}) {
+    const BinaryTree t = make_family_tree(GetParam(), n, rng);
+    t.validate();
+    EXPECT_EQ(t.num_nodes(), n) << GetParam();
+    for (NodeId v = 0; v < t.num_nodes(); ++v) EXPECT_LE(t.degree(v), 3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyGenerator,
+                         ::testing::ValuesIn(tree_family_names()));
+
+TEST(Generators, UnknownFamilyThrows) {
+  Rng rng(1);
+  EXPECT_THROW(make_family_tree("nope", 10, rng), check_error);
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,115 @@
+// Tests for the §1 context constructions: CBT -> butterfly subgraph
+// embedding, the generic greedy graph embedder, and graph dilation.
+#include <gtest/gtest.h>
+
+#include "baseline/butterfly_embeddings.hpp"
+#include "baseline/graph_embed.hpp"
+#include "core/lemma3.hpp"
+#include "graph/bfs.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/complete_binary_tree.hpp"
+#include "topology/grid.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/xtree.hpp"
+#include "util/check.hpp"
+
+namespace xt {
+namespace {
+
+TEST(CbtIntoButterfly, DilationExactlyOne) {
+  for (std::int32_t d : {2, 3, 4, 5, 6}) {
+    const CompleteBinaryTree cbt(d);
+    const Butterfly bf(d);
+    const Embedding emb = cbt_into_butterfly(cbt, bf);
+    EXPECT_TRUE(emb.injective());
+    const auto rep = graph_dilation(cbt.to_graph(), emb, bf.to_graph());
+    EXPECT_EQ(rep.max, 1) << "d=" << d;  // a subgraph embedding
+  }
+}
+
+TEST(CbtIntoButterfly, RejectsTooSmallHost) {
+  const CompleteBinaryTree cbt(5);
+  const Butterfly bf(3);
+  EXPECT_THROW(cbt_into_butterfly(cbt, bf), check_error);
+}
+
+TEST(CbtIntoButterfly, LevelsAlign) {
+  const CompleteBinaryTree cbt(4);
+  const Butterfly bf(6);
+  const Embedding emb = cbt_into_butterfly(cbt, bf);
+  for (VertexId v = 0; v < cbt.num_vertices(); ++v)
+    EXPECT_EQ(bf.level_of(emb.host_of(static_cast<NodeId>(v))),
+              cbt.level_of(v));
+}
+
+TEST(GreedyGraphEmbed, ValidLoadRespectingEmbedding) {
+  const XTree x(5);
+  const Graph guest = x.to_graph();
+  const Hypercube q(6);
+  const Graph host = q.to_graph();
+  const Embedding emb = greedy_graph_embed(guest, host, 1);
+  EXPECT_TRUE(emb.complete());
+  EXPECT_TRUE(emb.injective());
+}
+
+TEST(GreedyGraphEmbed, LoadCapHonoured) {
+  const Grid small_host(2, 2);
+  const XTree guest_tree(3);  // 15 vertices into 4 hosts at load 4
+  const Embedding emb =
+      greedy_graph_embed(guest_tree.to_graph(), small_host.to_graph(), 4);
+  EXPECT_TRUE(emb.complete());
+  EXPECT_LE(emb.load_factor(), 4);
+}
+
+TEST(GreedyGraphEmbed, RejectsInsufficientCapacity) {
+  const Grid host(2, 2);
+  const XTree guest(3);
+  EXPECT_THROW(greedy_graph_embed(guest.to_graph(), host.to_graph(), 3),
+               check_error);
+}
+
+TEST(GraphDilation, IdentityEmbeddingHasDilationOne) {
+  const Hypercube q(4);
+  const Graph g = q.to_graph();
+  Embedding id(static_cast<NodeId>(g.num_vertices()), g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    id.place(static_cast<NodeId>(v), v);
+  const auto rep = graph_dilation(g, id, g);
+  EXPECT_EQ(rep.max, 1);
+  EXPECT_DOUBLE_EQ(rep.mean, 1.0);
+}
+
+TEST(GraphDilation, Lemma3EdgesWithinTwo) {
+  const XTree x(7);
+  const Hypercube q(8);
+  Embedding emb(static_cast<NodeId>(x.num_vertices()), q.num_vertices());
+  for (VertexId v = 0; v < x.num_vertices(); ++v)
+    emb.place(static_cast<NodeId>(v), lemma3_map(x, v));
+  const auto rep = graph_dilation(x.to_graph(), emb, q.to_graph());
+  EXPECT_LE(rep.max, 2);
+}
+
+TEST(ContextShape, XtreeIntoButterflyWorseThanIntoHypercube) {
+  // The [3] obstruction in miniature: at d = 6 the greedy butterfly
+  // embedding is already strictly worse than the Lemma 3 hypercube
+  // embedding.
+  const std::int32_t d = 6;
+  const XTree x(d);
+  const Graph guest = x.to_graph();
+
+  const Hypercube q(d + 1);
+  Embedding via_lemma3(static_cast<NodeId>(x.num_vertices()),
+                       q.num_vertices());
+  for (VertexId v = 0; v < x.num_vertices(); ++v)
+    via_lemma3.place(static_cast<NodeId>(v), lemma3_map(x, v));
+  const auto cube_rep = graph_dilation(guest, via_lemma3, q.to_graph());
+
+  const Butterfly bf(d);
+  const Embedding greedy = greedy_graph_embed(guest, bf.to_graph(), 1);
+  const auto bf_rep = graph_dilation(guest, greedy, bf.to_graph());
+
+  EXPECT_LT(cube_rep.max, bf_rep.max);
+}
+
+}  // namespace
+}  // namespace xt

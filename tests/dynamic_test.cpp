@@ -1,0 +1,105 @@
+// Tests for the online (dynamic) embedding extension.
+#include <gtest/gtest.h>
+
+#include "btree/generators.hpp"
+#include "core/dynamic_embedder.hpp"
+#include "core/xtree_embedder.hpp"
+#include "embedding/metrics.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+TEST(DynamicEmbedder, StartsWithRootOnHostRoot) {
+  DynamicEmbedder dyn(3);
+  EXPECT_EQ(dyn.guest().num_nodes(), 1);
+  EXPECT_EQ(dyn.host_of(0), dyn.host().root());
+  EXPECT_EQ(dyn.free_capacity(), 16 * 15 - 1);
+}
+
+TEST(DynamicEmbedder, GrowsValidEmbeddings) {
+  Rng rng(301);
+  DynamicEmbedder dyn(4);
+  std::vector<NodeId> open{0};
+  while (dyn.free_capacity() > 0 && !open.empty()) {
+    const std::size_t pick = rng.below(open.size());
+    const NodeId parent = open[pick];
+    const NodeId leaf = dyn.add_leaf(parent);
+    if (dyn.guest().num_children(parent) == 2) {
+      open[pick] = open.back();
+      open.pop_back();
+    }
+    open.push_back(leaf);
+  }
+  const Embedding emb = dyn.snapshot();
+  validate_embedding(dyn.guest(), emb, 16);
+  EXPECT_EQ(dyn.guest().num_nodes(), 16 * 31);  // machine exactly full
+}
+
+TEST(DynamicEmbedder, RefusesGrowthWhenFull) {
+  DynamicEmbedder dyn(0);  // one vertex, 16 slots
+  NodeId tip = 0;
+  for (int i = 1; i < 16; ++i) tip = dyn.add_leaf(tip);
+  EXPECT_EQ(dyn.free_capacity(), 0);
+  EXPECT_THROW(dyn.add_leaf(tip), check_error);
+}
+
+TEST(DynamicEmbedder, BalancedGrowthKeepsDilationModerate) {
+  // Breadth-first growth (a balanced divide & conquer) stays at a
+  // moderate dilation under the greedy online rule — well below the
+  // host diameter (2r-1 = 9 here), though above the offline optimum
+  // of 3 (that gap is what bench_ablation / EXPERIMENTS.md report).
+  DynamicEmbedder dyn(5);
+  const std::int64_t headroom = dyn.free_capacity() / 10;  // keep 10% free
+  std::vector<NodeId> frontier{0};
+  while (dyn.free_capacity() > headroom) {
+    std::vector<NodeId> next;
+    for (NodeId v : frontier) {
+      for (int w = 0; w < 2 && dyn.free_capacity() > headroom; ++w)
+        next.push_back(dyn.add_leaf(v));
+    }
+    frontier = std::move(next);
+  }
+  EXPECT_LE(dyn.current_dilation(), 8);
+  // Filling the very last slots costs extra distance — the expected
+  // behaviour of any online rule on a full machine.
+  while (dyn.free_capacity() > 0) {
+    std::vector<NodeId> open;
+    for (NodeId v = 0; v < dyn.guest().num_nodes(); ++v) {
+      if (dyn.guest().num_children(v) < 2) open.push_back(v);
+    }
+    dyn.add_leaf(open.front());
+  }
+  validate_embedding(dyn.guest(), dyn.snapshot(), 16);
+}
+
+TEST(DynamicEmbedder, PathGrowthDegradesGracefully) {
+  // A pure chain is the online worst case: the greedy rule cannot
+  // reserve capacity ahead, so dilation grows — but placement stays
+  // valid and every node lands somewhere.
+  DynamicEmbedder dyn(4);
+  NodeId tip = 0;
+  while (dyn.free_capacity() > 0) tip = dyn.add_leaf(tip);
+  const Embedding emb = dyn.snapshot();
+  validate_embedding(dyn.guest(), emb, 16);
+}
+
+TEST(DynamicEmbedder, OfflineBeatsOnlineOnAdversarialGrowth) {
+  // Re-running the offline Theorem 1 algorithm on the final tree must
+  // not be worse than the online assignment (it usually wins big).
+  Rng rng(302);
+  DynamicEmbedder dyn(4);
+  NodeId tip = 0;
+  while (dyn.free_capacity() > 0) {
+    tip = dyn.add_leaf(tip);  // adversarial chain
+  }
+  const auto offline = XTreeEmbedder::embed(dyn.guest());
+  const XTree host(offline.stats.height);
+  const auto off_dil = dilation_xtree(dyn.guest(), offline.embedding, host);
+  EXPECT_LE(off_dil.max, dyn.current_dilation());
+  EXPECT_LE(off_dil.max, 3);
+}
+
+}  // namespace
+}  // namespace xt

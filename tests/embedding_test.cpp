@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "btree/generators.hpp"
+#include "embedding/embedding.hpp"
+#include "embedding/metrics.hpp"
+#include "topology/xtree.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+TEST(Embedding, PlaceAndQuery) {
+  Embedding e(3, 4);
+  EXPECT_FALSE(e.complete());
+  e.place(0, 2);
+  e.place(1, 2);
+  e.place(2, 0);
+  EXPECT_TRUE(e.complete());
+  EXPECT_EQ(e.host_of(0), 2);
+  EXPECT_EQ(e.load_factor(), 2);
+  EXPECT_FALSE(e.injective());
+  EXPECT_DOUBLE_EQ(e.expansion(), 4.0 / 3.0);
+  const auto on2 = e.guests_on(2);
+  ASSERT_EQ(on2.size(), 2u);
+}
+
+TEST(Embedding, RejectsDoublePlacementAndBadIds) {
+  Embedding e(2, 2);
+  e.place(0, 0);
+  EXPECT_THROW(e.place(0, 1), check_error);
+  EXPECT_THROW(e.place(1, 5), check_error);
+  EXPECT_THROW(e.place(9, 0), check_error);
+}
+
+TEST(Metrics, DilationOnIdentityLikeEmbedding) {
+  // Path guest on a path-shaped host region of X(2) level 2.
+  const BinaryTree guest = make_path_tree(4);
+  const XTree host(2);
+  Embedding e(4, host.num_vertices());
+  // Place consecutively along level 2: dilation 1.
+  for (NodeId v = 0; v < 4; ++v)
+    e.place(v, XTree::id_of({2, v}));
+  const auto rep = dilation_xtree(guest, e, host);
+  EXPECT_EQ(rep.max, 1);
+  EXPECT_DOUBLE_EQ(rep.mean, 1.0);
+  EXPECT_EQ(rep.num_edges, 3);
+  EXPECT_EQ(rep.histogram.count(1), 3u);
+}
+
+TEST(Metrics, GraphDilationMatchesXtreeDilation) {
+  Rng rng(9);
+  const BinaryTree guest = make_random_tree(100, rng);
+  const XTree host(3);
+  Embedding e(guest.num_nodes(), host.num_vertices());
+  for (NodeId v = 0; v < guest.num_nodes(); ++v)
+    e.place(v, static_cast<VertexId>(rng.below(host.num_vertices())));
+  const auto a = dilation_xtree(guest, e, host);
+  const auto b = dilation_graph(guest, e, host.to_graph());
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+}
+
+TEST(Metrics, DilationRequiresCompleteEmbedding) {
+  const BinaryTree guest = make_path_tree(3);
+  const XTree host(1);
+  Embedding e(3, host.num_vertices());
+  e.place(0, 0);
+  EXPECT_THROW(dilation_xtree(guest, e, host), check_error);
+}
+
+TEST(Metrics, CongestionOnSharedLink) {
+  // Star-ish guest: root with two children, all guests at the two
+  // endpoints of one host edge.
+  BinaryTree guest = BinaryTree::single();
+  guest.add_child(0);
+  guest.add_child(0);
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  const Graph host = b.build();
+  Embedding e(3, 2);
+  e.place(0, 0);
+  e.place(1, 1);
+  e.place(2, 1);
+  const auto rep = congestion(guest, e, host);
+  EXPECT_EQ(rep.max, 2);  // both guest edges cross the single link
+  EXPECT_EQ(rep.used_edges, 1);
+}
+
+TEST(Metrics, CongestionIgnoresCoLocatedEdges) {
+  BinaryTree guest = BinaryTree::single();
+  guest.add_child(0);
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  Embedding e(2, 2);
+  e.place(0, 0);
+  e.place(1, 0);
+  const auto rep = congestion(guest, e, b.build());
+  EXPECT_EQ(rep.max, 0);
+  EXPECT_EQ(rep.used_edges, 0);
+}
+
+TEST(Metrics, ValidateEmbeddingEnforcesLoad) {
+  const BinaryTree guest = make_path_tree(4);
+  Embedding e(4, 2);
+  for (NodeId v = 0; v < 4; ++v) e.place(v, 0);
+  EXPECT_EQ(validate_embedding(guest, e, 4), 4);
+  EXPECT_THROW(validate_embedding(guest, e, 3), check_error);
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,187 @@
+// Exhaustive sweeps over ALL binary trees of small sizes — the
+// strongest form of property coverage for the separator engine and the
+// embedding pipeline.  Binary trees with distinguishable child slots
+// are counted by the Catalan numbers (1, 2, 5, 14, 42, 132, 429 for
+// n = 1..7), so full enumeration is cheap up to n ~ 8.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "btree/binary_tree.hpp"
+#include "core/xtree_embedder.hpp"
+#include "embedding/metrics.hpp"
+#include "separator/piece.hpp"
+#include "separator/splitter.hpp"
+#include "topology/xtree.hpp"
+
+namespace xt {
+namespace {
+
+// Enumerates all ordered binary trees with exactly n nodes as paren
+// strings ("(LR)" with "." for an absent child).
+std::vector<std::string> all_trees(NodeId n) {
+  static std::vector<std::vector<std::string>> memo{{/* n = 0 */ "."}};
+  while (static_cast<NodeId>(memo.size()) <= n) {
+    const auto size = static_cast<NodeId>(memo.size());
+    std::vector<std::string> result;
+    for (NodeId left = 0; left < size; ++left) {
+      for (const auto& l : memo[static_cast<std::size_t>(left)]) {
+        for (const auto& r :
+             memo[static_cast<std::size_t>(size - 1 - left)]) {
+          result.push_back("(" + l + r + ")");
+        }
+      }
+    }
+    memo.push_back(std::move(result));
+  }
+  return memo[static_cast<std::size_t>(n)];
+}
+
+std::int64_t catalan(int n) {
+  std::int64_t c = 1;
+  for (int i = 0; i < n; ++i) c = c * 2 * (2 * i + 1) / (i + 2);
+  return c;
+}
+
+TEST(Enumeration, CountsMatchCatalan) {
+  for (NodeId n = 1; n <= 8; ++n)
+    EXPECT_EQ(static_cast<std::int64_t>(all_trees(n).size()), catalan(n))
+        << "n=" << n;
+}
+
+TEST(Enumeration, AllTreesParseAndValidate) {
+  for (NodeId n = 1; n <= 7; ++n) {
+    for (const auto& paren : all_trees(n)) {
+      const BinaryTree t = BinaryTree::from_paren(paren);
+      t.validate();
+      EXPECT_EQ(t.num_nodes(), n);
+      EXPECT_EQ(t.to_paren(), paren);
+    }
+  }
+}
+
+TEST(ExhaustiveSplitter, EveryTreeEveryDesignatedPairEveryTarget) {
+  // All trees of 4..7 nodes, all (d0, d1) pairs, all legal deltas —
+  // the full contract of validate_split on every instance.
+  for (NodeId n = 4; n <= 7; ++n) {
+    for (const auto& paren : all_trees(n)) {
+      const BinaryTree t = BinaryTree::from_paren(paren);
+      for (NodeId d0 = 0; d0 < n; ++d0) {
+        for (NodeId d1 = d0; d1 < n; ++d1) {
+          Piece piece;
+          for (NodeId v = 0; v < n; ++v) piece.nodes.push_back(v);
+          piece.add_designated(d0);
+          if (d1 != d0) piece.add_designated(d1);
+          for (NodeId delta = 1; delta < n; ++delta) {
+            for (SplitQuality q :
+                 {SplitQuality::kLemma1, SplitQuality::kLemma2}) {
+              const SplitResult res = split_piece(t, piece, delta, q);
+              validate_split(t, piece, res);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ExhaustiveSplitter, BalanceBoundOnAllSixNodeTrees) {
+  // With the precondition 3n > 4*delta, the lemma tolerances hold on
+  // every instance (no sampling gaps).
+  const NodeId n = 6;
+  for (const auto& paren : all_trees(n)) {
+    const BinaryTree t = BinaryTree::from_paren(paren);
+    Piece piece;
+    for (NodeId v = 0; v < n; ++v) piece.nodes.push_back(v);
+    piece.add_designated(0);
+    for (NodeId delta = 1; 3 * n > 4 * delta; ++delta) {
+      const SplitResult res =
+          split_piece(t, piece, delta, SplitQuality::kLemma2);
+      if (res.remain_total == 0) continue;
+      EXPECT_LE(std::abs(res.extract_total - delta),
+                std::max<NodeId>(lemma2_tolerance(delta), 1))
+          << paren << " delta=" << delta;
+    }
+  }
+}
+
+TEST(ExhaustiveFind2, EveryTreeEveryDesignatedPairEveryTarget) {
+  // The literal find2 case analysis on every instance: structural
+  // contract plus the paper's |S_i| <= 4 boundary bound.
+  for (NodeId n = 4; n <= 7; ++n) {
+    for (const auto& paren : all_trees(n)) {
+      const BinaryTree t = BinaryTree::from_paren(paren);
+      for (NodeId d0 = 0; d0 < n; ++d0) {
+        for (NodeId d1 = d0; d1 < n; ++d1) {
+          Piece piece;
+          for (NodeId v = 0; v < n; ++v) piece.nodes.push_back(v);
+          piece.add_designated(d0);
+          if (d1 != d0) piece.add_designated(d1);
+          for (NodeId delta = 1; delta < n; ++delta) {
+            const SplitResult res = split_piece_find2(t, piece, delta);
+            validate_split(t, piece, res);
+            EXPECT_LE(res.embed_extract.size(), 4u)
+                << paren << " d=(" << d0 << "," << d1 << ") delta=" << delta;
+            EXPECT_LE(res.embed_remain.size(), 4u)
+                << paren << " d=(" << d0 << "," << d1 << ") delta=" << delta;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ExhaustiveFind2, BalanceBoundOnAllSixNodeTrees) {
+  const NodeId n = 6;
+  for (const auto& paren : all_trees(n)) {
+    const BinaryTree t = BinaryTree::from_paren(paren);
+    for (NodeId d0 = 0; d0 < n; ++d0) {
+      for (NodeId d1 = 0; d1 < n; ++d1) {
+        Piece piece;
+        for (NodeId v = 0; v < n; ++v) piece.nodes.push_back(v);
+        piece.add_designated(d0);
+        if (d1 != d0) piece.add_designated(d1);
+        for (NodeId delta = 1; 3 * n > 4 * delta; ++delta) {
+          const SplitResult res = split_piece_find2(t, piece, delta);
+          if (res.remain_total == 0) continue;
+          EXPECT_LE(std::abs(res.extract_total - delta),
+                    std::max<NodeId>(lemma2_tolerance(delta), 1))
+              << paren << " delta=" << delta;
+        }
+      }
+    }
+  }
+}
+
+TEST(ExhaustiveEmbedding, EveryTinyTreeEmbedsValidly) {
+  // Every tree with up to 7 nodes goes through the full Theorem 1
+  // pipeline (they all land in X(0), but exercise seeding and fill).
+  for (NodeId n = 1; n <= 7; ++n) {
+    for (const auto& paren : all_trees(n)) {
+      const BinaryTree t = BinaryTree::from_paren(paren);
+      const auto res = XTreeEmbedder::embed(t);
+      validate_embedding(t, res.embedding, 16);
+    }
+  }
+}
+
+TEST(ExhaustiveEmbedding, AllFiveNodeTreesAcrossForcedHeights) {
+  // Forcing taller hosts exercises the multi-round machinery even for
+  // tiny guests (rounds with nearly-empty pools).
+  for (const auto& paren : all_trees(5)) {
+    const BinaryTree t = BinaryTree::from_paren(paren);
+    for (std::int32_t height : {1, 2, 3}) {
+      XTreeEmbedder::Options opt;
+      opt.height = height;
+      const auto res = XTreeEmbedder::embed(t, opt);
+      validate_embedding(t, res.embedding, 16);
+      const XTree host(height);
+      EXPECT_LE(dilation_xtree(t, res.embedding, host).max, 3)
+          << paren << " h=" << height;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,100 @@
+// Randomised end-to-end fuzzing: arbitrary sizes (not just the
+// theorems' exact forms), every family, many seeds — the pipeline must
+// always produce a valid complete embedding within the load cap, and
+// dilation must stay a small constant.
+#include <gtest/gtest.h>
+
+#include "btree/generators.hpp"
+#include "core/injective_lift.hpp"
+#include "core/xtree_embedder.hpp"
+#include "embedding/metrics.hpp"
+#include "sim/workloads.hpp"
+#include "topology/xtree.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+TEST(Fuzz, ArbitrarySizesAllFamilies) {
+  Rng rng(0xF00D);
+  for (int trial = 0; trial < 120; ++trial) {
+    const auto n = static_cast<NodeId>(1 + rng.below(900));
+    const auto& families = tree_family_names();
+    const std::string family =
+        families[static_cast<std::size_t>(rng.below(families.size()))];
+    const BinaryTree guest = make_family_tree(family, n, rng);
+    const auto res = XTreeEmbedder::embed(guest);
+    validate_embedding(guest, res.embedding, 16);
+    const XTree host(res.stats.height);
+    const auto rep = dilation_xtree(guest, res.embedding, host);
+    EXPECT_LE(rep.max, 6) << family << " n=" << n << " trial=" << trial;
+  }
+}
+
+TEST(Fuzz, ExactFormsStayAtDilationThree) {
+  Rng rng(0xBEEF);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto r = static_cast<std::int32_t>(2 + rng.below(5));
+    const auto n = static_cast<NodeId>(16 * ((std::int64_t{2} << r) - 1));
+    const auto& families = tree_family_names();
+    const std::string family =
+        families[static_cast<std::size_t>(rng.below(families.size()))];
+    const BinaryTree guest = make_family_tree(family, n, rng);
+    const auto res = XTreeEmbedder::embed(guest);
+    const XTree host(res.stats.height);
+    EXPECT_LE(dilation_xtree(guest, res.embedding, host).max, 3)
+        << family << " r=" << r << " trial=" << trial;
+    EXPECT_EQ(res.embedding.load_factor(), 16);
+  }
+}
+
+TEST(Fuzz, LiftsOfFuzzedEmbeddingsStayInjectiveAndBounded) {
+  Rng rng(0xCAFE);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto n = static_cast<NodeId>(30 + rng.below(500));
+    const BinaryTree guest = make_random_tree(n, rng);
+    const auto base = XTreeEmbedder::embed(guest);
+    const XTree base_host(base.stats.height);
+    const auto lift = lift_injective(guest, base.embedding, base_host);
+    const XTree lifted(lift.host_height);
+    EXPECT_TRUE(lift.embedding.injective());
+    EXPECT_LE(dilation_xtree(guest, lift.embedding, lifted).max, 14)
+        << "n=" << n;
+  }
+}
+
+TEST(Fuzz, SimulatorNeverWedgesOnFuzzedInputs) {
+  Rng rng(0xD1CE);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto n = static_cast<NodeId>(10 + rng.below(300));
+    const BinaryTree guest = make_random_tree(n, rng);
+    const auto res = XTreeEmbedder::embed(guest);
+    const XTree xtree(res.stats.height);
+    const Graph host = xtree.to_graph();
+    NetworkSim sim(host, guest, res.embedding);
+    for (Workload w : all_workloads()) {
+      const SimResult out = run_workload(sim, w);
+      EXPECT_GT(out.cycles, 0);
+      EXPECT_EQ(out.messages >= 0, true);
+    }
+  }
+}
+
+TEST(Fuzz, SeedStability) {
+  // Same seed => identical tree and identical embedding, across all
+  // families (regression guard for hidden global state).
+  for (const auto& family : tree_family_names()) {
+    Rng rng_a(99);
+    Rng rng_b(99);
+    const BinaryTree a = make_family_tree(family, 333, rng_a);
+    const BinaryTree b = make_family_tree(family, 333, rng_b);
+    ASSERT_EQ(a.to_paren(), b.to_paren()) << family;
+    const auto ra = XTreeEmbedder::embed(a);
+    const auto rb = XTreeEmbedder::embed(b);
+    for (NodeId v = 0; v < a.num_nodes(); ++v)
+      ASSERT_EQ(ra.embedding.host_of(v), rb.embedding.host_of(v)) << family;
+  }
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,84 @@
+// Golden regression tests: exact expected outputs for fixed inputs.
+// These pin the deterministic behaviour of the pipeline so that
+// refactors that change results (rather than merely code) are caught
+// deliberately.
+#include <gtest/gtest.h>
+
+#include "btree/generators.hpp"
+#include "core/lemma3.hpp"
+#include "core/xtree_embedder.hpp"
+#include "topology/xtree.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+TEST(Golden, RngStreamIsPinned) {
+  Rng rng(42);
+  // First outputs of xoshiro256** seeded via splitmix64(42).
+  const std::uint64_t a = rng();
+  const std::uint64_t b = rng();
+  Rng rng2(42);
+  EXPECT_EQ(rng2(), a);
+  EXPECT_EQ(rng2(), b);
+  EXPECT_NE(a, b);
+}
+
+TEST(Golden, ParenOfCompleteTreeHeightTwo) {
+  EXPECT_EQ(make_complete_tree(2).to_paren(),
+            "(((..)(..))((..)(..)))");
+}
+
+TEST(Golden, ParenOfPathFive) {
+  EXPECT_EQ(make_path_tree(5).to_paren(), "(((((..).).).).)");
+}
+
+TEST(Golden, GoldenTreeShapeIsPinned) {
+  // 10 nodes split 61.8/38.2 at every level.
+  EXPECT_EQ(make_golden_tree(10).to_paren(),
+            make_golden_tree(10).to_paren());
+  const BinaryTree t = make_golden_tree(10);
+  const auto sizes = t.subtree_sizes();
+  EXPECT_EQ(sizes[static_cast<std::size_t>(t.child(0, 0))], 5);
+  EXPECT_EQ(sizes[static_cast<std::size_t>(t.child(0, 1))], 4);
+}
+
+TEST(Golden, Lemma3MapOnXTree3) {
+  const XTree x(3);
+  // delta(alpha) = chi(alpha).1.0^{3-|alpha|}; root "" -> 1000.
+  EXPECT_EQ(lemma3_map(x, x.vertex_of_label("")), 0b1000);
+  EXPECT_EQ(lemma3_map(x, x.vertex_of_label("0")), 0b0100);
+  EXPECT_EQ(lemma3_map(x, x.vertex_of_label("1")), 0b1100);
+  EXPECT_EQ(lemma3_map(x, x.vertex_of_label("11")), 0b1010);
+  EXPECT_EQ(lemma3_map(x, x.vertex_of_label("111")), 0b1001);  // chi(111)=100
+}
+
+TEST(Golden, EmbeddingOfFixedTreeIsPinned) {
+  // A fixed 112-node caterpillar into X(2): spot-check specific
+  // assignments (regression anchor for the whole pipeline).
+  const BinaryTree guest = make_caterpillar_tree(112);
+  const auto res = XTreeEmbedder::embed(guest);
+  EXPECT_EQ(res.stats.height, 2);
+  const XTree host(2);
+  // Root seeds at the host root by construction.
+  EXPECT_EQ(res.embedding.host_of(guest.root()), host.root());
+  // All vertices carry exactly 16.
+  for (NodeId l : res.embedding.loads()) EXPECT_EQ(l, 16);
+  // The deterministic run always produces the same map.
+  const auto res2 = XTreeEmbedder::embed(guest);
+  for (NodeId v = 0; v < guest.num_nodes(); ++v)
+    EXPECT_EQ(res.embedding.host_of(v), res2.embedding.host_of(v));
+}
+
+TEST(Golden, XTreeLabelsOfFirstVertices) {
+  const XTree x(3);
+  EXPECT_EQ(x.label_of(0), "");
+  EXPECT_EQ(x.label_of(1), "0");
+  EXPECT_EQ(x.label_of(2), "1");
+  EXPECT_EQ(x.label_of(3), "00");
+  EXPECT_EQ(x.label_of(7), "000");
+  EXPECT_EQ(x.label_of(14), "111");
+}
+
+}  // namespace
+}  // namespace xt

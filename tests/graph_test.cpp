@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "graph/graph.hpp"
+#include "util/check.hpp"
+
+namespace xt {
+namespace {
+
+Graph path_graph(VertexId n) {
+  GraphBuilder b(n);
+  for (VertexId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+Graph cycle_graph(VertexId n) {
+  GraphBuilder b(n);
+  for (VertexId v = 0; v < n; ++v) b.add_edge(v, (v + 1) % n);
+  return b.build();
+}
+
+TEST(Graph, BuildsCsrWithSortedNeighbors) {
+  GraphBuilder b(4);
+  b.add_edge(2, 0);
+  b.add_edge(0, 1);
+  b.add_edge(3, 0);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 3u);
+  const auto nbr = g.neighbors(0);
+  ASSERT_EQ(nbr.size(), 3u);
+  EXPECT_EQ(nbr[0], 1);
+  EXPECT_EQ(nbr[1], 2);
+  EXPECT_EQ(nbr[2], 3);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(Graph, DeduplicatesParallelEdges) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(1, 1), check_error);
+}
+
+TEST(Graph, HasEdgeAndEdgeList) {
+  const Graph g = path_graph(4);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  const auto edges = g.edge_list();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0].first, 0);
+  EXPECT_EQ(edges[0].second, 1);
+}
+
+TEST(Graph, DotOutputContainsEdges) {
+  const Graph g = path_graph(3);
+  const std::string dot = g.to_dot("P");
+  EXPECT_NE(dot.find("graph P"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2"), std::string::npos);
+}
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = path_graph(5);
+  const auto d = bfs_distances(g, 0);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(d[static_cast<std::size_t>(v)], v);
+  EXPECT_EQ(bfs_distance(g, 0, 4), 4);
+  EXPECT_EQ(bfs_distance(g, 4, 4), 0);
+}
+
+TEST(Bfs, UnreachableIsMarked) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[2], kUnreachable);
+  EXPECT_EQ(bfs_distance(g, 0, 2), kUnreachable);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Bfs, ShortestPathEndpoints) {
+  const Graph g = cycle_graph(6);
+  const auto path = bfs_shortest_path(g, 0, 3);
+  ASSERT_EQ(path.size(), 4u);  // distance 3 on a 6-cycle
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), 3);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
+}
+
+TEST(Bfs, ShortestPathTrivialAndMissing) {
+  const Graph g = path_graph(3);
+  const auto self = bfs_shortest_path(g, 1, 1);
+  ASSERT_EQ(self.size(), 1u);
+  GraphBuilder b(2);
+  const Graph disconnected = b.build();
+  EXPECT_TRUE(bfs_shortest_path(disconnected, 0, 1).empty());
+}
+
+TEST(Bfs, EccentricityAndDiameter) {
+  const Graph g = path_graph(7);
+  EXPECT_EQ(eccentricity(g, 0), 6);
+  EXPECT_EQ(eccentricity(g, 3), 3);
+  EXPECT_EQ(diameter(g), 6);
+  EXPECT_EQ(diameter(cycle_graph(8)), 4);
+}
+
+TEST(Bfs, WorkspaceMatchesOneShot) {
+  const Graph g = cycle_graph(9);
+  BfsWorkspace ws(g);
+  for (VertexId s : {0, 4, 8}) {
+    const auto& fast = ws.run(s);
+    const auto slow = bfs_distances(g, s);
+    EXPECT_EQ(fast, slow);
+  }
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,118 @@
+// End-to-end flows across modules: Theorem 1 -> Theorem 2 lift,
+// Theorem 1 -> Lemma 3 -> Theorem 3, embeddings driven through the
+// network simulator, and cross-metric consistency.
+#include <gtest/gtest.h>
+
+#include "baseline/naive_xtree.hpp"
+#include "btree/generators.hpp"
+#include "core/hypercube_embedding.hpp"
+#include "core/injective_lift.hpp"
+#include "core/nset.hpp"
+#include "core/xtree_embedder.hpp"
+#include "embedding/metrics.hpp"
+#include "sim/workloads.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/xtree.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+NodeId exact_n(std::int32_t r) {
+  return static_cast<NodeId>(16 * ((std::int64_t{2} << r) - 1));
+}
+
+TEST(Integration, FullTheoremChainOnOneTree) {
+  Rng rng(90);
+  const std::int32_t r = 3;
+  const BinaryTree guest = make_random_tree(exact_n(r), rng);
+
+  // Theorem 1.
+  const auto t1 = XTreeEmbedder::embed(guest);
+  const XTree xtree(t1.stats.height);
+  validate_embedding(guest, t1.embedding, 16);
+  const auto d1 = dilation_xtree(guest, t1.embedding, xtree);
+
+  // Theorem 2 on top of the same run.
+  const auto t2 = lift_injective(guest, t1.embedding, xtree);
+  const XTree lifted(t2.host_height);
+  const auto d2 = dilation_xtree(guest, t2.embedding, lifted);
+  EXPECT_LE(d2.max, d1.max + 8);  // 4 down + base + 4 up
+
+  // Theorem 3 via Lemma 3 (a fresh exact-form size).
+  const BinaryTree cube_guest =
+      make_random_tree(static_cast<NodeId>(16 * ((std::int64_t{1} << r) - 1)),
+                       rng);
+  const auto t3 = embed_hypercube_load16(cube_guest);
+  const Hypercube q(t3.dimension);
+  const auto d3 = dilation_hypercube(cube_guest, t3.embedding, q);
+  EXPECT_LE(d3.max, 4);
+}
+
+TEST(Integration, Condition3PrimeHoldsOnEmbeddedEdges) {
+  // The dilation discipline (3'): for every guest edge, the deeper
+  // image lies in N(shallower image).  This is what Theorem 4 needs.
+  Rng rng(91);
+  const BinaryTree guest = make_random_tree(exact_n(3), rng);
+  const auto t1 = XTreeEmbedder::embed(guest);
+  const XTree xtree(t1.stats.height);
+  std::int64_t violations = 0;
+  for (const auto& [u, v] : guest.edges()) {
+    VertexId a = t1.embedding.host_of(u);
+    VertexId b = t1.embedding.host_of(v);
+    if (xtree.level_of(a) > xtree.level_of(b)) std::swap(a, b);
+    if (!in_n_set(xtree, a, b)) ++violations;
+  }
+  EXPECT_EQ(violations, 0);
+}
+
+TEST(Integration, SimulatedSlowdownTracksDilationTimesLoad) {
+  // The whole point of Theorem 1: constant dilation + constant load
+  // => constant-factor simulation.  The simulator must agree: the
+  // measured slowdown stays bounded while n grows.
+  Rng rng(92);
+  double worst = 0;
+  for (std::int32_t r : {2, 3, 4}) {
+    const BinaryTree guest = make_random_tree(exact_n(r), rng);
+    const auto t1 = XTreeEmbedder::embed(guest);
+    const XTree xtree(t1.stats.height);
+    const auto rep = measure_slowdown(xtree.to_graph(), guest, t1.embedding,
+                                      Workload::kReduction);
+    worst = std::max(worst, rep.slowdown);
+  }
+  // Load 16 serialisation plus dilation 3 routing plus congestion:
+  // generous constant bound, but a constant.
+  EXPECT_LT(worst, 200.0);
+}
+
+TEST(Integration, Theorem1BeatsBaselinesOnDilation) {
+  Rng rng(93);
+  const std::int32_t r = 4;
+  const BinaryTree guest = make_random_tree(exact_n(r), rng);
+  const auto t1 = XTreeEmbedder::embed(guest);
+  const XTree xtree(t1.stats.height);
+  const auto paper = dilation_xtree(guest, t1.embedding, xtree);
+  for (BaselineKind kind :
+       {BaselineKind::kBfsOrder, BaselineKind::kRandom}) {
+    Embedding base = embed_baseline(guest, xtree, 16, kind, rng);
+    const auto d = dilation_xtree(guest, base, xtree);
+    EXPECT_LT(paper.max, d.max) << baseline_name(kind);
+  }
+}
+
+TEST(Integration, RepeatedSizesAcrossSeeds) {
+  // Stability: many random trees of one exact-form size, all embed
+  // with load 16 and small dilation.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed);
+    const BinaryTree guest = make_random_tree(exact_n(2), rng);
+    const auto t1 = XTreeEmbedder::embed(guest);
+    validate_embedding(guest, t1.embedding, 16);
+    const XTree xtree(t1.stats.height);
+    EXPECT_LE(dilation_xtree(guest, t1.embedding, xtree).max, 3)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,163 @@
+// Serialization and certificate round trips.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "btree/generators.hpp"
+#include "core/xtree_embedder.hpp"
+#include "io/certificate.hpp"
+#include "io/serialize.hpp"
+#include "io/svg.hpp"
+#include "topology/xtree.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+TEST(Serialize, TreeRoundTrip) {
+  Rng rng(401);
+  for (NodeId n : {1, 2, 17, 300}) {
+    const BinaryTree t = make_random_tree(n, rng);
+    std::stringstream ss;
+    save_tree(ss, t);
+    const BinaryTree back = load_tree(ss);
+    EXPECT_EQ(back.to_paren(), t.to_paren());
+  }
+}
+
+TEST(Serialize, EmbeddingRoundTrip) {
+  Rng rng(402);
+  const BinaryTree guest = make_random_tree(240, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  std::stringstream ss;
+  save_embedding(ss, res.embedding);
+  const Embedding back = load_embedding(ss);
+  EXPECT_EQ(back.num_guest_nodes(), res.embedding.num_guest_nodes());
+  EXPECT_EQ(back.num_host_vertices(), res.embedding.num_host_vertices());
+  for (NodeId v = 0; v < guest.num_nodes(); ++v)
+    EXPECT_EQ(back.host_of(v), res.embedding.host_of(v));
+}
+
+TEST(Serialize, RejectsMalformedStreams) {
+  {
+    std::stringstream ss("not-an-embedding v9 3 3\n");
+    EXPECT_THROW(load_embedding(ss), check_error);
+  }
+  {
+    std::stringstream ss("xtreesim-embedding v1 3 2\n0 0\n1 1\n");  // truncated
+    EXPECT_THROW(load_embedding(ss), check_error);
+  }
+  {
+    std::stringstream ss("xtreesim-embedding v1 2 2\n0 0\n0 1\n");  // dup guest
+    EXPECT_THROW(load_embedding(ss), check_error);
+  }
+  {
+    std::stringstream ss("xtreesim-embedding v1 2 2\n0 0\n1 7\n");  // bad host
+    EXPECT_THROW(load_embedding(ss), check_error);
+  }
+  {
+    std::stringstream empty("");
+    EXPECT_THROW(load_tree(empty), check_error);
+  }
+}
+
+TEST(Serialize, RejectsIncompleteSave) {
+  Embedding emb(3, 2);
+  emb.place(0, 0);
+  std::stringstream ss;
+  EXPECT_THROW(save_embedding(ss, emb), check_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Rng rng(403);
+  const BinaryTree t = make_random_tree(50, rng);
+  const std::string path = "/tmp/xtreesim_io_test_tree.txt";
+  save_tree_file(path, t);
+  EXPECT_EQ(load_tree_file(path).to_paren(), t.to_paren());
+}
+
+TEST(Certificate, IssueAndVerify) {
+  Rng rng(404);
+  const BinaryTree guest = make_random_tree(16 * 15, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  const auto cert =
+      issue_certificate(guest, res.embedding, res.stats.height);
+  EXPECT_LE(cert.dilation, 3);
+  EXPECT_EQ(cert.load_factor, 16);
+  EXPECT_TRUE(verify_certificate(cert, guest, res.embedding));
+}
+
+TEST(Certificate, DetectsTamperedClaims) {
+  Rng rng(405);
+  const BinaryTree guest = make_random_tree(112, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  auto cert = issue_certificate(guest, res.embedding, res.stats.height);
+  auto tampered = cert;
+  tampered.dilation -= 1;
+  EXPECT_FALSE(verify_certificate(tampered, guest, res.embedding));
+  tampered = cert;
+  tampered.load_factor = 15;
+  EXPECT_FALSE(verify_certificate(tampered, guest, res.embedding));
+}
+
+TEST(Certificate, DetectsDifferentGuestOrAssignment) {
+  Rng rng(406);
+  const BinaryTree guest = make_random_tree(112, rng);
+  const BinaryTree other = make_random_tree(112, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  const auto cert =
+      issue_certificate(guest, res.embedding, res.stats.height);
+  // Different tree of the same size.
+  EXPECT_FALSE(verify_certificate(cert, other, res.embedding));
+  // Different (but valid) assignment.
+  const auto res_other = XTreeEmbedder::embed(other);
+  EXPECT_FALSE(verify_certificate(cert, guest, res_other.embedding));
+}
+
+TEST(Certificate, TextRoundTrip) {
+  Rng rng(407);
+  const BinaryTree guest = make_random_tree(48, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  const auto cert =
+      issue_certificate(guest, res.embedding, res.stats.height);
+  const auto back = certificate_from_string(certificate_to_string(cert));
+  EXPECT_EQ(back.guest_fingerprint, cert.guest_fingerprint);
+  EXPECT_EQ(back.assignment_fingerprint, cert.assignment_fingerprint);
+  EXPECT_EQ(back.dilation, cert.dilation);
+  EXPECT_EQ(back.load_factor, cert.load_factor);
+  EXPECT_TRUE(verify_certificate(back, guest, res.embedding));
+  EXPECT_THROW(certificate_from_string("garbage"), check_error);
+}
+
+TEST(Svg, Figure1Renders) {
+  const XTree x(3);
+  const std::string svg = xtree_to_svg(x);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // All 15 vertex labels appear (root is "e").
+  EXPECT_NE(svg.find(">e<"), std::string::npos);
+  EXPECT_NE(svg.find(">000<"), std::string::npos);
+  EXPECT_NE(svg.find(">111<"), std::string::npos);
+  // 25 edges: 14 tree lines + 11 dashed cross lines.
+  std::size_t lines = 0;
+  for (std::size_t pos = svg.find("<line"); pos != std::string::npos;
+       pos = svg.find("<line", pos + 1))
+    ++lines;
+  EXPECT_EQ(lines, 25u);
+}
+
+TEST(Svg, EmbeddingHeatRenders) {
+  Rng rng(408);
+  const BinaryTree guest = make_random_tree(112, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  const XTree host(res.stats.height);
+  const std::string svg = embedding_to_svg(host, guest, res.embedding);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find(">16<"), std::string::npos);  // loads shown
+  EXPECT_THROW(embedding_to_svg(XTree(9), guest, res.embedding),
+               check_error);  // wrong host size
+}
+
+}  // namespace
+}  // namespace xt

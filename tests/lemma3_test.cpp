@@ -1,0 +1,88 @@
+// Lemma 3: X(r) embeds injectively into Q_{r+1} with additive
+// distance stretch <= 1.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/lemma3.hpp"
+#include "graph/bfs.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/xtree.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+class Lemma3Exhaustive : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(Lemma3Exhaustive, InjectiveAndStretchAtMostOne) {
+  const std::int32_t r = GetParam();
+  const XTree x(r);
+  const Hypercube q(lemma3_dimension(x));
+  std::set<VertexId> images;
+  for (VertexId v = 0; v < x.num_vertices(); ++v) {
+    const VertexId h = lemma3_map(x, v);
+    EXPECT_TRUE(q.contains(h));
+    EXPECT_TRUE(images.insert(h).second) << "collision at " << x.label_of(v);
+  }
+  // All-pairs stretch check.
+  const Graph g = x.to_graph();
+  for (VertexId a = 0; a < x.num_vertices(); ++a) {
+    const auto dist = bfs_distances(g, a);
+    const VertexId ha = lemma3_map(x, a);
+    for (VertexId b = 0; b < x.num_vertices(); ++b) {
+      const std::int32_t dq = q.distance(ha, lemma3_map(x, b));
+      EXPECT_LE(dq, dist[static_cast<std::size_t>(b)] + 1)
+          << x.label_of(a) << " -> " << x.label_of(b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Heights, Lemma3Exhaustive,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Lemma3, EdgesMapWithinDistanceTwo) {
+  const XTree x(10);
+  const Hypercube q(11);
+  std::vector<VertexId> nbr;
+  Rng rng(31);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto a = static_cast<VertexId>(rng.below(x.num_vertices()));
+    nbr.clear();
+    x.neighbors(a, nbr);
+    for (VertexId b : nbr) {
+      EXPECT_LE(q.distance(lemma3_map(x, a), lemma3_map(x, b)), 2);
+    }
+  }
+}
+
+TEST(Lemma3, HorizontalEdgesMapToHypercubeEdges) {
+  // The proof shows sibling-successor pairs differ in exactly one chi
+  // bit, hence distance exactly 1.
+  const XTree x(9);
+  const Hypercube q(10);
+  for (std::int32_t level = 1; level <= 9; ++level) {
+    const std::int64_t count = std::int64_t{1} << level;
+    for (std::int64_t p = 0; p + 1 < count; p += 17) {
+      const VertexId a = XTree::id_of({level, p});
+      const VertexId b = XTree::id_of({level, p + 1});
+      EXPECT_EQ(q.distance(lemma3_map(x, a), lemma3_map(x, b)), 1)
+          << x.label_of(a);
+    }
+  }
+}
+
+TEST(Lemma3, SampledStretchOnLargeInstance) {
+  const XTree x(12);
+  const Hypercube q(13);
+  Rng rng(88);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = static_cast<VertexId>(rng.below(x.num_vertices()));
+    const auto b = static_cast<VertexId>(rng.below(x.num_vertices()));
+    EXPECT_LE(q.distance(lemma3_map(x, a), lemma3_map(x, b)),
+              x.distance(a, b) + 1);
+  }
+}
+
+}  // namespace
+}  // namespace xt

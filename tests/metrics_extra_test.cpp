@@ -1,0 +1,114 @@
+// Deeper metric-layer properties: histogram accounting, congestion
+// determinism and conservation, expansion arithmetic, and consistency
+// between the three dilation implementations.
+#include <gtest/gtest.h>
+
+#include "btree/generators.hpp"
+#include "core/xtree_embedder.hpp"
+#include "embedding/metrics.hpp"
+#include "graph/bfs.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/xtree.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+TEST(DilationReport, HistogramSumsToEdgeCount) {
+  Rng rng(201);
+  const BinaryTree guest = make_random_tree(16 * 15, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  const XTree host(res.stats.height);
+  const auto rep = dilation_xtree(guest, res.embedding, host);
+  EXPECT_EQ(rep.num_edges, guest.num_nodes() - 1);
+  std::uint64_t total = 0;
+  for (std::size_t d = 0; d <= rep.histogram.max_observed(); ++d)
+    total += rep.histogram.count(d);
+  EXPECT_EQ(total, static_cast<std::uint64_t>(rep.num_edges));
+  EXPECT_EQ(static_cast<std::int32_t>(rep.histogram.max_observed()), rep.max);
+}
+
+TEST(DilationReport, MeanIsHistogramWeightedAverage) {
+  Rng rng(202);
+  const BinaryTree guest = make_random_tree(300, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  const XTree host(res.stats.height);
+  const auto rep = dilation_xtree(guest, res.embedding, host);
+  double weighted = 0;
+  for (std::size_t d = 0; d <= rep.histogram.max_observed(); ++d)
+    weighted += static_cast<double>(d) * static_cast<double>(rep.histogram.count(d));
+  EXPECT_NEAR(rep.mean, weighted / static_cast<double>(rep.num_edges), 1e-9);
+}
+
+TEST(DilationImplementations, AgreeOnHypercubeHosts) {
+  Rng rng(203);
+  const BinaryTree guest = make_random_tree(100, rng);
+  const Hypercube q(6);
+  Embedding emb(guest.num_nodes(), q.num_vertices());
+  for (NodeId v = 0; v < guest.num_nodes(); ++v)
+    emb.place(v, static_cast<VertexId>(rng.below(q.num_vertices())));
+  const auto closed = dilation_hypercube(guest, emb, q);
+  const auto generic = dilation_graph(guest, emb, q.to_graph());
+  EXPECT_EQ(closed.max, generic.max);
+  EXPECT_DOUBLE_EQ(closed.mean, generic.mean);
+}
+
+TEST(Congestion, ConservationOfHops) {
+  // Total traffic over all host edges equals the sum of the routed
+  // path lengths, which is the total dilation of non-co-located edges.
+  Rng rng(204);
+  const BinaryTree guest = make_random_tree(240, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  const XTree xtree(res.stats.height);
+  const Graph host = xtree.to_graph();
+  const auto dil = dilation_xtree(guest, res.embedding, xtree);
+  const auto cong = congestion(guest, res.embedding, host);
+  const double total_traffic = cong.mean * static_cast<double>(cong.used_edges);
+  const double total_dilation = dil.mean * static_cast<double>(dil.num_edges);
+  EXPECT_NEAR(total_traffic, total_dilation, 1e-6);
+}
+
+TEST(Congestion, DeterministicAcrossCalls) {
+  Rng rng(205);
+  const BinaryTree guest = make_random_tree(200, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  const XTree xtree(res.stats.height);
+  const Graph host = xtree.to_graph();
+  const auto a = congestion(guest, res.embedding, host);
+  const auto b = congestion(guest, res.embedding, host);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.used_edges, b.used_edges);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+}
+
+TEST(Congestion, BoundedByLoadTimesDegreeArgument) {
+  // With dilation <= 3 and load 16, any host edge carries at most the
+  // guest edges whose endpoints map within distance 3 of it: a crude
+  // bound of (ball size) * 16 * 3 edges.  The observed congestion is
+  // far below; this guards against pathological routing regressions.
+  Rng rng(206);
+  const BinaryTree guest = make_random_tree(16 * 31, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  const XTree xtree(res.stats.height);
+  const auto cong = congestion(guest, res.embedding, xtree.to_graph());
+  EXPECT_LE(cong.max, 16 * 3 * 21);
+  EXPECT_GT(cong.max, 0);
+}
+
+TEST(Expansion, MatchesHostOverGuestRatio) {
+  Embedding e(10, 25);
+  EXPECT_DOUBLE_EQ(e.expansion(), 2.5);
+}
+
+TEST(Loads, SumEqualsPlacedCount) {
+  Rng rng(207);
+  const BinaryTree guest = make_random_tree(500, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  const auto loads = res.embedding.loads();
+  NodeId total = 0;
+  for (NodeId l : loads) total += l;
+  EXPECT_EQ(total, guest.num_nodes());
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,130 @@
+// Figure 2: the neighbourhood N(a) and the counting behind the
+// universal-graph degree bound 25*16 + 15 = 415.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/nset.hpp"
+#include "graph/bfs.hpp"
+#include "topology/xtree.hpp"
+
+namespace xt {
+namespace {
+
+// Reference N(a) by explicit walk enumeration: paths of <= 3
+// horizontal edges, or <= 2 downward then <= 2 horizontal.
+std::set<VertexId> reference_n_set(const XTree& x, VertexId a) {
+  std::set<VertexId> out;
+  const XCoord c = x.coord_of(a);
+  for (int down = 0; down <= 2; ++down) {
+    if (c.level + down > x.height()) break;
+    const int max_horizontal = down == 0 ? 3 : 2;
+    // All vertices reachable by exactly `down` child steps: positions
+    // form the cone [pos*2^down, (pos+1)*2^down - 1].
+    const std::int64_t lo = c.pos << down;
+    const std::int64_t hi = ((c.pos + 1) << down) - 1;
+    const std::int64_t level_max =
+        (std::int64_t{1} << (c.level + down)) - 1;
+    for (std::int64_t p = std::max<std::int64_t>(0, lo - max_horizontal);
+         p <= std::min(level_max, hi + max_horizontal); ++p) {
+      out.insert(XTree::id_of({c.level + down, p}));
+    }
+  }
+  return out;
+}
+
+TEST(NSet, MatchesReferenceEnumeration) {
+  const XTree x(6);
+  for (VertexId a = 0; a < x.num_vertices(); ++a) {
+    const auto got = n_set(x, a);
+    const std::set<VertexId> want = reference_n_set(x, a);
+    EXPECT_EQ(std::set<VertexId>(got.begin(), got.end()), want)
+        << "a=" << x.label_of(a);
+  }
+}
+
+TEST(NSet, SizeBoundTwentyPlusSelf) {
+  // Paper §3: |N(a) - {a}| <= 20.
+  for (std::int32_t r : {3, 5, 8}) {
+    const XTree x(r);
+    std::size_t best = 0;
+    for (VertexId a = 0; a < x.num_vertices(); ++a) {
+      const auto set = n_set(x, a);
+      EXPECT_LE(set.size(), 21u) << x.label_of(a);
+      best = std::max(best, set.size());
+    }
+    if (r >= 5) {
+      EXPECT_EQ(best, 21u);  // the bound is attained
+    }
+  }
+}
+
+TEST(NSet, MembershipPredicateAgrees) {
+  const XTree x(5);
+  for (VertexId a = 0; a < x.num_vertices(); ++a) {
+    const auto set = n_set(x, a);
+    const std::set<VertexId> in(set.begin(), set.end());
+    for (VertexId b = 0; b < x.num_vertices(); ++b)
+      EXPECT_EQ(in_n_set(x, a, b), in.count(b) == 1)
+          << x.label_of(a) << " vs " << x.label_of(b);
+  }
+}
+
+TEST(NSet, ReverseOnlyVerticesAtMostFive) {
+  // Paper §3: at most 5 vertices b with a in N(b) but b not in N(a).
+  for (std::int32_t r : {4, 6, 8}) {
+    const XTree x(r);
+    for (VertexId a = 0; a < x.num_vertices(); ++a) {
+      int reverse_only = 0;
+      for (VertexId b = 0; b < x.num_vertices(); ++b) {
+        if (b != a && in_n_set(x, b, a) && !in_n_set(x, a, b)) ++reverse_only;
+      }
+      EXPECT_LE(reverse_only, 5) << x.label_of(a);
+    }
+  }
+}
+
+TEST(NSet, SymmetricSetSizeAtMostTwentyFive) {
+  for (std::int32_t r : {4, 6, 8}) {
+    const XTree x(r);
+    std::size_t best = 0;
+    for (VertexId a = 0; a < x.num_vertices(); ++a) {
+      const auto sym = n_set_symmetric(x, a);
+      EXPECT_LE(sym.size(), 25u) << x.label_of(a);
+      EXPECT_TRUE(std::find(sym.begin(), sym.end(), a) == sym.end());
+      best = std::max(best, sym.size());
+    }
+    if (r >= 6) {
+      EXPECT_GE(best, 24u);  // essentially attained
+    }
+  }
+}
+
+TEST(NSet, SymmetricEqualsBruteForceUnion) {
+  const XTree x(6);
+  for (VertexId a = 0; a < x.num_vertices(); ++a) {
+    std::set<VertexId> want;
+    for (VertexId b = 0; b < x.num_vertices(); ++b) {
+      if (b != a && (in_n_set(x, a, b) || in_n_set(x, b, a))) want.insert(b);
+    }
+    const auto got = n_set_symmetric(x, a);
+    EXPECT_EQ(std::set<VertexId>(got.begin(), got.end()), want)
+        << x.label_of(a);
+  }
+}
+
+TEST(NSet, MembersAreWithinDistanceThree) {
+  // Everything N(a) promises is reachable within 3 X-tree hops (this
+  // is what makes condition (3') imply dilation 3).
+  const XTree x(7);
+  for (VertexId a = 0; a < x.num_vertices(); a += 5) {
+    for (VertexId b : n_set(x, a)) {
+      EXPECT_LE(x.distance(a, b), 3)
+          << x.label_of(a) << " -> " << x.label_of(b);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xt

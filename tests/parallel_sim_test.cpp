@@ -1,0 +1,86 @@
+// The parallel simulator must match the sequential one on every
+// counter, for every worker count — the machine model is well-defined
+// independent of execution strategy.
+#include <gtest/gtest.h>
+
+#include "btree/generators.hpp"
+#include "core/xtree_embedder.hpp"
+#include "sim/network_sim.hpp"
+#include "sim/parallel_sim.hpp"
+#include "topology/xtree.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+void expect_equal(const SimResult& a, const SimResult& b,
+                  const char* context) {
+  EXPECT_EQ(a.cycles, b.cycles) << context;
+  EXPECT_EQ(a.messages, b.messages) << context;
+  EXPECT_EQ(a.total_hops, b.total_hops) << context;
+  EXPECT_EQ(a.max_link_wait, b.max_link_wait) << context;
+}
+
+TEST(ParallelSim, MatchesSequentialOnRandomTrees) {
+  Rng rng(501);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto n = static_cast<NodeId>(50 + rng.below(800));
+    const BinaryTree guest = make_random_tree(n, rng);
+    const auto res = XTreeEmbedder::embed(guest);
+    const XTree xtree(res.stats.height);
+    const Graph host = xtree.to_graph();
+
+    NetworkSim seq(host, guest, res.embedding);
+    ParallelNetworkSim par(host, guest, res.embedding, {}, 4);
+    expect_equal(par.run_reduction(), seq.run_reduction(), "reduction");
+    expect_equal(par.run_broadcast(), seq.run_broadcast(), "broadcast");
+  }
+}
+
+TEST(ParallelSim, IdenticalAcrossWorkerCounts) {
+  Rng rng(502);
+  const BinaryTree guest = make_random_tree(16 * 15, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  const XTree xtree(res.stats.height);
+  const Graph host = xtree.to_graph();
+  SimResult reference;
+  bool first = true;
+  for (unsigned workers : {1u, 2u, 3u, 8u}) {
+    ParallelNetworkSim sim(host, guest, res.embedding, {}, workers);
+    const SimResult out = sim.run_reduction();
+    if (first) {
+      reference = out;
+      first = false;
+    } else {
+      expect_equal(out, reference, "workers");
+    }
+  }
+}
+
+TEST(ParallelSim, MatchesSequentialUnderContentionConfigs) {
+  Rng rng(503);
+  const BinaryTree guest = make_random_tree(16 * 31, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  const XTree xtree(res.stats.height);
+  const Graph host = xtree.to_graph();
+  for (const SimConfig config : {SimConfig{1, 1}, SimConfig{4, 1},
+                                 SimConfig{1, 2}, SimConfig{16, 4}}) {
+    NetworkSim seq(host, guest, res.embedding, config);
+    ParallelNetworkSim par(host, guest, res.embedding, config, 4);
+    expect_equal(par.run_reduction(), seq.run_reduction(), "config");
+  }
+}
+
+TEST(ParallelSim, PathGuestWorstCase) {
+  // A path guest maximises message chains (fully serial dependency).
+  const BinaryTree guest = make_path_tree(16 * 7);
+  const auto res = XTreeEmbedder::embed(guest);
+  const XTree xtree(res.stats.height);
+  const Graph host = xtree.to_graph();
+  NetworkSim seq(host, guest, res.embedding);
+  ParallelNetworkSim par(host, guest, res.embedding);
+  expect_equal(par.run_reduction(), seq.run_reduction(), "path");
+}
+
+}  // namespace
+}  // namespace xt

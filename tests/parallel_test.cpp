@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace xt {
+namespace {
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  for (unsigned workers : {1u, 2u, 3u, 8u}) {
+    std::vector<std::atomic<int>> hits(1000);
+    parallel_for(0, 1000, [&](std::int64_t i) { ++hits[static_cast<std::size_t>(i)]; },
+                 workers);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, EmptyAndSingleRanges) {
+  int count = 0;
+  parallel_for(5, 5, [&](std::int64_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  parallel_for(7, 4, [&](std::int64_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  parallel_for(3, 4, [&](std::int64_t i) {
+    EXPECT_EQ(i, 3);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ParallelFor, NonZeroBase) {
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(100, 200, [&](std::int64_t i) { sum += i; }, 4);
+  std::int64_t want = 0;
+  for (std::int64_t i = 100; i < 200; ++i) want += i;
+  EXPECT_EQ(sum.load(), want);
+}
+
+TEST(ParallelFor, DeterministicOutputPerIndex) {
+  // Each index writes its own slot: result independent of workers.
+  std::vector<std::int64_t> a(500), b(500);
+  parallel_for(0, 500, [&](std::int64_t i) { a[static_cast<std::size_t>(i)] = i * i; }, 1);
+  parallel_for(0, 500, [&](std::int64_t i) { b[static_cast<std::size_t>(i)] = i * i; }, 8);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ParallelFor, WorkerCountSane) {
+  EXPECT_GE(parallel_workers(), 1u);
+  EXPECT_LE(parallel_workers(), 16u);
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "topology/xtree.hpp"
+#include "topology/xtree_router.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+TEST(XTreeRouter, NextHopIsNeighborAndCloser) {
+  const XTree x(6);
+  const XTreeRouter router(x);
+  Rng rng(1);
+  std::vector<VertexId> nbr;
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto a = static_cast<VertexId>(rng.below(x.num_vertices()));
+    const auto b = static_cast<VertexId>(rng.below(x.num_vertices()));
+    if (a == b) {
+      EXPECT_EQ(router.next_hop(a, b), a);
+      continue;
+    }
+    const VertexId h = router.next_hop(a, b);
+    nbr.clear();
+    x.neighbors(a, nbr);
+    EXPECT_NE(std::find(nbr.begin(), nbr.end(), h), nbr.end());
+    EXPECT_EQ(x.distance(h, b), x.distance(a, b) - 1);
+  }
+}
+
+TEST(XTreeRouter, RoutesAreShortestPaths) {
+  const XTree x(7);
+  const XTreeRouter router(x);
+  const Graph g = x.to_graph();
+  Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = static_cast<VertexId>(rng.below(x.num_vertices()));
+    const auto b = static_cast<VertexId>(rng.below(x.num_vertices()));
+    const auto path = router.route(a, b);
+    ASSERT_GE(path.size(), 1u);
+    EXPECT_EQ(path.front(), a);
+    EXPECT_EQ(path.back(), b);
+    EXPECT_EQ(static_cast<std::int32_t>(path.size()) - 1,
+              bfs_distance(g, a, b));
+    for (std::size_t i = 0; i + 1 < path.size(); ++i)
+      EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
+  }
+}
+
+TEST(XTreeRouter, DeterministicAcrossInstances) {
+  const XTree x(5);
+  const XTreeRouter r1(x);
+  const XTreeRouter r2(x);
+  for (VertexId a = 0; a < x.num_vertices(); a += 3) {
+    for (VertexId b = 0; b < x.num_vertices(); b += 5) {
+      EXPECT_EQ(r1.route(a, b), r2.route(a, b));
+    }
+  }
+}
+
+TEST(XTreeRouter, CachedVariantMatches) {
+  const XTree x(6);
+  XTreeRouter router(x);
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto a = static_cast<VertexId>(rng.below(x.num_vertices()));
+    const auto b = static_cast<VertexId>(rng.below(x.num_vertices()));
+    const auto& cached = router.route_cached(a, b);
+    EXPECT_EQ(cached, router.route(a, b));
+    // Second lookup returns the same object.
+    EXPECT_EQ(&router.route_cached(a, b), &cached);
+  }
+}
+
+TEST(XTreeRouter, ExhaustiveSmallHeights) {
+  for (std::int32_t r : {1, 2, 3, 4}) {
+    const XTree x(r);
+    const XTreeRouter router(x);
+    const Graph g = x.to_graph();
+    for (VertexId a = 0; a < x.num_vertices(); ++a) {
+      const auto dist = bfs_distances(g, a);
+      for (VertexId b = 0; b < x.num_vertices(); ++b) {
+        EXPECT_EQ(static_cast<std::int32_t>(router.route(a, b).size()) - 1,
+                  dist[static_cast<std::size_t>(b)]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xt

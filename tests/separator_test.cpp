@@ -1,0 +1,250 @@
+// Property tests for the Lemma 1 / Lemma 2 separation engine — the
+// machinery underlying every balance bound in the paper.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "btree/generators.hpp"
+#include "separator/piece.hpp"
+#include "separator/splitter.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+// Piece covering a whole tree, with designated nodes faked at the
+// given guest nodes (as if their neighbours were embedded elsewhere).
+Piece whole_tree_piece(const BinaryTree& t, NodeId d0, NodeId d1) {
+  Piece p;
+  p.nodes.resize(static_cast<std::size_t>(t.num_nodes()));
+  for (NodeId v = 0; v < t.num_nodes(); ++v)
+    p.nodes[static_cast<std::size_t>(v)] = v;
+  if (d0 != kInvalidNode) p.add_designated(d0);
+  if (d1 != kInvalidNode) p.add_designated(d1);
+  return p;
+}
+
+TEST(PieceView, RootedStructure) {
+  const BinaryTree t = make_complete_tree(3);
+  const Piece p = whole_tree_piece(t, 0, kInvalidNode);
+  const PieceView view(t, p);
+  EXPECT_EQ(view.size(), 15);
+  EXPECT_EQ(view.global_of(view.root()), 0);
+  EXPECT_EQ(view.subtree_size(view.root()), 15);
+  EXPECT_EQ(view.parent(view.root()), -1);
+  EXPECT_EQ(view.preorder().size(), 15u);
+}
+
+TEST(PieceView, LcaAndMedian) {
+  //      0
+  //     / \.
+  //    1   2
+  //   / \.
+  //  3   4
+  BinaryTree t = BinaryTree::single();
+  const NodeId n1 = t.add_child(0);
+  const NodeId n2 = t.add_child(0);
+  const NodeId n3 = t.add_child(n1);
+  const NodeId n4 = t.add_child(n1);
+  const Piece p = whole_tree_piece(t, 0, kInvalidNode);
+  const PieceView view(t, p);
+  const auto l = [&](NodeId g) { return view.local_of(g); };
+  EXPECT_EQ(view.lca(l(n3), l(n4)), l(n1));
+  EXPECT_EQ(view.lca(l(n3), l(n2)), l(0));
+  EXPECT_EQ(view.median(l(n3), l(n4), l(n2)), l(n1));
+  EXPECT_EQ(view.median(l(n3), l(n4), l(n1)), l(n1));
+}
+
+TEST(PieceView, RejectsDisconnectedPiece) {
+  const BinaryTree t = make_complete_tree(2);
+  Piece p;
+  p.nodes = {1, 2};  // the two children of the root, not adjacent
+  p.add_designated(1);
+  EXPECT_THROW(PieceView(t, p), check_error);
+}
+
+TEST(CollectPieces, PartitionsComplement) {
+  const BinaryTree t = make_complete_tree(3);
+  std::vector<char> embedded(15, 0);
+  embedded[0] = 1;  // root embedded
+  const auto pieces = collect_pieces(t, embedded);
+  ASSERT_EQ(pieces.size(), 2u);
+  NodeId total = 0;
+  for (const auto& p : pieces) {
+    total += p.size();
+    EXPECT_EQ(p.num_designated(), 1);
+    validate_piece(t, embedded, p);
+  }
+  EXPECT_EQ(total, 14);
+}
+
+TEST(CollectPieces, TwoDesignatedInterval) {
+  const BinaryTree t = make_path_tree(10);
+  std::vector<char> embedded(10, 0);
+  embedded[0] = 1;
+  embedded[9] = 1;
+  const auto pieces = collect_pieces(t, embedded);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].num_designated(), 2);  // an "interval"
+  validate_piece(t, embedded, pieces[0]);
+}
+
+TEST(ExtractWholePiece, EmbedsDesignatedAndRepieces) {
+  const BinaryTree t = make_complete_tree(3);
+  const Piece p = whole_tree_piece(t, 0, 14);
+  const SplitResult res = extract_whole_piece(t, p);
+  EXPECT_EQ(res.extract_total, 15);
+  EXPECT_EQ(res.remain_total, 0);
+  EXPECT_EQ(res.embed_extract.size(), 2u);
+  EXPECT_TRUE(res.embed_remain.empty());
+  validate_split(t, p, res);
+}
+
+// --- parameterised property sweep over families, sizes, targets ------------
+
+struct SplitCase {
+  std::string family;
+  NodeId n;
+  std::uint64_t seed;
+};
+
+class SplitProperty : public ::testing::TestWithParam<SplitCase> {};
+
+TEST_P(SplitProperty, Lemma2BalanceBoundaryCollinearity) {
+  const auto& param = GetParam();
+  Rng rng(param.seed);
+  const BinaryTree t = make_family_tree(param.family, param.n, rng);
+  // Sweep designated choices and targets.
+  for (int variant = 0; variant < 8; ++variant) {
+    const NodeId d0 = static_cast<NodeId>(rng.below(t.num_nodes()));
+    NodeId d1 = static_cast<NodeId>(rng.below(t.num_nodes()));
+    if (variant % 3 == 0) d1 = d0;  // single designated node
+    const Piece piece = whole_tree_piece(t, d0, d1 == d0 ? kInvalidNode : d1);
+
+    for (NodeId delta :
+         {NodeId{1}, NodeId{2}, static_cast<NodeId>(param.n / 7 + 1),
+          static_cast<NodeId>(param.n / 3 + 1),
+          static_cast<NodeId>(param.n / 2)}) {
+      if (delta < 1 || delta >= t.num_nodes()) continue;
+      const SplitResult res =
+          split_piece(t, piece, delta, SplitQuality::kLemma2);
+      validate_split(t, piece, res);
+      // Balance: the paper's Lemma 2 bound applies when the
+      // precondition |P| > 4*delta/3 holds and a real split happened.
+      if (3 * static_cast<std::int64_t>(t.num_nodes()) > 4 * delta &&
+          res.remain_total > 0) {
+        EXPECT_LE(std::abs(res.extract_total - delta),
+                  std::max<NodeId>(lemma2_tolerance(delta), 1))
+            << param.family << " n=" << param.n << " delta=" << delta;
+      }
+      // Boundary budgets: |S_i| <= 4 plus at most the recorded median
+      // promotions.
+      EXPECT_LE(static_cast<int>(res.embed_extract.size()),
+                4 + res.median_fixes);
+      EXPECT_LE(static_cast<int>(res.embed_remain.size()),
+                4 + res.median_fixes);
+      EXPECT_LE(res.num_cuts, 2);
+    }
+  }
+}
+
+TEST_P(SplitProperty, Lemma1SingleCut) {
+  const auto& param = GetParam();
+  Rng rng(param.seed ^ 0xabcdef);
+  const BinaryTree t = make_family_tree(param.family, param.n, rng);
+  const NodeId d0 = static_cast<NodeId>(rng.below(t.num_nodes()));
+  const Piece piece = whole_tree_piece(t, d0, kInvalidNode);
+  for (NodeId delta : {static_cast<NodeId>(param.n / 4 + 1),
+                       static_cast<NodeId>(param.n / 2)}) {
+    if (delta < 1 || delta >= t.num_nodes()) continue;
+    const SplitResult res = split_piece(t, piece, delta, SplitQuality::kLemma1);
+    validate_split(t, piece, res);
+    EXPECT_LE(res.num_cuts, 1);
+    if (3 * static_cast<std::int64_t>(t.num_nodes()) > 4 * delta &&
+        res.remain_total > 0) {
+      EXPECT_LE(std::abs(res.extract_total - delta), lemma1_tolerance(delta))
+          << param.family << " n=" << param.n << " delta=" << delta;
+    }
+  }
+}
+
+std::vector<SplitCase> split_cases() {
+  std::vector<SplitCase> cases;
+  std::uint64_t seed = 1;
+  for (const auto& family : tree_family_names()) {
+    for (NodeId n : {8, 31, 100, 500}) {
+      cases.push_back({family, n, seed++});
+    }
+  }
+  return cases;
+}
+
+std::string split_case_name(const ::testing::TestParamInfo<SplitCase>& info) {
+  return info.param.family + "_n" + std::to_string(info.param.n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SplitProperty,
+                         ::testing::ValuesIn(split_cases()), split_case_name);
+
+TEST_P(SplitProperty, Find2MatchesLemma2Grade) {
+  // The literal find2 keeps every boundary at <= 4 and the balance
+  // within the Lemma 2 tolerance on large random instances.
+  const auto& param = GetParam();
+  Rng rng(param.seed ^ 0x2222);
+  const BinaryTree t = make_family_tree(param.family, param.n, rng);
+  for (int variant = 0; variant < 6; ++variant) {
+    const NodeId d0 = static_cast<NodeId>(rng.below(t.num_nodes()));
+    NodeId d1 = static_cast<NodeId>(rng.below(t.num_nodes()));
+    if (variant % 2 == 0) d1 = d0;
+    const Piece piece = whole_tree_piece(t, d0, d1 == d0 ? kInvalidNode : d1);
+    for (NodeId delta :
+         {NodeId{1}, static_cast<NodeId>(param.n / 5 + 1),
+          static_cast<NodeId>(param.n / 2),
+          static_cast<NodeId>(param.n - 1)}) {
+      if (delta < 1 || delta >= t.num_nodes()) continue;
+      const SplitResult res = split_piece_find2(t, piece, delta);
+      validate_split(t, piece, res);
+      // |S_i| <= 4 except when a collinearity ("node y") promotion is
+      // forced — a detail the extended abstract omits; the promotions
+      // are counted and stay rare (see bench_lemmas / EXPERIMENTS.md).
+      EXPECT_LE(static_cast<int>(res.embed_extract.size()),
+                4 + res.median_fixes)
+          << param.family << " delta=" << delta;
+      EXPECT_LE(static_cast<int>(res.embed_remain.size()),
+                4 + res.median_fixes)
+          << param.family << " delta=" << delta;
+      EXPECT_LE(res.median_fixes, 2) << param.family << " delta=" << delta;
+      if (res.remain_total > 0 && res.extract_total > 0) {
+        EXPECT_LE(std::abs(res.extract_total - delta),
+                  std::max<NodeId>(lemma2_tolerance(delta), 1))
+            << param.family << " n=" << param.n << " delta=" << delta
+            << " extract=" << res.extract_total;
+      }
+    }
+  }
+}
+
+TEST(SplitPiece, RejectsBadTargets) {
+  const BinaryTree t = make_complete_tree(2);
+  const Piece piece = whole_tree_piece(t, 0, kInvalidNode);
+  EXPECT_THROW(split_piece(t, piece, 0, SplitQuality::kLemma2), check_error);
+  EXPECT_THROW(split_piece(t, piece, t.num_nodes(), SplitQuality::kLemma2),
+               check_error);
+}
+
+TEST(SplitPiece, TinyPieces) {
+  // Exhaustive small cases: every path length 2..6, every target.
+  for (NodeId n = 2; n <= 6; ++n) {
+    const BinaryTree t = make_path_tree(n);
+    const Piece piece = whole_tree_piece(t, 0, n - 1);
+    for (NodeId delta = 1; delta < n; ++delta) {
+      const SplitResult res =
+          split_piece(t, piece, delta, SplitQuality::kLemma2);
+      validate_split(t, piece, res);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xt

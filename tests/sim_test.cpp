@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include "btree/generators.hpp"
+#include "core/xtree_embedder.hpp"
+#include "sim/network_sim.hpp"
+#include "sim/workloads.hpp"
+#include "topology/xtree.hpp"
+#include "topology/xtree_router.hpp"
+
+#include <memory>
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+TEST(NetworkSim, SingleNodeWorkloads) {
+  const BinaryTree guest = BinaryTree::single();
+  GraphBuilder b(1);
+  const Graph host = b.build();
+  const Embedding id = identity_embedding(guest);
+  NetworkSim sim(host, guest, id);
+  EXPECT_EQ(sim.run_reduction().cycles, 1);
+  EXPECT_EQ(sim.run_broadcast().cycles, 1);
+}
+
+TEST(NetworkSim, IdealReductionOnCompleteTree) {
+  // On a dedicated machine, each tree level costs one execution cycle
+  // plus one transfer cycle: exec(leaf)=1, exec(v)=max(children)+2.
+  for (std::int32_t h : {1, 2, 3, 4}) {
+    const BinaryTree guest = make_complete_tree(h);
+    EXPECT_EQ(ideal_reduction_cycles(guest), 2 * h + 1) << "h=" << h;
+    EXPECT_EQ(ideal_broadcast_cycles(guest), 2 * h + 1) << "h=" << h;
+  }
+}
+
+TEST(NetworkSim, ReductionDeliversEverything) {
+  Rng rng(80);
+  const BinaryTree guest = make_random_tree(200, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  const XTree xtree(res.stats.height);
+  const Graph host = xtree.to_graph();
+  NetworkSim sim(host, guest, res.embedding);
+  const SimResult r = sim.run_reduction();
+  // Every non-root node sends exactly one message.
+  EXPECT_EQ(r.messages, guest.num_nodes() - 1);
+  EXPECT_GT(r.cycles, 0);
+}
+
+TEST(NetworkSim, LoadSixteenCostsAtLeastProcessorSerialisation) {
+  // 16 guests per processor with proc_capacity 1 must take at least
+  // 16 cycles just to execute one vertex's residents.
+  Rng rng(81);
+  const BinaryTree guest = make_random_tree(16 * 7, rng);  // r = 2 exact
+  const auto res = XTreeEmbedder::embed(guest);
+  const XTree xtree(res.stats.height);
+  const Graph host = xtree.to_graph();
+  NetworkSim sim(host, guest, res.embedding);
+  EXPECT_GE(sim.run_reduction().cycles, 16);
+}
+
+TEST(NetworkSim, HigherProcCapacityIsFaster) {
+  Rng rng(82);
+  const BinaryTree guest = make_random_tree(16 * 15, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  const XTree xtree(res.stats.height);
+  const Graph host = xtree.to_graph();
+  SimConfig slow{1, 1};
+  SimConfig fast{16, 4};
+  NetworkSim sim_slow(host, guest, res.embedding, slow);
+  NetworkSim sim_fast(host, guest, res.embedding, fast);
+  EXPECT_LE(sim_fast.run_reduction().cycles, sim_slow.run_reduction().cycles);
+}
+
+TEST(NetworkSim, DivideAndConquerIsBroadcastPlusReduction) {
+  Rng rng(83);
+  const BinaryTree guest = make_random_tree(100, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  const XTree xtree(res.stats.height);
+  const Graph host = xtree.to_graph();
+  NetworkSim sim(host, guest, res.embedding);
+  const auto d = sim.run_divide_and_conquer();
+  const auto b = sim.run_broadcast();
+  const auto r = sim.run_reduction();
+  EXPECT_EQ(d.cycles, b.cycles + r.cycles);
+  EXPECT_EQ(d.messages, b.messages + r.messages);
+}
+
+TEST(Workloads, SlowdownReportIsConsistent) {
+  Rng rng(84);
+  const BinaryTree guest = make_random_tree(16 * 7, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  const XTree xtree(res.stats.height);
+  const Graph host = xtree.to_graph();
+  for (Workload w : all_workloads()) {
+    const auto rep = measure_slowdown(host, guest, res.embedding, w);
+    EXPECT_GT(rep.ideal, 0) << workload_name(w);
+    // Co-located neighbours hand values over inside one processor
+    // (one cycle instead of the ideal machine's execute+transfer two),
+    // so the slowdown can dip below 1 — but never below 1/2.
+    EXPECT_GE(rep.slowdown, 0.5) << workload_name(w);
+    EXPECT_GT(rep.measured.cycles, 0) << workload_name(w);
+  }
+}
+
+TEST(NetworkSim, XTreeRouterRoutesMatchBfsResults) {
+  // Plugging the oracle-driven X-tree router into the simulator must
+  // give exactly the same makespan as BFS routing (both route along
+  // shortest paths; contention patterns may differ only through path
+  // choice, so compare against path-length invariants).
+  Rng rng(86);
+  const BinaryTree guest = make_random_tree(16 * 7, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  const XTree xtree(res.stats.height);
+  const Graph host = xtree.to_graph();
+
+  NetworkSim bfs_sim(host, guest, res.embedding);
+  const auto bfs_out = bfs_sim.run_reduction();
+
+  NetworkSim routed_sim(host, guest, res.embedding);
+  auto router = std::make_shared<XTreeRouter>(xtree);
+  routed_sim.set_route_fn([router](VertexId a, VertexId b) {
+    return router->route(a, b);
+  });
+  const auto routed_out = routed_sim.run_reduction();
+
+  EXPECT_EQ(routed_out.messages, bfs_out.messages);
+  EXPECT_EQ(routed_out.total_hops, bfs_out.total_hops);  // same path lengths
+  // Cycle counts can differ by contention on different shortest paths,
+  // but only within a small constant factor.
+  EXPECT_LE(routed_out.cycles, 2 * bfs_out.cycles);
+  EXPECT_LE(bfs_out.cycles, 2 * routed_out.cycles);
+}
+
+TEST(NetworkSim, UnicastBatchDeliversEverything) {
+  Rng rng(87);
+  const BinaryTree guest = make_random_tree(16 * 7, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  const XTree xtree(res.stats.height);
+  const Graph host = xtree.to_graph();
+  NetworkSim sim(host, guest, res.embedding);
+  // A random permutation of guest nodes.
+  std::vector<std::pair<NodeId, NodeId>> messages;
+  std::vector<NodeId> perm(static_cast<std::size_t>(guest.num_nodes()));
+  for (NodeId v = 0; v < guest.num_nodes(); ++v)
+    perm[static_cast<std::size_t>(v)] = v;
+  for (std::size_t i = perm.size(); i > 1; --i)
+    std::swap(perm[i - 1], perm[rng.below(i)]);
+  for (NodeId v = 0; v < guest.num_nodes(); ++v)
+    messages.emplace_back(v, perm[static_cast<std::size_t>(v)]);
+  const SimResult out = sim.run_unicast_batch(messages);
+  EXPECT_EQ(out.messages, guest.num_nodes());
+  EXPECT_GT(out.cycles, 0);
+  // Makespan at least the longest route, at most hops (full serial).
+  EXPECT_LE(out.cycles, out.total_hops);
+}
+
+TEST(NetworkSim, UnicastBatchCoLocatedIsFree) {
+  const BinaryTree guest = make_path_tree(5);
+  GraphBuilder b(1);
+  const Graph host = b.build();
+  Embedding emb(5, 1);
+  for (NodeId v = 0; v < 5; ++v) emb.place(v, 0);
+  NetworkSim sim(host, guest, emb);
+  const SimResult out =
+      sim.run_unicast_batch({{0, 4}, {1, 3}, {2, 2}});
+  EXPECT_EQ(out.cycles, 0);  // everything co-located
+  EXPECT_EQ(out.total_hops, 0);
+}
+
+TEST(NetworkSim, UnicastBatchContentionSerialises) {
+  // Two messages over the same single link: the second waits a cycle.
+  BinaryTree guest = BinaryTree::single();
+  guest.add_child(0);
+  guest.add_child(0);
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  const Graph host = b.build();
+  Embedding emb(3, 2);
+  emb.place(0, 0);
+  emb.place(1, 0);
+  emb.place(2, 1);
+  NetworkSim sim(host, guest, emb);
+  const SimResult out = sim.run_unicast_batch({{0, 2}, {1, 2}});
+  EXPECT_EQ(out.cycles, 2);
+  EXPECT_EQ(out.max_link_wait, 1);
+}
+
+TEST(Workloads, IdentityEmbeddingHasSlowdownOne) {
+  Rng rng(85);
+  const BinaryTree guest = make_random_tree(64, rng);
+  const Graph host = guest_as_graph(guest);
+  const Embedding id = identity_embedding(guest);
+  for (Workload w : all_workloads()) {
+    const auto rep = measure_slowdown(host, guest, id, w);
+    EXPECT_DOUBLE_EQ(rep.slowdown, 1.0) << workload_name(w);
+  }
+}
+
+// --- property sweep: every family x every workload ------------------------
+
+struct SimCase {
+  std::string family;
+  Workload workload;
+};
+
+class SimSweep : public ::testing::TestWithParam<SimCase> {};
+
+TEST_P(SimSweep, ConservationAndBoundedSlowdown) {
+  const auto& param = GetParam();
+  Rng rng(param.family.size() * 100 + static_cast<int>(param.workload));
+  const BinaryTree guest = make_family_tree(param.family, 16 * 15, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  const XTree xtree(res.stats.height);
+  const Graph host = xtree.to_graph();
+  const auto rep = measure_slowdown(host, guest, res.embedding,
+                                    param.workload);
+  // Message conservation: reduction sends n-1, broadcast n-1, D&C both.
+  const std::int64_t expect_messages =
+      param.workload == Workload::kDivideAndConquer
+          ? 2 * (guest.num_nodes() - 1)
+          : guest.num_nodes() - 1;
+  EXPECT_EQ(rep.measured.messages, expect_messages);
+  // Slowdown stays a small constant for the paper embedding.
+  EXPECT_GE(rep.slowdown, 0.5);
+  EXPECT_LE(rep.slowdown, 16.0);
+}
+
+std::vector<SimCase> sim_cases() {
+  std::vector<SimCase> cases;
+  for (const auto& family : tree_family_names()) {
+    for (Workload w : all_workloads()) cases.push_back({family, w});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesByWorkloads, SimSweep, ::testing::ValuesIn(sim_cases()),
+    [](const ::testing::TestParamInfo<SimCase>& param_info) {
+      return param_info.param.family + "_" +
+             workload_name(param_info.param.workload);
+    });
+
+}  // namespace
+}  // namespace xt
+

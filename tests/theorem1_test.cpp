@@ -1,0 +1,239 @@
+// Theorem 1: every binary tree with n = 16*(2^{r+1}-1) nodes embeds
+// into X(r) with load factor 16, dilation 3 and optimal expansion.
+//
+// The extended abstract omits parts of the construction; these tests
+// pin down what the implementation guarantees unconditionally (valid
+// complete embedding, load <= 16) and measure the dilation against
+// the paper's bound (see EXPERIMENTS.md for the measured-vs-claimed
+// discussion).
+#include <gtest/gtest.h>
+
+#include "btree/generators.hpp"
+#include "core/xtree_embedder.hpp"
+#include "embedding/metrics.hpp"
+#include "topology/xtree.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+NodeId exact_n(std::int32_t r) {
+  return static_cast<NodeId>(16 * ((std::int64_t{2} << r) - 1));
+}
+
+TEST(OptimalHeight, MatchesCapacityFormula) {
+  EXPECT_EQ(XTreeEmbedder::optimal_height(1, 16), 0);
+  EXPECT_EQ(XTreeEmbedder::optimal_height(16, 16), 0);
+  EXPECT_EQ(XTreeEmbedder::optimal_height(17, 16), 1);
+  EXPECT_EQ(XTreeEmbedder::optimal_height(48, 16), 1);
+  EXPECT_EQ(XTreeEmbedder::optimal_height(49, 16), 2);
+  EXPECT_EQ(XTreeEmbedder::optimal_height(exact_n(5), 16), 5);
+  EXPECT_EQ(XTreeEmbedder::optimal_height(exact_n(5) + 1, 16), 6);
+}
+
+TEST(Theorem1, TinyTreesFitInRoot) {
+  Rng rng(3);
+  for (NodeId n : {1, 2, 15, 16}) {
+    const BinaryTree guest = make_random_tree(n, rng);
+    const auto res = XTreeEmbedder::embed(guest);
+    EXPECT_EQ(res.stats.height, 0);
+    validate_embedding(guest, res.embedding, 16);
+  }
+}
+
+struct T1Case {
+  std::string family;
+  std::int32_t r;
+  std::uint64_t seed;
+};
+
+class Theorem1Sweep : public ::testing::TestWithParam<T1Case> {};
+
+TEST_P(Theorem1Sweep, ExactFormLoad16CompleteLowDilation) {
+  const auto& param = GetParam();
+  Rng rng(param.seed);
+  const BinaryTree guest = make_family_tree(param.family, exact_n(param.r), rng);
+
+  // Both balancing-cut engines must meet the theorem: the literal
+  // find2 (default) and the generic carve-and-refine splitter.
+  for (const bool use_find2 : {true, false}) {
+    XTreeEmbedder::Options opt;
+    opt.audit_rounds = true;
+    opt.paper_find2 = use_find2;
+    const auto res = XTreeEmbedder::embed(guest, opt);
+    EXPECT_EQ(res.stats.height, param.r);
+
+    // Unconditional contract: complete, load exactly 16 everywhere
+    // (exact-form input + optimal host), i.e. optimal expansion.
+    validate_embedding(guest, res.embedding, 16);
+    const XTree host(param.r);
+    const auto loads = res.embedding.loads();
+    for (NodeId l : loads) EXPECT_EQ(l, 16);
+
+    // Dilation: the paper claims 3; the reproduction tracks the
+    // measured value and requires it to stay a small constant
+    // independent of n.
+    const auto rep = dilation_xtree(guest, res.embedding, host);
+    EXPECT_LE(rep.max, 3) << "family=" << param.family << " r=" << param.r
+                          << " find2=" << use_find2
+                          << " repairs=" << res.stats.repair_placements;
+  }
+}
+
+std::vector<T1Case> t1_cases() {
+  std::vector<T1Case> cases;
+  std::uint64_t seed = 100;
+  for (const auto& family : tree_family_names()) {
+    for (std::int32_t r : {1, 2, 3, 4, 5}) {
+      cases.push_back({family, r, seed++});
+    }
+  }
+  return cases;
+}
+
+std::string t1_name(const ::testing::TestParamInfo<T1Case>& info) {
+  return info.param.family + "_r" + std::to_string(info.param.r);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, Theorem1Sweep,
+                         ::testing::ValuesIn(t1_cases()), t1_name);
+
+TEST(Theorem1, NonExactSizesStillEmbedWithinLoad) {
+  Rng rng(77);
+  for (NodeId n : {17, 100, 333, 1000}) {
+    const BinaryTree guest = make_random_tree(n, rng);
+    const auto res = XTreeEmbedder::embed(guest);
+    validate_embedding(guest, res.embedding, 16);
+    const XTree host(res.stats.height);
+    const auto rep = dilation_xtree(guest, res.embedding, host);
+    EXPECT_LE(rep.max, 6) << "n=" << n;  // padded inputs may pay repair
+  }
+}
+
+TEST(Theorem1, ForcedTallerHostStillValid) {
+  Rng rng(8);
+  const BinaryTree guest = make_random_tree(200, rng);
+  XTreeEmbedder::Options opt;
+  opt.height = 6;  // far more capacity than needed
+  const auto res = XTreeEmbedder::embed(guest, opt);
+  validate_embedding(guest, res.embedding, 16);
+}
+
+TEST(Theorem1, AlternativeLoadCaps) {
+  // Ablation: the machinery is parameterised in the load; the theorem
+  // constant 16 is what the paper proves, but the algorithm must stay
+  // structurally sound for other caps.
+  Rng rng(21);
+  for (NodeId load : {8, 16, 32}) {
+    const NodeId n = static_cast<NodeId>(load * ((std::int64_t{2} << 3) - 1));
+    const BinaryTree guest = make_random_tree(n, rng);
+    XTreeEmbedder::Options opt;
+    opt.load = load;
+    const auto res = XTreeEmbedder::embed(guest, opt);
+    validate_embedding(guest, res.embedding, load);
+  }
+}
+
+TEST(Theorem1, StatsAreCoherent) {
+  Rng rng(55);
+  const BinaryTree guest = make_random_tree(exact_n(4), rng);
+  XTreeEmbedder::Options opt;
+  opt.record_trace = true;
+  const auto res = XTreeEmbedder::embed(guest, opt);
+  EXPECT_EQ(res.stats.imbalance_trace.size(), 4u);  // rounds 1..r
+  EXPECT_GT(res.stats.split_calls, 0);
+  EXPECT_GE(res.stats.max_observed_embed_distance, 1);
+}
+
+TEST(Theorem1, AblationsStillProduceValidEmbeddings) {
+  // The ablation switches degrade dilation, never validity.
+  Rng rng(31);
+  const BinaryTree guest = make_random_tree(exact_n(4), rng);
+  for (int which = 0; which < 3; ++which) {
+    XTreeEmbedder::Options opt;
+    if (which == 0) opt.lemma1_only = true;
+    if (which == 1) opt.disable_level_fill = true;
+    if (which == 2) opt.disable_adjust = true;
+    const auto res = XTreeEmbedder::embed(guest, opt);
+    validate_embedding(guest, res.embedding, 16);
+  }
+}
+
+TEST(Theorem1, DisablingAdjustHurtsHardFamilies) {
+  // ADJUST is the mechanism that exploits the horizontal edges; for a
+  // path guest, removing it must visibly increase repair pressure.
+  const BinaryTree guest = make_path_tree(exact_n(5));
+  XTreeEmbedder::Options off;
+  off.disable_adjust = true;
+  const auto without = XTreeEmbedder::embed(guest, off);
+  const auto with = XTreeEmbedder::embed(guest);
+  EXPECT_GT(without.stats.repair_placements + without.stats.peel_fills,
+            with.stats.repair_placements);
+  const XTree host(with.stats.height);
+  const auto dil_with = dilation_xtree(guest, with.embedding, host);
+  const auto dil_without = dilation_xtree(guest, without.embedding, host);
+  EXPECT_LE(dil_with.max, dil_without.max);
+}
+
+TEST(Theorem1, RejectsImpossibleCapacity) {
+  const BinaryTree guest = make_path_tree(100);
+  XTreeEmbedder::Options opt;
+  opt.height = 1;  // capacity 48 < 100
+  EXPECT_THROW(XTreeEmbedder::embed(guest, opt), check_error);
+  opt.height = 0;
+  opt.load = 4;
+  EXPECT_THROW(XTreeEmbedder::embed(guest, opt), check_error);
+}
+
+TEST(Theorem1, DistanceOracleIsThreadSafe) {
+  // The dilation metric and the parallel benches query XTree::distance
+  // concurrently; the oracle is stateless per call.
+  const XTree x(10);
+  Rng seed_rng(7);
+  std::vector<std::pair<VertexId, VertexId>> q;
+  std::vector<std::int32_t> expected;
+  for (int i = 0; i < 64; ++i) {
+    q.emplace_back(static_cast<VertexId>(seed_rng.below(x.num_vertices())),
+                   static_cast<VertexId>(seed_rng.below(x.num_vertices())));
+    expected.push_back(x.distance(q.back().first, q.back().second));
+  }
+  std::vector<std::int32_t> got(q.size(), -1);
+  parallel_for(0, static_cast<std::int64_t>(q.size()), [&](std::int64_t i) {
+    got[static_cast<std::size_t>(i)] =
+        x.distance(q[static_cast<std::size_t>(i)].first,
+                   q[static_cast<std::size_t>(i)].second);
+  }, 8);
+  for (std::size_t i = 0; i < q.size(); ++i)
+    EXPECT_EQ(got[i], expected[i]);
+}
+
+TEST(Theorem1, LargeScaleMillionNodeClass) {
+  // r = 12: 131k nodes — the asymptotics in practice.  Discipline
+  // checking off (it calls the distance oracle per placement); the
+  // final metrics are exact regardless.
+  Rng rng(2);
+  const BinaryTree guest = make_random_tree(exact_n(12), rng);
+  XTreeEmbedder::Options opt;
+  opt.check_discipline = false;
+  const auto res = XTreeEmbedder::embed(guest, opt);
+  validate_embedding(guest, res.embedding, 16);
+  const XTree host(12);
+  EXPECT_LE(dilation_xtree(guest, res.embedding, host).max, 3);
+  EXPECT_EQ(res.stats.repair_placements, 0);
+}
+
+TEST(Theorem1, DeterministicForSameInput) {
+  Rng rng1(123);
+  Rng rng2(123);
+  const BinaryTree g1 = make_random_tree(exact_n(3), rng1);
+  const BinaryTree g2 = make_random_tree(exact_n(3), rng2);
+  const auto r1 = XTreeEmbedder::embed(g1);
+  const auto r2 = XTreeEmbedder::embed(g2);
+  for (NodeId v = 0; v < g1.num_nodes(); ++v)
+    EXPECT_EQ(r1.embedding.host_of(v), r2.embedding.host_of(v));
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,73 @@
+// Theorem 2: injective embedding into X(r+4) with dilation 11.
+#include <gtest/gtest.h>
+
+#include "btree/generators.hpp"
+#include "core/injective_lift.hpp"
+#include "core/xtree_embedder.hpp"
+#include "embedding/metrics.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+NodeId exact_n(std::int32_t r) {
+  return static_cast<NodeId>(16 * ((std::int64_t{2} << r) - 1));
+}
+
+TEST(Theorem2, LiftIsInjectiveIntoFourLevelsDeeper) {
+  Rng rng(10);
+  const BinaryTree guest = make_random_tree(exact_n(3), rng);
+  const auto base = XTreeEmbedder::embed(guest);
+  const XTree base_host(base.stats.height);
+  const auto lift = lift_injective(guest, base.embedding, base_host);
+  EXPECT_EQ(lift.host_height, base.stats.height + 4);
+  EXPECT_TRUE(lift.embedding.injective());
+  EXPECT_TRUE(lift.embedding.complete());
+}
+
+TEST(Theorem2, LiftedImagesAreDescendantsOfBaseImages) {
+  Rng rng(11);
+  const BinaryTree guest = make_random_tree(exact_n(2), rng);
+  const auto base = XTreeEmbedder::embed(guest);
+  const XTree base_host(base.stats.height);
+  const XTree lifted_host(base.stats.height + 4);
+  const auto lift = lift_injective(guest, base.embedding, base_host);
+  for (NodeId v = 0; v < guest.num_nodes(); ++v) {
+    const std::string base_label =
+        base_host.label_of(base.embedding.host_of(v));
+    const std::string lift_label =
+        lifted_host.label_of(lift.embedding.host_of(v));
+    ASSERT_EQ(lift_label.size(), base_label.size() + 4);
+    EXPECT_EQ(lift_label.substr(0, base_label.size()), base_label);
+  }
+}
+
+class Theorem2Sweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Theorem2Sweep, DilationAtMostEleven) {
+  Rng rng(12);
+  for (std::int32_t r : {1, 2, 3}) {
+    const BinaryTree guest = make_family_tree(GetParam(), exact_n(r), rng);
+    const auto base = XTreeEmbedder::embed(guest);
+    const XTree base_host(base.stats.height);
+    const auto lift = lift_injective(guest, base.embedding, base_host);
+    const XTree lifted_host(lift.host_height);
+    const auto rep = dilation_xtree(guest, lift.embedding, lifted_host);
+    EXPECT_LE(rep.max, 11) << GetParam() << " r=" << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, Theorem2Sweep,
+                         ::testing::ValuesIn(tree_family_names()));
+
+TEST(Theorem2, RejectsOverloadedBase) {
+  const BinaryTree guest = make_path_tree(20);
+  const XTree host(0);
+  Embedding overloaded(20, host.num_vertices());
+  for (NodeId v = 0; v < 20; ++v) overloaded.place(v, 0);
+  EXPECT_THROW(lift_injective(guest, overloaded, host), check_error);
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,64 @@
+// Theorem 3: binary trees into hypercubes with load 16 / dilation 4,
+// and the injective dilation-8 corollary.
+#include <gtest/gtest.h>
+
+#include "btree/generators.hpp"
+#include "core/hypercube_embedding.hpp"
+#include "embedding/metrics.hpp"
+#include "topology/hypercube.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+NodeId theorem3_n(std::int32_t r) {
+  return static_cast<NodeId>(16 * ((std::int64_t{1} << r) - 1));
+}
+
+class Theorem3Sweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Theorem3Sweep, Load16DilationAtMostFour) {
+  Rng rng(40);
+  for (std::int32_t r : {2, 3, 4, 5}) {
+    const BinaryTree guest = make_family_tree(GetParam(), theorem3_n(r), rng);
+    const auto res = embed_hypercube_load16(guest);
+    EXPECT_EQ(res.dimension, r) << "optimal hypercube expected";
+    validate_embedding(guest, res.embedding, 16);
+    const Hypercube host(res.dimension);
+    const auto rep = dilation_hypercube(guest, res.embedding, host);
+    EXPECT_LE(rep.max, 4) << GetParam() << " r=" << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, Theorem3Sweep,
+                         ::testing::ValuesIn(tree_family_names()));
+
+TEST(Theorem3Corollary, InjectiveDilationAtMostEight) {
+  Rng rng(41);
+  for (std::int32_t r : {2, 3, 4}) {
+    // n = 2^{r+4} - 16 nodes into Q_{r+4}.
+    const NodeId n = theorem3_n(r);
+    const BinaryTree guest = make_random_tree(n, rng);
+    const auto res = embed_hypercube_injective(guest);
+    EXPECT_TRUE(res.embedding.injective());
+    EXPECT_EQ(res.dimension, r + 4);
+    EXPECT_LE(guest.num_nodes(),
+              (std::int64_t{1} << res.dimension) - 16);
+    const Hypercube host(res.dimension);
+    const auto rep = dilation_hypercube(guest, res.embedding, host);
+    EXPECT_LE(rep.max, 8) << "r=" << r;
+  }
+}
+
+TEST(Theorem3, OptimalHypercubeIsTight) {
+  // n = 16*(2^r - 1) has no room in Q_{r-1}: 2^{r-1} vertices hold at
+  // most 16*2^{r-1} < n ... actually 16*2^{r-1} vs 16*(2^r-1):
+  // 2^{r-1} < 2^r - 1 for r >= 2, so Q_{r-1} is too small at load 16.
+  for (std::int32_t r : {3, 4, 5}) {
+    EXPECT_GT(theorem3_n(r),
+              16 * (std::int64_t{1} << (r - 1)));
+  }
+}
+
+}  // namespace
+}  // namespace xt

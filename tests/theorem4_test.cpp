@@ -1,0 +1,164 @@
+// Theorem 4: the degree-415 universal graph for binary trees with
+// n = 2^t - 16 nodes.
+#include <gtest/gtest.h>
+
+#include "btree/generators.hpp"
+#include "core/nset.hpp"
+#include "core/universal_graph.hpp"
+#include "graph/bfs.hpp"
+#include "topology/xtree.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+TEST(Theorem4, SizesMatchTheExactForm) {
+  for (std::int32_t r : {1, 2, 3}) {
+    const UniversalGraph u = build_universal_graph(r);
+    // n = 16*(2^{r+1}-1) = 2^{r+5} - 16.
+    EXPECT_EQ(u.num_nodes, (std::int64_t{1} << (r + 5)) - 16);
+    EXPECT_EQ(u.graph.num_vertices(), u.num_nodes);
+  }
+}
+
+TEST(Theorem4, DegreeBoundedBy415) {
+  for (std::int32_t r : {1, 2, 3, 4}) {
+    const UniversalGraph u = build_universal_graph(r);
+    EXPECT_LE(u.graph.max_degree(), 415u) << "r=" << r;
+  }
+  // The bound is essentially attained for tall enough hosts.
+  const UniversalGraph u = build_universal_graph(5);
+  EXPECT_LE(u.graph.max_degree(), 415u);
+  EXPECT_GE(u.graph.max_degree(), 350u);
+}
+
+TEST(Theorem4, GraphIsConnected) {
+  const UniversalGraph u = build_universal_graph(2);
+  EXPECT_TRUE(is_connected(u.graph));
+}
+
+TEST(Theorem4, SlotCliquesPresent) {
+  const UniversalGraph u = build_universal_graph(1);
+  for (std::int32_t s = 0; s < 16; ++s) {
+    for (std::int32_t t = s + 1; t < 16; ++t)
+      EXPECT_TRUE(u.graph.has_edge(u.vertex_of(0, s), u.vertex_of(0, t)));
+  }
+}
+
+class Theorem4Sweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Theorem4Sweep, EveryTreeIsASpanningSubgraph) {
+  Rng rng(60);
+  for (std::int32_t r : {1, 2, 3}) {
+    const UniversalGraph u = build_universal_graph(r);
+    const BinaryTree guest = make_family_tree(GetParam(), u.num_nodes, rng);
+    std::int64_t outside = -1;
+    const Embedding emb = universal_spanning_embedding(guest, u, &outside);
+    EXPECT_TRUE(emb.injective());
+    EXPECT_TRUE(emb.complete());
+    EXPECT_EQ(outside, 0) << GetParam() << " r=" << r
+                          << ": a guest edge missed G_n — the embedding "
+                             "violated condition (3') somewhere";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, Theorem4Sweep,
+                         ::testing::ValuesIn(tree_family_names()));
+
+TEST(Theorem4, ManyRandomTreesSpan) {
+  Rng rng(61);
+  const UniversalGraph u = build_universal_graph(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const BinaryTree guest = make_random_tree(u.num_nodes, rng);
+    std::int64_t outside = -1;
+    universal_spanning_embedding(guest, u, &outside);
+    EXPECT_EQ(outside, 0) << "trial " << trial;
+  }
+}
+
+TEST(Theorem4Extension, SubgraphUniversalityForArbitraryN) {
+  // The paper's future-work remark: universality for arbitrary n.
+  const UniversalGraph u = build_universal_graph(2);  // 112 slots
+  Rng rng(62);
+  for (NodeId n : {1, 2, 17, 50, 100, 111, 112}) {
+    const BinaryTree guest = make_random_tree(n, rng);
+    std::int64_t outside = -1;
+    const Embedding emb = universal_subgraph_embedding(guest, u, &outside);
+    EXPECT_TRUE(emb.injective());
+    EXPECT_TRUE(emb.complete());
+    EXPECT_EQ(outside, 0) << "n=" << n;
+  }
+}
+
+TEST(Theorem4Extension, SubgraphUniversalityAllFamilies) {
+  const UniversalGraph u = build_universal_graph(2);
+  Rng rng(63);
+  for (const auto& family : tree_family_names()) {
+    const BinaryTree guest = make_family_tree(family, 90, rng);
+    std::int64_t outside = -1;
+    universal_subgraph_embedding(guest, u, &outside);
+    EXPECT_EQ(outside, 0) << family;
+  }
+}
+
+TEST(Theorem4Extension, HeightForAnyN) {
+  EXPECT_EQ(universal_height_for(1), 1);
+  EXPECT_EQ(universal_height_for(48), 1);   // 2^6 - 16 = 48
+  EXPECT_EQ(universal_height_for(49), 2);
+  EXPECT_EQ(universal_height_for(112), 2);  // 2^7 - 16
+  EXPECT_EQ(universal_height_for(113), 3);
+}
+
+TEST(Theorem4Extension, RejectsOversizedGuest) {
+  const UniversalGraph u = build_universal_graph(1);
+  const BinaryTree guest = make_path_tree(u.num_nodes + 1);
+  EXPECT_THROW(universal_subgraph_embedding(guest, u, nullptr), check_error);
+}
+
+TEST(Theorem4, EdgesMatchTheNRelationExactly) {
+  // Structural identity: (a,s)~(b,t) in G_n iff a = b (slot clique) or
+  // b in N(a) or a in N(b).
+  const std::int32_t r = 2;
+  const UniversalGraph u = build_universal_graph(r);
+  const XTree x(r);
+  for (VertexId a = 0; a < x.num_vertices(); ++a) {
+    for (VertexId b = 0; b < x.num_vertices(); ++b) {
+      const bool expect_edge =
+          (a == b) || in_n_set(x, a, b) || in_n_set(x, b, a);
+      // Check one representative slot pair (the construction is
+      // slot-complete; slot-completeness itself is checked below).
+      const bool has = u.graph.has_edge(u.vertex_of(a, 3),
+                                        u.vertex_of(b, 11));
+      EXPECT_EQ(has, expect_edge)
+          << x.label_of(a) << " vs " << x.label_of(b);
+    }
+  }
+  // Slot completeness between one N-related pair.
+  const VertexId va = x.vertex_of_label("0");
+  const VertexId vb = x.vertex_of_label("00");
+  for (std::int32_t s = 0; s < 16; ++s) {
+    for (std::int32_t t = 0; t < 16; ++t)
+      EXPECT_TRUE(u.graph.has_edge(u.vertex_of(va, s), u.vertex_of(vb, t)));
+  }
+}
+
+TEST(Theorem4, DegreeFormulaDecomposition) {
+  // At a deep interior vertex: 15 siblings + 16 * |N(a) u N^{-1}(a)|.
+  const std::int32_t r = 6;
+  const UniversalGraph u = build_universal_graph(r);
+  const XTree x(r);
+  for (VertexId a : {x.vertex_of_label("0101"), x.vertex_of_label("10010")}) {
+    const auto sym = n_set_symmetric(x, a);
+    EXPECT_EQ(u.graph.degree(u.vertex_of(a, 0)), 15 + 16 * sym.size());
+  }
+}
+
+TEST(Theorem4, RejectsWrongGuestSize) {
+  const UniversalGraph u = build_universal_graph(1);
+  const BinaryTree guest = make_path_tree(10);
+  EXPECT_THROW(universal_spanning_embedding(guest, u, nullptr), check_error);
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/bfs.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/ccc.hpp"
+#include "topology/complete_binary_tree.hpp"
+#include "topology/debruijn.hpp"
+#include "topology/grid.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/xtree.hpp"
+
+namespace xt {
+namespace {
+
+// --- X-tree (Figure 1: the X-tree of height 3) ---------------------------
+
+TEST(XTreeTopology, SizesMatchClosedForms) {
+  for (std::int32_t r = 0; r <= 10; ++r) {
+    const XTree x(r);
+    EXPECT_EQ(x.num_vertices(), (std::int64_t{2} << r) - 1);
+    const Graph g = x.to_graph();
+    EXPECT_EQ(g.num_vertices(), x.num_vertices());
+    EXPECT_EQ(static_cast<std::int64_t>(g.num_edges()), x.num_edges());
+  }
+}
+
+TEST(XTreeTopology, Figure1HeightThreeInstance) {
+  const XTree x(3);
+  EXPECT_EQ(x.num_vertices(), 15);
+  // tree edges 14 + cross edges (1 + 3 + 7) = 25.
+  EXPECT_EQ(x.num_edges(), 25);
+  const Graph g = x.to_graph();
+  EXPECT_EQ(g.max_degree(), 5u);
+  EXPECT_TRUE(is_connected(g));
+  // Root "" has two children and no horizontal neighbours.
+  EXPECT_EQ(g.degree(x.vertex_of_label("")), 2u);
+  // "01" has parent, two children, and both horizontal neighbours.
+  EXPECT_EQ(g.degree(x.vertex_of_label("01")), 5u);
+  // Level-3 corner "000": parent + successor only.
+  EXPECT_EQ(g.degree(x.vertex_of_label("000")), 2u);
+}
+
+TEST(XTreeTopology, LabelRoundTrip) {
+  const XTree x(4);
+  for (VertexId v = 0; v < x.num_vertices(); ++v) {
+    const std::string label = x.label_of(v);
+    EXPECT_EQ(x.vertex_of_label(label), v);
+    EXPECT_EQ(static_cast<std::int32_t>(label.size()), x.level_of(v));
+  }
+}
+
+TEST(XTreeTopology, StructureAccessors) {
+  const XTree x(3);
+  const VertexId v = x.vertex_of_label("01");
+  EXPECT_EQ(x.parent(v), x.vertex_of_label("0"));
+  EXPECT_EQ(x.child(v, 0), x.vertex_of_label("010"));
+  EXPECT_EQ(x.child(v, 1), x.vertex_of_label("011"));
+  EXPECT_EQ(x.successor(v), x.vertex_of_label("10"));
+  EXPECT_EQ(x.predecessor(v), x.vertex_of_label("00"));
+  EXPECT_EQ(x.parent(x.root()), kInvalidVertex);
+  EXPECT_EQ(x.successor(x.vertex_of_label("11")), kInvalidVertex);
+  EXPECT_EQ(x.predecessor(x.vertex_of_label("00")), kInvalidVertex);
+  EXPECT_TRUE(x.is_leaf(x.vertex_of_label("000")));
+  EXPECT_FALSE(x.is_leaf(v));
+}
+
+TEST(XTreeTopology, SuccessorCrossesSubtreeBoundary) {
+  const XTree x(4);
+  // successor("0111") = "1000": the horizontal edge linking the two
+  // halves — the edge ADJUST uses to shift mass between siblings.
+  EXPECT_EQ(x.successor(x.vertex_of_label("0111")),
+            x.vertex_of_label("1000"));
+}
+
+// --- complete binary tree --------------------------------------------------
+
+TEST(CompleteBinaryTree, DistanceMatchesBfs) {
+  const CompleteBinaryTree t(5);
+  const Graph g = t.to_graph();
+  for (VertexId a = 0; a < t.num_vertices(); a += 7) {
+    const auto d = bfs_distances(g, a);
+    for (VertexId b = 0; b < t.num_vertices(); ++b)
+      EXPECT_EQ(t.distance(a, b), d[static_cast<std::size_t>(b)]);
+  }
+}
+
+TEST(CompleteBinaryTree, ParentChildLevels) {
+  const CompleteBinaryTree t(3);
+  EXPECT_EQ(t.level_of(0), 0);
+  EXPECT_EQ(t.level_of(14), 3);
+  EXPECT_EQ(t.parent(5), 2);
+  EXPECT_EQ(t.child(2, 1), 6);
+  EXPECT_EQ(t.child(14, 0), kInvalidVertex);
+}
+
+// --- hypercube ---------------------------------------------------------------
+
+TEST(Hypercube, StructureAndDistance) {
+  const Hypercube q(4);
+  EXPECT_EQ(q.num_vertices(), 16);
+  EXPECT_EQ(q.num_edges(), 32);
+  const Graph g = q.to_graph();
+  EXPECT_EQ(g.max_degree(), 4u);
+  for (VertexId a = 0; a < q.num_vertices(); ++a) {
+    const auto d = bfs_distances(g, a);
+    for (VertexId b = 0; b < q.num_vertices(); ++b)
+      EXPECT_EQ(q.distance(a, b), d[static_cast<std::size_t>(b)]);
+  }
+  EXPECT_EQ(diameter(g), 4);
+}
+
+// --- cube-connected cycles ---------------------------------------------------
+
+TEST(CubeConnectedCycles, ConstantDegreeThree) {
+  const CubeConnectedCycles c(3);
+  EXPECT_EQ(c.num_vertices(), 24);
+  const Graph g = c.to_graph();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(g.degree(v), 3u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(CubeConnectedCycles, VertexCoding) {
+  const CubeConnectedCycles c(4);
+  const VertexId v = c.id_of(9, 2);
+  EXPECT_EQ(c.corner_of(v), 9);
+  EXPECT_EQ(c.cycle_of(v), 2);
+}
+
+// --- butterfly ----------------------------------------------------------------
+
+TEST(Butterfly, StructureAndConnectivity) {
+  const Butterfly b(3);
+  EXPECT_EQ(b.num_vertices(), 32);  // (d+1) * 2^d
+  const Graph g = b.to_graph();
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.max_degree(), 4u);
+  // Boundary levels have degree 2.
+  EXPECT_EQ(g.degree(b.id_of(0, 0)), 2u);
+  EXPECT_EQ(g.degree(b.id_of(3, 0)), 2u);
+}
+
+// --- de Bruijn / shuffle-exchange ------------------------------------------
+
+TEST(DeBruijn, StructureAndConnectivity) {
+  for (std::int32_t d : {2, 3, 4, 6}) {
+    const DeBruijn db(d);
+    EXPECT_EQ(db.num_vertices(), std::int64_t{1} << d);
+    const Graph g = db.to_graph();
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_LE(g.max_degree(), 4u);
+  }
+}
+
+TEST(DeBruijn, LogarithmicDiameter) {
+  // dist(x, y) <= d: shift y in, bit by bit.
+  for (std::int32_t d : {3, 4, 5, 6}) {
+    const DeBruijn db(d);
+    EXPECT_LE(diameter(db.to_graph()), d);
+  }
+}
+
+TEST(ShuffleExchange, StructureAndConnectivity) {
+  for (std::int32_t d : {2, 3, 4, 6}) {
+    const ShuffleExchange se(d);
+    EXPECT_EQ(se.num_vertices(), std::int64_t{1} << d);
+    const Graph g = se.to_graph();
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_LE(g.max_degree(), 3u);
+  }
+}
+
+TEST(ShuffleExchange, ShuffleIsARotation) {
+  const ShuffleExchange se(4);
+  EXPECT_EQ(se.shuffle(0b0001), 0b0010);
+  EXPECT_EQ(se.shuffle(0b1000), 0b0001);
+  EXPECT_EQ(se.shuffle(0b1010), 0b0101);
+  // d applications = identity.
+  for (VertexId v = 0; v < se.num_vertices(); ++v) {
+    VertexId x = v;
+    for (int i = 0; i < 4; ++i) x = se.shuffle(x);
+    EXPECT_EQ(x, v);
+  }
+}
+
+// --- X-tree global properties ------------------------------------------------
+
+TEST(XTreeTopology, DiameterIsTwoRMinusOne) {
+  // Corner-to-corner at the deepest level: climb to where the
+  // horizontal gap closes.  Exact closed form 2r-1 for r >= 1.
+  for (std::int32_t r = 1; r <= 8; ++r) {
+    const XTree x(r);
+    EXPECT_EQ(diameter(x.to_graph()), 2 * r - 1) << "r=" << r;
+  }
+}
+
+// --- grid ----------------------------------------------------------------------
+
+TEST(Grid, ManhattanDistanceMatchesBfs) {
+  const Grid g(5, 4);
+  EXPECT_EQ(g.num_vertices(), 20);
+  const Graph graph = g.to_graph();
+  for (VertexId a = 0; a < g.num_vertices(); a += 3) {
+    const auto d = bfs_distances(graph, a);
+    for (VertexId b = 0; b < g.num_vertices(); ++b)
+      EXPECT_EQ(g.distance(a, b), d[static_cast<std::size_t>(b)]);
+  }
+}
+
+}  // namespace
+}  // namespace xt

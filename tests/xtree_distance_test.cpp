@@ -1,0 +1,174 @@
+// Validation of the corridor-Dijkstra X-tree distance (the oracle
+// behind every dilation number this repository reports): exhaustive
+// against BFS for small heights, randomised for large ones.
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "topology/xtree.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+class XTreeDistanceExhaustive : public ::testing::TestWithParam<std::int32_t> {
+};
+
+TEST_P(XTreeDistanceExhaustive, MatchesBfsOnAllPairs) {
+  const std::int32_t r = GetParam();
+  const XTree x(r);
+  const Graph g = x.to_graph();
+  for (VertexId a = 0; a < x.num_vertices(); ++a) {
+    const auto d = bfs_distances(g, a);
+    for (VertexId b = 0; b < x.num_vertices(); ++b) {
+      ASSERT_EQ(x.distance(a, b), d[static_cast<std::size_t>(b)])
+          << "a=" << x.label_of(a) << " b=" << x.label_of(b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Heights, XTreeDistanceExhaustive,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(XTreeDistance, RandomPairsMatchBfsHeight10) {
+  const XTree x(10);
+  const Graph g = x.to_graph();
+  Rng rng(2026);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto a = static_cast<VertexId>(rng.below(x.num_vertices()));
+    const auto b = static_cast<VertexId>(rng.below(x.num_vertices()));
+    ASSERT_EQ(x.distance(a, b), bfs_distance(g, a, b))
+        << "a=" << x.label_of(a) << " b=" << x.label_of(b);
+  }
+}
+
+TEST(XTreeDistance, SymmetricAndZeroOnDiagonal) {
+  const XTree x(12);
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = static_cast<VertexId>(rng.below(x.num_vertices()));
+    const auto b = static_cast<VertexId>(rng.below(x.num_vertices()));
+    EXPECT_EQ(x.distance(a, b), x.distance(b, a));
+    EXPECT_EQ(x.distance(a, a), 0);
+  }
+}
+
+TEST(XTreeDistance, TriangleInequalityOnRandomTriples) {
+  const XTree x(11);
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = static_cast<VertexId>(rng.below(x.num_vertices()));
+    const auto b = static_cast<VertexId>(rng.below(x.num_vertices()));
+    const auto c = static_cast<VertexId>(rng.below(x.num_vertices()));
+    EXPECT_LE(x.distance(a, c), x.distance(a, b) + x.distance(b, c));
+  }
+}
+
+TEST(XTreeDistance, AdjacentVerticesHaveDistanceOne) {
+  const XTree x(9);
+  Rng rng(5);
+  std::vector<VertexId> nbr;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = static_cast<VertexId>(rng.below(x.num_vertices()));
+    nbr.clear();
+    x.neighbors(a, nbr);
+    for (VertexId b : nbr) EXPECT_EQ(x.distance(a, b), 1);
+  }
+}
+
+TEST(XTreeDistance, KnownValuesOnHeight3) {
+  const XTree x(3);
+  auto v = [&](const char* s) { return x.vertex_of_label(s); };
+  EXPECT_EQ(x.distance(v(""), v("111")), 3);
+  EXPECT_EQ(x.distance(v("000"), v("111")), 5);  // horizontal 7 vs climb
+  EXPECT_EQ(x.distance(v("000"), v("001")), 1);
+  EXPECT_EQ(x.distance(v("011"), v("100")), 1);  // cross-subtree link
+  EXPECT_EQ(x.distance(v("0"), v("1")), 1);
+  EXPECT_EQ(x.distance(v("00"), v("11")), 3);
+}
+
+TEST(XTreeDistance, DistanceAtMostAgrees) {
+  const XTree x(8);
+  Rng rng(44);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto a = static_cast<VertexId>(rng.below(x.num_vertices()));
+    const auto b = static_cast<VertexId>(rng.below(x.num_vertices()));
+    const std::int32_t d = x.distance(a, b);
+    EXPECT_TRUE(x.distance_at_most(a, b, d));
+    if (d > 0) {
+      EXPECT_FALSE(x.distance_at_most(a, b, d - 1));
+    }
+  }
+}
+
+TEST(XTreeDistance, AdversarialCorridorCasesHeight12) {
+  // Crafted pairs that stress the corridor restriction: cone
+  // boundaries, power-of-two position offsets (where up-projections
+  // shear), corners, and cross-subtree pairs.  Checked against BFS on
+  // the materialised graph (8191 vertices).
+  const XTree x(12);
+  const Graph g = x.to_graph();
+  std::vector<std::pair<VertexId, VertexId>> cases;
+  const std::int64_t top = (std::int64_t{1} << 12) - 1;
+  for (std::int32_t k = 0; k <= 11; ++k) {
+    const std::int64_t p = std::int64_t{1} << k;  // subtree boundary
+    for (std::int64_t d : {-2, -1, 0, 1, 2}) {
+      const std::int64_t q = p + d;
+      if (q < 0 || q > top) continue;
+      cases.emplace_back(XTree::id_of({12, p - 1}), XTree::id_of({12, q}));
+      cases.emplace_back(XTree::id_of({12, 0}), XTree::id_of({12, q}));
+      cases.emplace_back(XTree::id_of({6, (p - 1) % 64}),
+                         XTree::id_of({12, q}));
+    }
+  }
+  cases.emplace_back(XTree::id_of({12, 0}), XTree::id_of({12, top}));
+  cases.emplace_back(XTree::id_of({12, top / 2}),
+                     XTree::id_of({12, top / 2 + 1}));
+  cases.emplace_back(XTree::id_of({1, 0}), XTree::id_of({12, top}));
+  for (const auto& [a, b] : cases) {
+    ASSERT_EQ(x.distance(a, b), bfs_distance(g, a, b))
+        << x.label_of(a) << " vs " << x.label_of(b);
+  }
+}
+
+TEST(XTreeDistance, UpperBoundedByTreeRoute) {
+  // Never worse than the pure complete-binary-tree path.
+  const XTree x(10);
+  Rng rng(123);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto a = static_cast<VertexId>(rng.below(x.num_vertices()));
+    const auto b = static_cast<VertexId>(rng.below(x.num_vertices()));
+    // Tree distance via LCA on heap ids.
+    VertexId u = a;
+    VertexId v = b;
+    std::int32_t d = 0;
+    auto level = [&](VertexId w) { return x.level_of(w); };
+    while (level(u) > level(v)) {
+      u = x.parent(u);
+      ++d;
+    }
+    while (level(v) > level(u)) {
+      v = x.parent(v);
+      ++d;
+    }
+    while (u != v) {
+      u = x.parent(u);
+      v = x.parent(v);
+      d += 2;
+    }
+    EXPECT_LE(x.distance(a, b), d);
+  }
+}
+
+TEST(XTreeDistance, DeepCornersOnTallTree) {
+  // Far-apart leaves on X(16): distance must use the climb, and the
+  // corridor must not overflow.
+  const XTree x(16);
+  const VertexId left = XTree::id_of({16, 0});
+  const VertexId right = XTree::id_of({16, (std::int64_t{1} << 16) - 1});
+  const std::int32_t d = x.distance(left, right);
+  EXPECT_GE(d, 16);      // must climb at least near the root
+  EXPECT_LE(d, 2 * 16);  // never worse than the pure tree route
+}
+
+}  // namespace
+}  // namespace xt
