@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma3.dir/bench/bench_lemma3.cpp.o"
+  "CMakeFiles/bench_lemma3.dir/bench/bench_lemma3.cpp.o.d"
+  "bench/bench_lemma3"
+  "bench/bench_lemma3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

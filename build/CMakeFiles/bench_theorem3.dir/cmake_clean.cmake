@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem3.dir/bench/bench_theorem3.cpp.o"
+  "CMakeFiles/bench_theorem3.dir/bench/bench_theorem3.cpp.o.d"
+  "bench/bench_theorem3"
+  "bench/bench_theorem3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

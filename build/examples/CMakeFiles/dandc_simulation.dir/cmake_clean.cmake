@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dandc_simulation.dir/dandc_simulation.cpp.o"
+  "CMakeFiles/dandc_simulation.dir/dandc_simulation.cpp.o.d"
+  "dandc_simulation"
+  "dandc_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dandc_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embed_tool.dir/embed_tool.cpp.o"
+  "CMakeFiles/embed_tool.dir/embed_tool.cpp.o.d"
+  "embed_tool"
+  "embed_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embed_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/expression_eval.cpp" "examples/CMakeFiles/expression_eval.dir/expression_eval.cpp.o" "gcc" "examples/CMakeFiles/expression_eval.dir/expression_eval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xt_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xt_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xt_separator.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xt_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xt_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xt_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expression_eval.dir/expression_eval.cpp.o"
+  "CMakeFiles/expression_eval.dir/expression_eval.cpp.o.d"
+  "expression_eval"
+  "expression_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expression_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/universal_host.dir/universal_host.cpp.o"
+  "CMakeFiles/universal_host.dir/universal_host.cpp.o.d"
+  "universal_host"
+  "universal_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/universal_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visualize_embedding.dir/visualize_embedding.cpp.o"
+  "CMakeFiles/visualize_embedding.dir/visualize_embedding.cpp.o.d"
+  "visualize_embedding"
+  "visualize_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visualize_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/butterfly_embeddings.cpp" "src/CMakeFiles/xt_baseline.dir/baseline/butterfly_embeddings.cpp.o" "gcc" "src/CMakeFiles/xt_baseline.dir/baseline/butterfly_embeddings.cpp.o.d"
+  "/root/repo/src/baseline/graph_embed.cpp" "src/CMakeFiles/xt_baseline.dir/baseline/graph_embed.cpp.o" "gcc" "src/CMakeFiles/xt_baseline.dir/baseline/graph_embed.cpp.o.d"
+  "/root/repo/src/baseline/inorder_hypercube.cpp" "src/CMakeFiles/xt_baseline.dir/baseline/inorder_hypercube.cpp.o" "gcc" "src/CMakeFiles/xt_baseline.dir/baseline/inorder_hypercube.cpp.o.d"
+  "/root/repo/src/baseline/naive_xtree.cpp" "src/CMakeFiles/xt_baseline.dir/baseline/naive_xtree.cpp.o" "gcc" "src/CMakeFiles/xt_baseline.dir/baseline/naive_xtree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xt_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xt_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xt_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_baseline.dir/baseline/butterfly_embeddings.cpp.o"
+  "CMakeFiles/xt_baseline.dir/baseline/butterfly_embeddings.cpp.o.d"
+  "CMakeFiles/xt_baseline.dir/baseline/graph_embed.cpp.o"
+  "CMakeFiles/xt_baseline.dir/baseline/graph_embed.cpp.o.d"
+  "CMakeFiles/xt_baseline.dir/baseline/inorder_hypercube.cpp.o"
+  "CMakeFiles/xt_baseline.dir/baseline/inorder_hypercube.cpp.o.d"
+  "CMakeFiles/xt_baseline.dir/baseline/naive_xtree.cpp.o"
+  "CMakeFiles/xt_baseline.dir/baseline/naive_xtree.cpp.o.d"
+  "libxt_baseline.a"
+  "libxt_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

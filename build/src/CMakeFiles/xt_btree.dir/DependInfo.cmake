@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btree/binary_tree.cpp" "src/CMakeFiles/xt_btree.dir/btree/binary_tree.cpp.o" "gcc" "src/CMakeFiles/xt_btree.dir/btree/binary_tree.cpp.o.d"
+  "/root/repo/src/btree/generators.cpp" "src/CMakeFiles/xt_btree.dir/btree/generators.cpp.o" "gcc" "src/CMakeFiles/xt_btree.dir/btree/generators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

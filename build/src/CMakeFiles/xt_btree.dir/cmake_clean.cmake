@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_btree.dir/btree/binary_tree.cpp.o"
+  "CMakeFiles/xt_btree.dir/btree/binary_tree.cpp.o.d"
+  "CMakeFiles/xt_btree.dir/btree/generators.cpp.o"
+  "CMakeFiles/xt_btree.dir/btree/generators.cpp.o.d"
+  "libxt_btree.a"
+  "libxt_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

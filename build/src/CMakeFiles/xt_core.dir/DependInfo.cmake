@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dynamic_embedder.cpp" "src/CMakeFiles/xt_core.dir/core/dynamic_embedder.cpp.o" "gcc" "src/CMakeFiles/xt_core.dir/core/dynamic_embedder.cpp.o.d"
+  "/root/repo/src/core/hypercube_embedding.cpp" "src/CMakeFiles/xt_core.dir/core/hypercube_embedding.cpp.o" "gcc" "src/CMakeFiles/xt_core.dir/core/hypercube_embedding.cpp.o.d"
+  "/root/repo/src/core/injective_lift.cpp" "src/CMakeFiles/xt_core.dir/core/injective_lift.cpp.o" "gcc" "src/CMakeFiles/xt_core.dir/core/injective_lift.cpp.o.d"
+  "/root/repo/src/core/lemma3.cpp" "src/CMakeFiles/xt_core.dir/core/lemma3.cpp.o" "gcc" "src/CMakeFiles/xt_core.dir/core/lemma3.cpp.o.d"
+  "/root/repo/src/core/nset.cpp" "src/CMakeFiles/xt_core.dir/core/nset.cpp.o" "gcc" "src/CMakeFiles/xt_core.dir/core/nset.cpp.o.d"
+  "/root/repo/src/core/universal_graph.cpp" "src/CMakeFiles/xt_core.dir/core/universal_graph.cpp.o" "gcc" "src/CMakeFiles/xt_core.dir/core/universal_graph.cpp.o.d"
+  "/root/repo/src/core/xtree_embedder.cpp" "src/CMakeFiles/xt_core.dir/core/xtree_embedder.cpp.o" "gcc" "src/CMakeFiles/xt_core.dir/core/xtree_embedder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xt_separator.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xt_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xt_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xt_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_core.dir/core/dynamic_embedder.cpp.o"
+  "CMakeFiles/xt_core.dir/core/dynamic_embedder.cpp.o.d"
+  "CMakeFiles/xt_core.dir/core/hypercube_embedding.cpp.o"
+  "CMakeFiles/xt_core.dir/core/hypercube_embedding.cpp.o.d"
+  "CMakeFiles/xt_core.dir/core/injective_lift.cpp.o"
+  "CMakeFiles/xt_core.dir/core/injective_lift.cpp.o.d"
+  "CMakeFiles/xt_core.dir/core/lemma3.cpp.o"
+  "CMakeFiles/xt_core.dir/core/lemma3.cpp.o.d"
+  "CMakeFiles/xt_core.dir/core/nset.cpp.o"
+  "CMakeFiles/xt_core.dir/core/nset.cpp.o.d"
+  "CMakeFiles/xt_core.dir/core/universal_graph.cpp.o"
+  "CMakeFiles/xt_core.dir/core/universal_graph.cpp.o.d"
+  "CMakeFiles/xt_core.dir/core/xtree_embedder.cpp.o"
+  "CMakeFiles/xt_core.dir/core/xtree_embedder.cpp.o.d"
+  "libxt_core.a"
+  "libxt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

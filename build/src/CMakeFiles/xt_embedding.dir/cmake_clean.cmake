@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_embedding.dir/embedding/embedding.cpp.o"
+  "CMakeFiles/xt_embedding.dir/embedding/embedding.cpp.o.d"
+  "CMakeFiles/xt_embedding.dir/embedding/metrics.cpp.o"
+  "CMakeFiles/xt_embedding.dir/embedding/metrics.cpp.o.d"
+  "libxt_embedding.a"
+  "libxt_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

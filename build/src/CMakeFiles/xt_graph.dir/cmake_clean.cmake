@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_graph.dir/graph/bfs.cpp.o"
+  "CMakeFiles/xt_graph.dir/graph/bfs.cpp.o.d"
+  "CMakeFiles/xt_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/xt_graph.dir/graph/graph.cpp.o.d"
+  "libxt_graph.a"
+  "libxt_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_io.dir/io/certificate.cpp.o"
+  "CMakeFiles/xt_io.dir/io/certificate.cpp.o.d"
+  "CMakeFiles/xt_io.dir/io/serialize.cpp.o"
+  "CMakeFiles/xt_io.dir/io/serialize.cpp.o.d"
+  "CMakeFiles/xt_io.dir/io/svg.cpp.o"
+  "CMakeFiles/xt_io.dir/io/svg.cpp.o.d"
+  "libxt_io.a"
+  "libxt_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

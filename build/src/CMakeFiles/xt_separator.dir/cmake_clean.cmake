@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_separator.dir/separator/piece.cpp.o"
+  "CMakeFiles/xt_separator.dir/separator/piece.cpp.o.d"
+  "CMakeFiles/xt_separator.dir/separator/splitter.cpp.o"
+  "CMakeFiles/xt_separator.dir/separator/splitter.cpp.o.d"
+  "libxt_separator.a"
+  "libxt_separator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_separator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/network_sim.cpp" "src/CMakeFiles/xt_sim.dir/sim/network_sim.cpp.o" "gcc" "src/CMakeFiles/xt_sim.dir/sim/network_sim.cpp.o.d"
+  "/root/repo/src/sim/parallel_sim.cpp" "src/CMakeFiles/xt_sim.dir/sim/parallel_sim.cpp.o" "gcc" "src/CMakeFiles/xt_sim.dir/sim/parallel_sim.cpp.o.d"
+  "/root/repo/src/sim/workloads.cpp" "src/CMakeFiles/xt_sim.dir/sim/workloads.cpp.o" "gcc" "src/CMakeFiles/xt_sim.dir/sim/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xt_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xt_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xt_separator.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xt_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_sim.dir/sim/network_sim.cpp.o"
+  "CMakeFiles/xt_sim.dir/sim/network_sim.cpp.o.d"
+  "CMakeFiles/xt_sim.dir/sim/parallel_sim.cpp.o"
+  "CMakeFiles/xt_sim.dir/sim/parallel_sim.cpp.o.d"
+  "CMakeFiles/xt_sim.dir/sim/workloads.cpp.o"
+  "CMakeFiles/xt_sim.dir/sim/workloads.cpp.o.d"
+  "libxt_sim.a"
+  "libxt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

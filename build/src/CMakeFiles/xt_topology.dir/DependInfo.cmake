@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/butterfly.cpp" "src/CMakeFiles/xt_topology.dir/topology/butterfly.cpp.o" "gcc" "src/CMakeFiles/xt_topology.dir/topology/butterfly.cpp.o.d"
+  "/root/repo/src/topology/ccc.cpp" "src/CMakeFiles/xt_topology.dir/topology/ccc.cpp.o" "gcc" "src/CMakeFiles/xt_topology.dir/topology/ccc.cpp.o.d"
+  "/root/repo/src/topology/complete_binary_tree.cpp" "src/CMakeFiles/xt_topology.dir/topology/complete_binary_tree.cpp.o" "gcc" "src/CMakeFiles/xt_topology.dir/topology/complete_binary_tree.cpp.o.d"
+  "/root/repo/src/topology/debruijn.cpp" "src/CMakeFiles/xt_topology.dir/topology/debruijn.cpp.o" "gcc" "src/CMakeFiles/xt_topology.dir/topology/debruijn.cpp.o.d"
+  "/root/repo/src/topology/grid.cpp" "src/CMakeFiles/xt_topology.dir/topology/grid.cpp.o" "gcc" "src/CMakeFiles/xt_topology.dir/topology/grid.cpp.o.d"
+  "/root/repo/src/topology/hypercube.cpp" "src/CMakeFiles/xt_topology.dir/topology/hypercube.cpp.o" "gcc" "src/CMakeFiles/xt_topology.dir/topology/hypercube.cpp.o.d"
+  "/root/repo/src/topology/xtree.cpp" "src/CMakeFiles/xt_topology.dir/topology/xtree.cpp.o" "gcc" "src/CMakeFiles/xt_topology.dir/topology/xtree.cpp.o.d"
+  "/root/repo/src/topology/xtree_router.cpp" "src/CMakeFiles/xt_topology.dir/topology/xtree_router.cpp.o" "gcc" "src/CMakeFiles/xt_topology.dir/topology/xtree_router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

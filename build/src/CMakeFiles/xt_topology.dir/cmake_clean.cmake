@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_topology.dir/topology/butterfly.cpp.o"
+  "CMakeFiles/xt_topology.dir/topology/butterfly.cpp.o.d"
+  "CMakeFiles/xt_topology.dir/topology/ccc.cpp.o"
+  "CMakeFiles/xt_topology.dir/topology/ccc.cpp.o.d"
+  "CMakeFiles/xt_topology.dir/topology/complete_binary_tree.cpp.o"
+  "CMakeFiles/xt_topology.dir/topology/complete_binary_tree.cpp.o.d"
+  "CMakeFiles/xt_topology.dir/topology/debruijn.cpp.o"
+  "CMakeFiles/xt_topology.dir/topology/debruijn.cpp.o.d"
+  "CMakeFiles/xt_topology.dir/topology/grid.cpp.o"
+  "CMakeFiles/xt_topology.dir/topology/grid.cpp.o.d"
+  "CMakeFiles/xt_topology.dir/topology/hypercube.cpp.o"
+  "CMakeFiles/xt_topology.dir/topology/hypercube.cpp.o.d"
+  "CMakeFiles/xt_topology.dir/topology/xtree.cpp.o"
+  "CMakeFiles/xt_topology.dir/topology/xtree.cpp.o.d"
+  "CMakeFiles/xt_topology.dir/topology/xtree_router.cpp.o"
+  "CMakeFiles/xt_topology.dir/topology/xtree_router.cpp.o.d"
+  "libxt_topology.a"
+  "libxt_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xt_util.dir/util/cli.cpp.o"
+  "CMakeFiles/xt_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/xt_util.dir/util/table.cpp.o"
+  "CMakeFiles/xt_util.dir/util/table.cpp.o.d"
+  "libxt_util.a"
+  "libxt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

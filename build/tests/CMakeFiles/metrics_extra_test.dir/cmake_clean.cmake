@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_extra_test.dir/metrics_extra_test.cpp.o"
+  "CMakeFiles/metrics_extra_test.dir/metrics_extra_test.cpp.o.d"
+  "metrics_extra_test"
+  "metrics_extra_test.pdb"
+  "metrics_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

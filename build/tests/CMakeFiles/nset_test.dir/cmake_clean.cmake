@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nset_test.dir/nset_test.cpp.o"
+  "CMakeFiles/nset_test.dir/nset_test.cpp.o.d"
+  "nset_test"
+  "nset_test.pdb"
+  "nset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem2_test.dir/theorem2_test.cpp.o"
+  "CMakeFiles/theorem2_test.dir/theorem2_test.cpp.o.d"
+  "theorem2_test"
+  "theorem2_test.pdb"
+  "theorem2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

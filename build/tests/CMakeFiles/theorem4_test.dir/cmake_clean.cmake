@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem4_test.dir/theorem4_test.cpp.o"
+  "CMakeFiles/theorem4_test.dir/theorem4_test.cpp.o.d"
+  "theorem4_test"
+  "theorem4_test.pdb"
+  "theorem4_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

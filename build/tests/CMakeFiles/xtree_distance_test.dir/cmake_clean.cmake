@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtree_distance_test.dir/xtree_distance_test.cpp.o"
+  "CMakeFiles/xtree_distance_test.dir/xtree_distance_test.cpp.o.d"
+  "xtree_distance_test"
+  "xtree_distance_test.pdb"
+  "xtree_distance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtree_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
