@@ -6,6 +6,7 @@
 #include "btree/generators.hpp"
 #include "core/lemma3.hpp"
 #include "core/xtree_embedder.hpp"
+#include "embedding/metrics.hpp"
 #include "separator/piece.hpp"
 #include "separator/splitter.hpp"
 #include "sim/network_sim.hpp"
@@ -54,9 +55,13 @@ void BM_SplitPiece(benchmark::State& state) {
   for (NodeId v = 0; v < n; ++v) piece.nodes[static_cast<std::size_t>(v)] = v;
   piece.add_designated(0);
   piece.add_designated(n - 1);
+  // Scratch API with recycling: the embedder's actual hot path.
+  SplitScratch scratch;
+  SplitResult res;
   for (auto _ : state) {
-    auto res = split_piece(t, piece, n / 3, SplitQuality::kLemma2);
+    split_piece(t, piece, n / 3, SplitQuality::kLemma2, scratch, res);
     benchmark::DoNotOptimize(res.extract_total);
+    scratch.recycle(std::move(res));
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
@@ -79,6 +84,44 @@ void BM_XTreeDistance(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_XTreeDistance)->DenseRange(6, 22, 4);
+
+// Same query mix as BM_XTreeDistance, answered by the corridor-Dijkstra
+// oracle instead of the level-DP kernel.  The ratio of the two is the
+// distance-query speedup.
+void BM_XTreeDistanceOracle(benchmark::State& state) {
+  const auto r = static_cast<std::int32_t>(state.range(0));
+  const XTree x(r);
+  Rng rng(5);
+  std::vector<std::pair<VertexId, VertexId>> queries;
+  for (int i = 0; i < 512; ++i) {
+    queries.emplace_back(static_cast<VertexId>(rng.below(x.num_vertices())),
+                         static_cast<VertexId>(rng.below(x.num_vertices())));
+  }
+  std::size_t idx = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = queries[idx++ & 511];
+    benchmark::DoNotOptimize(x.distance_oracle(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_XTreeDistanceOracle)->DenseRange(6, 22, 4);
+
+// Full dilation audit of an embedded random tree: one distance query
+// per guest edge, fanned across the thread pool in static blocks.
+void BM_DilationProfile(benchmark::State& state) {
+  const auto r = static_cast<std::int32_t>(state.range(0));
+  const auto n = static_cast<NodeId>(16 * ((std::int64_t{2} << r) - 1));
+  Rng rng(11);
+  const BinaryTree guest = make_random_tree(n, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  const XTree xtree(res.stats.height);
+  for (auto _ : state) {
+    const auto profile = dilation_profile_xtree(guest, res.embedding, xtree);
+    benchmark::DoNotOptimize(profile.report.max);
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 1));
+}
+BENCHMARK(BM_DilationProfile)->DenseRange(6, 10, 2)->Unit(benchmark::kMillisecond);
 
 void BM_Lemma3Map(benchmark::State& state) {
   const XTree x(20);

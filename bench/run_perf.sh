@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs the perf benchmark suite and writes BENCH_1.json at the repo
+# root (google-benchmark JSON format, one "benchmarks" array).
+#
+# Usage:  bench/run_perf.sh [build-dir] [extra benchmark args...]
+#
+# The interesting counters:
+#   BM_XTreeDistance / BM_XTreeDistanceOracle  - items_per_second ratio
+#       is the closed-form kernel's speedup over corridor-Dijkstra.
+#   BM_EmbedRandomTree/10, BM_EmbedPathTree/10 - embedder wall time
+#       after the allocation-free refactor.
+#   BM_SplitPiece                              - scratch-API splitter.
+#   BM_DilationProfile                         - batched metric path.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+
+bench_bin="$build_dir/bench/bench_perf"
+if [[ ! -x "$bench_bin" ]]; then
+  echo "error: $bench_bin not found; build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+out="$repo_root/BENCH_1.json"
+"$bench_bin" \
+  --benchmark_format=json \
+  --benchmark_out="$out" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.3 \
+  "$@" >/dev/null
+
+echo "wrote $out"

@@ -91,10 +91,13 @@ class EmbedderImpl {
             std::max(stats_.max_observed_embed_distance, d);
         if (!respects_condition_3prime(host_, host_of(u), x)) {
           ++stats_.discipline_violations;
-          if (debug_phase_ != nullptr) {
-            std::fprintf(stderr, "VIOL phase=%s node=%d at=%s nbr=%s d=%d\n",
-                         debug_phase_, v, host_.label_of(x).c_str(),
-                         host_.label_of(host_of(u)).c_str(), d);
+          if (diag_) {
+            char buf[192];
+            std::snprintf(buf, sizeof buf,
+                          "VIOL phase=%s node=%d at=%s nbr=%s d=%d", phase_, v,
+                          host_.label_of(x).c_str(),
+                          host_.label_of(host_of(u)).c_str(), d);
+            diag_(buf);
           }
         }
       }
@@ -112,8 +115,9 @@ class EmbedderImpl {
   }
 
   /// Applies a split result: the remain boundary and pieces stay at
-  /// `remain_at`, the extract side goes to `extract_at`.
-  void apply_split(SplitResult&& res, VertexId remain_at,
+  /// `remain_at`, the extract side goes to `extract_at`.  The result's
+  /// pieces are moved out; its vectors stay with the owner for reuse.
+  void apply_split(SplitResult& res, VertexId remain_at,
                    VertexId extract_at) {
     place_all(res.embed_remain, remain_at);
     place_all(res.embed_extract, extract_at);
@@ -159,10 +163,20 @@ class EmbedderImpl {
 
   /// Balancing cut dispatch: the generic carve-and-refine splitter by
   /// default, the paper's literal find2 under Options::paper_find2.
-  [[nodiscard]] SplitResult run_split(const Piece& piece, NodeId delta) {
+  /// Returns the embedder's reusable result buffer — valid until the
+  /// next run_split / run_extract call.
+  [[nodiscard]] SplitResult& run_split(const Piece& piece, NodeId delta) {
     if (opt_.paper_find2 && !opt_.lemma1_only)
-      return split_piece_find2(guest_, piece, delta);
-    return split_piece(guest_, piece, delta, split_quality());
+      split_piece_find2(guest_, piece, delta, scratch_, split_res_);
+    else
+      split_piece(guest_, piece, delta, split_quality(), scratch_, split_res_);
+    return split_res_;
+  }
+
+  /// extract_whole_piece through the same reusable buffers.
+  [[nodiscard]] SplitResult& run_extract(const Piece& piece) {
+    extract_whole_piece(guest_, piece, scratch_, split_res_);
+    return split_res_;
   }
 
   void run_round(std::int32_t round) {
@@ -228,7 +242,8 @@ class EmbedderImpl {
                 Attached unit = std::move(dp[i]);
                 dp[i] = std::move(dp.back());
                 dp.pop_back();
-                SplitResult res = extract_whole_piece(guest_, unit.piece);
+                SplitResult& res = run_extract(unit.piece);
+                scratch_.recycle(std::move(unit.piece));
                 stats_.peel_fills +=
                     static_cast<std::int64_t>(res.embed_extract.size());
                 place_all(res.embed_extract, v);
@@ -260,7 +275,8 @@ class EmbedderImpl {
                 const NodeId keep = unit.piece.designated[1];
                 Piece half = std::move(unit.piece);
                 half.designated[1] = kInvalidNode;
-                SplitResult res = extract_whole_piece(guest_, half);
+                SplitResult& res = run_extract(half);
+                scratch_.recycle(std::move(half));
                 stats_.peel_fills +=
                     static_cast<std::int64_t>(res.embed_extract.size());
                 place_all(res.embed_extract, v);
@@ -350,17 +366,19 @@ class EmbedderImpl {
     // deeper inside the heavy subtree — any piece is eligible as long
     // as its characteristic address stays within distance 3 of both
     // boundary vertices.
-    std::vector<VertexId> donors{donor};
+    std::array<VertexId, 3> donors{donor, kInvalidVertex, kInvalidVertex};
+    int num_donors = 1;
     {
       VertexId back = donor;
       for (int step = 0; step < 2; ++step) {
         back = heavy_left ? host_.predecessor(back) : host_.successor(back);
         if (back == kInvalidVertex) break;
-        donors.push_back(back);
+        donors[static_cast<std::size_t>(num_donors++)] = back;
       }
     }
     auto pick_unit = [&](Attached& out) {
-      for (VertexId d : donors) {
+      for (int di = 0; di < num_donors; ++di) {
+        const VertexId d = donors[static_cast<std::size_t>(di)];
         auto& dp = pool_[static_cast<std::size_t>(d)];
         std::size_t best = dp.size();
         for (std::size_t i = 0; i < dp.size(); ++i) {
@@ -399,15 +417,16 @@ class EmbedderImpl {
       if (3 * static_cast<std::int64_t>(psize) <= 4 * remaining) {
         // Shift the whole piece: designated nodes land on vr, the rest
         // re-forms attached to vr.
-        SplitResult res = extract_whole_piece(guest_, unit.piece);
+        SplitResult& res = run_extract(unit.piece);
+        scratch_.recycle(std::move(unit.piece));
         laid_vr += static_cast<NodeId>(res.embed_extract.size());
-        apply_split(std::move(res), vd, vr);
+        apply_split(res, vd, vr);
         ++stats_.whole_moves;
         moved = psize;
       } else {
         // Lemma 2 split: extract ~remaining nodes across the corner.
-        SplitResult res = run_split(unit.piece,
-                                    static_cast<NodeId>(remaining));
+        SplitResult& res = run_split(unit.piece,
+                                     static_cast<NodeId>(remaining));
         // Boundary sets are usually <= 4 but a collinearity promotion
         // can add a node; verify against the actual result.
         if (static_cast<NodeId>(res.embed_remain.size()) > free_slots(vd) ||
@@ -415,10 +434,11 @@ class EmbedderImpl {
           donor_pool.push_back(std::move(unit));
           break;
         }
+        scratch_.recycle(std::move(unit.piece));
         laid_vd += static_cast<NodeId>(res.embed_remain.size());
         laid_vr += static_cast<NodeId>(res.embed_extract.size());
         moved = res.extract_total;
-        apply_split(std::move(res), vd, vr);
+        apply_split(res, vd, vr);
         ++stats_.lemma_splits;
         ++stats_.adjust_shifts;
         remaining -= moved;
@@ -433,13 +453,15 @@ class EmbedderImpl {
     }
     if (remaining > 0) {
       stats_.unmet_adjust_demand += remaining;
-      if (debug_phase_ != nullptr) {
-        std::fprintf(stderr,
-                     "UNMET round=%d a=%s unmet=%lld diff=%lld donorpool=%zu\n",
-                     round, host_.label_of(a).c_str(),
-                     static_cast<long long>(remaining),
-                     static_cast<long long>(diff),
-                     pool_[static_cast<std::size_t>(donor)].size());
+      if (diag_) {
+        char buf[192];
+        std::snprintf(buf, sizeof buf,
+                      "UNMET round=%d a=%s unmet=%lld diff=%lld donorpool=%zu",
+                      round, host_.label_of(a).c_str(),
+                      static_cast<long long>(remaining),
+                      static_cast<long long>(diff),
+                      pool_[static_cast<std::size_t>(donor)].size());
+        diag_(buf);
       }
     }
     if (laid_vd > 4 || laid_vr > 4) ++stats_.adjust_budget_overruns;
@@ -455,8 +477,10 @@ class EmbedderImpl {
 
     // Gather units: pieces attached to b plus this round's ADJUST
     // deposits already sitting at the children (the paper's S3 set,
-    // re-assignable between siblings).
-    std::vector<Attached> units;
+    // re-assignable between siblings).  units_/unit_side_ are member
+    // buffers reused across the whole run.
+    auto& units = units_;
+    units.clear();
     for (VertexId src : {b, c0, c1}) {
       auto& p = pool_[static_cast<std::size_t>(src)];
       for (auto& a : p) units.push_back(std::move(a));
@@ -472,7 +496,8 @@ class EmbedderImpl {
               });
     std::array<std::int64_t, 2> mass{load_[static_cast<std::size_t>(c0)],
                                      load_[static_cast<std::size_t>(c1)]};
-    std::vector<int> side(units.size(), 0);
+    auto& side = unit_side_;
+    side.assign(units.size(), 0);
     for (std::size_t i = 0; i < units.size(); ++i) {
       const int s = mass[0] <= mass[1] ? 0 : 1;
       side[i] = s;
@@ -528,7 +553,8 @@ class EmbedderImpl {
           if (free_slots(other) >= embeds) c = other;
         }
         if (free_slots(c) >= embeds) {
-          SplitResult res = extract_whole_piece(guest_, unit.piece);
+          SplitResult& res = run_extract(unit.piece);
+          scratch_.recycle(std::move(unit.piece));
           place_all(res.embed_extract, c);
           for (auto& p : res.pieces_extract) attach(std::move(p), c, c);
         } else {
@@ -576,21 +602,23 @@ class EmbedderImpl {
     hp.pop_back();
     const NodeId psize = unit.piece.size();
     if (3 * static_cast<std::int64_t>(psize) <= 4 * target) {
-      SplitResult res = extract_whole_piece(guest_, unit.piece);
+      SplitResult& res = run_extract(unit.piece);
       if (static_cast<NodeId>(res.embed_extract.size()) > free_slots(light)) {
         hp.push_back(std::move(unit));
         return;
       }
-      apply_split(std::move(res), heavy, light);
+      scratch_.recycle(std::move(unit.piece));
+      apply_split(res, heavy, light);
       ++stats_.whole_moves;
     } else {
-      SplitResult res = run_split(unit.piece, static_cast<NodeId>(target));
+      SplitResult& res = run_split(unit.piece, static_cast<NodeId>(target));
       if (static_cast<NodeId>(res.embed_remain.size()) > free_slots(heavy) ||
           static_cast<NodeId>(res.embed_extract.size()) > free_slots(light)) {
         hp.push_back(std::move(unit));
         return;
       }
-      apply_split(std::move(res), heavy, light);
+      scratch_.recycle(std::move(unit.piece));
+      apply_split(res, heavy, light);
       ++stats_.lemma_splits;
     }
   }
@@ -640,7 +668,8 @@ class EmbedderImpl {
       Attached unit = std::move(pool[best]);
       pool[best] = std::move(pool.back());
       pool.pop_back();
-      SplitResult res = extract_whole_piece(guest_, unit.piece);
+      SplitResult& res = run_extract(unit.piece);
+      scratch_.recycle(std::move(unit.piece));
       stats_.peel_fills += static_cast<std::int64_t>(res.embed_extract.size());
       place_all(res.embed_extract, c);
       for (auto& p : res.pieces_extract) attach(std::move(p), c, c);
@@ -655,7 +684,8 @@ class EmbedderImpl {
     const NodeId keep = unit.piece.designated[1];
     Piece half = std::move(unit.piece);
     half.designated[1] = kInvalidNode;
-    SplitResult res = extract_whole_piece(guest_, half);
+    SplitResult& res = run_extract(half);
+    scratch_.recycle(std::move(half));
     stats_.peel_fills += static_cast<std::int64_t>(res.embed_extract.size());
     place_all(res.embed_extract, c);
     for (auto& p : res.pieces_extract) {
@@ -669,13 +699,17 @@ class EmbedderImpl {
 
   void final_repair() {
     set_phase("repair");
-    if (debug_phase_ != nullptr) {
+    if (diag_) {
       for (VertexId v = 0; v < host_.num_vertices(); ++v) {
         std::int64_t m = 0;
         for (const auto& a : pool_[static_cast<std::size_t>(v)]) m += a.piece.size();
-        if (m > 0 || free_slots(v) > 0)
-          std::fprintf(stderr, "LEAF %s pool=%lld free=%d\n",
-                       host_.label_of(v).c_str(), (long long)m, free_slots(v));
+        if (m > 0 || free_slots(v) > 0) {
+          char buf[128];
+          std::snprintf(buf, sizeof buf, "LEAF %s pool=%lld free=%d",
+                        host_.label_of(v).c_str(), (long long)m,
+                        free_slots(v));
+          diag_(buf);
+        }
       }
     }
     // Exact-form inputs typically leave nothing here; any residue is
@@ -975,6 +1009,20 @@ class EmbedderImpl {
     XT_CHECK(pooled + placed_count_ == guest_.num_nodes());
   }
 
+  // Diagnostic sink: Options::diagnostic_sink when set; otherwise
+  // XT_DEBUG_PHASE=1 in the environment installs a stderr printer.
+  // Null (the default) keeps the embedder completely silent.
+  static std::function<void(const std::string&)> resolve_sink(
+      const XTreeEmbedder::Options& opt) {
+    if (opt.diagnostic_sink) return opt.diagnostic_sink;
+    if (std::getenv("XT_DEBUG_PHASE") != nullptr) {
+      return [](const std::string& line) {
+        std::fprintf(stderr, "%s\n", line.c_str());
+      };
+    }
+    return nullptr;
+  }
+
   const BinaryTree& guest_;
   const XTreeEmbedder::Options& opt_;
   std::int32_t height_;
@@ -985,11 +1033,17 @@ class EmbedderImpl {
   std::vector<std::vector<Attached>> pool_;
   std::vector<std::int64_t> weight_;
   std::vector<NodeId> scratch_nbr_;
-  // Debug tracing: set XT_DEBUG_PHASE=1 in the environment to get a
-  // stderr line for every condition-(3') violation and every ADJUST
-  // shortfall, tagged with the algorithm phase that caused it.
-  const char* debug_phase_ = std::getenv("XT_DEBUG_PHASE") ? "start" : nullptr;
-  void set_phase(const char* p) { if (debug_phase_) debug_phase_ = p; }
+  // Reusable splitter state + result: every split and whole-piece
+  // extraction in the run goes through these, and consumed pieces are
+  // recycled into scratch_.free_pieces, so the steady-state hot loop
+  // performs no heap allocation.
+  SplitScratch scratch_;
+  SplitResult split_res_;
+  std::vector<Attached> units_;  // SPLIT's per-vertex unit gather
+  std::vector<int> unit_side_;
+  std::function<void(const std::string&)> diag_ = resolve_sink(opt_);
+  const char* phase_ = "start";
+  void set_phase(const char* p) { if (diag_) phase_ = p; }
   XTreeEmbedder::Stats stats_;
 };
 

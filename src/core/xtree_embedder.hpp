@@ -31,6 +31,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "btree/binary_tree.hpp"
@@ -57,6 +59,13 @@ class XTreeEmbedder {
     bool audit_rounds = false;
     /// Record the per-round sibling-imbalance trace (experiment C1).
     bool record_trace = false;
+    /// Receives one line per notable event (condition-(3') violation,
+    /// ADJUST shortfall, pre-repair leaf state), tagged with the
+    /// algorithm phase.  Unset -> the embedder is silent; setting
+    /// XT_DEBUG_PHASE=1 in the environment installs a stderr sink when
+    /// no sink is given here.  The library never writes to stderr
+    /// unless one of those two opt-ins is active.
+    std::function<void(const std::string&)> diagnostic_sink;
 
     // --- ablation switches (experiment A1; defaults = the paper) ---
     /// Use only the coarser Lemma 1 splitter (tolerance (D+1)/3

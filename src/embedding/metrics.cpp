@@ -5,8 +5,29 @@
 
 #include "graph/bfs.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace xt {
+namespace {
+
+// Serial reduction over the per-edge distances, in guest-edge order.
+// Shared by the serial and batched dilation paths so both produce the
+// same report bit for bit (the double sum accumulates in edge order).
+DilationReport reduce_per_edge(const std::vector<std::int32_t>& per_edge) {
+  DilationReport report;
+  double sum = 0.0;
+  for (const std::int32_t d : per_edge) {
+    report.max = std::max(report.max, d);
+    report.histogram.add(d);
+    sum += d;
+    ++report.num_edges;
+  }
+  if (report.num_edges > 0)
+    report.mean = sum / static_cast<double>(report.num_edges);
+  return report;
+}
+
+}  // namespace
 
 DilationReport dilation(const BinaryTree& guest, const Embedding& emb,
                         const DistanceFn& host_distance) {
@@ -25,11 +46,37 @@ DilationReport dilation(const BinaryTree& guest, const Embedding& emb,
   return report;
 }
 
+DilationProfile dilation_profile(const BinaryTree& guest, const Embedding& emb,
+                                 const DistanceFn& host_distance,
+                                 unsigned workers) {
+  XT_CHECK_MSG(emb.complete(), "dilation of an incomplete embedding");
+  const auto edges = guest.edges();
+  DilationProfile profile;
+  profile.per_edge.resize(edges.size());
+  parallel_for(
+      0, static_cast<std::int64_t>(edges.size()),
+      [&](std::int64_t i) {
+        const auto& [u, v] = edges[static_cast<std::size_t>(i)];
+        profile.per_edge[static_cast<std::size_t>(i)] =
+            host_distance(emb.host_of(u), emb.host_of(v));
+      },
+      workers == 0 ? parallel_workers() : workers);
+  profile.report = reduce_per_edge(profile.per_edge);
+  return profile;
+}
+
+DilationProfile dilation_profile_xtree(const BinaryTree& guest,
+                                       const Embedding& emb,
+                                       const XTree& host, unsigned workers) {
+  return dilation_profile(
+      guest, emb,
+      [&host](VertexId a, VertexId b) { return host.distance(a, b); },
+      workers);
+}
+
 DilationReport dilation_xtree(const BinaryTree& guest, const Embedding& emb,
                               const XTree& host) {
-  return dilation(guest, emb, [&host](VertexId a, VertexId b) {
-    return host.distance(a, b);
-  });
+  return dilation_profile_xtree(guest, emb, host).report;
 }
 
 DilationReport dilation_hypercube(const BinaryTree& guest,

@@ -33,7 +33,33 @@ using DistanceFn = std::function<std::int32_t(VertexId, VertexId)>;
 DilationReport dilation(const BinaryTree& guest, const Embedding& emb,
                         const DistanceFn& host_distance);
 
-/// Dilation into an X-tree host (exact corridor distances).
+/// Full per-edge distance profile of an embedding.  The per_edge
+/// vector is indexed by guest.edges() order, so callers can attribute
+/// each distance to its guest edge (audits, histograms, SVG overlays).
+struct DilationProfile {
+  DilationReport report;
+  std::vector<std::int32_t> per_edge;
+};
+
+/// Batched dilation: fans the per-edge distance queries across the
+/// persistent thread pool (util/parallel.hpp) in static blocks, then
+/// reduces serially in guest-edge order — the result is bit-identical
+/// for any worker count, including 1.  `host_distance` must be safe to
+/// call concurrently (XTree::distance and the closed-form topology
+/// distances are; a shared BfsWorkspace is not).  workers == 0 selects
+/// parallel_workers().
+DilationProfile dilation_profile(const BinaryTree& guest, const Embedding& emb,
+                                 const DistanceFn& host_distance,
+                                 unsigned workers = 0);
+
+/// Batched profile into an X-tree host (exact O(height) kernel
+/// distances; the workload of the Theorem 1 dilation audits).
+DilationProfile dilation_profile_xtree(const BinaryTree& guest,
+                                       const Embedding& emb,
+                                       const XTree& host,
+                                       unsigned workers = 0);
+
+/// Dilation into an X-tree host (exact kernel distances).
 DilationReport dilation_xtree(const BinaryTree& guest, const Embedding& emb,
                               const XTree& host);
 

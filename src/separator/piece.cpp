@@ -13,16 +13,26 @@ void Piece::add_designated(NodeId v) {
   (designated[0] == kInvalidNode ? designated[0] : designated[1]) = v;
 }
 
-PieceView::PieceView(const BinaryTree& tree, const Piece& piece)
-    : tree_(&tree), piece_(&piece) {
+void PieceView::rebuild(const BinaryTree& tree, const Piece& piece) {
+  tree_ = &tree;
+  piece_ = &piece;
   const auto n = static_cast<std::size_t>(piece.size());
   XT_CHECK(n > 0);
-  local_index_.reserve(n * 2);
+
+  const auto total = static_cast<std::size_t>(tree.num_nodes());
+  if (stamp_.size() < total) {
+    stamp_.resize(total, 0);
+    local_.resize(total, -1);
+  }
+  if (++epoch_ == 0) {  // epoch wrapped: invalidate every stale stamp
+    std::fill(stamp_.begin(), stamp_.end(), 0u);
+    epoch_ = 1;
+  }
   for (std::size_t i = 0; i < n; ++i) {
-    const bool inserted =
-        local_index_.emplace(piece.nodes[i], static_cast<std::int32_t>(i))
-            .second;
-    XT_CHECK_MSG(inserted, "duplicate node in piece");
+    const auto g = static_cast<std::size_t>(piece.nodes[i]);
+    XT_CHECK_MSG(stamp_[g] != epoch_, "duplicate node in piece");
+    stamp_[g] = epoch_;
+    local_[g] = static_cast<std::int32_t>(i);
   }
   root_ = piece.designated[0] != kInvalidNode ? local_of(piece.designated[0])
                                               : 0;
@@ -31,30 +41,37 @@ PieceView::PieceView(const BinaryTree& tree, const Piece& piece)
   parent_.assign(n, -1);
   depth_.assign(n, 0);
   subtree_size_.assign(n, 1);
-  children_.assign(n, {});
+  child_begin_.assign(n, 0);
+  child_count_.assign(n, 0);
+  child_list_.clear();
+  child_list_.reserve(n);
   order_.clear();
   order_.reserve(n);
 
   // Iterative DFS building the rooted structure over the piece-induced
-  // adjacency.
-  std::vector<char> seen(n, 0);
-  std::vector<std::int32_t> stack{root_};
-  seen[static_cast<std::size_t>(root_)] = 1;
-  std::vector<NodeId> nbr;
-  while (!stack.empty()) {
-    const std::int32_t u = stack.back();
-    stack.pop_back();
+  // adjacency.  "Unvisited" is parent_ == -1 (plus a root check), so no
+  // separate seen array is needed; a node's children are appended to
+  // child_list_ contiguously when it is popped, which is what makes the
+  // CSR layout valid.
+  stack_.clear();
+  stack_.push_back(root_);
+  while (!stack_.empty()) {
+    const std::int32_t u = stack_.back();
+    stack_.pop_back();
     order_.push_back(u);
-    nbr.clear();
-    tree.neighbors(global_of(u), nbr);
-    for (NodeId g : nbr) {
+    child_begin_[static_cast<std::size_t>(u)] =
+        static_cast<std::int32_t>(child_list_.size());
+    nbr_.clear();
+    tree.neighbors(global_of(u), nbr_);
+    for (NodeId g : nbr_) {
       const std::int32_t v = local_of(g);
-      if (v < 0 || seen[static_cast<std::size_t>(v)]) continue;
-      seen[static_cast<std::size_t>(v)] = 1;
+      if (v < 0 || v == root_ || parent_[static_cast<std::size_t>(v)] >= 0)
+        continue;
       parent_[static_cast<std::size_t>(v)] = u;
       depth_[static_cast<std::size_t>(v)] = depth_[static_cast<std::size_t>(u)] + 1;
-      children_[static_cast<std::size_t>(u)].push_back(v);
-      stack.push_back(v);
+      child_list_.push_back(v);
+      ++child_count_[static_cast<std::size_t>(u)];
+      stack_.push_back(v);
     }
   }
   XT_CHECK_MSG(order_.size() == n, "piece is not connected");
@@ -67,11 +84,6 @@ PieceView::PieceView(const BinaryTree& tree, const Piece& piece)
       subtree_size_[static_cast<std::size_t>(p)] +=
           subtree_size_[static_cast<std::size_t>(u)];
   }
-}
-
-std::int32_t PieceView::local_of(NodeId global) const {
-  const auto it = local_index_.find(global);
-  return it == local_index_.end() ? -1 : it->second;
 }
 
 std::int32_t PieceView::lca(std::int32_t a, std::int32_t b) const {

@@ -12,7 +12,7 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "btree/binary_tree.hpp"
@@ -36,16 +36,35 @@ struct Piece {
 /// restricted to the piece, parent/depth/subtree-size arrays.  Costs
 /// O(|piece|) to build; every splitter operation is linear in the
 /// piece, which keeps the whole embedding near O(n log n).
+///
+/// A PieceView is designed for *reuse*: rebuild() re-roots the same
+/// object on another piece without freeing any buffer.  The global ->
+/// local locator is a dense array over the whole guest tree with an
+/// epoch stamp per slot, so rebuilding costs O(|piece|), not
+/// O(|tree|), and local_of is two array reads.  The embedder threads
+/// one view through its entire run (via SplitScratch), turning the
+/// per-split hash map + vector-of-vectors churn into zero steady-state
+/// allocations.
 class PieceView {
  public:
-  PieceView(const BinaryTree& tree, const Piece& piece);
+  PieceView() = default;
+  PieceView(const BinaryTree& tree, const Piece& piece) {
+    rebuild(tree, piece);
+  }
+
+  /// Re-roots this view on `piece`, reusing all internal buffers.  The
+  /// view keeps pointers to `tree` and `piece`; both must outlive it.
+  void rebuild(const BinaryTree& tree, const Piece& piece);
 
   [[nodiscard]] NodeId size() const {
     return static_cast<NodeId>(order_.size());
   }
 
   /// Local index of a global node, or -1 if not in the piece.
-  [[nodiscard]] std::int32_t local_of(NodeId global) const;
+  [[nodiscard]] std::int32_t local_of(NodeId global) const {
+    const auto g = static_cast<std::size_t>(global);
+    return stamp_[g] == epoch_ ? local_[g] : -1;
+  }
   [[nodiscard]] NodeId global_of(std::int32_t local) const {
     return piece_->nodes[static_cast<std::size_t>(local)];
   }
@@ -63,9 +82,11 @@ class PieceView {
     return subtree_size_[static_cast<std::size_t>(local)];
   }
   /// Children of `local` in the rooted piece (up to 3 at the root).
-  [[nodiscard]] const std::vector<std::int32_t>& children(
+  [[nodiscard]] std::span<const std::int32_t> children(
       std::int32_t local) const {
-    return children_[static_cast<std::size_t>(local)];
+    const auto i = static_cast<std::size_t>(local);
+    return {child_list_.data() + child_begin_[i],
+            static_cast<std::size_t>(child_count_[i])};
   }
 
   /// Locals in DFS preorder from the root.
@@ -86,15 +107,26 @@ class PieceView {
   [[nodiscard]] const BinaryTree& tree() const { return *tree_; }
 
  private:
-  const BinaryTree* tree_;
-  const Piece* piece_;
+  const BinaryTree* tree_ = nullptr;
+  const Piece* piece_ = nullptr;
   std::int32_t root_ = 0;
-  std::unordered_map<NodeId, std::int32_t> local_index_;
+  // Dense locator: local_[g] is valid iff stamp_[g] == epoch_.  Sized
+  // to the guest tree once; rebuild() only bumps the epoch.
+  std::vector<std::uint32_t> stamp_;
+  std::vector<std::int32_t> local_;
+  std::uint32_t epoch_ = 0;
   std::vector<std::int32_t> parent_;
   std::vector<std::int32_t> depth_;
   std::vector<NodeId> subtree_size_;
-  std::vector<std::vector<std::int32_t>> children_;
+  // Children in CSR form: each node's children sit contiguously in
+  // child_list_ (they are discovered together when the node is popped
+  // in the build DFS).
+  std::vector<std::int32_t> child_begin_;
+  std::vector<std::int32_t> child_count_;
+  std::vector<std::int32_t> child_list_;
   std::vector<std::int32_t> order_;  // preorder of locals
+  std::vector<std::int32_t> stack_;  // DFS scratch
+  std::vector<NodeId> nbr_;          // DFS scratch
 };
 
 /// Computes all pieces of the currently-unembedded forest: components

@@ -8,11 +8,24 @@
 namespace xt {
 namespace {
 
+// Resets `out` for a fresh split, returning any pieces it still holds
+// to the scratch pool so their node buffers are reused.
+void reset_result(SplitScratch& scratch, SplitResult& out) {
+  scratch.recycle(std::move(out));
+  out.embed_extract.clear();
+  out.embed_remain.clear();
+  out.extract_total = 0;
+  out.remain_total = 0;
+  out.num_cuts = 0;
+  out.median_fixes = 0;
+}
+
 // Marks side[x] = value for every node of view-subtree(u) currently
 // carrying `from`.
 void mark_subtree(const PieceView& view, std::int32_t u, char from, char value,
-                  std::vector<char>& side) {
-  std::vector<std::int32_t> stack{u};
+                  std::vector<char>& side, std::vector<std::int32_t>& stack) {
+  stack.clear();
+  stack.push_back(u);
   while (!stack.empty()) {
     const std::int32_t x = stack.back();
     stack.pop_back();
@@ -30,43 +43,47 @@ struct Find1Sizes {
   const PieceView* view;
   std::int32_t carved = -1;   // local root of an excluded subtree, or -1
   NodeId carved_size = 0;
-  std::vector<char> on_carved_path;  // ancestors of `carved` (incl. itself)
+  // Ancestors of `carved` (incl. itself); null when carved < 0.
+  const std::vector<char>* on_carved_path = nullptr;
 
   [[nodiscard]] NodeId size(std::int32_t x) const {
     if (carved < 0) return view->subtree_size(x);
-    return on_carved_path[static_cast<std::size_t>(x)]
+    return (*on_carved_path)[static_cast<std::size_t>(x)]
                ? view->subtree_size(x) - carved_size
                : view->subtree_size(x);
   }
 };
 
-SplitResult finish_split(const BinaryTree& tree, const Piece& piece,
-                         const PieceView& view, std::vector<char>& side);
+void finish_split(const Piece& piece, const PieceView& view,
+                  SplitScratch& scratch, SplitResult& out);
 
 // Generalised adjusted sizes supporting several excluded cones (used
 // by the literal find2 implementation, where up to three carvings can
 // coexist).  exclude() removes the *remaining* mass of a cone, so
 // nested exclusions compose correctly when applied inner-first.
+// Working arrays live in the scratch (one AdjustedSizes is alive at a
+// time per splitter call).
 struct AdjustedSizes {
-  explicit AdjustedSizes(const PieceView& v)
-      : view(&v),
-        minus(static_cast<std::size_t>(v.size()), 0),
-        blocked(static_cast<std::size_t>(v.size()), 0) {}
+  AdjustedSizes(const PieceView& v, SplitScratch& s)
+      : view(&v), minus(&s.adj_minus), blocked(&s.adj_blocked) {
+    minus->assign(static_cast<std::size_t>(v.size()), 0);
+    blocked->assign(static_cast<std::size_t>(v.size()), 0);
+  }
 
   [[nodiscard]] NodeId size(std::int32_t x) const {
-    return view->subtree_size(x) - minus[static_cast<std::size_t>(x)];
+    return view->subtree_size(x) - (*minus)[static_cast<std::size_t>(x)];
   }
 
   void exclude(std::int32_t root) {
     const NodeId s = size(root);
-    blocked[static_cast<std::size_t>(root)] = 1;
+    (*blocked)[static_cast<std::size_t>(root)] = 1;
     for (std::int32_t x = root; x >= 0; x = view->parent(x))
-      minus[static_cast<std::size_t>(x)] += s;
+      (*minus)[static_cast<std::size_t>(x)] += s;
   }
 
   const PieceView* view;
-  std::vector<NodeId> minus;
-  std::vector<char> blocked;
+  std::vector<NodeId>* minus;
+  std::vector<char>* blocked;
 };
 
 // find1 over adjusted sizes: descend into the heaviest non-blocked
@@ -79,7 +96,7 @@ std::int32_t find1a(const PieceView& view, const AdjustedSizes& adj,
     std::int32_t best = -1;
     NodeId best_size = 0;
     for (std::int32_t c : view.children(u)) {
-      if (adj.blocked[static_cast<std::size_t>(c)]) continue;
+      if ((*adj.blocked)[static_cast<std::size_t>(c)]) continue;
       if (adj.size(c) > best_size) {
         best_size = adj.size(c);
         best = c;
@@ -94,8 +111,10 @@ std::int32_t find1a(const PieceView& view, const AdjustedSizes& adj,
 // mark_subtree variant that refuses to enter kept cones.
 void mark_subtree_keep(const PieceView& view, std::int32_t u, char from,
                        char value, std::vector<char>& side,
-                       const std::vector<char>& keep) {
-  std::vector<std::int32_t> stack{u};
+                       const std::vector<char>& keep,
+                       std::vector<std::int32_t>& stack) {
+  stack.clear();
+  stack.push_back(u);
   while (!stack.empty()) {
     const std::int32_t x = stack.back();
     stack.pop_back();
@@ -128,54 +147,55 @@ std::int32_t find1(const PieceView& view, const Find1Sizes& sizes,
 
 }  // namespace
 
-SplitResult extract_whole_piece(const BinaryTree& tree, const Piece& piece) {
+void extract_whole_piece(const BinaryTree& tree, const Piece& piece,
+                         SplitScratch& scratch, SplitResult& out) {
   XT_CHECK_MSG(piece.num_designated() >= 1,
                "cannot move a piece with no designated node");
-  const PieceView view(tree, piece);
-  std::vector<char> boundary(static_cast<std::size_t>(view.size()), 0);
-  SplitResult result;
+  reset_result(scratch, out);
+  scratch.view.rebuild(tree, piece);
+  const PieceView& view = scratch.view;
+  scratch.boundary.assign(static_cast<std::size_t>(view.size()), 0);
   for (NodeId d : piece.designated) {
     if (d == kInvalidNode) continue;
     const std::int32_t l = view.local_of(d);
     XT_CHECK(l >= 0);
-    if (!boundary[static_cast<std::size_t>(l)]) {
-      boundary[static_cast<std::size_t>(l)] = 1;
-      result.embed_extract.push_back(d);
+    if (!scratch.boundary[static_cast<std::size_t>(l)]) {
+      scratch.boundary[static_cast<std::size_t>(l)] = 1;
+      out.embed_extract.push_back(d);
     }
   }
   // Components of piece - designated re-form as extract-side pieces.
-  std::vector<char> visited = boundary;
-  std::vector<std::int32_t> stack;
+  scratch.visited.assign(scratch.boundary.begin(), scratch.boundary.end());
+  auto& stack = scratch.stack;
   for (std::int32_t s = 0; s < view.size(); ++s) {
-    if (visited[static_cast<std::size_t>(s)]) continue;
-    Piece fresh;
+    if (scratch.visited[static_cast<std::size_t>(s)]) continue;
+    Piece fresh = scratch.take_piece();
     stack.assign(1, s);
-    visited[static_cast<std::size_t>(s)] = 1;
+    scratch.visited[static_cast<std::size_t>(s)] = 1;
     while (!stack.empty()) {
       const std::int32_t x = stack.back();
       stack.pop_back();
       fresh.nodes.push_back(view.global_of(x));
       auto scan = [&](std::int32_t y) {
         if (y < 0) return;
-        if (boundary[static_cast<std::size_t>(y)]) {
+        if (scratch.boundary[static_cast<std::size_t>(y)]) {
           fresh.add_designated(view.global_of(x));
-        } else if (!visited[static_cast<std::size_t>(y)]) {
-          visited[static_cast<std::size_t>(y)] = 1;
+        } else if (!scratch.visited[static_cast<std::size_t>(y)]) {
+          scratch.visited[static_cast<std::size_t>(y)] = 1;
           stack.push_back(y);
         }
       };
       scan(view.parent(x));
       for (std::int32_t c : view.children(x)) scan(c);
     }
-    result.pieces_extract.push_back(std::move(fresh));
+    out.pieces_extract.push_back(std::move(fresh));
   }
-  result.extract_total = piece.size();
-  result.remain_total = 0;
-  return result;
+  out.extract_total = piece.size();
+  out.remain_total = 0;
 }
 
-SplitResult split_piece_find2(const BinaryTree& tree, const Piece& piece,
-                              NodeId delta) {
+void split_piece_find2(const BinaryTree& tree, const Piece& piece,
+                       NodeId delta, SplitScratch& scratch, SplitResult& out) {
   XT_CHECK_MSG(delta >= 1 && delta < piece.size(),
                "split target " << delta << " out of range for piece of size "
                                << piece.size());
@@ -186,16 +206,19 @@ SplitResult split_piece_find2(const BinaryTree& tree, const Piece& piece,
   // paper solves with delta' = n - delta and interchanges the roles of
   // S1/S2 and T1/T2.
   if (3 * static_cast<std::int64_t>(n) <= 4 * static_cast<std::int64_t>(delta)) {
-    SplitResult res = split_piece_find2(tree, piece, n - delta);
-    std::swap(res.embed_extract, res.embed_remain);
-    std::swap(res.pieces_extract, res.pieces_remain);
-    std::swap(res.extract_total, res.remain_total);
-    return res;
+    split_piece_find2(tree, piece, n - delta, scratch, out);
+    std::swap(out.embed_extract, out.embed_remain);
+    std::swap(out.pieces_extract, out.pieces_remain);
+    std::swap(out.extract_total, out.remain_total);
+    return;
   }
 
-  const PieceView view(tree, piece);  // rooted at r1 = designated[0]
+  reset_result(scratch, out);
+  scratch.view.rebuild(tree, piece);  // rooted at r1 = designated[0]
+  const PieceView& view = scratch.view;
   const auto sz = static_cast<std::size_t>(view.size());
-  std::vector<char> side(sz, 0);
+  auto& side = scratch.side;
+  side.assign(sz, 0);
   const std::int32_t r1 = view.root();
   const std::int32_t r2 = piece.designated[1] != kInvalidNode
                               ? view.local_of(piece.designated[1])
@@ -204,7 +227,8 @@ SplitResult split_piece_find2(const BinaryTree& tree, const Piece& piece,
   const NodeId tol = lemma2_tolerance(delta);
 
   // find2: walk from r1 towards r2 while the subtree stays heavy.
-  std::vector<std::int32_t> path;  // r2 up to r1
+  auto& path = scratch.path;  // r2 up to r1
+  path.clear();
   for (std::int32_t x = r2; x >= 0; x = view.parent(x)) path.push_back(x);
   XT_CHECK(path.back() == r1);
   std::size_t pos = path.size() - 1;
@@ -220,43 +244,45 @@ SplitResult split_piece_find2(const BinaryTree& tree, const Piece& piece,
                      4 * static_cast<std::int64_t>(delta)) {
     // Case 1: both designated nodes stay on the remain side; extract
     // ~delta from inside T(r2) with find1 applied twice from r2.
-    AdjustedSizes adj(view);
+    AdjustedSizes adj(view, scratch);
     const std::int32_t u1 = find1a(view, adj, r2, delta);
     XT_CHECK(u1 != r2);
-    mark_subtree(view, u1, 0, 1, side);
+    mark_subtree(view, u1, 0, 1, side, scratch.stack);
     const NodeId e = view.subtree_size(u1) - delta;
     if (e > tol) {
       // Overshoot: carve ~e back out of T(u1).
       const std::int32_t w = find1a(view, adj, u1, e);
-      if (w != u1) mark_subtree(view, w, 1, 0, side);
+      if (w != u1) mark_subtree(view, w, 1, 0, side, scratch.stack);
     } else if (e < -tol) {
       // Undershoot: carve ~(-e) more from T(r2) - T(u1); if the walk
       // stops at an ancestor of u1 the carvings merge.
       adj.exclude(u1);
       const std::int32_t w = find1a(view, adj, r2, -e);
-      if (w != r2) mark_subtree(view, w, 0, 1, side);
+      if (w != r2) mark_subtree(view, w, 0, 1, side, scratch.stack);
     }
   } else if (view.subtree_size(v) < delta) {
     // Case 2: T(v) (which contains r2) moves wholesale; top it up with
     // ~delta - |T(v)| carved from the remainder.  (We start the find1
     // carvings from the root rather than from father(v): same bounds,
     // and the remainder always has room because |T(v)| >= 1.)
-    mark_subtree(view, v, 0, 1, side);
+    mark_subtree(view, v, 0, 1, side, scratch.stack);
     const NodeId need = delta - view.subtree_size(v);
     if (need >= 1) {
-      AdjustedSizes adj(view);
+      AdjustedSizes adj(view, scratch);
       adj.exclude(v);
       const std::int32_t u2 = find1a(view, adj, r1, need);
       if (u2 != r1) {
-        mark_subtree_keep(view, u2, 0, 1, side, adj.blocked);
+        mark_subtree_keep(view, u2, 0, 1, side, *adj.blocked, scratch.stack);
         const NodeId e2 = adj.size(u2) - need;
         if (e2 > lemma2_tolerance(need)) {
           const std::int32_t w = find1a(view, adj, u2, e2);
-          if (w != u2) mark_subtree_keep(view, w, 1, 0, side, adj.blocked);
+          if (w != u2)
+            mark_subtree_keep(view, w, 1, 0, side, *adj.blocked, scratch.stack);
         } else if (e2 < -lemma2_tolerance(need)) {
           adj.exclude(u2);
           const std::int32_t w = find1a(view, adj, r1, -e2);
-          if (w != r1) mark_subtree_keep(view, w, 0, 1, side, adj.blocked);
+          if (w != r1)
+            mark_subtree_keep(view, w, 0, 1, side, *adj.blocked, scratch.stack);
         }
       }
     }
@@ -265,35 +291,40 @@ SplitResult split_piece_find2(const BinaryTree& tree, const Piece& piece,
     // Lemma 1 carve-back of delta' = |T(v)| - delta <= delta/3 + 1
     // (whose (delta'+1)/3 error already sits inside the (delta+4)/9
     // budget — the paper's trick).
-    mark_subtree(view, v, 0, 1, side);
+    mark_subtree(view, v, 0, 1, side, scratch.stack);
     const NodeId back = view.subtree_size(v) - delta;
     if (back >= 1) {
-      AdjustedSizes adj(view);
+      AdjustedSizes adj(view, scratch);
       const std::int32_t w = find1a(view, adj, v, back);
-      if (w != v) mark_subtree(view, w, 1, 0, side);
+      if (w != v) mark_subtree(view, w, 1, 0, side, scratch.stack);
     }
   }
-  return finish_split(tree, piece, view, side);
+  finish_split(piece, view, scratch, out);
 }
 
-SplitResult split_piece(const BinaryTree& tree, const Piece& piece,
-                        NodeId delta, SplitQuality quality) {
+void split_piece(const BinaryTree& tree, const Piece& piece, NodeId delta,
+                 SplitQuality quality, SplitScratch& scratch,
+                 SplitResult& out) {
   XT_CHECK_MSG(delta >= 1 && delta < piece.size(),
                "split target " << delta << " out of range for piece of size "
                                << piece.size());
-  const PieceView view(tree, piece);
+  reset_result(scratch, out);
+  scratch.view.rebuild(tree, piece);
+  const PieceView& view = scratch.view;
   const auto n = static_cast<std::size_t>(view.size());
-  std::vector<char> side(n, 0);  // 0 = remain, 1 = extract
+  auto& side = scratch.side;  // 0 = remain, 1 = extract
+  side.assign(n, 0);
 
   // --- primary cut (find1) ---------------------------------------------
-  Find1Sizes plain{&view, -1, 0, {}};
+  Find1Sizes plain{&view, -1, 0, nullptr};
   const std::int32_t u = find1(view, plain, view.root(), delta);
   if (u == view.root()) {
     // |P| <= 4*delta/3: the lemma-1 tolerance allows taking everything
     // (the paper's ADJUST shifts such an interval wholesale).
-    return extract_whole_piece(tree, piece);
+    extract_whole_piece(tree, piece, scratch, out);
+    return;
   }
-  mark_subtree(view, u, 0, 1, side);
+  mark_subtree(view, u, 0, 1, side, scratch.stack);
   NodeId extract_size = view.subtree_size(u);
 
   // --- refinement cut (lemma-2 grade) ------------------------------------
@@ -304,7 +335,7 @@ SplitResult split_piece(const BinaryTree& tree, const Piece& piece,
       // Overshoot: carve a ~e subtree back out of T(u).
       const std::int32_t w = find1(view, plain, u, e);
       if (w != u) {
-        mark_subtree(view, w, 1, 0, side);
+        mark_subtree(view, w, 1, 0, side, scratch.stack);
         extract_size -= view.subtree_size(w);
       }
     } else if (e < -tol) {
@@ -312,20 +343,21 @@ SplitResult split_piece(const BinaryTree& tree, const Piece& piece,
       // are adjusted by the already-carved T(u); if the walk stops at
       // an ancestor of u the two carvings merge into one.
       const NodeId t2 = -e;
-      Find1Sizes adjusted{&view, u, view.subtree_size(u), {}};
-      adjusted.on_carved_path.assign(n, 0);
+      scratch.on_carved_path.assign(n, 0);
       for (std::int32_t x = u; x >= 0; x = view.parent(x))
-        adjusted.on_carved_path[static_cast<std::size_t>(x)] = 1;
+        scratch.on_carved_path[static_cast<std::size_t>(x)] = 1;
+      Find1Sizes adjusted{&view, u, view.subtree_size(u),
+                          &scratch.on_carved_path};
       const std::int32_t w = find1(view, adjusted, view.root(), t2);
       if (w != view.root()) {
         const NodeId gain = adjusted.size(w);
-        mark_subtree(view, w, 0, 1, side);
+        mark_subtree(view, w, 0, 1, side, scratch.stack);
         extract_size += gain;
       }
     }
   }
 
-  return finish_split(tree, piece, view, side);
+  finish_split(piece, view, scratch, out);
 }
 
 namespace {
@@ -334,27 +366,27 @@ namespace {
 // the boundary sets (cut endpoints + old designated + the "node y"
 // median promotions where collinearity demands them), re-form the
 // components into pieces, and assemble the SplitResult.
-SplitResult finish_split(const BinaryTree& tree, const Piece& piece,
-                         const PieceView& view, std::vector<char>& side) {
-  (void)tree;  // adjacency comes through the view
+void finish_split(const Piece& piece, const PieceView& view,
+                  SplitScratch& scratch, SplitResult& out) {
   const auto n = static_cast<std::size_t>(view.size());
+  auto& side = scratch.side;
 
   // Cut endpoints (edges whose sides differ) plus the old designated
   // nodes, each on the side it physically lies in.
-  std::vector<char> boundary(n, 0);
-  SplitResult result;
+  auto& boundary = scratch.boundary;
+  boundary.assign(n, 0);
   auto add_boundary = [&](std::int32_t local) {
     if (boundary[static_cast<std::size_t>(local)]) return;
     boundary[static_cast<std::size_t>(local)] = 1;
-    auto& list = side[static_cast<std::size_t>(local)] ? result.embed_extract
-                                                       : result.embed_remain;
+    auto& list = side[static_cast<std::size_t>(local)] ? out.embed_extract
+                                                       : out.embed_remain;
     list.push_back(view.global_of(local));
   };
   for (std::int32_t x = 0; x < view.size(); ++x) {
     const std::int32_t p = view.parent(x);
     if (p >= 0 &&
         side[static_cast<std::size_t>(x)] != side[static_cast<std::size_t>(p)]) {
-      ++result.num_cuts;
+      ++out.num_cuts;
       add_boundary(x);
       add_boundary(p);
     }
@@ -365,17 +397,18 @@ SplitResult finish_split(const BinaryTree& tree, const Piece& piece,
 
   // --- components + median fix (the lemmas' collinearity conditions) -----
   // Re-run until every component touches <= 2 boundary nodes.
-  std::vector<std::int32_t> stack;
-  std::vector<std::int32_t> component;
+  auto& stack = scratch.stack;
+  auto& component = scratch.component;
+  auto& attachments = scratch.attachments;
   for (;;) {
     bool fixed_something = false;
-    std::vector<char> visited = boundary;
-    result.pieces_extract.clear();
-    result.pieces_remain.clear();
+    scratch.visited.assign(boundary.begin(), boundary.end());
+    auto& visited = scratch.visited;
+    scratch.recycle(std::move(out));
     for (std::int32_t s = 0; s < view.size() && !fixed_something; ++s) {
       if (visited[static_cast<std::size_t>(s)]) continue;
       component.clear();
-      std::vector<std::int32_t> attachments;
+      attachments.clear();
       stack.assign(1, s);
       visited[static_cast<std::size_t>(s)] = 1;
       while (!stack.empty()) {
@@ -415,12 +448,12 @@ SplitResult finish_split(const BinaryTree& tree, const Piece& piece,
         XT_CHECK_MSG(!boundary[static_cast<std::size_t>(m)],
                      "median fix selected a boundary node");
         add_boundary(m);
-        ++result.median_fixes;
+        ++out.median_fixes;
         fixed_something = true;
         break;
       }
       // Component accepted: becomes a fresh piece of its side.
-      Piece fresh;
+      Piece fresh = scratch.take_piece();
       fresh.nodes.reserve(component.size());
       for (std::int32_t x : component) fresh.nodes.push_back(view.global_of(x));
       for (std::int32_t x : component) {
@@ -431,20 +464,41 @@ SplitResult finish_split(const BinaryTree& tree, const Piece& piece,
         scan(view.parent(x));
         for (std::int32_t c : view.children(x)) scan(c);
       }
-      (side[static_cast<std::size_t>(s)] ? result.pieces_extract
-                                         : result.pieces_remain)
+      (side[static_cast<std::size_t>(s)] ? out.pieces_extract
+                                         : out.pieces_remain)
           .push_back(std::move(fresh));
     }
     if (!fixed_something) break;
   }
 
   for (std::size_t i = 0; i < n; ++i)
-    (side[i] ? result.extract_total : result.remain_total) += 1;
-  return result;
+    (side[i] ? out.extract_total : out.remain_total) += 1;
 }
 
 }  // namespace
 
+SplitResult split_piece(const BinaryTree& tree, const Piece& piece,
+                        NodeId delta, SplitQuality quality) {
+  SplitScratch scratch;
+  SplitResult out;
+  split_piece(tree, piece, delta, quality, scratch, out);
+  return out;
+}
+
+SplitResult split_piece_find2(const BinaryTree& tree, const Piece& piece,
+                              NodeId delta) {
+  SplitScratch scratch;
+  SplitResult out;
+  split_piece_find2(tree, piece, delta, scratch, out);
+  return out;
+}
+
+SplitResult extract_whole_piece(const BinaryTree& tree, const Piece& piece) {
+  SplitScratch scratch;
+  SplitResult out;
+  extract_whole_piece(tree, piece, scratch, out);
+  return out;
+}
 
 void validate_split(const BinaryTree& tree, const Piece& original,
                     const SplitResult& result) {

@@ -51,11 +51,61 @@ struct SplitResult {
   int median_fixes = 0;
 };
 
+/// Reusable working state for the splitters.  The embedder performs
+/// O(n) splits per run; threading one scratch through all of them
+/// makes the steady-state split path allocation-free: the PieceView,
+/// every marker/stack buffer, and the node lists of re-formed pieces
+/// all come out of here.  Pieces the caller has consumed go back via
+/// recycle() and their node buffers are handed to future results by
+/// take_piece().  A default-constructed scratch is ready to use; the
+/// struct is cheap to keep alive for a whole embedding run.
+struct SplitScratch {
+  PieceView view;
+  std::vector<char> side;            // 0 = remain, 1 = extract
+  std::vector<char> boundary;
+  std::vector<char> visited;
+  std::vector<std::int32_t> stack;
+  std::vector<std::int32_t> component;
+  std::vector<std::int32_t> attachments;
+  std::vector<std::int32_t> path;    // find2's r1-r2 walk
+  std::vector<NodeId> adj_minus;     // AdjustedSizes working arrays
+  std::vector<char> adj_blocked;
+  std::vector<char> on_carved_path;  // Find1Sizes ancestor marks
+  std::vector<Piece> free_pieces;    // recycled node buffers
+
+  /// An empty piece, reusing a recycled node buffer when available.
+  Piece take_piece() {
+    if (free_pieces.empty()) return {};
+    Piece p = std::move(free_pieces.back());
+    free_pieces.pop_back();
+    p.nodes.clear();
+    p.designated = {kInvalidNode, kInvalidNode};
+    return p;
+  }
+  /// Returns a consumed piece's buffers to the pool.
+  void recycle(Piece&& p) { free_pieces.push_back(std::move(p)); }
+  /// Returns every piece still held by a result to the pool.
+  void recycle(SplitResult&& r) {
+    for (Piece& p : r.pieces_extract) recycle(std::move(p));
+    for (Piece& p : r.pieces_remain) recycle(std::move(p));
+    r.pieces_extract.clear();
+    r.pieces_remain.clear();
+  }
+};
+
 /// Splits `piece` so that the extract side holds ~`delta` nodes.
 /// Requires 1 <= delta < piece.size().  Quality selects the balance /
 /// boundary trade-off of Lemma 1 vs Lemma 2.
 SplitResult split_piece(const BinaryTree& tree, const Piece& piece,
                         NodeId delta, SplitQuality quality);
+
+/// Scratch-reusing form: identical output, but all working buffers and
+/// the result's vectors come from `scratch` / `out` (pieces still held
+/// by `out` on entry are recycled first).  This is the embedder's hot
+/// path.
+void split_piece(const BinaryTree& tree, const Piece& piece, NodeId delta,
+                 SplitQuality quality, SplitScratch& scratch,
+                 SplitResult& out);
 
 /// The paper's literal find2 procedure (proof of Lemma 2): walk from
 /// r1 along the r1-r2 path while the subtree holds more than
@@ -73,11 +123,19 @@ SplitResult split_piece(const BinaryTree& tree, const Piece& piece,
 SplitResult split_piece_find2(const BinaryTree& tree, const Piece& piece,
                               NodeId delta);
 
+/// Scratch-reusing form of split_piece_find2 (identical output).
+void split_piece_find2(const BinaryTree& tree, const Piece& piece,
+                       NodeId delta, SplitScratch& scratch, SplitResult& out);
+
 /// Degenerate split moving the *whole* piece to the extract side: its
 /// designated nodes are laid out, the rest re-forms into pieces
 /// hanging off them.  Used by ADJUST when shifting an interval
 /// wholesale.  Requires piece.num_designated() >= 1.
 SplitResult extract_whole_piece(const BinaryTree& tree, const Piece& piece);
+
+/// Scratch-reusing form of extract_whole_piece (identical output).
+void extract_whole_piece(const BinaryTree& tree, const Piece& piece,
+                         SplitScratch& scratch, SplitResult& out);
 
 /// The paper's balance bounds, exposed for tests and harnesses.
 /// Lemma 1's bound additionally presumes the piece root (a designated

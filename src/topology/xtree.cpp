@@ -1,7 +1,9 @@
 #include "topology/xtree.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
+#include <cstdlib>
 #include <limits>
 #include <queue>
 
@@ -10,7 +12,7 @@
 namespace xt {
 namespace {
 
-// Corridor margin for the restricted-Dijkstra distance routine.  The
+// Corridor margin for the restricted-Dijkstra distance oracle.  The
 // optimal meeting level of two X-tree vertices has horizontal gap
 // <= ~8 (going one level up costs 2 and halves the gap, so traversing
 // pays once the gap drops below ~4); all vertical runs happen within a
@@ -23,15 +25,6 @@ constexpr std::int64_t kCorridorMargin = 32;
 XTree::XTree(std::int32_t height) : height_(height) {
   XT_CHECK_MSG(height >= 0 && height <= 25,
                "X-tree height " << height << " out of supported range [0,25]");
-}
-
-std::int64_t XTree::num_edges() const {
-  // Tree edges: 2^{r+1} - 2.  Cross edges on level l: 2^l - 1.
-  const std::int64_t tree_edges = (std::int64_t{2} << height_) - 2;
-  std::int64_t cross_edges = 0;
-  for (std::int32_t l = 1; l <= height_; ++l)
-    cross_edges += (std::int64_t{1} << l) - 1;
-  return tree_edges + cross_edges;
 }
 
 XCoord XTree::coord_of(VertexId v) const {
@@ -173,10 +166,148 @@ Corridor build_corridor(std::int32_t max_level, XCoord a, XCoord b,
 
 }  // namespace
 
+// --- O(height) distance kernel --------------------------------------------
+//
+// Normal form: some shortest path between a and b is *bitonic* in the
+// level — it climbs from a (interleaving horizontal moves), runs
+// horizontally at a single topmost "meeting" level m <= min(la, lb),
+// and descends to b.  Descending never pays off elsewhere: one down
+// move costs 1 and doubles the horizontal gap between the walkers'
+// projections, while one up move costs 1 and halves it.
+//
+// For each endpoint the kernel maintains g_l(q): the cheapest cost of
+// a climb from the endpoint to vertex (l, q), for q in a fixed window
+// of kKernelWindow offsets around the endpoint's level-l projection
+// p >> (l_endpoint - l).  The recurrence per level is
+//
+//   g_{l-1}(q) = smooth( 1 + min(g_l(2q), g_l(2q+1)) )
+//
+// where smooth() relaxes horizontal moves (cost 1 per step) inside the
+// window.  A climb that strays k positions from the projection needs
+// >= k horizontal moves but can shave at most k off the final
+// meeting-level run, so optimal deviations stay tiny; the window of
+// +/-6 holds a generous margin (validated exhaustively against BFS and
+// against the Dijkstra oracle in tests/xtree_distance_test.cpp).
+//
+// The answer is min over meeting levels m of
+//   min_{qa, qb} g^a_m(qa) + |qa - qb| + g^b_m(qb),
+// scanned top-down with an early exit once the climb cost alone
+// ((la - m) + (lb - m)) exceeds the best candidate (or the caller's
+// bound).  Everything lives in fixed-size stack arrays: zero heap
+// allocations per query.
+namespace {
+
+constexpr std::int32_t kKernelWindow = 6;  // offsets in [-W, W]
+constexpr std::int32_t kKernelWidth = 2 * kKernelWindow + 1;
+constexpr std::int32_t kKernelInf = std::numeric_limits<std::int32_t>::max() / 4;
+
+struct AscentDp {
+  std::array<std::int32_t, kKernelWidth> cost;  // cost[i] ~ offset i - W
+  std::int32_t level = 0;
+  std::int64_t base = 0;  // the endpoint's projection at `level`
+
+  void init(XCoord c) {
+    level = c.level;
+    base = c.pos;
+    const std::int64_t width = std::int64_t{1} << level;
+    for (std::int32_t i = 0; i < kKernelWidth; ++i) {
+      const std::int64_t p = base + i - kKernelWindow;
+      cost[static_cast<std::size_t>(i)] =
+          (p >= 0 && p < width) ? std::abs(i - kKernelWindow) : kKernelInf;
+    }
+  }
+
+  void ascend() {
+    const std::int64_t nbase = base >> 1;
+    const std::int64_t width = std::int64_t{1} << (level - 1);
+    std::array<std::int32_t, kKernelWidth> next;
+    for (std::int32_t i = 0; i < kKernelWidth; ++i) {
+      const std::int64_t q = nbase + i - kKernelWindow;
+      std::int32_t best = kKernelInf;
+      if (q >= 0 && q < width) {
+        for (const std::int64_t p : {2 * q, 2 * q + 1}) {
+          const std::int64_t j = p - base + kKernelWindow;
+          if (j >= 0 && j < kKernelWidth)
+            best = std::min(best, cost[static_cast<std::size_t>(j)]);
+        }
+        if (best < kKernelInf) ++best;  // the up move itself
+      }
+      next[static_cast<std::size_t>(i)] = best;
+    }
+    for (std::int32_t i = 1; i < kKernelWidth; ++i)
+      next[static_cast<std::size_t>(i)] =
+          std::min(next[static_cast<std::size_t>(i)],
+                   next[static_cast<std::size_t>(i - 1)] + 1);
+    for (std::int32_t i = kKernelWidth - 2; i >= 0; --i)
+      next[static_cast<std::size_t>(i)] =
+          std::min(next[static_cast<std::size_t>(i)],
+                   next[static_cast<std::size_t>(i + 1)] + 1);
+    cost = next;
+    base = nbase;
+    --level;
+  }
+};
+
+// Best meeting at the current (shared) level of the two climbs.
+std::int64_t combine(const AscentDp& a, const AscentDp& b) {
+  std::int64_t best = kKernelInf;
+  for (std::int32_t i = 0; i < kKernelWidth; ++i) {
+    const std::int32_t ca = a.cost[static_cast<std::size_t>(i)];
+    if (ca >= kKernelInf) continue;
+    const std::int64_t qa = a.base + i - kKernelWindow;
+    for (std::int32_t j = 0; j < kKernelWidth; ++j) {
+      const std::int32_t cb = b.cost[static_cast<std::size_t>(j)];
+      if (cb >= kKernelInf) continue;
+      const std::int64_t qb = b.base + j - kKernelWindow;
+      best = std::min(best, ca + cb + std::abs(qa - qb));
+    }
+  }
+  return best;
+}
+
+std::int32_t kernel_distance_bounded(XCoord ca, XCoord cb,
+                                     std::int32_t bound) {
+  if (ca == cb) return bound >= 0 ? 0 : -1;
+  AscentDp a;
+  AscentDp b;
+  a.init(ca);
+  b.init(cb);
+  while (a.level > b.level) a.ascend();
+  while (b.level > a.level) b.ascend();
+  std::int64_t best = kKernelInf;
+  for (;;) {
+    best = std::min(best, combine(a, b));
+    if (a.level == 0) break;
+    // Meeting any higher costs at least the two climbs to that level.
+    const std::int64_t climb =
+        (ca.level - (a.level - 1)) + (cb.level - (a.level - 1));
+    if (climb >= best || climb > bound) break;
+    a.ascend();
+    b.ascend();
+  }
+  if (best > bound) return -1;
+  return static_cast<std::int32_t>(best);
+}
+
+// XT_DISTANCE_VERIFY=1 cross-checks every kernel query against the
+// corridor-Dijkstra oracle (the "flag" mode used by the fuzz suite).
+bool distance_verify_enabled() {
+  static const bool enabled = std::getenv("XT_DISTANCE_VERIFY") != nullptr;
+  return enabled;
+}
+
+}  // namespace
+
 std::int32_t XTree::distance(VertexId a, VertexId b) const {
-  const std::int32_t d =
-      distance_bounded(a, b, std::numeric_limits<std::int32_t>::max() / 4);
-  XT_CHECK(d >= 0);  // X-trees are connected
+  XT_CHECK(contains(a) && contains(b));
+  const std::int32_t d = kernel_distance_bounded(
+      coord_of(a), coord_of(b), std::numeric_limits<std::int32_t>::max() / 4);
+  if (distance_verify_enabled()) {
+    const std::int32_t oracle = distance_oracle(a, b);
+    XT_CHECK_MSG(d == oracle, "distance kernel " << d << " != oracle "
+                                                 << oracle << " for a=" << a
+                                                 << " b=" << b);
+  }
   return d;
 }
 
@@ -187,6 +318,19 @@ bool XTree::distance_at_most(VertexId a, VertexId b,
 
 std::int32_t XTree::distance_bounded(VertexId a, VertexId b,
                                      std::int32_t bound) const {
+  XT_CHECK(contains(a) && contains(b));
+  return kernel_distance_bounded(coord_of(a), coord_of(b), bound);
+}
+
+std::int32_t XTree::distance_oracle(VertexId a, VertexId b) const {
+  const std::int32_t d = distance_oracle_bounded(
+      a, b, std::numeric_limits<std::int32_t>::max() / 4);
+  XT_CHECK(d >= 0);  // X-trees are connected
+  return d;
+}
+
+std::int32_t XTree::distance_oracle_bounded(VertexId a, VertexId b,
+                                            std::int32_t bound) const {
   XT_CHECK(contains(a) && contains(b));
   if (a == b) return 0;
   const XCoord ca = coord_of(a);

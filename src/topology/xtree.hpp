@@ -42,8 +42,10 @@ class XTree {
   }
 
   /// Tree edges (2^{r+1}-2) plus cross edges (sum over levels l>=1 of
-  /// 2^l - 1), i.e. 3*2^{r+1}/2 ... computed exactly here.
-  [[nodiscard]] std::int64_t num_edges() const;
+  /// 2^l - 1 = 2^{r+1} - r - 2), in closed form: 2^{r+2} - r - 4.
+  [[nodiscard]] std::int64_t num_edges() const {
+    return (std::int64_t{4} << height_) - height_ - 4;
+  }
 
   // --- coding -----------------------------------------------------------
   [[nodiscard]] static VertexId id_of(XCoord c) {
@@ -76,25 +78,47 @@ class XTree {
   /// Appends all neighbours of v (degree <= 5).
   void neighbors(VertexId v, std::vector<VertexId>& out) const;
 
-  /// Exact shortest-path distance in X(r).  Runs a Dijkstra restricted
-  /// to a corridor of positions around the two endpoints' projections
-  /// (exact horizontal "slide" moves make the restriction lossless; the
-  /// corridor margin is validated exhaustively against BFS in tests).
-  /// O(r * margin * log) per query.
+  /// Exact shortest-path distance in X(r), via the closed-form meeting
+  /// -level kernel: every shortest path can be normalised to climb from
+  /// `a`, run horizontally at a single topmost "meeting" level, and
+  /// descend to `b`; the kernel scans candidate meeting levels with a
+  /// fixed-size DP over horizontal offsets around the endpoints' level
+  /// projections.  Zero heap allocations, O(height) time (docs/perf.md
+  /// derives the offset window).  Validated exhaustively against BFS
+  /// for small heights and against the corridor-Dijkstra oracle on
+  /// random pairs at height 20 (tests/xtree_distance_test.cpp).  When
+  /// the environment variable XT_DISTANCE_VERIFY is set, every query
+  /// additionally cross-checks the kernel against distance_oracle.
   [[nodiscard]] std::int32_t distance(VertexId a, VertexId b) const;
 
-  /// True iff distance(a, b) <= bound (same algorithm, early exit).
+  /// True iff distance(a, b) <= bound (same kernel, bounded early
+  /// exit: the meeting-level scan stops once the climb alone exceeds
+  /// the bound).
   [[nodiscard]] bool distance_at_most(VertexId a, VertexId b,
                                       std::int32_t bound) const;
+
+  /// Bounded form of the kernel: the exact distance when it is
+  /// <= bound, and -1 as soon as the search proves d > bound.
+  [[nodiscard]] std::int32_t distance_bounded(VertexId a, VertexId b,
+                                              std::int32_t bound) const;
+
+  /// Cross-check oracle: the corridor-restricted Dijkstra this
+  /// repository originally shipped (a Dijkstra over windows of
+  /// positions around the endpoints' projections, with exact
+  /// horizontal "slide" edges between windows).  O(r * margin * log)
+  /// per query with heap allocations; kept as the independent
+  /// implementation the fast kernel is tested against.
+  [[nodiscard]] std::int32_t distance_oracle(VertexId a, VertexId b) const;
+
+  /// Bounded oracle: exact distance, or -1 once the Dijkstra frontier
+  /// passes `bound` mid-search (early exit).
+  [[nodiscard]] std::int32_t distance_oracle_bounded(VertexId a, VertexId b,
+                                                     std::int32_t bound) const;
 
   /// Materialises the adjacency as a CSR graph.
   [[nodiscard]] Graph to_graph() const;
 
  private:
-  /// Shared search core: exact distance, or -1 once it exceeds bound.
-  [[nodiscard]] std::int32_t distance_bounded(VertexId a, VertexId b,
-                                              std::int32_t bound) const;
-
   std::int32_t height_;
 };
 

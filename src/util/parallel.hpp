@@ -2,15 +2,18 @@
 //
 // The workloads here are embarrassingly parallel sweeps (one embedding
 // per (family, height, seed) triple; one distance query per guest
-// edge), so a static block partition over std::thread is the right
-// tool — no work stealing, no shared mutable state, deterministic
-// results regardless of thread count.
+// edge), so a static block partition is the right tool — no work
+// stealing, no shared mutable state, deterministic results regardless
+// of thread count.  Blocks run on the persistent process-wide
+// ThreadPool (util/thread_pool.hpp) instead of freshly spawned
+// std::threads, so a million small parallel_for calls cost claims on
+// an atomic counter, not a million thread spawns.
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
 #include <thread>
-#include <vector>
+
+#include "util/thread_pool.hpp"
 
 namespace xt {
 
@@ -22,11 +25,20 @@ inline unsigned parallel_workers() {
   return hw > 16 ? 16 : hw;
 }
 
+inline ThreadPool& ThreadPool::shared() {
+  // The calling thread always participates in its own job, so the pool
+  // itself only needs the *extra* workers.
+  static ThreadPool pool(parallel_workers() - 1);
+  return pool;
+}
+
 /// Applies fn(i) for i in [begin, end) across worker threads in static
-/// contiguous blocks.  fn must be safe to call concurrently for
-/// distinct i; exceptions thrown by fn terminate (keep worker bodies
-/// noexcept in spirit).  Falls back to the calling thread for small
-/// ranges.
+/// contiguous blocks (the same partition for any pool size, so results
+/// are bit-identical with 1 and N workers for race-free fn).  fn must
+/// be safe to call concurrently for distinct i; exceptions thrown by
+/// fn terminate (keep worker bodies noexcept in spirit).  Falls back
+/// to the calling thread for small ranges.  Safe to call from inside a
+/// worker body (nested calls share the pool and cannot deadlock).
 template <typename Fn>
 void parallel_for(std::int64_t begin, std::int64_t end, Fn&& fn,
                   unsigned workers = parallel_workers()) {
@@ -36,20 +48,7 @@ void parallel_for(std::int64_t begin, std::int64_t end, Fn&& fn,
     for (std::int64_t i = begin; i < end; ++i) fn(i);
     return;
   }
-  const auto block =
-      (count + static_cast<std::int64_t>(workers) - 1) /
-      static_cast<std::int64_t>(workers);
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    const std::int64_t lo = begin + static_cast<std::int64_t>(w) * block;
-    const std::int64_t hi = std::min(end, lo + block);
-    if (lo >= hi) break;
-    threads.emplace_back([lo, hi, &fn] {
-      for (std::int64_t i = lo; i < hi; ++i) fn(i);
-    });
-  }
-  for (auto& t : threads) t.join();
+  ThreadPool::shared().run_blocks(begin, end, workers, fn);
 }
 
 }  // namespace xt

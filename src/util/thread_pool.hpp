@@ -1,0 +1,162 @@
+// Persistent worker pool behind parallel_for.
+//
+// The original harness spawned fresh std::threads on every
+// parallel_for call; at millions of dilation queries per sweep the
+// spawn/join cost dominated.  This pool starts its workers once and
+// feeds them *block jobs*: a [begin, end) range pre-partitioned into
+// static contiguous blocks (the exact partition the old code used, so
+// results stay deterministic and bit-identical for any worker count).
+//
+// The calling thread always participates: it claims blocks of its own
+// job until none remain, then sleeps until the blocks claimed by pool
+// workers finish.  Because every claimed block is run to completion by
+// whoever claimed it, nested parallel_for calls from inside a worker
+// cannot deadlock — waits only ever point down the nesting DAG.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace xt {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` persistent workers (0 is valid: every job then
+  /// runs entirely on the calling thread).
+  explicit ThreadPool(unsigned threads) {
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned num_threads() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Process-wide pool shared by every parallel_for.  Sized to the
+  /// parallel_for worker count minus one — the calling thread is
+  /// always the extra worker.  Started on first use, joined at exit.
+  static ThreadPool& shared();
+
+  /// Applies fn(i) for i in [begin, end), partitioned into `blocks`
+  /// static contiguous blocks of size ceil(count / blocks).  Blocks
+  /// are executed by the pool workers *and* the calling thread; the
+  /// call returns only after every index has been processed.  fn must
+  /// be safe to call concurrently for distinct i.
+  template <typename Fn>
+  void run_blocks(std::int64_t begin, std::int64_t end, unsigned blocks,
+                  Fn&& fn) {
+    const std::int64_t count = end - begin;
+    if (count <= 0) return;
+    blocks = std::max(1u, blocks);
+    auto job = std::make_shared<Job>();
+    job->begin = begin;
+    job->end = end;
+    job->block = (count + blocks - 1) / static_cast<std::int64_t>(blocks);
+    job->num_blocks =
+        static_cast<std::uint32_t>((count + job->block - 1) / job->block);
+    job->ctx = &fn;
+    job->run = [](void* ctx, std::int64_t lo, std::int64_t hi) {
+      auto& f = *static_cast<std::remove_reference_t<Fn>*>(ctx);
+      for (std::int64_t i = lo; i < hi; ++i) f(i);
+    };
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(job);
+    }
+    cv_.notify_all();
+    // Caller participates until its job has no unclaimed blocks.
+    for (;;) {
+      const std::uint32_t index =
+          job->next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= job->num_blocks) break;
+      run_one_block(*job, index);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = std::find(queue_.begin(), queue_.end(), job);
+      if (it != queue_.end()) queue_.erase(it);
+    }
+    // Wait for blocks claimed by pool workers to drain.  fn lives on
+    // the caller's stack, so this wait is what makes job->ctx safe.
+    std::unique_lock<std::mutex> lock(job->done_mu);
+    job->done_cv.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) == job->num_blocks;
+    });
+  }
+
+ private:
+  struct Job {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+    std::int64_t block = 1;
+    std::uint32_t num_blocks = 0;
+    std::atomic<std::uint32_t> next{0};
+    std::atomic<std::uint32_t> done{0};
+    void (*run)(void*, std::int64_t, std::int64_t) = nullptr;
+    void* ctx = nullptr;
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+  };
+
+  void run_one_block(Job& job, std::uint32_t index) {
+    const std::int64_t lo =
+        job.begin + static_cast<std::int64_t>(index) * job.block;
+    const std::int64_t hi = std::min(job.end, lo + job.block);
+    job.run(job.ctx, lo, hi);
+    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.num_blocks) {
+      // Lock pairs with the waiter's predicate check: no lost wakeup.
+      std::lock_guard<std::mutex> lock(job.done_mu);
+      job.done_cv.notify_all();
+    }
+  }
+
+  void worker_loop() {
+    for (;;) {
+      std::shared_ptr<Job> job;
+      std::uint32_t index = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ set and nothing left to drain
+        job = queue_.front();
+        index = job->next.fetch_add(1, std::memory_order_relaxed);
+        if (index >= job->num_blocks) {
+          // Exhausted: retire it (unless the owner already did).
+          if (!queue_.empty() && queue_.front() == job) queue_.pop_front();
+          continue;
+        }
+      }
+      run_one_block(*job, index);
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace xt

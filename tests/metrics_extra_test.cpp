@@ -40,6 +40,49 @@ TEST(DilationReport, MeanIsHistogramWeightedAverage) {
   EXPECT_NEAR(rep.mean, weighted / static_cast<double>(rep.num_edges), 1e-9);
 }
 
+TEST(DilationProfile, PerEdgeFollowsGuestEdgeOrder) {
+  Rng rng(204);
+  const BinaryTree guest = make_random_tree(512, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  const XTree host(res.stats.height);
+  const auto profile = dilation_profile_xtree(guest, res.embedding, host);
+  const auto edges = guest.edges();
+  ASSERT_EQ(profile.per_edge.size(), edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const auto& [u, v] = edges[i];
+    EXPECT_EQ(profile.per_edge[i],
+              host.distance(res.embedding.host_of(u),
+                            res.embedding.host_of(v)));
+  }
+}
+
+TEST(DilationProfile, BitIdenticalForAnyWorkerCount) {
+  // The batched path fans queries across the pool but reduces serially
+  // in guest-edge order, so every field — including the double mean —
+  // must be bit-identical with 1 and N workers, and match the serial
+  // dilation() implementation.
+  Rng rng(205);
+  const BinaryTree guest = make_random_tree(16 * 31, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  const XTree host(res.stats.height);
+  const auto serial = dilation(
+      guest, res.embedding,
+      [&host](VertexId a, VertexId b) { return host.distance(a, b); });
+  const auto p1 = dilation_profile_xtree(guest, res.embedding, host, 1);
+  const auto p8 = dilation_profile_xtree(guest, res.embedding, host, 8);
+  EXPECT_EQ(p1.per_edge, p8.per_edge);
+  EXPECT_EQ(p1.report.max, p8.report.max);
+  EXPECT_EQ(p1.report.num_edges, p8.report.num_edges);
+  // Bitwise double equality is the point: same summation order.
+  EXPECT_EQ(p1.report.mean, p8.report.mean);
+  EXPECT_EQ(p1.report.mean, serial.mean);
+  EXPECT_EQ(p1.report.max, serial.max);
+  for (std::size_t d = 0; d <= serial.histogram.max_observed(); ++d) {
+    EXPECT_EQ(p1.report.histogram.count(d), serial.histogram.count(d));
+    EXPECT_EQ(p8.report.histogram.count(d), serial.histogram.count(d));
+  }
+}
+
 TEST(DilationImplementations, AgreeOnHypercubeHosts) {
   Rng rng(203);
   const BinaryTree guest = make_random_tree(100, rng);

@@ -52,5 +52,44 @@ TEST(ParallelFor, WorkerCountSane) {
   EXPECT_LE(parallel_workers(), 16u);
 }
 
+TEST(ParallelFor, NestedCallsComplete) {
+  // A worker body may itself call parallel_for; the caller always
+  // claims blocks of its own job, so nesting cannot deadlock on the
+  // shared pool.
+  constexpr int kOuter = 24;
+  constexpr int kInner = 32;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  parallel_for(
+      0, kOuter,
+      [&](std::int64_t i) {
+        parallel_for(
+            0, kInner,
+            [&](std::int64_t j) {
+              ++hits[static_cast<std::size_t>(i * kInner + j)];
+            },
+            4);
+      },
+      4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ManySmallCallsReuseThePool) {
+  // A long sequence of small parallel_for calls must not spawn threads
+  // per call; this is a liveness/correctness smoke over the persistent
+  // pool's job queue.
+  std::atomic<std::int64_t> sum{0};
+  for (int k = 0; k < 2000; ++k) {
+    parallel_for(0, 64, [&](std::int64_t i) { sum += i; }, 4);
+  }
+  EXPECT_EQ(sum.load(), 2000 * (63 * 64 / 2));
+}
+
+TEST(ThreadPool, SharedSingletonIsStable) {
+  ThreadPool& a = ThreadPool::shared();
+  ThreadPool& b = ThreadPool::shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.num_threads(), parallel_workers() - 1);
+}
+
 }  // namespace
 }  // namespace xt

@@ -225,6 +225,112 @@ TEST_P(SplitProperty, Find2MatchesLemma2Grade) {
   }
 }
 
+// Every SplitResult field must match between the value-returning API
+// and the scratch-reusing API, with one scratch threaded across all
+// calls the way the embedder threads it.
+void expect_same_split(const SplitResult& want, const SplitResult& got,
+                       const std::string& where) {
+  EXPECT_EQ(want.embed_extract, got.embed_extract) << where;
+  EXPECT_EQ(want.embed_remain, got.embed_remain) << where;
+  EXPECT_EQ(want.extract_total, got.extract_total) << where;
+  EXPECT_EQ(want.remain_total, got.remain_total) << where;
+  EXPECT_EQ(want.num_cuts, got.num_cuts) << where;
+  EXPECT_EQ(want.median_fixes, got.median_fixes) << where;
+  ASSERT_EQ(want.pieces_extract.size(), got.pieces_extract.size()) << where;
+  ASSERT_EQ(want.pieces_remain.size(), got.pieces_remain.size()) << where;
+  for (std::size_t i = 0; i < want.pieces_extract.size(); ++i) {
+    EXPECT_EQ(want.pieces_extract[i].nodes, got.pieces_extract[i].nodes)
+        << where << " extract piece " << i;
+    EXPECT_EQ(want.pieces_extract[i].designated,
+              got.pieces_extract[i].designated)
+        << where << " extract piece " << i;
+  }
+  for (std::size_t i = 0; i < want.pieces_remain.size(); ++i) {
+    EXPECT_EQ(want.pieces_remain[i].nodes, got.pieces_remain[i].nodes)
+        << where << " remain piece " << i;
+    EXPECT_EQ(want.pieces_remain[i].designated,
+              got.pieces_remain[i].designated)
+        << where << " remain piece " << i;
+  }
+}
+
+TEST_P(SplitProperty, ScratchApiMatchesValueApi) {
+  const auto& param = GetParam();
+  Rng rng(param.seed ^ 0x5ca7c4);
+  const BinaryTree t = make_family_tree(param.family, param.n, rng);
+  SplitScratch scratch;  // reused across every call, like the embedder
+  SplitResult out;
+  for (int variant = 0; variant < 6; ++variant) {
+    const NodeId d0 = static_cast<NodeId>(rng.below(t.num_nodes()));
+    NodeId d1 = static_cast<NodeId>(rng.below(t.num_nodes()));
+    if (variant % 2 == 0) d1 = d0;
+    const Piece piece = whole_tree_piece(t, d0, d1 == d0 ? kInvalidNode : d1);
+    const std::string tag = param.family + " variant=" + std::to_string(variant);
+
+    for (NodeId delta :
+         {NodeId{1}, static_cast<NodeId>(param.n / 5 + 1),
+          static_cast<NodeId>(param.n / 2),
+          static_cast<NodeId>(param.n - 1)}) {
+      if (delta < 1 || delta >= t.num_nodes()) continue;
+      const std::string where = tag + " delta=" + std::to_string(delta);
+
+      const SplitResult w2 = split_piece(t, piece, delta, SplitQuality::kLemma2);
+      split_piece(t, piece, delta, SplitQuality::kLemma2, scratch, out);
+      expect_same_split(w2, out, where + " lemma2");
+
+      const SplitResult wf = split_piece_find2(t, piece, delta);
+      split_piece_find2(t, piece, delta, scratch, out);
+      expect_same_split(wf, out, where + " find2");
+
+      const SplitResult w1 = split_piece(t, piece, delta, SplitQuality::kLemma1);
+      split_piece(t, piece, delta, SplitQuality::kLemma1, scratch, out);
+      expect_same_split(w1, out, where + " lemma1");
+      // Recycle like the embedder does, so later calls hand out reused
+      // node buffers — the path under test.
+      scratch.recycle(std::move(out));
+    }
+
+    const SplitResult we = extract_whole_piece(t, piece);
+    extract_whole_piece(t, piece, scratch, out);
+    expect_same_split(we, out, tag + " extract_whole");
+    scratch.recycle(std::move(out));
+  }
+}
+
+TEST(PieceView, RebuildMatchesFreshConstruction) {
+  // One view re-rooted across many pieces must agree field-by-field
+  // with a freshly constructed view of each piece.
+  Rng rng(9090);
+  PieceView reused;
+  for (int round = 0; round < 20; ++round) {
+    const NodeId n = static_cast<NodeId>(20 + rng.below(200));
+    const BinaryTree t = make_random_tree(n, rng);
+    const NodeId d0 = static_cast<NodeId>(rng.below(n));
+    NodeId d1 = static_cast<NodeId>(rng.below(n));
+    if (round % 3 == 0) d1 = d0;
+    const Piece piece = whole_tree_piece(t, d0, d1 == d0 ? kInvalidNode : d1);
+    reused.rebuild(t, piece);
+    const PieceView fresh(t, piece);
+    ASSERT_EQ(reused.size(), fresh.size());
+    EXPECT_EQ(reused.root(), fresh.root());
+    EXPECT_EQ(reused.preorder(), fresh.preorder());
+    for (std::int32_t v = 0; v < reused.size(); ++v) {
+      EXPECT_EQ(reused.parent(v), fresh.parent(v));
+      EXPECT_EQ(reused.depth(v), fresh.depth(v));
+      EXPECT_EQ(reused.subtree_size(v), fresh.subtree_size(v));
+      const auto rc = reused.children(v);
+      const auto fc = fresh.children(v);
+      ASSERT_EQ(rc.size(), fc.size());
+      EXPECT_TRUE(std::equal(rc.begin(), rc.end(), fc.begin()));
+      EXPECT_EQ(reused.global_of(v), fresh.global_of(v));
+    }
+    for (NodeId g = 0; g < n; ++g)
+      EXPECT_EQ(reused.local_of(g), fresh.local_of(g));
+    // Stale globals from an earlier (larger) round must miss.
+    EXPECT_EQ(reused.local_of(n - 1), fresh.local_of(n - 1));
+  }
+}
+
 TEST(SplitPiece, RejectsBadTargets) {
   const BinaryTree t = make_complete_tree(2);
   const Piece piece = whole_tree_piece(t, 0, kInvalidNode);

@@ -26,6 +26,15 @@ TEST(XTreeTopology, SizesMatchClosedForms) {
   }
 }
 
+TEST(XTreeTopology, NumEdgesClosedFormula) {
+  // Tree edges 2^{r+1}-2 plus cross edges sum_{l=1..r}(2^l - 1)
+  // = 2^{r+1}-r-2, so num_edges = 2^{r+2} - r - 4.
+  for (std::int32_t r = 0; r <= 20; ++r) {
+    const XTree x(r);
+    EXPECT_EQ(x.num_edges(), (std::int64_t{4} << r) - r - 4) << "r=" << r;
+  }
+}
+
 TEST(XTreeTopology, Figure1HeightThreeInstance) {
   const XTree x(3);
   EXPECT_EQ(x.num_vertices(), 15);

@@ -86,6 +86,59 @@ TEST(XTreeDistance, KnownValuesOnHeight3) {
   EXPECT_EQ(x.distance(v("00"), v("11")), 3);
 }
 
+TEST(XTreeDistance, KernelMatchesOracleOn100kPairsHeight20) {
+  // The closed-form level-DP kernel (the default distance()) against
+  // the corridor-Dijkstra oracle it replaced, on a tree far past the
+  // exhaustive heights.  This is the acceptance gate for the kernel.
+  const XTree x(20);
+  Rng rng(31415);
+  for (int trial = 0; trial < 100000; ++trial) {
+    const auto a = static_cast<VertexId>(rng.below(x.num_vertices()));
+    const auto b = static_cast<VertexId>(rng.below(x.num_vertices()));
+    ASSERT_EQ(x.distance(a, b), x.distance_oracle(a, b))
+        << "a=" << x.label_of(a) << " b=" << x.label_of(b);
+  }
+}
+
+TEST(XTreeDistance, DistanceBoundedEarlyExitSemantics) {
+  // distance_bounded returns the exact distance when it fits the
+  // bound and -1 (never a partial value) when it does not; the oracle
+  // form keeps the same contract.
+  const XTree x(10);
+  Rng rng(555);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto a = static_cast<VertexId>(rng.below(x.num_vertices()));
+    const auto b = static_cast<VertexId>(rng.below(x.num_vertices()));
+    const std::int32_t d = x.distance(a, b);
+    EXPECT_EQ(x.distance_bounded(a, b, d), d);
+    EXPECT_EQ(x.distance_bounded(a, b, d + 3), d);
+    EXPECT_EQ(x.distance_oracle_bounded(a, b, d), d);
+    if (d > 0) {
+      EXPECT_EQ(x.distance_bounded(a, b, d - 1), -1);
+      EXPECT_EQ(x.distance_bounded(a, b, 0), -1);
+      EXPECT_EQ(x.distance_oracle_bounded(a, b, d - 1), -1);
+    } else {
+      EXPECT_EQ(x.distance_bounded(a, b, 0), 0);
+    }
+  }
+}
+
+TEST(XTreeDistance, DistanceAtMostAgreesAcrossHeights) {
+  // distance_at_most must agree with distance for every height the
+  // embedder actually uses.
+  for (std::int32_t r = 1; r <= 10; ++r) {
+    const XTree x(r);
+    Rng rng(700 + r);
+    for (int trial = 0; trial < 64; ++trial) {
+      const auto a = static_cast<VertexId>(rng.below(x.num_vertices()));
+      const auto b = static_cast<VertexId>(rng.below(x.num_vertices()));
+      const std::int32_t d = x.distance(a, b);
+      EXPECT_TRUE(x.distance_at_most(a, b, d)) << "r=" << r;
+      if (d > 0) EXPECT_FALSE(x.distance_at_most(a, b, d - 1)) << "r=" << r;
+    }
+  }
+}
+
 TEST(XTreeDistance, DistanceAtMostAgrees) {
   const XTree x(8);
   Rng rng(44);
