@@ -1,0 +1,273 @@
+// EXP-S1: embedding-service load generator (ISSUE 2 acceptance run).
+//
+// Three experiments over src/service/, emitted as BENCH_2.json:
+//
+//   saturation   Closed-burst throughput at shape-duplication ratio
+//                0.9, cache+batching ON vs OFF — the ISSUE's >= 5x
+//                acceptance criterion (field "speedup_vs_nocache").
+//   hit_rate     Cache hit rate as the duplication ratio sweeps
+//                0 / 0.5 / 0.9 / 0.99 (cache on, batching off so every
+//                response is attributable to the cache alone).
+//   open_loop    p50/p99 latency and throughput under paced arrivals
+//                sweeping multiples of the measured no-cache
+//                saturation rate; the 2x point doubles as the overload
+//                test: a capacity-64 queue must answer every request
+//                explicitly (zero silent drops).
+//
+//   ./bench_service                  # full run, ~20 s
+//   ./bench_service --smoke          # CI-sized, < 5 s
+//   ./bench_service --json OUT.json  # also write the JSON report
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "btree/generators.hpp"
+#include "service/service.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace xt {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// A request stream with a controlled shape-duplication ratio: each
+/// request is a copy of one of `hot` pooled shapes with probability
+/// `dup`, otherwise a freshly generated (almost surely novel) shape.
+std::vector<BinaryTree> make_stream(std::size_t count, double dup,
+                                    std::size_t hot, NodeId n, Rng& rng) {
+  std::vector<BinaryTree> pool;
+  pool.reserve(hot);
+  for (std::size_t i = 0; i < hot; ++i) pool.push_back(make_random_tree(n, rng));
+  std::vector<BinaryTree> stream;
+  stream.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const bool reuse = static_cast<double>(rng.below(1'000'000)) <
+                       dup * 1'000'000.0;
+    if (reuse)
+      stream.push_back(pool[rng.below(pool.size())]);
+    else
+      stream.push_back(make_random_tree(n, rng));
+  }
+  return stream;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  double throughput_rps = 0.0;
+  ServiceStats stats;
+};
+
+/// Closed burst: submit the whole stream as fast as possible, wait for
+/// every response, report wall time and final stats.
+RunResult run_burst(const std::vector<BinaryTree>& stream,
+                    const ServiceConfig& config) {
+  EmbeddingService svc(config);
+  std::vector<std::future<EmbedResponse>> futs;
+  futs.reserve(stream.size());
+  const auto t0 = Clock::now();
+  for (const BinaryTree& tree : stream) {
+    EmbedRequest req;
+    req.tree = tree;
+    futs.push_back(svc.submit(std::move(req)));
+  }
+  for (auto& f : futs) f.get();
+  RunResult out;
+  out.seconds = seconds_between(t0, Clock::now());
+  out.throughput_rps =
+      static_cast<double>(stream.size()) / std::max(out.seconds, 1e-9);
+  out.stats = svc.stats();
+  return out;
+}
+
+/// Open loop: paced arrivals at `rate_rps`; never blocks on responses
+/// while submitting, so queue growth and rejections are visible.
+RunResult run_open_loop(const std::vector<BinaryTree>& stream, double rate_rps,
+                        const ServiceConfig& config) {
+  EmbeddingService svc(config);
+  std::vector<std::future<EmbedResponse>> futs;
+  futs.reserve(stream.size());
+  const auto gap = std::chrono::duration<double>(1.0 / rate_rps);
+  const auto t0 = Clock::now();
+  auto next = t0;
+  for (const BinaryTree& tree : stream) {
+    std::this_thread::sleep_until(next);
+    next += std::chrono::duration_cast<Clock::duration>(gap);
+    EmbedRequest req;
+    req.tree = tree;
+    futs.push_back(svc.submit(std::move(req)));
+  }
+  for (auto& f : futs) f.get();
+  RunResult out;
+  out.seconds = seconds_between(t0, Clock::now());
+  out.throughput_rps =
+      static_cast<double>(stream.size()) / std::max(out.seconds, 1e-9);
+  out.stats = svc.stats();
+  return out;
+}
+
+double hit_rate(const ServiceStats& stats) {
+  const auto seen = stats.cache_hits + stats.cache_misses;
+  return seen == 0 ? 0.0
+                   : static_cast<double>(stats.cache_hits) /
+                         static_cast<double>(seen);
+}
+
+}  // namespace
+}  // namespace xt
+
+int main(int argc, char** argv) {
+  using namespace xt;
+  const Cli cli(argc, argv);
+  const bool smoke = cli.has("smoke");
+  const auto n = static_cast<NodeId>(cli.get_int("n", smoke ? 200 : 496));
+  const std::size_t requests =
+      static_cast<std::size_t>(cli.get_int("requests", smoke ? 150 : 600));
+  const std::size_t hot =
+      static_cast<std::size_t>(cli.get_int("hot", smoke ? 4 : 8));
+  const unsigned shards =
+      static_cast<unsigned>(cli.get_int("shards", smoke ? 2 : 4));
+  Rng rng(cli.get_int("seed", 27));
+
+  std::ostringstream json;
+  json << "{\n  \"experiment\": \"service load generator\",\n"
+       << "  \"guest_nodes\": " << n << ",\n"
+       << "  \"requests\": " << requests << ",\n"
+       << "  \"shards\": " << shards << ",\n";
+
+  // ---- saturation: cache on vs off at duplication 0.9 ----------------
+  std::cout << "== saturation throughput (dup 0.9, " << requests
+            << " requests of " << n << " nodes) ==\n";
+  const auto stream = make_stream(requests, 0.9, hot, n, rng);
+
+  ServiceConfig off;
+  off.queue_capacity = requests + 1;
+  off.num_shards = shards;
+  off.cache_capacity = 0;
+  off.enable_batching = false;
+  const RunResult cold = run_burst(stream, off);
+
+  ServiceConfig on = off;
+  on.cache_capacity = 1024;
+  on.enable_batching = true;
+  const RunResult warm = run_burst(stream, on);
+
+  const double speedup = warm.throughput_rps / std::max(cold.throughput_rps, 1e-9);
+  {
+    Table t({"config", "seconds", "throughput_rps", "hit_rate", "coalesced"});
+    t.rowf("cache+batch off", cold.seconds, cold.throughput_rps,
+           hit_rate(cold.stats), static_cast<std::int64_t>(cold.stats.coalesced));
+    t.rowf("cache+batch on", warm.seconds, warm.throughput_rps,
+           hit_rate(warm.stats), static_cast<std::int64_t>(warm.stats.coalesced));
+    t.print(std::cout);
+  }
+  std::cout << "speedup_vs_nocache: " << speedup
+            << (speedup >= 5.0 ? "  (>= 5x: PASS)" : "  (< 5x: FAIL)")
+            << "\n\n";
+  json << "  \"saturation\": {\n"
+       << "    \"duplication\": 0.9,\n"
+       << "    \"nocache_rps\": " << cold.throughput_rps << ",\n"
+       << "    \"cache_rps\": " << warm.throughput_rps << ",\n"
+       << "    \"speedup_vs_nocache\": " << speedup << ",\n"
+       << "    \"cache_hit_rate\": " << hit_rate(warm.stats) << ",\n"
+       << "    \"coalesced\": " << warm.stats.coalesced << "\n  },\n";
+
+  // ---- cache hit rate vs duplication ratio ---------------------------
+  std::cout << "== cache hit rate vs duplication (batching off) ==\n";
+  json << "  \"hit_rate_sweep\": [\n";
+  {
+    Table t({"duplication", "hit_rate", "throughput_rps", "p99_ms"});
+    const double dups[] = {0.0, 0.5, 0.9, 0.99};
+    for (std::size_t i = 0; i < 4; ++i) {
+      Rng sweep_rng(91 + static_cast<std::uint64_t>(i));
+      const auto s = make_stream(requests, dups[i], hot, n, sweep_rng);
+      ServiceConfig c = on;
+      c.enable_batching = false;
+      const RunResult r = run_burst(s, c);
+      t.rowf(dups[i], hit_rate(r.stats), r.throughput_rps, r.stats.p99_ms);
+      json << "    {\"duplication\": " << dups[i]
+           << ", \"hit_rate\": " << hit_rate(r.stats)
+           << ", \"throughput_rps\": " << r.throughput_rps
+           << ", \"p99_ms\": " << r.stats.p99_ms << "}"
+           << (i + 1 < 4 ? "," : "") << "\n";
+    }
+    t.print(std::cout);
+  }
+  json << "  ],\n";
+  std::cout << "\n";
+
+  // ---- open loop: latency vs arrival rate + 2x overload --------------
+  // Rates are multiples of the measured no-cache saturation rate; the
+  // 2x point uses a small queue so backpressure must engage.
+  std::cout << "== open-loop arrivals (dup 0.9, rates x no-cache saturation) ==\n";
+  json << "  \"open_loop\": [\n";
+  {
+    Table t({"rate_x", "arrival_rps", "p50_ms", "p99_ms", "rejected",
+             "expired", "accounted"});
+    const double multiples[] = {0.5, 1.0, 2.0};
+    for (std::size_t i = 0; i < 3; ++i) {
+      const double rate = cold.throughput_rps * multiples[i];
+      const std::size_t count =
+          std::min<std::size_t>(requests, static_cast<std::size_t>(
+                                              smoke ? rate * 1.0 : rate * 3.0) +
+                                              8);
+      Rng loop_rng(170 + static_cast<std::uint64_t>(i));
+      const auto s = make_stream(count, 0.9, hot, n, loop_rng);
+      // The 2x point is the overload test: cache OFF (so the service
+      // is genuinely saturated) and a small queue — backpressure must
+      // engage and every overflow be an explicit rejection.
+      const bool overload = multiples[i] >= 2.0;
+      ServiceConfig c = overload ? off : on;
+      c.queue_capacity = overload ? 64 : requests + 1;
+      const RunResult r = run_open_loop(s, rate, c);
+      // Zero silent drops: every submit is answered with some status.
+      const bool accounted =
+          r.stats.submitted == r.stats.completed + r.stats.rejected_full +
+                                   r.stats.rejected_shutdown + r.stats.expired +
+                                   r.stats.failed;
+      t.rowf(multiples[i], rate, r.stats.p50_ms, r.stats.p99_ms,
+             static_cast<std::int64_t>(r.stats.rejected_full),
+             static_cast<std::int64_t>(r.stats.expired),
+             accounted ? "yes" : "NO");
+      json << "    {\"rate_multiple\": " << multiples[i]
+           << ", \"arrival_rps\": " << rate
+           << ", \"p50_ms\": " << r.stats.p50_ms
+           << ", \"p99_ms\": " << r.stats.p99_ms
+           << ", \"rejected_full\": " << r.stats.rejected_full
+           << ", \"fully_accounted\": " << (accounted ? "true" : "false")
+           << "}" << (i + 1 < 3 ? "," : "") << "\n";
+      if (!accounted) {
+        std::cerr << "FATAL: request accounting does not balance\n";
+        return 1;
+      }
+      if (overload && r.stats.rejected_full == 0) {
+        std::cerr << "FATAL: 2x overload produced no explicit rejections\n";
+        return 1;
+      }
+    }
+    t.print(std::cout);
+  }
+  json << "  ],\n  \"speedup_pass\": " << (speedup >= 5.0 ? "true" : "false")
+       << "\n}\n";
+  std::cout << "\n";
+
+  if (cli.has("json")) {
+    const std::string path = cli.get("json", "BENCH_2.json");
+    std::ofstream out(path);
+    out << json.str();
+    std::cout << "wrote " << path << "\n";
+  }
+  return speedup >= 5.0 ? 0 : 2;
+}

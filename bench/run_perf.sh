@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Runs the perf benchmark suite and writes BENCH_1.json at the repo
-# root (google-benchmark JSON format, one "benchmarks" array).
+# Runs the perf benchmark suite and writes BENCH_1.json (PR 1 kernel
+# numbers, google-benchmark JSON format) plus BENCH_2.json (PR 2
+# service engine: saturation throughput cache on/off, hit-rate sweep,
+# open-loop latency + 2x-overload backpressure) at the repo root.
 #
 # Usage:  bench/run_perf.sh [build-dir] [extra benchmark args...]
 #
@@ -33,3 +35,11 @@ out="$repo_root/BENCH_1.json"
   "$@" >/dev/null
 
 echo "wrote $out"
+
+service_bin="$build_dir/bench/bench_service"
+if [[ -x "$service_bin" ]]; then
+  "$service_bin" --json="$repo_root/BENCH_2.json" >/dev/null
+  echo "wrote $repo_root/BENCH_2.json"
+else
+  echo "warning: $service_bin not found; skipping BENCH_2.json" >&2
+fi

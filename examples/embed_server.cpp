@@ -1,0 +1,149 @@
+// In-process embedding server driven by a request trace.
+//
+// Replays a trace against the service engine (src/service/) and prints
+// the stats surface.  Trace lines (stdin or --trace FILE):
+//
+//   <theorem> <priority> <paren-tree>
+//   T1 0 ((..)(..))
+//   T3 5 (.(..))
+//
+// Blank lines and lines starting with '#' are skipped.  Alternatively
+// --generate N synthesises a stream of N random requests with shape
+// duplication --dup (default 0.9), the cache-friendly regime a divide
+// & conquer frontend would produce.
+//
+//   ./embed_server --trace trace.txt --shards 2
+//   ./embed_server --generate 200 --dup 0.9 --stats-json
+//   echo "T1 0 ((..)(..))" | ./embed_server --verbose
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "btree/generators.hpp"
+#include "service/service.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xt;
+  const Cli cli(argc, argv);
+  const bool verbose = cli.has("verbose");
+
+  ServiceConfig config;
+  config.queue_capacity =
+      static_cast<std::size_t>(cli.get_int("queue-capacity", 4096));
+  config.num_shards = static_cast<unsigned>(cli.get_int("shards", 0));
+  config.cache_capacity =
+      static_cast<std::size_t>(cli.get_int("cache-capacity", 1024));
+  config.enable_batching = cli.get_int("batching", 1) != 0;
+  config.verify_hits = cli.has("verify-hits");
+  if (verbose)
+    config.diagnostic_sink = [](const std::string& line) {
+      std::cerr << line << "\n";
+    };
+
+  // Assemble the request stream.
+  std::vector<EmbedRequest> trace;
+  if (cli.has("generate")) {
+    const auto count = static_cast<std::size_t>(cli.get_int("generate", 200));
+    const double dup = cli.get_double("dup", 0.9);
+    const auto n = static_cast<NodeId>(cli.get_int("n", 496));
+    Rng rng(cli.get_int("seed", 7));
+    std::vector<BinaryTree> pool;
+    for (int i = 0; i < 8; ++i) pool.push_back(make_random_tree(n, rng));
+    for (std::size_t i = 0; i < count; ++i) {
+      EmbedRequest req;
+      const bool reuse =
+          static_cast<double>(rng.below(1000)) < dup * 1000.0;
+      req.tree = reuse ? pool[rng.below(pool.size())]
+                       : make_random_tree(n, rng);
+      trace.push_back(std::move(req));
+    }
+  } else {
+    std::ifstream file;
+    std::istream* in = &std::cin;
+    if (cli.has("trace")) {
+      file.open(cli.get("trace", ""));
+      if (!file) {
+        std::cerr << "error: cannot open trace file\n";
+        return 1;
+      }
+      in = &file;
+    }
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(*in, line)) {
+      ++lineno;
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream ls(line);
+      std::string theorem_token;
+      std::int64_t priority = 0;
+      std::string paren;
+      if (!(ls >> theorem_token >> priority >> paren)) {
+        std::cerr << "error: line " << lineno
+                  << ": expected '<theorem> <priority> <paren>'\n";
+        return 1;
+      }
+      const auto theorem = parse_theorem(theorem_token);
+      if (!theorem) {
+        std::cerr << "error: line " << lineno << ": unknown theorem '"
+                  << theorem_token << "' (T1|T2|T3)\n";
+        return 1;
+      }
+      EmbedRequest req;
+      req.theorem = *theorem;
+      req.priority = static_cast<std::int32_t>(priority);
+      try {
+        req.tree = BinaryTree::from_paren(paren);
+      } catch (const std::exception& e) {
+        std::cerr << "error: line " << lineno << ": " << e.what() << "\n";
+        return 1;
+      }
+      trace.push_back(std::move(req));
+    }
+  }
+  if (trace.empty()) {
+    std::cerr << "error: empty trace (use --generate N or pipe a trace)\n";
+    return 1;
+  }
+
+  EmbeddingService service(config);
+  std::vector<std::future<EmbedResponse>> futures;
+  futures.reserve(trace.size());
+  for (EmbedRequest& req : trace) futures.push_back(service.submit(std::move(req)));
+
+  std::size_t ok = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const EmbedResponse res = futures[i].get();
+    ok += res.status == RequestStatus::kOk ? 1 : 0;
+    if (verbose) {
+      std::cout << "request " << i << ": " << status_name(res.status);
+      if (res.status == RequestStatus::kOk) {
+        std::cout << " host_height=" << res.host_height
+                  << " dilation=" << res.dilation
+                  << " load=" << res.load_factor
+                  << (res.cache_hit ? " [cache]" : "")
+                  << (res.coalesced ? " [coalesced]" : "");
+      } else {
+        std::cout << " (" << res.reason << ")";
+      }
+      std::cout << "\n";
+    }
+  }
+
+  std::cout << "served " << ok << "/" << futures.size() << " requests\n";
+  if (cli.has("stats-json")) {
+    std::cout << service.stats_json() << "\n";
+  } else {
+    const ServiceStats stats = service.stats();
+    std::cout << "cache hits " << stats.cache_hits << ", misses "
+              << stats.cache_misses << ", coalesced " << stats.coalesced
+              << ", p50 " << stats.p50_ms << " ms, p99 " << stats.p99_ms
+              << " ms, throughput " << stats.throughput_rps << " req/s\n";
+  }
+  return ok == futures.size() ? 0 : 2;
+}

@@ -1,0 +1,120 @@
+#include "btree/canonical.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace xt {
+namespace {
+
+// Fixed odd constants (splitmix64's increment family).  The digest
+// must be a pure function of the shape: no addresses, no randomised
+// seeds, so the same tree hashes identically in every process.
+constexpr std::uint64_t kLeafCode = 0x9e3779b97f4a7c15ULL;
+constexpr std::uint64_t kEmptyCode = 0xd1b54a32d192ed03ULL;
+
+constexpr std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Asymmetric in (a, b): the caller decides whether to sort the pair
+// (canonical digest) or keep child order (ordered digest).
+constexpr std::uint64_t combine(std::uint64_t a, std::uint64_t b) {
+  return mix(a + 0x9e3779b97f4a7c15ULL * b + 0x632be59bd9b4e019ULL);
+}
+
+// Reverse-BFS bottom-up subtree codes.  `sorted` selects the
+// order-insensitive (canonical) variant.
+std::vector<std::uint64_t> subtree_codes(const BinaryTree& tree, bool sorted) {
+  const auto n = static_cast<std::size_t>(tree.num_nodes());
+  std::vector<NodeId> order;
+  order.reserve(n);
+  order.push_back(tree.root());
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    for (int w = 0; w < 2; ++w) {
+      const NodeId c = tree.child(order[head], w);
+      if (c != kInvalidNode) order.push_back(c);
+    }
+  }
+  std::vector<std::uint64_t> code(n, 0);
+  for (std::size_t i = n; i-- > 0;) {
+    const NodeId v = order[i];
+    const NodeId c0 = tree.child(v, 0);
+    const NodeId c1 = tree.child(v, 1);
+    if (c0 == kInvalidNode && c1 == kInvalidNode) {
+      code[static_cast<std::size_t>(v)] = kLeafCode;
+      continue;
+    }
+    std::uint64_t a =
+        c0 == kInvalidNode ? kEmptyCode : code[static_cast<std::size_t>(c0)];
+    std::uint64_t b =
+        c1 == kInvalidNode ? kEmptyCode : code[static_cast<std::size_t>(c1)];
+    if (sorted && b < a) std::swap(a, b);
+    code[static_cast<std::size_t>(v)] = combine(a, b);
+  }
+  return code;
+}
+
+// Final digest folds in the node count (belt and braces; the cache key
+// also carries it).
+std::uint64_t finalize(std::uint64_t root_code, NodeId n) {
+  return combine(root_code, static_cast<std::uint64_t>(n));
+}
+
+}  // namespace
+
+CanonicalForm canonical_form(const BinaryTree& tree) {
+  XT_CHECK(!tree.empty());
+  const auto code = subtree_codes(tree, /*sorted=*/true);
+  CanonicalForm out;
+  out.hash = finalize(code[static_cast<std::size_t>(tree.root())],
+                      tree.num_nodes());
+  out.to_canonical.assign(static_cast<std::size_t>(tree.num_nodes()),
+                          kInvalidNode);
+  // Preorder with children visited in canonical order: smaller subtree
+  // digest first.  Tied siblings are isomorphic subtrees (up to digest
+  // collision), so either order yields the same canonical tree.
+  std::vector<NodeId> stack{tree.root()};
+  NodeId next = 0;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    out.to_canonical[static_cast<std::size_t>(v)] = next++;
+    const NodeId c0 = tree.child(v, 0);
+    const NodeId c1 = tree.child(v, 1);
+    if (c0 != kInvalidNode && c1 != kInvalidNode) {
+      const bool c0_first = code[static_cast<std::size_t>(c0)] <=
+                            code[static_cast<std::size_t>(c1)];
+      // LIFO stack: push the second-visited child first.
+      stack.push_back(c0_first ? c1 : c0);
+      stack.push_back(c0_first ? c0 : c1);
+    } else if (c0 != kInvalidNode) {
+      stack.push_back(c0);
+    } else if (c1 != kInvalidNode) {
+      stack.push_back(c1);
+    }
+  }
+  return out;
+}
+
+std::uint64_t canonical_hash(const BinaryTree& tree) {
+  XT_CHECK(!tree.empty());
+  const auto code = subtree_codes(tree, /*sorted=*/true);
+  return finalize(code[static_cast<std::size_t>(tree.root())],
+                  tree.num_nodes());
+}
+
+std::uint64_t ordered_hash(const BinaryTree& tree) {
+  XT_CHECK(!tree.empty());
+  const auto code = subtree_codes(tree, /*sorted=*/false);
+  // A distinct finalizer keeps the two digest families disjoint even
+  // on symmetric trees.
+  return mix(finalize(code[static_cast<std::size_t>(tree.root())],
+                      tree.num_nodes()) ^
+             0xbf58476d1ce4e5b9ULL);
+}
+
+}  // namespace xt

@@ -1,0 +1,51 @@
+// AHU-style canonical forms for guest binary trees.
+//
+// Every embedding quantity the paper cares about — dilation, load
+// factor, expansion — is invariant under reordering the two children
+// of any guest node, so two trees that differ only in child order can
+// share one embedding.  The service cache (src/service/) exploits
+// this: it keys entries by an isomorphism-invariant digest and stores
+// the host assignment indexed by *canonical* node ids, so a cached
+// embedding transfers to any isomorphic guest by composing two
+// relabellings.
+//
+// The digest is a bottom-up hash in the spirit of the
+// Aho–Hopcroft–Ullman canonical form: a node's code combines its
+// children's codes after sorting them, so the code is a pure function
+// of the unordered shape (no addresses, no per-process salt — stable
+// across runs, pinned by golden tests).  Distinct shapes collide with
+// probability ~2^-64; callers that cannot tolerate even that can
+// re-validate on reuse (ServiceConfig::verify_hits).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "btree/binary_tree.hpp"
+
+namespace xt {
+
+struct CanonicalForm {
+  /// Isomorphism-invariant digest: equal for trees that differ only in
+  /// child order, (almost surely) distinct otherwise.
+  std::uint64_t hash = 0;
+  /// guest id -> canonical id: the preorder numbering obtained by
+  /// visiting children in canonical order (smaller subtree digest
+  /// first).  Two isomorphic trees map onto the *same* canonical tree,
+  /// with corresponding canonical ids — so host assignments indexed by
+  /// canonical id transfer between them.
+  std::vector<NodeId> to_canonical;
+};
+
+/// Digest + relabelling.  O(n), iterative (safe for path trees of any
+/// depth).  Requires a non-empty tree.
+[[nodiscard]] CanonicalForm canonical_form(const BinaryTree& tree);
+
+/// Digest only (skips building the relabelling).
+[[nodiscard]] std::uint64_t canonical_hash(const BinaryTree& tree);
+
+/// Order-*sensitive* digest: distinguishes the mirrored / child-order-
+/// permuted variants that canonical_hash deliberately identifies.
+[[nodiscard]] std::uint64_t ordered_hash(const BinaryTree& tree);
+
+}  // namespace xt

@@ -22,13 +22,23 @@ std::int64_t DynamicEmbedder::free_capacity() const {
          guest_.num_nodes();
 }
 
-NodeId DynamicEmbedder::add_leaf(NodeId parent) {
-  XT_CHECK_MSG(free_capacity() > 0, "machine is full");
+DynamicEmbedder::GrowthResult DynamicEmbedder::try_add_leaf(NodeId parent) {
+  XT_CHECK(parent >= 0 && parent < guest_.num_nodes());
+  if (guest_.num_children(parent) >= 2)
+    return {kInvalidNode, GrowthError::kParentSlotsFull};
+  if (free_capacity() <= 0) return {kInvalidNode, GrowthError::kHostFull};
   const VertexId slot = pick_slot(host_of(parent));
   const NodeId leaf = guest_.add_child(parent);
   assign_.push_back(slot);
   ++load_of_[static_cast<std::size_t>(slot)];
-  return leaf;
+  return {leaf, GrowthError::kOk};
+}
+
+NodeId DynamicEmbedder::add_leaf(NodeId parent) {
+  const GrowthResult r = try_add_leaf(parent);
+  XT_CHECK_MSG(r.error != GrowthError::kHostFull, "machine is full");
+  XT_CHECK_MSG(r.ok(), "parent " << parent << " has no free child slot");
+  return r.leaf;
 }
 
 VertexId DynamicEmbedder::pick_slot(VertexId parent_host) const {

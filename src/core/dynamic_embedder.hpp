@@ -33,8 +33,28 @@ class DynamicEmbedder {
   /// Remaining total capacity of the machine.
   [[nodiscard]] std::int64_t free_capacity() const;
 
-  /// Grows the guest by a leaf under `parent` (which must have a free
-  /// child slot) and places it.  Throws when the machine is full.
+  /// Why try_add_leaf could not grow the guest.
+  enum class GrowthError {
+    kOk,
+    kHostFull,         // no free slot anywhere on the machine
+    kParentSlotsFull,  // `parent` already has two children
+  };
+
+  /// Outcome of try_add_leaf: `leaf` is valid iff ok().
+  struct GrowthResult {
+    NodeId leaf = kInvalidNode;
+    GrowthError error = GrowthError::kOk;
+    [[nodiscard]] bool ok() const { return error == GrowthError::kOk; }
+  };
+
+  /// Grows the guest by a leaf under `parent` and places it.  On a
+  /// full machine or a full parent the embedder state is untouched and
+  /// a structured error is returned instead of throwing — the caller
+  /// (a scheduler admitting recursion-tree growth) decides whether
+  /// that is fatal.  `parent` must be a valid guest node id (checked).
+  GrowthResult try_add_leaf(NodeId parent);
+
+  /// Throwing form of try_add_leaf (check_error on either failure).
   NodeId add_leaf(NodeId parent);
 
   [[nodiscard]] VertexId host_of(NodeId v) const {

@@ -25,7 +25,8 @@ struct Attached {
 
 class EmbedderImpl {
  public:
-  EmbedderImpl(const BinaryTree& guest, const XTreeEmbedder::Options& opt)
+  EmbedderImpl(const BinaryTree& guest, const XTreeEmbedder::Options& opt,
+               XTreeEmbedder::EmbedArena& arena)
       : guest_(guest),
         opt_(opt),
         height_(opt.height >= 0
@@ -36,7 +37,9 @@ class EmbedderImpl {
         assign_(static_cast<std::size_t>(guest.num_nodes()), kInvalidVertex),
         load_(static_cast<std::size_t>(host_.num_vertices()), 0),
         pool_(static_cast<std::size_t>(host_.num_vertices())),
-        weight_(static_cast<std::size_t>(host_.num_vertices()), 0) {
+        weight_(static_cast<std::size_t>(host_.num_vertices()), 0),
+        scratch_(arena.scratch),
+        split_res_(arena.split_result) {
     XT_CHECK(guest.num_nodes() >= 1);
     XT_CHECK(opt.load >= 1);
     XT_CHECK_MSG(static_cast<std::int64_t>(opt.load) *
@@ -1036,9 +1039,11 @@ class EmbedderImpl {
   // Reusable splitter state + result: every split and whole-piece
   // extraction in the run goes through these, and consumed pieces are
   // recycled into scratch_.free_pieces, so the steady-state hot loop
-  // performs no heap allocation.
-  SplitScratch scratch_;
-  SplitResult split_res_;
+  // performs no heap allocation.  They live in the caller's EmbedArena
+  // so a long-lived caller (a service shard, a sweep harness) carries
+  // the recycled buffers across runs too.
+  SplitScratch& scratch_;
+  SplitResult& split_res_;
   std::vector<Attached> units_;  // SPLIT's per-vertex unit gather
   std::vector<int> unit_side_;
   std::function<void(const std::string&)> diag_ = resolve_sink(opt_);
@@ -1059,7 +1064,14 @@ std::int32_t XTreeEmbedder::optimal_height(NodeId n, NodeId load) {
 
 XTreeEmbedder::Result XTreeEmbedder::embed(const BinaryTree& guest,
                                            const Options& options) {
-  EmbedderImpl impl(guest, options);
+  EmbedArena arena;
+  return embed(guest, options, arena);
+}
+
+XTreeEmbedder::Result XTreeEmbedder::embed(const BinaryTree& guest,
+                                           const Options& options,
+                                           EmbedArena& arena) {
+  EmbedderImpl impl(guest, options, arena);
   return impl.run();
 }
 

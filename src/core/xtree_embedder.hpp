@@ -37,6 +37,7 @@
 
 #include "btree/binary_tree.hpp"
 #include "embedding/embedding.hpp"
+#include "separator/splitter.hpp"
 #include "topology/xtree.hpp"
 
 namespace xt {
@@ -114,6 +115,16 @@ class XTreeEmbedder {
     Stats stats;
   };
 
+  /// Reusable cross-run scratch: the splitter working set and recycled
+  /// piece buffers survive between embed() calls, so a long-lived
+  /// caller (one service shard, a sweep harness) reaches the
+  /// steady-state allocation-free hot path on every run instead of
+  /// only within one.  Not thread-safe — use one arena per thread.
+  struct EmbedArena {
+    SplitScratch scratch;
+    SplitResult split_result;
+  };
+
   /// Smallest X-tree height whose capacity covers n guest nodes.
   static std::int32_t optimal_height(NodeId n, NodeId load);
 
@@ -123,6 +134,9 @@ class XTreeEmbedder {
   static Result embed(const BinaryTree& guest, const Options& options);
   /// Same, with default options.
   static Result embed(const BinaryTree& guest);
+  /// Same, reusing (and refilling) the caller's arena across runs.
+  static Result embed(const BinaryTree& guest, const Options& options,
+                      EmbedArena& arena);
 };
 
 }  // namespace xt

@@ -1,0 +1,84 @@
+#include "service/cache.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace xt {
+
+namespace {
+
+const char* const kTheoremNames[] = {"T1", "T2", "T3"};
+
+}  // namespace
+
+const char* theorem_name(Theorem t) {
+  return kTheoremNames[static_cast<int>(t)];
+}
+
+std::optional<Theorem> parse_theorem(const std::string& name) {
+  if (name == "T1" || name == "t1") return Theorem::kT1;
+  if (name == "T2" || name == "t2") return Theorem::kT2;
+  if (name == "T3" || name == "t3") return Theorem::kT3;
+  return std::nullopt;
+}
+
+const char* status_name(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kRejectedQueueFull: return "rejected_queue_full";
+    case RequestStatus::kRejectedShutdown: return "rejected_shutdown";
+    case RequestStatus::kExpiredDeadline: return "expired_deadline";
+    case RequestStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+CanonicalCache::CanonicalCache(std::size_t capacity)
+    : capacity_(capacity) {
+  XT_CHECK(capacity >= 1);
+}
+
+std::shared_ptr<const CachedEmbedding> CanonicalCache::lookup(
+    const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++counters_.misses;
+    return nullptr;
+  }
+  ++counters_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->value;
+}
+
+void CanonicalCache::insert(const CacheKey& key, CachedEmbedding value) {
+  auto shared = std::make_shared<const CachedEmbedding>(std::move(value));
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.insertions;
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->value = std::move(shared);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+  lru_.push_front(Entry{key, std::move(shared)});
+  map_.emplace(key, lru_.begin());
+}
+
+CanonicalCache::Counters CanonicalCache::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::size_t CanonicalCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace xt

@@ -1,0 +1,93 @@
+// Canonical-tree embedding cache: an LRU keyed by the AHU-style
+// canonical digest of the guest's shape (btree/canonical.hpp), so any
+// two isomorphic guests — real workloads (divide & conquer recursion
+// trees, data-arrangement instances) produce floods of structurally
+// identical trees — share one embedding.
+//
+// Entries store the host assignment indexed by *canonical* node id
+// plus the verified metrics; a hit is remapped onto the requesting
+// tree's ids through its own canonical relabelling, an O(n) copy
+// instead of an embed.  Values are handed out as shared_ptr snapshots
+// so a reader keeps its entry alive across a concurrent eviction.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "btree/binary_tree.hpp"
+#include "graph/graph.hpp"
+#include "service/request.hpp"
+
+namespace xt {
+
+struct CacheKey {
+  std::uint64_t canonical_hash = 0;
+  NodeId num_nodes = 0;
+  Theorem theorem = Theorem::kT1;
+  NodeId load = 16;
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
+struct CacheKeyHash {
+  [[nodiscard]] std::size_t operator()(const CacheKey& k) const {
+    std::uint64_t h = k.canonical_hash;
+    h ^= (static_cast<std::uint64_t>(k.num_nodes) << 8) +
+         (static_cast<std::uint64_t>(k.theorem) << 2) +
+         static_cast<std::uint64_t>(k.load) + 0x9e3779b97f4a7c15ULL +
+         (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// One cached embedding, in canonical-id space.
+struct CachedEmbedding {
+  std::vector<VertexId> canonical_assign;  // canonical id -> host vertex
+  VertexId host_vertices = 0;
+  std::int32_t host_height = 0;  // X-tree height or cube dimension
+  std::int32_t dilation = 0;
+  NodeId load_factor = 0;
+};
+
+/// Thread-safe LRU with hit / miss / insertion / eviction counters.
+class CanonicalCache {
+ public:
+  /// `capacity` = max resident entries (>= 1).
+  explicit CanonicalCache(std::size_t capacity);
+
+  /// Returns the entry (refreshing its recency) or nullptr on miss.
+  [[nodiscard]] std::shared_ptr<const CachedEmbedding> lookup(
+      const CacheKey& key);
+
+  /// Inserts (or refreshes) an entry, evicting the least recently used
+  /// entry when at capacity.
+  void insert(const CacheKey& key, CachedEmbedding value);
+
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+  [[nodiscard]] Counters counters() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    std::shared_ptr<const CachedEmbedding> value;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> map_;
+  Counters counters_;
+};
+
+}  // namespace xt

@@ -1,0 +1,76 @@
+// Request / response vocabulary of the embedding service.
+//
+// The service turns the one-shot embedders (Theorems 1-3) into a
+// served resource: callers submit a guest tree plus a theorem
+// selector, a deadline and a priority, and receive a future response.
+// Every submitted request is answered exactly once with an explicit
+// status — backpressure is a first-class outcome (kRejectedQueueFull
+// with the capacity in the reason string), never a silent drop.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "btree/binary_tree.hpp"
+#include "embedding/embedding.hpp"
+
+namespace xt {
+
+/// Which constructive result serves the request.
+enum class Theorem {
+  kT1,  // load-16 / dilation-3 into the optimal X-tree
+  kT2,  // injective dilation-<=11 into X(r+4)
+  kT3,  // load-16 / dilation-4 into the optimal hypercube
+};
+
+[[nodiscard]] const char* theorem_name(Theorem t);
+[[nodiscard]] std::optional<Theorem> parse_theorem(const std::string& name);
+
+using ServiceClock = std::chrono::steady_clock;
+
+struct EmbedRequest {
+  BinaryTree tree;
+  Theorem theorem = Theorem::kT1;
+  /// Serve-by time.  A request whose deadline has passed when a shard
+  /// dequeues it is answered kExpiredDeadline without being embedded.
+  /// The default (epoch) time_point means "no deadline".
+  ServiceClock::time_point deadline{};
+  /// Higher priorities dequeue first; FIFO within one priority.
+  std::int32_t priority = 0;
+};
+
+enum class RequestStatus {
+  kOk,
+  kRejectedQueueFull,  // bounded-queue backpressure at submit time
+  kRejectedShutdown,   // service stopping; request was not embedded
+  kExpiredDeadline,    // deadline passed while queued
+  kFailed,             // embedder threw (reason carries the message)
+};
+
+[[nodiscard]] const char* status_name(RequestStatus s);
+
+struct EmbedResponse {
+  RequestStatus status = RequestStatus::kFailed;
+  /// Human-readable explanation, set for every non-kOk status.
+  std::string reason;
+  /// The embedding (guest ids of the submitted tree), iff kOk.
+  std::optional<Embedding> embedding;
+  /// X-tree height (T1/T2) or hypercube dimension (T3).
+  std::int32_t host_height = 0;
+  /// Verified metrics of the served embedding.
+  std::int32_t dilation = 0;
+  NodeId load_factor = 0;
+  /// Served from the canonical-tree cache (remapped, not recomputed).
+  bool cache_hit = false;
+  /// Served by another request's embed in the same dequeued batch.
+  bool coalesced = false;
+  /// Service order stamp (1-based) over requests a shard processed;
+  /// 0 for requests rejected at submit time.
+  std::uint64_t served_seq = 0;
+  /// Submit -> response wall time.
+  double latency_ms = 0.0;
+};
+
+}  // namespace xt

@@ -1,0 +1,436 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "core/hypercube_embedding.hpp"
+#include "core/injective_lift.hpp"
+#include "embedding/metrics.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/xtree.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+
+namespace xt {
+
+namespace {
+
+double ms_between(ServiceClock::time_point a, ServiceClock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+unsigned default_shards() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  // Each shard fans its dilation audits into the shared ThreadPool, so
+  // a few shards already keep the machine busy.
+  return std::clamp(hw / 4, 1u, 4u);
+}
+
+}  // namespace
+
+std::string ServiceStats::to_json() const {
+  const double hit_rate =
+      cache_hits + cache_misses == 0
+          ? 0.0
+          : static_cast<double>(cache_hits) /
+                static_cast<double>(cache_hits + cache_misses);
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"submitted\": " << submitted << ",\n"
+     << "  \"completed\": " << completed << ",\n"
+     << "  \"rejected_full\": " << rejected_full << ",\n"
+     << "  \"rejected_shutdown\": " << rejected_shutdown << ",\n"
+     << "  \"expired\": " << expired << ",\n"
+     << "  \"failed\": " << failed << ",\n"
+     << "  \"cache_hits\": " << cache_hits << ",\n"
+     << "  \"cache_misses\": " << cache_misses << ",\n"
+     << "  \"cache_hit_rate\": " << hit_rate << ",\n"
+     << "  \"cache_insertions\": " << cache_insertions << ",\n"
+     << "  \"cache_evictions\": " << cache_evictions << ",\n"
+     << "  \"cache_size\": " << cache_size << ",\n"
+     << "  \"coalesced\": " << coalesced << ",\n"
+     << "  \"queue_depth\": " << queue_depth << ",\n"
+     << "  \"queue_capacity\": " << queue_capacity << ",\n"
+     << "  \"pool_queue_depth\": " << pool_queue_depth << ",\n"
+     << "  \"num_shards\": " << num_shards << ",\n"
+     << "  \"p50_ms\": " << p50_ms << ",\n"
+     << "  \"p99_ms\": " << p99_ms << ",\n"
+     << "  \"mean_ms\": " << mean_ms << ",\n"
+     << "  \"max_ms\": " << max_ms << ",\n"
+     << "  \"uptime_s\": " << uptime_s << ",\n"
+     << "  \"throughput_rps\": " << throughput_rps << "\n"
+     << "}";
+  return os.str();
+}
+
+EmbeddingService::EmbeddingService(ServiceConfig config)
+    : config_(std::move(config)), start_(ServiceClock::now()) {
+  XT_CHECK(config_.queue_capacity >= 1);
+  XT_CHECK(config_.load >= 1);
+  if (config_.num_shards == 0) config_.num_shards = default_shards();
+  if (config_.cache_capacity > 0)
+    cache_ = std::make_unique<CanonicalCache>(config_.cache_capacity);
+  paused_ = config_.start_paused;
+  shards_.reserve(config_.num_shards);
+  for (unsigned i = 0; i < config_.num_shards; ++i)
+    shards_.emplace_back([this] { shard_loop(); });
+}
+
+EmbeddingService::~EmbeddingService() { shutdown(/*drain=*/true); }
+
+std::future<EmbedResponse> EmbeddingService::submit(EmbedRequest request) {
+  XT_CHECK_MSG(!request.tree.empty(), "cannot embed an empty guest");
+  const auto now = ServiceClock::now();
+
+  Pending p;
+  p.theorem = request.theorem;
+  p.priority = request.priority;
+  p.deadline = request.deadline;
+  p.enqueued = now;
+  // The canonical form keys both the cache and the batcher; computing
+  // it on the submitting thread keeps shard critical paths short.
+  if (cache_ != nullptr || config_.enable_batching)
+    p.canon = canonical_form(request.tree);
+  p.tree = std::move(request.tree);
+  auto future = p.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++counters_.submitted;
+    }
+    if (stopping_) {
+      EmbedResponse r;
+      r.status = RequestStatus::kRejectedShutdown;
+      r.reason = "service is shutting down";
+      {
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        ++counters_.rejected_shutdown;
+      }
+      p.promise.set_value(std::move(r));
+      return future;
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      // Explicit backpressure: the caller learns exactly why and how
+      // full the service is; nothing is dropped on the floor.
+      EmbedResponse r;
+      r.status = RequestStatus::kRejectedQueueFull;
+      std::ostringstream os;
+      os << "queue full (depth " << queue_.size() << ", capacity "
+         << config_.queue_capacity << ")";
+      r.reason = os.str();
+      {
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        ++counters_.rejected_full;
+      }
+      diag("[service] reject: " + r.reason);
+      p.promise.set_value(std::move(r));
+      return future;
+    }
+    // Descending priority, FIFO within one priority.
+    auto it = queue_.begin();
+    while (it != queue_.end() && it->priority >= p.priority) ++it;
+    queue_.insert(it, std::move(p));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void EmbeddingService::pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void EmbeddingService::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void EmbeddingService::shutdown(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_) {
+      stopping_ = true;
+      drain_ = drain;
+      paused_ = false;
+    }
+  }
+  cv_.notify_all();
+  for (auto& t : shards_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void EmbeddingService::shard_loop() {
+  XTreeEmbedder::EmbedArena arena;  // shard-private allocator state
+  for (;;) {
+    std::vector<Pending> group;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        return stopping_ || (!paused_ && !queue_.empty());
+      });
+      if (queue_.empty()) return;  // stopping_ and nothing left
+      if (stopping_ && !drain_) {
+        // Abort-style shutdown: answer everything explicitly.
+        std::list<Pending> left;
+        left.swap(queue_);
+        lock.unlock();
+        for (Pending& p : left) {
+          EmbedResponse r;
+          r.status = RequestStatus::kRejectedShutdown;
+          r.reason = "service shut down before the request was served";
+          respond(p, std::move(r));
+        }
+        return;
+      }
+      group.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      if (config_.enable_batching) {
+        // Claim every queued request with the same shape key: one
+        // embed will answer the whole group.  (By value — push_back
+        // below reallocates group, so a reference would dangle.)
+        const Theorem lead_theorem = group.front().theorem;
+        const std::uint64_t lead_hash = group.front().canon.hash;
+        const NodeId lead_nodes = group.front().tree.num_nodes();
+        for (auto it = queue_.begin(); it != queue_.end();) {
+          if (it->theorem == lead_theorem && it->canon.hash == lead_hash &&
+              it->tree.num_nodes() == lead_nodes) {
+            group.push_back(std::move(*it));
+            it = queue_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+    process_group(std::move(group), arena);
+  }
+}
+
+void EmbeddingService::process_group(std::vector<Pending> group,
+                                     XTreeEmbedder::EmbedArena& arena) {
+  const auto now = ServiceClock::now();
+
+  // Deadline admission: expired requests are answered, not embedded.
+  std::vector<Pending> live;
+  live.reserve(group.size());
+  for (Pending& p : group) {
+    if (p.deadline != ServiceClock::time_point{} && p.deadline < now) {
+      EmbedResponse r;
+      r.status = RequestStatus::kExpiredDeadline;
+      std::ostringstream os;
+      os << "deadline expired "
+         << ms_between(p.deadline, now) << " ms before service";
+      r.reason = os.str();
+      diag("[service] expired request (queued " +
+           std::to_string(ms_between(p.enqueued, now)) + " ms)");
+      respond(p, std::move(r));
+    } else {
+      live.push_back(std::move(p));
+    }
+  }
+  if (live.empty()) return;
+
+  const Pending& lead = live.front();
+  const CacheKey key{lead.canon.hash, lead.tree.num_nodes(), lead.theorem,
+                     config_.load};
+
+  // Serve the whole group from one cached (or freshly computed)
+  // canonical assignment.
+  std::shared_ptr<const CachedEmbedding> entry =
+      cache_ != nullptr ? cache_->lookup(key) : nullptr;
+  bool from_cache = entry != nullptr;
+
+  if (!from_cache) {
+    Computed computed;
+    try {
+      computed = compute(lead.tree, lead.theorem, arena);
+    } catch (const std::exception& e) {
+      for (Pending& p : live) {
+        EmbedResponse r;
+        r.status = RequestStatus::kFailed;
+        r.reason = e.what();
+        respond(p, std::move(r));
+      }
+      diag(std::string("[service] embed failed: ") + e.what());
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++counters_.cache_misses;
+    }
+    auto fresh = std::make_shared<CachedEmbedding>();
+    fresh->canonical_assign.resize(
+        static_cast<std::size_t>(lead.tree.num_nodes()));
+    if (!lead.canon.to_canonical.empty()) {
+      for (NodeId v = 0; v < lead.tree.num_nodes(); ++v) {
+        fresh->canonical_assign[static_cast<std::size_t>(
+            lead.canon.to_canonical[static_cast<std::size_t>(v)])] =
+            computed.embedding.host_of(v);
+      }
+    }
+    fresh->host_vertices = computed.host_vertices;
+    fresh->host_height = computed.host_height;
+    fresh->dilation = computed.dilation;
+    fresh->load_factor = computed.load_factor;
+    if (cache_ != nullptr) cache_->insert(key, *fresh);
+
+    // The leader gets the directly computed embedding; batch peers are
+    // remapped through their own canonical relabelling below.
+    EmbedResponse r;
+    r.status = RequestStatus::kOk;
+    r.embedding = std::move(computed.embedding);
+    r.host_height = computed.host_height;
+    r.dilation = computed.dilation;
+    r.load_factor = computed.load_factor;
+    respond(live.front(), std::move(r));
+    live.erase(live.begin());
+    entry = std::move(fresh);
+  }
+
+  for (Pending& p : live) {
+    EmbedResponse r;
+    r.status = RequestStatus::kOk;
+    r.host_height = entry->host_height;
+    r.dilation = entry->dilation;
+    r.load_factor = entry->load_factor;
+    r.cache_hit = from_cache;
+    r.coalesced = !from_cache;
+    Embedding emb(p.tree.num_nodes(), entry->host_vertices);
+    for (NodeId v = 0; v < p.tree.num_nodes(); ++v) {
+      emb.place(v, entry->canonical_assign[static_cast<std::size_t>(
+                       p.canon.to_canonical[static_cast<std::size_t>(v)])]);
+    }
+    if (config_.verify_hits) {
+      try {
+        validate_embedding(p.tree, emb, entry->load_factor);
+      } catch (const std::exception& e) {
+        r.status = RequestStatus::kFailed;
+        r.reason = std::string("cached embedding failed verification: ") +
+                   e.what();
+        r.embedding.reset();
+        respond(p, std::move(r));
+        continue;
+      }
+    }
+    r.embedding = std::move(emb);
+    respond(p, std::move(r));
+  }
+}
+
+EmbeddingService::Computed EmbeddingService::compute(
+    const BinaryTree& tree, Theorem theorem,
+    XTreeEmbedder::EmbedArena& arena) const {
+  Computed out;
+  switch (theorem) {
+    case Theorem::kT1: {
+      XTreeEmbedder::Options o;
+      o.load = config_.load;
+      auto res = XTreeEmbedder::embed(tree, o, arena);
+      const XTree host(res.stats.height);
+      const auto prof = dilation_profile_xtree(tree, res.embedding, host);
+      out.host_vertices = host.num_vertices();
+      out.host_height = res.stats.height;
+      out.dilation = prof.report.max;
+      out.load_factor = res.embedding.load_factor();
+      out.embedding = std::move(res.embedding);
+      break;
+    }
+    case Theorem::kT2: {
+      XTreeEmbedder::Options o;
+      o.load = 16;  // the lift spends exactly four levels on 16 slots
+      auto res = XTreeEmbedder::embed(tree, o, arena);
+      const XTree base(res.stats.height);
+      auto lift = lift_injective(tree, res.embedding, base);
+      const XTree host(lift.host_height);
+      const auto prof = dilation_profile_xtree(tree, lift.embedding, host);
+      out.host_vertices = host.num_vertices();
+      out.host_height = lift.host_height;
+      out.dilation = prof.report.max;
+      out.load_factor = 1;
+      out.embedding = std::move(lift.embedding);
+      break;
+    }
+    case Theorem::kT3: {
+      auto hc = embed_hypercube_load16(tree);
+      const Hypercube host(hc.dimension);
+      const auto rep = dilation_hypercube(tree, hc.embedding, host);
+      out.host_vertices = host.num_vertices();
+      out.host_height = hc.dimension;
+      out.dilation = rep.max;
+      out.load_factor = hc.embedding.load_factor();
+      out.embedding = std::move(hc.embedding);
+      break;
+    }
+  }
+  return out;
+}
+
+void EmbeddingService::respond(Pending& p, EmbedResponse response) {
+  const auto now = ServiceClock::now();
+  response.latency_ms = ms_between(p.enqueued, now);
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    response.served_seq = ++served_seq_;
+    switch (response.status) {
+      case RequestStatus::kOk:
+        ++counters_.completed;
+        latency_.add(response.latency_ms);
+        if (response.cache_hit) ++counters_.cache_hits;
+        if (response.coalesced) ++counters_.coalesced;
+        break;
+      case RequestStatus::kExpiredDeadline: ++counters_.expired; break;
+      case RequestStatus::kRejectedShutdown:
+        ++counters_.rejected_shutdown;
+        break;
+      case RequestStatus::kFailed: ++counters_.failed; break;
+      case RequestStatus::kRejectedQueueFull:
+        ++counters_.rejected_full;  // not reachable from a shard
+        break;
+    }
+  }
+  p.promise.set_value(std::move(response));
+}
+
+ServiceStats EmbeddingService::stats() const {
+  ServiceStats out;
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    out = counters_;
+    out.p50_ms = latency_.percentile(50.0);
+    out.p99_ms = latency_.percentile(99.0);
+    out.mean_ms = latency_.mean();
+    out.max_ms = latency_.max();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.queue_depth = queue_.size();
+  }
+  out.queue_capacity = config_.queue_capacity;
+  out.num_shards = config_.num_shards;
+  out.pool_queue_depth = ThreadPool::shared().queue_depth();
+  if (cache_ != nullptr) {
+    const auto c = cache_->counters();
+    out.cache_insertions = c.insertions;
+    out.cache_evictions = c.evictions;
+    out.cache_size = cache_->size();
+  }
+  out.uptime_s =
+      std::chrono::duration<double>(ServiceClock::now() - start_).count();
+  out.throughput_rps =
+      out.uptime_s > 0.0 ? static_cast<double>(out.completed) / out.uptime_s
+                         : 0.0;
+  return out;
+}
+
+void EmbeddingService::diag(const std::string& line) const {
+  if (config_.diagnostic_sink) config_.diagnostic_sink(line);
+}
+
+}  // namespace xt

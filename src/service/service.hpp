@@ -1,0 +1,177 @@
+// The embedding service engine: an in-process server around the
+// Theorem 1-3 embedders.
+//
+//   submit() ──> bounded priority queue ──> shard workers ──> futures
+//                     │                         │
+//                     │ full? explicit          ├─ deadline check
+//                     │ kRejectedQueueFull      ├─ canonical-cache lookup
+//                     ▼                         ├─ same-shape batch claim
+//               (never drops)                   └─ embed + verify + fill
+//
+// Structure (one PR 1 building block per stage):
+//   * Request queue — bounded std::list ordered by priority (FIFO
+//     within a priority).  A full queue rejects at submit() with an
+//     explicit reason; nothing is ever silently dropped: every
+//     submitted request is answered exactly once.
+//   * Canonical-tree cache — LRU keyed by the AHU canonical digest
+//     (btree/canonical.hpp) so isomorphic guests share one embedding;
+//     hits are O(n) remaps.
+//   * Sharded workers — `num_shards` threads, each owning its own
+//     XTreeEmbedder::EmbedArena (SplitScratch + recycled pieces), so
+//     concurrent embeds never contend on allocator state.  The O(n)
+//     dilation audit of each embed fans into the shared PR 1
+//     ThreadPool via dilation_profile_xtree.
+//   * Batcher — a shard dequeuing a request also claims every queued
+//     request with the same (theorem, canonical hash, n): one embed,
+//     N responses, N-1 counted as coalesced.
+//   * Stats surface — ServiceStats (queue depth, p50/p99 latency,
+//     throughput, hit rate, rejections) as a struct or JSON; notable
+//     events (rejections, failures) stream to ServiceConfig::
+//     diagnostic_sink in the embedder's sink format.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "btree/canonical.hpp"
+#include "core/xtree_embedder.hpp"
+#include "service/cache.hpp"
+#include "service/request.hpp"
+#include "util/stats.hpp"
+
+namespace xt {
+
+struct ServiceConfig {
+  /// Max queued (admitted, not yet served) requests; submit() beyond
+  /// this returns kRejectedQueueFull.
+  std::size_t queue_capacity = 256;
+  /// Worker shards (embedding threads).  0 selects a small default
+  /// based on hardware concurrency.
+  unsigned num_shards = 0;
+  /// Canonical-cache entries; 0 disables the cache.
+  std::size_t cache_capacity = 1024;
+  /// Coalesce same-shape queued requests into one embed.
+  bool enable_batching = true;
+  /// Re-validate every cache-served embedding (O(n)); off by default —
+  /// the digest is 64-bit and entries store verified metrics.
+  bool verify_hits = false;
+  /// Guest nodes per host vertex for T1 (Theorems 2/3 fix 16).
+  NodeId load = 16;
+  /// Start with workers paused; resume() begins service.  Gives tests
+  /// and trace replays a deterministic queue state.
+  bool start_paused = false;
+  /// Receives one line per notable event (rejection, expiry, failure,
+  /// shutdown summary), same contract as XTreeEmbedder's sink.
+  std::function<void(const std::string&)> diagnostic_sink;
+};
+
+/// Snapshot of the service counters (all values since construction).
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;       // answered kOk
+  std::uint64_t rejected_full = 0;   // backpressure at submit
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t expired = 0;         // deadline passed in queue
+  std::uint64_t failed = 0;
+  std::uint64_t cache_hits = 0;      // responses served by remap
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_insertions = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t coalesced = 0;       // responses served by a batch peer
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  std::size_t cache_size = 0;
+  std::size_t pool_queue_depth = 0;  // shared ThreadPool gauge
+  unsigned num_shards = 0;
+  double p50_ms = 0.0;   // end-to-end latency of answered requests
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+  double uptime_s = 0.0;
+  double throughput_rps = 0.0;  // completed / uptime
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+class EmbeddingService {
+ public:
+  explicit EmbeddingService(ServiceConfig config = {});
+  /// Drains the queue, then joins the shards.
+  ~EmbeddingService();
+
+  EmbeddingService(const EmbeddingService&) = delete;
+  EmbeddingService& operator=(const EmbeddingService&) = delete;
+
+  /// Submits a request.  Always returns a future that will hold
+  /// exactly one response; on backpressure or shutdown the future is
+  /// already ready with the rejection.
+  std::future<EmbedResponse> submit(EmbedRequest request);
+
+  /// Pauses / resumes the shards (queued requests are retained; submit
+  /// keeps admitting until the queue fills).
+  void pause();
+  void resume();
+
+  /// Stops the service.  drain=true serves the queue first; false
+  /// answers every queued request kRejectedShutdown.  Idempotent.
+  void shutdown(bool drain = true);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] std::string stats_json() const { return stats().to_json(); }
+
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    BinaryTree tree;
+    Theorem theorem = Theorem::kT1;
+    std::int32_t priority = 0;
+    ServiceClock::time_point deadline{};
+    ServiceClock::time_point enqueued{};
+    CanonicalForm canon;
+    std::promise<EmbedResponse> promise;
+  };
+
+  struct Computed {
+    Embedding embedding{0, 0};
+    VertexId host_vertices = 0;
+    std::int32_t host_height = 0;
+    std::int32_t dilation = 0;
+    NodeId load_factor = 0;
+  };
+
+  void shard_loop();
+  void process_group(std::vector<Pending> group,
+                     XTreeEmbedder::EmbedArena& arena);
+  Computed compute(const BinaryTree& tree, Theorem theorem,
+                   XTreeEmbedder::EmbedArena& arena) const;
+  void respond(Pending& p, EmbedResponse response);
+  void diag(const std::string& line) const;
+
+  ServiceConfig config_;
+  std::unique_ptr<CanonicalCache> cache_;  // null when disabled
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::list<Pending> queue_;  // descending priority, FIFO within
+  bool paused_ = false;
+  bool stopping_ = false;
+  bool drain_ = true;
+  std::vector<std::thread> shards_;
+
+  mutable std::mutex stats_mu_;
+  ServiceStats counters_;  // queue/latency fields filled on snapshot
+  LatencyReservoir latency_;
+  std::uint64_t served_seq_ = 0;
+  ServiceClock::time_point start_;
+};
+
+}  // namespace xt

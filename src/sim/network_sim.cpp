@@ -9,10 +9,22 @@ namespace xt {
 
 NetworkSim::NetworkSim(const Graph& host, const BinaryTree& guest,
                        const Embedding& emb, SimConfig config)
-    : host_(host), guest_(guest), emb_(emb), config_(config) {
+    : host_(&host), guest_(&guest), emb_(&emb), config_(config) {
   XT_CHECK(emb.complete());
   XT_CHECK(emb.num_host_vertices() == host.num_vertices());
   XT_CHECK(config_.proc_capacity >= 1 && config_.link_capacity >= 1);
+}
+
+NetworkSim NetworkSim::make_owned(Graph host, BinaryTree guest, Embedding emb,
+                                  SimConfig config) {
+  auto h = std::make_shared<const Graph>(std::move(host));
+  auto g = std::make_shared<const BinaryTree>(std::move(guest));
+  auto e = std::make_shared<const Embedding>(std::move(emb));
+  NetworkSim sim(*h, *g, *e, config);
+  sim.owned_host_ = std::move(h);
+  sim.owned_guest_ = std::move(g);
+  sim.owned_emb_ = std::move(e);
+  return sim;
 }
 
 std::int32_t NetworkSim::route_between(VertexId a, VertexId b) {
@@ -21,7 +33,7 @@ std::int32_t NetworkSim::route_between(VertexId a, VertexId b) {
       static_cast<std::uint32_t>(b);
   const auto it = route_cache_.find(key);
   if (it != route_cache_.end()) return it->second;
-  auto path = route_fn_ ? route_fn_(a, b) : bfs_shortest_path(host_, a, b);
+  auto path = route_fn_ ? route_fn_(a, b) : bfs_shortest_path(*host_, a, b);
   XT_CHECK(!path.empty());
   XT_CHECK(path.front() == a && path.back() == b);
   const auto id = static_cast<std::int32_t>(routes_.size());
@@ -31,7 +43,7 @@ std::int32_t NetworkSim::route_between(VertexId a, VertexId b) {
 }
 
 SimResult NetworkSim::run_wave(Direction direction) {
-  const NodeId n = guest_.num_nodes();
+  const NodeId n = guest_->num_nodes();
   // pending[v]: messages still awaited before v may execute.
   std::vector<std::int32_t> pending(static_cast<std::size_t>(n), 0);
   std::vector<char> executed(static_cast<std::size_t>(n), 0);
@@ -39,16 +51,16 @@ SimResult NetworkSim::run_wave(Direction direction) {
 
   // Per-host FIFO of guest nodes ready to execute.
   std::vector<std::vector<NodeId>> ready(
-      static_cast<std::size_t>(host_.num_vertices()));
+      static_cast<std::size_t>(host_->num_vertices()));
   auto make_ready = [&](NodeId v) {
-    ready[static_cast<std::size_t>(emb_.host_of(v))].push_back(v);
+    ready[static_cast<std::size_t>(emb_->host_of(v))].push_back(v);
   };
 
   for (NodeId v = 0; v < n; ++v) {
     if (direction == Direction::kUp) {
-      pending[static_cast<std::size_t>(v)] = guest_.num_children(v);
+      pending[static_cast<std::size_t>(v)] = guest_->num_children(v);
     } else {
-      pending[static_cast<std::size_t>(v)] = v == guest_.root() ? 0 : 1;
+      pending[static_cast<std::size_t>(v)] = v == guest_->root() ? 0 : 1;
     }
     if (pending[static_cast<std::size_t>(v)] == 0) make_ready(v);
   }
@@ -57,11 +69,11 @@ SimResult NetworkSim::run_wave(Direction direction) {
   auto targets_of = [&](NodeId v, std::vector<NodeId>& out) {
     out.clear();
     if (direction == Direction::kUp) {
-      if (guest_.parent(v) != kInvalidNode) out.push_back(guest_.parent(v));
+      if (guest_->parent(v) != kInvalidNode) out.push_back(guest_->parent(v));
     } else {
       for (int w = 0; w < 2; ++w) {
-        if (guest_.child(v, w) != kInvalidNode)
-          out.push_back(guest_.child(v, w));
+        if (guest_->child(v, w) != kInvalidNode)
+          out.push_back(guest_->child(v, w));
       }
     }
   };
@@ -92,8 +104,8 @@ SimResult NetworkSim::run_wave(Direction direction) {
         targets_of(v, targets);
         for (NodeId t : targets) {
           ++result.messages;
-          const VertexId from = emb_.host_of(v);
-          const VertexId to = emb_.host_of(t);
+          const VertexId from = emb_->host_of(v);
+          const VertexId to = emb_->host_of(t);
           if (from == to) {
             delivered.push_back(t);  // intra-processor hand-over
           } else {
@@ -154,11 +166,11 @@ SimResult NetworkSim::run_unicast_batch(
   std::vector<Message> in_flight;
   std::int64_t pending_deliveries = 0;
   for (const auto& [src, dst] : messages) {
-    XT_CHECK(src >= 0 && src < guest_.num_nodes());
-    XT_CHECK(dst >= 0 && dst < guest_.num_nodes());
+    XT_CHECK(src >= 0 && src < guest_->num_nodes());
+    XT_CHECK(dst >= 0 && dst < guest_->num_nodes());
     ++result.messages;
-    const VertexId from = emb_.host_of(src);
-    const VertexId to = emb_.host_of(dst);
+    const VertexId from = emb_->host_of(src);
+    const VertexId to = emb_->host_of(dst);
     if (from == to) continue;  // co-located: free
     in_flight.push_back({dst, route_between(from, to), 0, 0});
     ++pending_deliveries;

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -36,10 +37,20 @@ struct SimResult {
 class NetworkSim {
  public:
   /// `emb` must be a complete embedding of `guest` into `host`'s
-  /// vertex set.  References are retained: all three arguments must
-  /// outlive the simulator (do not pass temporaries).
+  /// vertex set (checked on construction).
+  ///
+  /// WARNING — references are retained, NOT copied: all three
+  /// arguments must outlive the simulator.  Binding a temporary here
+  /// (e.g. `NetworkSim(x.to_graph(), ...)`) is a dangling-reference
+  /// bug; use make_owned for that call shape.
   NetworkSim(const Graph& host, const BinaryTree& guest, const Embedding& emb,
              SimConfig config = {});
+
+  /// Owning variant: moves/copies all three inputs into the simulator,
+  /// so temporaries and locals that go out of scope are safe.
+  [[nodiscard]] static NetworkSim make_owned(Graph host, BinaryTree guest,
+                                             Embedding emb,
+                                             SimConfig config = {});
 
   /// Route provider: given (from, to) host vertices returns a path
   /// inclusive of endpoints.  Default: BFS shortest paths on the host
@@ -83,9 +94,15 @@ class NetworkSim {
   /// routes_); identical host pairs share storage.
   std::int32_t route_between(VertexId a, VertexId b);
 
-  const Graph& host_;
-  const BinaryTree& guest_;
-  const Embedding& emb_;
+  // Owning storage, set only by make_owned; the pointers below always
+  // reference either these or the caller's objects.  Pointer (not
+  // reference) members keep the simulator movable.
+  std::shared_ptr<const Graph> owned_host_;
+  std::shared_ptr<const BinaryTree> owned_guest_;
+  std::shared_ptr<const Embedding> owned_emb_;
+  const Graph* host_;
+  const BinaryTree* guest_;
+  const Embedding* emb_;
   SimConfig config_;
   RouteFn route_fn_;
   std::vector<std::vector<VertexId>> routes_;

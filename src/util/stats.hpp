@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -72,6 +73,56 @@ class Summary {
   std::vector<double> samples_;
   mutable std::vector<double> sorted_samples_;
   mutable bool sorted_ = false;
+};
+
+/// Sliding-window reservoir for service latencies: retains the most
+/// recent `capacity` samples in a ring plus lifetime count / sum /
+/// max, so percentile queries stay O(window log window) and memory
+/// stays bounded over millions of requests.  (Summary retains every
+/// sample — right for bounded experiment sweeps, wrong for a
+/// long-running server.)  Not internally synchronised; the service
+/// guards it with its stats mutex.
+class LatencyReservoir {
+ public:
+  explicit LatencyReservoir(std::size_t capacity = 4096)
+      : ring_(capacity > 0 ? capacity : 1) {}
+
+  void add(double x) {
+    max_ = count_ == 0 ? x : std::max(max_, x);
+    sum_ += x;
+    ring_[static_cast<std::size_t>(count_ % ring_.size())] = x;
+    ++count_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Nearest-rank percentile (with interpolation) over the retained
+  /// window.  q in [0, 100].
+  [[nodiscard]] double percentile(double q) const {
+    if (count_ == 0) return 0.0;
+    const std::size_t window =
+        static_cast<std::size_t>(std::min<std::uint64_t>(count_, ring_.size()));
+    std::vector<double> sorted(ring_.begin(),
+                               ring_.begin() + static_cast<std::ptrdiff_t>(window));
+    std::sort(sorted.begin(), sorted.end());
+    const auto n = static_cast<double>(window);
+    const double rank = std::clamp(q / 100.0 * (n - 1), 0.0, n - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, window - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
+ private:
+  std::vector<double> ring_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
 };
 
 /// Histogram over small non-negative integer values (e.g. per-edge

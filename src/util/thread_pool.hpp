@@ -53,6 +53,14 @@ class ThreadPool {
     return static_cast<unsigned>(workers_.size());
   }
 
+  /// Block jobs currently enqueued (gauge; exported by the service
+  /// stats surface so operators can see pool pressure from shards
+  /// fanning metric audits into the shared pool).
+  [[nodiscard]] std::size_t queue_depth() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
   /// Process-wide pool shared by every parallel_for.  Sized to the
   /// parallel_for worker count minus one — the calling thread is
   /// always the extra worker.  Started on first use, joined at exit.

@@ -1,0 +1,176 @@
+// Tests for the AHU-style canonical tree digest (btree/canonical.hpp)
+// that keys the service cache: isomorphic trees must collide, distinct
+// shapes must not, and the digest must be a pure function of the shape
+// (stable across runs and processes).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "btree/canonical.hpp"
+#include "btree/generators.hpp"
+#include "core/xtree_embedder.hpp"
+#include "embedding/metrics.hpp"
+#include "topology/xtree.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+// Rebuilds `t` with the two children of every node swapped.
+BinaryTree mirrored(const BinaryTree& t) {
+  BinaryTree out = BinaryTree::single();
+  std::vector<std::pair<NodeId, NodeId>> stack{{t.root(), out.root()}};
+  while (!stack.empty()) {
+    const auto [ov, nv] = stack.back();
+    stack.pop_back();
+    // Insert the right child first so it lands in the new node's
+    // first child slot.
+    for (int w : {1, 0}) {
+      const NodeId c = t.child(ov, w);
+      if (c != kInvalidNode) stack.emplace_back(c, out.add_child(nv));
+    }
+  }
+  return out;
+}
+
+// Rebuilds `t` with children randomly swapped per node.
+BinaryTree shuffled(const BinaryTree& t, Rng& rng) {
+  BinaryTree out = BinaryTree::single();
+  std::vector<std::pair<NodeId, NodeId>> stack{{t.root(), out.root()}};
+  while (!stack.empty()) {
+    const auto [ov, nv] = stack.back();
+    stack.pop_back();
+    const bool swap = rng.below(2) == 1;
+    for (int w : {1, 0}) {
+      const NodeId c = t.child(ov, swap ? 1 - w : w);
+      if (c != kInvalidNode) stack.emplace_back(c, out.add_child(nv));
+    }
+  }
+  return out;
+}
+
+TEST(CanonicalHash, MirroredTreesCollide) {
+  Rng rng(900);
+  for (const auto& family : tree_family_names()) {
+    const BinaryTree t = make_family_tree(family, 1008, rng);
+    const BinaryTree m = mirrored(t);
+    EXPECT_EQ(canonical_hash(t), canonical_hash(m)) << family;
+  }
+}
+
+TEST(CanonicalHash, ChildOrderPermutationsCollide) {
+  Rng rng(901);
+  for (const auto& family : tree_family_names()) {
+    const BinaryTree t = make_family_tree(family, 1008, rng);
+    for (int trial = 0; trial < 3; ++trial) {
+      const BinaryTree s = shuffled(t, rng);
+      EXPECT_EQ(canonical_hash(t), canonical_hash(s))
+          << family << " trial " << trial;
+    }
+  }
+}
+
+TEST(CanonicalHash, AllFamiliesDistinctAtLargeN) {
+  // The 9 generator families at n ~ 1008 all have different unordered
+  // shapes; their digests must be pairwise distinct.
+  Rng rng(902);
+  std::map<std::uint64_t, std::string> seen;
+  for (const auto& family : tree_family_names()) {
+    const BinaryTree t = make_family_tree(family, 1008, rng);
+    const auto h = canonical_hash(t);
+    const auto [it, inserted] = seen.emplace(h, family);
+    EXPECT_TRUE(inserted) << family << " collides with " << it->second;
+  }
+  EXPECT_EQ(seen.size(), tree_family_names().size());
+}
+
+TEST(CanonicalHash, DistinguishesCloseShapes) {
+  Rng rng(903);
+  // Same node count, slightly different shape.
+  EXPECT_NE(canonical_hash(make_comb_tree(1008, 2)),
+            canonical_hash(make_comb_tree(1008, 3)));
+  EXPECT_NE(canonical_hash(make_path_tree(1008)),
+            canonical_hash(make_caterpillar_tree(1008)));
+  // Different node count, same family.
+  EXPECT_NE(canonical_hash(make_path_tree(1008)),
+            canonical_hash(make_path_tree(1009)));
+}
+
+TEST(CanonicalHash, StableAcrossRunsGoldenValues) {
+  // The digest is a pure function of the shape — no addresses, no
+  // per-process salt.  These constants pin it; a change here is a
+  // cache-format break (bump docs/service.md if intentional).
+  EXPECT_EQ(canonical_hash(BinaryTree::single()), 0x2a4c004b6ae97d7fULL);
+  EXPECT_EQ(canonical_hash(make_path_tree(10)), 0x681e819f0b5d2b55ULL);
+  EXPECT_EQ(canonical_hash(make_complete_tree(3)), 0x8ecb22da59c0ff83ULL);
+  EXPECT_EQ(ordered_hash(make_comb_tree(16, 2)), 0x9dc17de79e08aa53ULL);
+}
+
+TEST(CanonicalHash, OrderedHashDistinguishesMirrors) {
+  // An asymmetric shape: ordered digest separates the mirror, the
+  // canonical digest identifies it.
+  const BinaryTree t = make_comb_tree(64, 2);
+  const BinaryTree m = mirrored(t);
+  EXPECT_NE(ordered_hash(t), ordered_hash(m));
+  EXPECT_EQ(canonical_hash(t), canonical_hash(m));
+  // A mirror-symmetric shape: both digests agree with the mirror.
+  const BinaryTree c = make_complete_tree(4);
+  EXPECT_EQ(ordered_hash(c), ordered_hash(mirrored(c)));
+}
+
+TEST(CanonicalForm, HashMatchesCanonicalHash) {
+  Rng rng(904);
+  const BinaryTree t = make_random_tree(500, rng);
+  EXPECT_EQ(canonical_form(t).hash, canonical_hash(t));
+}
+
+TEST(CanonicalForm, RelabellingIsAPermutation) {
+  Rng rng(905);
+  const BinaryTree t = make_random_tree(777, rng);
+  const auto form = canonical_form(t);
+  std::vector<char> hit(static_cast<std::size_t>(t.num_nodes()), 0);
+  for (NodeId v = 0; v < t.num_nodes(); ++v) {
+    const NodeId c = form.to_canonical[static_cast<std::size_t>(v)];
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, t.num_nodes());
+    EXPECT_EQ(hit[static_cast<std::size_t>(c)], 0);
+    hit[static_cast<std::size_t>(c)] = 1;
+  }
+}
+
+TEST(CanonicalForm, TransfersEmbeddingsBetweenIsomorphicTrees) {
+  // The cache mechanics end to end: embed T, store the assignment by
+  // canonical id, remap onto an isomorphic T' — the result must be a
+  // valid embedding of T' with identical dilation and load.
+  Rng rng(906);
+  const BinaryTree t = make_random_tree(496, rng);
+  const BinaryTree s = shuffled(t, rng);
+  ASSERT_EQ(canonical_hash(t), canonical_hash(s));
+
+  const auto res = XTreeEmbedder::embed(t);
+  const XTree host(res.stats.height);
+  const auto t_dil = dilation_xtree(t, res.embedding, host);
+
+  const auto form_t = canonical_form(t);
+  const auto form_s = canonical_form(s);
+  std::vector<VertexId> by_canonical(static_cast<std::size_t>(t.num_nodes()));
+  for (NodeId v = 0; v < t.num_nodes(); ++v) {
+    by_canonical[static_cast<std::size_t>(
+        form_t.to_canonical[static_cast<std::size_t>(v)])] =
+        res.embedding.host_of(v);
+  }
+  Embedding remapped(s.num_nodes(), host.num_vertices());
+  for (NodeId v = 0; v < s.num_nodes(); ++v) {
+    remapped.place(v, by_canonical[static_cast<std::size_t>(
+                          form_s.to_canonical[static_cast<std::size_t>(v)])]);
+  }
+  validate_embedding(s, remapped, res.embedding.load_factor());
+  const auto s_dil = dilation_xtree(s, remapped, host);
+  EXPECT_EQ(s_dil.max, t_dil.max);
+  EXPECT_EQ(remapped.load_factor(), res.embedding.load_factor());
+}
+
+}  // namespace
+}  // namespace xt

@@ -45,6 +45,35 @@ TEST(DynamicEmbedder, RefusesGrowthWhenFull) {
   EXPECT_THROW(dyn.add_leaf(tip), check_error);
 }
 
+TEST(DynamicEmbedder, TryAddLeafReportsHostFullWithoutMutation) {
+  for (std::int32_t r : {0, 1}) {  // the full-host path at small r
+    DynamicEmbedder dyn(r);
+    NodeId tip = 0;
+    while (dyn.free_capacity() > 0) tip = dyn.add_leaf(tip);
+    const NodeId n_before = dyn.guest().num_nodes();
+    const auto res = dyn.try_add_leaf(tip);
+    EXPECT_FALSE(res.ok());
+    EXPECT_EQ(res.error, DynamicEmbedder::GrowthError::kHostFull);
+    EXPECT_EQ(res.leaf, kInvalidNode);
+    // A failed growth leaves the embedder untouched and still valid.
+    EXPECT_EQ(dyn.guest().num_nodes(), n_before);
+    EXPECT_EQ(dyn.free_capacity(), 0);
+    validate_embedding(dyn.guest(), dyn.snapshot(), 16);
+  }
+}
+
+TEST(DynamicEmbedder, TryAddLeafReportsParentSlotsFull) {
+  DynamicEmbedder dyn(2);
+  const NodeId a = dyn.add_leaf(0);
+  dyn.add_leaf(0);  // root now has two children
+  const auto res = dyn.try_add_leaf(0);
+  EXPECT_EQ(res.error, DynamicEmbedder::GrowthError::kParentSlotsFull);
+  EXPECT_EQ(res.leaf, kInvalidNode);
+  EXPECT_THROW(dyn.add_leaf(0), check_error);
+  // A parent with a free slot still grows fine afterwards.
+  EXPECT_TRUE(dyn.try_add_leaf(a).ok());
+}
+
 TEST(DynamicEmbedder, BalancedGrowthKeepsDilationModerate) {
   // Breadth-first growth (a balanced divide & conquer) stays at a
   // moderate dilation under the greedy online rule — well below the

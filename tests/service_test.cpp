@@ -1,0 +1,384 @@
+// End-to-end tests of the embedding service engine (src/service/):
+// correctness of served embeddings, cache hits via canonical remap,
+// batch coalescing, explicit backpressure, deadlines, priorities,
+// shutdown semantics and the stats surface.  Deterministic scheduling
+// comes from ServiceConfig::start_paused + pause()/resume().
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "btree/generators.hpp"
+#include "embedding/metrics.hpp"
+#include "service/service.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/xtree.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+using namespace std::chrono_literals;
+
+EmbedRequest request_for(BinaryTree tree, Theorem theorem = Theorem::kT1,
+                         std::int32_t priority = 0) {
+  EmbedRequest req;
+  req.tree = std::move(tree);
+  req.theorem = theorem;
+  req.priority = priority;
+  return req;
+}
+
+TEST(EmbeddingService, ServesValidTheorem1Embedding) {
+  Rng rng(700);
+  const BinaryTree tree = make_random_tree(16 * 31, rng);  // r = 4 exact
+  ServiceConfig cfg;
+  cfg.num_shards = 2;
+  EmbeddingService svc(cfg);
+  auto fut = svc.submit(request_for(tree));
+  const EmbedResponse res = fut.get();
+  ASSERT_EQ(res.status, RequestStatus::kOk) << res.reason;
+  ASSERT_TRUE(res.embedding.has_value());
+  EXPECT_LE(res.dilation, 3);
+  EXPECT_LE(res.load_factor, 16);
+  EXPECT_FALSE(res.cache_hit);
+  EXPECT_GE(res.latency_ms, 0.0);
+  validate_embedding(tree, *res.embedding, 16);
+  const XTree host(res.host_height);
+  EXPECT_EQ(dilation_xtree(tree, *res.embedding, host).max, res.dilation);
+}
+
+TEST(EmbeddingService, Theorem2IsInjective) {
+  Rng rng(701);
+  const BinaryTree tree = make_random_tree(300, rng);
+  ServiceConfig cfg;
+  cfg.num_shards = 1;
+  EmbeddingService svc(cfg);
+  const EmbedResponse res = svc.submit(request_for(tree, Theorem::kT2)).get();
+  ASSERT_EQ(res.status, RequestStatus::kOk) << res.reason;
+  EXPECT_EQ(res.load_factor, 1);  // injective
+  EXPECT_LE(res.dilation, 11);
+  validate_embedding(tree, *res.embedding, 1);
+}
+
+TEST(EmbeddingService, Theorem3HitsHypercube) {
+  Rng rng(702);
+  const BinaryTree tree = make_random_tree(16 * 15, rng);
+  ServiceConfig cfg;
+  cfg.num_shards = 1;
+  EmbeddingService svc(cfg);
+  const EmbedResponse res = svc.submit(request_for(tree, Theorem::kT3)).get();
+  ASSERT_EQ(res.status, RequestStatus::kOk) << res.reason;
+  EXPECT_LE(res.dilation, 4);
+  validate_embedding(tree, *res.embedding, 16);
+  const Hypercube host(res.host_height);
+  EXPECT_EQ(dilation_hypercube(tree, *res.embedding, host).max, res.dilation);
+}
+
+TEST(EmbeddingService, CacheHitsOnIsomorphicRepeat) {
+  // Batching off so the second submit is served by the cache, not
+  // coalesced with the first.
+  Rng rng(703);
+  const BinaryTree tree = make_random_tree(496, rng);
+  // An isomorphic variant: mirror every node by rebuilding with child
+  // order swapped.
+  BinaryTree mirror = BinaryTree::single();
+  {
+    std::vector<std::pair<NodeId, NodeId>> stack{{tree.root(), mirror.root()}};
+    while (!stack.empty()) {
+      const auto [ov, nv] = stack.back();
+      stack.pop_back();
+      for (int w : {0, 1}) {
+        const NodeId c = tree.child(ov, w);
+        if (c != kInvalidNode) stack.emplace_back(c, mirror.add_child(nv));
+      }
+    }
+  }
+  ServiceConfig cfg;
+  cfg.num_shards = 1;
+  cfg.enable_batching = false;
+  EmbeddingService svc(cfg);
+  const EmbedResponse first = svc.submit(request_for(tree)).get();
+  ASSERT_EQ(first.status, RequestStatus::kOk) << first.reason;
+  EXPECT_FALSE(first.cache_hit);
+
+  const EmbedResponse again = svc.submit(request_for(tree)).get();
+  ASSERT_EQ(again.status, RequestStatus::kOk) << again.reason;
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(again.dilation, first.dilation);
+  validate_embedding(tree, *again.embedding, 16);
+
+  const EmbedResponse iso = svc.submit(request_for(mirror)).get();
+  ASSERT_EQ(iso.status, RequestStatus::kOk) << iso.reason;
+  EXPECT_TRUE(iso.cache_hit);
+  EXPECT_EQ(iso.dilation, first.dilation);
+  validate_embedding(mirror, *iso.embedding, 16);
+
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.cache_hits, 2u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_insertions, 1u);
+}
+
+TEST(EmbeddingService, VerifyHitsModeRevalidates) {
+  Rng rng(704);
+  const BinaryTree tree = make_random_tree(200, rng);
+  ServiceConfig cfg;
+  cfg.num_shards = 1;
+  cfg.enable_batching = false;
+  cfg.verify_hits = true;
+  EmbeddingService svc(cfg);
+  ASSERT_EQ(svc.submit(request_for(tree)).get().status, RequestStatus::kOk);
+  const EmbedResponse hit = svc.submit(request_for(tree)).get();
+  ASSERT_EQ(hit.status, RequestStatus::kOk) << hit.reason;
+  EXPECT_TRUE(hit.cache_hit);
+}
+
+TEST(EmbeddingService, BatchingCoalescesSameShape) {
+  // Queue five identical shapes while paused; one resume must produce
+  // exactly one embed (one miss) and four coalesced responses.
+  Rng rng(705);
+  const BinaryTree tree = make_random_tree(300, rng);
+  ServiceConfig cfg;
+  cfg.num_shards = 1;
+  cfg.cache_capacity = 0;  // isolate the batcher
+  cfg.enable_batching = true;
+  cfg.start_paused = true;
+  EmbeddingService svc(cfg);
+  std::vector<std::future<EmbedResponse>> futs;
+  for (int i = 0; i < 5; ++i) futs.push_back(svc.submit(request_for(tree)));
+  svc.resume();
+  int coalesced = 0;
+  for (auto& f : futs) {
+    const EmbedResponse res = f.get();
+    ASSERT_EQ(res.status, RequestStatus::kOk) << res.reason;
+    validate_embedding(tree, *res.embedding, 16);
+    coalesced += res.coalesced ? 1 : 0;
+  }
+  EXPECT_EQ(coalesced, 4);
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.coalesced, 4u);
+  EXPECT_EQ(stats.completed, 5u);
+}
+
+TEST(EmbeddingService, BackpressureRejectsExplicitly) {
+  // Paused service, capacity 3: submits 4 and 5 must come back already
+  // resolved as kRejectedQueueFull with a reason, and the accounting
+  // must show zero silent drops.
+  Rng rng(706);
+  std::vector<std::string> diags;
+  ServiceConfig cfg;
+  cfg.queue_capacity = 3;
+  cfg.num_shards = 1;
+  cfg.start_paused = true;
+  cfg.diagnostic_sink = [&diags](const std::string& line) {
+    diags.push_back(line);
+  };
+  EmbeddingService svc(cfg);
+  std::vector<std::future<EmbedResponse>> futs;
+  for (int i = 0; i < 5; ++i)
+    futs.push_back(svc.submit(request_for(make_random_tree(50, rng))));
+  int rejected = 0;
+  for (std::size_t i = 3; i < 5; ++i) {
+    ASSERT_EQ(futs[i].wait_for(0s), std::future_status::ready);
+    const EmbedResponse res = futs[i].get();
+    EXPECT_EQ(res.status, RequestStatus::kRejectedQueueFull);
+    EXPECT_NE(res.reason.find("queue full"), std::string::npos) << res.reason;
+    ++rejected;
+  }
+  EXPECT_EQ(rejected, 2);
+  EXPECT_FALSE(diags.empty());
+
+  svc.resume();
+  std::uint64_t answered = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(futs[i].get().status, RequestStatus::kOk);
+    ++answered;
+  }
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 5u);
+  EXPECT_EQ(stats.rejected_full, 2u);
+  EXPECT_EQ(stats.completed, answered);
+  // Every submitted request is accounted for — nothing silently lost.
+  EXPECT_EQ(stats.submitted, stats.completed + stats.rejected_full +
+                                 stats.rejected_shutdown + stats.expired +
+                                 stats.failed);
+}
+
+TEST(EmbeddingService, DeadlineExpiresInQueue) {
+  Rng rng(707);
+  ServiceConfig cfg;
+  cfg.num_shards = 1;
+  cfg.start_paused = true;
+  EmbeddingService svc(cfg);
+  EmbedRequest req = request_for(make_random_tree(50, rng));
+  req.deadline = ServiceClock::now() - 1ms;  // already past
+  auto fut = svc.submit(std::move(req));
+  svc.resume();
+  const EmbedResponse res = fut.get();
+  EXPECT_EQ(res.status, RequestStatus::kExpiredDeadline);
+  EXPECT_FALSE(res.reason.empty());
+  EXPECT_EQ(svc.stats().expired, 1u);
+}
+
+TEST(EmbeddingService, PriorityOrdersService) {
+  // One shard, paused: queue low/high/mid, then resume.  served_seq
+  // must follow priority order (high=3, mid=2, low=1).
+  Rng rng(708);
+  ServiceConfig cfg;
+  cfg.num_shards = 1;
+  cfg.enable_batching = false;
+  cfg.start_paused = true;
+  EmbeddingService svc(cfg);
+  auto low = svc.submit(request_for(make_random_tree(40, rng), Theorem::kT1, 0));
+  auto high =
+      svc.submit(request_for(make_random_tree(41, rng), Theorem::kT1, 9));
+  auto mid =
+      svc.submit(request_for(make_random_tree(42, rng), Theorem::kT1, 5));
+  svc.resume();
+  const std::uint64_t s_high = high.get().served_seq;
+  const std::uint64_t s_mid = mid.get().served_seq;
+  const std::uint64_t s_low = low.get().served_seq;
+  EXPECT_LT(s_high, s_mid);
+  EXPECT_LT(s_mid, s_low);
+}
+
+TEST(EmbeddingService, AbortShutdownAnswersEveryPending) {
+  Rng rng(709);
+  ServiceConfig cfg;
+  cfg.num_shards = 1;
+  cfg.start_paused = true;
+  EmbeddingService svc(cfg);
+  std::vector<std::future<EmbedResponse>> futs;
+  for (int i = 0; i < 4; ++i)
+    futs.push_back(svc.submit(request_for(make_random_tree(60, rng))));
+  svc.shutdown(/*drain=*/false);
+  for (auto& f : futs) {
+    const EmbedResponse res = f.get();
+    EXPECT_EQ(res.status, RequestStatus::kRejectedShutdown);
+    EXPECT_FALSE(res.reason.empty());
+  }
+  EXPECT_EQ(svc.stats().rejected_shutdown, 4u);
+  // Submitting after shutdown is answered immediately, never queued.
+  const EmbedResponse late =
+      svc.submit(request_for(make_random_tree(10, rng))).get();
+  EXPECT_EQ(late.status, RequestStatus::kRejectedShutdown);
+}
+
+TEST(EmbeddingService, DrainShutdownServesEveryPending) {
+  Rng rng(710);
+  std::vector<std::future<EmbedResponse>> futs;
+  {
+    ServiceConfig cfg;
+    cfg.num_shards = 2;
+    cfg.start_paused = true;
+    EmbeddingService svc(cfg);
+    for (int i = 0; i < 6; ++i)
+      futs.push_back(svc.submit(request_for(make_random_tree(80, rng))));
+    svc.resume();
+    // Destructor drains.
+  }
+  for (auto& f : futs) EXPECT_EQ(f.get().status, RequestStatus::kOk);
+}
+
+TEST(EmbeddingService, StatsJsonCarriesTheSurface) {
+  Rng rng(711);
+  ServiceConfig cfg;
+  cfg.num_shards = 1;
+  EmbeddingService svc(cfg);
+  ASSERT_EQ(svc.submit(request_for(make_random_tree(100, rng))).get().status,
+            RequestStatus::kOk);
+  const std::string json = svc.stats_json();
+  for (const char* key :
+       {"\"submitted\"", "\"completed\"", "\"rejected_full\"", "\"expired\"",
+        "\"cache_hits\"", "\"cache_hit_rate\"", "\"coalesced\"",
+        "\"queue_depth\"", "\"queue_capacity\"", "\"p50_ms\"", "\"p99_ms\"",
+        "\"throughput_rps\"", "\"num_shards\"", "\"pool_queue_depth\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing\n"
+                                                 << json;
+  }
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_GT(stats.throughput_rps, 0.0);
+  EXPECT_GE(stats.p99_ms, stats.p50_ms);
+}
+
+TEST(EmbeddingService, ManyConcurrentMixedRequests) {
+  // A burst across all three theorems and several shapes; everything
+  // must come back kOk and structurally valid.
+  Rng rng(712);
+  ServiceConfig cfg;
+  cfg.queue_capacity = 512;
+  cfg.num_shards = 3;
+  EmbeddingService svc(cfg);
+  struct Item {
+    BinaryTree tree;
+    Theorem theorem;
+    std::future<EmbedResponse> fut;
+  };
+  std::vector<Item> items;
+  const Theorem theorems[] = {Theorem::kT1, Theorem::kT2, Theorem::kT3};
+  for (int i = 0; i < 24; ++i) {
+    BinaryTree tree = make_random_tree(60 + 10 * (i % 5), rng);
+    const Theorem theorem = theorems[i % 3];
+    auto fut = svc.submit(request_for(tree, theorem));
+    items.push_back({std::move(tree), theorem, std::move(fut)});
+  }
+  for (auto& item : items) {
+    const EmbedResponse res = item.fut.get();
+    ASSERT_EQ(res.status, RequestStatus::kOk) << res.reason;
+    validate_embedding(item.tree, *res.embedding,
+                       item.theorem == Theorem::kT2 ? 1 : 16);
+  }
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.completed, 24u);
+  EXPECT_EQ(stats.submitted,
+            stats.completed + stats.rejected_full + stats.rejected_shutdown +
+                stats.expired + stats.failed);
+}
+
+TEST(ServiceVocabulary, TheoremNamesRoundTrip) {
+  for (Theorem t : {Theorem::kT1, Theorem::kT2, Theorem::kT3}) {
+    const auto parsed = parse_theorem(theorem_name(t));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, t);
+  }
+  EXPECT_FALSE(parse_theorem("T9").has_value());
+}
+
+TEST(CanonicalCache, LruEvictsLeastRecentlyUsed) {
+  CanonicalCache cache(2);
+  const CacheKey a{1, 10, Theorem::kT1, 16};
+  const CacheKey b{2, 10, Theorem::kT1, 16};
+  const CacheKey c{3, 10, Theorem::kT1, 16};
+  CachedEmbedding entry;
+  entry.host_vertices = 1;
+  cache.insert(a, entry);
+  cache.insert(b, entry);
+  ASSERT_NE(cache.lookup(a), nullptr);  // refreshes a; b is now LRU
+  cache.insert(c, entry);               // evicts b
+  EXPECT_NE(cache.lookup(a), nullptr);
+  EXPECT_EQ(cache.lookup(b), nullptr);
+  EXPECT_NE(cache.lookup(c), nullptr);
+  const auto counters = cache.counters();
+  EXPECT_EQ(counters.evictions, 1u);
+  EXPECT_EQ(counters.insertions, 3u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(CanonicalCache, KeyDiscriminatesTheoremAndLoad) {
+  CanonicalCache cache(8);
+  CachedEmbedding entry;
+  cache.insert({7, 10, Theorem::kT1, 16}, entry);
+  EXPECT_EQ(cache.lookup({7, 10, Theorem::kT2, 16}), nullptr);
+  EXPECT_EQ(cache.lookup({7, 10, Theorem::kT1, 8}), nullptr);
+  EXPECT_EQ(cache.lookup({7, 11, Theorem::kT1, 16}), nullptr);
+  EXPECT_NE(cache.lookup({7, 10, Theorem::kT1, 16}), nullptr);
+}
+
+}  // namespace
+}  // namespace xt

@@ -8,6 +8,8 @@
 #include "topology/xtree_router.hpp"
 
 #include <memory>
+#include <utility>
+
 #include "util/rng.hpp"
 
 namespace xt {
@@ -21,6 +23,39 @@ TEST(NetworkSim, SingleNodeWorkloads) {
   NetworkSim sim(host, guest, id);
   EXPECT_EQ(sim.run_reduction().cycles, 1);
   EXPECT_EQ(sim.run_broadcast().cycles, 1);
+}
+
+TEST(NetworkSim, MakeOwnedSurvivesTemporariesAndMoves) {
+  // The reference-retaining constructor would dangle here: every
+  // input is a temporary or dead local by the time the sim runs.
+  Rng rng(82);
+  auto build = [&] {
+    BinaryTree guest = make_random_tree(50, rng);
+    auto res = XTreeEmbedder::embed(guest);
+    const XTree xtree(res.stats.height);
+    return NetworkSim::make_owned(xtree.to_graph(), std::move(guest),
+                                  std::move(res.embedding));
+  };
+  NetworkSim sim = build();          // inputs out of scope, sim owns copies
+  NetworkSim moved = std::move(sim); // and stays valid across moves
+  const SimResult r = moved.run_reduction();
+  EXPECT_EQ(r.messages, 49);
+  EXPECT_GT(r.cycles, 0);
+}
+
+TEST(NetworkSim, MakeOwnedMatchesReferenceConstructor) {
+  Rng rng(83);
+  const BinaryTree guest = make_random_tree(100, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  const XTree xtree(res.stats.height);
+  const Graph host = xtree.to_graph();
+  NetworkSim by_ref(host, guest, res.embedding);
+  NetworkSim owned = NetworkSim::make_owned(host, guest, res.embedding);
+  const SimResult a = by_ref.run_reduction();
+  const SimResult b = owned.run_reduction();
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.total_hops, b.total_hops);
 }
 
 TEST(NetworkSim, IdealReductionOnCompleteTree) {
