@@ -1,10 +1,24 @@
 #!/usr/bin/env bash
-# Runs the perf benchmark suite and writes BENCH_1.json (PR 1 kernel
-# numbers, google-benchmark JSON format) plus BENCH_2.json (PR 2
-# service engine: saturation throughput cache on/off, hit-rate sweep,
-# open-loop latency + 2x-overload backpressure) at the repo root.
+# Runs the perf benchmark suite and writes, at the repo root:
+#   BENCH_1.json  PR 1 kernel numbers (google-benchmark JSON format)
+#   BENCH_2.json  PR 2 service engine (saturation throughput cache
+#                 on/off, hit-rate sweep, open-loop latency +
+#                 2x-overload backpressure)
+#   BENCH_3.json  PR 3 single-embed scaling (intra-embed parallel
+#                 SPLIT sweep: per-budget wall times, bit-identity
+#                 check, measured sweep share + modeled 8-worker
+#                 speedup)
 #
-# Usage:  bench/run_perf.sh [build-dir] [extra benchmark args...]
+# Usage:  bench/run_perf.sh [--compare BASELINE.json] [--smoke]
+#                           [build-dir] [extra benchmark args...]
+#
+#   --compare BASELINE.json   After the run, compare the fresh
+#       BENCH_1.json against a baseline from an earlier run (same
+#       google-benchmark JSON format).  Exits non-zero if any matching
+#       benchmark's real_time regressed by more than 10%; intended as
+#       a local gate.  CI runs it warn-only (the shared runners are
+#       too noisy to fail the build on).
+#   --smoke   CI-sized run (shorter min time, smaller scaling bench).
 #
 # The interesting counters:
 #   BM_XTreeDistance / BM_XTreeDistanceOracle  - items_per_second ratio
@@ -16,8 +30,26 @@
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build}"
-shift || true
+
+baseline=""
+smoke=0
+args=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --compare)
+      [[ $# -ge 2 ]] || { echo "error: --compare needs a file" >&2; exit 2; }
+      baseline="$2"; shift 2 ;;
+    --compare=*)
+      baseline="${1#--compare=}"; shift ;;
+    --smoke)
+      smoke=1; shift ;;
+    *)
+      args+=("$1"); shift ;;
+  esac
+done
+
+build_dir="${args[0]:-$repo_root/build}"
+if [[ ${#args[@]} -gt 0 ]]; then args=("${args[@]:1}"); fi
 
 bench_bin="$build_dir/bench/bench_perf"
 if [[ ! -x "$bench_bin" ]]; then
@@ -26,13 +58,16 @@ if [[ ! -x "$bench_bin" ]]; then
   exit 1
 fi
 
+min_time=0.3
+[[ $smoke -eq 1 ]] && min_time=0.05
+
 out="$repo_root/BENCH_1.json"
 "$bench_bin" \
   --benchmark_format=json \
   --benchmark_out="$out" \
   --benchmark_out_format=json \
-  --benchmark_min_time=0.3 \
-  "$@" >/dev/null
+  --benchmark_min_time="$min_time" \
+  ${args[@]+"${args[@]}"} >/dev/null
 
 echo "wrote $out"
 
@@ -42,4 +77,61 @@ if [[ -x "$service_bin" ]]; then
   echo "wrote $repo_root/BENCH_2.json"
 else
   echo "warning: $service_bin not found; skipping BENCH_2.json" >&2
+fi
+
+parallel_bin="$build_dir/bench/bench_parallel"
+if [[ -x "$parallel_bin" ]]; then
+  smoke_flag=()
+  [[ $smoke -eq 1 ]] && smoke_flag=(--smoke)
+  "$parallel_bin" ${smoke_flag[@]+"${smoke_flag[@]}"} \
+    --json="$repo_root/BENCH_3.json" >/dev/null
+  echo "wrote $repo_root/BENCH_3.json"
+else
+  echo "warning: $parallel_bin not found; skipping BENCH_3.json" >&2
+fi
+
+if [[ -n "$baseline" ]]; then
+  if [[ ! -f "$baseline" ]]; then
+    echo "error: baseline $baseline not found" >&2
+    exit 2
+  fi
+  python3 - "$baseline" "$out" <<'PY'
+import json
+import sys
+
+THRESHOLD = 0.10  # fail on >10% real_time regression
+
+def times(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if repetitions used.
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
+    return out
+
+old, new = times(sys.argv[1]), times(sys.argv[2])
+shared = sorted(set(old) & set(new))
+if not shared:
+    print("compare: no benchmarks in common; nothing to gate", file=sys.stderr)
+    sys.exit(2)
+
+regressed = []
+for name in shared:
+    (t_old, unit), (t_new, _) = old[name], new[name]
+    ratio = t_new / t_old if t_old > 0 else float("inf")
+    flag = " <-- REGRESSED" if ratio > 1.0 + THRESHOLD else ""
+    print(f"  {name}: {t_old:.1f} -> {t_new:.1f} {unit} "
+          f"({(ratio - 1.0) * 100.0:+.1f}%){flag}")
+    if flag:
+        regressed.append(name)
+
+if regressed:
+    print(f"compare: {len(regressed)}/{len(shared)} benchmarks regressed "
+          f"by more than {THRESHOLD:.0%}", file=sys.stderr)
+    sys.exit(1)
+print(f"compare: OK ({len(shared)} benchmarks within {THRESHOLD:.0%})")
+PY
 fi

@@ -9,21 +9,21 @@ namespace xt {
 BinaryTree BinaryTree::single() {
   BinaryTree t;
   t.parent_.push_back(kInvalidNode);
-  t.child_.push_back({kInvalidNode, kInvalidNode});
+  t.left_.push_back(kInvalidNode);
+  t.right_.push_back(kInvalidNode);
   return t;
 }
 
 NodeId BinaryTree::add_child(NodeId p) {
   XT_CHECK(p >= 0 && p < num_nodes());
-  XT_CHECK_MSG(child_[static_cast<std::size_t>(p)][0] == kInvalidNode ||
-                   child_[static_cast<std::size_t>(p)][1] == kInvalidNode,
+  const auto pi = static_cast<std::size_t>(p);
+  XT_CHECK_MSG(left_[pi] == kInvalidNode || right_[pi] == kInvalidNode,
                "node " << p << " already has two children");
   const NodeId v = num_nodes();
   parent_.push_back(p);
-  child_.push_back({kInvalidNode, kInvalidNode});
-  // Re-index after push_back: the vector may have reallocated.
-  auto& slots = child_[static_cast<std::size_t>(p)];
-  (slots[0] == kInvalidNode ? slots[0] : slots[1]) = v;
+  left_.push_back(kInvalidNode);
+  right_.push_back(kInvalidNode);
+  (left_[pi] == kInvalidNode ? left_[pi] : right_[pi]) = v;
   return v;
 }
 
@@ -36,8 +36,8 @@ std::vector<std::pair<NodeId, NodeId>> BinaryTree::edges() const {
 
 void BinaryTree::neighbors(NodeId v, std::vector<NodeId>& out) const {
   if (parent(v) != kInvalidNode) out.push_back(parent(v));
-  for (int w = 0; w < 2; ++w)
-    if (child(v, w) != kInvalidNode) out.push_back(child(v, w));
+  if (left(v) != kInvalidNode) out.push_back(left(v));
+  if (right(v) != kInvalidNode) out.push_back(right(v));
 }
 
 std::int32_t BinaryTree::height() const {
@@ -73,14 +73,14 @@ std::vector<std::int32_t> BinaryTree::depths() const {
 }
 
 void BinaryTree::validate() const {
-  XT_CHECK(parent_.size() == child_.size());
+  XT_CHECK(parent_.size() == left_.size() && parent_.size() == right_.size());
   if (empty()) return;
   XT_CHECK(parent(0) == kInvalidNode);
   for (NodeId v = 1; v < num_nodes(); ++v) {
     const NodeId p = parent(v);
     XT_CHECK_MSG(p >= 0 && p < num_nodes(), "node " << v << " bad parent");
     XT_CHECK_MSG(p < v, "node " << v << " parent id not smaller (id order)");
-    XT_CHECK_MSG(child(p, 0) == v || child(p, 1) == v,
+    XT_CHECK_MSG(left(p) == v || right(p) == v,
                  "parent/child arrays inconsistent at node " << v);
   }
   for (NodeId v = 0; v < num_nodes(); ++v) {
@@ -91,7 +91,7 @@ void BinaryTree::validate() const {
         XT_CHECK(parent(c) == v);
       }
     }
-    XT_CHECK(child(v, 0) == kInvalidNode || child(v, 0) != child(v, 1));
+    XT_CHECK(left(v) == kInvalidNode || left(v) != right(v));
   }
 }
 
@@ -132,17 +132,23 @@ std::string BinaryTree::to_paren() const {
 BinaryTree BinaryTree::from_paren(const std::string& s) {
   BinaryTree t;
   if (s.empty()) return t;
+  // -2 marks a slot reserved by an explicit '.' absent-child marker.
+  auto free_slot = [&t](NodeId p) -> NodeId& {
+    const auto pi = static_cast<std::size_t>(p);
+    XT_CHECK_MSG(t.left_[pi] == kInvalidNode || t.right_[pi] == kInvalidNode,
+                 "too many children in paren string");
+    return t.left_[pi] == kInvalidNode ? t.left_[pi] : t.right_[pi];
+  };
   std::vector<NodeId> stack;
   for (char ch : s) {
     switch (ch) {
       case '(': {
         const NodeId v = t.num_nodes();
         t.parent_.push_back(stack.empty() ? kInvalidNode : stack.back());
-        t.child_.push_back({kInvalidNode, kInvalidNode});
+        t.left_.push_back(kInvalidNode);
+        t.right_.push_back(kInvalidNode);
         if (!stack.empty()) {
-          auto& slots = t.child_[static_cast<std::size_t>(stack.back())];
-          XT_CHECK(slots[0] == kInvalidNode || slots[1] == kInvalidNode);
-          (slots[0] == kInvalidNode ? slots[0] : slots[1]) = v;
+          free_slot(stack.back()) = v;
         } else {
           XT_CHECK_MSG(v == 0, "multiple roots in paren string");
         }
@@ -153,28 +159,61 @@ BinaryTree BinaryTree::from_paren(const std::string& s) {
         XT_CHECK_MSG(!stack.empty(), "unbalanced paren string");
         stack.pop_back();
         break;
-      case '.': {
+      case '.':
         // Explicit absent-child marker: reserve the next child slot so
         // "(.(..))" puts the subtree in the *right* slot.
         XT_CHECK(!stack.empty());
-        auto& slots = t.child_[static_cast<std::size_t>(stack.back())];
-        XT_CHECK_MSG(slots[0] == kInvalidNode || slots[1] == kInvalidNode,
-                     "too many children in paren string");
-        (slots[0] == kInvalidNode ? slots[0] : slots[1]) = -2;  // placeholder
+        free_slot(stack.back()) = -2;  // placeholder
         break;
-      }
       default:
         XT_CHECK_MSG(false, "bad character in paren string: " << ch);
     }
   }
   XT_CHECK_MSG(stack.empty(), "unbalanced paren string");
   // Clear placeholders back to absent.
-  for (auto& slots : t.child_) {
-    for (auto& c : slots)
-      if (c == -2) c = kInvalidNode;
-  }
+  for (auto& c : t.left_)
+    if (c == -2) c = kInvalidNode;
+  for (auto& c : t.right_)
+    if (c == -2) c = kInvalidNode;
   t.validate();
   return t;
+}
+
+BinaryTree relabeled_tree(const BinaryTree& tree,
+                          const std::vector<NodeId>& to_new) {
+  const auto n = static_cast<std::size_t>(tree.num_nodes());
+  XT_CHECK(to_new.size() == n);
+  BinaryTree out;
+  out.parent_.assign(n, kInvalidNode);
+  out.left_.assign(n, kInvalidNode);
+  out.right_.assign(n, kInvalidNode);
+  for (NodeId v = 0; v < tree.num_nodes(); ++v) {
+    const NodeId nv = to_new[static_cast<std::size_t>(v)];
+    XT_CHECK_MSG(nv >= 0 && nv < tree.num_nodes(),
+                 "relabeled_tree: mapping not into [0, n)");
+    const NodeId p = tree.parent(v);
+    if (p == kInvalidNode) {
+      XT_CHECK_MSG(nv == 0, "relabeled_tree: root must map to 0");
+      continue;
+    }
+    const NodeId np = to_new[static_cast<std::size_t>(p)];
+    out.parent_[static_cast<std::size_t>(nv)] = np;
+  }
+  // Children in new-id order: iterating nv ascending and filling the
+  // first free slot puts the smaller new id on the left.
+  for (NodeId nv = 1; nv < out.num_nodes(); ++nv) {
+    const NodeId np = out.parent_[static_cast<std::size_t>(nv)];
+    XT_CHECK_MSG(np != kInvalidNode && np < nv,
+                 "relabeled_tree: mapping does not preserve id order");
+    auto& slot = out.left_[static_cast<std::size_t>(np)] == kInvalidNode
+                     ? out.left_[static_cast<std::size_t>(np)]
+                     : out.right_[static_cast<std::size_t>(np)];
+    XT_CHECK_MSG(slot == kInvalidNode,
+                 "relabeled_tree: node gained a third child");
+    slot = nv;
+  }
+  out.validate();
+  return out;
 }
 
 }  // namespace xt

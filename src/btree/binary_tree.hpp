@@ -2,11 +2,16 @@
 // children, so total degree is at most 3.  This is the tree family the
 // paper embeds (Theorems 1-4).
 //
-// Representation is pointer-free: dense node ids, parallel parent /
-// child arrays.  Node 0 is always the root.
+// Representation is pointer-free and structure-of-arrays: dense node
+// ids with parallel parent / left-child / right-child arrays, so the
+// separator and embedder hot loops (piece DFS, canonical digest,
+// dilation sweep) read three cache-linear streams instead of chasing
+// an array-of-structs.  Node 0 is always the root; every constructor
+// (add_child, from_paren, canonical_tree) assigns ids in preorder, so
+// parent ids are smaller than child ids and id order is a valid
+// topological order in both directions.
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -34,10 +39,17 @@ class BinaryTree {
     return parent_[static_cast<std::size_t>(v)];
   }
   [[nodiscard]] NodeId child(NodeId v, int which) const {
-    return child_[static_cast<std::size_t>(v)][static_cast<std::size_t>(which)];
+    const auto& slots = which == 0 ? left_ : right_;
+    return slots[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] NodeId left(NodeId v) const {
+    return left_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] NodeId right(NodeId v) const {
+    return right_[static_cast<std::size_t>(v)];
   }
   [[nodiscard]] int num_children(NodeId v) const {
-    return (child(v, 0) != kInvalidNode) + (child(v, 1) != kInvalidNode);
+    return (left(v) != kInvalidNode) + (right(v) != kInvalidNode);
   }
   [[nodiscard]] bool is_leaf(NodeId v) const { return num_children(v) == 0; }
 
@@ -45,6 +57,13 @@ class BinaryTree {
   [[nodiscard]] int degree(NodeId v) const {
     return (parent(v) != kInvalidNode) + num_children(v);
   }
+
+  // Raw contiguous arrays (length num_nodes) for cache-linear hot
+  // loops: piece-view DFS, digest, metrics.  Entries are node ids or
+  // kInvalidNode.  Invalidated by add_child.
+  [[nodiscard]] const NodeId* parent_data() const { return parent_.data(); }
+  [[nodiscard]] const NodeId* left_data() const { return left_.data(); }
+  [[nodiscard]] const NodeId* right_data() const { return right_.data(); }
 
   /// Appends a new node as a child of `p` in the first free slot and
   /// returns its id.  p must have a free child slot (checked).
@@ -74,8 +93,23 @@ class BinaryTree {
   static BinaryTree from_paren(const std::string& s);
 
  private:
+  friend BinaryTree relabeled_tree(const BinaryTree&,
+                                   const std::vector<NodeId>&);
+
   std::vector<NodeId> parent_;
-  std::vector<std::array<NodeId, 2>> child_;
+  std::vector<NodeId> left_;
+  std::vector<NodeId> right_;
 };
+
+/// The tree obtained by renaming node v to to_new[v].  to_new must be
+/// a bijection onto [0, n) that maps the root to 0 and every parent to
+/// a smaller id than its children (e.g. any preorder numbering, such
+/// as CanonicalForm::to_canonical) — so the result satisfies the same
+/// id-order invariant as trees built by add_child, and node ids walk
+/// memory in preorder for cache locality.  A node's children keep
+/// their relative order by *new* id: the smaller new id lands in the
+/// left slot.  Validated before return.
+[[nodiscard]] BinaryTree relabeled_tree(const BinaryTree& tree,
+                                        const std::vector<NodeId>& to_new);
 
 }  // namespace xt

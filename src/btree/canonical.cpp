@@ -30,22 +30,17 @@ constexpr std::uint64_t combine(std::uint64_t a, std::uint64_t b) {
 // order-insensitive (canonical) variant.
 std::vector<std::uint64_t> subtree_codes(const BinaryTree& tree, bool sorted) {
   const auto n = static_cast<std::size_t>(tree.num_nodes());
-  std::vector<NodeId> order;
-  order.reserve(n);
-  order.push_back(tree.root());
-  for (std::size_t head = 0; head < order.size(); ++head) {
-    for (int w = 0; w < 2; ++w) {
-      const NodeId c = tree.child(order[head], w);
-      if (c != kInvalidNode) order.push_back(c);
-    }
-  }
+  // Every constructor assigns ids in preorder (parent < child), so
+  // descending id order is a valid bottom-up schedule — no explicit
+  // BFS order needed, and the left/right SoA arrays stream linearly.
+  const NodeId* const left = tree.left_data();
+  const NodeId* const right = tree.right_data();
   std::vector<std::uint64_t> code(n, 0);
-  for (std::size_t i = n; i-- > 0;) {
-    const NodeId v = order[i];
-    const NodeId c0 = tree.child(v, 0);
-    const NodeId c1 = tree.child(v, 1);
+  for (std::size_t v = n; v-- > 0;) {
+    const NodeId c0 = left[v];
+    const NodeId c1 = right[v];
     if (c0 == kInvalidNode && c1 == kInvalidNode) {
-      code[static_cast<std::size_t>(v)] = kLeafCode;
+      code[v] = kLeafCode;
       continue;
     }
     std::uint64_t a =
@@ -53,7 +48,7 @@ std::vector<std::uint64_t> subtree_codes(const BinaryTree& tree, bool sorted) {
     std::uint64_t b =
         c1 == kInvalidNode ? kEmptyCode : code[static_cast<std::size_t>(c1)];
     if (sorted && b < a) std::swap(a, b);
-    code[static_cast<std::size_t>(v)] = combine(a, b);
+    code[v] = combine(a, b);
   }
   return code;
 }
@@ -105,6 +100,10 @@ std::uint64_t canonical_hash(const BinaryTree& tree) {
   const auto code = subtree_codes(tree, /*sorted=*/true);
   return finalize(code[static_cast<std::size_t>(tree.root())],
                   tree.num_nodes());
+}
+
+BinaryTree canonical_tree(const BinaryTree& tree, const CanonicalForm& form) {
+  return relabeled_tree(tree, form.to_canonical);
 }
 
 std::uint64_t ordered_hash(const BinaryTree& tree) {

@@ -48,4 +48,13 @@ struct CanonicalForm {
 /// permuted variants that canonical_hash deliberately identifies.
 [[nodiscard]] std::uint64_t ordered_hash(const BinaryTree& tree);
 
+/// The canonical tree itself: `tree` relabeled by form.to_canonical.
+/// All guests isomorphic to `tree` produce this exact tree (same ids,
+/// same child slots), and its ids are a preorder numbering — embedding
+/// it walks the SoA arrays cache-linearly, and the resulting host
+/// assignment is indexed by canonical id, ready for the service cache.
+/// `form` must be canonical_form(tree).
+[[nodiscard]] BinaryTree canonical_tree(const BinaryTree& tree,
+                                        const CanonicalForm& form);
+
 }  // namespace xt

@@ -2,15 +2,19 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <limits>
 #include <cstdio>
+#include <memory>
 #include <utility>
 
 #include "core/nset.hpp"
 #include "separator/piece.hpp"
 #include "separator/splitter.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace xt {
 namespace {
@@ -21,6 +25,28 @@ namespace {
 struct Attached {
   Piece piece;
   VertexId char_addr = kInvalidVertex;
+};
+
+/// Smallest per-round SPLIT sweep that fans out: rounds with fewer
+/// level-(round-1) vertices run sequentially (the pieces there are
+/// few and huge; task spawn overhead cannot amortise).  Rounds 4+ of
+/// an r>=4 embed — which carry ~15/16 of the total split work, since
+/// round i lays out ~load * 2^i nodes — all clear this bar.
+constexpr std::int64_t kSplitSweepCutoff = 8;
+
+/// Everything a split(b) call mutates besides the per-vertex state it
+/// owns: splitter scratch + result buffers, the unit-gather vectors,
+/// and stat counters.  The sequential phases share one root Ctx whose
+/// stats pointer is the embedder's master Stats; each parallel chunk
+/// gets its own Ctx (stats -> Ctx::local, merged after the run).
+struct Ctx {
+  SplitScratch* scratch = nullptr;
+  SplitResult* split_res = nullptr;
+  std::vector<Attached> units;   // SPLIT's per-vertex unit gather
+  std::vector<int> unit_side;
+  std::vector<NodeId> nbr;       // neighbour scratch for place()
+  XTreeEmbedder::Stats* stats = nullptr;
+  XTreeEmbedder::Stats local;    // task ctxs: stats == &local
 };
 
 class EmbedderImpl {
@@ -38,8 +64,10 @@ class EmbedderImpl {
         load_(static_cast<std::size_t>(host_.num_vertices()), 0),
         pool_(static_cast<std::size_t>(host_.num_vertices())),
         weight_(static_cast<std::size_t>(host_.num_vertices()), 0),
-        scratch_(arena.scratch),
-        split_res_(arena.split_result) {
+        arena_(arena) {
+    root_ctx_.scratch = &arena.scratch;
+    root_ctx_.split_res = &arena.split_result;
+    root_ctx_.stats = &stats_;
     XT_CHECK(guest.num_nodes() >= 1);
     XT_CHECK(opt.load >= 1);
     XT_CHECK_MSG(static_cast<std::int64_t>(opt.load) *
@@ -57,7 +85,12 @@ class EmbedderImpl {
       if (opt_.audit_rounds) audit(round);
     }
     final_repair();
-    XT_CHECK(placed_count_ == guest_.num_nodes());
+    // Fold the parallel chunks' counters into the master stats.  All
+    // merged fields are sums or maxes, so the merge order (and the
+    // chunk partition itself) cannot affect the result.
+    for (const auto& ctx : task_ctxs_) merge_stats(stats_, ctx->local);
+    XT_CHECK(placed_count_.load(std::memory_order_relaxed) ==
+             guest_.num_nodes());
     Embedding emb(guest_.num_nodes(), host_.num_vertices());
     for (NodeId v = 0; v < guest_.num_nodes(); ++v)
       emb.place(v, assign_[static_cast<std::size_t>(v)]);
@@ -78,22 +111,26 @@ class EmbedderImpl {
     return opt_.load - load_[static_cast<std::size_t>(x)];
   }
 
-  void place(NodeId v, VertexId x) {
+  void place(Ctx& ctx, NodeId v, VertexId x) {
     XT_CHECK_MSG(free_slots(x) > 0, "vertex " << x << " over capacity");
     XT_CHECK_MSG(!is_placed(v), "guest node placed twice");
     assign_[static_cast<std::size_t>(v)] = x;
-    ++placed_count_;
+    placed_count_.fetch_add(1, std::memory_order_relaxed);
     ++load_[static_cast<std::size_t>(x)];
     if (opt_.check_discipline) {
-      scratch_nbr_.clear();
-      guest_.neighbors(v, scratch_nbr_);
-      for (NodeId u : scratch_nbr_) {
+      // Safe under the parallel sweep: any placed neighbour of v was
+      // placed either before the sweep or by this same task (adjacent
+      // unembedded nodes always share a piece, and every piece is
+      // processed whole by one split call).
+      ctx.nbr.clear();
+      guest_.neighbors(v, ctx.nbr);
+      for (NodeId u : ctx.nbr) {
         if (!is_placed(u)) continue;
         const std::int32_t d = host_.distance(host_of(u), x);
-        stats_.max_observed_embed_distance =
-            std::max(stats_.max_observed_embed_distance, d);
+        ctx.stats->max_observed_embed_distance =
+            std::max(ctx.stats->max_observed_embed_distance, d);
         if (!respects_condition_3prime(host_, host_of(u), x)) {
-          ++stats_.discipline_violations;
+          ++ctx.stats->discipline_violations;
           if (diag_) {
             char buf[192];
             std::snprintf(buf, sizeof buf,
@@ -107,8 +144,8 @@ class EmbedderImpl {
     }
   }
 
-  void place_all(const std::vector<NodeId>& nodes, VertexId x) {
-    for (NodeId v : nodes) place(v, x);
+  void place_all(Ctx& ctx, const std::vector<NodeId>& nodes, VertexId x) {
+    for (NodeId v : nodes) place(ctx, v, x);
   }
 
   void attach(Piece&& piece, VertexId at, VertexId char_addr) {
@@ -120,14 +157,14 @@ class EmbedderImpl {
   /// Applies a split result: the remain boundary and pieces stay at
   /// `remain_at`, the extract side goes to `extract_at`.  The result's
   /// pieces are moved out; its vectors stay with the owner for reuse.
-  void apply_split(SplitResult& res, VertexId remain_at,
+  void apply_split(Ctx& ctx, SplitResult& res, VertexId remain_at,
                    VertexId extract_at) {
-    place_all(res.embed_remain, remain_at);
-    place_all(res.embed_extract, extract_at);
+    place_all(ctx, res.embed_remain, remain_at);
+    place_all(ctx, res.embed_extract, extract_at);
     for (auto& p : res.pieces_remain) attach(std::move(p), remain_at, remain_at);
     for (auto& p : res.pieces_extract)
       attach(std::move(p), extract_at, extract_at);
-    stats_.median_fixes += res.median_fixes;
+    ctx.stats->median_fixes += res.median_fixes;
   }
 
   // --- round 0 ------------------------------------------------------------
@@ -143,9 +180,9 @@ class EmbedderImpl {
     for (std::size_t head = 0;
          head < queue.size() && queue.size() < static_cast<std::size_t>(take);
          ++head) {
-      scratch_nbr_.clear();
-      guest_.neighbors(queue[head], scratch_nbr_);
-      for (NodeId v : scratch_nbr_) {
+      root_ctx_.nbr.clear();
+      guest_.neighbors(queue[head], root_ctx_.nbr);
+      for (NodeId v : root_ctx_.nbr) {
         if (chosen[static_cast<std::size_t>(v)]) continue;
         if (queue.size() >= static_cast<std::size_t>(take)) break;
         chosen[static_cast<std::size_t>(v)] = 1;
@@ -153,7 +190,7 @@ class EmbedderImpl {
       }
     }
     const VertexId root = host_.root();
-    for (NodeId v : queue) place(v, root);
+    for (NodeId v : queue) place(root_ctx_, v, root);
     for (Piece& p : collect_pieces(guest_, chosen))
       attach(std::move(p), root, root);
   }
@@ -168,22 +205,27 @@ class EmbedderImpl {
   /// default, the paper's literal find2 under Options::paper_find2.
   /// Returns the embedder's reusable result buffer — valid until the
   /// next run_split / run_extract call.
-  [[nodiscard]] SplitResult& run_split(const Piece& piece, NodeId delta) {
+  [[nodiscard]] SplitResult& run_split(Ctx& ctx, const Piece& piece,
+                                       NodeId delta) {
     if (opt_.paper_find2 && !opt_.lemma1_only)
-      split_piece_find2(guest_, piece, delta, scratch_, split_res_);
+      split_piece_find2(guest_, piece, delta, *ctx.scratch, *ctx.split_res);
     else
-      split_piece(guest_, piece, delta, split_quality(), scratch_, split_res_);
-    return split_res_;
+      split_piece(guest_, piece, delta, split_quality(), *ctx.scratch,
+                  *ctx.split_res);
+    return *ctx.split_res;
   }
 
   /// extract_whole_piece through the same reusable buffers.
-  [[nodiscard]] SplitResult& run_extract(const Piece& piece) {
-    extract_whole_piece(guest_, piece, scratch_, split_res_);
-    return split_res_;
+  [[nodiscard]] SplitResult& run_extract(Ctx& ctx, const Piece& piece) {
+    extract_whole_piece(guest_, piece, *ctx.scratch, *ctx.split_res);
+    return *ctx.split_res;
   }
 
   void run_round(std::int32_t round) {
     compute_weights(round - 1);
+    // ADJUST stays sequential: its cross-sibling shifts walk weight_
+    // up shared ancestor chains (bump_weights) and its donor choice
+    // depends on earlier shifts in the same sweep.
     for (std::int32_t j = 0; opt_.disable_adjust ? false : j <= round - 2;
          ++j) {
       const std::int64_t first = (std::int64_t{1} << j) - 1;
@@ -191,12 +233,76 @@ class EmbedderImpl {
       for (std::int64_t k = 0; k < count; ++k)
         adjust(static_cast<VertexId>(first + k), round);
     }
+    // SPLIT sweep: one call per level-(round-1) vertex b, each
+    // touching only {b, c0, c1} pools/loads and the assignments of
+    // pieces hanging there — disjoint across b, with weight_
+    // read-only — so the calls fan out as stealable tasks.  The chunk
+    // partition depends only on (count, budget), and every mutated
+    // location is owned by exactly one chunk, so placements are
+    // bit-identical to the sequential sweep for any pool size.
     const std::int64_t first = (std::int64_t{1} << (round - 1)) - 1;
     const std::int64_t count = std::int64_t{1} << (round - 1);
-    for (std::int64_t k = 0; k < count; ++k)
-      split(static_cast<VertexId>(first + k), round);
+    const auto budget = static_cast<std::int64_t>(
+        std::max(opt_.intra_embed_parallelism, 1));
+    const auto sweep_start = std::chrono::steady_clock::now();
+    if (budget > 1 && !diag_ && count >= kSplitSweepCutoff) {
+      const std::int64_t chunks = std::min(budget, count);
+      ensure_task_ctxs(chunks);
+      parallel_chunks(ThreadPool::shared(), 0, count, chunks,
+                      [&](std::int64_t c, std::int64_t lo, std::int64_t hi) {
+                        Ctx& ctx = *task_ctxs_[static_cast<std::size_t>(c)];
+                        for (std::int64_t k = lo; k < hi; ++k)
+                          split(ctx, static_cast<VertexId>(first + k), round);
+                      });
+    } else {
+      for (std::int64_t k = 0; k < count; ++k)
+        split(root_ctx_, static_cast<VertexId>(first + k), round);
+    }
+    stats_.split_sweep_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                 std::chrono::steady_clock::now() - sweep_start)
+                                 .count();
     if (!opt_.disable_level_fill) level_fill(round);
     if (opt_.record_trace) record_trace(round);
+  }
+
+  /// Lazily builds per-chunk contexts 0..chunks-1, each backed by its
+  /// own persistent arena so recycled piece buffers survive across
+  /// embeds per chunk slot.
+  void ensure_task_ctxs(std::int64_t chunks) {
+    while (static_cast<std::int64_t>(arena_.task_arenas.size()) < chunks)
+      arena_.task_arenas.push_back(
+          std::make_unique<XTreeEmbedder::EmbedArena>());
+    while (static_cast<std::int64_t>(task_ctxs_.size()) < chunks) {
+      // Chunk i always pairs with arena i — a reused EmbedArena hands
+      // each chunk slot the same recycled buffers as last run.
+      auto& arena = *arena_.task_arenas[task_ctxs_.size()];
+      auto ctx = std::make_unique<Ctx>();
+      ctx->scratch = &arena.scratch;
+      ctx->split_res = &arena.split_result;
+      ctx->stats = &ctx->local;
+      task_ctxs_.push_back(std::move(ctx));
+    }
+  }
+
+  /// Folds one chunk's counters into the master stats.  Sums and
+  /// maxes only — commutative, so chunking cannot change the total.
+  static void merge_stats(XTreeEmbedder::Stats& into,
+                          const XTreeEmbedder::Stats& from) {
+    into.adjust_calls += from.adjust_calls;
+    into.adjust_shifts += from.adjust_shifts;
+    into.split_calls += from.split_calls;
+    into.lemma_splits += from.lemma_splits;
+    into.whole_moves += from.whole_moves;
+    into.median_fixes += from.median_fixes;
+    into.peel_fills += from.peel_fills;
+    into.repair_placements += from.repair_placements;
+    into.repair_relocations += from.repair_relocations;
+    into.discipline_violations += from.discipline_violations;
+    into.max_observed_embed_distance =
+        std::max(into.max_observed_embed_distance,
+                 from.max_observed_embed_distance);
+    into.adjust_budget_overruns += from.adjust_budget_overruns;
+    into.unmet_adjust_demand += from.unmet_adjust_demand;
   }
 
   /// Cross-leaf fill after the SPLIT sweep: a leaf with free slots
@@ -214,7 +320,7 @@ class EmbedderImpl {
       for (std::int64_t k = 0; k < count; ++k) {
         const auto v = static_cast<VertexId>(first + k);
         if (free_slots(v) == 0) continue;
-        fill_vertex(v);
+        fill_vertex(root_ctx_, v);
         while (free_slots(v) > 0) {
           const VertexId parent = host_.parent(v);
           const VertexId sibling =
@@ -245,11 +351,11 @@ class EmbedderImpl {
                 Attached unit = std::move(dp[i]);
                 dp[i] = std::move(dp.back());
                 dp.pop_back();
-                SplitResult& res = run_extract(unit.piece);
-                scratch_.recycle(std::move(unit.piece));
+                SplitResult& res = run_extract(root_ctx_, unit.piece);
+                root_ctx_.scratch->recycle(std::move(unit.piece));
                 stats_.peel_fills +=
                     static_cast<std::int64_t>(res.embed_extract.size());
-                place_all(res.embed_extract, v);
+                place_all(root_ctx_, res.embed_extract, v);
                 for (auto& p : res.pieces_extract) attach(std::move(p), v, v);
                 borrowed = true;
                 progress = true;
@@ -278,11 +384,11 @@ class EmbedderImpl {
                 const NodeId keep = unit.piece.designated[1];
                 Piece half = std::move(unit.piece);
                 half.designated[1] = kInvalidNode;
-                SplitResult& res = run_extract(half);
-                scratch_.recycle(std::move(half));
+                SplitResult& res = run_extract(root_ctx_, half);
+                root_ctx_.scratch->recycle(std::move(half));
                 stats_.peel_fills +=
                     static_cast<std::int64_t>(res.embed_extract.size());
-                place_all(res.embed_extract, v);
+                place_all(root_ctx_, res.embed_extract, v);
                 for (auto& p : res.pieces_extract) {
                   if (std::find(p.nodes.begin(), p.nodes.end(), keep) !=
                       p.nodes.end())
@@ -297,7 +403,7 @@ class EmbedderImpl {
             }
           }
           if (!borrowed) break;
-          fill_vertex(v);
+          fill_vertex(root_ctx_, v);
         }
       }
     }
@@ -420,15 +526,15 @@ class EmbedderImpl {
       if (3 * static_cast<std::int64_t>(psize) <= 4 * remaining) {
         // Shift the whole piece: designated nodes land on vr, the rest
         // re-forms attached to vr.
-        SplitResult& res = run_extract(unit.piece);
-        scratch_.recycle(std::move(unit.piece));
+        SplitResult& res = run_extract(root_ctx_, unit.piece);
+        root_ctx_.scratch->recycle(std::move(unit.piece));
         laid_vr += static_cast<NodeId>(res.embed_extract.size());
-        apply_split(res, vd, vr);
+        apply_split(root_ctx_, res, vd, vr);
         ++stats_.whole_moves;
         moved = psize;
       } else {
         // Lemma 2 split: extract ~remaining nodes across the corner.
-        SplitResult& res = run_split(unit.piece,
+        SplitResult& res = run_split(root_ctx_, unit.piece,
                                      static_cast<NodeId>(remaining));
         // Boundary sets are usually <= 4 but a collinearity promotion
         // can add a node; verify against the actual result.
@@ -437,11 +543,11 @@ class EmbedderImpl {
           donor_pool.push_back(std::move(unit));
           break;
         }
-        scratch_.recycle(std::move(unit.piece));
+        root_ctx_.scratch->recycle(std::move(unit.piece));
         laid_vd += static_cast<NodeId>(res.embed_remain.size());
         laid_vr += static_cast<NodeId>(res.embed_extract.size());
         moved = res.extract_total;
-        apply_split(res, vd, vr);
+        apply_split(root_ctx_, res, vd, vr);
         ++stats_.lemma_splits;
         ++stats_.adjust_shifts;
         remaining -= moved;
@@ -472,17 +578,17 @@ class EmbedderImpl {
 
   // --- SPLIT ---------------------------------------------------------------
 
-  void split(VertexId b, std::int32_t round) {
+  void split(Ctx& ctx, VertexId b, std::int32_t round) {
     set_phase("split");
-    ++stats_.split_calls;
+    ++ctx.stats->split_calls;
     const VertexId c0 = host_.child(b, 0);
     const VertexId c1 = host_.child(b, 1);
 
     // Gather units: pieces attached to b plus this round's ADJUST
     // deposits already sitting at the children (the paper's S3 set,
-    // re-assignable between siblings).  units_/unit_side_ are member
-    // buffers reused across the whole run.
-    auto& units = units_;
+    // re-assignable between siblings).  The gather buffers live in the
+    // ctx and are reused across the whole run.
+    auto& units = ctx.units;
     units.clear();
     for (VertexId src : {b, c0, c1}) {
       auto& p = pool_[static_cast<std::size_t>(src)];
@@ -499,7 +605,7 @@ class EmbedderImpl {
               });
     std::array<std::int64_t, 2> mass{load_[static_cast<std::size_t>(c0)],
                                      load_[static_cast<std::size_t>(c1)]};
-    auto& side = unit_side_;
+    auto& side = ctx.unit_side;
     side.assign(units.size(), 0);
     for (std::size_t i = 0; i < units.size(); ++i) {
       const int s = mass[0] <= mass[1] ? 0 : 1;
@@ -556,9 +662,9 @@ class EmbedderImpl {
           if (free_slots(other) >= embeds) c = other;
         }
         if (free_slots(c) >= embeds) {
-          SplitResult& res = run_extract(unit.piece);
-          scratch_.recycle(std::move(unit.piece));
-          place_all(res.embed_extract, c);
+          SplitResult& res = run_extract(ctx, unit.piece);
+          ctx.scratch->recycle(std::move(unit.piece));
+          place_all(ctx, res.embed_extract, c);
           for (auto& p : res.pieces_extract) attach(std::move(p), c, c);
         } else {
           // No room anywhere: keep it attached (overdue); a later
@@ -574,10 +680,10 @@ class EmbedderImpl {
     // Fine balance between the two children with one Lemma 2 split
     // across the sibling edge (paper: "the 4 free places ... reduce
     // the difference between A(a0) and A(a1)").
-    balance_children(c0, c1);
+    balance_children(ctx, c0, c1);
 
-    fill_vertex(c0);
-    fill_vertex(c1);
+    fill_vertex(ctx, c0);
+    fill_vertex(ctx, c1);
   }
 
   [[nodiscard]] std::int64_t vertex_mass(VertexId v) const {
@@ -587,7 +693,7 @@ class EmbedderImpl {
     return w;
   }
 
-  void balance_children(VertexId c0, VertexId c1) {
+  void balance_children(Ctx& ctx, VertexId c0, VertexId c1) {
     set_phase("balance");
     const std::int64_t diff = vertex_mass(c0) - vertex_mass(c1);
     const std::int64_t target = std::abs(diff) / 2;
@@ -605,31 +711,32 @@ class EmbedderImpl {
     hp.pop_back();
     const NodeId psize = unit.piece.size();
     if (3 * static_cast<std::int64_t>(psize) <= 4 * target) {
-      SplitResult& res = run_extract(unit.piece);
+      SplitResult& res = run_extract(ctx, unit.piece);
       if (static_cast<NodeId>(res.embed_extract.size()) > free_slots(light)) {
         hp.push_back(std::move(unit));
         return;
       }
-      scratch_.recycle(std::move(unit.piece));
-      apply_split(res, heavy, light);
-      ++stats_.whole_moves;
+      ctx.scratch->recycle(std::move(unit.piece));
+      apply_split(ctx, res, heavy, light);
+      ++ctx.stats->whole_moves;
     } else {
-      SplitResult& res = run_split(unit.piece, static_cast<NodeId>(target));
+      SplitResult& res =
+          run_split(ctx, unit.piece, static_cast<NodeId>(target));
       if (static_cast<NodeId>(res.embed_remain.size()) > free_slots(heavy) ||
           static_cast<NodeId>(res.embed_extract.size()) > free_slots(light)) {
         hp.push_back(std::move(unit));
         return;
       }
-      scratch_.recycle(std::move(unit.piece));
-      apply_split(res, heavy, light);
-      ++stats_.lemma_splits;
+      ctx.scratch->recycle(std::move(unit.piece));
+      apply_split(ctx, res, heavy, light);
+      ++ctx.stats->lemma_splits;
     }
   }
 
   /// Fills vertex c to `load` by peeling attached pieces: laying out
   /// all designated nodes of a piece keeps every re-formed component's
   /// embedded neighbours on the single vertex c.
-  void fill_vertex(VertexId c) {
+  void fill_vertex(Ctx& ctx, VertexId c) {
     set_phase("fill");
     auto& pool = pool_[static_cast<std::size_t>(c)];
     while (free_slots(c) > 0 && !pool.empty()) {
@@ -663,7 +770,7 @@ class EmbedderImpl {
           Attached unit = std::move(pool[halvable]);
           pool[halvable] = std::move(pool.back());
           pool.pop_back();
-          peel_single_designated(c, std::move(unit));
+          peel_single_designated(ctx, c, std::move(unit));
           continue;
         }
         if (!found) break;  // deficit; repair handles the remainder
@@ -671,10 +778,11 @@ class EmbedderImpl {
       Attached unit = std::move(pool[best]);
       pool[best] = std::move(pool.back());
       pool.pop_back();
-      SplitResult& res = run_extract(unit.piece);
-      scratch_.recycle(std::move(unit.piece));
-      stats_.peel_fills += static_cast<std::int64_t>(res.embed_extract.size());
-      place_all(res.embed_extract, c);
+      SplitResult& res = run_extract(ctx, unit.piece);
+      ctx.scratch->recycle(std::move(unit.piece));
+      ctx.stats->peel_fills +=
+          static_cast<std::int64_t>(res.embed_extract.size());
+      place_all(ctx, res.embed_extract, c);
       for (auto& p : res.pieces_extract) attach(std::move(p), c, c);
     }
   }
@@ -682,15 +790,16 @@ class EmbedderImpl {
   /// Lays out only designated[0] of a two-designated piece whose
   /// characteristic address is already c: the component retaining
   /// designated[1] keeps all its embedded neighbours on c.
-  void peel_single_designated(VertexId c, Attached unit) {
+  void peel_single_designated(Ctx& ctx, VertexId c, Attached unit) {
     XT_CHECK(unit.char_addr == c && unit.piece.num_designated() == 2);
     const NodeId keep = unit.piece.designated[1];
     Piece half = std::move(unit.piece);
     half.designated[1] = kInvalidNode;
-    SplitResult& res = run_extract(half);
-    scratch_.recycle(std::move(half));
-    stats_.peel_fills += static_cast<std::int64_t>(res.embed_extract.size());
-    place_all(res.embed_extract, c);
+    SplitResult& res = run_extract(ctx, half);
+    ctx.scratch->recycle(std::move(half));
+    ctx.stats->peel_fills +=
+        static_cast<std::int64_t>(res.embed_extract.size());
+    place_all(ctx, res.embed_extract, c);
     for (auto& p : res.pieces_extract) {
       if (std::find(p.nodes.begin(), p.nodes.end(), keep) != p.nodes.end())
         p.add_designated(keep);
@@ -771,7 +880,7 @@ class EmbedderImpl {
         direct_ok = false;
     }
     if (direct_ok) {
-      place(v, direct);
+      place(root_ctx_, v, direct);
       return;
     }
     // Cascade along a shortest host path anchor -> direct.
@@ -779,13 +888,13 @@ class EmbedderImpl {
     if (path.size() < 2) {
       // direct == anchor: no sliding can improve the pre-existing
       // geometry of the other neighbours; take the free slot.
-      place(v, direct);
+      place(root_ctx_, v, direct);
       return;
     }
     for (std::size_t i = path.size() - 1; i >= 2; --i) {
       shift_resident(path[i - 1], path[i]);
     }
-    place(v, path[1]);
+    place(root_ctx_, v, path[1]);
   }
 
   /// Moves the resident of `from` that tolerates the move best (its
@@ -1009,7 +1118,8 @@ class EmbedderImpl {
                          << round);
       }
     }
-    XT_CHECK(pooled + placed_count_ == guest_.num_nodes());
+    XT_CHECK(pooled + placed_count_.load(std::memory_order_relaxed) ==
+             guest_.num_nodes());
   }
 
   // Diagnostic sink: Options::diagnostic_sink when set; otherwise
@@ -1031,21 +1141,24 @@ class EmbedderImpl {
   std::int32_t height_;
   XTree host_;
   std::vector<VertexId> assign_;
-  NodeId placed_count_ = 0;
+  // Atomic purely for the parallel sweep's concurrent increments; the
+  // value is a count, so any increment interleaving yields the same
+  // total as the sequential path.
+  std::atomic<NodeId> placed_count_{0};
   std::vector<NodeId> load_;
   std::vector<std::vector<Attached>> pool_;
   std::vector<std::int64_t> weight_;
-  std::vector<NodeId> scratch_nbr_;
   // Reusable splitter state + result: every split and whole-piece
-  // extraction in the run goes through these, and consumed pieces are
-  // recycled into scratch_.free_pieces, so the steady-state hot loop
-  // performs no heap allocation.  They live in the caller's EmbedArena
-  // so a long-lived caller (a service shard, a sweep harness) carries
-  // the recycled buffers across runs too.
-  SplitScratch& scratch_;
-  SplitResult& split_res_;
-  std::vector<Attached> units_;  // SPLIT's per-vertex unit gather
-  std::vector<int> unit_side_;
+  // extraction in the run goes through a Ctx, and consumed pieces are
+  // recycled into its scratch free list, so the steady-state hot loop
+  // performs no heap allocation.  The root ctx (sequential phases)
+  // borrows the caller's EmbedArena directly; parallel chunks borrow
+  // EmbedArena::task_arenas[i], so a long-lived caller (a service
+  // shard, a sweep harness) carries the recycled buffers across runs
+  // for every chunk slot.
+  XTreeEmbedder::EmbedArena& arena_;
+  Ctx root_ctx_;
+  std::vector<std::unique_ptr<Ctx>> task_ctxs_;
   std::function<void(const std::string&)> diag_ = resolve_sink(opt_);
   const char* phase_ = "start";
   void set_phase(const char* p) { if (diag_) phase_ = p; }

@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -83,6 +84,18 @@ class XTreeEmbedder {
     /// which suits the interval chains ADJUST produces).  Disable for
     /// the ablation comparison.
     bool paper_find2 = true;
+
+    /// Maximum number of parallel chunks the per-round SPLIT sweep may
+    /// fan out into on the shared thread pool.  1 (the default) keeps
+    /// the whole embed on the calling thread — the oracle path.  For
+    /// any value, placements and stats are bit-identical to the
+    /// sequential result: split(b) calls of one round touch disjoint
+    /// state (pieces partition the unembedded nodes, and each piece
+    /// hangs off exactly one level-(round-1) vertex), subtree weights
+    /// are read-only during the sweep, and the per-chunk stat counters
+    /// are commutative sums/maxes.  A diagnostic sink forces the
+    /// sequential path (line order matters there).
+    int intra_embed_parallelism = 1;
   };
 
   struct Stats {
@@ -101,6 +114,13 @@ class XTreeEmbedder {
     std::int32_t max_observed_embed_distance = 0;
     std::int64_t adjust_budget_overruns = 0;  // corner got > 4 ADJUST nodes
     std::int64_t unmet_adjust_demand = 0;     // shift mass ADJUST could not move
+    /// Wall nanoseconds the calling thread spent inside the per-round
+    /// SPLIT sweeps (sequential loop or parallel_chunks makespan,
+    /// summed over rounds).  A timing, not a count: the only Stats
+    /// field that varies run to run, so determinism checks must skip
+    /// it.  Lets benches measure the parallelizable share of an embed
+    /// without external profiling.
+    std::int64_t split_sweep_ns = 0;
     /// record_trace: max over sibling pairs of |W(a0)-W(a1)| after
     /// round i, indexed [round][level of a].
     std::vector<std::vector<std::int64_t>> imbalance_trace;
@@ -123,6 +143,12 @@ class XTreeEmbedder {
   struct EmbedArena {
     SplitScratch scratch;
     SplitResult split_result;
+    /// Per-chunk arenas for the parallel SPLIT sweep
+    /// (Options::intra_embed_parallelism > 1).  Chunk i of a sweep
+    /// owns task_arenas[i] exclusively for the sweep's duration, so
+    /// each worker keeps the allocation-free property with its own
+    /// recycled buffers.  Created lazily, persisted across embeds.
+    std::vector<std::unique_ptr<EmbedArena>> task_arenas;
   };
 
   /// Smallest X-tree height whose capacity covers n guest nodes.

@@ -50,15 +50,20 @@ DilationProfile dilation_profile(const BinaryTree& guest, const Embedding& emb,
                                  const DistanceFn& host_distance,
                                  unsigned workers) {
   XT_CHECK_MSG(emb.complete(), "dilation of an incomplete embedding");
-  const auto edges = guest.edges();
+  // Guest edge i is (parent(i + 1), i + 1): read the SoA parent array
+  // directly instead of materialising an edge vector.  per_edge order
+  // matches edges() (child ascending), so reports stay bit-identical.
+  const NodeId* const parent = guest.parent_data();
+  const auto num_edges =
+      static_cast<std::int64_t>(std::max(guest.num_nodes() - 1, 0));
   DilationProfile profile;
-  profile.per_edge.resize(edges.size());
+  profile.per_edge.resize(static_cast<std::size_t>(num_edges));
   parallel_for(
-      0, static_cast<std::int64_t>(edges.size()),
+      0, num_edges,
       [&](std::int64_t i) {
-        const auto& [u, v] = edges[static_cast<std::size_t>(i)];
-        profile.per_edge[static_cast<std::size_t>(i)] =
-            host_distance(emb.host_of(u), emb.host_of(v));
+        const auto v = static_cast<NodeId>(i + 1);
+        profile.per_edge[static_cast<std::size_t>(i)] = host_distance(
+            emb.host_of(parent[static_cast<std::size_t>(v)]), emb.host_of(v));
       },
       workers == 0 ? parallel_workers() : workers);
   profile.report = reduce_per_edge(profile.per_edge);

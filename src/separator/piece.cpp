@@ -52,7 +52,13 @@ void PieceView::rebuild(const BinaryTree& tree, const Piece& piece) {
   // adjacency.  "Unvisited" is parent_ == -1 (plus a root check), so no
   // separate seen array is needed; a node's children are appended to
   // child_list_ contiguously when it is popped, which is what makes the
-  // CSR layout valid.
+  // CSR layout valid.  Neighbours come straight from the SoA parent /
+  // left / right arrays — in that order, matching the historical
+  // neighbors() order, so the preorder (and everything derived from
+  // it) is unchanged.
+  const NodeId* const tparent = tree.parent_data();
+  const NodeId* const tleft = tree.left_data();
+  const NodeId* const tright = tree.right_data();
   stack_.clear();
   stack_.push_back(root_);
   while (!stack_.empty()) {
@@ -61,10 +67,11 @@ void PieceView::rebuild(const BinaryTree& tree, const Piece& piece) {
     order_.push_back(u);
     child_begin_[static_cast<std::size_t>(u)] =
         static_cast<std::int32_t>(child_list_.size());
-    nbr_.clear();
-    tree.neighbors(global_of(u), nbr_);
-    for (NodeId g : nbr_) {
-      const std::int32_t v = local_of(g);
+    const auto g = static_cast<std::size_t>(global_of(u));
+    const NodeId nbrs[3] = {tparent[g], tleft[g], tright[g]};
+    for (const NodeId gn : nbrs) {
+      if (gn == kInvalidNode) continue;
+      const std::int32_t v = local_of(gn);
       if (v < 0 || v == root_ || parent_[static_cast<std::size_t>(v)] >= 0)
         continue;
       parent_[static_cast<std::size_t>(v)] = u;
@@ -114,7 +121,9 @@ std::vector<Piece> collect_pieces(const BinaryTree& tree,
   std::vector<char> visited(embedded.size(), 0);
   std::vector<Piece> pieces;
   std::vector<NodeId> stack;
-  std::vector<NodeId> nbr;
+  const NodeId* const tparent = tree.parent_data();
+  const NodeId* const tleft = tree.left_data();
+  const NodeId* const tright = tree.right_data();
   for (NodeId s = 0; s < tree.num_nodes(); ++s) {
     if (embedded[static_cast<std::size_t>(s)] ||
         visited[static_cast<std::size_t>(s)])
@@ -126,9 +135,10 @@ std::vector<Piece> collect_pieces(const BinaryTree& tree,
       const NodeId u = stack.back();
       stack.pop_back();
       piece.nodes.push_back(u);
-      nbr.clear();
-      tree.neighbors(u, nbr);
-      for (NodeId v : nbr) {
+      const auto ui = static_cast<std::size_t>(u);
+      const NodeId nbrs[3] = {tparent[ui], tleft[ui], tright[ui]};
+      for (const NodeId v : nbrs) {
+        if (v == kInvalidNode) continue;
         if (embedded[static_cast<std::size_t>(v)]) {
           piece.add_designated(u);  // u borders the embedded region
         } else if (!visited[static_cast<std::size_t>(v)]) {

@@ -126,7 +126,6 @@ class PieceView {
   std::vector<std::int32_t> child_list_;
   std::vector<std::int32_t> order_;  // preorder of locals
   std::vector<std::int32_t> stack_;  // DFS scratch
-  std::vector<NodeId> nbr_;          // DFS scratch
 };
 
 /// Computes all pieces of the currently-unembedded forest: components

@@ -69,6 +69,14 @@ EmbeddingService::EmbeddingService(ServiceConfig config)
   XT_CHECK(config_.queue_capacity >= 1);
   XT_CHECK(config_.load >= 1);
   if (config_.num_shards == 0) config_.num_shards = default_shards();
+  if (config_.intra_embed_parallelism <= 0) {
+    // Auto: divide the shared pool (its threads plus the borrowing
+    // shard itself) evenly among the shards, so all shards embedding
+    // at once ask for about one machine's worth of parallelism total.
+    const unsigned slots = ThreadPool::shared().num_threads() + 1;
+    config_.intra_embed_parallelism = static_cast<int>(
+        std::max(1u, slots / config_.num_shards));
+  }
   if (config_.cache_capacity > 0)
     cache_ = std::make_unique<CanonicalCache>(config_.cache_capacity);
   paused_ = config_.start_paused;
@@ -248,9 +256,20 @@ void EmbeddingService::process_group(std::vector<Pending> group,
   bool from_cache = entry != nullptr;
 
   if (!from_cache) {
+    // With a canonical form in hand, embed the *canonical* tree: its
+    // preorder ids stream the SoA arrays cache-linearly through the
+    // embedder, and the computed assignment is indexed by canonical id
+    // already — it IS the cache entry, and the leader is served by the
+    // same O(n) remap as its batch peers.  Without one (cache and
+    // batching both disabled, so the group is this one request) the
+    // guest is embedded directly and answered below.
+    const bool have_canon = !lead.canon.to_canonical.empty();
     Computed computed;
     try {
-      computed = compute(lead.tree, lead.theorem, arena);
+      computed = have_canon
+                     ? compute(canonical_tree(lead.tree, lead.canon),
+                               lead.theorem, arena)
+                     : compute(lead.tree, lead.theorem, arena);
     } catch (const std::exception& e) {
       for (Pending& p : live) {
         EmbedResponse r;
@@ -265,43 +284,40 @@ void EmbeddingService::process_group(std::vector<Pending> group,
       std::lock_guard<std::mutex> slock(stats_mu_);
       ++counters_.cache_misses;
     }
+    if (!have_canon) {
+      EmbedResponse r;
+      r.status = RequestStatus::kOk;
+      r.embedding = std::move(computed.embedding);
+      r.host_height = computed.host_height;
+      r.dilation = computed.dilation;
+      r.load_factor = computed.load_factor;
+      respond(live.front(), std::move(r));
+      return;
+    }
     auto fresh = std::make_shared<CachedEmbedding>();
-    fresh->canonical_assign.resize(
-        static_cast<std::size_t>(lead.tree.num_nodes()));
-    if (!lead.canon.to_canonical.empty()) {
-      for (NodeId v = 0; v < lead.tree.num_nodes(); ++v) {
-        fresh->canonical_assign[static_cast<std::size_t>(
-            lead.canon.to_canonical[static_cast<std::size_t>(v)])] =
-            computed.embedding.host_of(v);
-      }
+    const auto n = static_cast<std::size_t>(lead.tree.num_nodes());
+    fresh->canonical_assign.resize(n);
+    for (std::size_t c = 0; c < n; ++c) {
+      fresh->canonical_assign[c] =
+          computed.embedding.host_of(static_cast<NodeId>(c));
     }
     fresh->host_vertices = computed.host_vertices;
     fresh->host_height = computed.host_height;
     fresh->dilation = computed.dilation;
     fresh->load_factor = computed.load_factor;
     if (cache_ != nullptr) cache_->insert(key, *fresh);
-
-    // The leader gets the directly computed embedding; batch peers are
-    // remapped through their own canonical relabelling below.
-    EmbedResponse r;
-    r.status = RequestStatus::kOk;
-    r.embedding = std::move(computed.embedding);
-    r.host_height = computed.host_height;
-    r.dilation = computed.dilation;
-    r.load_factor = computed.load_factor;
-    respond(live.front(), std::move(r));
-    live.erase(live.begin());
     entry = std::move(fresh);
   }
 
-  for (Pending& p : live) {
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    Pending& p = live[i];
     EmbedResponse r;
     r.status = RequestStatus::kOk;
     r.host_height = entry->host_height;
     r.dilation = entry->dilation;
     r.load_factor = entry->load_factor;
     r.cache_hit = from_cache;
-    r.coalesced = !from_cache;
+    r.coalesced = !from_cache && i > 0;  // the miss leader is neither
     Embedding emb(p.tree.num_nodes(), entry->host_vertices);
     for (NodeId v = 0; v < p.tree.num_nodes(); ++v) {
       emb.place(v, entry->canonical_assign[static_cast<std::size_t>(
@@ -332,6 +348,7 @@ EmbeddingService::Computed EmbeddingService::compute(
     case Theorem::kT1: {
       XTreeEmbedder::Options o;
       o.load = config_.load;
+      o.intra_embed_parallelism = config_.intra_embed_parallelism;
       auto res = XTreeEmbedder::embed(tree, o, arena);
       const XTree host(res.stats.height);
       const auto prof = dilation_profile_xtree(tree, res.embedding, host);
@@ -345,6 +362,7 @@ EmbeddingService::Computed EmbeddingService::compute(
     case Theorem::kT2: {
       XTreeEmbedder::Options o;
       o.load = 16;  // the lift spends exactly four levels on 16 slots
+      o.intra_embed_parallelism = config_.intra_embed_parallelism;
       auto res = XTreeEmbedder::embed(tree, o, arena);
       const XTree base(res.stats.height);
       auto lift = lift_injective(tree, res.embedding, base);

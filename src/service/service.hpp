@@ -65,6 +65,14 @@ struct ServiceConfig {
   bool verify_hits = false;
   /// Guest nodes per host vertex for T1 (Theorems 2/3 fix 16).
   NodeId load = 16;
+  /// Per-embed parallel fan-out (XTreeEmbedder::Options::
+  /// intra_embed_parallelism): how many chunks one cache-miss embed's
+  /// SPLIT sweeps may spawn on the shared ThreadPool.  1 keeps each
+  /// embed on its shard thread (the PR 2 behaviour); 0 divides the
+  /// pool among the shards — max(1, (pool_threads + 1) / num_shards)
+  /// — so concurrent misses share the machine without oversubscribing.
+  /// Placements are bit-identical for every setting.
+  int intra_embed_parallelism = 0;
   /// Start with workers paused; resume() begins service.  Gives tests
   /// and trace replays a deterministic queue state.
   bool start_paused = false;

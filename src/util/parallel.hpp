@@ -51,4 +51,53 @@ void parallel_for(std::int64_t begin, std::int64_t end, Fn&& fn,
   ThreadPool::shared().run_blocks(begin, end, workers, fn);
 }
 
+namespace detail {
+
+template <typename Fn>
+void chunk_recurse(ThreadPool& pool, std::int64_t first_chunk,
+                   std::int64_t num_chunks, std::int64_t begin,
+                   std::int64_t end, std::int64_t chunk_size, Fn& fn) {
+  while (num_chunks > 1) {
+    // Spawn the RIGHT half as a stealable task and recurse into the
+    // left half ourselves.  Thieves pop FIFO, so the first steal grabs
+    // the largest pending subrange — the classic fork-join shape that
+    // keeps steal counts at O(workers * log(chunks)).
+    const std::int64_t left = num_chunks / 2;
+    auto right = pool.submit([&pool, first_chunk, left, num_chunks, begin, end,
+                              chunk_size, &fn] {
+      chunk_recurse(pool, first_chunk + left, num_chunks - left, begin, end,
+                    chunk_size, fn);
+    });
+    chunk_recurse(pool, first_chunk, left, begin, end, chunk_size, fn);
+    right.get();
+    return;
+  }
+  const std::int64_t lo = begin + first_chunk * chunk_size;
+  const std::int64_t hi = std::min(end, lo + chunk_size);
+  // fn(chunk_index, lo, hi): lo == hi happens for trailing chunks when
+  // the range doesn't fill them; fn must tolerate the empty range.
+  fn(first_chunk, lo, std::max(lo, hi));
+}
+
+}  // namespace detail
+
+/// Fork-join over a fixed chunk partition of [begin, end): the range
+/// is cut into `chunks` contiguous chunks of size ceil(count/chunks)
+/// and fn(chunk_index, lo, hi) is invoked once per chunk, on the
+/// calling thread and pool workers via recursive task spawning.  The
+/// partition depends only on (begin, end, chunks) — never on worker
+/// count or timing — so callers that reduce per-chunk results in chunk
+/// index order get bit-identical output for any pool size, including
+/// zero workers (everything then runs inline on the caller).  Safe to
+/// call from inside a pool task (caller-runs waits, nested-safe).
+template <typename Fn>
+void parallel_chunks(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                     std::int64_t chunks, Fn&& fn) {
+  const std::int64_t count = end - begin;
+  if (count <= 0 || chunks <= 0) return;
+  chunks = std::min(chunks, count);
+  const std::int64_t chunk_size = (count + chunks - 1) / chunks;
+  detail::chunk_recurse(pool, 0, chunks, begin, end, chunk_size, fn);
+}
+
 }  // namespace xt

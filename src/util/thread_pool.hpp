@@ -1,40 +1,118 @@
-// Persistent worker pool behind parallel_for.
+// Persistent worker pool: static block jobs (parallel_for) plus a
+// work-stealing task system (fork-join).
 //
 // The original harness spawned fresh std::threads on every
 // parallel_for call; at millions of dilation queries per sweep the
 // spawn/join cost dominated.  This pool starts its workers once and
-// feeds them *block jobs*: a [begin, end) range pre-partitioned into
-// static contiguous blocks (the exact partition the old code used, so
-// results stay deterministic and bit-identical for any worker count).
+// feeds them two kinds of work:
 //
-// The calling thread always participates: it claims blocks of its own
-// job until none remain, then sleeps until the blocks claimed by pool
-// workers finish.  Because every claimed block is run to completion by
-// whoever claimed it, nested parallel_for calls from inside a worker
-// cannot deadlock — waits only ever point down the nesting DAG.
+//   * *Block jobs*: a [begin, end) range pre-partitioned into static
+//     contiguous blocks (the exact partition the old code used, so
+//     results stay deterministic and bit-identical for any worker
+//     count).  The calling thread always participates: it claims
+//     blocks of its own job until none remain, then sleeps until the
+//     blocks claimed by pool workers finish.
+//
+//   * *Tasks*: submit() enqueues a callable and returns a TaskFuture.
+//     Each worker owns a deque; it pushes and pops its own tasks LIFO
+//     (depth-first, cache-warm) while idle workers steal FIFO from the
+//     other end (breadth-first, so thieves grab the largest pending
+//     subranges of a recursive fork).  External threads submit into a
+//     shared injection deque.  TaskFuture::get() is *caller-runs*: a
+//     waiter executes pending tasks instead of blocking, so nested
+//     fork-join from inside a worker cannot deadlock — provided waits
+//     point down the spawn DAG (only wait on tasks you or your
+//     descendants spawned), the task a waiter cannot find is running
+//     on another thread and will complete without needing the waiter.
+//
+// Because every claimed block or task is run to completion by whoever
+// claimed it, waits only ever point down the nesting DAG.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <exception>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace xt {
 
+class ThreadPool;
+
+namespace detail {
+
+/// One submitted task.  `run` wraps the user callable and the result
+/// slot; `done` flips exactly once, under `mu`, after the body (or its
+/// exception) has been captured.
+struct TaskNode {
+  std::function<void()> run;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::exception_ptr error;
+};
+
+template <typename T>
+struct ResultBox {
+  std::optional<T> value;
+};
+template <>
+struct ResultBox<void> {};
+
+}  // namespace detail
+
+/// Future returned by ThreadPool::submit.  get()/wait() help the pool
+/// execute pending tasks while the result is not ready (caller-runs),
+/// then block only when the awaited task is running on another thread.
+/// get() rethrows an exception thrown by the task body.
+template <typename T>
+class TaskFuture {
+ public:
+  TaskFuture() = default;
+
+  [[nodiscard]] bool valid() const { return node_ != nullptr; }
+
+  void wait();
+
+  T get() {
+    wait();
+    if (node_->error) std::rethrow_exception(node_->error);
+    if constexpr (!std::is_void_v<T>) return std::move(*box_->value);
+  }
+
+ private:
+  friend class ThreadPool;
+  TaskFuture(ThreadPool* pool, std::shared_ptr<detail::TaskNode> node,
+             std::shared_ptr<detail::ResultBox<T>> box)
+      : pool_(pool), node_(std::move(node)), box_(std::move(box)) {}
+
+  ThreadPool* pool_ = nullptr;
+  std::shared_ptr<detail::TaskNode> node_;
+  std::shared_ptr<detail::ResultBox<T>> box_;
+};
+
 class ThreadPool {
  public:
   /// Starts `threads` persistent workers (0 is valid: every job then
-  /// runs entirely on the calling thread).
+  /// runs entirely on the calling thread, and every submitted task is
+  /// executed by whichever thread waits on its future).
   explicit ThreadPool(unsigned threads) {
+    deques_.reserve(threads + 1);
+    for (unsigned i = 0; i <= threads; ++i)
+      deques_.push_back(std::make_unique<TaskDeque>());
     workers_.reserve(threads);
     for (unsigned i = 0; i < threads; ++i)
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, i] { worker_loop(i); });
   }
 
   ~ThreadPool() {
@@ -53,18 +131,77 @@ class ThreadPool {
     return static_cast<unsigned>(workers_.size());
   }
 
-  /// Block jobs currently enqueued (gauge; exported by the service
-  /// stats surface so operators can see pool pressure from shards
-  /// fanning metric audits into the shared pool).
+  /// Work currently enqueued and not yet *started*: block jobs in the
+  /// queue plus submitted tasks whose body has not begun executing —
+  /// including tasks already popped (stolen) by a worker that has not
+  /// reached the body yet, so the gauge stays truthful under work
+  /// stealing.  Exported by the service stats surface so operators can
+  /// see pool pressure from shards fanning work into the shared pool.
   [[nodiscard]] std::size_t queue_depth() {
-    std::lock_guard<std::mutex> lock(mu_);
-    return queue_.size();
+    std::size_t blocks;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      blocks = queue_.size();
+    }
+    return blocks + pending_tasks_.load(std::memory_order_relaxed);
   }
 
   /// Process-wide pool shared by every parallel_for.  Sized to the
   /// parallel_for worker count minus one — the calling thread is
   /// always the extra worker.  Started on first use, joined at exit.
   static ThreadPool& shared();
+
+  /// Submits `fn` for execution by any worker (or by a thread waiting
+  /// on the returned future — with zero pool threads the future's
+  /// get() runs the task inline).  A worker submitting from inside a
+  /// task pushes onto its own deque (LIFO for itself, FIFO for
+  /// thieves); external threads submit into the shared injection
+  /// deque.  Waits must point down the spawn DAG: only wait on futures
+  /// of tasks spawned by the waiting context.
+  template <typename Fn>
+  [[nodiscard]] auto submit(Fn&& fn) -> TaskFuture<std::invoke_result_t<Fn&>> {
+    using T = std::invoke_result_t<Fn&>;
+    auto node = std::make_shared<detail::TaskNode>();
+    auto box = std::make_shared<detail::ResultBox<T>>();
+    node->run = [node_raw = node.get(), box,
+                 f = std::forward<Fn>(fn)]() mutable {
+      try {
+        if constexpr (std::is_void_v<T>) {
+          f();
+        } else {
+          box->value.emplace(f());
+        }
+      } catch (...) {
+        node_raw->error = std::current_exception();
+      }
+    };
+    pending_tasks_.fetch_add(1, std::memory_order_relaxed);
+    const int slot = tls_pool == this ? tls_slot : injection_slot();
+    {
+      TaskDeque& dq = *deques_[static_cast<std::size_t>(slot)];
+      std::lock_guard<std::mutex> lock(dq.mu);
+      dq.tasks.push_back(node);
+    }
+    unclaimed_tasks_.fetch_add(1, std::memory_order_release);
+    {
+      // Lock-then-notify pairs with the workers' predicate check under
+      // mu_: a worker either sees the new count or gets the notify.
+      std::lock_guard<std::mutex> lock(mu_);
+    }
+    cv_.notify_one();
+    return TaskFuture<T>(this, std::move(node), std::move(box));
+  }
+
+  /// Pops and runs one pending task — own deque LIFO first, then the
+  /// injection deque, then steals FIFO from the other workers.
+  /// Returns false when no unclaimed task exists anywhere.
+  bool try_run_one_task() {
+    const int own = tls_pool == this ? tls_slot : injection_slot();
+    std::shared_ptr<detail::TaskNode> task = pop_task(own);
+    if (task == nullptr) return false;
+    execute(*task);
+    return true;
+  }
 
   /// Applies fn(i) for i in [begin, end), partitioned into `blocks`
   /// static contiguous blocks of size ceil(count / blocks).  Blocks
@@ -114,6 +251,9 @@ class ThreadPool {
   }
 
  private:
+  template <typename T>
+  friend class TaskFuture;
+
   struct Job {
     std::int64_t begin = 0;
     std::int64_t end = 0;
@@ -126,6 +266,61 @@ class ThreadPool {
     std::mutex done_mu;
     std::condition_variable done_cv;
   };
+
+  /// Per-worker task deque.  A short mutex (push/pop of one pointer)
+  /// instead of a lock-free Chase-Lev deque: task granularity here is
+  /// tens of microseconds and up, so the lock is never contended long,
+  /// and the invariants stay simple enough to audit under TSan.
+  struct TaskDeque {
+    std::mutex mu;
+    std::deque<std::shared_ptr<detail::TaskNode>> tasks;
+  };
+
+  /// External submitters share the last deque.
+  [[nodiscard]] int injection_slot() const {
+    return static_cast<int>(deques_.size()) - 1;
+  }
+
+  std::shared_ptr<detail::TaskNode> pop_task(int own) {
+    if (unclaimed_tasks_.load(std::memory_order_acquire) == 0) return nullptr;
+    const auto n = static_cast<int>(deques_.size());
+    // Own deque from the back (LIFO), every victim from the front
+    // (FIFO) — including the injection deque, which is FIFO for
+    // everyone.
+    {
+      TaskDeque& dq = *deques_[static_cast<std::size_t>(own)];
+      std::lock_guard<std::mutex> lock(dq.mu);
+      if (!dq.tasks.empty()) {
+        auto t = std::move(dq.tasks.back());
+        dq.tasks.pop_back();
+        unclaimed_tasks_.fetch_sub(1, std::memory_order_acq_rel);
+        return t;
+      }
+    }
+    for (int step = 1; step < n; ++step) {
+      TaskDeque& dq = *deques_[static_cast<std::size_t>((own + step) % n)];
+      std::lock_guard<std::mutex> lock(dq.mu);
+      if (!dq.tasks.empty()) {
+        auto t = std::move(dq.tasks.front());
+        dq.tasks.pop_front();
+        unclaimed_tasks_.fetch_sub(1, std::memory_order_acq_rel);
+        return t;
+      }
+    }
+    return nullptr;
+  }
+
+  void execute(detail::TaskNode& task) {
+    // The pending gauge drops only here, when the body actually
+    // starts — a popped-but-not-yet-run task still counts.
+    pending_tasks_.fetch_sub(1, std::memory_order_relaxed);
+    task.run();
+    {
+      std::lock_guard<std::mutex> lock(task.mu);
+      task.done = true;
+    }
+    task.cv.notify_all();
+  }
 
   void run_one_block(Job& job, std::uint32_t index) {
     const std::int64_t lo =
@@ -140,14 +335,25 @@ class ThreadPool {
     }
   }
 
-  void worker_loop() {
+  void worker_loop(unsigned slot) {
+    tls_pool = this;
+    tls_slot = static_cast<int>(slot);
     for (;;) {
+      while (try_run_one_task()) {
+      }
       std::shared_ptr<Job> job;
       std::uint32_t index = 0;
       {
         std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-        if (queue_.empty()) return;  // stop_ set and nothing left to drain
+        cv_.wait(lock, [&] {
+          return stop_ || !queue_.empty() ||
+                 unclaimed_tasks_.load(std::memory_order_acquire) > 0;
+        });
+        if (unclaimed_tasks_.load(std::memory_order_acquire) > 0) continue;
+        if (queue_.empty()) {
+          if (stop_) return;  // nothing left to drain
+          continue;
+        }
         job = queue_.front();
         index = job->next.fetch_add(1, std::memory_order_relaxed);
         if (index >= job->num_blocks) {
@@ -160,11 +366,43 @@ class ThreadPool {
     }
   }
 
+  // Worker identity for deque selection: which pool this thread
+  // belongs to (if any) and its deque slot there.
+  static inline thread_local ThreadPool* tls_pool = nullptr;
+  static inline thread_local int tls_slot = 0;
+
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::shared_ptr<Job>> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+  // deques_[0..num_threads-1] belong to the workers; the last entry is
+  // the injection deque for external submitters.
+  std::vector<std::unique_ptr<TaskDeque>> deques_;
+  std::atomic<std::size_t> unclaimed_tasks_{0};  // in a deque right now
+  std::atomic<std::size_t> pending_tasks_{0};    // submitted, body not begun
 };
+
+template <typename T>
+void TaskFuture<T>::wait() {
+  auto done = [&] {
+    std::lock_guard<std::mutex> lock(node_->mu);
+    return node_->done;
+  };
+  for (;;) {
+    if (done()) return;
+    // Caller-runs: execute pending work instead of blocking.  When no
+    // unclaimed task exists, the one we await is running on another
+    // thread; block until its completion signal.
+    if (pool_->try_run_one_task()) continue;
+    std::unique_lock<std::mutex> lock(node_->mu);
+    if (node_->done) return;
+    node_->cv.wait(lock, [&] {
+      return node_->done ||
+             pool_->unclaimed_tasks_.load(std::memory_order_acquire) > 0;
+    });
+    if (node_->done) return;
+  }
+}
 
 }  // namespace xt

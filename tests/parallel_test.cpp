@@ -1,10 +1,21 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <atomic>
+#include <functional>
+#include <mutex>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "btree/generators.hpp"
+#include "core/xtree_embedder.hpp"
+#include "embedding/metrics.hpp"
+#include "topology/xtree.hpp"
 #include "util/parallel.hpp"
+#include "util/rng.hpp"
 
 namespace xt {
 namespace {
@@ -89,6 +100,245 @@ TEST(ThreadPool, SharedSingletonIsStable) {
   ThreadPool& b = ThreadPool::shared();
   EXPECT_EQ(&a, &b);
   EXPECT_EQ(a.num_threads(), parallel_workers() - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Task system (submit / TaskFuture / work stealing).  Pools are sized
+// explicitly so stealing paths run even on few-core CI machines.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTasks, SubmitReturnsValue) {
+  for (unsigned threads : {0u, 1u, 3u}) {
+    ThreadPool pool(threads);
+    auto f = pool.submit([] { return 41 + 1; });
+    EXPECT_EQ(f.get(), 42);
+    auto g = pool.submit([] { return std::string("steal me"); });
+    EXPECT_EQ(g.get(), "steal me");
+  }
+}
+
+TEST(ThreadPoolTasks, VoidTaskCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  auto f = pool.submit([&] { ++ran; });
+  f.get();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTasks, ZeroWorkerPoolRunsInlineOnWaiter) {
+  // With no pool threads a task can only run when someone waits on it
+  // (caller-runs); get() must not block forever.
+  ThreadPool pool(0);
+  auto f = pool.submit([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+}
+
+TEST(ThreadPoolTasks, ExceptionPropagatesToGet) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTasks, ManyTasksAllRunOnce) {
+  for (unsigned threads : {0u, 2u, 7u}) {
+    ThreadPool pool(threads);
+    constexpr int kTasks = 500;
+    std::vector<std::atomic<int>> hits(kTasks);
+    std::vector<TaskFuture<void>> futures;
+    futures.reserve(kTasks);
+    for (int i = 0; i < kTasks; ++i)
+      futures.push_back(pool.submit([&hits, i] { ++hits[static_cast<std::size_t>(i)]; }));
+    for (auto& f : futures) f.get();
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTasks, NestedForkJoinFromInsideTasks) {
+  // Tasks spawn subtasks and wait on them; caller-runs waits keep this
+  // deadlock-free even when the pool has fewer threads than the
+  // outstanding wait chain is deep.
+  ThreadPool pool(2);
+  std::function<std::int64_t(std::int64_t, std::int64_t)> sum_range =
+      [&](std::int64_t lo, std::int64_t hi) -> std::int64_t {
+    if (hi - lo <= 8) {
+      std::int64_t s = 0;
+      for (std::int64_t i = lo; i < hi; ++i) s += i;
+      return s;
+    }
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    auto right = pool.submit([&, mid, hi] { return sum_range(mid, hi); });
+    const std::int64_t left = sum_range(lo, mid);
+    return left + right.get();
+  };
+  constexpr std::int64_t kN = 4000;
+  EXPECT_EQ(sum_range(0, kN), kN * (kN - 1) / 2);
+}
+
+TEST(ThreadPoolTasks, QueueDepthCountsUnstartedTasks) {
+  // With zero pool threads nothing dequeues until we wait, so the
+  // gauge must report every submitted-but-unstarted task, and return
+  // to zero once they have all run.
+  ThreadPool pool(0);
+  std::vector<TaskFuture<void>> futures;
+  for (int i = 0; i < 5; ++i) futures.push_back(pool.submit([] {}));
+  EXPECT_EQ(pool.queue_depth(), 5u);
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPoolTasks, QueueDepthDrainsUnderWorkers) {
+  ThreadPool pool(3);
+  std::vector<TaskFuture<void>> futures;
+  for (int i = 0; i < 64; ++i)
+    futures.push_back(pool.submit([] {
+      volatile int x = 0;
+      for (int k = 0; k < 1000; ++k) x = x + k;
+    }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ParallelChunks, CoversRangeOnceAnyPoolSize) {
+  for (unsigned threads : {0u, 1u, 7u}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    parallel_chunks(pool, 0, 1000, 16,
+                    [&](std::int64_t, std::int64_t lo, std::int64_t hi) {
+                      for (std::int64_t i = lo; i < hi; ++i)
+                        ++hits[static_cast<std::size_t>(i)];
+                    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelChunks, PartitionIndependentOfPoolSize) {
+  // The (chunk_index -> [lo, hi)) map must depend only on the range
+  // and chunk count — this is what makes per-chunk reductions
+  // bit-identical across worker counts.
+  auto partition_of = [](unsigned threads, std::int64_t n, std::int64_t chunks) {
+    ThreadPool pool(threads);
+    std::mutex mu;
+    std::vector<std::array<std::int64_t, 3>> out;
+    parallel_chunks(pool, 0, n, chunks,
+                    [&](std::int64_t c, std::int64_t lo, std::int64_t hi) {
+                      std::lock_guard<std::mutex> lock(mu);
+                      out.push_back({c, lo, hi});
+                    });
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  for (std::int64_t n : {1, 5, 97, 1000}) {
+    for (std::int64_t chunks : {1, 3, 8, 200}) {
+      const auto seq = partition_of(0, n, chunks);
+      EXPECT_EQ(seq, partition_of(2, n, chunks)) << n << "/" << chunks;
+      EXPECT_EQ(seq, partition_of(7, n, chunks)) << n << "/" << chunks;
+    }
+  }
+}
+
+TEST(ParallelChunks, ChunkCountClampedToRange) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  parallel_chunks(pool, 0, 3, 100,
+                  [&](std::int64_t, std::int64_t lo, std::int64_t hi) {
+                    EXPECT_EQ(hi - lo, 1);
+                    ++calls;
+                  });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel embed determinism: Options::intra_embed_parallelism must
+// never change the output.  50 random trees spanning r = 8..10, each
+// embedded with task budgets 1 (the sequential oracle), 2, and 8;
+// placements, stats, and dilation profiles must be byte-identical.
+// ---------------------------------------------------------------------------
+
+TEST(EmbedderParallel, BitIdenticalPlacementsAcrossTaskBudgets) {
+  Rng rng(0x5eed5eedULL);
+  for (int t = 0; t < 50; ++t) {
+    const std::int32_t r = 8 + (t % 3);
+    const NodeId n = 16 * ((NodeId{2} << r) - 1);
+    const BinaryTree tree = make_random_tree(n, rng);
+
+    XTreeEmbedder::Options opt;
+    // Live discipline checking stays on for a third of the trees: it
+    // reads concurrent placements in the parallel sweep, so it is
+    // exactly the path a data race would corrupt first.
+    opt.check_discipline = (t % 3 == 0);
+
+    std::vector<VertexId> oracle_assign;
+    std::vector<std::int32_t> oracle_profile;
+    XTreeEmbedder::Stats oracle_stats;
+    for (const int budget : {1, 2, 8}) {
+      opt.intra_embed_parallelism = budget;
+      XTreeEmbedder::EmbedArena arena;
+      const auto result = XTreeEmbedder::embed(tree, opt, arena);
+
+      std::vector<VertexId> assign(static_cast<std::size_t>(n));
+      for (NodeId v = 0; v < n; ++v)
+        assign[static_cast<std::size_t>(v)] = result.embedding.host_of(v);
+      const XTree host(result.stats.height);
+      const DilationProfile profile =
+          dilation_profile_xtree(tree, result.embedding, host);
+
+      if (budget == 1) {
+        oracle_assign = assign;
+        oracle_profile = profile.per_edge;
+        oracle_stats = result.stats;
+        continue;
+      }
+      ASSERT_EQ(assign, oracle_assign) << "tree " << t << " budget " << budget;
+      ASSERT_EQ(profile.per_edge, oracle_profile)
+          << "tree " << t << " budget " << budget;
+      EXPECT_EQ(result.stats.split_calls, oracle_stats.split_calls);
+      EXPECT_EQ(result.stats.lemma_splits, oracle_stats.lemma_splits);
+      EXPECT_EQ(result.stats.whole_moves, oracle_stats.whole_moves);
+      EXPECT_EQ(result.stats.median_fixes, oracle_stats.median_fixes);
+      EXPECT_EQ(result.stats.peel_fills, oracle_stats.peel_fills);
+      EXPECT_EQ(result.stats.repair_placements,
+                oracle_stats.repair_placements);
+      EXPECT_EQ(result.stats.discipline_violations,
+                oracle_stats.discipline_violations);
+      EXPECT_EQ(result.stats.max_observed_embed_distance,
+                oracle_stats.max_observed_embed_distance);
+    }
+  }
+}
+
+TEST(EmbedderParallel, ArenaReuseAcrossParallelEmbeds) {
+  // One arena threaded through repeated parallel embeds (the service
+  // shard pattern): per-chunk arenas persist and results stay equal to
+  // fresh-arena runs.
+  Rng rng(42);
+  XTreeEmbedder::Options opt;
+  opt.check_discipline = false;
+  XTreeEmbedder::EmbedArena reused;
+  for (int t = 0; t < 4; ++t) {
+    const BinaryTree tree = make_random_tree(16 * 511, rng);
+    opt.intra_embed_parallelism = 8;
+    const auto warm = XTreeEmbedder::embed(tree, opt, reused);
+    opt.intra_embed_parallelism = 1;
+    const auto cold = XTreeEmbedder::embed(tree, opt);
+    for (NodeId v = 0; v < tree.num_nodes(); ++v)
+      ASSERT_EQ(warm.embedding.host_of(v), cold.embedding.host_of(v))
+          << "embed " << t << " node " << v;
+  }
+}
+
+TEST(ParallelChunks, MixesWithParallelForOnSharedPool) {
+  // Block jobs and tasks share the worker loop; interleaving them must
+  // not lose work or deadlock.
+  ThreadPool& pool = ThreadPool::shared();
+  std::atomic<std::int64_t> task_sum{0};
+  std::atomic<std::int64_t> for_sum{0};
+  parallel_chunks(pool, 0, 256, 16,
+                  [&](std::int64_t, std::int64_t lo, std::int64_t hi) {
+                    for (std::int64_t i = lo; i < hi; ++i) task_sum += i;
+                    parallel_for(0, 32, [&](std::int64_t j) { for_sum += j; }, 2);
+                  });
+  EXPECT_EQ(task_sum.load(), 256 * 255 / 2);
+  EXPECT_EQ(for_sum.load(), 16 * (32 * 31 / 2));
 }
 
 }  // namespace

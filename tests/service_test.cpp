@@ -341,6 +341,83 @@ TEST(EmbeddingService, ManyConcurrentMixedRequests) {
                 stats.expired + stats.failed);
 }
 
+TEST(EmbeddingService, ParallelIntraEmbedUnderLoad) {
+  // Nested composition under load: every shard borrows shared-pool
+  // slots for its embeds' SPLIT sweeps (intra_embed_parallelism > 1)
+  // while the same pool carries the dilation audits and the other
+  // shards' sweeps.  The waits-point-down-the-DAG discipline plus the
+  // caller-runs future wait must keep this deadlock-free, and the
+  // service must account for every request exactly once:
+  //   submitted == completed + rejected + expired + failed.
+  Rng rng(713);
+  ServiceConfig cfg;
+  cfg.queue_capacity = 48;  // small enough that the burst overflows
+  cfg.num_shards = 3;
+  cfg.intra_embed_parallelism = 4;  // explicit, not auto
+  cfg.cache_capacity = 8;
+  EmbeddingService svc(cfg);
+  EXPECT_EQ(svc.config().intra_embed_parallelism, 4);
+
+  std::vector<std::future<EmbedResponse>> futs;
+  for (int i = 0; i < 96; ++i) {
+    // Exact-form r=4 trees (496 nodes): the later SPLIT rounds clear
+    // the sequential cutoff, so the parallel path genuinely runs.
+    // Five shapes cycle so the cache and batcher both see repeats.
+    Rng shape(714 + static_cast<std::uint64_t>(i % 5));
+    EmbedRequest req = request_for(make_random_tree(16 * 31, shape));
+    if (i % 16 == 15) req.deadline = ServiceClock::now() - 1ms;
+    req.priority = static_cast<std::int32_t>(rng.below(3));
+    futs.push_back(svc.submit(std::move(req)));
+  }
+  std::uint64_t ok = 0, rejected = 0, expired = 0, failed = 0;
+  for (auto& f : futs) {
+    const EmbedResponse res = f.get();  // hangs forever on a deadlock
+    switch (res.status) {
+      case RequestStatus::kOk:
+        ASSERT_TRUE(res.embedding.has_value());
+        EXPECT_LE(res.dilation, 3);
+        ++ok;
+        break;
+      case RequestStatus::kRejectedQueueFull:
+      case RequestStatus::kRejectedShutdown: ++rejected; break;
+      case RequestStatus::kExpiredDeadline: ++expired; break;
+      case RequestStatus::kFailed: FAIL() << res.reason; ++failed; break;
+    }
+  }
+  EXPECT_GT(ok, 0u);
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 96u);
+  EXPECT_EQ(stats.completed, ok);
+  EXPECT_EQ(stats.rejected_full + stats.rejected_shutdown, rejected);
+  EXPECT_EQ(stats.expired, expired);
+  EXPECT_EQ(stats.failed, failed);
+  EXPECT_EQ(stats.submitted, stats.completed + stats.rejected_full +
+                                 stats.rejected_shutdown + stats.expired +
+                                 stats.failed);
+}
+
+TEST(EmbeddingService, ParallelBudgetsServeIdenticalPlacements) {
+  // The parallel cache-miss path must serve byte-identical placements
+  // to the sequential one for the same guest: budget is a throughput
+  // knob, never a result knob.
+  Rng rng(715);
+  const BinaryTree tree = make_random_tree(16 * 31, rng);
+  std::vector<std::vector<VertexId>> hosts;
+  for (int budget : {1, 4}) {
+    ServiceConfig cfg;
+    cfg.num_shards = 1;
+    cfg.intra_embed_parallelism = budget;
+    EmbeddingService svc(cfg);
+    const EmbedResponse res = svc.submit(request_for(tree)).get();
+    ASSERT_EQ(res.status, RequestStatus::kOk) << res.reason;
+    std::vector<VertexId> host(static_cast<std::size_t>(tree.num_nodes()));
+    for (NodeId v = 0; v < tree.num_nodes(); ++v)
+      host[static_cast<std::size_t>(v)] = res.embedding->host_of(v);
+    hosts.push_back(std::move(host));
+  }
+  EXPECT_EQ(hosts[0], hosts[1]);
+}
+
 TEST(ServiceVocabulary, TheoremNamesRoundTrip) {
   for (Theorem t : {Theorem::kT1, Theorem::kT2, Theorem::kT3}) {
     const auto parsed = parse_theorem(theorem_name(t));
