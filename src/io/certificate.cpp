@@ -19,7 +19,13 @@ std::uint64_t fnv1a(const std::string& s) {
   return h;
 }
 
-std::uint64_t assignment_hash(const Embedding& emb) {
+}  // namespace
+
+std::uint64_t guest_fingerprint(const BinaryTree& guest) {
+  return fnv1a(guest.to_paren());
+}
+
+std::uint64_t assignment_fingerprint(const Embedding& emb) {
   // Order-dependent mix over (guest, host) pairs.
   std::uint64_t h = 0x9e3779b97f4a7c15ULL;
   for (NodeId v = 0; v < emb.num_guest_nodes(); ++v) {
@@ -32,8 +38,6 @@ std::uint64_t assignment_hash(const Embedding& emb) {
   return h;
 }
 
-}  // namespace
-
 EmbeddingCertificate issue_certificate(const BinaryTree& guest,
                                        const Embedding& emb,
                                        std::int32_t host_height) {
@@ -41,8 +45,8 @@ EmbeddingCertificate issue_certificate(const BinaryTree& guest,
   const XTree host(host_height);
   XT_CHECK(emb.num_host_vertices() == host.num_vertices());
   EmbeddingCertificate cert;
-  cert.guest_fingerprint = fnv1a(guest.to_paren());
-  cert.assignment_fingerprint = assignment_hash(emb);
+  cert.guest_fingerprint = guest_fingerprint(guest);
+  cert.assignment_fingerprint = assignment_fingerprint(emb);
   cert.guest_nodes = guest.num_nodes();
   cert.host_height = host_height;
   cert.dilation = dilation_xtree(guest, emb, host).max;
@@ -54,8 +58,8 @@ bool verify_certificate(const EmbeddingCertificate& cert,
                         const BinaryTree& guest, const Embedding& emb) {
   if (cert.guest_nodes != guest.num_nodes()) return false;
   if (!emb.complete()) return false;
-  if (cert.guest_fingerprint != fnv1a(guest.to_paren())) return false;
-  if (cert.assignment_fingerprint != assignment_hash(emb)) return false;
+  if (cert.guest_fingerprint != guest_fingerprint(guest)) return false;
+  if (cert.assignment_fingerprint != assignment_fingerprint(emb)) return false;
   const XTree host(cert.host_height);
   if (emb.num_host_vertices() != host.num_vertices()) return false;
   if (emb.load_factor() != cert.load_factor) return false;

@@ -28,6 +28,16 @@ struct EmbeddingCertificate {
   NodeId load_factor = 0;         // claimed max load
 };
 
+/// FNV-1a over the preorder paren form — the guest identity every
+/// certificate binds.  Shared with the per-theorem certificate chain
+/// (src/verify/certificate_chain.hpp) so all layers agree on what
+/// "the same tree" means.
+std::uint64_t guest_fingerprint(const BinaryTree& guest);
+
+/// Order-dependent mix over (guest node, host vertex) placement pairs;
+/// any single relocation changes the fingerprint.
+std::uint64_t assignment_fingerprint(const Embedding& emb);
+
 /// Measures `emb` (which must be a complete embedding into X(height))
 /// and issues the certificate.
 EmbeddingCertificate issue_certificate(const BinaryTree& guest,

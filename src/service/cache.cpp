@@ -71,6 +71,13 @@ void CanonicalCache::insert(const CacheKey& key, CachedEmbedding value) {
   map_.emplace(key, lru_.begin());
 }
 
+void CanonicalCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.evictions += lru_.size();
+  map_.clear();
+  lru_.clear();
+}
+
 CanonicalCache::Counters CanonicalCache::counters() const {
   std::lock_guard<std::mutex> lock(mu_);
   return counters_;

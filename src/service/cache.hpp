@@ -77,6 +77,11 @@ class CanonicalCache {
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
+  /// Drops every resident entry (each counted as an eviction).  Used
+  /// by fault injection to force mid-run cold-cache behaviour; live
+  /// shared_ptr snapshots held by readers stay valid.
+  void clear();
+
  private:
   struct Entry {
     CacheKey key;

@@ -1,0 +1,65 @@
+// Deterministic fault injection for the embedding service.
+//
+// A FaultPlan names, by 1-based *submit sequence number*, the requests
+// that must be forced down each failure path:
+//
+//   reject_submit       kRejectedQueueFull at submit(), regardless of
+//                       actual queue depth;
+//   expire_request      kExpiredDeadline when a shard dequeues the
+//                       request, regardless of wall-clock deadline;
+//   fail_embed          a worker exception while serving the request's
+//                       group (answered kFailed through the same catch
+//                       path a real embedder exception takes);
+//   evict_cache_before  the canonical cache is cleared immediately
+//                       before the request's group is served, forcing
+//                       mid-batch cold-cache behaviour.
+//
+// Submit sequence numbers are assigned in submit() call order, so a
+// single-threaded test driving submits one by one gets a fully
+// deterministic schedule with no sleeps: the accounting identity
+// submitted == completed + rejected + expired + failed is then exact,
+// terminal state by terminal state.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace xt {
+
+struct FaultPlan {
+  std::set<std::uint64_t> reject_submit;
+  std::set<std::uint64_t> expire_request;
+  std::set<std::uint64_t> fail_embed;
+  std::set<std::uint64_t> evict_cache_before;
+
+  [[nodiscard]] bool empty() const {
+    return reject_submit.empty() && expire_request.empty() &&
+           fail_embed.empty() && evict_cache_before.empty();
+  }
+
+  /// Seeded random plan over `submits` requests: each submit draws one
+  /// fault with probability `p` (the fault kind is part of the same
+  /// draw, so the plan is a pure function of the seed).
+  [[nodiscard]] static FaultPlan chaos(std::uint64_t seed,
+                                       std::uint64_t submits, double p) {
+    FaultPlan plan;
+    std::uint64_t state = seed;
+    for (std::uint64_t seq = 1; seq <= submits; ++seq) {
+      const std::uint64_t z = splitmix64(state);
+      const double u =
+          static_cast<double>(z >> 11) * 0x1.0p-53;  // uniform [0, 1)
+      if (u >= p) continue;
+      switch ((z >> 1) & 3U) {
+        case 0: plan.reject_submit.insert(seq); break;
+        case 1: plan.expire_request.insert(seq); break;
+        case 2: plan.fail_embed.insert(seq); break;
+        default: plan.evict_cache_before.insert(seq); break;
+      }
+    }
+    return plan;
+  }
+};
+
+}  // namespace xt

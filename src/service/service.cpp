@@ -107,7 +107,7 @@ std::future<EmbedResponse> EmbeddingService::submit(EmbedRequest request) {
     std::lock_guard<std::mutex> lock(mu_);
     {
       std::lock_guard<std::mutex> slock(stats_mu_);
-      ++counters_.submitted;
+      p.submit_seq = ++counters_.submitted;
     }
     if (stopping_) {
       EmbedResponse r;
@@ -120,14 +120,21 @@ std::future<EmbedResponse> EmbeddingService::submit(EmbedRequest request) {
       p.promise.set_value(std::move(r));
       return future;
     }
-    if (queue_.size() >= config_.queue_capacity) {
+    const bool forced_reject =
+        config_.fault_plan.reject_submit.count(p.submit_seq) > 0;
+    if (forced_reject || queue_.size() >= config_.queue_capacity) {
       // Explicit backpressure: the caller learns exactly why and how
       // full the service is; nothing is dropped on the floor.
       EmbedResponse r;
       r.status = RequestStatus::kRejectedQueueFull;
       std::ostringstream os;
-      os << "queue full (depth " << queue_.size() << ", capacity "
-         << config_.queue_capacity << ")";
+      if (forced_reject) {
+        os << "queue full (fault injection: forced rejection of submit "
+           << p.submit_seq << ")";
+      } else {
+        os << "queue full (depth " << queue_.size() << ", capacity "
+           << config_.queue_capacity << ")";
+      }
       r.reason = os.str();
       {
         std::lock_guard<std::mutex> slock(stats_mu_);
@@ -226,15 +233,25 @@ void EmbeddingService::process_group(std::vector<Pending> group,
   const auto now = ServiceClock::now();
 
   // Deadline admission: expired requests are answered, not embedded.
+  // A planned expiry (fault injection) takes the identical path with
+  // no wall-clock involvement.
   std::vector<Pending> live;
   live.reserve(group.size());
   for (Pending& p : group) {
-    if (p.deadline != ServiceClock::time_point{} && p.deadline < now) {
+    const bool forced_expire =
+        config_.fault_plan.expire_request.count(p.submit_seq) > 0;
+    if (forced_expire ||
+        (p.deadline != ServiceClock::time_point{} && p.deadline < now)) {
       EmbedResponse r;
       r.status = RequestStatus::kExpiredDeadline;
       std::ostringstream os;
-      os << "deadline expired "
-         << ms_between(p.deadline, now) << " ms before service";
+      if (forced_expire) {
+        os << "deadline expired (fault injection: forced expiry of submit "
+           << p.submit_seq << ")";
+      } else {
+        os << "deadline expired "
+           << ms_between(p.deadline, now) << " ms before service";
+      }
       r.reason = os.str();
       diag("[service] expired request (queued " +
            std::to_string(ms_between(p.enqueued, now)) + " ms)");
@@ -249,10 +266,26 @@ void EmbeddingService::process_group(std::vector<Pending> group,
   const CacheKey key{lead.canon.hash, lead.tree.num_nodes(), lead.theorem,
                      config_.load};
 
+  // Fault injection ahead of the lookup: a planned eviction empties
+  // the cache mid-run, and a planned worker exception bypasses the
+  // cache so the failure always takes the embed path below.
+  std::uint64_t planned_fail_seq = 0;
+  for (const Pending& p : live) {
+    if (config_.fault_plan.fail_embed.count(p.submit_seq) > 0)
+      planned_fail_seq = p.submit_seq;
+    if (cache_ != nullptr &&
+        config_.fault_plan.evict_cache_before.count(p.submit_seq) > 0) {
+      cache_->clear();
+      diag("[service] fault injection: cache cleared before submit " +
+           std::to_string(p.submit_seq));
+    }
+  }
+
   // Serve the whole group from one cached (or freshly computed)
   // canonical assignment.
   std::shared_ptr<const CachedEmbedding> entry =
-      cache_ != nullptr ? cache_->lookup(key) : nullptr;
+      cache_ != nullptr && planned_fail_seq == 0 ? cache_->lookup(key)
+                                                 : nullptr;
   bool from_cache = entry != nullptr;
 
   if (!from_cache) {
@@ -266,6 +299,9 @@ void EmbeddingService::process_group(std::vector<Pending> group,
     const bool have_canon = !lead.canon.to_canonical.empty();
     Computed computed;
     try {
+      XT_CHECK_MSG(planned_fail_seq == 0,
+                   "fault injection: forced worker exception (submit "
+                       << planned_fail_seq << ")");
       computed = have_canon
                      ? compute(canonical_tree(lead.tree, lead.canon),
                                lead.theorem, arena)

@@ -44,6 +44,7 @@
 #include "btree/canonical.hpp"
 #include "core/xtree_embedder.hpp"
 #include "service/cache.hpp"
+#include "service/fault.hpp"
 #include "service/request.hpp"
 #include "util/stats.hpp"
 
@@ -79,6 +80,9 @@ struct ServiceConfig {
   /// Receives one line per notable event (rejection, expiry, failure,
   /// shutdown summary), same contract as XTreeEmbedder's sink.
   std::function<void(const std::string&)> diagnostic_sink;
+  /// Deterministic fault injection (service/fault.hpp): forces named
+  /// submits down each terminal failure path.  Empty = no faults.
+  FaultPlan fault_plan;
 };
 
 /// Snapshot of the service counters (all values since construction).
@@ -142,6 +146,7 @@ class EmbeddingService {
     BinaryTree tree;
     Theorem theorem = Theorem::kT1;
     std::int32_t priority = 0;
+    std::uint64_t submit_seq = 0;  // 1-based submit() order
     ServiceClock::time_point deadline{};
     ServiceClock::time_point enqueued{};
     CanonicalForm canon;

@@ -35,10 +35,12 @@ inline ThreadPool& ThreadPool::shared() {
 /// Applies fn(i) for i in [begin, end) across worker threads in static
 /// contiguous blocks (the same partition for any pool size, so results
 /// are bit-identical with 1 and N workers for race-free fn).  fn must
-/// be safe to call concurrently for distinct i; exceptions thrown by
-/// fn terminate (keep worker bodies noexcept in spirit).  Falls back
-/// to the calling thread for small ranges.  Safe to call from inside a
-/// worker body (nested calls share the pool and cannot deadlock).
+/// be safe to call concurrently for distinct i; if fn throws, the
+/// first exception is rethrown on the calling thread after the sweep
+/// drains (run_blocks captures it — no worker ever terminates).  Falls
+/// back to the calling thread for small ranges.  Safe to call from
+/// inside a worker body (nested calls share the pool and cannot
+/// deadlock).
 template <typename Fn>
 void parallel_for(std::int64_t begin, std::int64_t end, Fn&& fn,
                   unsigned workers = parallel_workers()) {

@@ -207,7 +207,10 @@ class ThreadPool {
   /// static contiguous blocks of size ceil(count / blocks).  Blocks
   /// are executed by the pool workers *and* the calling thread; the
   /// call returns only after every index has been processed.  fn must
-  /// be safe to call concurrently for distinct i.
+  /// be safe to call concurrently for distinct i.  If fn throws, the
+  /// first exception (any thread) is captured and rethrown here on the
+  /// calling thread once every claimed block has finished — a throwing
+  /// body never terminates a pool worker.
   template <typename Fn>
   void run_blocks(std::int64_t begin, std::int64_t end, unsigned blocks,
                   Fn&& fn) {
@@ -244,10 +247,15 @@ class ThreadPool {
     }
     // Wait for blocks claimed by pool workers to drain.  fn lives on
     // the caller's stack, so this wait is what makes job->ctx safe.
-    std::unique_lock<std::mutex> lock(job->done_mu);
-    job->done_cv.wait(lock, [&] {
-      return job->done.load(std::memory_order_acquire) == job->num_blocks;
-    });
+    {
+      std::unique_lock<std::mutex> lock(job->done_mu);
+      job->done_cv.wait(lock, [&] {
+        return job->done.load(std::memory_order_acquire) == job->num_blocks;
+      });
+    }
+    // All block bodies happened-before the final done increment we
+    // just acquired, so the error slot is safe to read unlocked.
+    if (job->error) std::rethrow_exception(job->error);
   }
 
  private:
@@ -265,6 +273,8 @@ class ThreadPool {
     void* ctx = nullptr;
     std::mutex done_mu;
     std::condition_variable done_cv;
+    std::mutex error_mu;
+    std::exception_ptr error;  // first exception from any block body
   };
 
   /// Per-worker task deque.  A short mutex (push/pop of one pointer)
@@ -326,7 +336,15 @@ class ThreadPool {
     const std::int64_t lo =
         job.begin + static_cast<std::int64_t>(index) * job.block;
     const std::int64_t hi = std::min(job.end, lo + job.block);
-    job.run(job.ctx, lo, hi);
+    try {
+      job.run(job.ctx, lo, hi);
+    } catch (...) {
+      // Keep the first failure; the job still runs its remaining
+      // blocks (they are independent by contract) and the caller
+      // rethrows after the completion wait.
+      std::lock_guard<std::mutex> lock(job.error_mu);
+      if (!job.error) job.error = std::current_exception();
+    }
     if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         job.num_blocks) {
       // Lock pairs with the waiter's predicate check: no lost wakeup.

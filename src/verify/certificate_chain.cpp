@@ -1,0 +1,351 @@
+#include "verify/certificate_chain.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "core/hypercube_embedding.hpp"
+#include "core/injective_lift.hpp"
+#include "core/xtree_embedder.hpp"
+#include "embedding/metrics.hpp"
+#include "io/certificate.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/xtree.hpp"
+#include "util/check.hpp"
+#include "verify/oracle.hpp"
+
+namespace xt {
+namespace {
+
+TheoremCertificate base_cert(ChainLink link, const BinaryTree& guest,
+                             const Embedding& emb) {
+  TheoremCertificate cert;
+  cert.link = link;
+  cert.guest_fingerprint = guest_fingerprint(guest);
+  cert.assignment_fingerprint = assignment_fingerprint(emb);
+  cert.guest_nodes = guest.num_nodes();
+  return cert;
+}
+
+/// Shared preamble of every link verification: identity, placement
+/// soundness, recounted load.  Returns "" or the first violation.
+std::string verify_common(const TheoremCertificate& cert,
+                          const BinaryTree& guest, const Embedding& emb) {
+  std::ostringstream os;
+  if (cert.guest_nodes != guest.num_nodes()) {
+    os << "certificate covers " << cert.guest_nodes << " nodes, tree has "
+       << guest.num_nodes();
+    return os.str();
+  }
+  if (cert.guest_fingerprint != guest_fingerprint(guest))
+    return "guest fingerprint mismatch";
+  if (std::string bad = oracle_check_placement(guest, emb); !bad.empty())
+    return bad;
+  if (cert.assignment_fingerprint != assignment_fingerprint(emb))
+    return "assignment fingerprint mismatch";
+  const NodeId load = oracle_load_factor(emb);
+  if (load != cert.load_factor) {
+    os << "recounted load factor " << load << " != claimed "
+       << cert.load_factor;
+    return os.str();
+  }
+  if (cert.load_factor > cert.load_bound) {
+    os << "claimed load factor " << cert.load_factor << " exceeds bound "
+       << cert.load_bound;
+    return os.str();
+  }
+  return "";
+}
+
+std::string check_dilation(std::int32_t measured,
+                           const TheoremCertificate& cert) {
+  std::ostringstream os;
+  if (measured != cert.dilation) {
+    os << "oracle dilation " << measured << " != claimed " << cert.dilation;
+    return os.str();
+  }
+  if (cert.dilation > cert.dilation_bound) {
+    os << "claimed dilation " << cert.dilation << " exceeds bound "
+       << cert.dilation_bound;
+    return os.str();
+  }
+  return "";
+}
+
+std::string verify_xtree_link(const TheoremCertificate& cert,
+                              const BinaryTree& guest, const Embedding& emb) {
+  const XTree host(cert.host_param);
+  if (emb.num_host_vertices() != host.num_vertices()) {
+    std::ostringstream os;
+    os << "embedding targets " << emb.num_host_vertices()
+       << " host vertices, X(" << cert.host_param << ") has "
+       << host.num_vertices();
+    return os.str();
+  }
+  return check_dilation(oracle_dilation_xtree(guest, emb, host).max, cert);
+}
+
+std::string verify_hypercube_link(const TheoremCertificate& cert,
+                                  const BinaryTree& guest,
+                                  const Embedding& emb) {
+  const Hypercube host(cert.host_param);
+  if (emb.num_host_vertices() != host.num_vertices()) {
+    std::ostringstream os;
+    os << "embedding targets " << emb.num_host_vertices()
+       << " host vertices, Q_" << cert.host_param << " has "
+       << host.num_vertices();
+    return os.str();
+  }
+  return check_dilation(oracle_dilation_hypercube(guest, emb, host).max,
+                        cert);
+}
+
+std::string verify_universal_link(const TheoremCertificate& cert,
+                                  const BinaryTree& guest,
+                                  const Embedding& emb) {
+  std::ostringstream os;
+  const UniversalGraph universal = build_universal_graph(cert.host_param);
+  if (emb.num_host_vertices() != universal.num_nodes) {
+    os << "embedding targets " << emb.num_host_vertices()
+       << " host vertices, G_n has " << universal.num_nodes;
+    return os.str();
+  }
+  // Degree bound, recounted vertex by vertex from the CSR adjacency.
+  std::int32_t degree = 0;
+  for (VertexId v = 0; v < universal.graph.num_vertices(); ++v)
+    degree = std::max(degree,
+                      static_cast<std::int32_t>(universal.graph.degree(v)));
+  if (degree != cert.host_degree) {
+    os << "recounted G_n max degree " << degree << " != claimed "
+       << cert.host_degree;
+    return os.str();
+  }
+  if (degree > 415) {
+    os << "G_n max degree " << degree << " exceeds the Theorem 4 bound 415";
+    return os.str();
+  }
+  // Spanning-subtree membership: injective placement (load bound 1 was
+  // already recounted by verify_common) with every guest edge realised
+  // by a G_n edge.
+  std::int64_t outside = 0;
+  for (NodeId v = 1; v < guest.num_nodes(); ++v) {
+    if (!universal.graph.has_edge(emb.host_of(guest.parent(v)),
+                                  emb.host_of(v)))
+      ++outside;
+  }
+  if (outside != cert.edges_outside) {
+    os << "recounted " << outside << " guest edges outside G_n, claimed "
+       << cert.edges_outside;
+    return os.str();
+  }
+  if (outside != 0) {
+    os << outside << " guest edges are not realised by G_n edges";
+    return os.str();
+  }
+  return "";
+}
+
+}  // namespace
+
+const char* chain_link_name(ChainLink link) {
+  switch (link) {
+    case ChainLink::kXTree: return "T1-xtree";
+    case ChainLink::kInjectiveXTree: return "T2-injective-xtree";
+    case ChainLink::kHypercubeLoad16: return "T3-hypercube-load16";
+    case ChainLink::kHypercubeInjective: return "T3-hypercube-injective";
+    case ChainLink::kUniversal: return "T4-universal";
+  }
+  return "unknown";
+}
+
+const CertifiedEmbedding* CertifiedPipeline::find(ChainLink link) const {
+  for (const CertifiedEmbedding& l : links) {
+    if (l.cert.link == link) return &l;
+  }
+  return nullptr;
+}
+
+bool is_exact_form(NodeId n, NodeId load) {
+  if (load < 1 || n < load || n % load != 0) return false;
+  const NodeId q = n / load + 1;  // 2^k for exact forms
+  return (q & (q - 1)) == 0;
+}
+
+CertifiedPipeline run_certified_pipeline(const BinaryTree& guest,
+                                         const ChainOptions& options) {
+  XT_CHECK_MSG(!guest.empty(), "cannot certify an empty guest");
+  const bool exact = is_exact_form(guest.num_nodes(), 16);
+  CertifiedPipeline out;
+
+  // Theorem 1 — the production path the oracle will be diffed against.
+  XTreeEmbedder::Options t1_opt;
+  t1_opt.load = options.load;
+  auto t1 = XTreeEmbedder::embed(guest, t1_opt);
+  const XTree xtree(t1.stats.height);
+  {
+    CertifiedEmbedding link;
+    link.cert = base_cert(ChainLink::kXTree, guest, t1.embedding);
+    link.cert.host_param = t1.stats.height;
+    link.cert.dilation = dilation_profile_xtree(guest, t1.embedding, xtree)
+                             .report.max;
+    link.cert.load_factor = t1.embedding.load_factor();
+    link.cert.dilation_bound =
+        is_exact_form(guest.num_nodes(), options.load) ? 3 : 6;
+    link.cert.load_bound = options.load;
+    link.embedding = t1.embedding;  // copy: the lift below reads it too
+    out.links.push_back(std::move(link));
+  }
+
+  if (options.include_t2 && options.load == 16) {
+    auto lift = lift_injective(guest, t1.embedding, xtree);
+    const XTree lifted(lift.host_height);
+    CertifiedEmbedding link;
+    link.cert = base_cert(ChainLink::kInjectiveXTree, guest, lift.embedding);
+    link.cert.host_param = lift.host_height;
+    link.cert.dilation =
+        dilation_profile_xtree(guest, lift.embedding, lifted).report.max;
+    link.cert.load_factor = lift.embedding.load_factor();
+    link.cert.dilation_bound = exact ? 11 : 14;
+    link.cert.load_bound = 1;
+    link.embedding = std::move(lift.embedding);
+    out.links.push_back(std::move(link));
+  }
+
+  if (options.include_t3 && options.load == 16) {
+    {
+      auto cube = embed_hypercube_load16(guest);
+      const Hypercube host(cube.dimension);
+      CertifiedEmbedding link;
+      link.cert =
+          base_cert(ChainLink::kHypercubeLoad16, guest, cube.embedding);
+      link.cert.host_param = cube.dimension;
+      link.cert.dilation =
+          dilation_hypercube(guest, cube.embedding, host).max;
+      link.cert.load_factor = cube.embedding.load_factor();
+      link.cert.dilation_bound = exact ? 4 : 7;
+      link.cert.load_bound = 16;
+      link.embedding = std::move(cube.embedding);
+      out.links.push_back(std::move(link));
+    }
+    {
+      auto cube = embed_hypercube_injective(guest);
+      const Hypercube host(cube.dimension);
+      CertifiedEmbedding link;
+      link.cert =
+          base_cert(ChainLink::kHypercubeInjective, guest, cube.embedding);
+      link.cert.host_param = cube.dimension;
+      link.cert.dilation =
+          dilation_hypercube(guest, cube.embedding, host).max;
+      link.cert.load_factor = cube.embedding.load_factor();
+      link.cert.dilation_bound = exact ? 8 : 11;
+      link.cert.load_bound = 1;
+      link.embedding = std::move(cube.embedding);
+      out.links.push_back(std::move(link));
+    }
+  }
+
+  if (options.include_t4 && options.load == 16) {
+    const std::int32_t r = universal_height_for(guest.num_nodes());
+    const UniversalGraph universal = build_universal_graph(r);
+    std::int64_t outside = 0;
+    Embedding emb =
+        guest.num_nodes() == universal.num_nodes
+            ? universal_spanning_embedding(guest, universal, &outside)
+            : universal_subgraph_embedding(guest, universal, &outside);
+    CertifiedEmbedding link;
+    link.cert = base_cert(ChainLink::kUniversal, guest, emb);
+    link.cert.host_param = r;
+    link.cert.dilation = outside == 0 ? (guest.num_nodes() > 1 ? 1 : 0) : -1;
+    link.cert.load_factor = emb.load_factor();
+    link.cert.dilation_bound = 1;
+    link.cert.load_bound = 1;
+    link.cert.edges_outside = outside;
+    link.cert.host_degree =
+        static_cast<std::int32_t>(universal.graph.max_degree());
+    link.embedding = std::move(emb);
+    out.links.push_back(std::move(link));
+  }
+  return out;
+}
+
+std::string verify_theorem_certificate(const TheoremCertificate& cert,
+                                       const BinaryTree& guest,
+                                       const Embedding& emb) {
+  if (std::string bad = verify_common(cert, guest, emb); !bad.empty())
+    return std::string(chain_link_name(cert.link)) + ": " + bad;
+  std::string bad;
+  switch (cert.link) {
+    case ChainLink::kXTree:
+    case ChainLink::kInjectiveXTree:
+      bad = verify_xtree_link(cert, guest, emb);
+      break;
+    case ChainLink::kHypercubeLoad16:
+    case ChainLink::kHypercubeInjective:
+      bad = verify_hypercube_link(cert, guest, emb);
+      break;
+    case ChainLink::kUniversal:
+      bad = verify_universal_link(cert, guest, emb);
+      break;
+  }
+  if (!bad.empty())
+    return std::string(chain_link_name(cert.link)) + ": " + bad;
+  return "";
+}
+
+std::string verify_pipeline(const BinaryTree& guest,
+                            const CertifiedPipeline& pipeline) {
+  if (pipeline.links.empty()) return "empty certificate chain";
+  for (const CertifiedEmbedding& link : pipeline.links) {
+    if (std::string bad =
+            verify_theorem_certificate(link.cert, guest, link.embedding);
+        !bad.empty())
+      return bad;
+  }
+  // Cross-link consistency: the chain certifies ONE pipeline run.
+  const std::uint64_t fp = pipeline.links.front().cert.guest_fingerprint;
+  for (const CertifiedEmbedding& link : pipeline.links) {
+    if (link.cert.guest_fingerprint != fp)
+      return "chain links bind different guest fingerprints";
+  }
+  const CertifiedEmbedding* t1 = pipeline.find(ChainLink::kXTree);
+  const CertifiedEmbedding* t2 = pipeline.find(ChainLink::kInjectiveXTree);
+  if (t1 != nullptr && t2 != nullptr &&
+      t2->cert.host_param != t1->cert.host_param + 4)
+    return "T2 host height is not the T1 height + 4";
+  const CertifiedEmbedding* c16 = pipeline.find(ChainLink::kHypercubeLoad16);
+  const CertifiedEmbedding* cin =
+      pipeline.find(ChainLink::kHypercubeInjective);
+  if (c16 != nullptr && cin != nullptr &&
+      cin->cert.host_param != c16->cert.host_param + 4)
+    return "injective cube dimension is not the load-16 dimension + 4";
+  return "";
+}
+
+std::string theorem_certificate_to_string(const TheoremCertificate& cert) {
+  std::ostringstream os;
+  os << "xtreesim-tcert v1 " << static_cast<std::int32_t>(cert.link) << ' '
+     << cert.guest_fingerprint << ' ' << cert.assignment_fingerprint << ' '
+     << cert.guest_nodes << ' ' << cert.host_param << ' ' << cert.dilation
+     << ' ' << cert.load_factor << ' ' << cert.dilation_bound << ' '
+     << cert.load_bound << ' ' << cert.edges_outside << ' '
+     << cert.host_degree;
+  return os.str();
+}
+
+TheoremCertificate theorem_certificate_from_string(const std::string& text) {
+  std::istringstream is(text);
+  std::string magic;
+  std::string version;
+  std::int32_t link = 0;
+  TheoremCertificate cert;
+  is >> magic >> version >> link >> cert.guest_fingerprint >>
+      cert.assignment_fingerprint >> cert.guest_nodes >> cert.host_param >>
+      cert.dilation >> cert.load_factor >> cert.dilation_bound >>
+      cert.load_bound >> cert.edges_outside >> cert.host_degree;
+  XT_CHECK_MSG(static_cast<bool>(is) && magic == "xtreesim-tcert" &&
+                   version == "v1" && link >= 1 && link <= 5,
+               "bad theorem certificate text");
+  cert.link = static_cast<ChainLink>(link);
+  return cert;
+}
+
+}  // namespace xt

@@ -1,0 +1,117 @@
+// Per-theorem certificate chain: every constructive result of the
+// paper (Theorems 1-4) issues a compact, self-checking certificate,
+// and the whole pipeline for one guest is certified as a chain whose
+// links must agree with each other (same guest fingerprint, lift
+// height = base height + 4, injective cube dimension = load-16 cube
+// dimension + 4).
+//
+// A certificate binds fingerprints of the guest and the assignment
+// (io/certificate.hpp's hashes) to the claimed quality numbers *and*
+// the theorem bound those numbers must respect:
+//
+//   Theorem 1  load-`L` dilation-3 into the optimal X-tree
+//              (engineering envelope 6 off the exact-form sizes);
+//   Theorem 2  injective dilation-11 lift into X(r+4) (envelope 14);
+//   Theorem 3  load-16 dilation-4 into the optimal hypercube
+//              (envelope 7) and the injective dilation-8 corollary
+//              (envelope 11);
+//   Theorem 4  spanning/subgraph membership in the universal graph
+//              G_n with every guest edge realised and host degree
+//              <= 415.
+//
+// verify_theorem_certificate recomputes every claim through the
+// differential oracle (verify/oracle.hpp) — corridor Dijkstra, bit
+// loops, BFS — never the production kernels, so a chain that verifies
+// is evidence about the results, not trust in the algorithms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "btree/binary_tree.hpp"
+#include "core/universal_graph.hpp"
+#include "embedding/embedding.hpp"
+
+namespace xt {
+
+/// Which pipeline stage a chain link certifies.
+enum class ChainLink : std::int32_t {
+  kXTree = 1,              // Theorem 1: load-16 / dilation-3 into X(r)
+  kInjectiveXTree = 2,     // Theorem 2: injective lift into X(r+4)
+  kHypercubeLoad16 = 3,    // Theorem 3: load-16 / dilation-4 into Q_r
+  kHypercubeInjective = 4, // Theorem 3 corollary: injective dilation-8
+  kUniversal = 5,          // Theorem 4: subtree of the universal graph
+};
+
+[[nodiscard]] const char* chain_link_name(ChainLink link);
+
+/// One link of the chain: the EmbeddingCertificate vocabulary
+/// (fingerprints + claimed quality) extended with the bound the claim
+/// must respect and the Theorem 4 structural claims.
+struct TheoremCertificate {
+  ChainLink link = ChainLink::kXTree;
+  std::uint64_t guest_fingerprint = 0;
+  std::uint64_t assignment_fingerprint = 0;
+  NodeId guest_nodes = 0;
+  /// X-tree height (T1/T2), cube dimension (T3), universal r (T4).
+  std::int32_t host_param = 0;
+  std::int32_t dilation = 0;       // claimed max dilation
+  NodeId load_factor = 0;          // claimed max load
+  std::int32_t dilation_bound = 0; // theorem / engineering envelope
+  NodeId load_bound = 0;
+  /// Theorem 4 only: guest edges NOT realised by G_n edges (claim 0)
+  /// and the measured max degree of G_n (claim <= 415).
+  std::int64_t edges_outside = 0;
+  std::int32_t host_degree = 0;
+};
+
+/// A certified embedding: the claim plus the artifact it judges.
+struct CertifiedEmbedding {
+  TheoremCertificate cert;
+  Embedding embedding{0, 0};
+};
+
+struct CertifiedPipeline {
+  std::vector<CertifiedEmbedding> links;
+
+  [[nodiscard]] const CertifiedEmbedding* find(ChainLink link) const;
+};
+
+struct ChainOptions {
+  /// Guest nodes per host vertex for Theorem 1.  Theorems 2-4 are
+  /// certified only when load == 16 (their constructions fix it).
+  NodeId load = 16;
+  bool include_t2 = true;
+  bool include_t3 = true;
+  /// Theorem 4 builds G_n (16 * |X(r)| vertices, degree <= 415); off
+  /// by default — enable for bounded sizes.
+  bool include_t4 = false;
+};
+
+/// n is a theorem-exact size: n = load * (2^k - 1) for some k >= 1.
+[[nodiscard]] bool is_exact_form(NodeId n, NodeId load);
+
+/// Runs the full pipeline on `guest` and certifies every stage.
+[[nodiscard]] CertifiedPipeline run_certified_pipeline(
+    const BinaryTree& guest, const ChainOptions& options = {});
+
+/// Recomputes every claim of one link via the differential oracle.
+/// Returns "" when the certificate holds, else a description of the
+/// first violated claim.
+[[nodiscard]] std::string verify_theorem_certificate(
+    const TheoremCertificate& cert, const BinaryTree& guest,
+    const Embedding& emb);
+
+/// Verifies every link plus the cross-link consistency claims.
+/// Returns "" when the whole chain holds.
+[[nodiscard]] std::string verify_pipeline(const BinaryTree& guest,
+                                          const CertifiedPipeline& pipeline);
+
+/// One-line text form "xtreesim-tcert v1 <fields...>" and its parser.
+[[nodiscard]] std::string theorem_certificate_to_string(
+    const TheoremCertificate& cert);
+[[nodiscard]] TheoremCertificate theorem_certificate_from_string(
+    const std::string& text);
+
+}  // namespace xt

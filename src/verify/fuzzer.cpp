@@ -1,0 +1,278 @@
+#include "verify/fuzzer.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "btree/generators.hpp"
+#include "io/certificate.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+/// Paren emission of `t` with two kinds of surgery: a child equal to
+/// `skip` is emitted as absent, and a visited node equal to `sub_from`
+/// is replaced by the subtree rooted at `sub_to`.  Rebuilding through
+/// the paren form keeps every surviving node's child *slot* (left vs
+/// right) exactly as in the original tree.
+std::string paren_with(const BinaryTree& t, NodeId skip, NodeId sub_from,
+                       NodeId sub_to) {
+  auto substitute = [&](NodeId v) { return v == sub_from ? sub_to : v; };
+  std::string out;
+  struct Frame {
+    NodeId node;
+    int phase;  // 0: open, 1: left done, 2: right done
+  };
+  std::vector<Frame> stack{{substitute(t.root()), 0}};
+  while (!stack.empty()) {
+    auto& [v, phase] = stack.back();
+    if (phase == 0) {
+      out += '(';
+      phase = 1;
+      const NodeId c = t.left(v);
+      if (c != kInvalidNode && c != skip) {
+        stack.push_back({substitute(c), 0});
+        continue;
+      }
+      out += '.';
+    }
+    if (phase == 1) {
+      phase = 2;
+      const NodeId c = t.right(v);
+      if (c != kInvalidNode && c != skip) {
+        stack.push_back({substitute(c), 0});
+        continue;
+      }
+      out += '.';
+    }
+    out += ')';
+    stack.pop_back();
+  }
+  return out;
+}
+
+/// The tree with leaf `v` pruned.
+BinaryTree without_leaf(const BinaryTree& t, NodeId v) {
+  return BinaryTree::from_paren(paren_with(t, v, kInvalidNode, kInvalidNode));
+}
+
+/// The tree where the subtree at parent(v) is replaced by the subtree
+/// at v (hoisting: drops the parent and v's sibling subtree).
+BinaryTree hoisted(const BinaryTree& t, NodeId v) {
+  return BinaryTree::from_paren(
+      paren_with(t, kInvalidNode, t.parent(v), v));
+}
+
+/// Models a buggy embedder honestly certifying a catastrophically
+/// wrong Theorem 1 result: every guest node lands on host vertex 0 and
+/// the certificate reports the (bad) measured numbers.  The recounted
+/// load then exceeds the bound exactly when the guest has more than
+/// `load_bound` nodes.
+void apply_overload_fault(CertifiedEmbedding& link) {
+  Embedding bad(link.embedding.num_guest_nodes(),
+                link.embedding.num_host_vertices());
+  for (NodeId v = 0; v < bad.num_guest_nodes(); ++v) bad.place(v, 0);
+  link.cert.assignment_fingerprint = assignment_fingerprint(bad);
+  link.cert.dilation = 0;  // all images coincide
+  link.cert.load_factor = bad.num_guest_nodes();
+  link.embedding = std::move(bad);
+}
+
+void apply_fault(CertifiedPipeline& pipeline, FuzzFault fault) {
+  if (fault == FuzzFault::kNone || pipeline.links.empty()) return;
+  CertifiedEmbedding& t1 = pipeline.links.front();
+  switch (fault) {
+    case FuzzFault::kTamperDilationClaim:
+      t1.cert.dilation -= 1;
+      break;
+    case FuzzFault::kOverloadRoot:
+      apply_overload_fault(t1);
+      break;
+    case FuzzFault::kNone:
+      break;
+  }
+}
+
+std::string hex_seed(std::uint64_t seed) {
+  std::ostringstream os;
+  os << std::hex << seed;
+  return os.str();
+}
+
+}  // namespace
+
+const char* fuzz_fault_name(FuzzFault fault) {
+  switch (fault) {
+    case FuzzFault::kNone: return "none";
+    case FuzzFault::kTamperDilationClaim: return "tamper-claim";
+    case FuzzFault::kOverloadRoot: return "overload-root";
+  }
+  return "none";
+}
+
+FuzzFault parse_fuzz_fault(const std::string& name) {
+  if (name == "tamper-claim") return FuzzFault::kTamperDilationClaim;
+  if (name == "overload-root") return FuzzFault::kOverloadRoot;
+  XT_CHECK_MSG(name.empty() || name == "none",
+               "unknown fault '" << name
+                                 << "' (try tamper-claim, overload-root)");
+  return FuzzFault::kNone;
+}
+
+std::string chain_property(const BinaryTree& tree,
+                           const FuzzOptions& options) {
+  CertifiedPipeline pipeline;
+  try {
+    pipeline = run_certified_pipeline(tree, options.chain);
+  } catch (const std::exception& e) {
+    return std::string("pipeline threw: ") + e.what();
+  }
+  apply_fault(pipeline, options.fault);
+  try {
+    return verify_pipeline(tree, pipeline);
+  } catch (const std::exception& e) {
+    return std::string("verification threw: ") + e.what();
+  }
+}
+
+BinaryTree shrink_tree(
+    BinaryTree failing,
+    const std::function<std::string(const BinaryTree&)>& fails,
+    int max_evals, int* steps_out, int* evals_out) {
+  int steps = 0;
+  int evals = 0;
+  auto still_fails = [&](const BinaryTree& t) {
+    ++evals;
+    return !fails(t).empty();
+  };
+  bool progress = true;
+  while (progress && evals < max_evals) {
+    progress = false;
+    // Subtree hoisting first: each accepted hoist drops the sibling
+    // subtree and the parent in one cut, so sizes fall geometrically
+    // on bushy trees.  Restart after a success — ids changed.
+    for (NodeId v = 1; v < failing.num_nodes() && evals < max_evals; ++v) {
+      BinaryTree candidate = hoisted(failing, v);
+      if (still_fails(candidate)) {
+        failing = std::move(candidate);
+        ++steps;
+        progress = true;
+        v = 0;  // restart scan on the reduced tree
+      }
+    }
+    // Leaf pruning: high ids first (deep leaves), rescanning after
+    // every accepted removal.
+    bool pruned = true;
+    while (pruned && evals < max_evals && failing.num_nodes() > 1) {
+      pruned = false;
+      for (NodeId v = failing.num_nodes() - 1; v >= 1 && evals < max_evals;
+           --v) {
+        if (!failing.is_leaf(v)) continue;
+        BinaryTree candidate = without_leaf(failing, v);
+        if (still_fails(candidate)) {
+          failing = std::move(candidate);
+          ++steps;
+          progress = true;
+          pruned = true;
+          break;
+        }
+      }
+    }
+  }
+  if (steps_out != nullptr) *steps_out = steps;
+  if (evals_out != nullptr) *evals_out = evals;
+  return failing;
+}
+
+std::string replay_command(const BinaryTree& tree,
+                           const FuzzOptions& options) {
+  std::ostringstream os;
+  os << "xt_fuzz --replay '" << tree.to_paren() << "'";
+  if (options.fault != FuzzFault::kNone)
+    os << " --inject=" << fuzz_fault_name(options.fault);
+  if (options.chain.load != 16) os << " --load=" << options.chain.load;
+  if (!options.chain.include_t2) os << " --no-t2";
+  if (!options.chain.include_t3) os << " --no-t3";
+  if (options.chain.include_t4) os << " --t4";
+  return os.str();
+}
+
+std::string replay_tree(const BinaryTree& tree, const FuzzOptions& options) {
+  return chain_property(tree, options);
+}
+
+FuzzReport run_fuzz(const FuzzOptions& options) {
+  XT_CHECK(options.min_nodes >= 1 && options.max_nodes >= options.min_nodes);
+  FuzzReport report;
+  report.trials = options.trials;
+  const auto& families = tree_family_names();
+  auto log = [&](const std::string& line) {
+    if (options.log) options.log(line);
+  };
+  for (int trial = 0; trial < options.trials; ++trial) {
+    // Decorrelate consecutive trial seeds through splitmix64.
+    std::uint64_t mix = options.seed + static_cast<std::uint64_t>(trial);
+    Rng rng(splitmix64(mix));
+    const auto n = static_cast<NodeId>(
+        options.min_nodes +
+        static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(
+            options.max_nodes - options.min_nodes + 1))));
+    const std::string family =
+        families[static_cast<std::size_t>(rng.below(families.size()))];
+    const BinaryTree tree = make_family_tree(family, n, rng);
+
+    const std::string failure = chain_property(tree, options);
+    if (failure.empty()) continue;
+
+    FuzzViolation v;
+    v.seed = options.seed;
+    v.trial = trial;
+    v.family = family;
+    v.failure = failure;
+    v.paren = tree.to_paren();
+    log("[xt_fuzz] VIOLATION trial " + std::to_string(trial) + " family " +
+        family + " n=" + std::to_string(n) + ": " + failure);
+
+    int evals = 0;
+    const BinaryTree shrunk = shrink_tree(
+        tree,
+        [&](const BinaryTree& t) { return chain_property(t, options); },
+        options.max_shrink_evals, &v.shrink_steps, &evals);
+    v.shrunk_paren = shrunk.to_paren();
+    v.shrunk_nodes = shrunk.num_nodes();
+    v.replay = replay_command(shrunk, options);
+    log("[xt_fuzz] shrunk " + std::to_string(tree.num_nodes()) + " -> " +
+        std::to_string(shrunk.num_nodes()) + " nodes in " +
+        std::to_string(v.shrink_steps) + " steps (" + std::to_string(evals) +
+        " evals)");
+    log("[xt_fuzz] replay: " + v.replay);
+
+    if (!options.corpus_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(options.corpus_dir, ec);
+      const std::string path = options.corpus_dir + "/min-" +
+                               hex_seed(options.seed) + "-t" +
+                               std::to_string(trial) + ".tree";
+      std::ofstream out(path);
+      if (out) {
+        out << "# xt_fuzz minimized reproducer (seed 0x"
+            << hex_seed(options.seed) << ", trial " << trial << ", family "
+            << family << ")\n"
+            << "# failure: " << v.failure << "\n"
+            << "# replay: " << v.replay << "\n"
+            << v.shrunk_paren << "\n";
+        v.corpus_file = path;
+        log("[xt_fuzz] persisted " + path);
+      } else {
+        log("[xt_fuzz] could not persist reproducer to " + path);
+      }
+    }
+    report.violations.push_back(std::move(v));
+  }
+  return report;
+}
+
+}  // namespace xt

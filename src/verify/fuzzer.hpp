@@ -1,0 +1,113 @@
+// Property-based fuzzer with shrink-on-failure for the certificate
+// chain.
+//
+// Each trial derives a deterministic sub-seed, draws a tree family and
+// size, runs the certified pipeline (verify/certificate_chain.hpp) and
+// re-checks every claim through the differential oracle.  On any
+// violation the guest tree is greedily minimised — subtree hoisting
+// (replace a node's subtree by one child's subtree) first for the big
+// cuts, then leaf pruning — until no single reduction still reproduces
+// a failure.  The minimised reproducer is printed as a one-line replay
+// command (`xt_fuzz --replay '<paren>'`) and optionally persisted to a
+// corpus directory so CI failures become local regression inputs.
+//
+// Fault injection (FuzzFault) exists so the *harness itself* is
+// testable: an injected fault must be caught by the oracle and must
+// shrink to a minimal reproducer, which pins the whole
+// detect-shrink-replay loop deterministically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "btree/binary_tree.hpp"
+#include "verify/certificate_chain.hpp"
+
+namespace xt {
+
+/// Deliberate corruption applied between pipeline and verification,
+/// for harness self-tests and shrinker demos.
+enum class FuzzFault {
+  kNone,
+  /// The Theorem 1 certificate under-claims its dilation by one (a
+  /// model of a stale / miscomputed metric): the differential oracle
+  /// must flag the mismatch on any tree.
+  kTamperDilationClaim,
+  /// Every guest node of the Theorem 1 embedding is re-placed onto
+  /// host vertex 0 (a model of a catastrophically wrong placement
+  /// path): the recounted load factor must exceed the bound once the
+  /// guest has more than `load` nodes, so the minimal reproducer has
+  /// exactly load + 1 = 17 nodes.
+  kOverloadRoot,
+};
+
+[[nodiscard]] const char* fuzz_fault_name(FuzzFault fault);
+[[nodiscard]] FuzzFault parse_fuzz_fault(const std::string& name);
+
+struct FuzzOptions {
+  std::uint64_t seed = 0x5EEDF00DULL;
+  int trials = 120;
+  NodeId min_nodes = 1;
+  NodeId max_nodes = 700;
+  ChainOptions chain;
+  FuzzFault fault = FuzzFault::kNone;
+  /// Persist minimised reproducers here ("" disables).
+  std::string corpus_dir;
+  /// Progress / violation lines ("" lines are never sent).
+  std::function<void(const std::string&)> log;
+  /// Cap on property evaluations the shrinker may spend per violation.
+  int max_shrink_evals = 4000;
+};
+
+struct FuzzViolation {
+  std::uint64_t seed = 0;  // top-level seed the run started from
+  int trial = 0;
+  std::string family;
+  std::string failure;       // first violated claim (original tree)
+  std::string paren;         // original failing tree
+  std::string shrunk_paren;  // minimised reproducer
+  NodeId shrunk_nodes = 0;
+  int shrink_steps = 0;      // accepted reductions
+  std::string replay;        // one-line reproduction command
+  std::string corpus_file;   // persisted path ("" when not persisted)
+};
+
+struct FuzzReport {
+  int trials = 0;
+  std::vector<FuzzViolation> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+/// The property under test: certify `tree` through the full pipeline,
+/// apply the injected fault (if any), verify every link and the chain
+/// consistency via the oracle.  Returns "" on pass, else the first
+/// failure description.
+[[nodiscard]] std::string chain_property(const BinaryTree& tree,
+                                         const FuzzOptions& options);
+
+/// Greedy minimisation: repeatedly applies subtree hoisting and leaf
+/// pruning, keeping any reduction for which `fails` still returns a
+/// non-empty failure, until a fixpoint (or the eval budget runs out).
+/// `steps_out`/`evals_out` (optional) receive the accepted-reduction
+/// and property-evaluation counts.
+[[nodiscard]] BinaryTree shrink_tree(
+    BinaryTree failing,
+    const std::function<std::string(const BinaryTree&)>& fails,
+    int max_evals, int* steps_out = nullptr, int* evals_out = nullptr);
+
+/// Runs `options.trials` property trials; every violation is shrunk,
+/// given a replay command, and (when corpus_dir is set) persisted.
+[[nodiscard]] FuzzReport run_fuzz(const FuzzOptions& options);
+
+/// Re-runs the property on one explicit tree (the --replay path).
+[[nodiscard]] std::string replay_tree(const BinaryTree& tree,
+                                      const FuzzOptions& options);
+
+/// The exact command line that reproduces a failure on `tree`.
+[[nodiscard]] std::string replay_command(const BinaryTree& tree,
+                                         const FuzzOptions& options);
+
+}  // namespace xt

@@ -1,0 +1,99 @@
+#include "verify/oracle.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "util/check.hpp"
+
+namespace xt {
+namespace {
+
+// Serial edge sweep against an arbitrary distance callback — the
+// metric layer's `dilation` minus the std::function indirection, kept
+// local so the oracle shares no code with the batched profile path.
+template <typename DistFn>
+DilationReport sweep_edges(const BinaryTree& guest, const Embedding& emb,
+                           DistFn&& dist) {
+  XT_CHECK_MSG(emb.complete(), "oracle on an incomplete embedding");
+  DilationReport report;
+  double sum = 0.0;
+  for (NodeId v = 1; v < guest.num_nodes(); ++v) {
+    const std::int32_t d = dist(emb.host_of(guest.parent(v)), emb.host_of(v));
+    report.max = std::max(report.max, d);
+    report.histogram.add(d);
+    sum += d;
+    ++report.num_edges;
+  }
+  if (report.num_edges > 0)
+    report.mean = sum / static_cast<double>(report.num_edges);
+  return report;
+}
+
+}  // namespace
+
+DilationReport oracle_dilation_xtree(const BinaryTree& guest,
+                                     const Embedding& emb, const XTree& host) {
+  return sweep_edges(guest, emb, [&host](VertexId a, VertexId b) {
+    return host.distance_oracle(a, b);
+  });
+}
+
+DilationReport oracle_dilation_hypercube(const BinaryTree& guest,
+                                         const Embedding& emb,
+                                         const Hypercube& host) {
+  (void)host;
+  return sweep_edges(guest, emb, [](VertexId a, VertexId b) {
+    std::int32_t d = 0;
+    for (auto x = static_cast<std::uint32_t>(a ^ b); x != 0; x &= x - 1) ++d;
+    return d;
+  });
+}
+
+DilationReport oracle_dilation_graph(const BinaryTree& guest,
+                                     const Embedding& emb, const Graph& host) {
+  BfsWorkspace bfs(host);
+  // One BFS per edge (not per distinct image): slower than
+  // dilation_graph's grouping, and deliberately structured differently.
+  return sweep_edges(guest, emb, [&bfs](VertexId a, VertexId b) {
+    const std::int32_t d = bfs.run(a)[static_cast<std::size_t>(b)];
+    XT_CHECK_MSG(d != kUnreachable, "guest edge maps across components");
+    return d;
+  });
+}
+
+NodeId oracle_load_factor(const Embedding& emb) {
+  XT_CHECK_MSG(emb.complete(), "oracle on an incomplete embedding");
+  std::vector<NodeId> count(static_cast<std::size_t>(emb.num_host_vertices()),
+                            0);
+  NodeId max_load = 0;
+  for (NodeId v = 0; v < emb.num_guest_nodes(); ++v) {
+    const NodeId c = ++count[static_cast<std::size_t>(emb.host_of(v))];
+    max_load = std::max(max_load, c);
+  }
+  return max_load;
+}
+
+std::string oracle_check_placement(const BinaryTree& guest,
+                                   const Embedding& emb) {
+  std::ostringstream os;
+  if (emb.num_guest_nodes() != guest.num_nodes()) {
+    os << "embedding is over " << emb.num_guest_nodes()
+       << " guest nodes, tree has " << guest.num_nodes();
+    return os.str();
+  }
+  for (NodeId v = 0; v < guest.num_nodes(); ++v) {
+    if (!emb.is_placed(v)) {
+      os << "guest node " << v << " is unplaced";
+      return os.str();
+    }
+    const VertexId h = emb.host_of(v);
+    if (h < 0 || h >= emb.num_host_vertices()) {
+      os << "guest node " << v << " placed on out-of-range host vertex " << h;
+      return os.str();
+    }
+  }
+  return "";
+}
+
+}  // namespace xt

@@ -1,0 +1,53 @@
+// Differential measurement oracle: re-measures embedding quality via
+// code paths independent of the production kernels, so a fuzzer or a
+// certificate verifier never trusts the machinery it is judging.
+//
+//   * X-tree distances go through XTree::distance_oracle (the
+//     corridor-restricted Dijkstra this repository originally shipped),
+//     never the O(height) closed-form kernel.
+//   * Hypercube distances are recounted with a Kernighan bit-clear
+//     loop, not Hypercube::distance's popcount.
+//   * Arbitrary-graph distances come from plain BFS.
+//   * Loads / injectivity / completeness are recounted from the raw
+//     placement map rather than read off Embedding's own accessors.
+//
+// Everything here is serial and allocation-heavy by design — this is
+// the slow, boring, obviously-correct path the fast paths are diffed
+// against on every randomized input.
+#pragma once
+
+#include <cstdint>
+
+#include "btree/binary_tree.hpp"
+#include "embedding/embedding.hpp"
+#include "embedding/metrics.hpp"
+#include "graph/graph.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/xtree.hpp"
+
+namespace xt {
+
+/// Max host distance over guest edges, via the corridor Dijkstra.
+DilationReport oracle_dilation_xtree(const BinaryTree& guest,
+                                     const Embedding& emb, const XTree& host);
+
+/// Max Hamming distance over guest edges, recounted bit by bit.
+DilationReport oracle_dilation_hypercube(const BinaryTree& guest,
+                                         const Embedding& emb,
+                                         const Hypercube& host);
+
+/// Max BFS distance over guest edges in an arbitrary host graph.
+DilationReport oracle_dilation_graph(const BinaryTree& guest,
+                                     const Embedding& emb, const Graph& host);
+
+/// Recounts guests per host vertex from the raw placement map and
+/// returns the maximum.  Requires a complete embedding.
+NodeId oracle_load_factor(const Embedding& emb);
+
+/// Structural re-check: every guest node placed exactly once onto an
+/// in-range host vertex.  Returns "" when sound, else a description of
+/// the first violation.
+std::string oracle_check_placement(const BinaryTree& guest,
+                                   const Embedding& emb);
+
+}  // namespace xt

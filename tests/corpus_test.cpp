@@ -1,0 +1,95 @@
+// Golden corpus replay: every checked-in reproducer / starter tree in
+// tests/corpus/ must run the full certificate chain clean.  The corpus
+// holds theorem-exact sizes and their +-1 neighbours, structurally
+// extreme families, and any minimized reproducer the nightly fuzzer
+// ever uploads — once a failure lands here it can never regress
+// silently.  XT_CORPUS_DIR is injected by the build (tests/CMakeLists).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "btree/binary_tree.hpp"
+#include "verify/fuzzer.hpp"
+
+namespace xt {
+namespace {
+
+struct CorpusEntry {
+  std::string name;
+  std::string paren;
+};
+
+std::vector<CorpusEntry> load_corpus() {
+  std::vector<CorpusEntry> out;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(XT_CORPUS_DIR)) {
+    if (entry.path().extension() != ".tree") continue;
+    std::ifstream in(entry.path());
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      out.push_back({entry.path().filename().string(), line});
+      break;
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CorpusEntry& a, const CorpusEntry& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+TEST(Corpus, HasTheStarterSet) {
+  const auto corpus = load_corpus();
+  EXPECT_GE(corpus.size(), 16u);
+  for (const char* required :
+       {"single.tree", "load-boundary-17.tree", "exact-48.tree",
+        "exact-112-plus1.tree", "path-200.tree", "complete-h5.tree"}) {
+    const bool found =
+        std::any_of(corpus.begin(), corpus.end(),
+                    [&](const CorpusEntry& e) { return e.name == required; });
+    EXPECT_TRUE(found) << required << " missing from tests/corpus";
+  }
+}
+
+TEST(Corpus, EveryTreeParsesAndValidates) {
+  for (const CorpusEntry& entry : load_corpus()) {
+    SCOPED_TRACE(entry.name);
+    BinaryTree tree;
+    ASSERT_NO_THROW(tree = BinaryTree::from_paren(entry.paren));
+    ASSERT_NO_THROW(tree.validate());
+    EXPECT_EQ(tree.to_paren(), entry.paren) << "paren round trip";
+  }
+}
+
+TEST(Corpus, EveryTreeRunsTheChainClean) {
+  const auto corpus = load_corpus();
+  ASSERT_FALSE(corpus.empty());
+  FuzzOptions opt;  // default chain: T1 + T2 + T3, load 16
+  for (const CorpusEntry& entry : corpus) {
+    SCOPED_TRACE(entry.name + "  (replay: xt_fuzz --replay '" + entry.paren +
+                 "')");
+    const BinaryTree tree = BinaryTree::from_paren(entry.paren);
+    EXPECT_EQ(replay_tree(tree, opt), "");
+  }
+}
+
+TEST(Corpus, SmallTreesAlsoClearTheUniversalLink) {
+  // The T4 link is expensive (G_n construction), so the corpus-wide
+  // test skips it; cover it on the small entries.
+  FuzzOptions opt;
+  opt.chain.include_t4 = true;
+  for (const CorpusEntry& entry : load_corpus()) {
+    const BinaryTree tree = BinaryTree::from_paren(entry.paren);
+    if (tree.num_nodes() > 120) continue;
+    SCOPED_TRACE(entry.name);
+    EXPECT_EQ(replay_tree(tree, opt), "");
+  }
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,220 @@
+// Deterministic fault injection for the embedding service
+// (service/fault.hpp): every terminal state is forced by plan — no
+// sleeps, no timing races — and the accounting identity
+//   submitted == completed + rejected + expired + failed
+// is pinned counter by counter.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "btree/generators.hpp"
+#include "service/service.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+EmbedRequest request_for(BinaryTree tree) {
+  EmbedRequest req;
+  req.tree = std::move(tree);
+  return req;
+}
+
+void expect_identity(const ServiceStats& s) {
+  EXPECT_EQ(s.submitted, s.completed + s.rejected_full + s.rejected_shutdown +
+                             s.expired + s.failed);
+}
+
+TEST(FaultInjection, ForcedQueueFullRejection) {
+  Rng rng(0xFA1);
+  ServiceConfig cfg;
+  cfg.num_shards = 1;
+  cfg.queue_capacity = 64;  // plenty of room: only the plan rejects
+  cfg.fault_plan.reject_submit = {2};
+  EmbeddingService svc(cfg);
+
+  auto first = svc.submit(request_for(make_random_tree(40, rng)));
+  auto second = svc.submit(request_for(make_random_tree(41, rng)));
+  auto third = svc.submit(request_for(make_random_tree(42, rng)));
+
+  const EmbedResponse r2 = second.get();
+  EXPECT_EQ(r2.status, RequestStatus::kRejectedQueueFull);
+  EXPECT_NE(r2.reason.find("fault injection"), std::string::npos) << r2.reason;
+  EXPECT_EQ(first.get().status, RequestStatus::kOk);
+  EXPECT_EQ(third.get().status, RequestStatus::kOk);
+
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.rejected_full, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.expired, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  expect_identity(stats);
+}
+
+TEST(FaultInjection, ForcedDeadlineExpiry) {
+  // No request carries a wall-clock deadline; expiry comes purely from
+  // the plan, at the moment a shard dequeues the request.
+  Rng rng(0xFA2);
+  ServiceConfig cfg;
+  cfg.num_shards = 1;
+  cfg.enable_batching = false;
+  cfg.start_paused = true;
+  cfg.fault_plan.expire_request = {1, 3};
+  EmbeddingService svc(cfg);
+
+  std::vector<std::future<EmbedResponse>> futs;
+  for (int i = 0; i < 3; ++i)
+    futs.push_back(svc.submit(request_for(make_random_tree(30 + i, rng))));
+  svc.resume();
+
+  const EmbedResponse r1 = futs[0].get();
+  EXPECT_EQ(r1.status, RequestStatus::kExpiredDeadline);
+  EXPECT_NE(r1.reason.find("fault injection"), std::string::npos) << r1.reason;
+  EXPECT_EQ(futs[1].get().status, RequestStatus::kOk);
+  EXPECT_EQ(futs[2].get().status, RequestStatus::kExpiredDeadline);
+
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.expired, 2u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.rejected_full, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  expect_identity(stats);
+}
+
+TEST(FaultInjection, ForcedWorkerException) {
+  Rng rng(0xFA3);
+  std::vector<std::string> diags;
+  ServiceConfig cfg;
+  cfg.num_shards = 1;
+  cfg.fault_plan.fail_embed = {1};
+  cfg.diagnostic_sink = [&diags](const std::string& line) {
+    diags.push_back(line);
+  };
+  EmbeddingService svc(cfg);
+
+  const BinaryTree tree = make_random_tree(50, rng);
+  const EmbedResponse r1 = svc.submit(request_for(tree)).get();
+  EXPECT_EQ(r1.status, RequestStatus::kFailed);
+  EXPECT_NE(r1.reason.find("forced worker exception"), std::string::npos)
+      << r1.reason;
+  EXPECT_FALSE(r1.embedding.has_value());
+
+  // The shard survives its exception: the next request is served.
+  const EmbedResponse r2 = svc.submit(request_for(tree)).get();
+  EXPECT_EQ(r2.status, RequestStatus::kOk) << r2.reason;
+
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  expect_identity(stats);
+  bool saw_failure_diag = false;
+  for (const std::string& d : diags)
+    if (d.find("embed failed") != std::string::npos) saw_failure_diag = true;
+  EXPECT_TRUE(saw_failure_diag);
+}
+
+TEST(FaultInjection, ForcedCacheEvictionMidRun) {
+  // Same tree four times, batching off: miss, hit, then a planned
+  // eviction forces a second miss, then a hit again.
+  Rng rng(0xFA4);
+  ServiceConfig cfg;
+  cfg.num_shards = 1;
+  cfg.enable_batching = false;
+  cfg.fault_plan.evict_cache_before = {3};
+  EmbeddingService svc(cfg);
+
+  const BinaryTree tree = make_random_tree(200, rng);
+  const EmbedResponse r1 = svc.submit(request_for(tree)).get();
+  ASSERT_EQ(r1.status, RequestStatus::kOk);
+  EXPECT_FALSE(r1.cache_hit);
+  const EmbedResponse r2 = svc.submit(request_for(tree)).get();
+  ASSERT_EQ(r2.status, RequestStatus::kOk);
+  EXPECT_TRUE(r2.cache_hit);
+  const EmbedResponse r3 = svc.submit(request_for(tree)).get();
+  ASSERT_EQ(r3.status, RequestStatus::kOk);
+  EXPECT_FALSE(r3.cache_hit) << "cache should have been cleared";
+  const EmbedResponse r4 = svc.submit(request_for(tree)).get();
+  ASSERT_EQ(r4.status, RequestStatus::kOk);
+  EXPECT_TRUE(r4.cache_hit);
+
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.cache_misses, 2u);
+  EXPECT_EQ(stats.cache_hits, 2u);
+  EXPECT_GE(stats.cache_evictions, 1u);  // the forced clear
+  EXPECT_EQ(stats.completed, 4u);
+  expect_identity(stats);
+}
+
+TEST(FaultInjection, ChaosPlanIsDeterministicAndAccounted) {
+  // chaos() is a pure function of the seed; a full run under the plan
+  // answers every request with exactly the planned terminal state.
+  const FaultPlan plan = FaultPlan::chaos(0xC0FFEE, 24, 0.4);
+  const FaultPlan again = FaultPlan::chaos(0xC0FFEE, 24, 0.4);
+  EXPECT_EQ(plan.reject_submit, again.reject_submit);
+  EXPECT_EQ(plan.expire_request, again.expire_request);
+  EXPECT_EQ(plan.fail_embed, again.fail_embed);
+  EXPECT_EQ(plan.evict_cache_before, again.evict_cache_before);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_TRUE(FaultPlan{}.empty());
+
+  Rng rng(0xFA5);
+  ServiceConfig cfg;
+  cfg.num_shards = 1;
+  cfg.enable_batching = false;
+  cfg.fault_plan = plan;
+  EmbeddingService svc(cfg);
+
+  std::uint64_t want_rejected = 0, want_expired = 0, want_failed = 0,
+                want_ok = 0;
+  for (std::uint64_t seq = 1; seq <= 24; ++seq) {
+    // Serial submits: seq is exactly the submit order, and .get()
+    // before the next submit keeps every group a singleton.
+    const EmbedResponse res =
+        svc.submit(request_for(make_random_tree(20 + static_cast<NodeId>(seq),
+                                                rng)))
+            .get();
+    if (plan.reject_submit.count(seq) > 0) {
+      EXPECT_EQ(res.status, RequestStatus::kRejectedQueueFull) << seq;
+      ++want_rejected;
+    } else if (plan.expire_request.count(seq) > 0) {
+      EXPECT_EQ(res.status, RequestStatus::kExpiredDeadline) << seq;
+      ++want_expired;
+    } else if (plan.fail_embed.count(seq) > 0) {
+      EXPECT_EQ(res.status, RequestStatus::kFailed) << seq;
+      ++want_failed;
+    } else {
+      // evict_cache_before and fault-free submits both complete.
+      EXPECT_EQ(res.status, RequestStatus::kOk) << seq << ": " << res.reason;
+      ++want_ok;
+    }
+  }
+
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 24u);
+  EXPECT_EQ(stats.rejected_full, want_rejected);
+  EXPECT_EQ(stats.expired, want_expired);
+  EXPECT_EQ(stats.failed, want_failed);
+  EXPECT_EQ(stats.completed, want_ok);
+  expect_identity(stats);
+}
+
+TEST(CanonicalCacheClear, DropsEntriesAndCountsEvictions) {
+  CanonicalCache cache(8);
+  CachedEmbedding entry;
+  cache.insert({1, 10, Theorem::kT1, 16}, entry);
+  cache.insert({2, 10, Theorem::kT1, 16}, entry);
+  ASSERT_EQ(cache.size(), 2u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup({1, 10, Theorem::kT1, 16}), nullptr);
+  EXPECT_EQ(cache.counters().evictions, 2u);
+}
+
+}  // namespace
+}  // namespace xt

@@ -2,7 +2,16 @@
 // theorems' exact forms), every family, many seeds — the pipeline must
 // always produce a valid complete embedding within the load cap, and
 // dilation must stay a small constant.
+//
+// XT_FUZZ_TRIALS / XT_FUZZ_SEED scale and steer the randomised suites
+// (same contract as tools/xt_fuzz): CI nightlies export bigger trial
+// counts, and a failing seed from any fuzzer run can be replayed here
+// verbatim.  Every trial carries a SCOPED_TRACE with its replay
+// command, so a red test prints its own reproduction line.
 #include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
 
 #include "btree/generators.hpp"
 #include "core/injective_lift.hpp"
@@ -11,23 +20,57 @@
 #include "sim/workloads.hpp"
 #include "topology/xtree.hpp"
 #include "util/rng.hpp"
+#include "verify/fuzzer.hpp"
 
 namespace xt {
 namespace {
 
+int env_trials(int fallback) {
+  const char* raw = std::getenv("XT_FUZZ_TRIALS");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  const long v = std::strtol(raw, nullptr, 0);
+  return v > 0 ? static_cast<int>(v) : fallback;
+}
+
+std::uint64_t env_seed(std::uint64_t fallback) {
+  const char* raw = std::getenv("XT_FUZZ_SEED");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::strtoull(raw, nullptr, 0);
+}
+
 TEST(Fuzz, ArbitrarySizesAllFamilies) {
-  Rng rng(0xF00D);
-  for (int trial = 0; trial < 120; ++trial) {
+  Rng rng(env_seed(0xF00D));
+  const int trials = env_trials(120);
+  for (int trial = 0; trial < trials; ++trial) {
     const auto n = static_cast<NodeId>(1 + rng.below(900));
     const auto& families = tree_family_names();
     const std::string family =
         families[static_cast<std::size_t>(rng.below(families.size()))];
     const BinaryTree guest = make_family_tree(family, n, rng);
+    SCOPED_TRACE("replay: xt_fuzz --replay '" + guest.to_paren() + "'");
     const auto res = XTreeEmbedder::embed(guest);
     validate_embedding(guest, res.embedding, 16);
     const XTree host(res.stats.height);
     const auto rep = dilation_xtree(guest, res.embedding, host);
     EXPECT_LE(rep.max, 6) << family << " n=" << n << " trial=" << trial;
+  }
+}
+
+TEST(Fuzz, CertificateChainHoldsOnRandomTrees) {
+  // The differential harness end to end: every certified claim of the
+  // T1/T2/T3 pipeline re-checked through the oracle.  On failure the
+  // SCOPED_TRACE line is a ready-to-run reproduction command.
+  FuzzOptions opt;
+  opt.seed = env_seed(opt.seed);
+  opt.trials = env_trials(20);
+  opt.max_nodes = 260;
+  const FuzzReport report = run_fuzz(opt);
+  EXPECT_EQ(report.trials, opt.trials);
+  for (const FuzzViolation& v : report.violations) {
+    SCOPED_TRACE(v.replay);
+    ADD_FAILURE() << "trial " << v.trial << " (" << v.family
+                  << "): " << v.failure << "\n  minimized ("
+                  << v.shrunk_nodes << " nodes): " << v.shrunk_paren;
   }
 }
 

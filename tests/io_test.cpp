@@ -99,6 +99,38 @@ TEST(Certificate, DetectsTamperedClaims) {
   tampered = cert;
   tampered.load_factor = 15;
   EXPECT_FALSE(verify_certificate(tampered, guest, res.embedding));
+  // Every remaining field is bound too: fingerprints, node count, and
+  // the host the distances were measured in.
+  tampered = cert;
+  tampered.guest_fingerprint ^= 1;
+  EXPECT_FALSE(verify_certificate(tampered, guest, res.embedding));
+  tampered = cert;
+  tampered.assignment_fingerprint ^= 1;
+  EXPECT_FALSE(verify_certificate(tampered, guest, res.embedding));
+  tampered = cert;
+  tampered.guest_nodes += 1;
+  EXPECT_FALSE(verify_certificate(tampered, guest, res.embedding));
+  tampered = cert;
+  tampered.host_height += 1;  // taller X-tree: distances change
+  EXPECT_FALSE(verify_certificate(tampered, guest, res.embedding));
+}
+
+TEST(Certificate, FingerprintHelpersDiscriminate) {
+  // The exported hashes (shared with verify/certificate_chain) must
+  // move under any structural or placement change.
+  const BinaryTree a = BinaryTree::from_paren("((..)(..))");
+  const BinaryTree b = BinaryTree::from_paren("(((..).).)");
+  EXPECT_EQ(guest_fingerprint(a), guest_fingerprint(a));
+  EXPECT_NE(guest_fingerprint(a), guest_fingerprint(b));
+
+  Embedding e1(3, 4);
+  Embedding e2(3, 4);
+  for (NodeId v = 0; v < 3; ++v) {
+    e1.place(v, v);
+    e2.place(v, v == 2 ? 3 : v);  // one relocation
+  }
+  EXPECT_EQ(assignment_fingerprint(e1), assignment_fingerprint(e1));
+  EXPECT_NE(assignment_fingerprint(e1), assignment_fingerprint(e2));
 }
 
 TEST(Certificate, DetectsDifferentGuestOrAssignment) {

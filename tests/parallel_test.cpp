@@ -5,6 +5,7 @@
 #include <atomic>
 #include <functional>
 #include <mutex>
+#include <new>
 #include <numeric>
 #include <stdexcept>
 #include <string>
@@ -339,6 +340,45 @@ TEST(ParallelChunks, MixesWithParallelForOnSharedPool) {
                   });
   EXPECT_EQ(task_sum.load(), 256 * 255 / 2);
   EXPECT_EQ(for_sum.load(), 16 * (32 * 31 / 2));
+}
+
+TEST(ParallelFor, BodyExceptionPropagatesToCaller) {
+  // A throwing body must not terminate() a worker: the first exception
+  // is captured and rethrown on the calling thread after the job
+  // drains.  Blocks other than the throwing one still run in full;
+  // within the throwing block, indices after the throw are skipped
+  // (4 blocks of 16 over [0,64): the throw at 37 skips 38..47).
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      parallel_for(0, 64,
+                   [&](std::int64_t i) {
+                     if (i == 37) throw std::runtime_error("injected");
+                     ++ran;
+                   },
+                   4),
+      std::runtime_error);
+  EXPECT_EQ(ran.load(), 64 - 1 - 10);
+}
+
+TEST(ParallelFor, PoolSurvivesBodyException) {
+  // The shared pool stays fully usable after a propagated exception:
+  // a subsequent clean job covers its range exactly once.
+  EXPECT_THROW(
+      parallel_for(0, 16, [](std::int64_t) { throw std::bad_alloc(); }, 2),
+      std::bad_alloc);
+  std::vector<std::atomic<int>> hits(128);
+  parallel_for(0, 128, [&](std::int64_t i) { ++hits[static_cast<std::size_t>(i)]; }, 8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, TaskExceptionRethrownAtFutureGet) {
+  // The task path (submit/TaskFuture) carries exceptions through the
+  // future, and the worker that ran the throwing body keeps serving.
+  ThreadPool& pool = ThreadPool::shared();
+  auto bad = pool.submit([]() -> int { throw std::logic_error("task down"); });
+  EXPECT_THROW(bad.get(), std::logic_error);
+  auto good = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(good.get(), 42);
 }
 
 }  // namespace

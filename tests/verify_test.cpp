@@ -1,0 +1,395 @@
+// The differential-verification subsystem (src/verify/): oracle
+// against production kernels, per-theorem certificate chain, negative
+// tampering paths, and the shrink-on-failure fuzzer harness.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "btree/generators.hpp"
+#include "core/xtree_embedder.hpp"
+#include "embedding/metrics.hpp"
+#include "topology/xtree.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "verify/certificate_chain.hpp"
+#include "verify/fuzzer.hpp"
+#include "verify/oracle.hpp"
+
+namespace xt {
+namespace {
+
+// ---------------------------------------------------------------- oracle
+
+TEST(Oracle, XTreeDilationMatchesMetricLayer) {
+  // The oracle (corridor Dijkstra per edge) and the production metric
+  // layer (O(1) distance kernel, batched) are independent paths; they
+  // must agree on every tree.
+  Rng rng(0xA11CE);
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto n = static_cast<NodeId>(2 + rng.below(400));
+    const BinaryTree guest = make_random_tree(n, rng);
+    const auto res = XTreeEmbedder::embed(guest);
+    const XTree host(res.stats.height);
+    const auto fast = dilation_xtree(guest, res.embedding, host);
+    const auto slow = oracle_dilation_xtree(guest, res.embedding, host);
+    ASSERT_EQ(fast.max, slow.max) << "n=" << n;
+    ASSERT_EQ(fast.num_edges, slow.num_edges);
+  }
+}
+
+TEST(Oracle, LoadFactorMatchesEmbeddingRecount) {
+  Rng rng(0xA11CF);
+  const BinaryTree guest = make_random_tree(300, rng);
+  const auto res = XTreeEmbedder::embed(guest);
+  EXPECT_EQ(oracle_load_factor(res.embedding),
+            res.embedding.load_factor());
+}
+
+TEST(Oracle, PlacementCheckCatchesUnplacedNode) {
+  const BinaryTree guest = BinaryTree::from_paren("((..)(..))");
+  Embedding emb(guest.num_nodes(), 8);
+  emb.place(0, 0);  // nodes 1, 2 left unplaced
+  const std::string bad = oracle_check_placement(guest, emb);
+  EXPECT_NE(bad.find("unplaced"), std::string::npos) << bad;
+}
+
+TEST(Oracle, PlacementCheckCatchesSizeMismatch) {
+  const BinaryTree guest = BinaryTree::from_paren("((..)(..))");
+  Embedding emb(guest.num_nodes() + 1, 8);
+  EXPECT_FALSE(oracle_check_placement(guest, emb).empty());
+}
+
+// ----------------------------------------------------------- exact form
+
+TEST(CertificateChain, ExactFormPredicate) {
+  // n = 16 * (2^k - 1): 16, 48, 112, 240, 496 ...
+  for (NodeId n : {16, 48, 112, 240, 496}) EXPECT_TRUE(is_exact_form(n, 16));
+  for (NodeId n : {1, 15, 17, 47, 49, 111, 113, 495, 497})
+    EXPECT_FALSE(is_exact_form(n, 16)) << n;
+  EXPECT_TRUE(is_exact_form(8 * 7, 8));
+  EXPECT_FALSE(is_exact_form(8 * 7, 16));
+}
+
+// ------------------------------------------------------------ the chain
+
+TEST(CertificateChain, ExactFormPipelineVerifies) {
+  Rng rng(0xC4A1);
+  const BinaryTree guest = make_random_tree(16 * 31, rng);  // exact, r=4
+  const CertifiedPipeline pipe = run_certified_pipeline(guest);
+  ASSERT_EQ(pipe.links.size(), 4u);  // T1, T2, T3 x2 (T4 off by default)
+  EXPECT_EQ(verify_pipeline(guest, pipe), "");
+
+  const CertifiedEmbedding* t1 = pipe.find(ChainLink::kXTree);
+  ASSERT_NE(t1, nullptr);
+  EXPECT_LE(t1->cert.dilation, 3);  // theorem-exact bound
+  EXPECT_EQ(t1->cert.load_factor, 16);
+
+  const CertifiedEmbedding* t2 = pipe.find(ChainLink::kInjectiveXTree);
+  ASSERT_NE(t2, nullptr);
+  EXPECT_LE(t2->cert.dilation, 11);
+  EXPECT_EQ(t2->cert.load_factor, 1);
+  EXPECT_EQ(t2->cert.host_param, t1->cert.host_param + 4);
+
+  const CertifiedEmbedding* c16 = pipe.find(ChainLink::kHypercubeLoad16);
+  ASSERT_NE(c16, nullptr);
+  EXPECT_LE(c16->cert.dilation, 4);
+
+  const CertifiedEmbedding* cin = pipe.find(ChainLink::kHypercubeInjective);
+  ASSERT_NE(cin, nullptr);
+  EXPECT_LE(cin->cert.dilation, 8);
+  EXPECT_EQ(cin->cert.host_param, c16->cert.host_param + 4);
+}
+
+TEST(CertificateChain, ArbitrarySizeAndUniversalLink) {
+  Rng rng(0xC4A2);
+  const BinaryTree guest = make_random_tree(77, rng);  // not exact form
+  ChainOptions opt;
+  opt.include_t4 = true;
+  const CertifiedPipeline pipe = run_certified_pipeline(guest, opt);
+  ASSERT_EQ(pipe.links.size(), 5u);
+  EXPECT_EQ(verify_pipeline(guest, pipe), "");
+
+  const CertifiedEmbedding* t4 = pipe.find(ChainLink::kUniversal);
+  ASSERT_NE(t4, nullptr);
+  EXPECT_EQ(t4->cert.edges_outside, 0);
+  EXPECT_LE(t4->cert.host_degree, 415);
+  EXPECT_EQ(t4->cert.load_factor, 1);
+}
+
+TEST(CertificateChain, SingleNodeAndTinyTrees) {
+  for (const char* paren : {"(..)", "((..).)", "((..)(..))"}) {
+    const BinaryTree guest = BinaryTree::from_paren(paren);
+    const CertifiedPipeline pipe = run_certified_pipeline(guest);
+    EXPECT_EQ(verify_pipeline(guest, pipe), "") << paren;
+  }
+}
+
+TEST(CertificateChain, NonDefaultLoadSkipsFixedLoadTheorems) {
+  Rng rng(0xC4A3);
+  const BinaryTree guest = make_random_tree(120, rng);
+  ChainOptions opt;
+  opt.load = 8;
+  const CertifiedPipeline pipe = run_certified_pipeline(guest, opt);
+  ASSERT_EQ(pipe.links.size(), 1u);  // T2-T4 fix load 16
+  EXPECT_EQ(pipe.links.front().cert.load_bound, 8);
+  EXPECT_EQ(verify_pipeline(guest, pipe), "");
+}
+
+// ----------------------------------------------------- negative paths
+
+class ChainTamperTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(0x7A3);
+    guest_ = make_random_tree(16 * 15, rng);  // exact: tight bounds
+    ChainOptions opt;
+    opt.include_t4 = true;
+    pipe_ = run_certified_pipeline(guest_, opt);
+    ASSERT_EQ(verify_pipeline(guest_, pipe_), "");
+  }
+
+  BinaryTree guest_;
+  CertifiedPipeline pipe_;
+};
+
+TEST_F(ChainTamperTest, EveryClaimFieldIsBound) {
+  // Tampering any numeric claim of any link must fail verification.
+  for (std::size_t i = 0; i < pipe_.links.size(); ++i) {
+    const char* name = chain_link_name(pipe_.links[i].cert.link);
+    {
+      CertifiedPipeline t = pipe_;
+      t.links[i].cert.guest_fingerprint ^= 1;
+      EXPECT_NE(verify_pipeline(guest_, t), "") << name << " guest fp";
+    }
+    {
+      CertifiedPipeline t = pipe_;
+      t.links[i].cert.assignment_fingerprint ^= 1;
+      EXPECT_NE(verify_pipeline(guest_, t), "") << name << " assignment fp";
+    }
+    {
+      CertifiedPipeline t = pipe_;
+      t.links[i].cert.guest_nodes += 1;
+      EXPECT_NE(verify_pipeline(guest_, t), "") << name << " guest_nodes";
+    }
+    {
+      CertifiedPipeline t = pipe_;
+      t.links[i].cert.load_factor += 1;
+      EXPECT_NE(verify_pipeline(guest_, t), "") << name << " load_factor";
+    }
+    if (pipe_.links[i].cert.link != ChainLink::kUniversal) {
+      CertifiedPipeline t = pipe_;
+      t.links[i].cert.dilation -= 1;  // under-claim: oracle must differ
+      EXPECT_NE(verify_pipeline(guest_, t), "") << name << " dilation";
+    }
+    {
+      // Claiming a bound below the measured value must also fail, even
+      // with the measurement left honest.
+      CertifiedPipeline t = pipe_;
+      t.links[i].cert.load_bound = t.links[i].cert.load_factor - 1;
+      EXPECT_NE(verify_pipeline(guest_, t), "") << name << " load_bound";
+    }
+  }
+}
+
+TEST_F(ChainTamperTest, HostParamIsBound) {
+  for (std::size_t i = 0; i < pipe_.links.size(); ++i) {
+    if (pipe_.links[i].cert.link == ChainLink::kUniversal) continue;
+    CertifiedPipeline t = pipe_;
+    t.links[i].cert.host_param += 1;  // wrong host: vertex count differs
+    EXPECT_NE(verify_pipeline(guest_, t), "")
+        << chain_link_name(pipe_.links[i].cert.link);
+  }
+}
+
+TEST_F(ChainTamperTest, RelocatedAssignmentIsCaught) {
+  // Moving one guest node to another host vertex (without touching the
+  // certificate) must trip the assignment fingerprint.
+  CertifiedPipeline t = pipe_;
+  Embedding& emb = t.links[0].embedding;
+  Embedding moved(emb.num_guest_nodes(), emb.num_host_vertices());
+  for (NodeId v = 0; v < emb.num_guest_nodes(); ++v) {
+    VertexId h = emb.host_of(v);
+    if (v == 1) h = h == 0 ? 1 : 0;
+    moved.place(v, h);
+  }
+  t.links[0].embedding = std::move(moved);
+  const std::string bad = verify_pipeline(guest_, t);
+  EXPECT_NE(bad.find("fingerprint"), std::string::npos) << bad;
+}
+
+TEST_F(ChainTamperTest, WrongGuestIsCaught) {
+  Rng rng(0x7A4);
+  const BinaryTree other = make_random_tree(guest_.num_nodes(), rng);
+  ASSERT_NE(other.to_paren(), guest_.to_paren());
+  EXPECT_NE(verify_pipeline(other, pipe_), "");
+}
+
+TEST_F(ChainTamperTest, EmptyChainIsRejected) {
+  EXPECT_EQ(verify_pipeline(guest_, CertifiedPipeline{}),
+            "empty certificate chain");
+}
+
+// -------------------------------------------------------- serialization
+
+TEST(CertificateChain, TextRoundTrip) {
+  Rng rng(0x5E4);
+  const BinaryTree guest = make_random_tree(112, rng);
+  ChainOptions opt;
+  opt.include_t4 = true;
+  const CertifiedPipeline pipe = run_certified_pipeline(guest, opt);
+  for (const CertifiedEmbedding& link : pipe.links) {
+    const TheoremCertificate back =
+        theorem_certificate_from_string(theorem_certificate_to_string(link.cert));
+    EXPECT_EQ(back.link, link.cert.link);
+    EXPECT_EQ(back.guest_fingerprint, link.cert.guest_fingerprint);
+    EXPECT_EQ(back.assignment_fingerprint, link.cert.assignment_fingerprint);
+    EXPECT_EQ(back.guest_nodes, link.cert.guest_nodes);
+    EXPECT_EQ(back.host_param, link.cert.host_param);
+    EXPECT_EQ(back.dilation, link.cert.dilation);
+    EXPECT_EQ(back.load_factor, link.cert.load_factor);
+    EXPECT_EQ(back.dilation_bound, link.cert.dilation_bound);
+    EXPECT_EQ(back.load_bound, link.cert.load_bound);
+    EXPECT_EQ(back.edges_outside, link.cert.edges_outside);
+    EXPECT_EQ(back.host_degree, link.cert.host_degree);
+    // The parsed certificate must still verify against the artifact.
+    EXPECT_EQ(verify_theorem_certificate(back, guest, link.embedding), "");
+  }
+  EXPECT_THROW((void)theorem_certificate_from_string("garbage"),
+               check_error);
+  EXPECT_THROW((void)theorem_certificate_from_string("xtreesim-tcert v1 9 0 0"),
+               check_error);
+}
+
+// -------------------------------------------------------------- fuzzer
+
+TEST(Fuzzer, CleanRunFindsNothing) {
+  FuzzOptions opt;
+  opt.trials = 15;
+  opt.max_nodes = 150;
+  const FuzzReport report = run_fuzz(opt);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.trials, 15);
+}
+
+TEST(Fuzzer, InjectedOverloadShrinksToMinimalReproducer) {
+  // The overload fault places every node on host vertex 0, so the
+  // property fails exactly when n > 16: the shrinker must reach the
+  // minimal reproducer of 17 nodes (well under the 20-node target).
+  FuzzOptions opt;
+  opt.trials = 3;
+  opt.min_nodes = 60;
+  opt.max_nodes = 200;
+  opt.fault = FuzzFault::kOverloadRoot;
+  const FuzzReport report = run_fuzz(opt);
+  ASSERT_EQ(report.violations.size(), 3u);
+  for (const FuzzViolation& v : report.violations) {
+    EXPECT_EQ(v.shrunk_nodes, 17) << v.shrunk_paren;
+    EXPECT_GT(v.shrink_steps, 0);
+    EXPECT_NE(v.failure.find("load factor"), std::string::npos) << v.failure;
+    EXPECT_NE(v.replay.find("--replay"), std::string::npos) << v.replay;
+    EXPECT_NE(v.replay.find("--inject=overload-root"), std::string::npos);
+    // The reproducer replays: same property, same failure class.
+    const BinaryTree shrunk = BinaryTree::from_paren(v.shrunk_paren);
+    EXPECT_NE(replay_tree(shrunk, opt), "");
+    // ... and is minimal: one hoist below 17 nodes must pass.
+    FuzzOptions pass = opt;
+    const BinaryTree smaller = make_path_tree(16);
+    EXPECT_EQ(replay_tree(smaller, pass), "");
+  }
+}
+
+TEST(Fuzzer, InjectedTamperShrinksToSingleNode) {
+  FuzzOptions opt;
+  opt.trials = 1;
+  opt.min_nodes = 40;
+  opt.max_nodes = 120;
+  opt.fault = FuzzFault::kTamperDilationClaim;
+  const FuzzReport report = run_fuzz(opt);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].shrunk_nodes, 1);
+  EXPECT_EQ(report.violations[0].shrunk_paren, "(..)");
+}
+
+TEST(Fuzzer, ShrinkIsDeterministic) {
+  FuzzOptions opt;
+  opt.fault = FuzzFault::kOverloadRoot;
+  Rng rng(0xDE7);
+  const BinaryTree tree = make_random_tree(90, rng);
+  const auto prop = [&](const BinaryTree& t) { return chain_property(t, opt); };
+  ASSERT_NE(prop(tree), "");
+  const BinaryTree a = shrink_tree(tree, prop, 4000);
+  const BinaryTree b = shrink_tree(tree, prop, 4000);
+  EXPECT_EQ(a.to_paren(), b.to_paren());
+  EXPECT_EQ(a.num_nodes(), 17);
+}
+
+TEST(Fuzzer, ShrinkRespectsEvalBudget) {
+  FuzzOptions opt;
+  opt.fault = FuzzFault::kOverloadRoot;
+  Rng rng(0xDE8);
+  const BinaryTree tree = make_random_tree(120, rng);
+  int evals = 0;
+  const BinaryTree out = shrink_tree(
+      tree, [&](const BinaryTree& t) { return chain_property(t, opt); }, 10,
+      nullptr, &evals);
+  EXPECT_LE(evals, 10);
+  EXPECT_LE(out.num_nodes(), tree.num_nodes());
+}
+
+TEST(Fuzzer, PersistsMinimizedReproducerToCorpus) {
+  const std::string dir =
+      std::filesystem::temp_directory_path() / "xt_fuzz_corpus_test";
+  std::filesystem::remove_all(dir);
+  FuzzOptions opt;
+  opt.trials = 1;
+  opt.min_nodes = 50;
+  opt.max_nodes = 100;
+  opt.fault = FuzzFault::kOverloadRoot;
+  opt.corpus_dir = dir;
+  const FuzzReport report = run_fuzz(opt);
+  ASSERT_EQ(report.violations.size(), 1u);
+  const FuzzViolation& v = report.violations[0];
+  ASSERT_FALSE(v.corpus_file.empty());
+  std::ifstream in(v.corpus_file);
+  ASSERT_TRUE(in.good()) << v.corpus_file;
+  std::string line;
+  std::string tree_line;
+  bool saw_replay_comment = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("# replay:", 0) == 0) saw_replay_comment = true;
+    if (!line.empty() && line[0] != '#') tree_line = line;
+  }
+  EXPECT_TRUE(saw_replay_comment);
+  EXPECT_EQ(tree_line, v.shrunk_paren);
+  EXPECT_EQ(BinaryTree::from_paren(tree_line).num_nodes(), v.shrunk_nodes);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Fuzzer, FaultNamesRoundTrip) {
+  for (FuzzFault f : {FuzzFault::kNone, FuzzFault::kTamperDilationClaim,
+                      FuzzFault::kOverloadRoot}) {
+    EXPECT_EQ(parse_fuzz_fault(fuzz_fault_name(f)), f);
+  }
+  EXPECT_EQ(parse_fuzz_fault(""), FuzzFault::kNone);
+  EXPECT_THROW((void)parse_fuzz_fault("nonsense"), check_error);
+}
+
+TEST(Fuzzer, ReplayCommandEncodesChainOptions) {
+  const BinaryTree tree = BinaryTree::from_paren("((..).)");
+  FuzzOptions opt;
+  opt.fault = FuzzFault::kOverloadRoot;
+  opt.chain.include_t2 = false;
+  opt.chain.include_t4 = true;
+  const std::string cmd = replay_command(tree, opt);
+  EXPECT_NE(cmd.find("--replay '((..).)'"), std::string::npos) << cmd;
+  EXPECT_NE(cmd.find("--inject=overload-root"), std::string::npos);
+  EXPECT_NE(cmd.find("--no-t2"), std::string::npos);
+  EXPECT_NE(cmd.find("--t4"), std::string::npos);
+  EXPECT_EQ(cmd.find("--no-t3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xt

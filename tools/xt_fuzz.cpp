@@ -1,0 +1,135 @@
+// xt_fuzz: property-based fuzzer for the certificate chain, with
+// shrink-on-failure and replay.
+//
+//   xt_fuzz                                # default 120 trials
+//   xt_fuzz --trials=20000 --corpus=tests/corpus
+//   xt_fuzz --replay '((.(..))(..))'       # re-check one tree
+//   xt_fuzz --replay @tests/corpus/min-5eedf00d-t3.tree
+//   xt_fuzz --inject=overload-root         # demo: injected fault must
+//                                          # be caught and shrunk
+//
+// Environment: XT_FUZZ_TRIALS / XT_FUZZ_SEED provide defaults for
+// --trials / --seed (flags win), so CI can scale the run without
+// editing workflow command lines.
+//
+// Exit status: 0 when every trial passed, 1 when any violation was
+// found (each is printed with its minimized reproducer and a replay
+// command), 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "util/cli.hpp"
+#include "verify/fuzzer.hpp"
+
+namespace {
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::strtoll(raw, nullptr, 0);
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::strtoull(raw, nullptr, 0);
+}
+
+/// "@file" -> first non-comment line of the file; anything else is the
+/// paren form itself.
+std::string resolve_replay_arg(const std::string& arg) {
+  if (arg.empty() || arg[0] != '@') return arg;
+  std::ifstream in(arg.substr(1));
+  if (!in) {
+    std::cerr << "xt_fuzz: cannot open replay file " << arg.substr(1) << "\n";
+    std::exit(2);
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '#') return line;
+  }
+  std::cerr << "xt_fuzz: no tree line in " << arg.substr(1) << "\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  xt::Cli cli(argc, argv);
+
+  xt::FuzzOptions options;
+  options.trials =
+      static_cast<int>(cli.get_int("trials", env_int("XT_FUZZ_TRIALS", 120)));
+  options.seed = static_cast<std::uint64_t>(cli.get_int(
+      "seed", static_cast<std::int64_t>(env_u64("XT_FUZZ_SEED", options.seed))));
+  options.min_nodes =
+      static_cast<xt::NodeId>(cli.get_int("min-nodes", options.min_nodes));
+  options.max_nodes =
+      static_cast<xt::NodeId>(cli.get_int("max-nodes", options.max_nodes));
+  options.chain.load =
+      static_cast<xt::NodeId>(cli.get_int("load", options.chain.load));
+  options.chain.include_t2 = !cli.has("no-t2");
+  options.chain.include_t3 = !cli.has("no-t3");
+  options.chain.include_t4 = cli.has("t4");
+  options.corpus_dir = cli.get("corpus", "");
+  options.max_shrink_evals = static_cast<int>(
+      cli.get_int("max-shrink-evals", options.max_shrink_evals));
+  options.log = [](const std::string& line) { std::cout << line << "\n"; };
+  try {
+    options.fault = xt::parse_fuzz_fault(cli.get("inject", "none"));
+  } catch (const std::exception& e) {
+    std::cerr << "xt_fuzz: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (cli.has("replay")) {
+    const std::string paren = resolve_replay_arg(cli.get("replay", ""));
+    xt::BinaryTree tree;
+    try {
+      tree = xt::BinaryTree::from_paren(paren);
+    } catch (const std::exception& e) {
+      std::cerr << "xt_fuzz: bad paren form: " << e.what() << "\n";
+      return 2;
+    }
+    const std::string failure = xt::replay_tree(tree, options);
+    if (failure.empty()) {
+      std::cout << "[xt_fuzz] replay PASSED (" << tree.num_nodes()
+                << " nodes)\n";
+      return 0;
+    }
+    std::cout << "[xt_fuzz] replay FAILED (" << tree.num_nodes()
+              << " nodes): " << failure << "\n";
+    return 1;
+  }
+
+  std::cout << "[xt_fuzz] " << options.trials << " trials, seed 0x" << std::hex
+            << options.seed << std::dec << ", n in [" << options.min_nodes
+            << ", " << options.max_nodes << "], chain load "
+            << options.chain.load << " (t2 " << options.chain.include_t2
+            << ", t3 " << options.chain.include_t3 << ", t4 "
+            << options.chain.include_t4 << ")";
+  if (options.fault != xt::FuzzFault::kNone)
+    std::cout << ", injected fault " << xt::fuzz_fault_name(options.fault);
+  std::cout << "\n";
+
+  const xt::FuzzReport report = xt::run_fuzz(options);
+  if (report.ok()) {
+    std::cout << "[xt_fuzz] OK: " << report.trials
+              << " trials, 0 violations\n";
+    return 0;
+  }
+  std::cout << "[xt_fuzz] FAILED: " << report.violations.size()
+            << " violation(s) in " << report.trials << " trials\n";
+  for (const auto& v : report.violations) {
+    std::cout << "  trial " << v.trial << " (" << v.family
+              << "): " << v.failure << "\n    minimized to " << v.shrunk_nodes
+              << " nodes in " << v.shrink_steps << " steps: " << v.shrunk_paren
+              << "\n    " << v.replay << "\n";
+    if (!v.corpus_file.empty())
+      std::cout << "    persisted: " << v.corpus_file << "\n";
+  }
+  return 1;
+}
