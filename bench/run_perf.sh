@@ -8,6 +8,9 @@
 #                 SPLIT sweep: per-budget wall times, bit-identity
 #                 check, measured sweep share + modeled 8-worker
 #                 speedup)
+#   BENCH_5.json  PR 5 bulk ingestion (xtb1 container + streaming
+#                 pipeline vs a parse-then-submit loop at dup 0.5,
+#                 with bit-identity and accounting checks)
 #
 # Usage:  bench/run_perf.sh [--compare BASELINE.json] [--smoke]
 #                           [build-dir] [extra benchmark args...]
@@ -88,6 +91,17 @@ if [[ -x "$parallel_bin" ]]; then
   echo "wrote $repo_root/BENCH_3.json"
 else
   echo "warning: $parallel_bin not found; skipping BENCH_3.json" >&2
+fi
+
+bulk_bin="$build_dir/bench/bench_bulk"
+if [[ -x "$bulk_bin" ]]; then
+  smoke_flag=()
+  [[ $smoke -eq 1 ]] && smoke_flag=(--smoke)
+  "$bulk_bin" ${smoke_flag[@]+"${smoke_flag[@]}"} \
+    --json="$repo_root/BENCH_5.json" >/dev/null
+  echo "wrote $repo_root/BENCH_5.json"
+else
+  echo "warning: $bulk_bin not found; skipping BENCH_5.json" >&2
 fi
 
 if [[ -n "$baseline" ]]; then

@@ -75,24 +75,53 @@ std::vector<std::int32_t> BinaryTree::depths() const {
 void BinaryTree::validate() const {
   XT_CHECK(parent_.size() == left_.size() && parent_.size() == right_.size());
   if (empty()) return;
-  XT_CHECK(parent(0) == kInvalidNode);
-  for (NodeId v = 1; v < num_nodes(); ++v) {
-    const NodeId p = parent(v);
-    XT_CHECK_MSG(p >= 0 && p < num_nodes(), "node " << v << " bad parent");
-    XT_CHECK_MSG(p < v, "node " << v << " parent id not smaller (id order)");
-    XT_CHECK_MSG(left(p) == v || right(p) == v,
-                 "parent/child arrays inconsistent at node " << v);
+  const std::string bad = soa_structure_error(num_nodes(), parent_.data(),
+                                              left_.data(), right_.data());
+  XT_CHECK_MSG(bad.empty(), bad);
+}
+
+BinaryTree BinaryTree::from_soa(std::vector<NodeId> parent,
+                                std::vector<NodeId> left,
+                                std::vector<NodeId> right) {
+  XT_CHECK_MSG(parent.size() == left.size() && parent.size() == right.size(),
+               "from_soa: array lengths differ");
+  BinaryTree t;
+  t.parent_ = std::move(parent);
+  t.left_ = std::move(left);
+  t.right_ = std::move(right);
+  t.validate();
+  return t;
+}
+
+std::string soa_structure_error(NodeId n, const NodeId* parent,
+                                const NodeId* left, const NodeId* right) {
+  const auto fail = [](NodeId v, const char* what) {
+    std::ostringstream os;
+    os << "node " << v << ": " << what;
+    return os.str();
+  };
+  if (n <= 0) return n == 0 ? "" : "negative node count";
+  if (parent[0] != kInvalidNode) return fail(0, "root has a parent");
+  for (NodeId v = 1; v < n; ++v) {
+    const NodeId p = parent[static_cast<std::size_t>(v)];
+    if (p < 0 || p >= n) return fail(v, "parent out of range");
+    if (p >= v) return fail(v, "parent id not smaller (preorder id order)");
+    if (left[static_cast<std::size_t>(p)] != v &&
+        right[static_cast<std::size_t>(p)] != v)
+      return fail(v, "parent/child arrays inconsistent");
   }
-  for (NodeId v = 0; v < num_nodes(); ++v) {
-    for (int w = 0; w < 2; ++w) {
-      const NodeId c = child(v, w);
-      if (c != kInvalidNode) {
-        XT_CHECK(c > 0 && c < num_nodes());
-        XT_CHECK(parent(c) == v);
-      }
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId l = left[static_cast<std::size_t>(v)];
+    const NodeId r = right[static_cast<std::size_t>(v)];
+    for (const NodeId c : {l, r}) {
+      if (c == kInvalidNode) continue;
+      if (c <= 0 || c >= n) return fail(v, "child out of range");
+      if (parent[static_cast<std::size_t>(c)] != v)
+        return fail(v, "child does not point back");
     }
-    XT_CHECK(left(v) == kInvalidNode || left(v) != right(v));
+    if (l != kInvalidNode && l == r) return fail(v, "duplicate child slots");
   }
+  return "";
 }
 
 std::string BinaryTree::to_paren() const {

@@ -87,6 +87,15 @@ class BinaryTree {
   /// connected, acyclic.  Throws check_error on violation.
   void validate() const;
 
+  /// Adopts three parallel SoA arrays wholesale (the layout the xtb1
+  /// bulk corpus stores on disk): no parsing, no per-node calls — one
+  /// move per array, then a full validate().  The arrays must satisfy
+  /// the same invariants add_child maintains (root 0, preorder ids,
+  /// consistent parent/child slots); throws check_error otherwise.
+  static BinaryTree from_soa(std::vector<NodeId> parent,
+                             std::vector<NodeId> left,
+                             std::vector<NodeId> right);
+
   /// Compact preorder serialisation (for golden tests / debugging):
   /// e.g. "(()(()()))".
   [[nodiscard]] std::string to_paren() const;
@@ -100,6 +109,16 @@ class BinaryTree {
   std::vector<NodeId> left_;
   std::vector<NodeId> right_;
 };
+
+/// Non-throwing form of BinaryTree::validate over raw SoA arrays:
+/// returns "" when the arrays describe a valid tree (root 0, preorder
+/// ids, consistent parent/child slots), else a description of the
+/// first violation.  Shared by from_soa and the bulk corpus reader, so
+/// a record can be structurally checked in place — straight off an
+/// mmap — before any copy is made.
+[[nodiscard]] std::string soa_structure_error(NodeId n, const NodeId* parent,
+                                              const NodeId* left,
+                                              const NodeId* right);
 
 /// The tree obtained by renaming node v to to_new[v].  to_new must be
 /// a bijection onto [0, n) that maps the root to 0 and every parent to

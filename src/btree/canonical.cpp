@@ -26,16 +26,14 @@ constexpr std::uint64_t combine(std::uint64_t a, std::uint64_t b) {
   return mix(a + 0x9e3779b97f4a7c15ULL * b + 0x632be59bd9b4e019ULL);
 }
 
-// Reverse-BFS bottom-up subtree codes.  `sorted` selects the
-// order-insensitive (canonical) variant.
-std::vector<std::uint64_t> subtree_codes(const BinaryTree& tree, bool sorted) {
-  const auto n = static_cast<std::size_t>(tree.num_nodes());
+// Reverse-BFS bottom-up subtree codes into a caller-owned buffer.
+// `sorted` selects the order-insensitive (canonical) variant.
+void subtree_codes(std::size_t n, const NodeId* left, const NodeId* right,
+                   bool sorted, std::vector<std::uint64_t>& code) {
   // Every constructor assigns ids in preorder (parent < child), so
   // descending id order is a valid bottom-up schedule — no explicit
   // BFS order needed, and the left/right SoA arrays stream linearly.
-  const NodeId* const left = tree.left_data();
-  const NodeId* const right = tree.right_data();
-  std::vector<std::uint64_t> code(n, 0);
+  code.assign(n, 0);
   for (std::size_t v = n; v-- > 0;) {
     const NodeId c0 = left[v];
     const NodeId c1 = right[v];
@@ -50,7 +48,6 @@ std::vector<std::uint64_t> subtree_codes(const BinaryTree& tree, bool sorted) {
     if (sorted && b < a) std::swap(a, b);
     code[v] = combine(a, b);
   }
-  return code;
 }
 
 // Final digest folds in the node count (belt and braces; the cache key
@@ -61,25 +58,27 @@ std::uint64_t finalize(std::uint64_t root_code, NodeId n) {
 
 }  // namespace
 
-CanonicalForm canonical_form(const BinaryTree& tree) {
-  XT_CHECK(!tree.empty());
-  const auto code = subtree_codes(tree, /*sorted=*/true);
+CanonicalForm canonical_form(NodeId n, const NodeId* left,
+                             const NodeId* right, CanonicalScratch& scratch) {
+  XT_CHECK(n > 0);
+  std::vector<std::uint64_t>& code = scratch.code;
+  subtree_codes(static_cast<std::size_t>(n), left, right, /*sorted=*/true,
+                code);
   CanonicalForm out;
-  out.hash = finalize(code[static_cast<std::size_t>(tree.root())],
-                      tree.num_nodes());
-  out.to_canonical.assign(static_cast<std::size_t>(tree.num_nodes()),
-                          kInvalidNode);
+  out.hash = finalize(code[0], n);
+  out.to_canonical.assign(static_cast<std::size_t>(n), kInvalidNode);
   // Preorder with children visited in canonical order: smaller subtree
   // digest first.  Tied siblings are isomorphic subtrees (up to digest
   // collision), so either order yields the same canonical tree.
-  std::vector<NodeId> stack{tree.root()};
+  std::vector<NodeId>& stack = scratch.stack;
+  stack.assign(1, 0);
   NodeId next = 0;
   while (!stack.empty()) {
     const NodeId v = stack.back();
     stack.pop_back();
     out.to_canonical[static_cast<std::size_t>(v)] = next++;
-    const NodeId c0 = tree.child(v, 0);
-    const NodeId c1 = tree.child(v, 1);
+    const NodeId c0 = left[static_cast<std::size_t>(v)];
+    const NodeId c1 = right[static_cast<std::size_t>(v)];
     if (c0 != kInvalidNode && c1 != kInvalidNode) {
       const bool c0_first = code[static_cast<std::size_t>(c0)] <=
                             code[static_cast<std::size_t>(c1)];
@@ -95,11 +94,36 @@ CanonicalForm canonical_form(const BinaryTree& tree) {
   return out;
 }
 
+CanonicalForm canonical_form(NodeId n, const NodeId* left,
+                             const NodeId* right) {
+  CanonicalScratch scratch;
+  return canonical_form(n, left, right, scratch);
+}
+
+CanonicalForm canonical_form(const BinaryTree& tree) {
+  XT_CHECK(!tree.empty());
+  return canonical_form(tree.num_nodes(), tree.left_data(),
+                        tree.right_data());
+}
+
+std::uint64_t canonical_hash(NodeId n, const NodeId* left,
+                             const NodeId* right, CanonicalScratch& scratch) {
+  XT_CHECK(n > 0);
+  subtree_codes(static_cast<std::size_t>(n), left, right, /*sorted=*/true,
+                scratch.code);
+  return finalize(scratch.code[0], n);
+}
+
+std::uint64_t canonical_hash(NodeId n, const NodeId* left,
+                             const NodeId* right) {
+  CanonicalScratch scratch;
+  return canonical_hash(n, left, right, scratch);
+}
+
 std::uint64_t canonical_hash(const BinaryTree& tree) {
   XT_CHECK(!tree.empty());
-  const auto code = subtree_codes(tree, /*sorted=*/true);
-  return finalize(code[static_cast<std::size_t>(tree.root())],
-                  tree.num_nodes());
+  return canonical_hash(tree.num_nodes(), tree.left_data(),
+                        tree.right_data());
 }
 
 BinaryTree canonical_tree(const BinaryTree& tree, const CanonicalForm& form) {
@@ -108,12 +132,12 @@ BinaryTree canonical_tree(const BinaryTree& tree, const CanonicalForm& form) {
 
 std::uint64_t ordered_hash(const BinaryTree& tree) {
   XT_CHECK(!tree.empty());
-  const auto code = subtree_codes(tree, /*sorted=*/false);
+  std::vector<std::uint64_t> code;
+  subtree_codes(static_cast<std::size_t>(tree.num_nodes()), tree.left_data(),
+                tree.right_data(), /*sorted=*/false, code);
   // A distinct finalizer keeps the two digest families disjoint even
   // on symmetric trees.
-  return mix(finalize(code[static_cast<std::size_t>(tree.root())],
-                      tree.num_nodes()) ^
-             0xbf58476d1ce4e5b9ULL);
+  return mix(finalize(code[0], tree.num_nodes()) ^ 0xbf58476d1ce4e5b9ULL);
 }
 
 }  // namespace xt

@@ -41,8 +41,42 @@ struct CanonicalForm {
 /// depth).  Requires a non-empty tree.
 [[nodiscard]] CanonicalForm canonical_form(const BinaryTree& tree);
 
+/// Raw-array form of canonical_form: the same digest and relabelling
+/// computed straight off left/right child arrays (length n, entries
+/// node ids or kInvalidNode, preorder id order).  The bulk ingest path
+/// digests xtb1 records in place — zero-copy views into an mmap —
+/// without materialising a BinaryTree first.  Bit-identical to the
+/// BinaryTree overload (pinned by canonical_test).
+[[nodiscard]] CanonicalForm canonical_form(NodeId n, const NodeId* left,
+                                           const NodeId* right);
+
 /// Digest only (skips building the relabelling).
 [[nodiscard]] std::uint64_t canonical_hash(const BinaryTree& tree);
+
+/// Raw-array form of canonical_hash (see canonical_form above).
+[[nodiscard]] std::uint64_t canonical_hash(NodeId n, const NodeId* left,
+                                           const NodeId* right);
+
+/// Reusable workspace for the digest routines.  A caller digesting a
+/// stream of trees (the bulk pipeline) holds one of these so the
+/// per-tree subtree-code and stack buffers are allocated once and
+/// recycled; results are bit-identical to the scratch-free overloads.
+struct CanonicalScratch {
+  std::vector<std::uint64_t> code;
+  std::vector<NodeId> stack;
+};
+
+/// canonical_hash with caller-owned scratch: allocation-free after the
+/// first call at a given size.
+[[nodiscard]] std::uint64_t canonical_hash(NodeId n, const NodeId* left,
+                                           const NodeId* right,
+                                           CanonicalScratch& scratch);
+
+/// canonical_form with caller-owned scratch.  Only the returned
+/// to_canonical vector is freshly allocated (callers keep it).
+[[nodiscard]] CanonicalForm canonical_form(NodeId n, const NodeId* left,
+                                           const NodeId* right,
+                                           CanonicalScratch& scratch);
 
 /// Order-*sensitive* digest: distinguishes the mirrored / child-order-
 /// permuted variants that canonical_hash deliberately identifies.

@@ -1,0 +1,236 @@
+#include "bulk/corpus.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cstring>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/hash.hpp"
+
+namespace xt {
+
+// The on-disk layout *is* the in-memory layout: records are read back
+// by pointer, not deserialised, so the format is only defined for
+// little-endian hosts with 32-bit NodeId.
+static_assert(std::endian::native == std::endian::little,
+              "xtb1 is a little-endian format");
+static_assert(sizeof(NodeId) == 4, "xtb1 records store 32-bit node ids");
+
+namespace {
+
+void put_u32(unsigned char* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
+void put_u64(unsigned char* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
+
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+bool record_fail(std::string* error, std::uint64_t i, const std::string& why) {
+  if (error != nullptr)
+    *error = "record " + std::to_string(i) + ": " + why;
+  return false;
+}
+
+}  // namespace
+
+// --- CorpusWriter ------------------------------------------------------
+
+CorpusWriter::CorpusWriter(const std::string& path)
+    : os_(path, std::ios::binary | std::ios::trunc), path_(path) {
+  XT_CHECK_MSG(os_.good(), "cannot open " << path << " for writing");
+  const char zeros[kCorpusHeaderBytes] = {};
+  os_.write(zeros, kCorpusHeaderBytes);  // back-patched by finalize()
+  pos_ = kCorpusHeaderBytes;
+}
+
+CorpusWriter::~CorpusWriter() = default;
+
+void CorpusWriter::add(const BinaryTree& tree) {
+  add(tree.num_nodes(), tree.parent_data(), tree.left_data(),
+      tree.right_data());
+}
+
+void CorpusWriter::add(NodeId n, const NodeId* parent, const NodeId* left,
+                       const NodeId* right) {
+  XT_CHECK_MSG(n > 0, "cannot pack an empty tree");
+  XT_CHECK_MSG(!finalized_, "add after finalize");
+  offsets_.push_back(pos_);
+  const std::size_t nb = static_cast<std::size_t>(n) * sizeof(NodeId);
+  const std::size_t record_bytes = 8 + 3 * nb;
+  std::vector<unsigned char> buf(record_bytes);
+  put_u32(buf.data(), static_cast<std::uint32_t>(n));
+  put_u32(buf.data() + 4, 0);  // reserved
+  std::memcpy(buf.data() + 8, parent, nb);
+  std::memcpy(buf.data() + 8 + nb, left, nb);
+  std::memcpy(buf.data() + 8 + 2 * nb, right, nb);
+  const std::uint64_t checksum = hash64(buf.data(), record_bytes);
+  os_.write(reinterpret_cast<const char*>(buf.data()),
+            static_cast<std::streamsize>(record_bytes));
+  os_.write(reinterpret_cast<const char*>(&checksum), 8);
+  pos_ += record_bytes + 8;
+  // Pad so the next record (hence its i32 arrays) stays aligned.
+  static const char pad[8] = {};
+  const std::size_t tail = pos_ % 8;
+  if (tail != 0) {
+    os_.write(pad, static_cast<std::streamsize>(8 - tail));
+    pos_ += 8 - tail;
+  }
+  XT_CHECK_MSG(os_.good(), "write failure on " << path_);
+}
+
+void CorpusWriter::finalize() {
+  if (finalized_) return;
+  const std::uint64_t index_offset = pos_;
+  const std::uint64_t index_hash =
+      hash64(offsets_.data(), offsets_.size() * 8);
+  os_.write(reinterpret_cast<const char*>(offsets_.data()),
+            static_cast<std::streamsize>(offsets_.size() * 8));
+  os_.write(reinterpret_cast<const char*>(&index_hash), 8);
+  pos_ += offsets_.size() * 8 + 8;
+
+  unsigned char header[kCorpusHeaderBytes] = {};
+  std::memcpy(header, kCorpusMagic, 4);
+  put_u32(header + 4, kCorpusVersion);
+  put_u64(header + 8, offsets_.size());
+  put_u64(header + 16, index_offset);
+  put_u64(header + 24, pos_);
+  put_u64(header + 32, hash64(header, kCorpusHeaderHashedBytes));
+  os_.seekp(0);
+  os_.write(reinterpret_cast<const char*>(header), kCorpusHeaderBytes);
+  os_.flush();
+  XT_CHECK_MSG(os_.good(), "write failure finalizing " << path_);
+  os_.close();
+  finalized_ = true;
+}
+
+// --- CorpusReader ------------------------------------------------------
+
+CorpusReader::CorpusReader(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  XT_CHECK_MSG(fd >= 0, "cannot open " << path);
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    XT_CHECK_MSG(false, "cannot stat " << path);
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  void* map = nullptr;
+  if (size_ > 0) {
+    map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map == MAP_FAILED) {
+      ::close(fd);
+      XT_CHECK_MSG(false, "cannot mmap " << path);
+    }
+  }
+  ::close(fd);  // the mapping keeps the pages alive
+  bytes_ = static_cast<const unsigned char*>(map);
+  try {
+    // Envelope validation: everything the index depends on.  Per-record
+    // payloads are checked lazily in try_view.
+    XT_CHECK_MSG(size_ >= kCorpusHeaderBytes + 8,
+                 path << ": too small to be an xtb1 corpus");
+    XT_CHECK_MSG(std::memcmp(bytes_, kCorpusMagic, 4) == 0,
+                 path << ": bad magic (not an xtb1 corpus)");
+    XT_CHECK_MSG(get_u32(bytes_ + 4) == kCorpusVersion,
+                 path << ": unsupported xtb1 version " << get_u32(bytes_ + 4));
+    XT_CHECK_MSG(get_u64(bytes_ + 32) ==
+                     hash64(bytes_, kCorpusHeaderHashedBytes),
+                 path << ": header checksum mismatch");
+    XT_CHECK_MSG(get_u64(bytes_ + 24) == size_,
+                 path << ": truncated (header records " << get_u64(bytes_ + 24)
+                      << " bytes, file has " << size_ << ")");
+    count_ = get_u64(bytes_ + 8);
+    const std::uint64_t index_offset = get_u64(bytes_ + 16);
+    XT_CHECK_MSG(index_offset >= kCorpusHeaderBytes &&
+                     index_offset % 8 == 0 && index_offset <= size_ &&
+                     size_ - index_offset == count_ * 8 + 8,
+                 path << ": index offset/size inconsistent with tree count");
+    records_end_ = index_offset;
+    offsets_ = reinterpret_cast<const std::uint64_t*>(bytes_ + index_offset);
+    XT_CHECK_MSG(get_u64(bytes_ + size_ - 8) == hash64(offsets_, count_ * 8),
+                 path << ": index checksum mismatch");
+    for (std::uint64_t i = 0; i < count_; ++i)
+      XT_CHECK_MSG(offsets_[i] >= kCorpusHeaderBytes &&
+                       offsets_[i] % 8 == 0 &&
+                       offsets_[i] + 8 + 8 <= records_end_,
+                   path << ": record " << i << " offset out of range");
+  } catch (...) {
+    if (bytes_ != nullptr) ::munmap(const_cast<unsigned char*>(bytes_), size_);
+    throw;
+  }
+}
+
+CorpusReader::~CorpusReader() {
+  if (bytes_ != nullptr) ::munmap(const_cast<unsigned char*>(bytes_), size_);
+}
+
+bool CorpusReader::try_view(std::uint64_t i, View* out,
+                            std::string* error) const {
+  XT_CHECK_MSG(i < count_, "record index " << i << " out of range");
+  const std::uint64_t off = offsets_[i];
+  const unsigned char* rec = bytes_ + off;
+  const std::uint32_t n32 = get_u32(rec);
+  if (n32 == 0) return record_fail(error, i, "zero node count");
+  if (n32 > 0x7fffffffu)
+    return record_fail(error, i, "node count exceeds NodeId range");
+  if (get_u32(rec + 4) != 0)
+    return record_fail(error, i, "reserved field not zero");
+  // 8 + 12n + 8 bytes must fit before the index.
+  const std::uint64_t budget = records_end_ - off - 16;
+  if (n32 > budget / 12)
+    return record_fail(error, i, "node count overruns the record region");
+  const std::uint64_t nb = std::uint64_t{n32} * 4;
+  const std::uint64_t record_bytes = 8 + 3 * nb;
+  if (get_u64(rec + record_bytes) != hash64(rec, record_bytes))
+    return record_fail(error, i, "payload checksum mismatch");
+  // Offsets are 8-aligned, so the i32 arrays at +8, +8+4n, +8+8n are
+  // 4-aligned: safe to hand out as typed pointers.
+  const auto* parent = reinterpret_cast<const NodeId*>(rec + 8);
+  const auto* left = reinterpret_cast<const NodeId*>(rec + 8 + nb);
+  const auto* right = reinterpret_cast<const NodeId*>(rec + 8 + 2 * nb);
+  const auto n = static_cast<NodeId>(n32);
+  const std::string bad = soa_structure_error(n, parent, left, right);
+  if (!bad.empty()) return record_fail(error, i, bad);
+  out->num_nodes = n;
+  out->parent = parent;
+  out->left = left;
+  out->right = right;
+  return true;
+}
+
+CorpusReader::View CorpusReader::view(std::uint64_t i) const {
+  View v;
+  std::string error;
+  XT_CHECK_MSG(try_view(i, &v, &error), error);
+  return v;
+}
+
+BinaryTree CorpusReader::materialize(std::uint64_t i) const {
+  const View v = view(i);
+  const auto n = static_cast<std::size_t>(v.num_nodes);
+  return BinaryTree::from_soa(std::vector<NodeId>(v.parent, v.parent + n),
+                              std::vector<NodeId>(v.left, v.left + n),
+                              std::vector<NodeId>(v.right, v.right + n));
+}
+
+bool CorpusReader::sniff(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  char magic[4] = {};
+  is.read(magic, 4);
+  return is.gcount() == 4 && std::memcmp(magic, kCorpusMagic, 4) == 0;
+}
+
+}  // namespace xt

@@ -1,0 +1,128 @@
+// xtb1: a compact binary container for guest-tree corpora, designed
+// for zero-copy bulk ingestion (ISSUE 5).
+//
+// A corpus of N trees is one little-endian file:
+//
+//   [64-byte header]
+//     0   magic "xtb1"
+//     4   u32 version (= 1)
+//     8   u64 tree_count
+//     16  u64 index_offset          (byte offset of the record index)
+//     24  u64 file_bytes            (total file size, for truncation checks)
+//     32  u64 header_hash           (hash64 of bytes [0, 32))
+//     40  24 reserved zero bytes
+//   [records, each 8-byte aligned]
+//     u32 n, u32 reserved(0)
+//     i32 parent[n], i32 left[n], i32 right[n]   (BinaryTree SoA layout,
+//                                                 preorder ids, root 0)
+//     u64 checksum               (hash64 of the record bytes before it)
+//     zero padding to the next 8-byte boundary
+//   [index at index_offset]
+//     u64 record_offset[tree_count]
+//     u64 index_hash              (hash64 of the offset array)
+//
+// The record payload *is* BinaryTree's in-memory representation, so a
+// reader can hand out pointers straight into the mmap — no parsing, no
+// per-node work — and the canonical digest (canonical_form raw-array
+// overload) runs in place.  Checksums catch bit rot / truncation; the
+// structural validator (soa_structure_error) catches well-formed bytes
+// that do not describe a tree, so a hostile file cannot push
+// out-of-range ids into the embedder.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "btree/binary_tree.hpp"
+
+namespace xt {
+
+inline constexpr char kCorpusMagic[4] = {'x', 't', 'b', '1'};
+inline constexpr std::uint32_t kCorpusVersion = 1;
+inline constexpr std::size_t kCorpusHeaderBytes = 64;
+/// Bytes of the header covered by header_hash (everything before it).
+inline constexpr std::size_t kCorpusHeaderHashedBytes = 32;
+
+/// Streaming xtb1 writer.  Records are written as they arrive (one
+/// buffered pass, O(1) memory beyond the offset index); finalize()
+/// appends the index and back-patches the header.  The file is not a
+/// valid corpus until finalize() returns.
+class CorpusWriter {
+ public:
+  explicit CorpusWriter(const std::string& path);
+  ~CorpusWriter();
+
+  CorpusWriter(const CorpusWriter&) = delete;
+  CorpusWriter& operator=(const CorpusWriter&) = delete;
+
+  void add(const BinaryTree& tree);
+  /// Raw SoA form, e.g. re-packing records read from another corpus.
+  /// The arrays are written as-is (structure is checked on *read*, so
+  /// pack stays O(n) memcpy-bound).
+  void add(NodeId n, const NodeId* parent, const NodeId* left,
+           const NodeId* right);
+
+  [[nodiscard]] std::uint64_t tree_count() const { return offsets_.size(); }
+
+  /// Writes the index, back-patches the header, flushes and closes.
+  /// Throws check_error on I/O failure.  Idempotent.
+  void finalize();
+
+ private:
+  std::ofstream os_;
+  std::string path_;
+  std::vector<std::uint64_t> offsets_;
+  std::uint64_t pos_ = 0;
+  bool finalized_ = false;
+};
+
+/// Memory-mapped xtb1 reader.  Construction validates the envelope
+/// (magic, version, header hash, size, index hash, offset ranges);
+/// per-record payloads are validated lazily by try_view, so one
+/// corrupt record fails that record, not the whole corpus.
+class CorpusReader {
+ public:
+  /// A borrowed, validated record: pointers into the mmap, BinaryTree
+  /// SoA layout.  Valid while the reader lives.
+  struct View {
+    NodeId num_nodes = 0;
+    const NodeId* parent = nullptr;
+    const NodeId* left = nullptr;
+    const NodeId* right = nullptr;
+  };
+
+  explicit CorpusReader(const std::string& path);
+  ~CorpusReader();
+
+  CorpusReader(const CorpusReader&) = delete;
+  CorpusReader& operator=(const CorpusReader&) = delete;
+
+  [[nodiscard]] std::uint64_t tree_count() const { return count_; }
+
+  /// Validates record i (bounds, checksum, tree structure) and fills
+  /// `out` with zero-copy pointers.  Returns false with a diagnostic
+  /// in *error (if non-null) on a corrupt record.
+  bool try_view(std::uint64_t i, View* out, std::string* error) const;
+
+  /// Throwing form of try_view.
+  [[nodiscard]] View view(std::uint64_t i) const;
+
+  /// An owning BinaryTree copy of record i (validated by from_soa).
+  [[nodiscard]] BinaryTree materialize(std::uint64_t i) const;
+
+  /// True if the file at `path` starts with the xtb1 magic — cheap
+  /// container-vs-text dispatch for CLI tools (xt_fuzz --replay).
+  static bool sniff(const std::string& path);
+
+ private:
+  const unsigned char* bytes_ = nullptr;
+  std::size_t size_ = 0;
+  std::uint64_t count_ = 0;
+  const std::uint64_t* offsets_ = nullptr;  // into the mmap
+  std::uint64_t records_end_ = 0;           // == index_offset
+};
+
+}  // namespace xt

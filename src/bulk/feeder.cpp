@@ -1,0 +1,70 @@
+#include "bulk/feeder.hpp"
+
+#include <deque>
+#include <future>
+#include <thread>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace xt {
+
+BulkFeedStats feed_corpus(EmbeddingService& service,
+                          const CorpusReader& reader,
+                          const BulkFeedOptions& options) {
+  XT_CHECK(options.max_outstanding >= 1);
+  BulkFeedStats stats;
+  std::deque<std::future<EmbedResponse>> outstanding;
+
+  const auto drain_front = [&] {
+    const EmbedResponse r = outstanding.front().get();
+    outstanding.pop_front();
+    (r.status == RequestStatus::kOk ? stats.completed : stats.failed)++;
+  };
+
+  bool service_stopping = false;
+  for (std::uint64_t i = 0; i < reader.tree_count() && !service_stopping;
+       ++i) {
+    CorpusReader::View view;
+    if (!reader.try_view(i, &view, nullptr)) {
+      ++stats.skipped_corrupt;
+      continue;
+    }
+    while (outstanding.size() >= options.max_outstanding) drain_front();
+
+    // Submit-with-retry: a bulk-admission rejection comes back as an
+    // already-ready future, so readiness probing never blocks on a
+    // genuinely queued request.
+    const BinaryTree tree = reader.materialize(i);
+    for (int attempt = 0;; ++attempt) {
+      EmbedRequest req;
+      req.tree = tree;  // copy: a retry needs the tree again
+      req.theorem = options.theorem;
+      req.priority = options.priority;
+      req.bulk = true;
+      auto fut = service.submit(std::move(req));
+      if (fut.wait_for(std::chrono::seconds(0)) ==
+          std::future_status::ready) {
+        const EmbedResponse r = fut.get();
+        if (r.status == RequestStatus::kRejectedQueueFull &&
+            (options.max_retries < 0 || attempt < options.max_retries)) {
+          ++stats.retries;
+          std::this_thread::sleep_for(options.retry_backoff);
+          continue;
+        }
+        if (r.status == RequestStatus::kRejectedShutdown)
+          service_stopping = true;
+        (r.status == RequestStatus::kOk ? stats.completed : stats.failed)++;
+        ++stats.submitted;
+        break;
+      }
+      ++stats.submitted;
+      outstanding.push_back(std::move(fut));
+      break;
+    }
+  }
+  while (!outstanding.empty()) drain_front();
+  return stats;
+}
+
+}  // namespace xt

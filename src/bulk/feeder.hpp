@@ -1,0 +1,52 @@
+// Corpus feeder: drains an xtb1 corpus through a *live*
+// EmbeddingService instead of the standalone bulk pipeline.
+//
+// Where bulk_embed owns the whole machine, feed_corpus is the polite
+// sibling: every record is submitted as a low-priority request with
+// EmbedRequest::bulk set, so the service's admission reserve
+// (ServiceConfig::bulk_queue_reserve) keeps headroom for interactive
+// traffic and the priority queue serves that traffic first.  Bulk
+// rejections are retried with backoff — backpressure slows the drain
+// down, it never loses a record.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "bulk/corpus.hpp"
+#include "service/service.hpp"
+
+namespace xt {
+
+struct BulkFeedOptions {
+  Theorem theorem = Theorem::kT1;
+  /// Service priority of every bulk submit; below 0 so default-
+  /// priority interactive requests always dequeue first.
+  std::int32_t priority = -1;
+  /// Max unresolved futures the feeder holds before draining the
+  /// oldest — bounds feeder memory just like the pipeline's window.
+  std::size_t max_outstanding = 32;
+  /// Sleep between retries of a bulk-admission rejection.
+  std::chrono::milliseconds retry_backoff{1};
+  /// Give up on a record after this many rejections; -1 retries until
+  /// the request is admitted or the service shuts down.
+  int max_retries = -1;
+};
+
+struct BulkFeedStats {
+  std::uint64_t submitted = 0;        // records whose final submission
+                                      // was answered (or will be)
+  std::uint64_t completed = 0;        // answered kOk
+  std::uint64_t failed = 0;           // any terminal non-kOk answer
+  std::uint64_t skipped_corrupt = 0;  // records try_view rejected
+  std::uint64_t retries = 0;          // bulk-admission rejections retried
+};
+
+/// Feeds every valid record of `reader` through `service` and waits
+/// for all responses.  Returns the tally; corrupt records are skipped
+/// (counted), admission rejections are retried per the options.
+BulkFeedStats feed_corpus(EmbeddingService& service,
+                          const CorpusReader& reader,
+                          const BulkFeedOptions& options = {});
+
+}  // namespace xt

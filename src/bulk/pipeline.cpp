@@ -1,0 +1,452 @@
+#include "bulk/pipeline.hpp"
+
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "btree/canonical.hpp"
+#include "core/hypercube_embedding.hpp"
+#include "core/injective_lift.hpp"
+#include "core/xtree_embedder.hpp"
+#include "embedding/metrics.hpp"
+#include "io/certificate.hpp"
+#include "service/cache.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/xtree.hpp"
+#include "util/check.hpp"
+#include "util/hash.hpp"
+#include "util/parallel.hpp"
+#include "util/thread_pool.hpp"
+#include "verify/certificate_chain.hpp"
+
+namespace xt {
+namespace {
+
+/// Free-list of reusable embed arenas: one per concurrently running
+/// embed task, recycled so the steady state allocates nothing.  The
+/// pool's workers are shared with the rest of the process, so arenas
+/// cannot be thread_local here — a lease ties one arena to one task
+/// for exactly the task's duration.
+class ArenaPool {
+ public:
+  class Lease {
+   public:
+    explicit Lease(ArenaPool& pool) : pool_(pool), arena_(pool.acquire()) {}
+    ~Lease() { pool_.release(std::move(arena_)); }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    XTreeEmbedder::EmbedArena& get() { return *arena_; }
+
+   private:
+    ArenaPool& pool_;
+    std::unique_ptr<XTreeEmbedder::EmbedArena> arena_;
+  };
+
+ private:
+  std::unique_ptr<XTreeEmbedder::EmbedArena> acquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.empty()) return std::make_unique<XTreeEmbedder::EmbedArena>();
+    auto arena = std::move(free_.back());
+    free_.pop_back();
+    return arena;
+  }
+
+  void release(std::unique_ptr<XTreeEmbedder::EmbedArena> arena) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(arena));
+  }
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<XTreeEmbedder::EmbedArena>> free_;
+};
+
+/// The canonical tree of a zero-copy record: relabeled_tree's exact
+/// construction (new-parent array, then children filled first-free-
+/// slot in ascending new id) applied straight to the view's parent
+/// array — no intermediate BinaryTree copy of the original ids.
+BinaryTree canonical_tree_from_view(const CorpusReader::View& view,
+                                    const std::vector<NodeId>& to_canonical) {
+  const auto n = static_cast<std::size_t>(view.num_nodes);
+  std::vector<NodeId> parent(n, kInvalidNode);
+  std::vector<NodeId> left(n, kInvalidNode);
+  std::vector<NodeId> right(n, kInvalidNode);
+  for (std::size_t u = 0; u < n; ++u) {
+    const NodeId p = view.parent[u];
+    if (p == kInvalidNode) continue;
+    parent[static_cast<std::size_t>(to_canonical[u])] =
+        to_canonical[static_cast<std::size_t>(p)];
+  }
+  for (NodeId nv = 1; nv < view.num_nodes; ++nv) {
+    const NodeId np = parent[static_cast<std::size_t>(nv)];
+    auto& slot = left[static_cast<std::size_t>(np)] == kInvalidNode
+                     ? left[static_cast<std::size_t>(np)]
+                     : right[static_cast<std::size_t>(np)];
+    slot = nv;
+  }
+  return BinaryTree::from_soa(std::move(parent), std::move(left),
+                              std::move(right));
+}
+
+/// What an embed task produces: the cache entry's payload.  Dilation
+/// is deliberately NOT audited here (that is the service path's
+/// per-miss O(n) profile); bulk covers quality statistically through
+/// the sampled certificate verify, which recomputes it from scratch.
+struct Computed {
+  std::vector<VertexId> canonical_assign;
+  VertexId host_vertices = 0;
+  std::int32_t host_height = 0;
+  NodeId load_factor = 0;
+};
+
+Computed compute_canonical(const BinaryTree& canonical, Theorem theorem,
+                           NodeId load, int intra_embed_parallelism,
+                           XTreeEmbedder::EmbedArena& arena) {
+  Computed out;
+  Embedding emb(0, 0);
+  switch (theorem) {
+    case Theorem::kT1: {
+      XTreeEmbedder::Options o;
+      o.load = load;
+      o.intra_embed_parallelism = intra_embed_parallelism;
+      auto res = XTreeEmbedder::embed(canonical, o, arena);
+      out.host_vertices = XTree(res.stats.height).num_vertices();
+      out.host_height = res.stats.height;
+      out.load_factor = res.embedding.load_factor();
+      emb = std::move(res.embedding);
+      break;
+    }
+    case Theorem::kT2: {
+      XTreeEmbedder::Options o;
+      o.load = 16;  // the lift spends exactly four levels on 16 slots
+      o.intra_embed_parallelism = intra_embed_parallelism;
+      auto res = XTreeEmbedder::embed(canonical, o, arena);
+      auto lift = lift_injective(canonical, res.embedding,
+                                 XTree(res.stats.height));
+      out.host_vertices = XTree(lift.host_height).num_vertices();
+      out.host_height = lift.host_height;
+      out.load_factor = 1;
+      emb = std::move(lift.embedding);
+      break;
+    }
+    case Theorem::kT3: {
+      auto hc = embed_hypercube_load16(canonical);
+      out.host_vertices = Hypercube(hc.dimension).num_vertices();
+      out.host_height = hc.dimension;
+      out.load_factor = hc.embedding.load_factor();
+      emb = std::move(hc.embedding);
+      break;
+    }
+  }
+  const auto n = static_cast<std::size_t>(canonical.num_nodes());
+  out.canonical_assign.resize(n);
+  for (std::size_t c = 0; c < n; ++c)
+    out.canonical_assign[c] = emb.host_of(static_cast<NodeId>(c));
+  return out;
+}
+
+Embedding remap_embedding(const std::vector<NodeId>& to_canonical,
+                          const CachedEmbedding& entry) {
+  const auto n = static_cast<NodeId>(to_canonical.size());
+  Embedding emb(n, entry.host_vertices);
+  for (NodeId v = 0; v < n; ++v) {
+    emb.place(v, entry.canonical_assign[static_cast<std::size_t>(
+                     to_canonical[static_cast<std::size_t>(v)])]);
+  }
+  return emb;
+}
+
+/// Builds the theorem certificate for one served record — claims
+/// measured from the served artifact itself — and re-derives every
+/// claim through the differential oracle.  Returns "" when it holds.
+std::string verify_served_record(const BinaryTree& guest,
+                                 const Embedding& emb, Theorem theorem,
+                                 NodeId load, std::int32_t host_height) {
+  const bool exact16 = is_exact_form(guest.num_nodes(), 16);
+  TheoremCertificate cert;
+  cert.guest_fingerprint = guest_fingerprint(guest);
+  cert.assignment_fingerprint = assignment_fingerprint(emb);
+  cert.guest_nodes = guest.num_nodes();
+  cert.host_param = host_height;
+  cert.load_factor = emb.load_factor();
+  switch (theorem) {
+    case Theorem::kT1:
+      cert.link = ChainLink::kXTree;
+      cert.dilation =
+          dilation_profile_xtree(guest, emb, XTree(host_height)).report.max;
+      cert.dilation_bound = is_exact_form(guest.num_nodes(), load) ? 3 : 6;
+      cert.load_bound = load;
+      break;
+    case Theorem::kT2:
+      cert.link = ChainLink::kInjectiveXTree;
+      cert.dilation =
+          dilation_profile_xtree(guest, emb, XTree(host_height)).report.max;
+      cert.dilation_bound = exact16 ? 11 : 14;
+      cert.load_bound = 1;
+      break;
+    case Theorem::kT3:
+      cert.link = ChainLink::kHypercubeLoad16;
+      cert.dilation =
+          dilation_hypercube(guest, emb, Hypercube(host_height)).max;
+      cert.dilation_bound = exact16 ? 4 : 7;
+      cert.load_bound = 16;
+      break;
+  }
+  return verify_theorem_certificate(cert, guest, emb);
+}
+
+}  // namespace
+
+const char* bulk_record_status_name(BulkRecordStatus s) {
+  switch (s) {
+    case BulkRecordStatus::kEmbedded: return "embedded";
+    case BulkRecordStatus::kDeduped: return "deduped";
+    case BulkRecordStatus::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
+std::string BulkStats::to_json() const {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"decoded\": " << decoded << ",\n"
+     << "  \"embedded\": " << embedded << ",\n"
+     << "  \"deduped\": " << deduped << ",\n"
+     << "  \"rejected\": " << rejected << ",\n"
+     << "  \"verified\": " << verified << ",\n"
+     << "  \"verify_failures\": " << verify_failures << ",\n"
+     << "  \"accounting_ok\": " << (accounting_ok() ? "true" : "false")
+     << ",\n"
+     << "  \"wall_s\": " << wall_s << ",\n"
+     << "  \"trees_per_s\": " << trees_per_s << "\n"
+     << "}";
+  return os.str();
+}
+
+BulkResult bulk_embed(const CorpusReader& reader, const BulkOptions& options) {
+  XT_CHECK(options.max_in_flight >= 1);
+  XT_CHECK(options.dedup_capacity >= 1);
+  XT_CHECK(options.verify_sample >= 0.0 && options.verify_sample <= 1.0);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  BulkResult out;
+  out.records.resize(reader.tree_count());
+  BulkStats& stats = out.stats;
+
+  CanonicalCache cache(options.dedup_capacity);
+  ThreadPool& pool = ThreadPool::shared();
+  ArenaPool arenas;
+
+  const auto diag = [&](const std::string& line) {
+    if (options.diagnostic_sink) options.diagnostic_sink(line);
+  };
+
+  const auto sampled = [&](std::uint64_t i) {
+    if (options.verify_sample <= 0.0) return false;
+    if (options.verify_sample >= 1.0) return true;
+    const std::uint64_t h = hash64(&i, sizeof i, options.verify_seed);
+    return static_cast<double>(h >> 11) * 0x1.0p-53 < options.verify_sample;
+  };
+
+  const auto reject = [&](std::uint64_t i, std::string why) {
+    BulkRecordResult& rec = out.records[i];
+    rec.status = BulkRecordStatus::kRejected;
+    rec.error = std::move(why);
+    ++stats.rejected;
+    diag("[bulk] rejected record " + std::to_string(i) + ": " + rec.error);
+  };
+
+  // Terminal bookkeeping for a served (embedded or deduped) record:
+  // counters, then the optional remap for keep_embeddings / the
+  // verify sample.  The remap is skipped entirely when neither wants
+  // it — the common bulk case does no per-duplicate O(n) work beyond
+  // the digest.
+  const auto serve = [&](std::uint64_t i, BulkRecordStatus status,
+                         const CachedEmbedding& entry,
+                         const std::vector<NodeId>& to_canonical) {
+    BulkRecordResult& rec = out.records[i];
+    rec.status = status;
+    rec.host_height = entry.host_height;
+    rec.load_factor = entry.load_factor;
+    (status == BulkRecordStatus::kEmbedded ? stats.embedded
+                                           : stats.deduped)++;
+    const bool want_verify = sampled(i);
+    if (!want_verify && !options.keep_embeddings) return;
+    Embedding emb = remap_embedding(to_canonical, entry);
+    if (want_verify) {
+      ++stats.verified;
+      const std::string bad =
+          verify_served_record(reader.materialize(i), emb, options.theorem,
+                               options.load, entry.host_height);
+      if (!bad.empty()) {
+        ++stats.verify_failures;
+        rec.error = bad;
+        diag("[bulk] verify failure on record " + std::to_string(i) + ": " +
+             bad);
+      }
+    }
+    if (options.keep_embeddings) rec.embedding = std::move(emb);
+  };
+
+  // One outstanding embed plus the duplicates that arrived while it
+  // was in flight.  Window entries live in a deque (stable addresses)
+  // and resolve oldest-first; `pending` lets later records find them
+  // by cache key.
+  struct Waiter {
+    std::uint64_t index = 0;
+    std::vector<NodeId> to_canonical;
+  };
+  struct InFlight {
+    CacheKey key;
+    std::uint64_t lead_index = 0;
+    std::vector<NodeId> lead_to_canonical;
+    TaskFuture<Computed> future;
+    // Inline-compute variant (pool has no workers): the result or the
+    // failure is stored directly, skipping the promise/future
+    // machinery the caller-runs path would allocate per miss.
+    std::optional<Computed> computed_inline;
+    std::string inline_error;
+    std::vector<Waiter> waiters;
+  };
+  std::deque<InFlight> window;
+  std::unordered_map<CacheKey, InFlight*, CacheKeyHash> pending;
+
+  const auto resolve_front = [&] {
+    InFlight infl = std::move(window.front());
+    window.pop_front();
+    pending.erase(infl.key);
+    Computed computed;
+    try {
+      if (infl.computed_inline.has_value())
+        computed = std::move(*infl.computed_inline);
+      else if (!infl.inline_error.empty())
+        throw std::runtime_error(infl.inline_error);
+      else
+        computed = infl.future.get();
+    } catch (const std::exception& e) {
+      // The lead embed failed: the lead and every duplicate that
+      // attached to it resolve to kRejected, keeping the accounting
+      // identity exact.
+      reject(infl.lead_index, std::string("embed failed: ") + e.what());
+      for (const Waiter& w : infl.waiters)
+        reject(w.index, std::string("embed failed (shared with record ") +
+                            std::to_string(infl.lead_index) +
+                            "): " + e.what());
+      return;
+    }
+    CachedEmbedding entry;
+    entry.canonical_assign = std::move(computed.canonical_assign);
+    entry.host_vertices = computed.host_vertices;
+    entry.host_height = computed.host_height;
+    entry.dilation = -1;  // not audited on the bulk path (see Computed)
+    entry.load_factor = computed.load_factor;
+    serve(infl.lead_index, BulkRecordStatus::kEmbedded, entry,
+          infl.lead_to_canonical);
+    for (const Waiter& w : infl.waiters)
+      serve(w.index, BulkRecordStatus::kDeduped, entry, w.to_canonical);
+    cache.insert(infl.key, std::move(entry));
+  };
+
+  // The duplicate-dominated steady state touches only the digest: the
+  // kNoRemap sentinel stands in for to_canonical whenever the record
+  // is neither kept nor in the verify sample, so serve() never reads
+  // it and the O(n) relabelling walk is skipped entirely.
+  CanonicalScratch scratch;
+  static const std::vector<NodeId> kNoRemap;
+
+  for (std::uint64_t i = 0; i < reader.tree_count(); ++i) {
+    ++stats.decoded;
+    out.records[i].index = i;
+
+    CorpusReader::View view;
+    std::string error;
+    if (!reader.try_view(i, &view, &error)) {
+      reject(i, std::move(error));
+      continue;
+    }
+
+    const bool want_remap = sampled(i) || options.keep_embeddings;
+    const std::uint64_t chash =
+        canonical_hash(view.num_nodes, view.left, view.right, scratch);
+    out.records[i].canonical_hash = chash;
+    const CacheKey key{chash, view.num_nodes, options.theorem, options.load};
+
+    if (auto entry = cache.lookup(key)) {
+      if (want_remap) {
+        const CanonicalForm canon =
+            canonical_form(view.num_nodes, view.left, view.right, scratch);
+        serve(i, BulkRecordStatus::kDeduped, *entry, canon.to_canonical);
+      } else {
+        serve(i, BulkRecordStatus::kDeduped, *entry, kNoRemap);
+      }
+      continue;
+    }
+    if (auto it = pending.find(key); it != pending.end()) {
+      Waiter w{i, {}};
+      if (want_remap)
+        w.to_canonical =
+            canonical_form(view.num_nodes, view.left, view.right, scratch)
+                .to_canonical;
+      it->second->waiters.push_back(std::move(w));
+      continue;
+    }
+
+    // Backpressure: admit a new embed only once the window has room.
+    while (window.size() >= options.max_in_flight) resolve_front();
+
+    // A lead always needs the full form: the canonical tree it embeds
+    // is built from the relabelling.
+    CanonicalForm canon =
+        canonical_form(view.num_nodes, view.left, view.right, scratch);
+    BinaryTree canonical = canonical_tree_from_view(view, canon.to_canonical);
+    window.push_back(InFlight{key, i, std::move(canon.to_canonical),
+                              TaskFuture<Computed>{}, std::nullopt, {}, {}});
+    InFlight& infl = window.back();
+    pending.emplace(key, &infl);
+    if (pool.num_threads() == 0) {
+      // No workers: submit() would only defer to a caller-runs get();
+      // computing here skips a promise/function allocation per miss.
+      // Window semantics are unchanged — the result still resolves
+      // oldest-first, after any duplicates have attached.
+      try {
+        ArenaPool::Lease lease(arenas);
+        infl.computed_inline =
+            compute_canonical(canonical, options.theorem, options.load,
+                              options.intra_embed_parallelism, lease.get());
+      } catch (const std::exception& e) {
+        infl.inline_error = e.what();
+        if (infl.inline_error.empty()) infl.inline_error = "embed failed";
+      }
+    } else {
+      infl.future = pool.submit(
+          [canonical = std::move(canonical), &arenas,
+           theorem = options.theorem, load = options.load,
+           parallelism = options.intra_embed_parallelism]() {
+            ArenaPool::Lease lease(arenas);
+            return compute_canonical(canonical, theorem, load, parallelism,
+                                     lease.get());
+          });
+    }
+  }
+  while (!window.empty()) resolve_front();
+
+  stats.wall_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+  stats.trees_per_s =
+      stats.wall_s > 0.0 ? static_cast<double>(stats.decoded) / stats.wall_s
+                         : 0.0;
+  XT_CHECK_MSG(stats.accounting_ok(),
+               "bulk accounting violated: decoded "
+                   << stats.decoded << " != embedded " << stats.embedded
+                   << " + deduped " << stats.deduped << " + rejected "
+                   << stats.rejected);
+  return out;
+}
+
+}  // namespace xt

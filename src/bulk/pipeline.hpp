@@ -1,0 +1,117 @@
+// Streaming bulk-embed pipeline (the ISSUE 5 tentpole): drains an
+// xtb1 corpus through decode -> canonical digest -> dedup -> embed ->
+// sampled certificate verify with bounded in-flight work.
+//
+// The stages are fused into one pass per record:
+//
+//   decode   zero-copy CorpusReader::try_view — checksum + structural
+//            validation straight off the mmap, no BinaryTree copy;
+//   digest   canonical_form on the raw left/right arrays (bit-identical
+//            to the service's digest of a materialised tree);
+//   dedup    a CanonicalCache keyed exactly like the service cache,
+//            plus an in-flight table so concurrent duplicates attach
+//            to the pending embed instead of embedding twice;
+//   embed    the canonical tree on the shared work-stealing ThreadPool,
+//            one reusable EmbedArena per concurrent task (the same
+//            allocation-free hot path the service shards use);
+//   verify   a deterministic sample of records is re-checked through
+//            the certificate chain's differential oracle — claims are
+//            recomputed from the *served* embedding, so the sample is
+//            evidence about what bulk actually produced;
+//   account  every record resolves to exactly one of embedded /
+//            deduped / rejected, so decoded == embedded + deduped +
+//            rejected always holds (pinned by bulk_test).
+//
+// Backpressure is explicit: at most max_in_flight embeds are
+// outstanding; the driver thread resolves the oldest before admitting
+// more, so memory stays bounded no matter the corpus size.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bulk/corpus.hpp"
+#include "embedding/embedding.hpp"
+#include "service/request.hpp"
+
+namespace xt {
+
+struct BulkOptions {
+  Theorem theorem = Theorem::kT1;
+  /// Guest nodes per host vertex (Theorem 1; ignored by T2/T3).
+  NodeId load = 16;
+  /// Maximum embeds outstanding on the pool before the driver blocks
+  /// on the oldest (>= 1).  Bounds memory and pool queue depth.
+  std::size_t max_in_flight = 64;
+  /// Capacity of the pipeline's canonical-embedding cache (>= 1).
+  std::size_t dedup_capacity = 4096;
+  /// Fraction of records (deterministically chosen from verify_seed)
+  /// re-verified through the certificate-chain oracle.  0 disables.
+  double verify_sample = 0.0;
+  std::uint64_t verify_seed = 1;
+  /// Keep each record's embedding in its BulkRecordResult.  Off by
+  /// default: a corpus-sized result vector of embeddings defeats the
+  /// bounded-memory design, so opt in only for tests / small runs.
+  bool keep_embeddings = false;
+  /// Forwarded to XTreeEmbedder::Options — placements are bit-identical
+  /// for any value, so this only trades latency for parallelism.
+  int intra_embed_parallelism = 1;
+  /// One line per notable event (rejected record, verify failure).
+  std::function<void(const std::string&)> diagnostic_sink;
+};
+
+enum class BulkRecordStatus {
+  kEmbedded,  // this record's embed ran (cache miss, in-flight lead)
+  kDeduped,   // served by the cache or by another record's embed
+  kRejected,  // corrupt record, or its lead embed failed
+};
+
+[[nodiscard]] const char* bulk_record_status_name(BulkRecordStatus s);
+
+struct BulkRecordResult {
+  std::uint64_t index = 0;
+  BulkRecordStatus status = BulkRecordStatus::kRejected;
+  std::uint64_t canonical_hash = 0;
+  std::int32_t host_height = 0;
+  NodeId load_factor = 0;
+  /// Set for kRejected (and for a failed sampled verify).
+  std::string error;
+  /// The served embedding, iff keep_embeddings and not rejected.
+  std::optional<Embedding> embedding;
+};
+
+struct BulkStats {
+  std::uint64_t decoded = 0;
+  std::uint64_t embedded = 0;
+  std::uint64_t deduped = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t verified = 0;
+  std::uint64_t verify_failures = 0;
+  double wall_s = 0.0;
+  double trees_per_s = 0.0;
+
+  /// The pipeline's conservation law: every decoded record resolved to
+  /// exactly one terminal status.
+  [[nodiscard]] bool accounting_ok() const {
+    return decoded == embedded + deduped + rejected;
+  }
+  [[nodiscard]] std::string to_json() const;
+};
+
+struct BulkResult {
+  BulkStats stats;
+  /// One entry per corpus record, in corpus order.
+  std::vector<BulkRecordResult> records;
+};
+
+/// Drains every record of `reader` through the pipeline.  Placements
+/// are bit-identical to submitting each tree to the embedding service
+/// one at a time (pinned by bulk_test): same canonical digest, same
+/// canonical-tree embed, same O(n) remap.
+[[nodiscard]] BulkResult bulk_embed(const CorpusReader& reader,
+                                    const BulkOptions& options);
+
+}  // namespace xt

@@ -34,6 +34,18 @@ DynamicEmbedder::GrowthResult DynamicEmbedder::try_add_leaf(NodeId parent) {
   return {leaf, GrowthError::kOk};
 }
 
+std::vector<DynamicEmbedder::GrowthResult> DynamicEmbedder::try_add_leaves(
+    std::span<const NodeId> parents) {
+  // One-at-a-time semantics by construction: each entry runs the same
+  // admission checks and the same pick_slot against the state the
+  // previous entries left behind.  The win is in pick_slot's scratch,
+  // which stays warm across the batch.
+  std::vector<GrowthResult> results;
+  results.reserve(parents.size());
+  for (const NodeId parent : parents) results.push_back(try_add_leaf(parent));
+  return results;
+}
+
 NodeId DynamicEmbedder::add_leaf(NodeId parent) {
   const GrowthResult r = try_add_leaf(parent);
   XT_CHECK_MSG(r.error != GrowthError::kHostFull, "machine is full");
@@ -44,14 +56,27 @@ NodeId DynamicEmbedder::add_leaf(NodeId parent) {
 VertexId DynamicEmbedder::pick_slot(VertexId parent_host) const {
   // BFS rings around the parent's image; first collect the nearest
   // free vertices (two rings past the first hit), then prefer one that
-  // keeps condition (3'), then the closest.
-  std::vector<char> seen(static_cast<std::size_t>(host_.num_vertices()), 0);
-  std::vector<std::pair<VertexId, std::int32_t>> queue{{parent_host, 0}};
-  seen[static_cast<std::size_t>(parent_host)] = 1;
+  // keeps condition (3'), then the closest.  The visited set is a
+  // stamp array: bumping the epoch invalidates every previous mark in
+  // O(1), so back-to-back picks reuse the allocation.
+  if (seen_stamp_.size() !=
+      static_cast<std::size_t>(host_.num_vertices())) {
+    seen_stamp_.assign(static_cast<std::size_t>(host_.num_vertices()), 0);
+    seen_epoch_ = 0;
+  }
+  if (++seen_epoch_ == 0) {  // wrapped: stamps from the old cycle would
+    std::fill(seen_stamp_.begin(), seen_stamp_.end(), 0);  // alias epoch 0
+    seen_epoch_ = 1;
+  }
+  const std::uint32_t epoch = seen_epoch_;
+  auto& queue = bfs_queue_;
+  queue.clear();
+  queue.emplace_back(parent_host, 0);
+  seen_stamp_[static_cast<std::size_t>(parent_host)] = epoch;
   VertexId best = kInvalidVertex;
   std::int64_t best_score = 0;
   std::int32_t stop_depth = -1;
-  std::vector<VertexId> nbr;
+  auto& nbr = nbr_scratch_;
   for (std::size_t head = 0; head < queue.size(); ++head) {
     const auto [x, depth] = queue[head];
     if (stop_depth >= 0 && depth > stop_depth) break;
@@ -68,8 +93,8 @@ VertexId DynamicEmbedder::pick_slot(VertexId parent_host) const {
     nbr.clear();
     host_.neighbors(x, nbr);
     for (VertexId y : nbr) {
-      if (!seen[static_cast<std::size_t>(y)]) {
-        seen[static_cast<std::size_t>(y)] = 1;
+      if (seen_stamp_[static_cast<std::size_t>(y)] != epoch) {
+        seen_stamp_[static_cast<std::size_t>(y)] = epoch;
         queue.emplace_back(y, depth + 1);
       }
     }

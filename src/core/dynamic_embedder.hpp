@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "btree/binary_tree.hpp"
@@ -54,6 +55,15 @@ class DynamicEmbedder {
   /// that is fatal.  `parent` must be a valid guest node id (checked).
   GrowthResult try_add_leaf(NodeId parent);
 
+  /// Batched growth: equivalent to calling try_add_leaf(parents[i]) in
+  /// order — identical placements, identical per-entry outcomes
+  /// (pinned by dynamic_test) — but the BFS scratch is reused across
+  /// the whole batch via epoch stamps, so a bulk admission of k leaves
+  /// does O(1) allocations instead of O(k).  A failed entry does not
+  /// stop the batch; later entries may still succeed (and may name
+  /// leaves created earlier in the same batch as parents).
+  std::vector<GrowthResult> try_add_leaves(std::span<const NodeId> parents);
+
   /// Throwing form of try_add_leaf (check_error on either failure).
   NodeId add_leaf(NodeId parent);
 
@@ -75,6 +85,16 @@ class DynamicEmbedder {
   BinaryTree guest_;
   std::vector<VertexId> assign_;
   std::vector<NodeId> load_of_;
+
+  // pick_slot's BFS working set, epoch-stamped so consecutive picks
+  // (one try_add_leaves batch, or a long add_leaf run) clear the
+  // visited set in O(1) instead of refilling a vector<char> per call.
+  // Scratch only — never observable state — hence mutable under the
+  // const pick_slot.
+  mutable std::vector<std::uint32_t> seen_stamp_;
+  mutable std::uint32_t seen_epoch_ = 0;
+  mutable std::vector<std::pair<VertexId, std::int32_t>> bfs_queue_;
+  mutable std::vector<VertexId> nbr_scratch_;
 };
 
 }  // namespace xt

@@ -6,6 +6,121 @@
 #include "util/check.hpp"
 
 namespace xt {
+namespace {
+
+bool is_space(char ch) {
+  return ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n' ||
+         ch == '\v' || ch == '\f';
+}
+
+TreeParseResult parse_fail(TreeParseStatus status, std::size_t offset,
+                           std::string message) {
+  TreeParseResult r;
+  r.status = status;
+  r.offset = offset;
+  r.message = std::move(message);
+  return r;
+}
+
+}  // namespace
+
+const char* tree_parse_status_name(TreeParseStatus s) {
+  switch (s) {
+    case TreeParseStatus::kOk: return "ok";
+    case TreeParseStatus::kEmptyInput: return "empty-input";
+    case TreeParseStatus::kBadCharacter: return "bad-character";
+    case TreeParseStatus::kUnbalanced: return "unbalanced";
+    case TreeParseStatus::kTruncated: return "truncated";
+    case TreeParseStatus::kMultipleRoots: return "multiple-roots";
+    case TreeParseStatus::kTooManyChildren: return "too-many-children";
+    case TreeParseStatus::kTooLarge: return "too-large";
+  }
+  return "unknown";
+}
+
+TreeParseResult try_parse_tree(std::string_view text, NodeId max_nodes) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && is_space(text[begin])) ++begin;
+  while (end > begin && is_space(text[end - 1])) --end;
+  if (begin == end)
+    return parse_fail(TreeParseStatus::kEmptyInput, text.size(),
+                      "no tree on line");
+
+  // Same grammar as BinaryTree::from_paren, built as raw SoA arrays
+  // (-2 reserves a slot for an explicit '.' absent-child marker) so a
+  // malformed line surfaces as a status instead of an exception thrown
+  // mid-construction.
+  std::vector<NodeId> parent;
+  std::vector<NodeId> left;
+  std::vector<NodeId> right;
+  std::vector<NodeId> stack;
+  const auto free_slot = [&](NodeId p) -> NodeId* {
+    const auto pi = static_cast<std::size_t>(p);
+    if (left[pi] == kInvalidNode) return &left[pi];
+    if (right[pi] == kInvalidNode) return &right[pi];
+    return nullptr;
+  };
+  for (std::size_t i = begin; i < end; ++i) {
+    const char ch = text[i];
+    switch (ch) {
+      case '(': {
+        const auto v = static_cast<NodeId>(parent.size());
+        if (max_nodes > 0 && v >= max_nodes)
+          return parse_fail(TreeParseStatus::kTooLarge, i,
+                            "tree exceeds " + std::to_string(max_nodes) +
+                                " nodes");
+        if (stack.empty() && v != 0)
+          return parse_fail(TreeParseStatus::kMultipleRoots, i,
+                            "second top-level subtree");
+        if (!stack.empty()) {
+          NodeId* slot = free_slot(stack.back());
+          if (slot == nullptr)
+            return parse_fail(TreeParseStatus::kTooManyChildren, i,
+                              "node already has two children");
+          *slot = v;
+        }
+        parent.push_back(stack.empty() ? kInvalidNode : stack.back());
+        left.push_back(kInvalidNode);
+        right.push_back(kInvalidNode);
+        stack.push_back(v);
+        break;
+      }
+      case ')':
+        if (stack.empty())
+          return parse_fail(TreeParseStatus::kUnbalanced, i,
+                            "')' with no open node");
+        stack.pop_back();
+        break;
+      case '.': {
+        if (stack.empty())
+          return parse_fail(TreeParseStatus::kUnbalanced, i,
+                            "'.' outside any node");
+        NodeId* slot = free_slot(stack.back());
+        if (slot == nullptr)
+          return parse_fail(TreeParseStatus::kTooManyChildren, i,
+                            "node already has two children");
+        *slot = -2;  // placeholder, cleared below
+        break;
+      }
+      default:
+        return parse_fail(TreeParseStatus::kBadCharacter, i,
+                          std::string("unexpected character '") + ch + "'");
+    }
+  }
+  if (!stack.empty())
+    return parse_fail(TreeParseStatus::kTruncated, end,
+                      std::to_string(stack.size()) +
+                          " node(s) still open at end of input");
+  for (auto& c : left)
+    if (c == -2) c = kInvalidNode;
+  for (auto& c : right)
+    if (c == -2) c = kInvalidNode;
+  TreeParseResult r;
+  r.tree = BinaryTree::from_soa(std::move(parent), std::move(left),
+                                std::move(right));
+  return r;
+}
 
 void save_tree(std::ostream& os, const BinaryTree& tree) {
   os << tree.to_paren() << '\n';
@@ -13,9 +128,19 @@ void save_tree(std::ostream& os, const BinaryTree& tree) {
 
 BinaryTree load_tree(std::istream& is) {
   std::string line;
-  XT_CHECK_MSG(static_cast<bool>(std::getline(is, line)),
-               "empty tree stream");
-  return BinaryTree::from_paren(line);
+  while (std::getline(is, line)) {
+    std::size_t i = 0;
+    while (i < line.size() && is_space(line[i])) ++i;
+    if (i == line.size() || line[i] == '#') continue;  // blank / comment
+    TreeParseResult r = try_parse_tree(line);
+    XT_CHECK_MSG(r.ok(), "malformed tree line ("
+                             << tree_parse_status_name(r.status)
+                             << " at offset " << r.offset
+                             << "): " << r.message);
+    return std::move(r.tree);
+  }
+  XT_CHECK_MSG(false, "empty tree stream");
+  return BinaryTree();  // unreachable
 }
 
 void save_embedding(std::ostream& os, const Embedding& emb) {

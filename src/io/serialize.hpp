@@ -11,13 +11,58 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "btree/binary_tree.hpp"
 #include "embedding/embedding.hpp"
 
 namespace xt {
 
+/// Why a paren-form tree failed to parse.  Stable names (see
+/// tree_parse_status_name) so callers — the bulk packer, the fuzz
+/// replayer, CI logs — can report malformed corpus lines precisely
+/// instead of surfacing a generic exception.
+enum class TreeParseStatus {
+  kOk = 0,
+  kEmptyInput,       // no tree on the line at all
+  kBadCharacter,     // anything outside "()." (after edge trimming)
+  kUnbalanced,       // ')' or '.' with no open node
+  kTruncated,        // input ended with nodes still open
+  kMultipleRoots,    // a second top-level '('
+  kTooManyChildren,  // third child slot requested
+  kTooLarge,         // exceeded the caller's max_nodes budget
+};
+
+[[nodiscard]] const char* tree_parse_status_name(TreeParseStatus s);
+
+struct TreeParseResult {
+  TreeParseStatus status = TreeParseStatus::kOk;
+  /// Byte offset into the input where the problem was detected
+  /// (input size for kTruncated/kEmptyInput).
+  std::size_t offset = 0;
+  /// Human-readable detail, empty on success.
+  std::string message;
+  /// The parsed tree; valid only when ok().
+  BinaryTree tree;
+
+  [[nodiscard]] bool ok() const { return status == TreeParseStatus::kOk; }
+};
+
+/// Non-throwing paren parser.  Accepts exactly the grammar
+/// BinaryTree::from_paren accepts (leading/trailing ASCII whitespace
+/// ignored) but reports malformed input as a structured status +
+/// offset instead of throwing mid-construction.  `max_nodes > 0` caps
+/// the tree size (kTooLarge) so untrusted corpus lines cannot balloon
+/// memory.  On success the tree is fully validated.
+[[nodiscard]] TreeParseResult try_parse_tree(std::string_view text,
+                                             NodeId max_nodes = 0);
+
 void save_tree(std::ostream& os, const BinaryTree& tree);
+
+/// Reads the next tree line from `is`, skipping blank lines and
+/// '#' comments.  Throws check_error naming the parse status and byte
+/// offset on malformed input, or "empty tree stream" if no tree line
+/// is present.
 BinaryTree load_tree(std::istream& is);
 
 void save_embedding(std::ostream& os, const Embedding& emb);

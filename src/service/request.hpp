@@ -39,6 +39,12 @@ struct EmbedRequest {
   ServiceClock::time_point deadline{};
   /// Higher priorities dequeue first; FIFO within one priority.
   std::int32_t priority = 0;
+  /// Marks a bulk-ingest submission (corpus feeder).  Bulk requests
+  /// are admitted only while the queue has ServiceConfig::
+  /// bulk_queue_reserve slots spare beyond them, so a corpus drain
+  /// can saturate idle capacity without starving interactive traffic
+  /// of admission headroom.
+  bool bulk = false;
 };
 
 enum class RequestStatus {

@@ -40,6 +40,7 @@ std::string ServiceStats::to_json() const {
      << "  \"submitted\": " << submitted << ",\n"
      << "  \"completed\": " << completed << ",\n"
      << "  \"rejected_full\": " << rejected_full << ",\n"
+     << "  \"rejected_bulk\": " << rejected_bulk << ",\n"
      << "  \"rejected_shutdown\": " << rejected_shutdown << ",\n"
      << "  \"expired\": " << expired << ",\n"
      << "  \"failed\": " << failed << ",\n"
@@ -122,15 +123,28 @@ std::future<EmbedResponse> EmbeddingService::submit(EmbedRequest request) {
     }
     const bool forced_reject =
         config_.fault_plan.reject_submit.count(p.submit_seq) > 0;
-    if (forced_reject || queue_.size() >= config_.queue_capacity) {
+    // Bulk admission: a bulk submit sees a queue shrunk by the
+    // configured reserve, so interactive traffic always has headroom.
+    const std::size_t admit_capacity =
+        request.bulk && config_.bulk_queue_reserve < config_.queue_capacity
+            ? config_.queue_capacity - config_.bulk_queue_reserve
+            : (request.bulk ? 0 : config_.queue_capacity);
+    if (forced_reject || queue_.size() >= admit_capacity) {
       // Explicit backpressure: the caller learns exactly why and how
       // full the service is; nothing is dropped on the floor.
       EmbedResponse r;
       r.status = RequestStatus::kRejectedQueueFull;
       std::ostringstream os;
+      const bool bulk_reject = !forced_reject && request.bulk &&
+                               queue_.size() < config_.queue_capacity;
       if (forced_reject) {
         os << "queue full (fault injection: forced rejection of submit "
            << p.submit_seq << ")";
+      } else if (bulk_reject) {
+        os << "queue full for bulk admission (depth " << queue_.size()
+           << ", bulk capacity " << admit_capacity << " = capacity "
+           << config_.queue_capacity << " - reserve "
+           << config_.bulk_queue_reserve << ")";
       } else {
         os << "queue full (depth " << queue_.size() << ", capacity "
            << config_.queue_capacity << ")";
@@ -139,6 +153,7 @@ std::future<EmbedResponse> EmbeddingService::submit(EmbedRequest request) {
       {
         std::lock_guard<std::mutex> slock(stats_mu_);
         ++counters_.rejected_full;
+        if (request.bulk) ++counters_.rejected_bulk;
       }
       diag("[service] reject: " + r.reason);
       p.promise.set_value(std::move(r));

@@ -83,6 +83,12 @@ struct ServiceConfig {
   /// Deterministic fault injection (service/fault.hpp): forces named
   /// submits down each terminal failure path.  Empty = no faults.
   FaultPlan fault_plan;
+  /// Queue slots reserved for non-bulk traffic: a submit with
+  /// EmbedRequest::bulk set is rejected (kRejectedQueueFull, reason
+  /// names bulk admission) once fewer than this many slots remain
+  /// free, so a corpus drain rides behind live requests instead of
+  /// monopolising the queue.  0 = bulk competes for every slot.
+  std::size_t bulk_queue_reserve = 0;
 };
 
 /// Snapshot of the service counters (all values since construction).
@@ -90,6 +96,9 @@ struct ServiceStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;       // answered kOk
   std::uint64_t rejected_full = 0;   // backpressure at submit
+  std::uint64_t rejected_bulk = 0;   // subset of rejected_full: bulk
+                                     // submits refused by the
+                                     // admission reserve
   std::uint64_t rejected_shutdown = 0;
   std::uint64_t expired = 0;         // deadline passed in queue
   std::uint64_t failed = 0;

@@ -1,0 +1,107 @@
+// Fast non-cryptographic 64-bit hashing for corpus checksums.
+//
+// An xxhash-style stripe hash: four 64-bit accumulator lanes over
+// 32-byte stripes, a rotate-multiply merge, tail bytes folded in 8/4/1
+// at a time, and a final avalanche.  Pure function of the bytes and
+// the seed — no per-process salt — so checksums written into an xtb1
+// corpus on one machine verify on any other (little-endian) machine,
+// and golden tests can pin digests forever.  Header-only: the bulk
+// reader calls it per record on the hot ingest path.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace xt {
+
+namespace detail {
+
+constexpr std::uint64_t kHashP1 = 0x9e3779b185ebca87ULL;
+constexpr std::uint64_t kHashP2 = 0xc2b2ae3d27d4eb4fULL;
+constexpr std::uint64_t kHashP3 = 0x165667b19e3779f9ULL;
+constexpr std::uint64_t kHashP4 = 0x85ebca77c2b2ae63ULL;
+constexpr std::uint64_t kHashP5 = 0x27d4eb2f165667c5ULL;
+
+constexpr std::uint64_t hash_rotl(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline std::uint64_t hash_read64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));  // alignment-safe; LE layout asserted
+  return v;                       // by the corpus format
+}
+
+inline std::uint32_t hash_read32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+constexpr std::uint64_t hash_round(std::uint64_t acc, std::uint64_t input) {
+  acc += input * kHashP2;
+  acc = hash_rotl(acc, 31);
+  return acc * kHashP1;
+}
+
+constexpr std::uint64_t hash_merge(std::uint64_t acc, std::uint64_t lane) {
+  acc ^= hash_round(0, lane);
+  return acc * kHashP1 + kHashP4;
+}
+
+}  // namespace detail
+
+/// Hashes `len` bytes starting at `data`.  Deterministic across runs
+/// and processes for a fixed seed.
+inline std::uint64_t hash64(const void* data, std::size_t len,
+                            std::uint64_t seed = 0) {
+  using namespace detail;
+  const auto* p = static_cast<const unsigned char*>(data);
+  const unsigned char* const end = p + len;
+  std::uint64_t h;
+  if (len >= 32) {
+    std::uint64_t v1 = seed + kHashP1 + kHashP2;
+    std::uint64_t v2 = seed + kHashP2;
+    std::uint64_t v3 = seed;
+    std::uint64_t v4 = seed - kHashP1;
+    do {
+      v1 = hash_round(v1, hash_read64(p));
+      v2 = hash_round(v2, hash_read64(p + 8));
+      v3 = hash_round(v3, hash_read64(p + 16));
+      v4 = hash_round(v4, hash_read64(p + 24));
+      p += 32;
+    } while (p + 32 <= end);
+    h = hash_rotl(v1, 1) + hash_rotl(v2, 7) + hash_rotl(v3, 12) +
+        hash_rotl(v4, 18);
+    h = hash_merge(h, v1);
+    h = hash_merge(h, v2);
+    h = hash_merge(h, v3);
+    h = hash_merge(h, v4);
+  } else {
+    h = seed + kHashP5;
+  }
+  h += static_cast<std::uint64_t>(len);
+  while (p + 8 <= end) {
+    h ^= hash_round(0, hash_read64(p));
+    h = hash_rotl(h, 27) * kHashP1 + kHashP4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<std::uint64_t>(hash_read32(p)) * kHashP1;
+    h = hash_rotl(h, 23) * kHashP2 + kHashP3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<std::uint64_t>(*p) * kHashP5;
+    h = hash_rotl(h, 11) * kHashP1;
+    ++p;
+  }
+  h ^= h >> 33;
+  h *= kHashP2;
+  h ^= h >> 29;
+  h *= kHashP3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace xt

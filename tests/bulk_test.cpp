@@ -1,0 +1,357 @@
+// Bulk ingestion tests: the xtb1 container (round-trip, zero-copy
+// views, corruption rejection), the streaming pipeline (accounting
+// identity, bit-identity with the service path, sampled verify) and
+// the live-service feeder.  XT_CORPUS_DIR is injected by the build.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "btree/canonical.hpp"
+#include "bulk/corpus.hpp"
+#include "bulk/feeder.hpp"
+#include "bulk/pipeline.hpp"
+#include "io/serialize.hpp"
+#include "service/service.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "btree/generators.hpp"
+
+namespace xt {
+namespace {
+
+std::vector<BinaryTree> load_corpus_trees() {
+  std::vector<std::pair<std::string, BinaryTree>> named;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(XT_CORPUS_DIR)) {
+    if (entry.path().extension() != ".tree") continue;
+    std::ifstream in(entry.path());
+    named.emplace_back(entry.path().filename().string(), load_tree(in));
+  }
+  std::sort(named.begin(), named.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<BinaryTree> out;
+  out.reserve(named.size());
+  for (auto& [name, tree] : named) out.push_back(std::move(tree));
+  return out;
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "xtb1-" + name;
+}
+
+std::string pack_trees(const std::vector<BinaryTree>& trees,
+                       const std::string& name) {
+  const std::string path = temp_path(name);
+  CorpusWriter writer(path);
+  for (const BinaryTree& t : trees) writer.add(t);
+  writer.finalize();
+  return path;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Xtb1, RoundTripsEveryCorpusTree) {
+  const auto trees = load_corpus_trees();
+  ASSERT_GE(trees.size(), 16u);
+  const std::string path = pack_trees(trees, "roundtrip.xtb");
+  const CorpusReader reader(path);
+  ASSERT_EQ(reader.tree_count(), trees.size());
+  for (std::uint64_t i = 0; i < reader.tree_count(); ++i) {
+    // Bit-identical canonical digest straight off the mmap, and a
+    // structurally identical materialisation.
+    const CorpusReader::View v = reader.view(i);
+    EXPECT_EQ(canonical_hash(v.num_nodes, v.left, v.right),
+              canonical_hash(trees[i]))
+        << "record " << i;
+    EXPECT_EQ(reader.materialize(i).to_paren(), trees[i].to_paren())
+        << "record " << i;
+  }
+}
+
+TEST(Xtb1, ZeroCopyViewMatchesSoaArrays) {
+  const auto trees = load_corpus_trees();
+  const std::string path = pack_trees(trees, "views.xtb");
+  const CorpusReader reader(path);
+  for (std::uint64_t i = 0; i < reader.tree_count(); ++i) {
+    const CorpusReader::View v = reader.view(i);
+    ASSERT_EQ(v.num_nodes, trees[i].num_nodes());
+    for (NodeId u = 0; u < v.num_nodes; ++u) {
+      EXPECT_EQ(v.parent[u], trees[i].parent(u));
+      EXPECT_EQ(v.left[u], trees[i].left(u));
+      EXPECT_EQ(v.right[u], trees[i].right(u));
+    }
+  }
+}
+
+TEST(Xtb1, RawRepackPreservesDigests) {
+  const auto trees = load_corpus_trees();
+  const std::string path = pack_trees(trees, "repack-src.xtb");
+  const CorpusReader reader(path);
+  const std::string repacked = temp_path("repack-dst.xtb");
+  {
+    CorpusWriter writer(repacked);
+    for (std::uint64_t i = 0; i < reader.tree_count(); ++i) {
+      const CorpusReader::View v = reader.view(i);
+      writer.add(v.num_nodes, v.parent, v.left, v.right);
+    }
+    writer.finalize();
+  }
+  EXPECT_EQ(read_file(path).substr(kCorpusHeaderBytes),
+            read_file(repacked).substr(kCorpusHeaderBytes));
+}
+
+TEST(Xtb1, EmptyAndSingleCorpora) {
+  const std::string empty = pack_trees({}, "empty.xtb");
+  const CorpusReader r0(empty);
+  EXPECT_EQ(r0.tree_count(), 0u);
+
+  const std::string one = pack_trees({BinaryTree::single()}, "single.xtb");
+  const CorpusReader r1(one);
+  ASSERT_EQ(r1.tree_count(), 1u);
+  EXPECT_EQ(r1.materialize(0).num_nodes(), 1);
+}
+
+TEST(Xtb1, SniffsContainersVsText) {
+  const std::string path =
+      pack_trees({BinaryTree::from_paren("((..)(..))")}, "sniff.xtb");
+  EXPECT_TRUE(CorpusReader::sniff(path));
+  const std::string text = temp_path("sniff.tree");
+  write_file(text, "((..)(..))\n");
+  EXPECT_FALSE(CorpusReader::sniff(text));
+  EXPECT_FALSE(CorpusReader::sniff(temp_path("does-not-exist")));
+}
+
+TEST(Xtb1, RejectsCorruptedEnvelopes) {
+  const auto trees = load_corpus_trees();
+  const std::string path = pack_trees(trees, "envelope.xtb");
+  const std::string good = read_file(path);
+
+  const auto expect_rejected = [&](std::string bytes, const char* what) {
+    const std::string bad_path = temp_path("envelope-bad.xtb");
+    write_file(bad_path, bytes);
+    EXPECT_THROW(CorpusReader{bad_path}, check_error) << what;
+  };
+
+  expect_rejected(good.substr(0, good.size() - 1), "truncated file");
+  expect_rejected(good.substr(0, 40), "file shorter than the header");
+  {
+    std::string bad = good;
+    bad[0] = 'X';
+    expect_rejected(bad, "bad magic");
+  }
+  {
+    std::string bad = good;
+    bad[4] = 2;  // unsupported version (also breaks the header hash)
+    expect_rejected(bad, "bad version");
+  }
+  {
+    std::string bad = good;
+    bad[8] ^= 1;  // tree_count no longer matches header_hash
+    expect_rejected(bad, "header checksum");
+  }
+  {
+    std::string bad = good;
+    bad[good.size() - 1] ^= 1;  // index hash
+    expect_rejected(bad, "index checksum");
+  }
+}
+
+TEST(Xtb1, RejectsCorruptedRecordNotWholeCorpus) {
+  const auto trees = load_corpus_trees();
+  const std::string path = pack_trees(trees, "record.xtb");
+  std::string bytes = read_file(path);
+  // Flip one payload byte of the first record (its first parent
+  // entry), leaving the envelope intact.
+  bytes[kCorpusHeaderBytes + 8] ^= 0x20;
+  write_file(path, bytes);
+
+  const CorpusReader reader(path);
+  CorpusReader::View v;
+  std::string error;
+  EXPECT_FALSE(reader.try_view(0, &v, &error));
+  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+  EXPECT_THROW(reader.view(0), check_error);
+  // Every other record still serves.
+  for (std::uint64_t i = 1; i < reader.tree_count(); ++i)
+    EXPECT_TRUE(reader.try_view(i, &v, nullptr)) << "record " << i;
+}
+
+TEST(BulkPipeline, AccountingIdentityHoldsWithCorruptRecords) {
+  const auto trees = load_corpus_trees();
+  const std::string path = pack_trees(trees, "accounting.xtb");
+  std::string bytes = read_file(path);
+  bytes[kCorpusHeaderBytes + 8] ^= 0x20;  // corrupt record 0's payload
+  write_file(path, bytes);
+
+  const CorpusReader reader(path);
+  BulkOptions options;
+  options.max_in_flight = 4;
+  const BulkResult result = bulk_embed(reader, options);
+  EXPECT_TRUE(result.stats.accounting_ok());
+  EXPECT_EQ(result.stats.decoded, trees.size());
+  EXPECT_EQ(result.stats.rejected, 1u);
+  EXPECT_EQ(result.records[0].status, BulkRecordStatus::kRejected);
+  EXPECT_EQ(result.stats.embedded + result.stats.deduped, trees.size() - 1);
+}
+
+TEST(BulkPipeline, DedupsIsomorphicShapes) {
+  // Mirrored pairs share one canonical form: one embed, one dedup.
+  std::vector<BinaryTree> trees;
+  trees.push_back(BinaryTree::from_paren("(((..).).)"));
+  trees.push_back(BinaryTree::from_paren("(.(.(..)))"));  // mirror
+  trees.push_back(BinaryTree::from_paren("((..)(..))"));
+  trees.push_back(BinaryTree::from_paren("((..)(..))"));
+  const std::string path = pack_trees(trees, "dedup.xtb");
+  const CorpusReader reader(path);
+  const BulkResult result = bulk_embed(reader, BulkOptions{});
+  EXPECT_EQ(result.stats.embedded, 2u);
+  EXPECT_EQ(result.stats.deduped, 2u);
+  EXPECT_EQ(result.records[0].canonical_hash,
+            result.records[1].canonical_hash);
+  EXPECT_EQ(result.records[1].status, BulkRecordStatus::kDeduped);
+}
+
+TEST(BulkPipeline, PlacementsBitIdenticalToServicePath) {
+  Rng rng(401);
+  std::vector<BinaryTree> trees;
+  for (int i = 0; i < 12; ++i) trees.push_back(make_random_tree(48, rng));
+  trees.push_back(trees[1]);  // duplicates exercise the dedup remap
+  trees.push_back(trees[4]);
+  const std::string path = pack_trees(trees, "identity.xtb");
+
+  // Reference: one request at a time through the service.
+  std::vector<Embedding> reference;
+  {
+    ServiceConfig config;
+    config.num_shards = 1;
+    EmbeddingService svc(config);
+    for (const BinaryTree& t : trees) {
+      EmbedRequest req;
+      req.tree = t;
+      const EmbedResponse r = svc.submit(std::move(req)).get();
+      ASSERT_EQ(r.status, RequestStatus::kOk) << r.reason;
+      reference.push_back(*r.embedding);
+    }
+  }
+
+  const CorpusReader reader(path);
+  BulkOptions options;
+  options.keep_embeddings = true;
+  options.max_in_flight = 3;  // force window recycling
+  const BulkResult result = bulk_embed(reader, options);
+  ASSERT_EQ(result.records.size(), trees.size());
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    ASSERT_TRUE(result.records[i].embedding.has_value()) << "record " << i;
+    const Embedding& a = reference[i];
+    const Embedding& b = *result.records[i].embedding;
+    ASSERT_EQ(a.num_guest_nodes(), b.num_guest_nodes());
+    ASSERT_EQ(a.num_host_vertices(), b.num_host_vertices());
+    for (NodeId v = 0; v < a.num_guest_nodes(); ++v)
+      ASSERT_EQ(a.host_of(v), b.host_of(v))
+          << "record " << i << " node " << v;
+  }
+}
+
+TEST(BulkPipeline, SampledVerifyIsCleanOnTheCorpus) {
+  const auto trees = load_corpus_trees();
+  const std::string path = pack_trees(trees, "verify.xtb");
+  const CorpusReader reader(path);
+  BulkOptions options;
+  options.verify_sample = 1.0;
+  const BulkResult result = bulk_embed(reader, options);
+  EXPECT_EQ(result.stats.verified,
+            result.stats.embedded + result.stats.deduped);
+  EXPECT_EQ(result.stats.verify_failures, 0u);
+  EXPECT_EQ(result.stats.rejected, 0u);
+}
+
+TEST(BulkPipeline, PartialSampleIsDeterministic) {
+  const auto trees = load_corpus_trees();
+  const std::string path = pack_trees(trees, "sample.xtb");
+  const CorpusReader reader(path);
+  BulkOptions options;
+  options.verify_sample = 0.5;
+  options.verify_seed = 7;
+  const BulkResult a = bulk_embed(reader, options);
+  const BulkResult b = bulk_embed(reader, options);
+  EXPECT_EQ(a.stats.verified, b.stats.verified);
+  EXPECT_LE(a.stats.verified, a.stats.embedded + a.stats.deduped);
+  EXPECT_EQ(a.stats.verify_failures, 0u);
+}
+
+TEST(BulkFeeder, DrainsACorpusThroughALiveService) {
+  const auto trees = load_corpus_trees();
+  const std::string path = pack_trees(trees, "feeder.xtb");
+  const CorpusReader reader(path);
+
+  ServiceConfig config;
+  config.num_shards = 1;
+  config.queue_capacity = 8;
+  config.bulk_queue_reserve = 4;
+  EmbeddingService svc(config);
+  BulkFeedOptions options;
+  options.max_outstanding = 4;
+  const BulkFeedStats stats = feed_corpus(svc, reader, options);
+  EXPECT_EQ(stats.completed, trees.size());
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.skipped_corrupt, 0u);
+  EXPECT_EQ(svc.stats().completed, trees.size());
+}
+
+TEST(BulkFeeder, SkipsCorruptRecordsAndServesTheRest) {
+  const auto trees = load_corpus_trees();
+  const std::string path = pack_trees(trees, "feeder-corrupt.xtb");
+  std::string bytes = read_file(path);
+  bytes[kCorpusHeaderBytes + 8] ^= 0x20;
+  write_file(path, bytes);
+  const CorpusReader reader(path);
+
+  EmbeddingService svc;
+  const BulkFeedStats stats = feed_corpus(svc, reader, BulkFeedOptions{});
+  EXPECT_EQ(stats.skipped_corrupt, 1u);
+  EXPECT_EQ(stats.completed, trees.size() - 1);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(BulkFeeder, RetriesBulkAdmissionUnderPressure) {
+  Rng rng(77);
+  std::vector<BinaryTree> trees;
+  for (int i = 0; i < 24; ++i) trees.push_back(make_random_tree(32, rng));
+  const std::string path = pack_trees(trees, "feeder-pressure.xtb");
+  const CorpusReader reader(path);
+
+  // Bulk admission capacity of 1 slot forces the feeder through its
+  // retry loop while the shard drains.
+  ServiceConfig config;
+  config.num_shards = 1;
+  config.queue_capacity = 2;
+  config.bulk_queue_reserve = 1;
+  EmbeddingService svc(config);
+  BulkFeedOptions options;
+  options.max_outstanding = 8;
+  options.retry_backoff = std::chrono::milliseconds(0);
+  const BulkFeedStats stats = feed_corpus(svc, reader, options);
+  EXPECT_EQ(stats.completed, trees.size());
+  EXPECT_EQ(stats.failed, 0u);
+  // Every submit was answered: the service accounting must balance.
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.submitted, s.completed + s.rejected_full +
+                             s.rejected_shutdown + s.expired + s.failed);
+  EXPECT_EQ(s.rejected_bulk, s.rejected_full);
+}
+
+}  // namespace
+}  // namespace xt

@@ -172,5 +172,23 @@ TEST(CanonicalForm, TransfersEmbeddingsBetweenIsomorphicTrees) {
   EXPECT_EQ(remapped.load_factor(), res.embedding.load_factor());
 }
 
+TEST(CanonicalForm, RawArrayOverloadIsBitIdentical) {
+  // The zero-copy bulk pipeline digests trees straight from mmap'd
+  // SoA arrays; that overload is pinned to the BinaryTree one here.
+  Rng rng(911);
+  std::vector<BinaryTree> trees{BinaryTree::single(), make_path_tree(17),
+                                make_complete_tree(5)};
+  for (int i = 0; i < 8; ++i) trees.push_back(make_random_tree(97, rng));
+  for (const BinaryTree& t : trees) {
+    const CanonicalForm a = canonical_form(t);
+    const CanonicalForm b =
+        canonical_form(t.num_nodes(), t.left_data(), t.right_data());
+    EXPECT_EQ(a.hash, b.hash);
+    EXPECT_EQ(a.to_canonical, b.to_canonical);
+    EXPECT_EQ(canonical_hash(t),
+              canonical_hash(t.num_nodes(), t.left_data(), t.right_data()));
+  }
+}
+
 }  // namespace
 }  // namespace xt

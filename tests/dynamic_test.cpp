@@ -1,6 +1,10 @@
 // Tests for the online (dynamic) embedding extension.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
+#include <vector>
+
 #include "btree/generators.hpp"
 #include "core/dynamic_embedder.hpp"
 #include "core/xtree_embedder.hpp"
@@ -112,6 +116,56 @@ TEST(DynamicEmbedder, PathGrowthDegradesGracefully) {
   while (dyn.free_capacity() > 0) tip = dyn.add_leaf(tip);
   const Embedding emb = dyn.snapshot();
   validate_embedding(dyn.guest(), emb, 16);
+}
+
+TEST(DynamicEmbedder, BatchedGrowthMatchesOneAtATime) {
+  // try_add_leaves is pinned to the sequential semantics: identical
+  // placements and identical per-entry outcomes, including failures
+  // mid-batch that must not stop later entries.
+  Rng rng(303);
+  std::vector<NodeId> parents{0, 0, 0};  // third one fails: slots full
+  {
+    // Generate against a simulator so every id names a node that will
+    // exist when the replayed embedders reach that entry.
+    DynamicEmbedder sim(4);
+    for (NodeId p : parents) sim.try_add_leaf(p);
+    for (int step = 0; step < 400; ++step) {
+      const NodeId p = static_cast<NodeId>(
+          rng.below(static_cast<std::uint64_t>(sim.guest().num_nodes())));
+      parents.push_back(p);
+      sim.try_add_leaf(p);
+    }
+  }
+
+  DynamicEmbedder batched(4);
+  DynamicEmbedder serial(4);
+  // Feed the same parent ids in chunks to the batched embedder and one
+  // at a time to the reference; growth failures leave the guest
+  // unchanged, so surviving ids line up between the two.
+  std::vector<DynamicEmbedder::GrowthResult> batched_results;
+  std::vector<DynamicEmbedder::GrowthResult> serial_results;
+  const std::size_t chunk = 37;  // deliberately not a divisor
+  for (std::size_t at = 0; at < parents.size(); at += chunk) {
+    const std::size_t len = std::min(chunk, parents.size() - at);
+    const std::span<const NodeId> slice(parents.data() + at, len);
+    const auto part = batched.try_add_leaves(slice);
+    batched_results.insert(batched_results.end(), part.begin(), part.end());
+    for (NodeId p : slice) serial_results.push_back(serial.try_add_leaf(p));
+  }
+
+  ASSERT_EQ(batched_results.size(), parents.size());
+  std::size_t failures = 0;
+  for (std::size_t i = 0; i < parents.size(); ++i) {
+    EXPECT_EQ(batched_results[i].error, serial_results[i].error) << i;
+    EXPECT_EQ(batched_results[i].leaf, serial_results[i].leaf) << i;
+    if (!batched_results[i].ok()) ++failures;
+  }
+  EXPECT_GE(failures, 1u);  // the third entry above must have failed
+
+  ASSERT_EQ(batched.guest().num_nodes(), serial.guest().num_nodes());
+  for (NodeId v = 0; v < batched.guest().num_nodes(); ++v)
+    EXPECT_EQ(batched.host_of(v), serial.host_of(v)) << "node " << v;
+  validate_embedding(batched.guest(), batched.snapshot(), 16);
 }
 
 TEST(DynamicEmbedder, OfflineBeatsOnlineOnAdversarialGrowth) {

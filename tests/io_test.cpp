@@ -1,6 +1,10 @@
-// Serialization and certificate round trips.
+// Serialization and certificate round trips, plus the structured
+// parse-error surface (fed by the tests/corpus files via
+// XT_CORPUS_DIR).
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "btree/generators.hpp"
@@ -75,6 +79,82 @@ TEST(Serialize, FileRoundTrip) {
   const std::string path = "/tmp/xtreesim_io_test_tree.txt";
   save_tree_file(path, t);
   EXPECT_EQ(load_tree_file(path).to_paren(), t.to_paren());
+}
+
+TEST(TryParseTree, AcceptsEveryCorpusTree) {
+  std::size_t parsed_count = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(XT_CORPUS_DIR)) {
+    if (entry.path().extension() != ".tree") continue;
+    std::ifstream in(entry.path());
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      const TreeParseResult r = try_parse_tree(line);
+      ASSERT_TRUE(r.ok())
+          << entry.path() << ": " << tree_parse_status_name(r.status)
+          << " at offset " << r.offset << ": " << r.message;
+      // Agrees with the throwing loader on the same file.
+      std::ifstream again(entry.path());
+      EXPECT_EQ(r.tree.to_paren(), load_tree(again).to_paren());
+      ++parsed_count;
+      break;
+    }
+  }
+  EXPECT_GE(parsed_count, 16u);
+}
+
+TEST(TryParseTree, ReportsStatusAndOffset) {
+  const auto expect_fail = [](std::string_view text, TreeParseStatus status,
+                              std::size_t offset, NodeId max_nodes = 0) {
+    const TreeParseResult r = try_parse_tree(text, max_nodes);
+    EXPECT_FALSE(r.ok()) << text;
+    EXPECT_EQ(r.status, status)
+        << text << " -> " << tree_parse_status_name(r.status);
+    EXPECT_EQ(r.offset, offset) << text;
+    EXPECT_FALSE(r.message.empty()) << text;
+  };
+  expect_fail("", TreeParseStatus::kEmptyInput, 0);
+  expect_fail("   \t  ", TreeParseStatus::kEmptyInput, 6);
+  expect_fail("(x.)", TreeParseStatus::kBadCharacter, 1);
+  expect_fail("(..))", TreeParseStatus::kUnbalanced, 4);
+  expect_fail(".", TreeParseStatus::kUnbalanced, 0);
+  expect_fail("((..)", TreeParseStatus::kTruncated, 5);
+  expect_fail("(..)(..)", TreeParseStatus::kMultipleRoots, 4);
+  expect_fail("(...)", TreeParseStatus::kTooManyChildren, 3);
+  expect_fail("((..)(..)(..))", TreeParseStatus::kTooManyChildren, 9);
+  expect_fail("((..)(..))", TreeParseStatus::kTooLarge, 5,
+              /*max_nodes=*/2);
+}
+
+TEST(TryParseTree, TrimsSurroundingWhitespace) {
+  const TreeParseResult r = try_parse_tree("  ((..).)\t \n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.tree.num_nodes(), 2);
+  EXPECT_EQ(r.tree.to_paren(), "((..).)");
+}
+
+TEST(LoadTree, SkipsCommentsAndNamesTheStatusOnFailure) {
+  {
+    std::stringstream ss("# header comment\n\n   \n((..).)\n(..)\n");
+    EXPECT_EQ(load_tree(ss).to_paren(), "((..).)");
+    // The stream is left positioned at the next record.
+    EXPECT_EQ(load_tree(ss).to_paren(), "(..)");
+  }
+  {
+    std::stringstream ss("# only a comment\n(.x)\n");
+    try {
+      load_tree(ss);
+      FAIL() << "expected check_error";
+    } catch (const check_error& e) {
+      // The structured status and offset surface in the message.
+      EXPECT_NE(std::string(e.what()).find("bad-character"),
+                std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("offset 2"), std::string::npos)
+          << e.what();
+    }
+  }
 }
 
 TEST(Certificate, IssueAndVerify) {

@@ -208,6 +208,56 @@ TEST(EmbeddingService, BackpressureRejectsExplicitly) {
                                  stats.failed);
 }
 
+TEST(EmbeddingService, BulkAdmissionReservesHeadroom) {
+  // Capacity 4 with bulk_queue_reserve 2: bulk-flagged submits admit
+  // only while depth < 2, so two queue slots always stay open for
+  // interactive traffic; rejected_bulk counts the bulk subset of
+  // rejected_full without disturbing the accounting identity.
+  Rng rng(712);
+  ServiceConfig cfg;
+  cfg.queue_capacity = 4;
+  cfg.bulk_queue_reserve = 2;
+  cfg.num_shards = 1;
+  cfg.start_paused = true;
+  EmbeddingService svc(cfg);
+
+  const auto bulk_request = [](BinaryTree t) {
+    EmbedRequest req = request_for(std::move(t));
+    req.bulk = true;
+    return req;
+  };
+
+  std::vector<std::future<EmbedResponse>> admitted;
+  admitted.push_back(svc.submit(bulk_request(make_random_tree(40, rng))));
+  admitted.push_back(svc.submit(bulk_request(make_random_tree(41, rng))));
+  // Depth is now 2 == bulk capacity: the next bulk submit is rejected
+  // with a reason naming the admission policy...
+  auto bulk_rejected = svc.submit(bulk_request(make_random_tree(42, rng)));
+  ASSERT_EQ(bulk_rejected.wait_for(0s), std::future_status::ready);
+  const EmbedResponse res = bulk_rejected.get();
+  EXPECT_EQ(res.status, RequestStatus::kRejectedQueueFull);
+  EXPECT_NE(res.reason.find("bulk admission"), std::string::npos)
+      << res.reason;
+  // ...while interactive requests still see the reserved headroom.
+  admitted.push_back(svc.submit(request_for(make_random_tree(43, rng))));
+  admitted.push_back(svc.submit(request_for(make_random_tree(44, rng))));
+  // Depth 4 == capacity: now full for everyone.
+  auto full = svc.submit(request_for(make_random_tree(45, rng)));
+  ASSERT_EQ(full.wait_for(0s), std::future_status::ready);
+  EXPECT_EQ(full.get().status, RequestStatus::kRejectedQueueFull);
+
+  svc.resume();
+  for (auto& fut : admitted)
+    EXPECT_EQ(fut.get().status, RequestStatus::kOk);
+  const ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.rejected_full, 2u);
+  EXPECT_EQ(stats.rejected_bulk, 1u);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.submitted, stats.completed + stats.rejected_full +
+                                 stats.rejected_shutdown + stats.expired +
+                                 stats.failed);
+}
+
 TEST(EmbeddingService, DeadlineExpiresInQueue) {
   Rng rng(707);
   ServiceConfig cfg;

@@ -1,0 +1,130 @@
+// xt_bulk: pack / embed / verify xtb1 guest-tree corpora.
+//
+//   xt_bulk pack out.xtb tree1.tree tree2.tree ...   # text -> xtb1
+//   xt_bulk embed corpus.xtb [--theorem=t1] [--load=16]
+//           [--max-in-flight=64] [--dedup-capacity=4096]
+//           [--sample=0.0] [--seed=1] [--parallelism=1]
+//   xt_bulk verify corpus.xtb [--sample=1.0] [...]
+//
+// pack reads one paren-form tree per non-comment line of each input
+// file (the tests/corpus format) and writes one xtb1 container.
+// embed drains the container through the streaming bulk pipeline and
+// prints the stats JSON.  verify is embed with the certificate-chain
+// sample defaulted to 1.0 — every record re-derived by the oracle.
+//
+// Exit status: 0 = success, 1 = pipeline found problems (rejected
+// records or verify failures), 2 = usage / file errors.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bulk/corpus.hpp"
+#include "bulk/pipeline.hpp"
+#include "io/serialize.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+int cmd_pack(const xt::Cli& cli) {
+  const auto& args = cli.positional();
+  if (args.size() < 3) {
+    std::cerr << "usage: " << cli.program()
+              << " pack <out.xtb> <tree-file>...\n";
+    return 2;
+  }
+  try {
+    xt::CorpusWriter writer(args[1]);
+    for (std::size_t a = 2; a < args.size(); ++a) {
+      std::ifstream in(args[a]);
+      if (!in) {
+        std::cerr << "xt_bulk: cannot open " << args[a] << "\n";
+        return 2;
+      }
+      std::string line;
+      std::size_t line_no = 0;
+      while (std::getline(in, line)) {
+        ++line_no;
+        const std::size_t first = line.find_first_not_of(" \t\r\n\v\f");
+        if (first == std::string::npos || line[first] == '#') continue;
+        const xt::TreeParseResult parsed = xt::try_parse_tree(line);
+        if (!parsed.ok()) {
+          std::cerr << "xt_bulk: " << args[a] << ":" << line_no << ": "
+                    << xt::tree_parse_status_name(parsed.status)
+                    << " at offset " << parsed.offset << ": "
+                    << parsed.message << "\n";
+          return 2;
+        }
+        writer.add(parsed.tree);
+      }
+    }
+    const std::uint64_t count = writer.tree_count();
+    writer.finalize();
+    std::cout << "[xt_bulk] packed " << count << " trees into " << args[1]
+              << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "xt_bulk: pack failed: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+int cmd_embed(const xt::Cli& cli, bool verify_mode) {
+  const auto& args = cli.positional();
+  if (args.size() != 2) {
+    std::cerr << "usage: " << cli.program() << " " << args[0]
+              << " <corpus.xtb> [flags]\n";
+    return 2;
+  }
+  xt::BulkOptions options;
+  const std::string theorem = cli.get("theorem", "t1");
+  const auto parsed = xt::parse_theorem(theorem);
+  if (!parsed) {
+    std::cerr << "xt_bulk: unknown theorem " << theorem << "\n";
+    return 2;
+  }
+  options.theorem = *parsed;
+  options.load = static_cast<xt::NodeId>(cli.get_int("load", options.load));
+  options.max_in_flight = static_cast<std::size_t>(
+      cli.get_int("max-in-flight", static_cast<std::int64_t>(
+                                       options.max_in_flight)));
+  options.dedup_capacity = static_cast<std::size_t>(
+      cli.get_int("dedup-capacity", static_cast<std::int64_t>(
+                                        options.dedup_capacity)));
+  options.verify_sample = cli.get_double("sample", verify_mode ? 1.0 : 0.0);
+  options.verify_seed =
+      static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  options.intra_embed_parallelism =
+      static_cast<int>(cli.get_int("parallelism", 1));
+  options.diagnostic_sink = [](const std::string& line) {
+    std::cerr << line << "\n";
+  };
+  try {
+    const xt::CorpusReader reader(args[1]);
+    const xt::BulkResult result = xt::bulk_embed(reader, options);
+    std::cout << result.stats.to_json() << "\n";
+    return result.stats.rejected == 0 && result.stats.verify_failures == 0
+               ? 0
+               : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "xt_bulk: " << args[0] << " failed: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  xt::Cli cli(argc, argv);
+  const auto& args = cli.positional();
+  if (args.empty()) {
+    std::cerr << "usage: " << cli.program()
+              << " <pack|embed|verify> ...\n";
+    return 2;
+  }
+  if (args[0] == "pack") return cmd_pack(cli);
+  if (args[0] == "embed") return cmd_embed(cli, /*verify_mode=*/false);
+  if (args[0] == "verify") return cmd_embed(cli, /*verify_mode=*/true);
+  std::cerr << "xt_bulk: unknown command " << args[0] << "\n";
+  return 2;
+}

@@ -19,8 +19,10 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "bulk/corpus.hpp"
 #include "util/cli.hpp"
 #include "verify/fuzzer.hpp"
 
@@ -86,7 +88,40 @@ int main(int argc, char** argv) {
   }
 
   if (cli.has("replay")) {
-    const std::string paren = resolve_replay_arg(cli.get("replay", ""));
+    const std::string arg = cli.get("replay", "");
+    // "@file" naming an xtb1 container replays every record in it;
+    // text files and literal paren forms replay one tree as before.
+    if (!arg.empty() && arg[0] == '@' &&
+        xt::CorpusReader::sniff(arg.substr(1))) {
+      std::unique_ptr<xt::CorpusReader> reader;
+      try {
+        reader = std::make_unique<xt::CorpusReader>(arg.substr(1));
+      } catch (const std::exception& e) {
+        std::cerr << "xt_fuzz: bad xtb1 container: " << e.what() << "\n";
+        return 2;
+      }
+      std::uint64_t failures = 0;
+      for (std::uint64_t i = 0; i < reader->tree_count(); ++i) {
+        xt::BinaryTree tree;
+        try {
+          tree = reader->materialize(i);
+        } catch (const std::exception& e) {
+          std::cout << "[xt_fuzz] record " << i
+                    << " FAILED (corrupt): " << e.what() << "\n";
+          ++failures;
+          continue;
+        }
+        const std::string failure = xt::replay_tree(tree, options);
+        if (failure.empty()) continue;
+        std::cout << "[xt_fuzz] record " << i << " FAILED ("
+                  << tree.num_nodes() << " nodes): " << failure << "\n";
+        ++failures;
+      }
+      std::cout << "[xt_fuzz] container replay: " << reader->tree_count()
+                << " records, " << failures << " failure(s)\n";
+      return failures == 0 ? 0 : 1;
+    }
+    const std::string paren = resolve_replay_arg(arg);
     xt::BinaryTree tree;
     try {
       tree = xt::BinaryTree::from_paren(paren);
