@@ -1,0 +1,225 @@
+// Experiment P6 — kernel micro-benchmarks (google-benchmark): the
+// batched / branch-free kernels of the raw-speed pass against the
+// per-call scalar paths they replaced.
+//
+// Methodology notes (docs/perf.md §PR 6 has the full discussion):
+//
+//  * Canonical hashing is measured on a COLD corpus — many distinct
+//    random trees cycled round-robin — because that is the bulk
+//    pipeline's workload.  Hammering one hot tree lets the branch
+//    predictor memorise its shape and flatters the branching baseline
+//    by ~4x; cold-corpus numbers are the honest ones.
+//  * Every pairing asserts bit-identity between the fast path and its
+//    scalar reference at setup, so a benchmark run doubles as a smoke
+//    equivalence check (the real fuzzing lives in tests/simd_test.cpp).
+//  * Single-run times on shared/virtualised hosts drift by tens of
+//    percent; compare medians of repeated runs, or use the interleaved
+//    A/B measurement in bench_parallel --measured (BENCH_6.json).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <vector>
+
+#include "btree/canonical.hpp"
+#include "btree/generators.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/xtree.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace xt {
+namespace {
+
+constexpr std::size_t kPairs = 1 << 16;  // hypercube / x-tree query corpus
+constexpr std::size_t kTrees = 256;      // canonical-hash cold corpus
+
+void require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "bench_kernels: bit-identity violated: %s\n", what);
+    std::abort();
+  }
+}
+
+// --- hypercube Hamming distance ----------------------------------------
+
+std::pair<std::vector<VertexId>, std::vector<VertexId>> random_pairs(
+    const Hypercube& q, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<VertexId> a(kPairs);
+  std::vector<VertexId> b(kPairs);
+  for (std::size_t i = 0; i < kPairs; ++i) {
+    a[i] = static_cast<VertexId>(rng.below(q.num_vertices()));
+    b[i] = static_cast<VertexId>(rng.below(q.num_vertices()));
+  }
+  return {std::move(a), std::move(b)};
+}
+
+// The consumer-visible per-call path this PR replaced: dilation()
+// queries host distances one at a time through a type-erased
+// DistanceFn, so each query pays an indirect call — nothing for the
+// vectoriser to see.  (BM_HypercubeDistanceInlineLoop below is the
+// same arithmetic with the loop visible to the compiler.)
+void BM_HypercubeDistancePerCall(benchmark::State& state) {
+  const Hypercube q(static_cast<std::int32_t>(state.range(0)));
+  const auto [a, b] = random_pairs(q, 11);
+  const std::function<std::int32_t(VertexId, VertexId)> dist =
+      [&q](VertexId x, VertexId y) { return q.distance(x, y); };
+  std::vector<std::int32_t> out(kPairs);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kPairs; ++i) out[i] = dist(a[i], b[i]);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPairs));
+}
+BENCHMARK(BM_HypercubeDistancePerCall)->Arg(10)->Arg(16);
+
+// Upper bound for the scalar path: the same per-pair loop fully
+// visible to the compiler, which auto-vectorises it at -O3.  The batch
+// kernel's job is to deliver this behind an ABI boundary where callers
+// cannot rely on that (and to pick the popcount strategy per ISA).
+void BM_HypercubeDistanceInlineLoop(benchmark::State& state) {
+  const Hypercube q(static_cast<std::int32_t>(state.range(0)));
+  const auto [a, b] = random_pairs(q, 11);
+  std::vector<std::int32_t> out(kPairs);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kPairs; ++i) out[i] = q.distance(a[i], b[i]);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPairs));
+}
+BENCHMARK(BM_HypercubeDistanceInlineLoop)->Arg(10)->Arg(16);
+
+void BM_HypercubeDistanceBatch(benchmark::State& state) {
+  const Hypercube q(static_cast<std::int32_t>(state.range(0)));
+  const auto [a, b] = random_pairs(q, 11);
+  std::vector<std::int32_t> out(kPairs);
+  std::vector<std::int32_t> ref(kPairs);
+  for (std::size_t i = 0; i < kPairs; ++i) ref[i] = q.distance(a[i], b[i]);
+  q.distance_batch(a, b, out);
+  require(out == ref, "Hypercube::distance_batch vs per-call distance");
+  for (auto _ : state) {
+    q.distance_batch(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(simd::backend());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPairs));
+}
+BENCHMARK(BM_HypercubeDistanceBatch)->Arg(10)->Arg(16);
+
+// --- X-tree distance ---------------------------------------------------
+
+void BM_XTreeDistanceBatch(benchmark::State& state) {
+  const XTree x(static_cast<std::int32_t>(state.range(0)));
+  Rng rng(5);
+  std::vector<VertexId> a(kPairs);
+  std::vector<VertexId> b(kPairs);
+  for (std::size_t i = 0; i < kPairs; ++i) {
+    a[i] = static_cast<VertexId>(rng.below(x.num_vertices()));
+    b[i] = static_cast<VertexId>(rng.below(x.num_vertices()));
+  }
+  std::vector<std::int32_t> out(kPairs);
+  x.distance_batch(a, b, out);
+  for (std::size_t i = 0; i < kPairs; ++i) {
+    if (out[i] != x.distance(a[i], b[i])) {
+      require(false, "XTree::distance_batch vs per-call distance");
+    }
+  }
+  for (auto _ : state) {
+    x.distance_batch(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPairs));
+}
+BENCHMARK(BM_XTreeDistanceBatch)->Arg(10)->Arg(20);
+
+// --- canonical hashing -------------------------------------------------
+
+// Distinct random trees of ~n nodes: the cold corpus.  Kept alive for
+// the whole run; the SoA child arrays are what the kernels walk.
+std::vector<BinaryTree> cold_corpus(NodeId n) {
+  Rng rng(123);
+  std::vector<BinaryTree> trees;
+  trees.reserve(kTrees);
+  for (std::size_t t = 0; t < kTrees; ++t)
+    trees.push_back(make_random_tree(n, rng));
+  return trees;
+}
+
+std::int64_t total_nodes(const std::vector<BinaryTree>& trees) {
+  std::int64_t total = 0;
+  for (const BinaryTree& t : trees) total += t.num_nodes();
+  return total;
+}
+
+void BM_CanonicalHashScalar(benchmark::State& state) {
+  const auto trees = cold_corpus(static_cast<NodeId>(state.range(0)));
+  CanonicalScratch scratch;
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    for (const BinaryTree& t : trees)
+      acc ^= canonical_hash_scalar(t.num_nodes(), t.left_data(),
+                                   t.right_data(), scratch);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          total_nodes(trees));
+}
+BENCHMARK(BM_CanonicalHashScalar)->Arg(2047);
+
+void BM_CanonicalHashBranchless(benchmark::State& state) {
+  const auto trees = cold_corpus(static_cast<NodeId>(state.range(0)));
+  CanonicalScratch scratch;
+  for (const BinaryTree& t : trees) {
+    require(canonical_hash(t.num_nodes(), t.left_data(), t.right_data(),
+                           scratch) ==
+                canonical_hash_scalar(t.num_nodes(), t.left_data(),
+                                      t.right_data(), scratch),
+            "branchless canonical_hash vs canonical_hash_scalar");
+  }
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    for (const BinaryTree& t : trees)
+      acc ^= canonical_hash(t.num_nodes(), t.left_data(), t.right_data(),
+                            scratch);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          total_nodes(trees));
+}
+BENCHMARK(BM_CanonicalHashBranchless)->Arg(2047);
+
+void BM_CanonicalHashBatch(benchmark::State& state) {
+  const auto trees = cold_corpus(static_cast<NodeId>(state.range(0)));
+  std::vector<RawTreeRef> refs;
+  refs.reserve(trees.size());
+  for (const BinaryTree& t : trees)
+    refs.push_back({t.num_nodes(), t.left_data(), t.right_data()});
+  std::vector<std::uint64_t> out(trees.size());
+  CanonicalScratch scratch;
+  canonical_hash_batch(refs, out, scratch);
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    if (out[i] != canonical_hash_scalar(refs[i].num_nodes, refs[i].left,
+                                        refs[i].right, scratch)) {
+      require(false, "canonical_hash_batch vs canonical_hash_scalar");
+    }
+  }
+  for (auto _ : state) {
+    canonical_hash_batch(refs, out, scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          total_nodes(trees));
+}
+BENCHMARK(BM_CanonicalHashBatch)->Arg(2047);
+
+}  // namespace
+}  // namespace xt
+
+BENCHMARK_MAIN();

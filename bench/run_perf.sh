@@ -11,8 +11,19 @@
 #   BENCH_5.json  PR 5 bulk ingestion (xtb1 container + streaming
 #                 pipeline vs a parse-then-submit loop at dup 0.5,
 #                 with bit-identity and accounting checks)
+#   BENCH_6.json  PR 6 raw-speed pass (bench_parallel --measured):
+#                 interleaved A/B kernel speedups + measured multi-core
+#                 embed scaling, stamped with CPU/build provenance
+#   BENCH_6_KERNELS.json  PR 6 kernel micro-benchmarks
+#                 (bench_kernels, google-benchmark JSON)
 #
-# Usage:  bench/run_perf.sh [--compare BASELINE.json] [--smoke]
+# Every BENCH_*.json written here gets a "provenance" object injected:
+# build type, compiler, flags (from <build-dir>/build_info.json, which
+# CMake regenerates on configure), CPU model, and core count — so a
+# recorded number can always be traced to what produced it.
+#
+# Usage:  bench/run_perf.sh [--compare BASELINE.json]
+#                           [--compare-kernels BASELINE.json] [--smoke]
 #                           [build-dir] [extra benchmark args...]
 #
 #   --compare BASELINE.json   After the run, compare the fresh
@@ -21,6 +32,10 @@
 #       benchmark's real_time regressed by more than 10%; intended as
 #       a local gate.  CI runs it warn-only (the shared runners are
 #       too noisy to fail the build on).
+#   --compare-kernels BASELINE.json   Same comparison for the fresh
+#       BENCH_6_KERNELS.json, always warn-only: the kernel micros are
+#       sub-millisecond and the noisiest of the suite, so they flag
+#       regressions without failing anything.
 #   --smoke   CI-sized run (shorter min time, smaller scaling bench).
 #
 # The interesting counters:
@@ -35,6 +50,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 
 baseline=""
+kernels_baseline=""
 smoke=0
 args=()
 while [[ $# -gt 0 ]]; do
@@ -44,6 +60,11 @@ while [[ $# -gt 0 ]]; do
       baseline="$2"; shift 2 ;;
     --compare=*)
       baseline="${1#--compare=}"; shift ;;
+    --compare-kernels)
+      [[ $# -ge 2 ]] || { echo "error: --compare-kernels needs a file" >&2; exit 2; }
+      kernels_baseline="$2"; shift 2 ;;
+    --compare-kernels=*)
+      kernels_baseline="${1#--compare-kernels=}"; shift ;;
     --smoke)
       smoke=1; shift ;;
     *)
@@ -64,6 +85,40 @@ fi
 min_time=0.3
 [[ $smoke -eq 1 ]] && min_time=0.05
 
+# Injects a "provenance" object (build + machine identity) into a
+# BENCH_*.json so numbers are never divorced from what produced them.
+inject_provenance() {
+  local file="$1"
+  python3 - "$file" "$build_dir/build_info.json" <<'PY'
+import json
+import os
+import sys
+
+bench_path, build_info_path = sys.argv[1], sys.argv[2]
+prov = {}
+if os.path.exists(build_info_path):
+    with open(build_info_path) as f:
+        prov["build"] = json.load(f)
+model = "unknown"
+try:
+    with open("/proc/cpuinfo") as f:
+        for line in f:
+            if line.startswith("model name"):
+                model = line.split(":", 1)[1].strip()
+                break
+except OSError:
+    pass
+prov["cpu_model"] = model
+prov["cores"] = os.cpu_count()
+with open(bench_path) as f:
+    doc = json.load(f)
+doc["provenance"] = prov
+with open(bench_path, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+PY
+}
+
 out="$repo_root/BENCH_1.json"
 "$bench_bin" \
   --benchmark_format=json \
@@ -72,11 +127,27 @@ out="$repo_root/BENCH_1.json"
   --benchmark_min_time="$min_time" \
   ${args[@]+"${args[@]}"} >/dev/null
 
+inject_provenance "$out"
 echo "wrote $out"
+
+kernels_bin="$build_dir/bench/bench_kernels"
+kernels_out="$repo_root/BENCH_6_KERNELS.json"
+if [[ -x "$kernels_bin" ]]; then
+  "$kernels_bin" \
+    --benchmark_format=json \
+    --benchmark_out="$kernels_out" \
+    --benchmark_out_format=json \
+    --benchmark_min_time="$min_time" >/dev/null
+  inject_provenance "$kernels_out"
+  echo "wrote $kernels_out"
+else
+  echo "warning: $kernels_bin not found; skipping BENCH_6_KERNELS.json" >&2
+fi
 
 service_bin="$build_dir/bench/bench_service"
 if [[ -x "$service_bin" ]]; then
   "$service_bin" --json="$repo_root/BENCH_2.json" >/dev/null
+  inject_provenance "$repo_root/BENCH_2.json"
   echo "wrote $repo_root/BENCH_2.json"
 else
   echo "warning: $service_bin not found; skipping BENCH_2.json" >&2
@@ -89,6 +160,11 @@ if [[ -x "$parallel_bin" ]]; then
   "$parallel_bin" ${smoke_flag[@]+"${smoke_flag[@]}"} \
     --json="$repo_root/BENCH_3.json" >/dev/null
   echo "wrote $repo_root/BENCH_3.json"
+  inject_provenance "$repo_root/BENCH_3.json"
+  "$parallel_bin" --measured ${smoke_flag[@]+"${smoke_flag[@]}"} \
+    --json="$repo_root/BENCH_6.json" >/dev/null
+  inject_provenance "$repo_root/BENCH_6.json"
+  echo "wrote $repo_root/BENCH_6.json"
 else
   echo "warning: $parallel_bin not found; skipping BENCH_3.json" >&2
 fi
@@ -99,6 +175,7 @@ if [[ -x "$bulk_bin" ]]; then
   [[ $smoke -eq 1 ]] && smoke_flag=(--smoke)
   "$bulk_bin" ${smoke_flag[@]+"${smoke_flag[@]}"} \
     --json="$repo_root/BENCH_5.json" >/dev/null
+  inject_provenance "$repo_root/BENCH_5.json"
   echo "wrote $repo_root/BENCH_5.json"
 else
   echo "warning: $bulk_bin not found; skipping BENCH_5.json" >&2
@@ -148,4 +225,59 @@ if regressed:
     sys.exit(1)
 print(f"compare: OK ({len(shared)} benchmarks within {THRESHOLD:.0%})")
 PY
+fi
+
+if [[ -n "$kernels_baseline" ]]; then
+  if [[ ! -f "$kernels_baseline" ]]; then
+    echo "error: kernels baseline $kernels_baseline not found" >&2
+    exit 2
+  fi
+  if [[ ! -f "$kernels_out" ]]; then
+    echo "compare-kernels: $kernels_out was not produced; skipping" >&2
+  else
+    # Warn-only on purpose: the kernel micros run sub-millisecond and
+    # are the noisiest numbers in the suite.  Surface regressions,
+    # never fail the run on them.
+    python3 - "$kernels_baseline" "$kernels_out" <<'PY' || true
+import json
+import sys
+
+THRESHOLD = 0.10  # warn on >10% real_time regression
+
+def times(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
+    return out
+
+old, new = times(sys.argv[1]), times(sys.argv[2])
+shared = sorted(set(old) & set(new))
+if not shared:
+    print("compare-kernels: no benchmarks in common; nothing to check",
+          file=sys.stderr)
+    sys.exit(0)
+
+regressed = []
+for name in shared:
+    (t_old, unit), (t_new, _) = old[name], new[name]
+    ratio = t_new / t_old if t_old > 0 else float("inf")
+    flag = " <-- REGRESSED (warn-only)" if ratio > 1.0 + THRESHOLD else ""
+    print(f"  {name}: {t_old:.1f} -> {t_new:.1f} {unit} "
+          f"({(ratio - 1.0) * 100.0:+.1f}%){flag}")
+    if flag:
+        regressed.append(name)
+
+if regressed:
+    print(f"compare-kernels: WARNING {len(regressed)}/{len(shared)} kernel "
+          f"benchmarks regressed by more than {THRESHOLD:.0%} "
+          f"(warn-only, not failing)", file=sys.stderr)
+else:
+    print(f"compare-kernels: OK ({len(shared)} benchmarks within "
+          f"{THRESHOLD:.0%})")
+PY
+  fi
 fi

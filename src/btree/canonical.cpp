@@ -27,7 +27,12 @@ constexpr std::uint64_t combine(std::uint64_t a, std::uint64_t b) {
 }
 
 // Reverse-BFS bottom-up subtree codes into a caller-owned buffer.
-// `sorted` selects the order-insensitive (canonical) variant.
+// `sorted` selects the order-insensitive (canonical) variant.  This is
+// the *reference* loop: its leaf / one-child tests branch on data, so
+// on arbitrary shapes the predictor misses about once per node and
+// every flush also discards the speculative run-ahead that hides the
+// child-code loads.  The branchless kernel below replaces it on the
+// hot paths; this form stays compiled as the cross-check baseline.
 void subtree_codes(std::size_t n, const NodeId* left, const NodeId* right,
                    bool sorted, std::vector<std::uint64_t>& code) {
   // Every constructor assigns ids in preorder (parent < child), so
@@ -50,6 +55,53 @@ void subtree_codes(std::size_t n, const NodeId* left, const NodeId* right,
   }
 }
 
+// One node of the branchless bottom-up scan.  Absent children are
+// handled with sign-mask selects instead of tests: ternaries on child
+// presence compile to real branches under gcc, so the masks are spelt
+// out as arithmetic.  The clamped index (c & ~(c >> 31)) turns -1 into
+// 0 — a dummy in-bounds load whose value is masked away (the buffer is
+// vector-owned and value-initialised, so the read is defined).
+// Produces exactly the reference loop's value for every case:
+// leaf -> kLeafCode, absent child -> kEmptyCode operand, Sorted ->
+// operands ordered by value.
+template <bool Sorted>
+inline std::uint64_t node_code(const NodeId* __restrict left,
+                               const NodeId* __restrict right,
+                               const std::uint64_t* __restrict code,
+                               std::int64_t v) {
+  const NodeId c0 = left[v];
+  const NodeId c1 = right[v];
+  const auto m0 = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(c0 >> 31));  // all-ones iff no left child
+  const auto m1 = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(c1 >> 31));  // all-ones iff no right child
+  const std::uint64_t a0 = code[static_cast<std::size_t>(c0 & ~(c0 >> 31))];
+  const std::uint64_t b0 = code[static_cast<std::size_t>(c1 & ~(c1 >> 31))];
+  const std::uint64_t a = (a0 & ~m0) | (kEmptyCode & m0);
+  const std::uint64_t b = (b0 & ~m1) | (kEmptyCode & m1);
+  std::uint64_t lo = a;
+  std::uint64_t hi = b;
+  if constexpr (Sorted) {
+    lo = a < b ? a : b;  // cmov under gcc/clang
+    hi = a < b ? b : a;
+  }
+  const std::uint64_t comb = combine(lo, hi);
+  const std::uint64_t ml = m0 & m1;  // all-ones iff leaf
+  return (comb & ~ml) | (kLeafCode & ml);
+}
+
+// Branchless full-array scan (canonical_form needs every subtree
+// code, not just the root's).  Bit-identical to subtree_codes.
+template <bool Sorted>
+void subtree_codes_branchless(std::size_t n, const NodeId* left,
+                              const NodeId* right,
+                              std::vector<std::uint64_t>& code) {
+  if (code.size() < n) code.resize(n);
+  std::uint64_t* c = code.data();
+  for (std::int64_t v = static_cast<std::int64_t>(n); v-- > 0;)
+    c[v] = node_code<Sorted>(left, right, c, v);
+}
+
 // Final digest folds in the node count (belt and braces; the cache key
 // also carries it).
 std::uint64_t finalize(std::uint64_t root_code, NodeId n) {
@@ -62,8 +114,8 @@ CanonicalForm canonical_form(NodeId n, const NodeId* left,
                              const NodeId* right, CanonicalScratch& scratch) {
   XT_CHECK(n > 0);
   std::vector<std::uint64_t>& code = scratch.code;
-  subtree_codes(static_cast<std::size_t>(n), left, right, /*sorted=*/true,
-                code);
+  subtree_codes_branchless<true>(static_cast<std::size_t>(n), left, right,
+                                 code);
   CanonicalForm out;
   out.hash = finalize(code[0], n);
   out.to_canonical.assign(static_cast<std::size_t>(n), kInvalidNode);
@@ -109,9 +161,76 @@ CanonicalForm canonical_form(const BinaryTree& tree) {
 std::uint64_t canonical_hash(NodeId n, const NodeId* left,
                              const NodeId* right, CanonicalScratch& scratch) {
   XT_CHECK(n > 0);
+  subtree_codes_branchless<true>(static_cast<std::size_t>(n), left, right,
+                                 scratch.code);
+  return finalize(scratch.code[0], n);
+}
+
+std::uint64_t canonical_hash_scalar(NodeId n, const NodeId* left,
+                                    const NodeId* right,
+                                    CanonicalScratch& scratch) {
+  XT_CHECK(n > 0);
   subtree_codes(static_cast<std::size_t>(n), left, right, /*sorted=*/true,
                 scratch.code);
   return finalize(scratch.code[0], n);
+}
+
+void canonical_hash_batch(std::span<const RawTreeRef> trees,
+                          std::span<std::uint64_t> out,
+                          CanonicalScratch& scratch) {
+  XT_CHECK(trees.size() == out.size());
+  std::vector<std::uint64_t>& buf = scratch.code;
+  std::size_t t = 0;
+  // Strips of four trees, scans interleaved one node per tree per
+  // round.  The four lanes live in one scratch buffer at staggered
+  // offsets: lane strides sharing a 4KiB residue would trip the
+  // store-forwarding disambiguator's page-offset aliasing and
+  // serialise the lanes, so each lane is shifted by a different
+  // sub-line amount.
+  while (trees.size() - t >= 4) {
+    std::size_t maxn = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      XT_CHECK(trees[t + i].num_nodes > 0);
+      maxn = std::max(maxn, static_cast<std::size_t>(trees[t + i].num_nodes));
+    }
+    const std::size_t stride = maxn + 16;
+    if (buf.size() < 4 * stride) buf.resize(4 * stride);
+    std::uint64_t* __restrict c0 = buf.data();
+    std::uint64_t* __restrict c1 = buf.data() + stride + 8;
+    std::uint64_t* __restrict c2 = buf.data() + 2 * stride + 4;
+    std::uint64_t* __restrict c3 = buf.data() + 3 * stride + 12;
+    const RawTreeRef& t0 = trees[t];
+    const RawTreeRef& t1 = trees[t + 1];
+    const RawTreeRef& t2 = trees[t + 2];
+    const RawTreeRef& t3 = trees[t + 3];
+    std::int64_t p0 = t0.num_nodes;
+    std::int64_t p1 = t1.num_nodes;
+    std::int64_t p2 = t2.num_nodes;
+    std::int64_t p3 = t3.num_nodes;
+    const std::int64_t rounds = std::min(std::min(p0, p1), std::min(p2, p3));
+    for (std::int64_t r = 0; r < rounds; ++r) {
+      --p0;
+      c0[p0] = node_code<true>(t0.left, t0.right, c0, p0);
+      --p1;
+      c1[p1] = node_code<true>(t1.left, t1.right, c1, p1);
+      --p2;
+      c2[p2] = node_code<true>(t2.left, t2.right, c2, p2);
+      --p3;
+      c3[p3] = node_code<true>(t3.left, t3.right, c3, p3);
+    }
+    while (p0-- > 0) c0[p0] = node_code<true>(t0.left, t0.right, c0, p0);
+    while (p1-- > 0) c1[p1] = node_code<true>(t1.left, t1.right, c1, p1);
+    while (p2-- > 0) c2[p2] = node_code<true>(t2.left, t2.right, c2, p2);
+    while (p3-- > 0) c3[p3] = node_code<true>(t3.left, t3.right, c3, p3);
+    out[t] = finalize(c0[0], t0.num_nodes);
+    out[t + 1] = finalize(c1[0], t1.num_nodes);
+    out[t + 2] = finalize(c2[0], t2.num_nodes);
+    out[t + 3] = finalize(c3[0], t3.num_nodes);
+    t += 4;
+  }
+  for (; t < trees.size(); ++t)
+    out[t] = canonical_hash(trees[t].num_nodes, trees[t].left, trees[t].right,
+                            scratch);
 }
 
 std::uint64_t canonical_hash(NodeId n, const NodeId* left,
@@ -133,8 +252,8 @@ BinaryTree canonical_tree(const BinaryTree& tree, const CanonicalForm& form) {
 std::uint64_t ordered_hash(const BinaryTree& tree) {
   XT_CHECK(!tree.empty());
   std::vector<std::uint64_t> code;
-  subtree_codes(static_cast<std::size_t>(tree.num_nodes()), tree.left_data(),
-                tree.right_data(), /*sorted=*/false, code);
+  subtree_codes_branchless<false>(static_cast<std::size_t>(tree.num_nodes()),
+                                  tree.left_data(), tree.right_data(), code);
   // A distinct finalizer keeps the two digest families disjoint even
   // on symmetric trees.
   return mix(finalize(code[0], tree.num_nodes()) ^ 0xbf58476d1ce4e5b9ULL);

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "btree/binary_tree.hpp"
@@ -67,10 +68,45 @@ struct CanonicalScratch {
 };
 
 /// canonical_hash with caller-owned scratch: allocation-free after the
-/// first call at a given size.
+/// first call at a given size.  Runs the branchless bottom-up kernel
+/// (mask-select child codes, no data-dependent branches): the leaf /
+/// one-child tests of the textbook loop mispredict near-randomly on
+/// arbitrary shapes, and removing them is worth ~1.5x on cold corpus
+/// sweeps.  Digests are bit-identical to canonical_hash_scalar (pinned
+/// by golden_test and fuzzed across generator families).
 [[nodiscard]] std::uint64_t canonical_hash(NodeId n, const NodeId* left,
                                            const NodeId* right,
                                            CanonicalScratch& scratch);
+
+/// Reference implementation of canonical_hash: the straightforward
+/// branching bottom-up loop this repository originally shipped.  Kept
+/// compiled on every target as the cross-check and benchmark baseline
+/// for the branchless/batched kernels (tests/simd_test.cpp,
+/// bench/bench_kernels.cpp).
+[[nodiscard]] std::uint64_t canonical_hash_scalar(NodeId n, const NodeId* left,
+                                                  const NodeId* right,
+                                                  CanonicalScratch& scratch);
+
+/// Borrowed view of one tree in raw SoA form (preorder ids, entries
+/// are child ids or kInvalidNode) — the shape the xtb1 corpus mmap
+/// exposes.  The referenced arrays must outlive the call.
+struct RawTreeRef {
+  NodeId num_nodes = 0;
+  const NodeId* left = nullptr;
+  const NodeId* right = nullptr;
+};
+
+/// Batched digests: out[i] = canonical_hash(trees[i]).  Walks the
+/// corpus in strips of four trees, interleaving their bottom-up scans
+/// one node per tree per round.  The scans are independent, so the
+/// four mix chains overlap in the out-of-order window — the per-call
+/// loop is latency-bound on one chain (~2x on cold corpus sweeps; see
+/// docs/perf.md).  The bulk pipeline's digest stage feeds mmap'd xtb1
+/// views straight in.  Bit-identical to per-call canonical_hash
+/// (fuzzed incl. the mmap path in tests/simd_test.cpp).
+void canonical_hash_batch(std::span<const RawTreeRef> trees,
+                          std::span<std::uint64_t> out,
+                          CanonicalScratch& scratch);
 
 /// canonical_form with caller-owned scratch.  Only the returned
 /// to_canonical vector is freshly allocated (callers keep it).

@@ -1,5 +1,6 @@
 #include "bulk/pipeline.hpp"
 
+#include <array>
 #include <chrono>
 #include <deque>
 #include <memory>
@@ -359,78 +360,104 @@ BulkResult bulk_embed(const CorpusReader& reader, const BulkOptions& options) {
   CanonicalScratch scratch;
   static const std::vector<NodeId> kNoRemap;
 
-  for (std::uint64_t i = 0; i < reader.tree_count(); ++i) {
-    ++stats.decoded;
-    out.records[i].index = i;
+  // The digest stage runs in strips: validate a run of records, digest
+  // the valid views (zero-copy mmap pointers) through the interleaved
+  // batch kernel, then replay the dedupe/serve logic in record order.
+  // Statuses, stats, and cache contents are bit-identical to the
+  // per-record digest loop this replaces — only the digest arithmetic
+  // is scheduled differently (tests/simd_test.cpp pins the digests).
+  constexpr std::uint64_t kDigestStrip = 64;
+  std::array<CorpusReader::View, kDigestStrip> views;
+  std::array<char, kDigestStrip> view_ok{};
+  std::array<std::string, kDigestStrip> view_err;
+  std::vector<RawTreeRef> refs;
+  std::vector<std::uint64_t> digests;
 
-    CorpusReader::View view;
-    std::string error;
-    if (!reader.try_view(i, &view, &error)) {
-      reject(i, std::move(error));
-      continue;
+  for (std::uint64_t s = 0; s < reader.tree_count(); s += kDigestStrip) {
+    const std::uint64_t strip = std::min(kDigestStrip, reader.tree_count() - s);
+    refs.clear();
+    for (std::uint64_t j = 0; j < strip; ++j) {
+      view_err[j].clear();
+      view_ok[j] = reader.try_view(s + j, &views[j], &view_err[j]) ? 1 : 0;
+      if (view_ok[j])
+        refs.push_back({views[j].num_nodes, views[j].left, views[j].right});
     }
+    digests.resize(refs.size());
+    canonical_hash_batch(refs, digests, scratch);
+    std::size_t next_digest = 0;
 
-    const bool want_remap = sampled(i) || options.keep_embeddings;
-    const std::uint64_t chash =
-        canonical_hash(view.num_nodes, view.left, view.right, scratch);
-    out.records[i].canonical_hash = chash;
-    const CacheKey key{chash, view.num_nodes, options.theorem, options.load};
+    for (std::uint64_t j = 0; j < strip; ++j) {
+      const std::uint64_t i = s + j;
+      ++stats.decoded;
+      out.records[i].index = i;
 
-    if (auto entry = cache.lookup(key)) {
-      if (want_remap) {
-        const CanonicalForm canon =
-            canonical_form(view.num_nodes, view.left, view.right, scratch);
-        serve(i, BulkRecordStatus::kDeduped, *entry, canon.to_canonical);
+      if (!view_ok[j]) {
+        reject(i, std::move(view_err[j]));
+        continue;
+      }
+      const CorpusReader::View& view = views[j];
+
+      const bool want_remap = sampled(i) || options.keep_embeddings;
+      const std::uint64_t chash = digests[next_digest++];
+      out.records[i].canonical_hash = chash;
+      const CacheKey key{chash, view.num_nodes, options.theorem, options.load};
+
+      if (auto entry = cache.lookup(key)) {
+        if (want_remap) {
+          const CanonicalForm canon =
+              canonical_form(view.num_nodes, view.left, view.right, scratch);
+          serve(i, BulkRecordStatus::kDeduped, *entry, canon.to_canonical);
+        } else {
+          serve(i, BulkRecordStatus::kDeduped, *entry, kNoRemap);
+        }
+        continue;
+      }
+      if (auto it = pending.find(key); it != pending.end()) {
+        Waiter w{i, {}};
+        if (want_remap)
+          w.to_canonical =
+              canonical_form(view.num_nodes, view.left, view.right, scratch)
+                  .to_canonical;
+        it->second->waiters.push_back(std::move(w));
+        continue;
+      }
+
+      // Backpressure: admit a new embed only once the window has room.
+      while (window.size() >= options.max_in_flight) resolve_front();
+
+      // A lead always needs the full form: the canonical tree it embeds
+      // is built from the relabelling.
+      CanonicalForm canon =
+          canonical_form(view.num_nodes, view.left, view.right, scratch);
+      BinaryTree canonical = canonical_tree_from_view(view, canon.to_canonical);
+      window.push_back(InFlight{key, i, std::move(canon.to_canonical),
+                                TaskFuture<Computed>{}, std::nullopt, {}, {}});
+      InFlight& infl = window.back();
+      pending.emplace(key, &infl);
+      if (pool.num_threads() == 0) {
+        // No workers: submit() would only defer to a caller-runs get();
+        // computing here skips a promise/function allocation per miss.
+        // Window semantics are unchanged — the result still resolves
+        // oldest-first, after any duplicates have attached.
+        try {
+          ArenaPool::Lease lease(arenas);
+          infl.computed_inline =
+              compute_canonical(canonical, options.theorem, options.load,
+                                options.intra_embed_parallelism, lease.get());
+        } catch (const std::exception& e) {
+          infl.inline_error = e.what();
+          if (infl.inline_error.empty()) infl.inline_error = "embed failed";
+        }
       } else {
-        serve(i, BulkRecordStatus::kDeduped, *entry, kNoRemap);
+        infl.future = pool.submit(
+            [canonical = std::move(canonical), &arenas,
+             theorem = options.theorem, load = options.load,
+             parallelism = options.intra_embed_parallelism]() {
+              ArenaPool::Lease lease(arenas);
+              return compute_canonical(canonical, theorem, load, parallelism,
+                                       lease.get());
+            });
       }
-      continue;
-    }
-    if (auto it = pending.find(key); it != pending.end()) {
-      Waiter w{i, {}};
-      if (want_remap)
-        w.to_canonical =
-            canonical_form(view.num_nodes, view.left, view.right, scratch)
-                .to_canonical;
-      it->second->waiters.push_back(std::move(w));
-      continue;
-    }
-
-    // Backpressure: admit a new embed only once the window has room.
-    while (window.size() >= options.max_in_flight) resolve_front();
-
-    // A lead always needs the full form: the canonical tree it embeds
-    // is built from the relabelling.
-    CanonicalForm canon =
-        canonical_form(view.num_nodes, view.left, view.right, scratch);
-    BinaryTree canonical = canonical_tree_from_view(view, canon.to_canonical);
-    window.push_back(InFlight{key, i, std::move(canon.to_canonical),
-                              TaskFuture<Computed>{}, std::nullopt, {}, {}});
-    InFlight& infl = window.back();
-    pending.emplace(key, &infl);
-    if (pool.num_threads() == 0) {
-      // No workers: submit() would only defer to a caller-runs get();
-      // computing here skips a promise/function allocation per miss.
-      // Window semantics are unchanged — the result still resolves
-      // oldest-first, after any duplicates have attached.
-      try {
-        ArenaPool::Lease lease(arenas);
-        infl.computed_inline =
-            compute_canonical(canonical, options.theorem, options.load,
-                              options.intra_embed_parallelism, lease.get());
-      } catch (const std::exception& e) {
-        infl.inline_error = e.what();
-        if (infl.inline_error.empty()) infl.inline_error = "embed failed";
-      }
-    } else {
-      infl.future = pool.submit(
-          [canonical = std::move(canonical), &arenas,
-           theorem = options.theorem, load = options.load,
-           parallelism = options.intra_embed_parallelism]() {
-            ArenaPool::Lease lease(arenas);
-            return compute_canonical(canonical, theorem, load, parallelism,
-                                     lease.get());
-          });
     }
   }
   while (!window.empty()) resolve_front();

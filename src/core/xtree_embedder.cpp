@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <limits>
 #include <cstdio>
+#include <span>
 #include <memory>
 #include <utility>
 
@@ -124,19 +125,32 @@ class EmbedderImpl {
       // processed whole by one split call).
       ctx.nbr.clear();
       guest_.neighbors(v, ctx.nbr);
+      // Gather the <= 3 placed-neighbour hosts, take their distances
+      // to x in one batch call (branch-free kernel, one coord decode
+      // per endpoint), then replay the checks in the original
+      // neighbour order — stats and diag output are unchanged.
+      std::array<VertexId, 4> src;
+      std::size_t cnt = 0;
       for (NodeId u : ctx.nbr) {
-        if (!is_placed(u)) continue;
-        const std::int32_t d = host_.distance(host_of(u), x);
+        if (is_placed(u)) src[cnt++] = host_of(u);
+      }
+      std::array<VertexId, 4> dst;
+      dst.fill(x);
+      std::array<std::int32_t, 4> dist;
+      host_.distance_batch(std::span(src).first(cnt), std::span(dst).first(cnt),
+                           std::span(dist).first(cnt));
+      for (std::size_t i = 0; i < cnt; ++i) {
+        const std::int32_t d = dist[i];
         ctx.stats->max_observed_embed_distance =
             std::max(ctx.stats->max_observed_embed_distance, d);
-        if (!respects_condition_3prime(host_, host_of(u), x)) {
+        if (!respects_condition_3prime(host_, src[i], x)) {
           ++ctx.stats->discipline_violations;
           if (diag_) {
             char buf[192];
             std::snprintf(buf, sizeof buf,
                           "VIOL phase=%s node=%d at=%s nbr=%s d=%d", phase_, v,
                           host_.label_of(x).c_str(),
-                          host_.label_of(host_of(u)).c_str(), d);
+                          host_.label_of(src[i]).c_str(), d);
             diag_(buf);
           }
         }
@@ -913,10 +927,19 @@ class EmbedderImpl {
       guest_.neighbors(u, gnbr);
       std::int32_t score = 0;
       std::int32_t worst_dist = 0;
+      std::array<VertexId, 4> src;
+      std::size_t cnt = 0;
       for (NodeId w : gnbr) {
-        if (u == w || !is_placed(w)) continue;
-        if (!respects_condition_3prime(host_, host_of(w), to)) score += 1000;
-        worst_dist = std::max(worst_dist, host_.distance(host_of(w), to));
+        if (u != w && is_placed(w)) src[cnt++] = host_of(w);
+      }
+      std::array<VertexId, 4> dst;
+      dst.fill(to);
+      std::array<std::int32_t, 4> dist;
+      host_.distance_batch(std::span(src).first(cnt), std::span(dst).first(cnt),
+                           std::span(dist).first(cnt));
+      for (std::size_t i = 0; i < cnt; ++i) {
+        if (!respects_condition_3prime(host_, src[i], to)) score += 1000;
+        worst_dist = std::max(worst_dist, dist[i]);
       }
       score += worst_dist;
       if (best == kInvalidNode || score < best_score) {
@@ -988,12 +1011,20 @@ class EmbedderImpl {
       if (stop_depth >= 0 && depth > stop_depth) break;
       if (free_slots(x) > 0) {
         // Lexicographic score: condition-3' violations first, then the
-        // worst host distance to any placed guest neighbour.
+        // worst host distance to any placed guest neighbour (one batch
+        // distance call over the <= 3 anchors).
         std::int32_t score = 0;
         std::int32_t worst_dist = 0;
-        for (VertexId a : anchors) {
-          if (!respects_condition_3prime(host_, a, x)) score += 1000;
-          worst_dist = std::max(worst_dist, host_.distance(a, x));
+        std::array<VertexId, 4> dst;
+        dst.fill(x);
+        std::array<std::int32_t, 4> dist;
+        const std::size_t cnt = anchors.size();
+        host_.distance_batch(std::span<const VertexId>(anchors),
+                             std::span(dst).first(cnt),
+                             std::span(dist).first(cnt));
+        for (std::size_t i = 0; i < cnt; ++i) {
+          if (!respects_condition_3prime(host_, anchors[i], x)) score += 1000;
+          worst_dist = std::max(worst_dist, dist[i]);
         }
         score += worst_dist;
         if (best == kInvalidVertex || score < best_score) {

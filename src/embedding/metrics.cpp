@@ -1,6 +1,7 @@
 #include "embedding/metrics.hpp"
 
 #include <algorithm>
+#include <span>
 #include <unordered_map>
 
 #include "graph/bfs.hpp"
@@ -70,13 +71,65 @@ DilationProfile dilation_profile(const BinaryTree& guest, const Embedding& emb,
   return profile;
 }
 
+namespace {
+
+// Shared scaffolding for the topology-specific profiles: gather the
+// edge-endpoint images into two contiguous arrays, then hand
+// fixed-size runs to the host's batch kernel from the thread pool.
+// per_edge order still matches guest.edges() (child ascending) and
+// every element is computed by the same kernel as the per-call path,
+// so reports stay bit-identical for any worker count.
+template <typename BatchFn>
+DilationProfile profile_batched(const BinaryTree& guest, const Embedding& emb,
+                                unsigned workers, BatchFn&& batch) {
+  XT_CHECK_MSG(emb.complete(), "dilation of an incomplete embedding");
+  const NodeId* const parent = guest.parent_data();
+  const auto num_edges =
+      static_cast<std::int64_t>(std::max(guest.num_nodes() - 1, 0));
+  DilationProfile profile;
+  profile.per_edge.resize(static_cast<std::size_t>(num_edges));
+  std::vector<VertexId> ea(static_cast<std::size_t>(num_edges));
+  std::vector<VertexId> eb(static_cast<std::size_t>(num_edges));
+  const unsigned w = workers == 0 ? parallel_workers() : workers;
+  parallel_for(
+      0, num_edges,
+      [&](std::int64_t i) {
+        const auto v = static_cast<NodeId>(i + 1);
+        ea[static_cast<std::size_t>(i)] =
+            emb.host_of(parent[static_cast<std::size_t>(v)]);
+        eb[static_cast<std::size_t>(i)] = emb.host_of(v);
+      },
+      w);
+  // Runs long enough to amortise the batch-call overhead, short enough
+  // that the pool still load-balances across workers.
+  constexpr std::int64_t kRun = 1024;
+  const std::int64_t num_runs = (num_edges + kRun - 1) / kRun;
+  parallel_for(
+      0, num_runs,
+      [&](std::int64_t r) {
+        const auto lo = static_cast<std::size_t>(r * kRun);
+        const auto n = static_cast<std::size_t>(
+            std::min<std::int64_t>(kRun, num_edges - r * kRun));
+        batch(std::span<const VertexId>(ea).subspan(lo, n),
+              std::span<const VertexId>(eb).subspan(lo, n),
+              std::span<std::int32_t>(profile.per_edge).subspan(lo, n));
+      },
+      w);
+  profile.report = reduce_per_edge(profile.per_edge);
+  return profile;
+}
+
+}  // namespace
+
 DilationProfile dilation_profile_xtree(const BinaryTree& guest,
                                        const Embedding& emb,
                                        const XTree& host, unsigned workers) {
-  return dilation_profile(
-      guest, emb,
-      [&host](VertexId a, VertexId b) { return host.distance(a, b); },
-      workers);
+  return profile_batched(guest, emb, workers,
+                         [&host](std::span<const VertexId> a,
+                                 std::span<const VertexId> b,
+                                 std::span<std::int32_t> out) {
+                           host.distance_batch(a, b, out);
+                         });
 }
 
 DilationReport dilation_xtree(const BinaryTree& guest, const Embedding& emb,
@@ -84,12 +137,22 @@ DilationReport dilation_xtree(const BinaryTree& guest, const Embedding& emb,
   return dilation_profile_xtree(guest, emb, host).report;
 }
 
+DilationProfile dilation_profile_hypercube(const BinaryTree& guest,
+                                           const Embedding& emb,
+                                           const Hypercube& host,
+                                           unsigned workers) {
+  return profile_batched(guest, emb, workers,
+                         [&host](std::span<const VertexId> a,
+                                 std::span<const VertexId> b,
+                                 std::span<std::int32_t> out) {
+                           host.distance_batch(a, b, out);
+                         });
+}
+
 DilationReport dilation_hypercube(const BinaryTree& guest,
                                   const Embedding& emb,
                                   const Hypercube& host) {
-  return dilation(guest, emb, [&host](VertexId a, VertexId b) {
-    return host.distance(a, b);
-  });
+  return dilation_profile_hypercube(guest, emb, host).report;
 }
 
 DilationReport dilation_graph(const BinaryTree& guest, const Embedding& emb,

@@ -63,6 +63,15 @@ DilationProfile dilation_profile_xtree(const BinaryTree& guest,
 DilationReport dilation_xtree(const BinaryTree& guest, const Embedding& emb,
                               const XTree& host);
 
+/// Batched profile into a hypercube host: Hamming distances computed
+/// in runs through Hypercube::distance_batch (SIMD XOR+popcount when
+/// the build enables it, unrolled scalar otherwise).  Bit-identical to
+/// the per-call path for any worker count.
+DilationProfile dilation_profile_hypercube(const BinaryTree& guest,
+                                           const Embedding& emb,
+                                           const Hypercube& host,
+                                           unsigned workers = 0);
+
 /// Dilation into a hypercube host (Hamming distances).
 DilationReport dilation_hypercube(const BinaryTree& guest,
                                   const Embedding& emb,

@@ -1,12 +1,24 @@
 #include "topology/hypercube.hpp"
 
 #include "util/check.hpp"
+#include "util/simd.hpp"
 
 namespace xt {
 
 Hypercube::Hypercube(std::int32_t dimension) : dim_(dimension) {
   XT_CHECK_MSG(dimension >= 1 && dimension <= 25,
                "hypercube dimension " << dimension << " out of range [1,25]");
+}
+
+void Hypercube::distance_batch(std::span<const VertexId> a,
+                               std::span<const VertexId> b,
+                               std::span<std::int32_t> out) const {
+  XT_CHECK(a.size() == b.size() && a.size() == out.size());
+  // VertexId is int32_t; hypercube vertices are non-negative, so the
+  // reinterpretation to uint32 is value-preserving for the xor.
+  simd::xor_popcount_batch(reinterpret_cast<const std::uint32_t*>(a.data()),
+                           reinterpret_cast<const std::uint32_t*>(b.data()),
+                           out.data(), a.size());
 }
 
 void Hypercube::neighbors(VertexId v, std::vector<VertexId>& out) const {

@@ -4,6 +4,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -30,6 +31,15 @@ class Hypercube {
   [[nodiscard]] std::int32_t distance(VertexId a, VertexId b) const {
     return std::popcount(static_cast<std::uint32_t>(a ^ b));
   }
+
+  /// Batched distances: out[i] = distance(a[i], b[i]).  The workload
+  /// of a dilation profile is exactly this — one Hamming distance per
+  /// guest edge — and the batch form runs through the vectorized
+  /// xor-popcount kernel (util/simd.hpp).  Bit-identical to per-call
+  /// distance() (cross-checked in tests/simd_test.cpp).  Spans must
+  /// have equal length.
+  void distance_batch(std::span<const VertexId> a, std::span<const VertexId> b,
+                      std::span<std::int32_t> out) const;
 
   void neighbors(VertexId v, std::vector<VertexId>& out) const;
 

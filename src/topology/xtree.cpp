@@ -200,6 +200,13 @@ namespace {
 constexpr std::int32_t kKernelWindow = 6;  // offsets in [-W, W]
 constexpr std::int32_t kKernelWidth = 2 * kKernelWindow + 1;
 constexpr std::int32_t kKernelInf = std::numeric_limits<std::int32_t>::max() / 4;
+// Padding for the branch-free child lookup in ascend(): the child
+// indices 2i - W - s (+1) of window offsets i in [0, kKernelWidth)
+// range over [-W - 1, 2(kKernelWidth - 1) - W + 1], so a pad of
+// kKernelWindow + 1 slots of exact kKernelInf on each side covers
+// every access without a bounds test.
+constexpr std::int32_t kKernelPad = kKernelWindow + 1;
+constexpr std::int32_t kKernelPadded = kKernelWidth + 2 * kKernelPad;
 
 struct AscentDp {
   std::array<std::int32_t, kKernelWidth> cost;  // cost[i] ~ offset i - W
@@ -217,23 +224,48 @@ struct AscentDp {
     }
   }
 
+  // Branch-free level step.  Equivalent to the per-offset branching
+  // form (see git history); the per-step tests became index/mask
+  // arithmetic, which the fuzz suite pins against distance_oracle:
+  //   * child lookup: offset i at the parent level reads children at
+  //     padded indices 2i - W - s and 2i - W - s + 1 (s = base & 1,
+  //     from p - base = 2(q - nbase) - s), where out-of-window slots
+  //     hold exact kKernelInf — no j-range test.
+  //   * the "+1 for the up move, only if reachable" branch is the
+  //     saturating increment m + (m < kKernelInf); kKernelInf is an
+  //     exact sentinel (never kKernelInf + k), so this is identity on
+  //     unreachable slots.
+  //   * the q in [0, width) validity test becomes a band [lo, hi) of
+  //     window offsets computed once per level, applied as two fills.
   void ascend() {
     const std::int64_t nbase = base >> 1;
     const std::int64_t width = std::int64_t{1} << (level - 1);
+    std::array<std::int32_t, kKernelPadded> pad;
+    pad.fill(kKernelInf);
+    for (std::int32_t i = 0; i < kKernelWidth; ++i)
+      pad[static_cast<std::size_t>(i + kKernelPad)] =
+          cost[static_cast<std::size_t>(i)];
+    const std::int32_t s = static_cast<std::int32_t>(base & 1);
     std::array<std::int32_t, kKernelWidth> next;
     for (std::int32_t i = 0; i < kKernelWidth; ++i) {
-      const std::int64_t q = nbase + i - kKernelWindow;
-      std::int32_t best = kKernelInf;
-      if (q >= 0 && q < width) {
-        for (const std::int64_t p : {2 * q, 2 * q + 1}) {
-          const std::int64_t j = p - base + kKernelWindow;
-          if (j >= 0 && j < kKernelWidth)
-            best = std::min(best, cost[static_cast<std::size_t>(j)]);
-        }
-        if (best < kKernelInf) ++best;  // the up move itself
-      }
-      next[static_cast<std::size_t>(i)] = best;
+      const std::int32_t j0 = 2 * i - kKernelWindow - s + kKernelPad;
+      const std::int32_t m = std::min(pad[static_cast<std::size_t>(j0)],
+                                      pad[static_cast<std::size_t>(j0 + 1)]);
+      next[static_cast<std::size_t>(i)] =
+          m + static_cast<std::int32_t>(m < kKernelInf);
     }
+    // Window offsets whose parent position q = nbase + i - W falls
+    // outside [0, width) are unreachable this level.
+    const std::int64_t lo64 = kKernelWindow - nbase;
+    const std::int64_t hi64 = width - nbase + kKernelWindow;
+    const std::int32_t lo = static_cast<std::int32_t>(
+        std::clamp<std::int64_t>(lo64, 0, kKernelWidth));
+    const std::int32_t hi = static_cast<std::int32_t>(
+        std::clamp<std::int64_t>(hi64, 0, kKernelWidth));
+    for (std::int32_t i = 0; i < lo; ++i)
+      next[static_cast<std::size_t>(i)] = kKernelInf;
+    for (std::int32_t i = hi; i < kKernelWidth; ++i)
+      next[static_cast<std::size_t>(i)] = kKernelInf;
     for (std::int32_t i = 1; i < kKernelWidth; ++i)
       next[static_cast<std::size_t>(i)] =
           std::min(next[static_cast<std::size_t>(i)],
@@ -249,17 +281,19 @@ struct AscentDp {
 };
 
 // Best meeting at the current (shared) level of the two climbs.
+// Branch-free: unreachable slots hold exact kKernelInf, so their
+// candidates are >= kKernelInf and can never undercut `best` (which
+// starts at kKernelInf) — the data-dependent `continue` skips of the
+// original form are unnecessary, and the flat 13x13 min reduction
+// vectorizes.  Sums stay far below int64 range.
 std::int64_t combine(const AscentDp& a, const AscentDp& b) {
+  const std::int64_t diff = a.base - b.base;
   std::int64_t best = kKernelInf;
   for (std::int32_t i = 0; i < kKernelWidth; ++i) {
-    const std::int32_t ca = a.cost[static_cast<std::size_t>(i)];
-    if (ca >= kKernelInf) continue;
-    const std::int64_t qa = a.base + i - kKernelWindow;
+    const std::int64_t ca = a.cost[static_cast<std::size_t>(i)];
     for (std::int32_t j = 0; j < kKernelWidth; ++j) {
-      const std::int32_t cb = b.cost[static_cast<std::size_t>(j)];
-      if (cb >= kKernelInf) continue;
-      const std::int64_t qb = b.base + j - kKernelWindow;
-      best = std::min(best, ca + cb + std::abs(qa - qb));
+      const std::int64_t cb = b.cost[static_cast<std::size_t>(j)];
+      best = std::min(best, ca + cb + std::abs(diff + (i - j)));
     }
   }
   return best;
@@ -320,6 +354,27 @@ std::int32_t XTree::distance_bounded(VertexId a, VertexId b,
                                      std::int32_t bound) const {
   XT_CHECK(contains(a) && contains(b));
   return kernel_distance_bounded(coord_of(a), coord_of(b), bound);
+}
+
+void XTree::distance_batch(std::span<const VertexId> a,
+                           std::span<const VertexId> b,
+                           std::span<std::int32_t> out) const {
+  XT_CHECK(a.size() == b.size() && a.size() == out.size());
+  constexpr std::int32_t kUnbounded =
+      std::numeric_limits<std::int32_t>::max() / 4;
+  const bool verify = distance_verify_enabled();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    XT_CHECK(contains(a[i]) && contains(b[i]));
+    const std::int32_t d =
+        kernel_distance_bounded(coord_of(a[i]), coord_of(b[i]), kUnbounded);
+    if (verify) {
+      const std::int32_t oracle = distance_oracle(a[i], b[i]);
+      XT_CHECK_MSG(d == oracle, "distance_batch kernel "
+                                    << d << " != oracle " << oracle << " for a="
+                                    << a[i] << " b=" << b[i]);
+    }
+    out[i] = d;
+  }
 }
 
 std::int32_t XTree::distance_oracle(VertexId a, VertexId b) const {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -101,6 +102,16 @@ class XTree {
   /// <= bound, and -1 as soon as the search proves d > bound.
   [[nodiscard]] std::int32_t distance_bounded(VertexId a, VertexId b,
                                               std::int32_t bound) const;
+
+  /// Batched distances: out[i] = distance(a[i], b[i]).  The dilation
+  /// profile and the embedder's neighbour sweeps issue distance
+  /// queries in runs; this entry point walks them through the
+  /// branch-free ascent kernel back to back (one coord decode per
+  /// endpoint, no per-call verify-flag probe).  Bit-identical to
+  /// per-call distance() (fuzzed against distance_oracle in
+  /// tests/simd_test.cpp).  Spans must have equal length.
+  void distance_batch(std::span<const VertexId> a, std::span<const VertexId> b,
+                      std::span<std::int32_t> out) const;
 
   /// Cross-check oracle: the corridor-restricted Dijkstra this
   /// repository originally shipped (a Dijkstra over windows of

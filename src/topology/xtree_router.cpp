@@ -1,5 +1,7 @@
 #include "topology/xtree_router.hpp"
 
+#include <array>
+
 #include "util/check.hpp"
 
 namespace xt {
@@ -9,12 +11,25 @@ XTreeRouter::XTreeRouter(const XTree& xtree) : xtree_(&xtree) {}
 VertexId XTreeRouter::next_hop(VertexId from, VertexId to) const {
   if (from == to) return from;
   const std::int32_t d = xtree_->distance(from, to);
-  std::vector<VertexId> nbr;
-  xtree_->neighbors(from, nbr);
-  // Neighbours come out in a fixed order (parent, children, pred,
-  // succ); the first strictly-closer one is the deterministic choice.
-  for (VertexId n : nbr) {
-    if (xtree_->distance_at_most(n, to, d - 1)) return n;
+  // Neighbours in a fixed order (parent, children, pred, succ); the
+  // first strictly-closer one is the deterministic choice.  The <= 5
+  // neighbour distances go through one batch call into the branch-free
+  // kernel — same selection as the per-call distance_at_most sweep,
+  // and no heap-allocated neighbour vector per hop.
+  std::array<VertexId, 5> nbr;
+  std::size_t cnt = 0;
+  for (VertexId n : {xtree_->parent(from), xtree_->child(from, 0),
+                     xtree_->child(from, 1), xtree_->predecessor(from),
+                     xtree_->successor(from)}) {
+    if (n != kInvalidVertex) nbr[cnt++] = n;
+  }
+  std::array<VertexId, 5> dst;
+  dst.fill(to);
+  std::array<std::int32_t, 5> dist;
+  xtree_->distance_batch(std::span(nbr).first(cnt), std::span(dst).first(cnt),
+                         std::span(dist).first(cnt));
+  for (std::size_t i = 0; i < cnt; ++i) {
+    if (dist[i] <= d - 1) return nbr[i];
   }
   XT_CHECK_MSG(false, "no closer neighbour — distance oracle inconsistent");
   return kInvalidVertex;

@@ -134,7 +134,9 @@ TEST(XTreeDistance, DistanceAtMostAgreesAcrossHeights) {
       const auto b = static_cast<VertexId>(rng.below(x.num_vertices()));
       const std::int32_t d = x.distance(a, b);
       EXPECT_TRUE(x.distance_at_most(a, b, d)) << "r=" << r;
-      if (d > 0) EXPECT_FALSE(x.distance_at_most(a, b, d - 1)) << "r=" << r;
+      if (d > 0) {
+        EXPECT_FALSE(x.distance_at_most(a, b, d - 1)) << "r=" << r;
+      }
     }
   }
 }
