@@ -1,0 +1,545 @@
+// End-to-end load generation for the network edge (BENCH_7.json):
+// real sockets over loopback, the xtn1 binary protocol, and the full
+// path  client -> epoll loop -> parser -> EmbeddingService -> shard
+// -> completion queue -> ordered flush -> client.
+//
+//   closed_loop   C connections, each keeping a pipelined window of W
+//                 requests in flight, at shape-duplication ratios
+//                 0.5 and 0.9: end-to-end RPS and p50/p99 latency.
+//   open_loop     requests launched on a fixed arrival schedule at
+//                 ~60% of the measured closed-loop capacity: latency
+//                 when the server is NOT saturated.
+//   overload      open-loop at 2x capacity against a deliberately
+//                 small service queue: every request must still get
+//                 exactly one structured answer (kRejectedQueueFull /
+//                 kOverloaded — the wire twin of HTTP 429), with zero
+//                 silent drops.
+//   http_smoke    the same embed path over HTTP/1.1 (curl's view).
+//
+// Usage:
+//   ./bench_net                        # self-hosted server, full run
+//   ./bench_net --smoke                # CI-sized run
+//   ./bench_net --json=BENCH_7.json    # also write the JSON report
+//   ./bench_net --connect=HOST:PORT    # drive an external xt_serve
+//                                      # (closed/open loop only)
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "btree/generators.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "service/service.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace xt;
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Pre-encoded request payloads with a controlled duplication ratio
+/// (same knob as bench_service::make_stream, but serialised once).
+std::vector<std::string> make_payloads(std::size_t count, double dup,
+                                       std::size_t hot, NodeId n, Rng& rng) {
+  std::vector<std::string> pool;
+  pool.reserve(hot);
+  for (std::size_t i = 0; i < hot; ++i)
+    pool.push_back(encode_xtb1_record(make_random_tree(n, rng)));
+  std::vector<std::string> payloads;
+  payloads.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const bool reuse =
+        static_cast<double>(rng.below(1'000'000)) < dup * 1'000'000.0;
+    payloads.push_back(reuse ? pool[rng.below(pool.size())]
+                             : encode_xtb1_record(make_random_tree(n, rng)));
+  }
+  return payloads;
+}
+
+struct WireCounts {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t bad_request = 0;
+
+  void count(WireStatus s) {
+    ++received;
+    switch (s) {
+      case WireStatus::kOk: ++ok; break;
+      case WireStatus::kRejectedQueueFull: ++rejected_queue_full; break;
+      case WireStatus::kOverloaded: ++overloaded; break;
+      case WireStatus::kRejectedShutdown: ++rejected_shutdown; break;
+      case WireStatus::kExpiredDeadline: ++expired; break;
+      case WireStatus::kFailed: ++failed; break;
+      case WireStatus::kBadRequest: ++bad_request; break;
+    }
+  }
+
+  void merge(const WireCounts& o) {
+    sent += o.sent;
+    received += o.received;
+    ok += o.ok;
+    rejected_queue_full += o.rejected_queue_full;
+    overloaded += o.overloaded;
+    rejected_shutdown += o.rejected_shutdown;
+    expired += o.expired;
+    failed += o.failed;
+    bad_request += o.bad_request;
+  }
+
+  [[nodiscard]] std::uint64_t structured_rejections() const {
+    return rejected_queue_full + overloaded + rejected_shutdown + expired;
+  }
+};
+
+struct RunResult {
+  double seconds = 0.0;
+  double rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  WireCounts counts;
+};
+
+WireFrame make_request(const std::string& payload, std::uint32_t id) {
+  WireFrame f;
+  f.format = static_cast<std::uint8_t>(WireFormat::kXtb1Record);
+  f.code = 0;  // Theorem 1
+  f.request_id = id;
+  f.payload = payload;
+  return f;
+}
+
+/// Closed loop: every connection keeps `window` requests in flight
+/// (send window, then one recv -> one send).  Responses per
+/// connection are ordered, so a FIFO of send times matches them.
+RunResult run_closed_loop(const std::string& host, std::uint16_t port,
+                          const std::vector<std::string>& payloads,
+                          std::size_t connections, std::size_t window) {
+  std::vector<std::thread> threads;
+  std::mutex mu;  // guards reservoir + merged counts
+  LatencyReservoir reservoir(16384);
+  WireCounts total;
+  std::atomic<bool> abort{false};
+  const auto start = Clock::now();
+
+  for (std::size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      NetClient client;
+      std::string error;
+      if (!client.connect(host, port, &error)) {
+        std::cerr << "bench_net: connect failed: " << error << "\n";
+        abort.store(true);
+        return;
+      }
+      client.set_recv_timeout_ms(10000);
+      WireCounts counts;
+      std::vector<double> latencies;
+      std::deque<Clock::time_point> sent_at;
+      // This connection owns payloads [c, c+connections, ...).
+      std::size_t next = c;
+      std::size_t outstanding = 0;
+      const auto send_one = [&]() -> bool {
+        const WireFrame f = make_request(
+            payloads[next], static_cast<std::uint32_t>(next));
+        next += connections;
+        sent_at.push_back(Clock::now());
+        ++counts.sent;
+        ++outstanding;
+        return client.send_all(encode_frame(f), &error);
+      };
+      while (next < payloads.size() && outstanding < window) {
+        if (!send_one()) {
+          abort.store(true);
+          return;
+        }
+      }
+      WireFrame resp;
+      while (outstanding > 0) {
+        if (!client.recv_frame(&resp, &error)) {
+          std::cerr << "bench_net: recv failed: " << error << "\n";
+          abort.store(true);
+          return;
+        }
+        counts.count(static_cast<WireStatus>(resp.code));
+        latencies.push_back(
+            seconds_between(sent_at.front(), Clock::now()) * 1e3);
+        sent_at.pop_front();
+        --outstanding;
+        if (next < payloads.size() && !send_one()) {
+          abort.store(true);
+          return;
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      for (const double ms : latencies) reservoir.add(ms);
+      total.merge(counts);
+    });
+  }
+  for (auto& t : threads) t.join();
+  RunResult r;
+  r.seconds = seconds_between(start, Clock::now());
+  r.counts = total;
+  if (abort.load()) return r;
+  r.rps = static_cast<double>(total.received) / r.seconds;
+  r.p50_ms = reservoir.percentile(50.0);
+  r.p99_ms = reservoir.percentile(99.0);
+  r.mean_ms = reservoir.mean();
+  return r;
+}
+
+/// Open loop: a paced sender per connection launches requests on a
+/// fixed schedule regardless of response progress (the arrival process
+/// does not slow down when the server does); a paired receiver drains
+/// responses and records latencies.
+RunResult run_open_loop(const std::string& host, std::uint16_t port,
+                        const std::vector<std::string>& payloads,
+                        std::size_t connections, double rate_rps) {
+  std::vector<std::thread> threads;
+  std::mutex mu;
+  LatencyReservoir reservoir(16384);
+  WireCounts total;
+  std::atomic<bool> abort{false};
+  const auto start = Clock::now();
+
+  for (std::size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      NetClient client;
+      std::string error;
+      if (!client.connect(host, port, &error)) {
+        std::cerr << "bench_net: connect failed: " << error << "\n";
+        abort.store(true);
+        return;
+      }
+      client.set_recv_timeout_ms(10000);
+      WireCounts counts;
+      std::vector<double> latencies;
+      std::mutex times_mu;
+      std::deque<Clock::time_point> sent_at;
+      std::atomic<std::uint64_t> launched_count{0};
+      std::atomic<bool> done_sending{false};
+
+      std::thread receiver([&] {
+        std::string recv_error;
+        WireFrame resp;
+        std::uint64_t received = 0;
+        for (;;) {
+          if (received == launched_count.load()) {
+            if (done_sending.load() && received == launched_count.load())
+              return;
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+            continue;
+          }
+          if (!client.recv_frame(&resp, &recv_error)) {
+            std::cerr << "bench_net: recv failed: " << recv_error << "\n";
+            abort.store(true);
+            return;
+          }
+          counts.count(static_cast<WireStatus>(resp.code));
+          ++received;
+          std::lock_guard<std::mutex> lock(times_mu);
+          latencies.push_back(
+              seconds_between(sent_at.front(), Clock::now()) * 1e3);
+          sent_at.pop_front();
+        }
+      });
+
+      // This connection sends payloads [c, c+connections, ...) at
+      // rate_rps / connections, uniform inter-arrival.
+      const double interval_s =
+          static_cast<double>(connections) / rate_rps;
+      const auto t0 = Clock::now();
+      std::size_t launched = 0;
+      for (std::size_t i = c; i < payloads.size(); i += connections) {
+        const auto due =
+            t0 + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(
+                         static_cast<double>(launched) * interval_s));
+        std::this_thread::sleep_until(due);
+        if (abort.load()) break;
+        const WireFrame f =
+            make_request(payloads[i], static_cast<std::uint32_t>(i));
+        {
+          std::lock_guard<std::mutex> lock(times_mu);
+          sent_at.push_back(Clock::now());
+        }
+        ++counts.sent;
+        ++launched;
+        launched_count.fetch_add(1);
+        if (!client.send_all(encode_frame(f), &error)) {
+          abort.store(true);
+          break;
+        }
+      }
+      done_sending.store(true);
+      receiver.join();
+      std::lock_guard<std::mutex> lock(mu);
+      for (const double ms : latencies) reservoir.add(ms);
+      total.merge(counts);
+    });
+  }
+  for (auto& t : threads) t.join();
+  RunResult r;
+  r.seconds = seconds_between(start, Clock::now());
+  r.counts = total;
+  if (abort.load()) return r;
+  r.rps = static_cast<double>(total.received) / r.seconds;
+  r.p50_ms = reservoir.percentile(50.0);
+  r.p99_ms = reservoir.percentile(99.0);
+  r.mean_ms = reservoir.mean();
+  return r;
+}
+
+struct HostedServer {
+  std::unique_ptr<EmbeddingService> service;
+  std::unique_ptr<NetServer> server;
+
+  static HostedServer start(std::size_t queue_capacity) {
+    HostedServer h;
+    ServiceConfig sc;
+    sc.queue_capacity = queue_capacity;
+    h.service = std::make_unique<EmbeddingService>(sc);
+    NetServerConfig nc;
+    nc.port = 0;
+    nc.num_loops = 2;
+    h.server = std::make_unique<NetServer>(*h.service, nc);
+    h.server->start();
+    return h;
+  }
+
+  void stop() {
+    server->stop();
+    service->shutdown(/*drain=*/true);
+  }
+};
+
+void emit_counts_json(std::ostringstream& os, const WireCounts& c,
+                      const char* indent) {
+  os << indent << "\"sent\": " << c.sent << ",\n"
+     << indent << "\"received\": " << c.received << ",\n"
+     << indent << "\"ok\": " << c.ok << ",\n"
+     << indent << "\"rejected_queue_full\": " << c.rejected_queue_full
+     << ",\n"
+     << indent << "\"overloaded\": " << c.overloaded << ",\n"
+     << indent << "\"rejected_shutdown\": " << c.rejected_shutdown << ",\n"
+     << indent << "\"expired\": " << c.expired << ",\n"
+     << indent << "\"failed\": " << c.failed << ",\n"
+     << indent << "\"bad_request\": " << c.bad_request;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const bool smoke = cli.has("smoke") || cli.get("trials", "") == "small";
+  const NodeId n = static_cast<NodeId>(cli.get_int("nodes", 127));
+  const std::size_t hot = static_cast<std::size_t>(cli.get_int("hot", 32));
+  const std::size_t connections =
+      static_cast<std::size_t>(cli.get_int("connections", smoke ? 2 : 4));
+  const std::size_t window =
+      static_cast<std::size_t>(cli.get_int("window", 16));
+  const std::size_t requests = static_cast<std::size_t>(
+      cli.get_int("requests", smoke ? 300 : 4000));
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 7)));
+
+  // Target: self-hosted loopback server unless --connect is given.
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::optional<HostedServer> hosted;
+  const std::string connect = cli.get("connect", "");
+  if (!connect.empty()) {
+    const std::size_t colon = connect.rfind(':');
+    if (colon == std::string::npos) {
+      std::cerr << "bench_net: --connect expects HOST:PORT\n";
+      return 2;
+    }
+    host = connect.substr(0, colon);
+    port = static_cast<std::uint16_t>(
+        std::stoi(connect.substr(colon + 1)));
+  } else {
+    hosted = HostedServer::start(/*queue_capacity=*/256);
+    port = hosted->server->port();
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"experiment\": \"net end-to-end load\",\n"
+       << "  \"transport\": \"xtn1 binary frames over loopback TCP\",\n"
+       << "  \"guest_nodes\": " << n << ",\n"
+       << "  \"connections\": " << connections << ",\n"
+       << "  \"pipeline_window\": " << window << ",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+
+  // ---- closed loop at two duplication ratios -------------------------
+  std::cout << "== closed loop (window " << window << ", " << connections
+            << " connections) ==\n";
+  Table closed_table(
+      {"duplication", "requests", "rps", "p50_ms", "p99_ms", "ok"});
+  const double dups[] = {0.5, 0.9};
+  double capacity_rps = 0.0;
+  json << "  \"closed_loop\": [\n";
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto payloads = make_payloads(requests, dups[i], hot, n, rng);
+    const RunResult r =
+        run_closed_loop(host, port, payloads, connections, window);
+    if (r.counts.sent != r.counts.received) {
+      std::cerr << "bench_net: closed loop lost responses (" << r.counts.sent
+                << " sent, " << r.counts.received << " received)\n";
+      return 1;
+    }
+    capacity_rps = std::max(capacity_rps, r.rps);
+    closed_table.rowf(dups[i], requests, r.rps, r.p50_ms, r.p99_ms,
+                      r.counts.ok);
+    json << "    {\"duplication\": " << dups[i]
+         << ", \"requests\": " << requests << ", \"seconds\": " << r.seconds
+         << ", \"rps\": " << r.rps << ", \"p50_ms\": " << r.p50_ms
+         << ", \"p99_ms\": " << r.p99_ms << ", \"mean_ms\": " << r.mean_ms
+         << ",\n";
+    emit_counts_json(json, r.counts, "     ");
+    json << "}" << (i + 1 < 2 ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  closed_table.print(std::cout);
+
+  // ---- open loop below capacity --------------------------------------
+  const double open_rate = std::max(50.0, capacity_rps * 0.6);
+  std::cout << "\n== open loop at " << open_rate << " rps (offered) ==\n";
+  {
+    const auto payloads =
+        make_payloads(std::max<std::size_t>(requests / 2,
+                                            connections * 8),
+                      0.9, hot, n, rng);
+    const RunResult r =
+        run_open_loop(host, port, payloads, connections, open_rate);
+    if (r.counts.sent != r.counts.received) {
+      std::cerr << "bench_net: open loop lost responses\n";
+      return 1;
+    }
+    std::cout << "achieved " << r.rps << " rps, p50 " << r.p50_ms
+              << " ms, p99 " << r.p99_ms << " ms\n";
+    json << "  \"open_loop\": {\"offered_rps\": " << open_rate
+         << ", \"achieved_rps\": " << r.rps << ", \"p50_ms\": " << r.p50_ms
+         << ", \"p99_ms\": " << r.p99_ms << ",\n";
+    emit_counts_json(json, r.counts, "    ");
+    json << "},\n";
+  }
+
+  // ---- overload: 2x capacity into a tiny queue -----------------------
+  // Self-host only: the point is proving the 429 path, which needs a
+  // server whose queue we control.
+  bool overload_pass = true;
+  if (hosted.has_value()) {
+    hosted->stop();
+    hosted = HostedServer::start(/*queue_capacity=*/16);
+    port = hosted->server->port();
+    const double offered = std::max(200.0, capacity_rps * 2.0);
+    std::cout << "\n== overload at " << offered
+              << " rps (offered, queue=16) ==\n";
+    const auto payloads = make_payloads(
+        std::max<std::size_t>(requests, connections * 16), 0.9, hot, n, rng);
+    const RunResult r =
+        run_open_loop(host, port, payloads, connections, offered);
+    const bool no_drops = r.counts.sent == r.counts.received;
+    const bool structured = r.counts.structured_rejections() > 0;
+    overload_pass = no_drops && structured;
+    std::cout << "sent " << r.counts.sent << ", received "
+              << r.counts.received << ", ok " << r.counts.ok
+              << ", queue-full " << r.counts.rejected_queue_full
+              << ", overloaded " << r.counts.overloaded
+              << (overload_pass ? "  [pass]" : "  [FAIL]") << "\n";
+    json << "  \"overload\": {\"offered_rps\": " << offered
+         << ", \"achieved_rps\": " << r.rps
+         << ", \"queue_capacity\": 16, \"p50_ms\": " << r.p50_ms
+         << ", \"p99_ms\": " << r.p99_ms << ",\n";
+    emit_counts_json(json, r.counts, "    ");
+    json << ",\n    \"zero_silent_drops_pass\": "
+         << (no_drops ? "true" : "false")
+         << ",\n    \"structured_backpressure_pass\": "
+         << (structured ? "true" : "false") << "},\n";
+    if (!no_drops) {
+      std::cerr << "bench_net: overload run lost responses\n";
+      return 1;
+    }
+  } else {
+    json << "  \"overload\": null,\n";
+  }
+
+  // ---- HTTP smoke: the same path through HTTP/1.1 --------------------
+  {
+    const std::size_t http_requests = smoke ? 20 : 100;
+    NetClient client;
+    std::string error;
+    std::uint64_t ok = 0;
+    const auto t0 = Clock::now();
+    if (client.connect(host, port, &error)) {
+      for (std::size_t i = 0; i < http_requests; ++i) {
+        NetClient::HttpResult result;
+        if (!client.http("POST", "/embed?theorem=t1", "((,),(,));", &result,
+                         &error)) {
+          std::cerr << "bench_net: http failed: " << error << "\n";
+          break;
+        }
+        if (result.status == 200) ++ok;
+      }
+    }
+    const double secs = seconds_between(t0, Clock::now());
+    std::cout << "\n== http smoke ==\n"
+              << ok << "/" << http_requests << " ok, "
+              << (static_cast<double>(ok) / secs) << " rps\n";
+    json << "  \"http_smoke\": {\"requests\": " << http_requests
+         << ", \"ok\": " << ok << ", \"rps\": "
+         << (static_cast<double>(ok) / secs) << "},\n";
+  }
+
+  // ---- teardown + server-side stats ----------------------------------
+  json << "  \"server_stats\": ";
+  if (hosted.has_value()) {
+    const ServiceStats s = hosted->service->stats();
+    const bool accounted =
+        s.submitted == s.completed + s.rejected_full + s.rejected_shutdown +
+                           s.expired + s.failed;
+    json << "{\n\"service\": " << hosted->service->stats_json()
+         << ",\n\"net\": " << hosted->server->stats_json()
+         << ",\n\"accounting_identity_pass\": "
+         << (accounted ? "true" : "false") << "\n}";
+    hosted->stop();
+    if (!accounted) {
+      std::cerr << "bench_net: service accounting identity violated\n";
+      return 1;
+    }
+  } else {
+    json << "null";
+  }
+  json << ",\n  \"overload_pass\": " << (overload_pass ? "true" : "false")
+       << "\n}\n";
+
+  if (cli.has("json")) {
+    const std::string path = cli.get("json", "BENCH_7.json");
+    std::ofstream out(path);
+    out << json.str();
+    std::cout << "\nwrote " << path << "\n";
+  }
+  return overload_pass ? 0 : 1;
+}

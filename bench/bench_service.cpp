@@ -216,6 +216,7 @@ int main(int argc, char** argv) {
   {
     Table t({"rate_x", "arrival_rps", "p50_ms", "p99_ms", "rejected",
              "expired", "accounted"});
+    std::string overload_stats_json;
     const double multiples[] = {0.5, 1.0, 2.0};
     for (std::size_t i = 0; i < 3; ++i) {
       const double rate = cold.throughput_rps * multiples[i];
@@ -256,10 +257,15 @@ int main(int argc, char** argv) {
         std::cerr << "FATAL: 2x overload produced no explicit rejections\n";
         return 1;
       }
+      if (overload) overload_stats_json = r.stats.to_json();
     }
     t.print(std::cout);
+    // The full ServiceStats::to_json surface of the overload run —
+    // the same object the embed server's GET /stats and xt_serve's
+    // shutdown summary emit (pinned by service_test's golden test).
+    json << "  ],\n  \"service_stats\": " << overload_stats_json << ",\n";
   }
-  json << "  ],\n  \"speedup_pass\": " << (speedup >= 5.0 ? "true" : "false")
+  json << "  \"speedup_pass\": " << (speedup >= 5.0 ? "true" : "false")
        << "\n}\n";
   std::cout << "\n";
 

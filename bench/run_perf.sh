@@ -16,6 +16,11 @@
 #                 embed scaling, stamped with CPU/build provenance
 #   BENCH_6_KERNELS.json  PR 6 kernel micro-benchmarks
 #                 (bench_kernels, google-benchmark JSON)
+#   BENCH_7.json  PR 7 network edge (bench_net: closed-loop pipelined
+#                 throughput at two duplication levels, paced open-loop
+#                 latency, a 2x-overload run that must surface only
+#                 structured rejections, and an HTTP smoke — all over
+#                 real loopback sockets)
 #
 # Every BENCH_*.json written here gets a "provenance" object injected:
 # build type, compiler, flags (from <build-dir>/build_info.json, which
@@ -179,6 +184,21 @@ if [[ -x "$bulk_bin" ]]; then
   echo "wrote $repo_root/BENCH_5.json"
 else
   echo "warning: $bulk_bin not found; skipping BENCH_5.json" >&2
+fi
+
+net_bin="$build_dir/bench/bench_net"
+if [[ -x "$net_bin" ]]; then
+  smoke_flag=()
+  [[ $smoke -eq 1 ]] && smoke_flag=(--smoke)
+  # bench_net exits non-zero if an end-to-end invariant breaks (a
+  # silent drop under overload, an unstructured rejection, a response
+  # count mismatch) — that failure must propagate, so no `|| true`.
+  "$net_bin" ${smoke_flag[@]+"${smoke_flag[@]}"} \
+    --json="$repo_root/BENCH_7.json" >/dev/null
+  inject_provenance "$repo_root/BENCH_7.json"
+  echo "wrote $repo_root/BENCH_7.json"
+else
+  echo "warning: $net_bin not found; skipping BENCH_7.json" >&2
 fi
 
 if [[ -n "$baseline" ]]; then

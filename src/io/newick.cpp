@@ -1,0 +1,394 @@
+#include "io/newick.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace xt {
+namespace {
+
+bool is_space(char ch) {
+  return ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n' ||
+         ch == '\v' || ch == '\f';
+}
+
+/// Characters that terminate an unquoted label.
+bool is_structural(char ch) {
+  return ch == '(' || ch == ')' || ch == '[' || ch == ']' || ch == ':' ||
+         ch == ';' || ch == ',' || ch == '\'';
+}
+
+TreeParseResult fail(TreeParseStatus status, std::size_t offset,
+                     std::string message) {
+  TreeParseResult r;
+  r.status = status;
+  r.offset = offset;
+  r.message = std::move(message);
+  return r;
+}
+
+/// The incremental parse cursor: one token scan shared by both entry
+/// points.  All methods advance `i` and report problems as a
+/// TreeParseResult through `err` (status kOk means "no error yet").
+struct NewickCursor {
+  std::string_view text;
+  std::size_t i = 0;
+  NewickIgnored ignored;
+  TreeParseResult err;  // status kOk until something goes wrong
+
+  [[nodiscard]] bool failed() const {
+    return err.status != TreeParseStatus::kOk;
+  }
+  [[nodiscard]] bool at_end() const { return i >= text.size(); }
+
+  void set_fail(TreeParseStatus status, std::size_t offset,
+                std::string message) {
+    err = fail(status, offset, std::move(message));
+  }
+
+  /// Skips whitespace and (nested) '[...]' comments.  Unterminated
+  /// comments are kTruncated.
+  void skip_trivia() {
+    while (i < text.size()) {
+      const char ch = text[i];
+      if (is_space(ch)) {
+        ++i;
+        continue;
+      }
+      if (ch == '[') {
+        const std::size_t open = i;
+        int depth = 1;
+        ++i;
+        while (i < text.size() && depth > 0) {
+          if (text[i] == '[') ++depth;
+          if (text[i] == ']') --depth;
+          ++i;
+        }
+        if (depth > 0) {
+          set_fail(TreeParseStatus::kTruncated, open,
+                   "unterminated '[' comment");
+          return;
+        }
+        ++ignored.comments;
+        continue;
+      }
+      return;
+    }
+  }
+
+  /// Consumes an optional label (quoted or unquoted; possibly empty).
+  void skip_label() {
+    if (at_end()) return;
+    if (text[i] == '\'') {
+      const std::size_t open = i;
+      ++i;
+      for (;;) {
+        if (at_end()) {
+          set_fail(TreeParseStatus::kTruncated, open,
+                   "unterminated quoted label");
+          return;
+        }
+        if (text[i] == '\'') {
+          if (i + 1 < text.size() && text[i + 1] == '\'') {
+            i += 2;  // '' is an escaped quote inside the label
+            continue;
+          }
+          ++i;
+          break;
+        }
+        ++i;
+      }
+      ++ignored.labels;
+      return;
+    }
+    const std::size_t begin = i;
+    while (i < text.size() && !is_structural(text[i]) && !is_space(text[i]))
+      ++i;
+    if (i > begin) ++ignored.labels;
+  }
+
+  /// Consumes an optional ':' branch length (ignored, diagnosed).
+  void skip_branch_length() {
+    skip_trivia();
+    if (failed() || at_end() || text[i] != ':') return;
+    ++i;
+    skip_trivia();
+    if (failed()) return;
+    const std::size_t begin = i;
+    if (i < text.size() && (text[i] == '+' || text[i] == '-')) ++i;
+    bool digits = false;
+    while (i < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[i])) != 0 ||
+            text[i] == '.')) {
+      digits = digits ||
+               std::isdigit(static_cast<unsigned char>(text[i])) != 0;
+      ++i;
+    }
+    if (digits && i < text.size() && (text[i] == 'e' || text[i] == 'E')) {
+      std::size_t j = i + 1;
+      if (j < text.size() && (text[j] == '+' || text[j] == '-')) ++j;
+      std::size_t k = j;
+      while (k < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[k])) != 0)
+        ++k;
+      if (k > j) i = k;
+    }
+    if (!digits) {
+      set_fail(TreeParseStatus::kBadCharacter, begin,
+               "malformed branch length after ':'");
+      return;
+    }
+    ++ignored.branch_lengths;
+  }
+};
+
+TreeParseResult parse_impl(std::string_view text, std::size_t* consumed,
+                           bool require_full, NodeId max_nodes,
+                           NewickIgnored* ignored_out) {
+  NewickCursor cur;
+  cur.text = text;
+  cur.skip_trivia();
+  if (cur.failed()) return std::move(cur.err);
+  if (cur.at_end())
+    return fail(TreeParseStatus::kEmptyInput, text.size(),
+                "no Newick tree in input");
+
+  // SoA arrays built directly (mirrors try_parse_tree): `stack` holds
+  // the open '(' nodes; a leaf or closed subtree attaches to the top.
+  std::vector<NodeId> parent;
+  std::vector<NodeId> left;
+  std::vector<NodeId> right;
+  std::vector<NodeId> stack;
+
+  const auto new_node = [&](std::size_t at) -> NodeId {
+    const auto v = static_cast<NodeId>(parent.size());
+    if (max_nodes > 0 && v >= max_nodes) {
+      cur.set_fail(TreeParseStatus::kTooLarge, at,
+                   "tree exceeds " + std::to_string(max_nodes) + " nodes");
+      return kInvalidNode;
+    }
+    if (!stack.empty()) {
+      const auto pi = static_cast<std::size_t>(stack.back());
+      if (left[pi] == kInvalidNode) {
+        left[pi] = v;
+      } else if (right[pi] == kInvalidNode) {
+        right[pi] = v;
+      } else {
+        cur.set_fail(TreeParseStatus::kTooManyChildren, at,
+                     "node already has two children (binary trees only)");
+        return kInvalidNode;
+      }
+    } else if (v != 0) {
+      cur.set_fail(TreeParseStatus::kMultipleRoots, at,
+                   "second top-level subtree");
+      return kInvalidNode;
+    }
+    parent.push_back(stack.empty() ? kInvalidNode : stack.back());
+    left.push_back(kInvalidNode);
+    right.push_back(kInvalidNode);
+    return v;
+  };
+
+  // expect_subtree: the cursor sits where a subtree must begin.
+  // Otherwise it sits after a closed subtree, expecting , ) or ;.
+  bool expect_subtree = true;
+  bool done = false;
+  while (!done) {
+    cur.skip_trivia();
+    if (cur.failed()) return std::move(cur.err);
+    if (cur.at_end())
+      return fail(TreeParseStatus::kTruncated, text.size(),
+                  stack.empty() ? "input ended before ';'"
+                                : std::to_string(stack.size()) +
+                                      " '(' still open at end of input");
+    const char ch = cur.text[cur.i];
+    if (expect_subtree) {
+      if (ch == '(') {
+        const NodeId v = new_node(cur.i);
+        if (cur.failed()) return std::move(cur.err);
+        stack.push_back(v);
+        ++cur.i;
+        continue;  // first child of the new node is itself a subtree
+      }
+      if (ch == ')' && stack.empty())
+        return fail(TreeParseStatus::kUnbalanced, cur.i,
+                    "')' with no open '('");
+      // A leaf: its (possibly empty) label starts here.  ',' / ')' /
+      // ';' directly mean an empty-labeled leaf, the Newick idiom for
+      // anonymous tips — "(,)" is two leaves.
+      if (new_node(cur.i) == kInvalidNode) return std::move(cur.err);
+      cur.skip_label();
+      if (cur.failed()) return std::move(cur.err);
+      cur.skip_branch_length();
+      if (cur.failed()) return std::move(cur.err);
+      expect_subtree = false;
+      continue;
+    }
+    switch (ch) {
+      case ',':
+        if (stack.empty())
+          return fail(TreeParseStatus::kUnbalanced, cur.i,
+                      "',' outside any '('");
+        ++cur.i;
+        expect_subtree = true;
+        break;
+      case ')': {
+        if (stack.empty())
+          return fail(TreeParseStatus::kUnbalanced, cur.i,
+                      "')' with no open '('");
+        stack.pop_back();
+        ++cur.i;
+        cur.skip_trivia();
+        if (cur.failed()) return std::move(cur.err);
+        cur.skip_label();
+        if (cur.failed()) return std::move(cur.err);
+        cur.skip_branch_length();
+        if (cur.failed()) return std::move(cur.err);
+        break;
+      }
+      case ';':
+        if (!stack.empty())
+          return fail(TreeParseStatus::kTruncated, cur.i,
+                      "';' with " + std::to_string(stack.size()) +
+                          " '(' still open");
+        ++cur.i;
+        done = true;
+        break;
+      default:
+        return fail(TreeParseStatus::kBadCharacter, cur.i,
+                    std::string("unexpected character '") + ch +
+                        "' after a subtree");
+    }
+  }
+
+  if (require_full) {
+    cur.skip_trivia();
+    if (cur.failed()) return std::move(cur.err);
+    if (!cur.at_end())
+      return fail(TreeParseStatus::kMultipleRoots, cur.i,
+                  "content after the tree's ';'");
+  }
+  if (consumed != nullptr) *consumed = cur.i;
+  if (ignored_out != nullptr) *ignored_out = cur.ignored;
+
+  TreeParseResult r;
+  try {
+    r.tree = BinaryTree::from_soa(std::move(parent), std::move(left),
+                                  std::move(right));
+  } catch (const std::exception& e) {
+    // Unreachable for inputs this parser accepts; belt-and-braces so a
+    // parser bug surfaces as a structured error, not an exception.
+    return fail(TreeParseStatus::kBadCharacter, cur.i, e.what());
+  }
+  return r;
+}
+
+}  // namespace
+
+std::string NewickIgnored::diagnostic() const {
+  if (!any()) return {};
+  std::ostringstream os;
+  os << "ignored";
+  const char* sep = " ";
+  if (labels > 0) {
+    os << sep << labels << " label(s)";
+    sep = ", ";
+  }
+  if (branch_lengths > 0) {
+    os << sep << branch_lengths << " branch length(s)";
+    sep = ", ";
+  }
+  if (comments > 0) os << sep << comments << " comment(s)";
+  return os.str();
+}
+
+TreeParseResult try_parse_newick(std::string_view text, NodeId max_nodes,
+                                 NewickIgnored* ignored) {
+  return parse_impl(text, nullptr, /*require_full=*/true, max_nodes, ignored);
+}
+
+TreeParseResult try_parse_newick_prefix(std::string_view text,
+                                        std::size_t* consumed,
+                                        NodeId max_nodes,
+                                        NewickIgnored* ignored) {
+  return parse_impl(text, consumed, /*require_full=*/false, max_nodes,
+                    ignored);
+}
+
+std::string to_newick(const BinaryTree& tree) {
+  XT_CHECK_MSG(!tree.empty(), "cannot serialise an empty tree");
+  std::string out;
+  out.reserve(static_cast<std::size_t>(tree.num_nodes()) * 2 + 2);
+  // Explicit stack of (node, phase): phase 0 = on entry, 1 = between
+  // the two children, 2 = on exit.
+  struct Visit {
+    NodeId v;
+    int phase;
+  };
+  std::vector<Visit> stack;
+  stack.push_back({tree.root(), 0});
+  while (!stack.empty()) {
+    Visit& top = stack.back();
+    const NodeId l = tree.left(top.v);
+    const NodeId r = tree.right(top.v);
+    const NodeId first = l != kInvalidNode ? l : r;
+    const bool both = l != kInvalidNode && r != kInvalidNode;
+    switch (top.phase) {
+      case 0:
+        if (first == kInvalidNode) {  // leaf: empty label
+          stack.pop_back();
+          break;
+        }
+        out += '(';
+        top.phase = 1;
+        stack.push_back({first, 0});
+        break;
+      case 1:
+        if (both) {
+          out += ',';
+          top.phase = 2;
+          stack.push_back({r, 0});
+        } else {
+          out += ')';
+          stack.pop_back();
+        }
+        break;
+      default:
+        out += ')';
+        stack.pop_back();
+        break;
+    }
+  }
+  out += ';';
+  return out;
+}
+
+bool sniff_newick(std::string_view text) {
+  // Only bytes with no paren-form reading count as evidence: ';' ','
+  // ':' quotes and '[' comments.  A stray label-ish character alone
+  // does not — "(.x)" must stay a (malformed) paren line, not be
+  // rerouted to the Newick parser with a misleading error.
+  std::size_t i = 0;
+  while (i < text.size() && is_space(text[i])) ++i;
+  if (i < text.size() && text[i] == '#') return false;  // comment line
+  for (; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (ch == ';' || ch == ',' || ch == ':' || ch == '\'' || ch == '"' ||
+        ch == '[')
+      return true;
+  }
+  return false;
+}
+
+bool has_newick_extension(std::string_view path) {
+  const std::size_t dot = path.find_last_of('.');
+  if (dot == std::string_view::npos) return false;
+  std::string ext(path.substr(dot + 1));
+  for (char& ch : ext)
+    ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  return ext == "nwk" || ext == "newick" || ext == "tre";
+}
+
+}  // namespace xt

@@ -1,0 +1,88 @@
+// Newick interchange for guest trees, so standard phylogenetic
+// tooling can feed the embedders directly (ISSUE 7).
+//
+//   ((,),);          two internal children under the root
+//   ((A,B)C,D)R;     labels are tolerated and ignored
+//   ((A:0.1,B:0.2):0.3,C);   branch lengths are ignored (diagnosed)
+//   ('quo''ted',[a [nested] comment]B);
+//
+// The parser is a streaming single-pass tokenizer over a byte range:
+// no recursion (explicit open-node stack, so adversarially deep input
+// cannot overflow the C++ stack), structured errors in the same
+// TreeParseStatus / offset / message vocabulary as try_parse_tree, and
+// an optional node budget (kTooLarge) so untrusted wire input cannot
+// balloon memory.  Accepted grammar (nested '[...]' comments and ASCII
+// whitespace are allowed between any two tokens):
+//
+//   tree    := branch ';'
+//   branch  := subtree [label] [':' number]
+//   subtree := '(' branch (',' branch)* ')' | label
+//   label   := quoted ('...', '' escapes a quote) | unquoted (any run
+//              of characters outside "()[]:;,'" and whitespace),
+//              possibly empty
+//
+// A node may have at most two children (kTooManyChildren otherwise) —
+// these are binary trees.  Newick has no notion of an *absent left /
+// present right* slot, so a single child always lands in the left
+// slot; trees that differ only in single-child slot assignment are
+// isomorphic and embed identically (the service keys its cache on the
+// AHU canonical form, which is slot-order insensitive).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "io/serialize.hpp"
+
+namespace xt {
+
+/// What the parser skipped over: labels, branch lengths and comments
+/// are tolerated for interoperability but carry no meaning for the
+/// embedders.  Summarised by `diagnostic()` for sinks/logs.
+struct NewickIgnored {
+  std::size_t labels = 0;
+  std::size_t branch_lengths = 0;
+  std::size_t comments = 0;
+
+  [[nodiscard]] bool any() const {
+    return labels + branch_lengths + comments > 0;
+  }
+  /// One line, e.g. "ignored 3 label(s), 2 branch length(s)"; empty
+  /// when nothing was ignored.
+  [[nodiscard]] std::string diagnostic() const;
+};
+
+/// Parses one complete Newick tree; the whole input (minus trailing
+/// whitespace/comments) must be consumed, anything after the ';' is
+/// kMultipleRoots.  `max_nodes > 0` caps the node count (kTooLarge).
+/// `ignored`, when non-null, receives the skipped-token counts.
+[[nodiscard]] TreeParseResult try_parse_newick(std::string_view text,
+                                               NodeId max_nodes = 0,
+                                               NewickIgnored* ignored = nullptr);
+
+/// Streaming form: parses the first tree (through its ';') and sets
+/// *consumed to one past it, so a multi-tree .nwk file can be drained
+/// by repeated calls.  Trailing input is not an error here.
+[[nodiscard]] TreeParseResult try_parse_newick_prefix(
+    std::string_view text, std::size_t* consumed, NodeId max_nodes = 0,
+    NewickIgnored* ignored = nullptr);
+
+/// Serialises to unlabeled Newick: leaves are empty labels, internal
+/// nodes parenthesised child lists, terminated by ';'.  A node with a
+/// single child (either slot) emits "(child)" — see the header note on
+/// slot assignment.  Iterative, so deep paths cannot overflow the
+/// stack.  Round-trips through try_parse_newick to an isomorphic tree
+/// (bit-identical SoA arrays when no node has only a right child).
+[[nodiscard]] std::string to_newick(const BinaryTree& tree);
+
+/// Content sniff: true when `text` cannot be the paren format — it
+/// contains Newick-only bytes (';' ',' ':' quotes, labels, comments)
+/// beyond "()." and whitespace.  A pure-paren line sniffs false, so
+/// existing corpora keep their fast path.
+[[nodiscard]] bool sniff_newick(std::string_view text);
+
+/// Extension sniff for file-level dispatch: .nwk / .newick / .tre
+/// (case-insensitive).  Note .tree remains the paren corpus extension.
+[[nodiscard]] bool has_newick_extension(std::string_view path);
+
+}  // namespace xt

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "io/newick.hpp"
 #include "util/check.hpp"
 
 namespace xt {
@@ -132,6 +133,23 @@ BinaryTree load_tree(std::istream& is) {
     std::size_t i = 0;
     while (i < line.size() && is_space(line[i])) ++i;
     if (i == line.size() || line[i] == '#') continue;  // blank / comment
+    // Content sniff: a line with Newick-only bytes (';' ',' labels,
+    // quotes, comments) takes the Newick parser; a tree may span
+    // lines, so accumulate until its terminating ';'.
+    if (sniff_newick(line)) {
+      std::string text = line;
+      std::string more;
+      while (text.find(';') == std::string::npos && std::getline(is, more)) {
+        text += '\n';
+        text += more;
+      }
+      TreeParseResult r = try_parse_newick(text);
+      XT_CHECK_MSG(r.ok(), "malformed Newick tree ("
+                               << tree_parse_status_name(r.status)
+                               << " at offset " << r.offset
+                               << "): " << r.message);
+      return std::move(r.tree);
+    }
     TreeParseResult r = try_parse_tree(line);
     XT_CHECK_MSG(r.ok(), "malformed tree line ("
                              << tree_parse_status_name(r.status)

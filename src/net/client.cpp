@@ -1,0 +1,217 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace xt {
+
+namespace {
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+NetClient& NetClient::operator=(NetClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    parser_ = std::move(other.parser_);
+    http_buf_ = std::move(other.http_buf_);
+  }
+  return *this;
+}
+
+bool NetClient::connect(const std::string& host, std::uint16_t port,
+                        std::string* error) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = errno_text("socket");
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad address '" + host + "'";
+    close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) *error = errno_text("connect");
+    close();
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  parser_ = FrameParser();
+  http_buf_.clear();
+  return true;
+}
+
+void NetClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void NetClient::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void NetClient::set_recv_timeout_ms(int ms) {
+  if (fd_ < 0) return;
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<decltype(tv.tv_usec)>((ms % 1000) * 1000);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+bool NetClient::send_all(std::string_view bytes, std::string* error) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t w = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (error != nullptr) *error = errno_text("send");
+    return false;
+  }
+  return true;
+}
+
+bool NetClient::recv_frame(WireFrame* out, std::string* error) {
+  for (;;) {
+    switch (parser_.next(out)) {
+      case FrameParser::Result::kFrame:
+        return true;
+      case FrameParser::Result::kError:
+        if (error != nullptr) *error = parser_.error();
+        return false;
+      case FrameParser::Result::kNeedMore:
+        break;
+    }
+    char buf[16384];
+    const ssize_t r = ::recv(fd_, buf, sizeof(buf), 0);
+    if (r > 0) {
+      parser_.feed(std::string_view(buf, static_cast<std::size_t>(r)));
+      continue;
+    }
+    if (r == 0) {
+      if (error != nullptr) *error = "connection closed mid-frame";
+      return false;
+    }
+    if (errno == EINTR) continue;
+    if (error != nullptr) *error = errno_text("recv");
+    return false;
+  }
+}
+
+bool NetClient::call(const WireFrame& request, WireFrame* response,
+                     std::string* error) {
+  if (!send_all(encode_frame(request), error)) return false;
+  return recv_frame(response, error);
+}
+
+bool NetClient::http(const std::string& method, const std::string& target,
+                     std::string_view body, HttpResult* result,
+                     std::string* error) {
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "Host: localhost\r\n";
+  if (!body.empty() || method == "POST") {
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "\r\n";
+  request += body;
+  if (!send_all(request, error)) return false;
+
+  // Read one Content-Length-framed response, reusing leftover bytes
+  // from a previous pipelined read.
+  const auto find_headers_end = [this]() -> std::size_t {
+    const std::size_t pos = http_buf_.find("\r\n\r\n");
+    return pos == std::string::npos ? std::string::npos : pos + 4;
+  };
+  std::size_t header_end = find_headers_end();
+  while (header_end == std::string::npos) {
+    char buf[16384];
+    const ssize_t r = ::recv(fd_, buf, sizeof(buf), 0);
+    if (r > 0) {
+      http_buf_.append(buf, static_cast<std::size_t>(r));
+      header_end = find_headers_end();
+      continue;
+    }
+    if (r == 0) {
+      if (error != nullptr) *error = "connection closed mid-response";
+      return false;
+    }
+    if (errno == EINTR) continue;
+    if (error != nullptr) *error = errno_text("recv");
+    return false;
+  }
+
+  const std::string head = http_buf_.substr(0, header_end);
+  if (head.compare(0, 9, "HTTP/1.1 ") != 0 || head.size() < 12) {
+    if (error != nullptr) *error = "malformed status line";
+    return false;
+  }
+  result->status = std::atoi(head.c_str() + 9);
+  std::size_t content_length = 0;
+  result->keep_alive = true;
+  std::size_t pos = head.find("\r\n") + 2;
+  while (pos < head.size()) {
+    const std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos || eol == pos) break;
+    const std::string line = head.substr(pos, eol - pos);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string key = line.substr(0, colon);
+      std::string value = line.substr(colon + 1);
+      while (!value.empty() && value.front() == ' ') value.erase(0, 1);
+      for (char& ch : key)
+        ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+      if (key == "content-length") {
+        content_length = static_cast<std::size_t>(std::atoll(value.c_str()));
+      } else if (key == "connection") {
+        result->keep_alive = value != "close";
+      }
+    }
+    pos = eol + 2;
+  }
+
+  while (http_buf_.size() - header_end < content_length) {
+    char buf[16384];
+    const ssize_t r = ::recv(fd_, buf, sizeof(buf), 0);
+    if (r > 0) {
+      http_buf_.append(buf, static_cast<std::size_t>(r));
+      continue;
+    }
+    if (r == 0) {
+      if (error != nullptr) *error = "connection closed mid-body";
+      return false;
+    }
+    if (errno == EINTR) continue;
+    if (error != nullptr) *error = errno_text("recv");
+    return false;
+  }
+  result->body = http_buf_.substr(header_end, content_length);
+  http_buf_.erase(0, header_end + content_length);
+  return true;
+}
+
+}  // namespace xt

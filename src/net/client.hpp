@@ -1,0 +1,67 @@
+// Blocking loopback client for the embed server: the test/benchmark
+// counterpart of src/net/server.hpp.  One NetClient is one TCP
+// connection; it can speak either protocol (the server sniffs per
+// connection, so a client sticks to one).  All methods return false
+// with `error` filled instead of throwing — wire-level failures are
+// expected outcomes in the tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/http.hpp"
+#include "net/wire.hpp"
+
+namespace xt {
+
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient() { close(); }
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+  NetClient(NetClient&& other) noexcept { *this = std::move(other); }
+  NetClient& operator=(NetClient&& other) noexcept;
+
+  [[nodiscard]] bool connect(const std::string& host, std::uint16_t port,
+                             std::string* error);
+  void close();
+  /// Half-close the write side (tests: mid-stream disconnects).
+  void shutdown_write();
+  /// Bounds every subsequent recv (0 = block forever).  A timeout
+  /// surfaces as a recv error, never a hang.
+  void set_recv_timeout_ms(int ms);
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Writes all of `bytes` (blocking).
+  [[nodiscard]] bool send_all(std::string_view bytes, std::string* error);
+
+  /// Reads until one complete frame is decoded.
+  [[nodiscard]] bool recv_frame(WireFrame* out, std::string* error);
+
+  /// encode_frame + send_all + recv_frame.
+  [[nodiscard]] bool call(const WireFrame& request, WireFrame* response,
+                          std::string* error);
+
+  struct HttpResult {
+    int status = 0;
+    std::string body;
+    bool keep_alive = true;
+  };
+
+  /// Sends one HTTP/1.1 request and reads one response (Content-Length
+  /// framing only — matching what the server emits).
+  [[nodiscard]] bool http(const std::string& method, const std::string& target,
+                          std::string_view body, HttpResult* result,
+                          std::string* error);
+
+ private:
+  int fd_ = -1;
+  FrameParser parser_;
+  std::string http_buf_;  // response bytes beyond the last parsed one
+};
+
+}  // namespace xt

@@ -1,0 +1,235 @@
+#include "net/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace xt {
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+std::string_view HttpRequest::header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (iequals(key, name)) return value;
+  }
+  return {};
+}
+
+std::string_view HttpRequest::path() const {
+  const std::string_view t = target;
+  const std::size_t q = t.find('?');
+  return q == std::string_view::npos ? t : t.substr(0, q);
+}
+
+std::string_view HttpRequest::query() const {
+  const std::string_view t = target;
+  const std::size_t q = t.find('?');
+  return q == std::string_view::npos ? std::string_view{} : t.substr(q + 1);
+}
+
+bool HttpRequest::keep_alive() const {
+  return !iequals(trim(header("Connection")), "close");
+}
+
+std::string query_param(std::string_view query, std::string_view name,
+                        std::string_view fallback) {
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? query : query.substr(0, amp);
+    query = amp == std::string_view::npos ? std::string_view{}
+                                          : query.substr(amp + 1);
+    const std::size_t eq = pair.find('=');
+    const std::string_view key =
+        eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    if (key == name) {
+      return std::string(eq == std::string_view::npos ? std::string_view{}
+                                                      : pair.substr(eq + 1));
+    }
+  }
+  return std::string(fallback);
+}
+
+void HttpParser::feed(std::string_view bytes) {
+  if (failed_) return;
+  if (off_ > 4096 && off_ * 2 > buf_.size()) {
+    buf_.erase(0, off_);
+    off_ = 0;
+  }
+  buf_.append(bytes.data(), bytes.size());
+}
+
+HttpParser::Result HttpParser::fail(int status, std::string why) {
+  failed_ = true;
+  error_status_ = status;
+  error_ = std::move(why);
+  return Result::kError;
+}
+
+HttpParser::Result HttpParser::next(HttpRequest* out) {
+  if (failed_) return Result::kError;
+  const std::string_view data =
+      std::string_view(buf_).substr(off_);
+  // Locate the end of the header block (CRLFCRLF, tolerating bare LF).
+  std::size_t header_end = std::string_view::npos;  // index past the blank line
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i] != '\n') continue;
+    std::size_t line_start = i + 1;
+    if (line_start < data.size() && data[line_start] == '\r') ++line_start;
+    if (line_start < data.size() && data[line_start] == '\n') {
+      header_end = line_start + 1;
+      break;
+    }
+    // A leading empty line before any request is also terminal — but
+    // we treat "\n" at position 0 as a malformed request line below.
+  }
+  if (header_end == std::string_view::npos) {
+    if (data.size() > max_header_bytes_) {
+      return fail(431, "header block exceeds " +
+                           std::to_string(max_header_bytes_) + " bytes");
+    }
+    return Result::kNeedMore;
+  }
+  if (header_end > max_header_bytes_) {
+    return fail(431, "header block exceeds " +
+                         std::to_string(max_header_bytes_) + " bytes");
+  }
+
+  const std::string_view head = data.substr(0, header_end);
+  // Split into lines on '\n', trimming a trailing '\r' from each.
+  std::vector<std::string_view> lines;
+  std::size_t pos = 0;
+  while (pos < head.size()) {
+    std::size_t nl = head.find('\n', pos);
+    if (nl == std::string_view::npos) nl = head.size();
+    std::string_view line = head.substr(pos, nl - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    lines.push_back(line);
+    pos = nl + 1;
+  }
+  while (!lines.empty() && lines.back().empty()) lines.pop_back();
+  if (lines.empty()) return fail(400, "empty request");
+
+  // Request line: METHOD SP TARGET SP VERSION.
+  const std::string_view request_line = lines[0];
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      sp2 == sp1 + 1 || sp2 + 1 >= request_line.size()) {
+    return fail(400, "malformed request line");
+  }
+  HttpRequest req;
+  req.method = std::string(request_line.substr(0, sp1));
+  req.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  req.version = std::string(request_line.substr(sp2 + 1));
+  if (req.version != "HTTP/1.1" && req.version != "HTTP/1.0") {
+    return fail(400, "unsupported version '" + req.version + "'");
+  }
+  for (const char ch : req.method) {
+    if (!std::isalpha(static_cast<unsigned char>(ch))) {
+      return fail(400, "malformed method token");
+    }
+  }
+
+  std::size_t content_length = 0;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string_view line = lines[i];
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return fail(400, "malformed header line");
+    }
+    const std::string_view key = line.substr(0, colon);
+    const std::string_view value = trim(line.substr(colon + 1));
+    if (iequals(key, "Transfer-Encoding")) {
+      return fail(501, "chunked transfer encoding is not supported");
+    }
+    if (iequals(key, "Content-Length")) {
+      if (value.empty()) return fail(400, "empty Content-Length");
+      std::size_t parsed = 0;
+      for (const char ch : value) {
+        if (ch < '0' || ch > '9') {
+          return fail(400, "non-numeric Content-Length");
+        }
+        parsed = parsed * 10 + static_cast<std::size_t>(ch - '0');
+        if (parsed > max_body_bytes_) {
+          return fail(413, "body of " + std::string(value) +
+                               " bytes exceeds limit " +
+                               std::to_string(max_body_bytes_));
+        }
+      }
+      content_length = parsed;
+    }
+    req.headers.emplace_back(std::string(key), std::string(value));
+  }
+
+  if (data.size() - header_end < content_length) return Result::kNeedMore;
+  req.body = std::string(data.substr(header_end, content_length));
+  off_ += header_end + content_length;
+  *out = std::move(req);
+  return Result::kRequest;
+}
+
+const char* http_status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Content Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+  }
+  return "Unknown";
+}
+
+std::string http_response(int status, std::string_view body,
+                          std::string_view content_type, bool keep_alive,
+                          const std::vector<std::string>& extra_headers) {
+  std::string out;
+  out.reserve(128 + body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += http_status_reason(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  out += "\r\n";
+  for (const std::string& line : extra_headers) {
+    out += line;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace xt

@@ -1,0 +1,90 @@
+// Minimal HTTP/1.1 line protocol for the embed server: just enough of
+// RFC 9112 to serve `POST /embed`, `GET /stats` and `GET /healthz`
+// from curl / standard clients, as a pure incremental parser (no
+// sockets) mirroring FrameParser so the same unit/fuzz harness drives
+// both protocols.
+//
+// Supported: request line + headers (CRLF or bare LF), Content-Length
+// bodies, keep-alive (default) and `Connection: close`, pipelined
+// requests.  Not supported (rejected explicitly, never hung on):
+// chunked transfer encoding (501) and header/body sizes beyond the
+// configured limits (431 / 413).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace xt {
+
+inline constexpr std::size_t kHttpDefaultMaxHeaderBytes = 8u << 10;
+inline constexpr std::size_t kHttpDefaultMaxBodyBytes = 1u << 20;
+
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ...
+  std::string target;   // origin-form, e.g. "/embed?theorem=t1"
+  std::string version;  // "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup; empty string when absent.
+  [[nodiscard]] std::string_view header(std::string_view name) const;
+  /// Path and query split at the first '?'.
+  [[nodiscard]] std::string_view path() const;
+  [[nodiscard]] std::string_view query() const;
+  /// True unless the request asked for `Connection: close`.
+  [[nodiscard]] bool keep_alive() const;
+};
+
+/// Value of `name` in an application/x-www-form-urlencoded query
+/// string (no %-decoding: the embed API's values are plain tokens);
+/// `fallback` when absent.
+[[nodiscard]] std::string query_param(std::string_view query,
+                                      std::string_view name,
+                                      std::string_view fallback);
+
+/// Incremental HTTP/1.1 request parser.  feed() bytes, next() yields
+/// complete requests (pipelining: several per read are fine).  kError
+/// is fatal for the connection; error_status() is the HTTP status to
+/// send before closing (400 / 413 / 431 / 501).
+class HttpParser {
+ public:
+  explicit HttpParser(std::size_t max_header_bytes = kHttpDefaultMaxHeaderBytes,
+                      std::size_t max_body_bytes = kHttpDefaultMaxBodyBytes)
+      : max_header_bytes_(max_header_bytes), max_body_bytes_(max_body_bytes) {}
+
+  enum class Result { kRequest, kNeedMore, kError };
+
+  void feed(std::string_view bytes);
+  Result next(HttpRequest* out);
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] int error_status() const { return error_status_; }
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - off_; }
+
+ private:
+  Result fail(int status, std::string why);
+
+  std::size_t max_header_bytes_;
+  std::size_t max_body_bytes_;
+  std::string buf_;
+  std::size_t off_ = 0;
+  std::string error_;
+  int error_status_ = 0;
+  bool failed_ = false;
+};
+
+/// Serialises a response with Content-Length and Connection headers.
+/// `extra_headers` lines must be complete ("Retry-After: 1") without
+/// the CRLF.
+[[nodiscard]] std::string http_response(
+    int status, std::string_view body,
+    std::string_view content_type = "application/json",
+    bool keep_alive = true,
+    const std::vector<std::string>& extra_headers = {});
+
+[[nodiscard]] const char* http_status_reason(int status);
+
+}  // namespace xt

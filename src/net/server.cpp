@@ -1,0 +1,1028 @@
+#ifndef _GNU_SOURCE
+#define _GNU_SOURCE
+#endif
+
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+
+#include "io/newick.hpp"
+#include "io/serialize.hpp"
+#include "util/check.hpp"
+
+namespace xt {
+
+// ---------------------------------------------------------------------------
+// Shared counters.  Atomics because the acceptor, every event loop and
+// every service shard (through the completion callbacks) update them.
+
+struct NetServer::Counters {
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> connections_closed{0};
+  std::atomic<std::uint64_t> connections_rejected{0};
+  std::atomic<std::uint64_t> slow_consumer_disconnects{0};
+  std::atomic<std::uint64_t> protocol_errors{0};
+  std::atomic<std::uint64_t> frames_received{0};
+  std::atomic<std::uint64_t> http_requests{0};
+  std::atomic<std::uint64_t> requests_submitted{0};
+  std::atomic<std::uint64_t> responses_sent{0};
+  std::atomic<std::uint64_t> responses_dropped{0};
+  std::atomic<std::uint64_t> overloaded_rejections{0};
+  std::atomic<std::uint64_t> shutdown_rejections{0};
+  std::atomic<std::uint64_t> bad_requests{0};
+  std::atomic<std::uint64_t> bytes_in{0};
+  std::atomic<std::uint64_t> bytes_out{0};
+  /// Requests handed to the service whose completion callback has not
+  /// fired yet.  Decremented by the callback itself (shard thread), so
+  /// it drains to zero even for connections that died first.
+  std::atomic<std::size_t> inflight{0};
+};
+
+namespace net_detail {
+
+// One response ready to be sequenced into a connection's output.
+struct Completion {
+  std::uint64_t conn_id = 0;
+  std::uint64_t seq = 0;
+  std::string bytes;
+  bool close_after = false;
+};
+
+// The bridge between service shards and an event loop.  Service
+// callbacks hold a shared_ptr to this (never to the loop or server),
+// so a callback firing after the loop exited just drops the response.
+struct CompletionQueue {
+  std::mutex mu;
+  std::vector<Completion> items;
+  int wake_fd = -1;
+  bool alive = true;
+  std::shared_ptr<NetServer::Counters> counters;
+
+  void post(Completion c) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!alive) {
+      counters->responses_dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    items.push_back(std::move(c));
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t w = ::write(wake_fd, &one, sizeof(one));
+  }
+
+  /// Called after the loop thread joined: anything still queued will
+  /// never be delivered.
+  void retire() {
+    std::lock_guard<std::mutex> lock(mu);
+    counters->responses_dropped.fetch_add(items.size(),
+                                          std::memory_order_relaxed);
+    items.clear();
+    alive = false;
+  }
+};
+
+enum class Proto { kUnknown, kBinary, kHttp };
+
+struct PendingOut {
+  std::string bytes;
+  bool close_after = false;
+};
+
+struct Conn {
+  int fd = -1;
+  std::uint64_t id = 0;
+  Proto proto = Proto::kUnknown;
+  std::string sniff;  // bytes held until the protocol is known
+  std::unique_ptr<FrameParser> frame;
+  std::unique_ptr<HttpParser> http;
+  std::uint64_t next_seq = 0;    // request arrival order
+  std::uint64_t next_flush = 0;  // next seq to serialise into `out`
+  std::map<std::uint64_t, PendingOut> ready;
+  std::size_t inflight = 0;  // submitted, response not yet delivered
+  std::string out;
+  std::size_t out_off = 0;
+  bool want_write = false;
+  bool input_dead = false;  // fatal parse error answered; stop reading
+  bool close_after_flush = false;
+};
+
+std::string errno_text(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+std::string json_error_body(const char* status, const std::string& reason) {
+  std::string out = "{\"status\": \"";
+  out += status;
+  out += "\", \"reason\": \"";
+  for (const char ch : reason) {
+    if (ch == '"' || ch == '\\') {
+      out += '\\';
+      out += ch;
+    } else if (ch == '\n') {
+      out += "\\n";
+    } else if (static_cast<unsigned char>(ch) >= 0x20) {
+      out += ch;
+    }
+  }
+  out += "\"}";
+  return out;
+}
+
+std::optional<long> parse_long(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  const std::string buf(text);
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(buf.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return std::nullopt;
+  return v;
+}
+
+}  // namespace net_detail
+
+// ---------------------------------------------------------------------------
+// Loop state.
+
+struct NetServer::Loop {
+  unsigned index = 0;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::shared_ptr<net_detail::CompletionQueue> completions;
+  std::mutex inbox_mu;
+  std::vector<int> inbox;  // accepted fds awaiting registration
+  std::unordered_map<std::uint64_t, std::unique_ptr<net_detail::Conn>> conns;
+  std::uint64_t next_conn_id = 1;  // epoll data; 0 is the wake fd
+  std::thread thread;
+};
+
+// ---------------------------------------------------------------------------
+// Stats.
+
+std::string NetServerStats::to_json() const {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"connections_accepted\": " << connections_accepted << ",\n"
+     << "  \"connections_closed\": " << connections_closed << ",\n"
+     << "  \"connections_rejected\": " << connections_rejected << ",\n"
+     << "  \"slow_consumer_disconnects\": " << slow_consumer_disconnects
+     << ",\n"
+     << "  \"protocol_errors\": " << protocol_errors << ",\n"
+     << "  \"frames_received\": " << frames_received << ",\n"
+     << "  \"http_requests\": " << http_requests << ",\n"
+     << "  \"requests_submitted\": " << requests_submitted << ",\n"
+     << "  \"responses_sent\": " << responses_sent << ",\n"
+     << "  \"responses_dropped\": " << responses_dropped << ",\n"
+     << "  \"overloaded_rejections\": " << overloaded_rejections << ",\n"
+     << "  \"shutdown_rejections\": " << shutdown_rejections << ",\n"
+     << "  \"bad_requests\": " << bad_requests << ",\n"
+     << "  \"bytes_in\": " << bytes_in << ",\n"
+     << "  \"bytes_out\": " << bytes_out << ",\n"
+     << "  \"open_connections\": " << open_connections << ",\n"
+     << "  \"inflight\": " << inflight << "\n"
+     << "}";
+  return os.str();
+}
+
+NetServerStats NetServer::stats() const {
+  const Counters& c = *counters_;
+  NetServerStats s;
+  s.connections_accepted = c.connections_accepted.load();
+  s.connections_closed = c.connections_closed.load();
+  s.connections_rejected = c.connections_rejected.load();
+  s.slow_consumer_disconnects = c.slow_consumer_disconnects.load();
+  s.protocol_errors = c.protocol_errors.load();
+  s.frames_received = c.frames_received.load();
+  s.http_requests = c.http_requests.load();
+  s.requests_submitted = c.requests_submitted.load();
+  s.responses_sent = c.responses_sent.load();
+  s.responses_dropped = c.responses_dropped.load();
+  s.overloaded_rejections = c.overloaded_rejections.load();
+  s.shutdown_rejections = c.shutdown_rejections.load();
+  s.bad_requests = c.bad_requests.load();
+  s.bytes_in = c.bytes_in.load();
+  s.bytes_out = c.bytes_out.load();
+  s.open_connections = open_connections_.load();
+  s.inflight = c.inflight.load();
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle.
+
+NetServer::NetServer(EmbeddingService& service, NetServerConfig config)
+    : service_(service),
+      config_(std::move(config)),
+      counters_(std::make_shared<Counters>()) {
+  if (config_.num_loops == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    config_.num_loops = std::clamp(hw / 4, 1u, 4u);
+  }
+}
+
+NetServer::~NetServer() { stop(); }
+
+void NetServer::diag(const std::string& line) const {
+  if (config_.diagnostic_sink) config_.diagnostic_sink(line);
+}
+
+void NetServer::start() {
+  using net_detail::errno_text;
+  XT_CHECK_MSG(!started_.load(), "NetServer::start called twice");
+
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  XT_CHECK_MSG(listen_fd_ >= 0, errno_text("socket"));
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (config_.reuse_port)
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  XT_CHECK_MSG(
+      ::inet_pton(AF_INET, config_.bind_addr.c_str(), &addr.sin_addr) == 1,
+      "bad bind address '" + config_.bind_addr + "'");
+  XT_CHECK_MSG(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) == 0,
+               errno_text("bind " + config_.bind_addr + ":" +
+                          std::to_string(config_.port)));
+  XT_CHECK_MSG(::listen(listen_fd_, 512) == 0, errno_text("listen"));
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  XT_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                         &len) == 0);
+  bound_port_ = ntohs(bound.sin_port);
+
+  accept_wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  XT_CHECK_MSG(accept_wake_fd_ >= 0, errno_text("eventfd"));
+
+  loops_.clear();
+  for (unsigned i = 0; i < config_.num_loops; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->index = i;
+    loop->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    XT_CHECK_MSG(loop->epoll_fd >= 0, errno_text("epoll_create1"));
+    loop->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    XT_CHECK_MSG(loop->wake_fd >= 0, errno_text("eventfd"));
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = 0;
+    XT_CHECK(::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->wake_fd, &ev) ==
+             0);
+    loop->completions = std::make_shared<net_detail::CompletionQueue>();
+    loop->completions->wake_fd = loop->wake_fd;
+    loop->completions->counters = counters_;
+    loops_.push_back(std::move(loop));
+  }
+
+  draining_.store(false);
+  stop_loops_.store(false);
+  started_.store(true);
+  for (auto& loop : loops_) {
+    Loop* raw = loop.get();
+    loop->thread = std::thread([this, raw] { run_loop(*raw); });
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void NetServer::stop() {
+  if (!started_.exchange(false)) return;
+
+  // 1. Stop accepting: wake and join the acceptor, close the listener.
+  draining_.store(true);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t w = ::write(accept_wake_fd_, &one, sizeof(one));
+  if (acceptor_.joinable()) acceptor_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(accept_wake_fd_);
+  accept_wake_fd_ = -1;
+
+  // 2. Drain: loops keep serving completions and flushing output
+  // (requests still arriving are answered kRejectedShutdown) until
+  // everything in flight is answered and written, or the deadline
+  // passes and remaining connections are force-closed.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(std::max(0, config_.drain_timeout_ms));
+  drain_deadline_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          deadline.time_since_epoch())
+          .count());
+  stop_loops_.store(true);
+  for (auto& loop : loops_) {
+    [[maybe_unused]] ssize_t ww = ::write(loop->wake_fd, &one, sizeof(one));
+  }
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+    loop->completions->retire();
+    ::close(loop->epoll_fd);
+    ::close(loop->wake_fd);
+  }
+  loops_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Acceptor.
+
+void NetServer::accept_loop() {
+  using net_detail::errno_text;
+  std::size_t next_loop = 0;
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {accept_wake_fd_, POLLIN, 0};
+    const int n = ::poll(fds, 2, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      diag("net: acceptor poll failed: " + errno_text("poll"));
+      return;
+    }
+    if ((fds[1].revents & POLLIN) != 0) return;  // stop() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    for (;;) {
+      const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        diag("net: accept failed: " + errno_text("accept"));
+        break;
+      }
+      if (open_connections_.load() >= config_.max_connections) {
+        counters_->connections_rejected.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        diag("net: connection rejected (max_connections=" +
+             std::to_string(config_.max_connections) + ")");
+        ::close(fd);
+        continue;
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      counters_->connections_accepted.fetch_add(1, std::memory_order_relaxed);
+      open_connections_.fetch_add(1);
+      Loop& loop = *loops_[next_loop];
+      next_loop = (next_loop + 1) % loops_.size();
+      {
+        std::lock_guard<std::mutex> lock(loop.inbox_mu);
+        loop.inbox.push_back(fd);
+      }
+      const std::uint64_t tick = 1;
+      [[maybe_unused]] ssize_t ww = ::write(loop.wake_fd, &tick, sizeof(tick));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-loop operations.  Any method that can destroy the connection
+// returns false when it did; the caller must not touch `conn` after.
+
+namespace net_detail {
+
+struct LoopOps {
+  NetServer& server;
+  NetServer::Loop& loop;
+
+  NetServer::Counters& counters() { return *server.counters_; }
+  const NetServerConfig& cfg() { return server.config_; }
+
+  void destroy(Conn& conn) {
+    ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_DEL, conn.fd, nullptr);
+    ::close(conn.fd);
+    counters().connections_closed.fetch_add(1, std::memory_order_relaxed);
+    server.open_connections_.fetch_sub(1);
+    loop.conns.erase(conn.id);  // deallocates `conn`
+  }
+
+  void update_write_interest(Conn& conn, bool want) {
+    if (conn.want_write == want) return;
+    conn.want_write = want;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+    ev.data.u64 = conn.id;
+    ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
+  }
+
+  /// Writes as much pending output as the socket accepts.  Returns
+  /// false when the connection was closed.
+  bool try_write(Conn& conn) {
+    while (conn.out_off < conn.out.size()) {
+      const ssize_t w = ::send(conn.fd, conn.out.data() + conn.out_off,
+                               conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+      if (w > 0) {
+        conn.out_off += static_cast<std::size_t>(w);
+        counters().bytes_out.fetch_add(static_cast<std::uint64_t>(w),
+                                       std::memory_order_relaxed);
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      destroy(conn);
+      return false;
+    }
+    if (conn.out_off == conn.out.size()) {
+      conn.out.clear();
+      conn.out_off = 0;
+      if (conn.close_after_flush) {
+        destroy(conn);
+        return false;
+      }
+      update_write_interest(conn, false);
+    } else {
+      // Compact the consumed prefix once it dominates the buffer.
+      if (conn.out_off > 65536 && conn.out_off * 2 > conn.out.size()) {
+        conn.out.erase(0, conn.out_off);
+        conn.out_off = 0;
+      }
+      update_write_interest(conn, true);
+    }
+    return true;
+  }
+
+  /// Moves in-order ready responses into the output buffer and writes.
+  /// Enforces the slow-consumer bound.  Returns false when the
+  /// connection was closed.
+  bool flush(Conn& conn) {
+    for (;;) {
+      const auto it = conn.ready.find(conn.next_flush);
+      if (it == conn.ready.end()) break;
+      const std::size_t pending = conn.out.size() - conn.out_off;
+      if (pending + it->second.bytes.size() > cfg().max_output_buffer) {
+        counters().slow_consumer_disconnects.fetch_add(
+            1, std::memory_order_relaxed);
+        counters().responses_dropped.fetch_add(conn.ready.size(),
+                                               std::memory_order_relaxed);
+        server.diag("net: slow consumer disconnected (pending " +
+                    std::to_string(pending) + " bytes, cap " +
+                    std::to_string(cfg().max_output_buffer) + ")");
+        destroy(conn);
+        return false;
+      }
+      conn.out += it->second.bytes;
+      counters().responses_sent.fetch_add(1, std::memory_order_relaxed);
+      if (it->second.close_after) {
+        conn.close_after_flush = true;
+        conn.input_dead = true;
+      }
+      conn.ready.erase(it);
+      ++conn.next_flush;
+      if (conn.close_after_flush) break;
+    }
+    if (conn.close_after_flush && !conn.ready.empty()) {
+      // The connection promised to close; responses sequenced after
+      // the close marker will never be sent.
+      counters().responses_dropped.fetch_add(conn.ready.size(),
+                                             std::memory_order_relaxed);
+      conn.ready.clear();
+    }
+    return try_write(conn);
+  }
+
+  void enqueue_local(Conn& conn, std::uint64_t seq, std::string bytes,
+                     bool close_after) {
+    conn.ready.emplace(seq, PendingOut{std::move(bytes), close_after});
+  }
+
+  // ---- binary protocol -----------------------------------------------
+
+  std::string wire_error_bytes(const WireFrame& request, WireStatus status,
+                               const std::string& reason) {
+    WireFrame f;
+    f.format = 0;
+    f.code = static_cast<std::uint8_t>(status);
+    f.flags = request.flags;
+    f.request_id = request.request_id;
+    f.payload = json_error_body(wire_status_name(status), reason);
+    return encode_frame(f);
+  }
+
+  void handle_frame(Conn& conn, WireFrame& frame) {
+    counters().frames_received.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t seq = conn.next_seq++;
+
+    if (server.draining_.load(std::memory_order_relaxed)) {
+      counters().shutdown_rejections.fetch_add(1, std::memory_order_relaxed);
+      enqueue_local(conn, seq,
+                    wire_error_bytes(frame, WireStatus::kRejectedShutdown,
+                                     "server draining"),
+                    false);
+      return;
+    }
+    if (conn.inflight >= cfg().max_inflight_per_conn ||
+        counters().inflight.load(std::memory_order_relaxed) >=
+            cfg().max_inflight_total) {
+      counters().overloaded_rejections.fetch_add(1,
+                                                 std::memory_order_relaxed);
+      enqueue_local(conn, seq,
+                    wire_error_bytes(frame, WireStatus::kOverloaded,
+                                     "in-flight request cap reached"),
+                    false);
+      return;
+    }
+
+    EmbedRequest request;
+    std::string parse_error;
+    switch (frame.format) {
+      case static_cast<std::uint8_t>(WireFormat::kParen): {
+        TreeParseResult r = try_parse_tree(frame.payload,
+                                           cfg().max_tree_nodes);
+        if (!r.ok()) {
+          parse_error = "paren payload: " +
+                        std::string(tree_parse_status_name(r.status)) +
+                        " at offset " + std::to_string(r.offset);
+        } else {
+          request.tree = std::move(r.tree);
+        }
+        break;
+      }
+      case static_cast<std::uint8_t>(WireFormat::kNewick): {
+        TreeParseResult r =
+            try_parse_newick(frame.payload, cfg().max_tree_nodes);
+        if (!r.ok()) {
+          parse_error = "newick payload: " +
+                        std::string(tree_parse_status_name(r.status)) +
+                        " at offset " + std::to_string(r.offset);
+        } else {
+          request.tree = std::move(r.tree);
+        }
+        break;
+      }
+      case static_cast<std::uint8_t>(WireFormat::kXtb1Record): {
+        std::string err;
+        BinaryTree tree = decode_xtb1_record(frame.payload, &err);
+        if (!err.empty()) {
+          parse_error = "xtb1 payload: " + err;
+        } else if (tree.num_nodes() > cfg().max_tree_nodes) {
+          parse_error = "xtb1 payload: tree exceeds max_tree_nodes";
+        } else {
+          request.tree = std::move(tree);
+        }
+        break;
+      }
+      default:
+        parse_error = "unknown payload format " + std::to_string(frame.format);
+    }
+    if (parse_error.empty() && frame.code > 2)
+      parse_error = "unknown theorem code " + std::to_string(frame.code);
+    if (!parse_error.empty()) {
+      counters().bad_requests.fetch_add(1, std::memory_order_relaxed);
+      enqueue_local(
+          conn, seq,
+          wire_error_bytes(frame, WireStatus::kBadRequest, parse_error),
+          false);
+      return;
+    }
+
+    request.theorem = static_cast<Theorem>(frame.code);
+    request.priority = frame.priority;
+    request.bulk = (frame.flags & kWireFlagBulk) != 0;
+    if (frame.deadline_ms != 0) {
+      request.deadline =
+          ServiceClock::now() + std::chrono::milliseconds(frame.deadline_ms);
+    }
+    submit(conn, seq, std::move(request),
+           /*http=*/false, /*keep_alive=*/true,
+           (frame.flags & kWireFlagWantEmbedding) != 0, frame.request_id,
+           frame.flags);
+  }
+
+  // ---- HTTP ----------------------------------------------------------
+
+  void respond_http(Conn& conn, std::uint64_t seq, int status,
+                    const std::string& body, bool keep_alive,
+                    std::string_view content_type = "application/json") {
+    std::vector<std::string> extra;
+    if (status == 429) extra.push_back("Retry-After: 1");
+    enqueue_local(conn, seq,
+                  http_response(status, body, content_type, keep_alive,
+                                extra),
+                  !keep_alive);
+  }
+
+  void handle_http(Conn& conn, const HttpRequest& req) {
+    counters().http_requests.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t seq = conn.next_seq++;
+    const bool keep = req.keep_alive();
+    const std::string_view path = req.path();
+
+    if (path == "/healthz") {
+      if (req.method != "GET") {
+        respond_http(conn, seq, 405,
+                     json_error_body("bad-request", "healthz is GET-only"),
+                     keep);
+      } else if (server.draining_.load(std::memory_order_relaxed)) {
+        respond_http(conn, seq, 503,
+                     json_error_body("rejected-shutdown", "server draining"),
+                     keep);
+      } else {
+        respond_http(conn, seq, 200, "ok\n", keep, "text/plain");
+      }
+      return;
+    }
+    if (path == "/stats") {
+      if (req.method != "GET") {
+        respond_http(conn, seq, 405,
+                     json_error_body("bad-request", "stats is GET-only"),
+                     keep);
+        return;
+      }
+      std::string body = "{\n\"service\": ";
+      body += server.service_.stats_json();
+      body += ",\n\"net\": ";
+      body += server.stats_json();
+      body += "\n}";
+      respond_http(conn, seq, 200, body, keep);
+      return;
+    }
+    if (path != "/embed") {
+      counters().bad_requests.fetch_add(1, std::memory_order_relaxed);
+      respond_http(
+          conn, seq, 404,
+          json_error_body("bad-request",
+                          "unknown path '" + std::string(path) + "'"),
+          keep);
+      return;
+    }
+    if (req.method != "POST") {
+      counters().bad_requests.fetch_add(1, std::memory_order_relaxed);
+      respond_http(conn, seq, 405,
+                   json_error_body("bad-request", "embed is POST-only"),
+                   keep);
+      return;
+    }
+    if (server.draining_.load(std::memory_order_relaxed)) {
+      counters().shutdown_rejections.fetch_add(1, std::memory_order_relaxed);
+      respond_http(conn, seq, 503,
+                   json_error_body("rejected-shutdown", "server draining"),
+                   keep);
+      return;
+    }
+    if (conn.inflight >= cfg().max_inflight_per_conn ||
+        counters().inflight.load(std::memory_order_relaxed) >=
+            cfg().max_inflight_total) {
+      counters().overloaded_rejections.fetch_add(1,
+                                                 std::memory_order_relaxed);
+      respond_http(
+          conn, seq, 429,
+          json_error_body("overloaded", "in-flight request cap reached"),
+          keep);
+      return;
+    }
+
+    const std::string_view query = req.query();
+    const std::string theorem_name = query_param(query, "theorem", "t1");
+    const std::optional<Theorem> theorem = parse_theorem(theorem_name);
+    const std::optional<long> priority =
+        parse_long(query_param(query, "priority", "0"));
+    const std::optional<long> deadline_ms =
+        parse_long(query_param(query, "deadline_ms", "0"));
+    const std::string bulk = query_param(query, "bulk", "0");
+    const std::string want_emb = query_param(query, "want_embedding", "0");
+    std::string bad;
+    if (!theorem.has_value()) {
+      bad = "unknown theorem '" + theorem_name + "'";
+    } else if (!priority.has_value()) {
+      bad = "non-numeric priority";
+    } else if (!deadline_ms.has_value() || *deadline_ms < 0) {
+      bad = "bad deadline_ms";
+    } else if (req.body.empty()) {
+      bad = "empty body (expected a paren or Newick tree)";
+    }
+
+    EmbedRequest request;
+    if (bad.empty()) {
+      TreeParseResult r =
+          sniff_newick(req.body)
+              ? try_parse_newick(req.body, cfg().max_tree_nodes)
+              : try_parse_tree(req.body, cfg().max_tree_nodes);
+      if (!r.ok()) {
+        bad = "body: " + std::string(tree_parse_status_name(r.status)) +
+              " at offset " + std::to_string(r.offset);
+        if (!r.message.empty()) bad += " (" + r.message + ")";
+      } else {
+        request.tree = std::move(r.tree);
+      }
+    }
+    if (!bad.empty()) {
+      counters().bad_requests.fetch_add(1, std::memory_order_relaxed);
+      respond_http(conn, seq, 400, json_error_body("bad-request", bad),
+                   keep);
+      return;
+    }
+
+    request.theorem = *theorem;
+    request.priority = static_cast<std::int32_t>(*priority);
+    request.bulk = bulk == "1" || bulk == "true";
+    if (*deadline_ms != 0) {
+      request.deadline =
+          ServiceClock::now() + std::chrono::milliseconds(*deadline_ms);
+    }
+    submit(conn, seq, std::move(request), /*http=*/true, keep,
+           want_emb == "1" || want_emb == "true", /*request_id=*/0,
+           /*flags=*/0);
+  }
+
+  // ---- service handoff -----------------------------------------------
+
+  void submit(Conn& conn, std::uint64_t seq, EmbedRequest request, bool http,
+              bool keep_alive, bool want_embedding, std::uint32_t request_id,
+              std::uint8_t flags) {
+    ++conn.inflight;
+    counters().inflight.fetch_add(1);
+    counters().requests_submitted.fetch_add(1, std::memory_order_relaxed);
+    auto queue = loop.completions;
+    auto counters_sp = server.counters_;
+    const std::uint64_t conn_id = conn.id;
+    server.service_.submit(
+        std::move(request),
+        [queue, counters_sp, conn_id, seq, http, keep_alive, want_embedding,
+         request_id, flags](EmbedResponse response) {
+          // Shard thread: encode here so the event loop only copies
+          // bytes.  Holds no reference to the loop or server.
+          const std::string body =
+              embed_response_json(response, want_embedding);
+          std::string bytes;
+          bool close_after = false;
+          if (http) {
+            const int status = http_status_of(wire_status_of(response.status));
+            std::vector<std::string> extra;
+            if (status == 429) extra.push_back("Retry-After: 1");
+            bytes = http_response(status, body, "application/json",
+                                  keep_alive, extra);
+            close_after = !keep_alive;
+          } else {
+            WireFrame f;
+            f.format = 0;
+            f.code =
+                static_cast<std::uint8_t>(wire_status_of(response.status));
+            f.flags = flags;
+            f.request_id = request_id;
+            f.payload = body;
+            bytes = encode_frame(f);
+          }
+          counters_sp->inflight.fetch_sub(1);
+          queue->post({conn_id, seq, std::move(bytes), close_after});
+        });
+  }
+
+  // ---- reads ---------------------------------------------------------
+
+  /// Feeds freshly read bytes through sniffing + the protocol parser
+  /// and dispatches every complete message.  Returns false when the
+  /// connection was closed.
+  bool ingest(Conn& conn, std::string_view data) {
+    if (conn.input_dead) return true;
+    if (conn.proto == Proto::kUnknown) {
+      conn.sniff.append(data.data(), data.size());
+      if (conn.sniff.size() < 4 &&
+          std::memcmp(conn.sniff.data(), kWireMagic, conn.sniff.size()) == 0) {
+        return true;  // still an ambiguous "xtn1" prefix; wait
+      }
+      if (conn.sniff.size() >= 4 &&
+          std::memcmp(conn.sniff.data(), kWireMagic, 4) == 0) {
+        conn.proto = Proto::kBinary;
+        conn.frame = std::make_unique<FrameParser>(cfg().max_frame_payload);
+        conn.frame->feed(conn.sniff);
+      } else {
+        conn.proto = Proto::kHttp;
+        conn.http = std::make_unique<HttpParser>(cfg().max_header_bytes,
+                                                 cfg().max_body_bytes);
+        conn.http->feed(conn.sniff);
+      }
+      conn.sniff.clear();
+      conn.sniff.shrink_to_fit();
+    } else if (conn.proto == Proto::kBinary) {
+      conn.frame->feed(data);
+    } else {
+      conn.http->feed(data);
+    }
+
+    if (conn.proto == Proto::kBinary) {
+      WireFrame frame;
+      for (;;) {
+        const FrameParser::Result r = conn.frame->next(&frame);
+        if (r == FrameParser::Result::kNeedMore) break;
+        if (r == FrameParser::Result::kError) {
+          counters().protocol_errors.fetch_add(1, std::memory_order_relaxed);
+          server.diag("net: binary stream error: " + conn.frame->error());
+          // Framing is lost: answer once with kBadRequest, close after
+          // flush.  Responses already in flight still drain first.
+          WireFrame none;
+          enqueue_local(conn, conn.next_seq++,
+                        wire_error_bytes(none, WireStatus::kBadRequest,
+                                         conn.frame->error()),
+                        true);
+          conn.input_dead = true;
+          break;
+        }
+        handle_frame(conn, frame);
+        if (conn.input_dead) break;
+      }
+    } else {
+      HttpRequest req;
+      for (;;) {
+        const HttpParser::Result r = conn.http->next(&req);
+        if (r == HttpParser::Result::kNeedMore) break;
+        if (r == HttpParser::Result::kError) {
+          counters().protocol_errors.fetch_add(1, std::memory_order_relaxed);
+          server.diag("net: http parse error (" +
+                      std::to_string(conn.http->error_status()) +
+                      "): " + conn.http->error());
+          respond_http(conn, conn.next_seq++, conn.http->error_status(),
+                       json_error_body("bad-request", conn.http->error()),
+                       /*keep_alive=*/false);
+          conn.input_dead = true;
+          break;
+        }
+        handle_http(conn, req);
+        if (conn.input_dead) break;
+      }
+    }
+    return flush(conn);
+  }
+
+  /// Drains the socket until EAGAIN.  Returns false when the
+  /// connection was closed.
+  bool handle_readable(Conn& conn) {
+    char buf[16384];
+    for (;;) {
+      const ssize_t r = ::recv(conn.fd, buf, sizeof(buf), 0);
+      if (r > 0) {
+        counters().bytes_in.fetch_add(static_cast<std::uint64_t>(r),
+                                      std::memory_order_relaxed);
+        if (!ingest(conn, std::string_view(buf, static_cast<std::size_t>(r))))
+          return false;
+        if (static_cast<std::size_t>(r) < sizeof(buf)) return true;
+        continue;
+      }
+      if (r == 0) {
+        // Peer closed.  Teardown abandons responses still in flight —
+        // they are dropped (and counted) on arrival.
+        destroy(conn);
+        return false;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      destroy(conn);
+      return false;
+    }
+  }
+};
+
+}  // namespace net_detail
+
+// ---------------------------------------------------------------------------
+
+void NetServer::run_loop(Loop& loop) {
+  using net_detail::Completion;
+  using net_detail::Conn;
+  using net_detail::errno_text;
+  net_detail::LoopOps ops{*this, loop};
+  std::vector<epoll_event> events(64);
+
+  const auto drain_eventfd = [&loop] {
+    std::uint64_t junk = 0;
+    while (::read(loop.wake_fd, &junk, sizeof(junk)) > 0) {
+    }
+  };
+
+  const auto register_inbox = [&] {
+    std::vector<int> fds;
+    {
+      std::lock_guard<std::mutex> lock(loop.inbox_mu);
+      fds.swap(loop.inbox);
+    }
+    for (const int fd : fds) {
+      if (stop_loops_.load(std::memory_order_relaxed)) {
+        // Arrived after the drain started; never parsed, just close.
+        ::close(fd);
+        counters_->connections_closed.fetch_add(1, std::memory_order_relaxed);
+        open_connections_.fetch_sub(1);
+        continue;
+      }
+      auto conn = std::make_unique<Conn>();
+      conn->fd = fd;
+      conn->id = loop.next_conn_id++;
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.u64 = conn->id;
+      if (::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        diag("net: epoll_ctl add failed: " + errno_text("epoll_ctl"));
+        ::close(fd);
+        counters_->connections_closed.fetch_add(1, std::memory_order_relaxed);
+        open_connections_.fetch_sub(1);
+        continue;
+      }
+      loop.conns.emplace(conn->id, std::move(conn));
+    }
+  };
+
+  const auto process_completions = [&] {
+    std::vector<Completion> items;
+    {
+      std::lock_guard<std::mutex> lock(loop.completions->mu);
+      items.swap(loop.completions->items);
+    }
+    for (Completion& c : items) {
+      const auto it = loop.conns.find(c.conn_id);
+      if (it == loop.conns.end()) {
+        counters_->responses_dropped.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      Conn& conn = *it->second;
+      if (conn.inflight > 0) --conn.inflight;
+      conn.ready.emplace(
+          c.seq, net_detail::PendingOut{std::move(c.bytes), c.close_after});
+      ops.flush(conn);  // may destroy conn
+    }
+  };
+
+  for (;;) {
+    const bool stopping = stop_loops_.load(std::memory_order_relaxed);
+    const int timeout_ms = stopping ? 20 : 200;
+    const int n = ::epoll_wait(loop.epoll_fd, events.data(),
+                               static_cast<int>(events.size()), timeout_ms);
+    if (n < 0 && errno != EINTR) {
+      diag("net: epoll_wait failed: " + errno_text("epoll_wait"));
+      break;
+    }
+    bool woke = false;
+    for (int i = 0; i < std::max(n, 0); ++i) {
+      const epoll_event& ev = events[static_cast<std::size_t>(i)];
+      if (ev.data.u64 == 0) {
+        woke = true;
+        continue;
+      }
+      const auto it = loop.conns.find(ev.data.u64);
+      if (it == loop.conns.end()) continue;  // closed earlier this batch
+      Conn& conn = *it->second;
+      if ((ev.events & (EPOLLHUP | EPOLLERR)) != 0) {
+        ops.destroy(conn);
+        continue;
+      }
+      if ((ev.events & EPOLLIN) != 0) {
+        if (!ops.handle_readable(conn)) continue;
+      }
+      if ((ev.events & EPOLLOUT) != 0) ops.try_write(conn);
+    }
+    if (woke) drain_eventfd();
+    register_inbox();
+    process_completions();
+
+    if (stopping) {
+      // Close connections with nothing left to deliver; exit once all
+      // are gone — or the drain deadline forces the issue.
+      std::vector<std::uint64_t> idle;
+      for (const auto& [id, conn] : loop.conns) {
+        if (conn->inflight == 0 && conn->ready.empty() &&
+            conn->out_off == conn->out.size()) {
+          idle.push_back(id);
+        }
+      }
+      for (const std::uint64_t id : idle) {
+        const auto it = loop.conns.find(id);
+        if (it != loop.conns.end()) ops.destroy(*it->second);
+      }
+      const auto now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now()
+                                  .time_since_epoch())
+                              .count();
+      const bool expired = now_ns >= drain_deadline_ns_.load();
+      if (loop.conns.empty() || expired) {
+        if (!loop.conns.empty()) {
+          diag("net: drain deadline passed; force-closing " +
+               std::to_string(loop.conns.size()) + " connection(s)");
+          std::vector<std::uint64_t> ids;
+          ids.reserve(loop.conns.size());
+          for (const auto& [id, conn] : loop.conns) ids.push_back(id);
+          for (const std::uint64_t id : ids) {
+            const auto it = loop.conns.find(id);
+            if (it != loop.conns.end()) ops.destroy(*it->second);
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace xt

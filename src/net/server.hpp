@@ -1,0 +1,175 @@
+// The network edge of the embedding service (ISSUE 7): a non-blocking
+// epoll server that speaks two protocols on one port and feeds
+// EmbeddingService without ever parking an event loop on a future.
+//
+//   accept thread ──round robin──> N event loops (epoll, level-
+//   (listen fd)                    triggered, eventfd wakeups)
+//                                      │
+//                        first 4 bytes sniffed per connection:
+//                        "xtn1" -> binary frames   else -> HTTP/1.1
+//                                      │
+//                        incremental parsers (net/wire.hpp,
+//                        net/http.hpp) tolerate partial reads and
+//                        enforce frame / header limits
+//                                      │
+//                        EmbeddingService::submit(request, callback)
+//                                      │
+//                        callback (shard thread) encodes the response
+//                        and posts it to the owning loop's completion
+//                        queue; the loop flushes per-connection
+//                        responses in request order
+//
+// Backpressure is structured end to end: the service's
+// kRejectedQueueFull surfaces as HTTP 429 / WireStatus
+// kRejectedQueueFull, connection and in-flight caps surface as
+// kOverloaded (HTTP 429), and a draining server answers
+// kRejectedShutdown (HTTP 503).  Nothing ever hangs silently.
+//
+// Slow consumers: each connection owns a bounded output buffer; a
+// peer that stops reading while responses accumulate past
+// max_output_buffer is disconnected (counted in stats) rather than
+// allowed to pin server memory.  Responses in flight for a dead
+// connection are dropped on arrival — the service still counts them
+// completed, the server counts them responses_dropped.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/http.hpp"
+#include "net/wire.hpp"
+#include "service/service.hpp"
+
+namespace xt {
+
+struct NetServerConfig {
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  /// Bind address; loopback by default (benchmarks, tests).
+  std::string bind_addr = "127.0.0.1";
+  /// Event-loop threads; 0 selects a small hardware-based default.
+  unsigned num_loops = 0;
+  /// Sets SO_REUSEPORT on the listener so independent server
+  /// processes can share a port.
+  bool reuse_port = false;
+  /// Accepted-connection cap; further accepts are closed immediately.
+  std::size_t max_connections = 1024;
+  /// Per-connection in-flight request cap; beyond it requests are
+  /// answered kOverloaded locally without touching the service.
+  std::size_t max_inflight_per_conn = 64;
+  /// Server-wide in-flight cap (all connections).
+  std::size_t max_inflight_total = 4096;
+  /// Per-frame payload limit for the binary protocol.
+  std::size_t max_frame_payload = kWireDefaultMaxPayload;
+  /// HTTP header-block / body limits.
+  std::size_t max_header_bytes = kHttpDefaultMaxHeaderBytes;
+  std::size_t max_body_bytes = kHttpDefaultMaxBodyBytes;
+  /// Pending-output cap per connection; exceeding it is a
+  /// slow-consumer disconnect.
+  std::size_t max_output_buffer = 4u << 20;
+  /// Parse-size cap applied to trees arriving over the wire.
+  NodeId max_tree_nodes = 1u << 20;
+  /// Graceful-stop budget: how long stop() waits for in-flight
+  /// responses to drain and flush before force-closing.
+  int drain_timeout_ms = 5000;
+  /// One line per notable event (accept-cap rejection, protocol
+  /// error, slow-consumer disconnect); same contract as the service
+  /// sink.
+  std::function<void(const std::string&)> diagnostic_sink;
+};
+
+/// Monotonic counters (atomics: loops and the acceptor update them
+/// concurrently) plus gauges sampled at snapshot time.
+struct NetServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t connections_rejected = 0;  // max_connections cap
+  std::uint64_t slow_consumer_disconnects = 0;
+  std::uint64_t protocol_errors = 0;   // framing/HTTP fatal errors
+  std::uint64_t frames_received = 0;   // complete binary frames
+  std::uint64_t http_requests = 0;     // complete HTTP requests
+  std::uint64_t requests_submitted = 0;  // handed to the service
+  std::uint64_t responses_sent = 0;   // serialised into a conn's output
+  std::uint64_t responses_dropped = 0;   // connection died first
+  std::uint64_t overloaded_rejections = 0;  // in-flight caps
+  std::uint64_t shutdown_rejections = 0;    // answered while draining
+  std::uint64_t bad_requests = 0;      // unparseable payloads
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::size_t open_connections = 0;    // gauge
+  std::size_t inflight = 0;            // gauge
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+namespace net_detail {
+struct CompletionQueue;
+struct LoopOps;
+}  // namespace net_detail
+
+class NetServer {
+ public:
+  // Internal (defined in server.cpp); public so the completion-queue
+  // bridge can name them without friending every helper.
+  struct Counters;
+  struct Loop;
+
+  /// The service must outlive the server.
+  NetServer(EmbeddingService& service, NetServerConfig config = {});
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds, listens and spawns the acceptor + event loops.  Throws
+  /// check_error when the socket cannot be bound.
+  void start();
+
+  /// Graceful stop: closes the listener, answers requests that are
+  /// still arriving with kRejectedShutdown, waits up to
+  /// drain_timeout_ms for in-flight responses to drain and flush,
+  /// then closes every connection and joins the threads.  Idempotent.
+  void stop();
+
+  /// The bound port (after start(); resolves port 0 bindings).
+  [[nodiscard]] std::uint16_t port() const { return bound_port_; }
+
+  [[nodiscard]] NetServerStats stats() const;
+  [[nodiscard]] std::string stats_json() const { return stats().to_json(); }
+
+  [[nodiscard]] const NetServerConfig& config() const { return config_; }
+
+ private:
+  friend struct net_detail::LoopOps;
+
+  void accept_loop();
+  void run_loop(Loop& loop);
+  void diag(const std::string& line) const;
+
+  EmbeddingService& service_;
+  NetServerConfig config_;
+  std::uint16_t bound_port_ = 0;
+  int listen_fd_ = -1;
+  int accept_wake_fd_ = -1;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stop_loops_{false};
+  std::atomic<std::int64_t> drain_deadline_ns_{0};
+
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::thread acceptor_;
+
+  std::atomic<std::size_t> open_connections_{0};
+
+  // Shared with completion queues and service callbacks so counters
+  // stay valid even for responses that outlive the server object.
+  std::shared_ptr<Counters> counters_;
+};
+
+}  // namespace xt

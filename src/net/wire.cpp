@@ -1,0 +1,228 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/hash.hpp"
+
+namespace xt {
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);  // little-endian layout asserted by xtb1 already
+  out.append(b, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out.append(b, 8);
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+const char* wire_status_name(WireStatus s) {
+  switch (s) {
+    case WireStatus::kOk: return "ok";
+    case WireStatus::kRejectedQueueFull: return "rejected-queue-full";
+    case WireStatus::kRejectedShutdown: return "rejected-shutdown";
+    case WireStatus::kExpiredDeadline: return "expired-deadline";
+    case WireStatus::kFailed: return "failed";
+    case WireStatus::kBadRequest: return "bad-request";
+    case WireStatus::kOverloaded: return "overloaded";
+  }
+  return "unknown";
+}
+
+WireStatus wire_status_of(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kOk: return WireStatus::kOk;
+    case RequestStatus::kRejectedQueueFull:
+      return WireStatus::kRejectedQueueFull;
+    case RequestStatus::kRejectedShutdown:
+      return WireStatus::kRejectedShutdown;
+    case RequestStatus::kExpiredDeadline: return WireStatus::kExpiredDeadline;
+    case RequestStatus::kFailed: return WireStatus::kFailed;
+  }
+  return WireStatus::kFailed;
+}
+
+int http_status_of(WireStatus s) {
+  switch (s) {
+    case WireStatus::kOk: return 200;
+    case WireStatus::kRejectedQueueFull: return 429;
+    case WireStatus::kRejectedShutdown: return 503;
+    case WireStatus::kExpiredDeadline: return 504;
+    case WireStatus::kFailed: return 500;
+    case WireStatus::kBadRequest: return 400;
+    case WireStatus::kOverloaded: return 429;
+  }
+  return 500;
+}
+
+std::string encode_frame(const WireFrame& frame) {
+  XT_CHECK_MSG(frame.payload.size() <= 0xffffffffu, "payload too large");
+  std::string out;
+  out.reserve(kWireHeaderBytes + frame.payload.size());
+  out.append(kWireMagic, 4);
+  out.push_back(static_cast<char>(frame.version));
+  out.push_back(static_cast<char>(frame.format));
+  out.push_back(static_cast<char>(frame.code));
+  out.push_back(static_cast<char>(frame.flags));
+  put_u32(out, static_cast<std::uint32_t>(frame.priority));
+  put_u32(out, frame.deadline_ms);
+  put_u32(out, frame.request_id);
+  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  put_u64(out, hash64(frame.payload.data(), frame.payload.size()));
+  out += frame.payload;
+  return out;
+}
+
+void FrameParser::feed(std::string_view bytes) {
+  if (failed_) return;  // stream already unrecoverable; drop input
+  // Compact once the consumed prefix dominates, keeping feed() O(1)
+  // amortised and memory proportional to the unconsumed suffix.
+  if (off_ > 4096 && off_ * 2 > buf_.size()) {
+    buf_.erase(0, off_);
+    off_ = 0;
+  }
+  buf_.append(bytes.data(), bytes.size());
+}
+
+FrameParser::Result FrameParser::next(WireFrame* out) {
+  if (failed_) return Result::kError;
+  const std::size_t avail = buf_.size() - off_;
+  if (avail < kWireHeaderBytes) return Result::kNeedMore;
+  const char* h = buf_.data() + off_;
+  if (std::memcmp(h, kWireMagic, 4) != 0) {
+    failed_ = true;
+    error_ = "bad magic (not an xtn1 frame)";
+    return Result::kError;
+  }
+  const auto version = static_cast<std::uint8_t>(h[4]);
+  if (version != kWireVersion) {
+    failed_ = true;
+    error_ = "unsupported xtn1 version " + std::to_string(version);
+    return Result::kError;
+  }
+  const std::uint32_t payload_len = get_u32(h + 20);
+  if (payload_len > max_payload_) {
+    failed_ = true;
+    error_ = "frame payload " + std::to_string(payload_len) +
+             " exceeds limit " + std::to_string(max_payload_);
+    return Result::kError;
+  }
+  if (avail < kWireHeaderBytes + payload_len) return Result::kNeedMore;
+  const char* payload = h + kWireHeaderBytes;
+  const std::uint64_t expect = get_u64(h + 24);
+  const std::uint64_t actual = hash64(payload, payload_len);
+  if (expect != actual) {
+    failed_ = true;
+    std::ostringstream os;
+    os << "payload checksum mismatch (header 0x" << std::hex << expect
+       << ", computed 0x" << actual << ")";
+    error_ = os.str();
+    return Result::kError;
+  }
+  out->version = version;
+  out->format = static_cast<std::uint8_t>(h[5]);
+  out->code = static_cast<std::uint8_t>(h[6]);
+  out->flags = static_cast<std::uint8_t>(h[7]);
+  out->priority = static_cast<std::int32_t>(get_u32(h + 8));
+  out->deadline_ms = get_u32(h + 12);
+  out->request_id = get_u32(h + 16);
+  out->payload.assign(payload, payload_len);
+  off_ += kWireHeaderBytes + payload_len;
+  return Result::kFrame;
+}
+
+std::string embed_response_json(const EmbedResponse& response,
+                                bool include_embedding) {
+  std::ostringstream os;
+  os << "{\"status\": \"" << status_name(response.status) << "\"";
+  if (!response.reason.empty()) {
+    os << ", \"reason\": \"";
+    for (const char ch : response.reason) {
+      // The reasons are service-generated ASCII; escape defensively.
+      if (ch == '"' || ch == '\\') os << '\\' << ch;
+      else if (ch == '\n') os << "\\n";
+      else if (static_cast<unsigned char>(ch) >= 0x20) os << ch;
+    }
+    os << "\"";
+  }
+  os << ", \"host_height\": " << response.host_height
+     << ", \"dilation\": " << response.dilation
+     << ", \"load_factor\": " << response.load_factor
+     << ", \"cache_hit\": " << (response.cache_hit ? "true" : "false")
+     << ", \"served_seq\": " << response.served_seq
+     << ", \"latency_ms\": " << response.latency_ms;
+  if (include_embedding && response.embedding.has_value()) {
+    const Embedding& emb = *response.embedding;
+    os << ", \"embedding\": [";
+    for (NodeId v = 0; v < emb.num_guest_nodes(); ++v) {
+      if (v > 0) os << ", ";
+      os << emb.host_of(v);
+    }
+    os << "]";
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string encode_xtb1_record(const BinaryTree& tree) {
+  const auto n = static_cast<std::uint32_t>(tree.num_nodes());
+  std::string out;
+  out.reserve(8 + static_cast<std::size_t>(n) * 12);
+  put_u32(out, n);
+  put_u32(out, 0);
+  const auto bytes = static_cast<std::size_t>(n) * sizeof(NodeId);
+  out.append(reinterpret_cast<const char*>(tree.parent_data()), bytes);
+  out.append(reinterpret_cast<const char*>(tree.left_data()), bytes);
+  out.append(reinterpret_cast<const char*>(tree.right_data()), bytes);
+  return out;
+}
+
+BinaryTree decode_xtb1_record(std::string_view payload, std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return BinaryTree();
+  };
+  if (payload.size() < 8) return fail("record shorter than its 8-byte core");
+  const std::uint32_t n = get_u32(payload.data());
+  if (n == 0) return fail("record with zero nodes");
+  const std::size_t need =
+      8 + static_cast<std::size_t>(n) * 3 * sizeof(NodeId);
+  if (payload.size() != need)
+    return fail("record size " + std::to_string(payload.size()) +
+                " does not match n=" + std::to_string(n) + " (expected " +
+                std::to_string(need) + ")");
+  std::vector<NodeId> parent(n);
+  std::vector<NodeId> left(n);
+  std::vector<NodeId> right(n);
+  const auto bytes = static_cast<std::size_t>(n) * sizeof(NodeId);
+  const char* p = payload.data() + 8;
+  std::memcpy(parent.data(), p, bytes);
+  std::memcpy(left.data(), p + bytes, bytes);
+  std::memcpy(right.data(), p + 2 * bytes, bytes);
+  const std::string structure = soa_structure_error(
+      static_cast<NodeId>(n), parent.data(), left.data(), right.data());
+  if (!structure.empty()) return fail(structure);
+  return BinaryTree::from_soa(std::move(parent), std::move(left),
+                              std::move(right));
+}
+
+}  // namespace xt

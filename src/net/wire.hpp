@@ -1,0 +1,134 @@
+// xtn1: the length-prefixed binary framing of the embed server
+// (ISSUE 7).  One frame = one 32-byte little-endian header + payload:
+//
+//   off size  field
+//   0   4     magic "xtn1"
+//   4   1     version (= 1)
+//   5   1     format    requests: payload encoding (0 paren, 1 Newick,
+//                       2 xtb1 record); responses: 0 (JSON payload)
+//   6   1     code      requests: theorem (0 T1, 1 T2, 2 T3);
+//                       responses: WireStatus
+//   7   1     flags     bit0 bulk, bit1 want_embedding (echoed back)
+//   8   4     i32 priority            (requests; 0 in responses)
+//   12  4     u32 deadline_ms         (requests; 0 = none, relative to
+//                                      server receipt.  0 in responses)
+//   16  4     u32 request_id          (caller-chosen, echoed verbatim)
+//   20  4     u32 payload_len         (bounded by the parser limit)
+//   24  8     u64 checksum            (hash64 of the payload bytes)
+//   32  ...   payload
+//
+// The xtb1-record payload (format 2) is the corpus record core:
+// u32 n, u32 reserved(0), then i32 parent[n] / left[n] / right[n] —
+// the frame checksum covers it, so no per-record checksum is repeated.
+//
+// FrameParser is a pure incremental state machine over bytes — no
+// sockets, no syscalls — so truncated / oversized / corrupted frames
+// are unit-testable byte-at-a-time and fuzzable offline
+// (xt_fuzz --replay @wire:FILE).  A connection feeds it every read and
+// drains complete frames; kError means the stream is unrecoverable
+// (framing lost) and the connection must close.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "service/request.hpp"
+
+namespace xt {
+
+inline constexpr char kWireMagic[4] = {'x', 't', 'n', '1'};
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kWireHeaderBytes = 32;
+/// Default per-frame payload cap; NetServerConfig can lower/raise it.
+inline constexpr std::size_t kWireDefaultMaxPayload = 1u << 20;
+
+/// Payload encodings a request frame may carry.
+enum class WireFormat : std::uint8_t {
+  kParen = 0,
+  kNewick = 1,
+  kXtb1Record = 2,
+};
+
+/// Response status codes on the wire.  kRejectedQueueFull is the
+/// binary twin of HTTP 429: explicit, structured backpressure.
+enum class WireStatus : std::uint8_t {
+  kOk = 0,
+  kRejectedQueueFull = 1,  // service backpressure (HTTP 429)
+  kRejectedShutdown = 2,   // server draining (HTTP 503)
+  kExpiredDeadline = 3,    // deadline passed in queue (HTTP 504)
+  kFailed = 4,             // embedder error (HTTP 500)
+  kBadRequest = 5,         // malformed payload / fields (HTTP 400)
+  kOverloaded = 6,         // connection in-flight cap (HTTP 429)
+};
+
+[[nodiscard]] const char* wire_status_name(WireStatus s);
+[[nodiscard]] WireStatus wire_status_of(RequestStatus s);
+/// HTTP status code carrying the same meaning.
+[[nodiscard]] int http_status_of(WireStatus s);
+
+/// A decoded frame (either direction; field meaning per direction is
+/// documented in the header-layout table above).
+struct WireFrame {
+  std::uint8_t version = kWireVersion;
+  std::uint8_t format = 0;  // WireFormat on requests; 0 on responses
+  std::uint8_t code = 0;    // theorem on requests; WireStatus on responses
+  std::uint8_t flags = 0;
+  std::int32_t priority = 0;
+  std::uint32_t deadline_ms = 0;
+  std::uint32_t request_id = 0;
+  std::string payload;
+};
+
+inline constexpr std::uint8_t kWireFlagBulk = 1u << 0;
+inline constexpr std::uint8_t kWireFlagWantEmbedding = 1u << 1;
+
+/// Serialises a frame (header + checksummed payload).
+[[nodiscard]] std::string encode_frame(const WireFrame& frame);
+
+/// Incremental frame decoder.  feed() appends bytes; next() extracts
+/// complete frames until kNeedMore.  After kError the parser is stuck
+/// by design — framing is lost, the stream cannot be resynchronised.
+class FrameParser {
+ public:
+  explicit FrameParser(std::size_t max_payload = kWireDefaultMaxPayload)
+      : max_payload_(max_payload) {}
+
+  enum class Result { kFrame, kNeedMore, kError };
+
+  void feed(std::string_view bytes);
+
+  /// Extracts the next complete frame into *out.
+  Result next(WireFrame* out);
+
+  /// Human-readable description of the kError cause.
+  [[nodiscard]] const std::string& error() const { return error_; }
+  /// Bytes currently buffered (tests: bounded-memory checks).
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - off_; }
+
+ private:
+  std::size_t max_payload_;
+  std::string buf_;
+  std::size_t off_ = 0;  // consumed prefix, compacted lazily
+  std::string error_;
+  bool failed_ = false;
+};
+
+/// The response payload: a one-line JSON object with the service
+/// outcome ("status", "reason", "host_height", "dilation",
+/// "load_factor", "cache_hit", "latency_ms", "served_seq" and — iff
+/// `include_embedding` and the response carries one — "embedding" as a
+/// host-vertex array indexed by guest node).  Shared by the binary and
+/// HTTP paths so both protocols speak the same body.
+[[nodiscard]] std::string embed_response_json(const EmbedResponse& response,
+                                              bool include_embedding);
+
+/// Encodes a tree as an xtb1-record payload (format 2).
+[[nodiscard]] std::string encode_xtb1_record(const BinaryTree& tree);
+
+/// Decodes an xtb1-record payload; returns an empty optional-style
+/// result via `error` (non-empty on failure).
+[[nodiscard]] BinaryTree decode_xtb1_record(std::string_view payload,
+                                            std::string* error);
+
+}  // namespace xt

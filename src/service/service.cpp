@@ -89,7 +89,18 @@ EmbeddingService::EmbeddingService(ServiceConfig config)
 EmbeddingService::~EmbeddingService() { shutdown(/*drain=*/true); }
 
 std::future<EmbedResponse> EmbeddingService::submit(EmbedRequest request) {
+  auto promise = std::make_shared<std::promise<EmbedResponse>>();
+  auto future = promise->get_future();
+  submit(std::move(request), [promise](EmbedResponse r) {
+    promise->set_value(std::move(r));
+  });
+  return future;
+}
+
+void EmbeddingService::submit(EmbedRequest request,
+                              std::function<void(EmbedResponse)> on_done) {
   XT_CHECK_MSG(!request.tree.empty(), "cannot embed an empty guest");
+  XT_CHECK_MSG(on_done != nullptr, "submit needs a completion callback");
   const auto now = ServiceClock::now();
 
   Pending p;
@@ -102,14 +113,25 @@ std::future<EmbedResponse> EmbeddingService::submit(EmbedRequest request) {
   if (cache_ != nullptr || config_.enable_batching)
     p.canon = canonical_form(request.tree);
   p.tree = std::move(request.tree);
-  auto future = p.promise.get_future();
+  p.on_done = std::move(on_done);
 
+  // Submit-time rejections are answered after mu_ is released so a
+  // callback can re-enter the service (or take its own locks) safely.
+  std::optional<EmbedResponse> immediate;
   {
     std::lock_guard<std::mutex> lock(mu_);
     {
       std::lock_guard<std::mutex> slock(stats_mu_);
       p.submit_seq = ++counters_.submitted;
     }
+    const bool forced_reject =
+        !stopping_ && config_.fault_plan.reject_submit.count(p.submit_seq) > 0;
+    // Bulk admission: a bulk submit sees a queue shrunk by the
+    // configured reserve, so interactive traffic always has headroom.
+    const std::size_t admit_capacity =
+        request.bulk && config_.bulk_queue_reserve < config_.queue_capacity
+            ? config_.queue_capacity - config_.bulk_queue_reserve
+            : (request.bulk ? 0 : config_.queue_capacity);
     if (stopping_) {
       EmbedResponse r;
       r.status = RequestStatus::kRejectedShutdown;
@@ -118,18 +140,8 @@ std::future<EmbedResponse> EmbeddingService::submit(EmbedRequest request) {
         std::lock_guard<std::mutex> slock(stats_mu_);
         ++counters_.rejected_shutdown;
       }
-      p.promise.set_value(std::move(r));
-      return future;
-    }
-    const bool forced_reject =
-        config_.fault_plan.reject_submit.count(p.submit_seq) > 0;
-    // Bulk admission: a bulk submit sees a queue shrunk by the
-    // configured reserve, so interactive traffic always has headroom.
-    const std::size_t admit_capacity =
-        request.bulk && config_.bulk_queue_reserve < config_.queue_capacity
-            ? config_.queue_capacity - config_.bulk_queue_reserve
-            : (request.bulk ? 0 : config_.queue_capacity);
-    if (forced_reject || queue_.size() >= admit_capacity) {
+      immediate = std::move(r);
+    } else if (forced_reject || queue_.size() >= admit_capacity) {
       // Explicit backpressure: the caller learns exactly why and how
       // full the service is; nothing is dropped on the floor.
       EmbedResponse r;
@@ -155,17 +167,21 @@ std::future<EmbedResponse> EmbeddingService::submit(EmbedRequest request) {
         ++counters_.rejected_full;
         if (request.bulk) ++counters_.rejected_bulk;
       }
-      diag("[service] reject: " + r.reason);
-      p.promise.set_value(std::move(r));
-      return future;
+      immediate = std::move(r);
+    } else {
+      // Descending priority, FIFO within one priority.
+      auto it = queue_.begin();
+      while (it != queue_.end() && it->priority >= p.priority) ++it;
+      queue_.insert(it, std::move(p));
     }
-    // Descending priority, FIFO within one priority.
-    auto it = queue_.begin();
-    while (it != queue_.end() && it->priority >= p.priority) ++it;
-    queue_.insert(it, std::move(p));
+  }
+  if (immediate.has_value()) {
+    if (immediate->status == RequestStatus::kRejectedQueueFull)
+      diag("[service] reject: " + immediate->reason);
+    p.on_done(std::move(*immediate));
+    return;
   }
   cv_.notify_one();
-  return future;
 }
 
 void EmbeddingService::pause() {
@@ -464,7 +480,7 @@ void EmbeddingService::respond(Pending& p, EmbedResponse response) {
         break;
     }
   }
-  p.promise.set_value(std::move(response));
+  p.on_done(std::move(response));
 }
 
 ServiceStats EmbeddingService::stats() const {

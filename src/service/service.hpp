@@ -136,6 +136,15 @@ class EmbeddingService {
   /// already ready with the rejection.
   std::future<EmbedResponse> submit(EmbedRequest request);
 
+  /// Callback form, used by the network edge (src/net/): `on_done` is
+  /// invoked exactly once with the response — on the submitting thread
+  /// (after the service lock is released) for requests rejected at
+  /// submit time, otherwise on the serving shard's thread.  The
+  /// callback must not block; an event loop posts the response to its
+  /// completion queue and returns.
+  void submit(EmbedRequest request,
+              std::function<void(EmbedResponse)> on_done);
+
   /// Pauses / resumes the shards (queued requests are retained; submit
   /// keeps admitting until the queue fills).
   void pause();
@@ -159,7 +168,7 @@ class EmbeddingService {
     ServiceClock::time_point deadline{};
     ServiceClock::time_point enqueued{};
     CanonicalForm canon;
-    std::promise<EmbedResponse> promise;
+    std::function<void(EmbedResponse)> on_done;
   };
 
   struct Computed {

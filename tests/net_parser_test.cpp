@@ -1,0 +1,378 @@
+// Pure-parser tests for the network edge (no sockets): xtn1 frame
+// round-trips and corruption handling, the HTTP/1.1 request parser's
+// limits and error statuses, and the shared response JSON.  Every
+// split/truncation case is also fed byte-at-a-time — the parsers must
+// be insensitive to delivery granularity (the fuzzer replays the same
+// corpus via xt_fuzz --replay @wire:FILE).
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "btree/binary_tree.hpp"
+#include "embedding/embedding.hpp"
+#include "net/http.hpp"
+#include "net/wire.hpp"
+#include "service/request.hpp"
+
+namespace xt {
+namespace {
+
+WireFrame sample_frame() {
+  WireFrame f;
+  f.format = static_cast<std::uint8_t>(WireFormat::kParen);
+  f.code = 1;  // theorem 2
+  f.flags = kWireFlagWantEmbedding;
+  f.priority = -3;
+  f.deadline_ms = 250;
+  f.request_id = 0xC0FFEEu;
+  f.payload = "((.(..))(..))";
+  return f;
+}
+
+void expect_equal(const WireFrame& a, const WireFrame& b) {
+  EXPECT_EQ(a.version, b.version);
+  EXPECT_EQ(a.format, b.format);
+  EXPECT_EQ(a.code, b.code);
+  EXPECT_EQ(a.flags, b.flags);
+  EXPECT_EQ(a.priority, b.priority);
+  EXPECT_EQ(a.deadline_ms, b.deadline_ms);
+  EXPECT_EQ(a.request_id, b.request_id);
+  EXPECT_EQ(a.payload, b.payload);
+}
+
+TEST(FrameParser, RoundTripsASingleFrame) {
+  const WireFrame in = sample_frame();
+  const std::string bytes = encode_frame(in);
+  ASSERT_EQ(bytes.size(), kWireHeaderBytes + in.payload.size());
+
+  FrameParser parser;
+  parser.feed(bytes);
+  WireFrame out;
+  ASSERT_EQ(parser.next(&out), FrameParser::Result::kFrame);
+  expect_equal(in, out);
+  EXPECT_EQ(parser.next(&out), FrameParser::Result::kNeedMore);
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST(FrameParser, ByteAtATimeDeliveryMatchesWholeBuffer) {
+  const WireFrame in = sample_frame();
+  const std::string bytes = encode_frame(in);
+
+  FrameParser parser;
+  WireFrame out;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    // Before the last byte every poll must report an incomplete frame.
+    ASSERT_EQ(parser.next(&out), FrameParser::Result::kNeedMore)
+        << "frame completed early at byte " << i;
+    parser.feed(std::string_view(bytes.data() + i, 1));
+  }
+  ASSERT_EQ(parser.next(&out), FrameParser::Result::kFrame);
+  expect_equal(in, out);
+}
+
+TEST(FrameParser, DecodesPipelinedFramesFromOneFeed) {
+  WireFrame a = sample_frame();
+  WireFrame b = sample_frame();
+  b.request_id = 42;
+  b.payload = "(..)";
+  WireFrame c = sample_frame();
+  c.request_id = 43;
+  c.payload.clear();  // zero-length payloads are legal
+
+  FrameParser parser;
+  parser.feed(encode_frame(a) + encode_frame(b) + encode_frame(c));
+  WireFrame out;
+  ASSERT_EQ(parser.next(&out), FrameParser::Result::kFrame);
+  expect_equal(a, out);
+  ASSERT_EQ(parser.next(&out), FrameParser::Result::kFrame);
+  expect_equal(b, out);
+  ASSERT_EQ(parser.next(&out), FrameParser::Result::kFrame);
+  expect_equal(c, out);
+  EXPECT_EQ(parser.next(&out), FrameParser::Result::kNeedMore);
+}
+
+TEST(FrameParser, TruncatedHeaderNeverCompletes) {
+  const std::string bytes = encode_frame(sample_frame());
+  FrameParser parser;
+  parser.feed(std::string_view(bytes).substr(0, kWireHeaderBytes - 1));
+  WireFrame out;
+  EXPECT_EQ(parser.next(&out), FrameParser::Result::kNeedMore);
+  EXPECT_EQ(parser.buffered(), kWireHeaderBytes - 1);
+}
+
+TEST(FrameParser, BadMagicIsAStickyError) {
+  std::string bytes = encode_frame(sample_frame());
+  bytes[0] = 'X';
+  FrameParser parser;
+  parser.feed(bytes);
+  WireFrame out;
+  ASSERT_EQ(parser.next(&out), FrameParser::Result::kError);
+  EXPECT_NE(parser.error().find("magic"), std::string::npos);
+  // Feeding a pristine frame afterwards cannot resynchronise.
+  parser.feed(encode_frame(sample_frame()));
+  EXPECT_EQ(parser.next(&out), FrameParser::Result::kError);
+}
+
+TEST(FrameParser, RejectsUnknownVersion) {
+  std::string bytes = encode_frame(sample_frame());
+  bytes[4] = 9;
+  FrameParser parser;
+  parser.feed(bytes);
+  WireFrame out;
+  ASSERT_EQ(parser.next(&out), FrameParser::Result::kError);
+  EXPECT_NE(parser.error().find("version"), std::string::npos);
+}
+
+TEST(FrameParser, RejectsOversizedPayloadFromHeaderAlone) {
+  WireFrame big = sample_frame();
+  big.payload.assign(256, 'x');
+  FrameParser parser(/*max_payload=*/64);
+  // Header alone declares the violation; the parser must not wait for
+  // (or buffer) the oversized payload.
+  parser.feed(std::string_view(encode_frame(big)).substr(0, kWireHeaderBytes));
+  WireFrame out;
+  ASSERT_EQ(parser.next(&out), FrameParser::Result::kError);
+  EXPECT_NE(parser.error().find("payload"), std::string::npos);
+}
+
+TEST(FrameParser, RejectsChecksumMismatch) {
+  std::string bytes = encode_frame(sample_frame());
+  bytes[bytes.size() - 1] ^= 0x5A;  // corrupt payload, keep stored hash
+  FrameParser parser;
+  parser.feed(bytes);
+  WireFrame out;
+  ASSERT_EQ(parser.next(&out), FrameParser::Result::kError);
+  EXPECT_NE(parser.error().find("checksum"), std::string::npos);
+}
+
+TEST(FrameParser, BufferStaysBoundedAcrossManyFrames) {
+  WireFrame f = sample_frame();
+  const std::string bytes = encode_frame(f);
+  FrameParser parser;
+  WireFrame out;
+  for (int i = 0; i < 2000; ++i) {
+    parser.feed(bytes);
+    ASSERT_EQ(parser.next(&out), FrameParser::Result::kFrame);
+  }
+  // Lazy compaction must not let consumed bytes accumulate without
+  // bound: after draining, residue is less than one frame.
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST(Xtb1Record, RoundTripsATree) {
+  const BinaryTree tree = BinaryTree::from_paren("((.(..))((..).))");
+  const std::string payload = encode_xtb1_record(tree);
+  std::string error;
+  const BinaryTree back = decode_xtb1_record(payload, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(back.num_nodes(), tree.num_nodes());
+  EXPECT_EQ(back.to_paren(), tree.to_paren());
+}
+
+TEST(Xtb1Record, RejectsTruncatedAndCorruptPayloads) {
+  const std::string payload =
+      encode_xtb1_record(BinaryTree::from_paren("((..)(..))"));
+  std::string error;
+  (void)decode_xtb1_record(payload.substr(0, payload.size() - 3), &error);
+  EXPECT_FALSE(error.empty());
+
+  error.clear();
+  (void)decode_xtb1_record(std::string_view("abc"), &error);
+  EXPECT_FALSE(error.empty());
+
+  // Structurally invalid record (parent/child tables disagree).
+  std::string mangled = payload;
+  mangled[mangled.size() - 1] ^= 0x7F;
+  error.clear();
+  (void)decode_xtb1_record(mangled, &error);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(WireStatusMapping, CoversEveryStatus) {
+  EXPECT_STREQ(wire_status_name(WireStatus::kOk), "ok");
+  EXPECT_EQ(wire_status_of(RequestStatus::kOk), WireStatus::kOk);
+  EXPECT_EQ(wire_status_of(RequestStatus::kRejectedQueueFull),
+            WireStatus::kRejectedQueueFull);
+  EXPECT_EQ(wire_status_of(RequestStatus::kRejectedShutdown),
+            WireStatus::kRejectedShutdown);
+  EXPECT_EQ(wire_status_of(RequestStatus::kExpiredDeadline),
+            WireStatus::kExpiredDeadline);
+  EXPECT_EQ(wire_status_of(RequestStatus::kFailed), WireStatus::kFailed);
+
+  EXPECT_EQ(http_status_of(WireStatus::kOk), 200);
+  EXPECT_EQ(http_status_of(WireStatus::kRejectedQueueFull), 429);
+  EXPECT_EQ(http_status_of(WireStatus::kOverloaded), 429);
+  EXPECT_EQ(http_status_of(WireStatus::kRejectedShutdown), 503);
+  EXPECT_EQ(http_status_of(WireStatus::kExpiredDeadline), 504);
+  EXPECT_EQ(http_status_of(WireStatus::kFailed), 500);
+  EXPECT_EQ(http_status_of(WireStatus::kBadRequest), 400);
+}
+
+TEST(EmbedResponseJson, CarriesOutcomeAndOptionalEmbedding) {
+  EmbedResponse response;
+  response.status = RequestStatus::kOk;
+  response.host_height = 4;
+  response.dilation = 6;
+  response.load_factor = 1;
+  response.cache_hit = true;
+  response.served_seq = 7;
+  response.latency_ms = 0.25;
+  Embedding emb(3, 4);
+  emb.place(0, 0);
+  emb.place(1, 2);
+  emb.place(2, 3);
+  response.embedding = emb;
+
+  const std::string with = embed_response_json(response, true);
+  EXPECT_NE(with.find("\"status\": \"ok\""), std::string::npos) << with;
+  EXPECT_NE(with.find("\"embedding\": [0, 2, 3]"), std::string::npos) << with;
+  const std::string without = embed_response_json(response, false);
+  EXPECT_EQ(without.find("embedding"), std::string::npos) << without;
+
+  EmbedResponse rejected;
+  rejected.status = RequestStatus::kRejectedQueueFull;
+  rejected.reason = "queue full \"now\"";
+  const std::string json = embed_response_json(rejected, true);
+  EXPECT_NE(json.find("\"status\": \"rejected_queue_full\""),
+            std::string::npos)
+      << json;
+  // Reason strings are JSON-escaped.
+  EXPECT_NE(json.find("queue full \\\"now\\\""), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------------- HTTP
+
+TEST(HttpParser, ParsesASimpleGetByteAtATime) {
+  const std::string raw = "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+  HttpParser parser;
+  HttpRequest out;
+  for (std::size_t i = 0; i + 1 < raw.size(); ++i) {
+    parser.feed(std::string_view(raw.data() + i, 1));
+    ASSERT_EQ(parser.next(&out), HttpParser::Result::kNeedMore)
+        << "request completed early at byte " << i;
+  }
+  parser.feed(std::string_view(raw.data() + raw.size() - 1, 1));
+  ASSERT_EQ(parser.next(&out), HttpParser::Result::kRequest);
+  EXPECT_EQ(out.method, "GET");
+  EXPECT_EQ(out.target, "/healthz");
+  EXPECT_EQ(out.version, "HTTP/1.1");
+  EXPECT_EQ(out.header("host"), "x");
+  EXPECT_TRUE(out.keep_alive());
+}
+
+TEST(HttpParser, ParsesPostBodyAndPipelinedRequestsInOneFeed) {
+  const std::string raw =
+      "POST /embed?theorem=t2 HTTP/1.1\r\nContent-Length: 5\r\n\r\n(...)"
+      "GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n";
+  HttpParser parser;
+  parser.feed(raw);
+  HttpRequest out;
+  ASSERT_EQ(parser.next(&out), HttpParser::Result::kRequest);
+  EXPECT_EQ(out.method, "POST");
+  EXPECT_EQ(out.path(), "/embed");
+  EXPECT_EQ(out.query(), "theorem=t2");
+  EXPECT_EQ(out.body, "(...)");
+  ASSERT_EQ(parser.next(&out), HttpParser::Result::kRequest);
+  EXPECT_EQ(out.method, "GET");
+  EXPECT_EQ(out.target, "/stats");
+  EXPECT_FALSE(out.keep_alive());
+  EXPECT_EQ(parser.next(&out), HttpParser::Result::kNeedMore);
+}
+
+TEST(HttpParser, ToleratesBareLfLineEndings) {
+  HttpParser parser;
+  parser.feed("GET /healthz HTTP/1.0\nHost: y\n\n");
+  HttpRequest out;
+  ASSERT_EQ(parser.next(&out), HttpParser::Result::kRequest);
+  EXPECT_EQ(out.version, "HTTP/1.0");
+  EXPECT_EQ(out.header("Host"), "y");
+}
+
+TEST(HttpParser, WaitsForTheFullBody) {
+  HttpParser parser;
+  parser.feed("POST /embed HTTP/1.1\r\nContent-Length: 10\r\n\r\n(..)");
+  HttpRequest out;
+  EXPECT_EQ(parser.next(&out), HttpParser::Result::kNeedMore);
+  parser.feed("((..))");
+  ASSERT_EQ(parser.next(&out), HttpParser::Result::kRequest);
+  EXPECT_EQ(out.body, "(..)((..))");
+}
+
+TEST(HttpParser, OversizedHeadersAre431) {
+  HttpParser parser(/*max_header_bytes=*/128);
+  std::string raw = "GET / HTTP/1.1\r\nX-Pad: ";
+  raw.append(200, 'a');
+  parser.feed(raw);
+  HttpRequest out;
+  ASSERT_EQ(parser.next(&out), HttpParser::Result::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParser, OversizedBodyIs413) {
+  HttpParser parser(kHttpDefaultMaxHeaderBytes, /*max_body_bytes=*/16);
+  parser.feed("POST /embed HTTP/1.1\r\nContent-Length: 17\r\n\r\n");
+  HttpRequest out;
+  ASSERT_EQ(parser.next(&out), HttpParser::Result::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParser, ChunkedTransferEncodingIs501) {
+  HttpParser parser;
+  parser.feed(
+      "POST /embed HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  HttpRequest out;
+  ASSERT_EQ(parser.next(&out), HttpParser::Result::kError);
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(HttpParser, MalformedInputIs400AndSticky) {
+  {
+    HttpParser parser;
+    parser.feed("GARBAGE\r\n\r\n");
+    HttpRequest out;
+    ASSERT_EQ(parser.next(&out), HttpParser::Result::kError);
+    EXPECT_EQ(parser.error_status(), 400);
+    parser.feed("GET / HTTP/1.1\r\n\r\n");
+    EXPECT_EQ(parser.next(&out), HttpParser::Result::kError);
+  }
+  {
+    HttpParser parser;
+    parser.feed("GET / HTTP/2\r\n\r\n");  // unsupported version
+    HttpRequest out;
+    EXPECT_EQ(parser.next(&out), HttpParser::Result::kError);
+  }
+  {
+    HttpParser parser;
+    parser.feed("POST / HTTP/1.1\r\nContent-Length: 12abc\r\n\r\n");
+    HttpRequest out;
+    ASSERT_EQ(parser.next(&out), HttpParser::Result::kError);
+    EXPECT_EQ(parser.error_status(), 400);
+  }
+}
+
+TEST(HttpHelpers, QueryParamAndResponseFraming) {
+  EXPECT_EQ(query_param("theorem=t2&priority=5", "theorem", "t1"), "t2");
+  EXPECT_EQ(query_param("theorem=t2&priority=5", "priority", "0"), "5");
+  EXPECT_EQ(query_param("theorem=t2", "deadline_ms", "0"), "0");
+  EXPECT_EQ(query_param("", "x", "fallback"), "fallback");
+  EXPECT_EQ(query_param("flag&x=1", "x", ""), "1");
+
+  const std::string ok = http_response(200, "{}");
+  EXPECT_EQ(ok.find("HTTP/1.1 200 OK\r\n"), 0u);
+  EXPECT_NE(ok.find("Content-Length: 2\r\n"), std::string::npos);
+  EXPECT_NE(ok.find("Content-Type: application/json\r\n"), std::string::npos);
+  EXPECT_NE(ok.find("\r\n\r\n{}"), std::string::npos);
+
+  const std::string busy = http_response(429, "{}", "application/json",
+                                         false, {"Retry-After: 1"});
+  EXPECT_EQ(busy.find("HTTP/1.1 429 Too Many Requests\r\n"), 0u);
+  EXPECT_NE(busy.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(busy.find("Retry-After: 1\r\n"), std::string::npos);
+  EXPECT_STREQ(http_status_reason(503), "Service Unavailable");
+}
+
+}  // namespace
+}  // namespace xt

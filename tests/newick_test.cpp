@@ -1,0 +1,210 @@
+// Newick parser / serializer: round trips, tolerated decorations
+// (labels, branch lengths, comments), structured malformed-input
+// errors, and the content/extension sniffers that dispatch between the
+// paren and Newick grammars.
+#include "io/newick.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "btree/canonical.hpp"
+#include "btree/generators.hpp"
+#include "io/serialize.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+BinaryTree parse_ok(const std::string& text) {
+  const TreeParseResult r = try_parse_newick(text);
+  EXPECT_TRUE(r.ok()) << tree_parse_status_name(r.status) << " at "
+                      << r.offset << ": " << r.message;
+  XT_CHECK(r.ok());
+  return r.tree;
+}
+
+TEST(Newick, SingleNode) {
+  EXPECT_EQ(parse_ok(";").num_nodes(), 1);
+  EXPECT_EQ(parse_ok("root;").num_nodes(), 1);
+  EXPECT_EQ(parse_ok("'a label';").num_nodes(), 1);
+}
+
+TEST(Newick, TwoLeavesUnderRoot) {
+  const BinaryTree t = parse_ok("(,);");
+  ASSERT_EQ(t.num_nodes(), 3);
+  EXPECT_EQ(t.num_children(t.root()), 2);
+  EXPECT_TRUE(t.is_leaf(t.left(t.root())));
+  EXPECT_TRUE(t.is_leaf(t.right(t.root())));
+}
+
+TEST(Newick, MatchesParenStructure) {
+  // ((..)(..)) in paren form (root with two leaves) == (,); in Newick.
+  const BinaryTree paren = BinaryTree::from_paren("((..)(..))");
+  const BinaryTree newick = parse_ok("(,);");
+  EXPECT_EQ(paren.to_paren(), newick.to_paren());
+}
+
+TEST(Newick, LabelsBranchLengthsCommentsIgnoredButCounted) {
+  NewickIgnored ignored;
+  const TreeParseResult r = try_parse_newick(
+      "((Alpha:0.12,'Be ta':3e-2)Inner:1,[a [nested] comment]Gamma);", 0,
+      &ignored);
+  ASSERT_TRUE(r.ok()) << r.message;
+  EXPECT_EQ(r.tree.num_nodes(), 5);
+  EXPECT_EQ(ignored.labels, 4u);          // Alpha, 'Be ta', Inner, Gamma
+  EXPECT_EQ(ignored.branch_lengths, 3u);  // 0.12, 3e-2, 1
+  EXPECT_EQ(ignored.comments, 1u);        // the nested comment is one
+  EXPECT_NE(ignored.diagnostic().find("4 label(s)"), std::string::npos);
+  EXPECT_NE(ignored.diagnostic().find("3 branch length(s)"),
+            std::string::npos);
+}
+
+TEST(Newick, QuotedLabelEscapes) {
+  const BinaryTree t = parse_ok("('it''s a leaf',other);");
+  EXPECT_EQ(t.num_nodes(), 3);
+}
+
+TEST(Newick, SingleChildLandsInLeftSlot) {
+  const BinaryTree t = parse_ok("((,));");  // root -> inner -> two leaves
+  ASSERT_EQ(t.num_nodes(), 4);
+  EXPECT_NE(t.left(t.root()), kInvalidNode);
+  EXPECT_EQ(t.right(t.root()), kInvalidNode);
+}
+
+TEST(Newick, WhitespaceAndNewlinesBetweenTokens) {
+  const BinaryTree t = parse_ok("(\n  ( A , B ) ,\n  C\n) ;");
+  EXPECT_EQ(t.num_nodes(), 5);
+}
+
+struct MalformedCase {
+  const char* text;
+  TreeParseStatus status;
+};
+
+TEST(Newick, MalformedInputsReportStructuredErrors) {
+  const MalformedCase cases[] = {
+      {"", TreeParseStatus::kEmptyInput},
+      {"   [only a comment] ", TreeParseStatus::kEmptyInput},
+      {"(,)", TreeParseStatus::kTruncated},        // missing ';'
+      {"((,);", TreeParseStatus::kTruncated},      // '(' still open
+      {"(,));", TreeParseStatus::kUnbalanced},     // stray ')'
+      {"a,b;", TreeParseStatus::kUnbalanced},      // ',' outside '('
+      {"(a,b,c);", TreeParseStatus::kTooManyChildren},
+      {"(a,b);(c,d);", TreeParseStatus::kMultipleRoots},
+      {"(a,b); trailing", TreeParseStatus::kMultipleRoots},
+      {"(a:x,b);", TreeParseStatus::kBadCharacter},  // bad length
+      {"(a[unterminated,b);", TreeParseStatus::kTruncated},
+      {"('unterminated,b);", TreeParseStatus::kTruncated},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.text);
+    const TreeParseResult r = try_parse_newick(c.text);
+    EXPECT_EQ(r.status, c.status)
+        << "got " << tree_parse_status_name(r.status) << ": " << r.message;
+    EXPECT_FALSE(r.message.empty());
+    EXPECT_LE(r.offset, std::string_view(c.text).size());
+  }
+}
+
+TEST(Newick, MaxNodesBudget) {
+  const TreeParseResult r = try_parse_newick("((,),(,));", 3);
+  EXPECT_EQ(r.status, TreeParseStatus::kTooLarge);
+  EXPECT_TRUE(try_parse_newick("((,),(,));", 7).ok());
+}
+
+TEST(Newick, DeepPathDoesNotOverflowTheStack) {
+  // 50k nested '(' would blow a recursive parser's call stack.
+  const std::size_t depth = 50'000;
+  std::string text(depth, '(');
+  text.append(depth, ')');
+  text += ';';
+  const TreeParseResult r = try_parse_newick(text);
+  ASSERT_TRUE(r.ok()) << r.message;
+  EXPECT_EQ(r.tree.num_nodes(), static_cast<NodeId>(depth + 1));
+  EXPECT_EQ(to_newick(r.tree), text);  // serializer is iterative too
+}
+
+TEST(Newick, PrefixParseDrainsMultipleTrees) {
+  const std::string text = "(,); (A,(B,C)); [sep]\n(,);";
+  std::string_view rest = text;
+  int trees = 0;
+  for (;;) {
+    std::size_t consumed = 0;
+    const TreeParseResult r = try_parse_newick_prefix(rest, &consumed);
+    if (r.status == TreeParseStatus::kEmptyInput) break;
+    ASSERT_TRUE(r.ok()) << r.message;
+    ++trees;
+    rest.remove_prefix(consumed);
+  }
+  EXPECT_EQ(trees, 3);
+}
+
+TEST(Newick, RoundTripRandomTrees) {
+  Rng rng(20260808);
+  for (int trial = 0; trial < 40; ++trial) {
+    const BinaryTree t = make_random_tree(static_cast<NodeId>(2 + rng.below(120)), rng);
+    SCOPED_TRACE(t.to_paren());
+    const std::string nwk = to_newick(t);
+    const TreeParseResult r = try_parse_newick(nwk);
+    ASSERT_TRUE(r.ok()) << r.message;
+    ASSERT_EQ(r.tree.num_nodes(), t.num_nodes());
+    // Newick cannot distinguish a lone right child from a lone left
+    // child, so the round trip is isomorphism (canonical form), not
+    // slot identity; the serialisation itself is a fixed point.
+    EXPECT_EQ(canonical_form(r.tree).hash, canonical_form(t).hash);
+    EXPECT_EQ(to_newick(r.tree), nwk);
+  }
+}
+
+TEST(Newick, RoundTripIsSlotExactWithoutRightOnlyChildren) {
+  const BinaryTree t = BinaryTree::from_paren("(((..).)((..)(..)))");
+  const TreeParseResult r = try_parse_newick(to_newick(t));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.tree.to_paren(), t.to_paren());
+}
+
+TEST(Newick, Sniffers) {
+  EXPECT_TRUE(sniff_newick("(A,B);"));
+  EXPECT_TRUE(sniff_newick("(,);"));
+  EXPECT_TRUE(sniff_newick("  ((,),(,)) ;"));
+  EXPECT_FALSE(sniff_newick("((..)(..))"));
+  EXPECT_FALSE(sniff_newick("  ((..).) "));
+  EXPECT_FALSE(sniff_newick("# a paren-corpus comment"));
+  EXPECT_FALSE(sniff_newick("   "));
+  // A stray label-ish byte is not evidence: a malformed paren line
+  // must fail as a paren line, with a paren-parser error.
+  EXPECT_FALSE(sniff_newick("(.x)"));
+  EXPECT_TRUE(sniff_newick("(a'x y',b);"));
+  EXPECT_TRUE(has_newick_extension("trees.nwk"));
+  EXPECT_TRUE(has_newick_extension("trees.NEWICK"));
+  EXPECT_TRUE(has_newick_extension("trees.tre"));
+  EXPECT_FALSE(has_newick_extension("tests/corpus/golden-100.tree"));
+  EXPECT_FALSE(has_newick_extension("noext"));
+}
+
+TEST(Newick, LoadTreeSniffsNewickByContent) {
+  std::istringstream in("# comment first\n((,),(,));\n");
+  const BinaryTree t = load_tree(in);
+  EXPECT_EQ(t.to_paren(), "(((..)(..))((..)(..)))");
+}
+
+TEST(Newick, LoadTreeReadsMultiLineNewick) {
+  std::istringstream in("((A,\n B),\n C);\n");
+  const BinaryTree t = load_tree(in);
+  EXPECT_EQ(t.num_nodes(), 5);
+}
+
+TEST(Newick, LoadTreeStillReadsParen) {
+  std::istringstream in("\n# header\n((..)(..))\n");
+  EXPECT_EQ(load_tree(in).num_nodes(), 3);
+}
+
+TEST(Newick, LoadTreeThrowsOnMalformedNewick) {
+  std::istringstream in("(a,b,c);\n");
+  EXPECT_THROW(load_tree(in), check_error);
+}
+
+}  // namespace
+}  // namespace xt

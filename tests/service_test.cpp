@@ -342,11 +342,18 @@ TEST(EmbeddingService, StatsJsonCarriesTheSurface) {
   ASSERT_EQ(svc.submit(request_for(make_random_tree(100, rng))).get().status,
             RequestStatus::kOk);
   const std::string json = svc.stats_json();
+  // The complete to_json surface: the HTTP /stats endpoint, xt_serve's
+  // shutdown summary and bench_service all embed this object verbatim,
+  // so renaming a field is a wire-format break and must fail here.
   for (const char* key :
-       {"\"submitted\"", "\"completed\"", "\"rejected_full\"", "\"expired\"",
-        "\"cache_hits\"", "\"cache_hit_rate\"", "\"coalesced\"",
-        "\"queue_depth\"", "\"queue_capacity\"", "\"p50_ms\"", "\"p99_ms\"",
-        "\"throughput_rps\"", "\"num_shards\"", "\"pool_queue_depth\""}) {
+       {"\"submitted\"", "\"completed\"", "\"rejected_full\"",
+        "\"rejected_bulk\"", "\"rejected_shutdown\"", "\"expired\"",
+        "\"failed\"", "\"cache_hits\"", "\"cache_misses\"",
+        "\"cache_hit_rate\"", "\"cache_insertions\"", "\"cache_evictions\"",
+        "\"cache_size\"", "\"coalesced\"", "\"queue_depth\"",
+        "\"queue_capacity\"", "\"pool_queue_depth\"", "\"num_shards\"",
+        "\"p50_ms\"", "\"p99_ms\"", "\"mean_ms\"", "\"max_ms\"",
+        "\"uptime_s\"", "\"throughput_rps\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " missing\n"
                                                  << json;
   }

@@ -16,15 +16,49 @@
 // records or verify failures), 2 = usage / file errors.
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bulk/corpus.hpp"
 #include "bulk/pipeline.hpp"
+#include "io/newick.hpp"
 #include "io/serialize.hpp"
 #include "util/cli.hpp"
 
 namespace {
+
+/// Drains a Newick file (possibly holding several ';'-terminated
+/// trees) into the corpus writer.  Returns false (with a message on
+/// stderr) on the first malformed tree.
+bool pack_newick_file(const std::string& path, const std::string& text,
+                      xt::CorpusWriter& writer) {
+  std::string_view rest = text;
+  std::size_t base = 0;
+  std::size_t packed = 0;
+  for (;;) {
+    std::size_t consumed = 0;
+    xt::NewickIgnored ignored;
+    const xt::TreeParseResult parsed =
+        xt::try_parse_newick_prefix(rest, &consumed, 0, &ignored);
+    // Only whitespace/comment trivia left: the file is drained.
+    if (parsed.status == xt::TreeParseStatus::kEmptyInput) break;
+    if (!parsed.ok()) {
+      std::cerr << "xt_bulk: " << path << ": "
+                << xt::tree_parse_status_name(parsed.status) << " at byte "
+                << base + parsed.offset << ": " << parsed.message << "\n";
+      return false;
+    }
+    if (ignored.any())
+      std::cerr << "xt_bulk: " << path << ": tree " << packed << ": "
+                << ignored.diagnostic() << "\n";
+    writer.add(parsed.tree);
+    ++packed;
+    rest.remove_prefix(consumed);
+    base += consumed;
+  }
+  return true;
+}
 
 int cmd_pack(const xt::Cli& cli) {
   const auto& args = cli.positional();
@@ -41,12 +75,28 @@ int cmd_pack(const xt::Cli& cli) {
         std::cerr << "xt_bulk: cannot open " << args[a] << "\n";
         return 2;
       }
+      // Newick files (.nwk/.newick/.tre extension, or content that the
+      // paren grammar cannot produce) are drained tree-by-tree; the
+      // paren corpus format stays on its line-oriented fast path.
+      if (xt::has_newick_extension(args[a])) {
+        std::ostringstream whole;
+        whole << in.rdbuf();
+        if (!pack_newick_file(args[a], whole.str(), writer)) return 2;
+        continue;
+      }
       std::string line;
       std::size_t line_no = 0;
       while (std::getline(in, line)) {
         ++line_no;
         const std::size_t first = line.find_first_not_of(" \t\r\n\v\f");
         if (first == std::string::npos || line[first] == '#') continue;
+        if (xt::sniff_newick(line)) {
+          // Content sniff: from here on the file is Newick.
+          std::ostringstream remainder;
+          remainder << line << '\n' << in.rdbuf();
+          if (!pack_newick_file(args[a], remainder.str(), writer)) return 2;
+          break;
+        }
         const xt::TreeParseResult parsed = xt::try_parse_tree(line);
         if (!parsed.ok()) {
           std::cerr << "xt_bulk: " << args[a] << ":" << line_no << ": "

@@ -5,6 +5,9 @@
 //   xt_fuzz --trials=20000 --corpus=tests/corpus
 //   xt_fuzz --replay '((.(..))(..))'       # re-check one tree
 //   xt_fuzz --replay @tests/corpus/min-5eedf00d-t3.tree
+//   xt_fuzz --replay @wire:tests/corpus/wire-checksum.bin
+//                                          # raw bytes through the
+//                                          # network-edge parsers
 //   xt_fuzz --inject=overload-root         # demo: injected fault must
 //                                          # be caught and shrunk
 //
@@ -20,9 +23,13 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <string_view>
 
 #include "bulk/corpus.hpp"
+#include "net/http.hpp"
+#include "net/wire.hpp"
 #include "util/cli.hpp"
 #include "verify/fuzzer.hpp"
 
@@ -89,6 +96,63 @@ int main(int argc, char** argv) {
 
   if (cli.has("replay")) {
     const std::string arg = cli.get("replay", "");
+    // "@wire:file" replays raw bytes through the network-edge parsers
+    // (net/wire.hpp FrameParser + net/http.hpp HttpParser), whole and
+    // byte-at-a-time: the invariant is that arbitrary wire input never
+    // crashes and that delivery granularity never changes the outcome.
+    if (arg.rfind("@wire:", 0) == 0) {
+      const std::string path = arg.substr(6);
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        std::cerr << "xt_fuzz: cannot open wire capture " << path << "\n";
+        return 2;
+      }
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      const std::string bytes = ss.str();
+      int frames[2] = {0, 0};
+      int frame_err[2] = {0, 0};
+      int requests[2] = {0, 0};
+      int http_err[2] = {0, 0};
+      for (int mode = 0; mode < 2; ++mode) {  // 0 = whole, 1 = per byte
+        xt::FrameParser fp;
+        xt::HttpParser hp;
+        const auto drain = [&] {
+          xt::WireFrame f;
+          while (fp.next(&f) == xt::FrameParser::Result::kFrame)
+            ++frames[mode];
+          if (fp.next(&f) == xt::FrameParser::Result::kError)
+            frame_err[mode] = 1;
+          xt::HttpRequest r;
+          while (hp.next(&r) == xt::HttpParser::Result::kRequest)
+            ++requests[mode];
+          if (hp.next(&r) == xt::HttpParser::Result::kError)
+            http_err[mode] = 1;
+        };
+        if (mode == 0) {
+          fp.feed(bytes);
+          hp.feed(bytes);
+          drain();
+        } else {
+          for (const char b : bytes) {
+            fp.feed(std::string_view(&b, 1));
+            hp.feed(std::string_view(&b, 1));
+            drain();
+          }
+        }
+      }
+      const bool agree = frames[0] == frames[1] &&
+                         frame_err[0] == frame_err[1] &&
+                         requests[0] == requests[1] &&
+                         http_err[0] == http_err[1];
+      std::cout << "[xt_fuzz] wire replay: " << bytes.size() << " bytes -> "
+                << frames[0] << " frame(s)"
+                << (frame_err[0] != 0 ? " + frame error" : "") << ", "
+                << requests[0] << " http request(s)"
+                << (http_err[0] != 0 ? " + http error" : "")
+                << (agree ? "" : "; DELIVERY-GRANULARITY MISMATCH") << "\n";
+      return agree ? 0 : 1;
+    }
     // "@file" naming an xtb1 container replays every record in it;
     // text files and literal paren forms replay one tree as before.
     if (!arg.empty() && arg[0] == '@' &&

@@ -1,0 +1,187 @@
+// xt_serve: the standalone embed server (docs/net.md).
+//
+//   xt_serve --port=7471 --shards=4 --queue=256
+//   curl -s 'http://127.0.0.1:7471/embed?theorem=t1' -d '((,),(,));'
+//   curl -s  http://127.0.0.1:7471/stats
+//
+// Serves the xtn1 binary protocol and HTTP/1.1 on one port (sniffed
+// per connection).  SIGINT/SIGTERM trigger a graceful drain: in-flight
+// requests are answered and flushed before the process exits, and the
+// final service + net stats are printed as JSON.
+//
+// --fault-plan=FILE injects deterministic service faults for
+// end-to-end failure drills.  One directive per line ('#' comments):
+//
+//   reject <seq>    kRejectedQueueFull at submit <seq> (1-based)
+//   expire <seq>    kExpiredDeadline when <seq> is dequeued
+//   fail <seq>      embedder failure while serving <seq>
+//   evict <seq>     canonical cache cleared before serving <seq>
+//   chaos <seed> <submits> <p>   seeded random plan over <submits>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "net/server.hpp"
+#include "service/service.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+int usage(const char* prog) {
+  std::cerr
+      << "usage: " << prog << " [options]\n"
+      << "  --port=N          listen port (default 0 = ephemeral)\n"
+      << "  --addr=A          bind address (default 127.0.0.1)\n"
+      << "  --loops=N         event-loop threads (default auto)\n"
+      << "  --shards=N        embedder shards (default auto)\n"
+      << "  --queue=N         service queue capacity (default 256)\n"
+      << "  --cache=N         canonical-cache entries (default 1024)\n"
+      << "  --bulk-reserve=N  queue slots reserved for non-bulk\n"
+      << "  --max-conns=N     connection cap (default 1024)\n"
+      << "  --max-inflight=N  server-wide in-flight cap (default 4096)\n"
+      << "  --drain-ms=N      graceful-stop budget (default 5000)\n"
+      << "  --fault-plan=F    fault-injection directives (see header)\n"
+      << "  --port-file=F     write the bound port to F (scripts)\n"
+      << "  --verbose         echo diagnostics to stderr\n";
+  return 2;
+}
+
+bool load_fault_plan(const std::string& path, xt::FaultPlan* plan,
+                     std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open fault plan '" + path + "'";
+    return false;
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream is(line);
+    std::string verb;
+    if (!(is >> verb)) continue;  // blank line
+    const auto bad = [&](const std::string& why) {
+      *error = path + ":" + std::to_string(lineno) + ": " + why;
+      return false;
+    };
+    if (verb == "chaos") {
+      std::uint64_t seed = 0, submits = 0;
+      double p = 0.0;
+      if (!(is >> seed >> submits >> p))
+        return bad("chaos needs <seed> <submits> <p>");
+      const xt::FaultPlan c = xt::FaultPlan::chaos(seed, submits, p);
+      plan->reject_submit.insert(c.reject_submit.begin(),
+                                 c.reject_submit.end());
+      plan->expire_request.insert(c.expire_request.begin(),
+                                  c.expire_request.end());
+      plan->fail_embed.insert(c.fail_embed.begin(), c.fail_embed.end());
+      plan->evict_cache_before.insert(c.evict_cache_before.begin(),
+                                      c.evict_cache_before.end());
+      continue;
+    }
+    std::uint64_t seq = 0;
+    if (!(is >> seq) || seq == 0)
+      return bad("'" + verb + "' needs a 1-based submit seq");
+    if (verb == "reject") {
+      plan->reject_submit.insert(seq);
+    } else if (verb == "expire") {
+      plan->expire_request.insert(seq);
+    } else if (verb == "fail") {
+      plan->fail_embed.insert(seq);
+    } else if (verb == "evict") {
+      plan->evict_cache_before.insert(seq);
+    } else {
+      return bad("unknown directive '" + verb + "'");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  xt::Cli cli(argc, argv);
+  if (cli.has("help")) return usage(argv[0]);
+  const bool verbose = cli.has("verbose");
+
+  xt::ServiceConfig service_config;
+  service_config.queue_capacity =
+      static_cast<std::size_t>(cli.get_int("queue", 256));
+  service_config.num_shards =
+      static_cast<unsigned>(cli.get_int("shards", 0));
+  service_config.cache_capacity =
+      static_cast<std::size_t>(cli.get_int("cache", 1024));
+  service_config.bulk_queue_reserve =
+      static_cast<std::size_t>(cli.get_int("bulk-reserve", 0));
+  if (verbose) {
+    service_config.diagnostic_sink = [](const std::string& line) {
+      std::cerr << "[service] " << line << "\n";
+    };
+  }
+  if (cli.has("fault-plan")) {
+    std::string error;
+    if (!load_fault_plan(cli.get("fault-plan", ""),
+                         &service_config.fault_plan, &error)) {
+      std::cerr << "xt_serve: " << error << "\n";
+      return 2;
+    }
+  }
+
+  xt::NetServerConfig net_config;
+  net_config.port = static_cast<std::uint16_t>(cli.get_int("port", 0));
+  net_config.bind_addr = cli.get("addr", "127.0.0.1");
+  net_config.num_loops = static_cast<unsigned>(cli.get_int("loops", 0));
+  net_config.max_connections =
+      static_cast<std::size_t>(cli.get_int("max-conns", 1024));
+  net_config.max_inflight_total =
+      static_cast<std::size_t>(cli.get_int("max-inflight", 4096));
+  net_config.drain_timeout_ms =
+      static_cast<int>(cli.get_int("drain-ms", 5000));
+  net_config.reuse_port = cli.has("reuse-port");
+  if (verbose) {
+    net_config.diagnostic_sink = [](const std::string& line) {
+      std::cerr << "[net] " << line << "\n";
+    };
+  }
+
+  xt::EmbeddingService service(service_config);
+  xt::NetServer server(service, net_config);
+  server.start();
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  std::cout << "xt_serve listening on " << net_config.bind_addr << ":"
+            << server.port() << " (loops=" << server.config().num_loops
+            << ", shards=" << service.config().num_shards
+            << ", queue=" << service.config().queue_capacity << ")"
+            << std::endl;
+  if (cli.has("port-file")) {
+    std::ofstream pf(cli.get("port-file", ""));
+    pf << server.port() << "\n";
+  }
+
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::cerr << "xt_serve: draining..." << std::endl;
+  server.stop();
+  service.shutdown(/*drain=*/true);
+  std::cout << "{\n\"service\": " << service.stats_json()
+            << ",\n\"net\": " << server.stats_json() << "\n}" << std::endl;
+  return 0;
+}
