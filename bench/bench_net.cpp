@@ -16,13 +16,26 @@
 //                 silent drops.
 //   http_smoke    the same embed path over HTTP/1.1 (curl's view).
 //
+// A second mode, --hit-path (BENCH_8.json), measures the inline hit
+// path added with the epoch-guarded cache: a dup-1.0 steady state
+// where every answer is served from the event loop without touching
+// the service queue, plus an interleaved A/B at dup 0.9 that toggles
+// NetServer::set_inline_hits on the SAME live server so the queued
+// baseline and the inline path see identical machine state.  The mode
+// cross-checks byte identity between the two paths and the extended
+// accounting identity (ok == service completed + inline hits) and
+// exits nonzero if either fails; the >=5x p50 / >=3x rps targets are
+// reported as warn-only pass flags.
+//
 // Usage:
 //   ./bench_net                        # self-hosted server, full run
 //   ./bench_net --smoke                # CI-sized run
 //   ./bench_net --json=BENCH_7.json    # also write the JSON report
+//   ./bench_net --hit-path             # inline-vs-queued hit bench
 //   ./bench_net --connect=HOST:PORT    # drive an external xt_serve
 //                                      # (closed/open loop only)
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -317,14 +330,15 @@ struct HostedServer {
   std::unique_ptr<EmbeddingService> service;
   std::unique_ptr<NetServer> server;
 
-  static HostedServer start(std::size_t queue_capacity) {
+  static HostedServer start(std::size_t queue_capacity,
+                            unsigned num_loops = 2) {
     HostedServer h;
     ServiceConfig sc;
     sc.queue_capacity = queue_capacity;
     h.service = std::make_unique<EmbeddingService>(sc);
     NetServerConfig nc;
     nc.port = 0;
-    nc.num_loops = 2;
+    nc.num_loops = num_loops;
     h.server = std::make_unique<NetServer>(*h.service, nc);
     h.server->start();
     return h;
@@ -348,6 +362,371 @@ void emit_counts_json(std::ostringstream& os, const WireCounts& c,
      << indent << "\"expired\": " << c.expired << ",\n"
      << indent << "\"failed\": " << c.failed << ",\n"
      << indent << "\"bad_request\": " << c.bad_request;
+}
+
+// ---- hit-path mode (BENCH_8) -----------------------------------------
+
+/// Like make_payloads, but drawing duplicates from a caller-owned pool
+/// so the A/B arms and the warm-up phase agree on which shapes are hot.
+std::vector<std::string> payloads_from_pool(
+    const std::vector<std::string>& pool, std::size_t count, double dup,
+    NodeId n, Rng& rng) {
+  std::vector<std::string> payloads;
+  payloads.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const bool reuse =
+        static_cast<double>(rng.below(1'000'000)) < dup * 1'000'000.0;
+    payloads.push_back(reuse ? pool[rng.below(pool.size())]
+                             : encode_xtb1_record(make_random_tree(n, rng)));
+  }
+  return payloads;
+}
+
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+void emit_run_json(std::ostringstream& os, const RunResult& r) {
+  os << "{\"seconds\": " << r.seconds << ", \"rps\": " << r.rps
+     << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
+     << ", \"mean_ms\": " << r.mean_ms << ", \"sent\": " << r.counts.sent
+     << ", \"ok\": " << r.counts.ok << "}";
+}
+
+/// Sends the same (already cached) shape through the inline path and
+/// the queued path on one live server and compares the response bytes
+/// up to the per-request tail (served_seq / latency).  Any divergence
+/// in status, flags, or the memoizable prefix is a correctness bug.
+bool hit_bytes_identical(NetServer& server, const std::string& host,
+                         std::uint16_t port, const std::string& payload,
+                         std::uint8_t flags, WireCounts& counts) {
+  NetClient client;
+  std::string error;
+  if (!client.connect(host, port, &error)) {
+    std::cerr << "bench_net: byte-check connect failed: " << error << "\n";
+    return false;
+  }
+  client.set_recv_timeout_ms(10000);
+  const auto fetch = [&](std::string* body, std::uint8_t* code,
+                         std::uint8_t* rflags) -> bool {
+    WireFrame f = make_request(payload, 1);
+    f.flags = flags;
+    WireFrame resp;
+    if (!client.send_all(encode_frame(f), &error) ||
+        !client.recv_frame(&resp, &error)) {
+      std::cerr << "bench_net: byte-check request failed: " << error << "\n";
+      return false;
+    }
+    ++counts.sent;
+    counts.count(static_cast<WireStatus>(resp.code));
+    *body = resp.payload;
+    *code = resp.code;
+    *rflags = resp.flags;
+    return true;
+  };
+  const auto prefix = [](const std::string& s) {
+    const std::size_t pos = s.find(", \"served_seq\":");
+    return pos == std::string::npos ? s : s.substr(0, pos);
+  };
+  server.set_inline_hits(true);
+  std::string warm, inl, queued;
+  std::uint8_t cw = 0, ci = 0, cq = 0, fw = 0, fi = 0, fq = 0;
+  if (!fetch(&warm, &cw, &fw)) return false;  // miss or hit: seeds cache
+  if (!fetch(&inl, &ci, &fi)) return false;   // guaranteed inline hit
+  server.set_inline_hits(false);
+  const bool got = fetch(&queued, &cq, &fq);  // same shape, queued path
+  server.set_inline_hits(true);
+  if (!got) return false;
+  if (ci != cq || fi != fq || prefix(inl) != prefix(queued)) {
+    std::cerr << "bench_net: inline/queued responses diverge (flags="
+              << static_cast<int>(flags) << ")\n  inline: " << inl
+              << "\n  queued: " << queued << "\n";
+    return false;
+  }
+  return true;
+}
+
+int run_hit_path(HostedServer& hosted, const std::string& host,
+                 std::uint16_t port, NodeId n, std::size_t hot,
+                 std::size_t connections, std::size_t window,
+                 std::size_t requests, bool smoke, Rng& rng, Cli& cli) {
+  NetServer& server = *hosted.server;
+  std::vector<std::string> pool;
+  pool.reserve(hot);
+  for (std::size_t i = 0; i < hot; ++i)
+    pool.push_back(encode_xtb1_record(make_random_tree(n, rng)));
+
+  WireCounts total;  // every wire response this mode produces
+
+  // Replicates the BENCH_7 dup-0.9 closed-loop row on this live
+  // server: a brand-new hot pool and fresh fill shapes (so the first
+  // occurrence of every shape is a genuine cold miss, exactly like
+  // BENCH_7's protocol) driven entirely through the queued path.
+  // Run before and after the A/B rounds so the baseline is
+  // interleaved in time with the inline measurements.
+  const auto run_bench7_baseline = [&]() -> RunResult {
+    std::vector<std::string> cold_pool;
+    cold_pool.reserve(hot);
+    for (std::size_t i = 0; i < hot; ++i)
+      cold_pool.push_back(encode_xtb1_record(make_random_tree(n, rng)));
+    const auto payloads =
+        payloads_from_pool(cold_pool, requests, 0.9, n, rng);
+    server.set_inline_hits(false);
+    const RunResult r =
+        run_closed_loop(host, port, payloads, connections, window);
+    server.set_inline_hits(true);
+    return r;
+  };
+
+  // Warm-up: each hot shape twice through one connection with a small
+  // window, so every pool entry is cached (the service inserts before
+  // it responds) before any timed arm runs.
+  {
+    std::vector<std::string> warm;
+    warm.reserve(pool.size() * 2);
+    for (int pass = 0; pass < 2; ++pass)
+      for (const std::string& p : pool) warm.push_back(p);
+    const RunResult w = run_closed_loop(host, port, warm, 1, 8);
+    if (w.counts.sent != w.counts.received) {
+      std::cerr << "bench_net: warm-up lost responses\n";
+      return 1;
+    }
+    total.merge(w.counts);
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"experiment\": "
+       << "\"net hit path: inline epoch-cache hits vs queued completion\",\n"
+       << "  \"transport\": \"xtn1 binary frames over loopback TCP\",\n"
+       << "  \"guest_nodes\": " << n << ",\n"
+       << "  \"hot_shapes\": " << hot << ",\n"
+       << "  \"connections\": " << connections << ",\n"
+       << "  \"pipeline_window\": " << window << ",\n"
+       << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+
+  // ---- steady state: dup 1.0, everything served inline ---------------
+  std::cout << "== hit path steady state (dup 1.0, window " << window << ", "
+            << connections << " connections) ==\n";
+  {
+    const auto payloads = payloads_from_pool(pool, requests, 1.0, n, rng);
+    server.set_inline_hits(true);
+    const RunResult r =
+        run_closed_loop(host, port, payloads, connections, window);
+    if (r.counts.sent != r.counts.received) {
+      std::cerr << "bench_net: steady state lost responses\n";
+      return 1;
+    }
+    total.merge(r.counts);
+    std::cout << r.rps << " rps, p50 " << r.p50_ms << " ms, p99 " << r.p99_ms
+              << " ms\n";
+    json << "  \"steady_state_dup1\": ";
+    emit_run_json(json, r);
+    json << ",\n";
+  }
+
+  // ---- BENCH_7 queued baseline, first interleaved replication --------
+  std::vector<RunResult> b7_runs;
+  std::cout << "\n== BENCH_7 queued baseline (dup 0.9, cold shapes, "
+               "inline off) ==\n";
+  {
+    const RunResult b = run_bench7_baseline();
+    if (b.counts.sent != b.counts.received) {
+      std::cerr << "bench_net: baseline run lost responses\n";
+      return 1;
+    }
+    total.merge(b.counts);
+    std::cout << "run 1: " << b.rps << " rps, p50 " << b.p50_ms << " ms\n";
+    b7_runs.push_back(b);
+  }
+
+  // ---- interleaved A/B at dup 0.9 ------------------------------------
+  // Both arms run back to back on the same live server and the same
+  // payload vector.  An untimed warm pass first routes every shape
+  // through the service once, so BOTH timed arms serve a fully cached
+  // dup-0.9-shaped workload — the comparison is purely "hit through
+  // the queue" vs "hit inline on the event loop", not contaminated by
+  // whichever arm happens to pay the cold embeds.  The arm order
+  // alternates per round so drift (frequency scaling, page cache)
+  // cannot favour one side.
+  const std::size_t rounds = smoke ? 2 : 7;
+  std::vector<double> in_p50, in_p99, in_rps, q_p50, q_p99, q_rps;
+  std::cout << "\n== interleaved A/B (dup 0.9, warm cache, " << rounds
+            << " rounds) ==\n";
+  Table ab_table({"round", "arm", "rps", "p50_ms", "p99_ms"});
+  json << "  \"ab_rounds\": [\n";
+  for (std::size_t round = 0; round < rounds; ++round) {
+    if (round == rounds / 2) {
+      // Third baseline replication, in the middle of the A/B rounds,
+      // so the queued baseline brackets and interleaves the inline
+      // measurements in time.
+      const RunResult b = run_bench7_baseline();
+      if (b.counts.sent != b.counts.received) {
+        std::cerr << "bench_net: baseline run lost responses\n";
+        return 1;
+      }
+      total.merge(b.counts);
+      std::cout << "  (baseline mid-run: " << b.rps << " rps, p50 "
+                << b.p50_ms << " ms)\n";
+      b7_runs.push_back(b);
+    }
+    const auto payloads = payloads_from_pool(pool, requests, 0.9, n, rng);
+    {
+      const RunResult w =
+          run_closed_loop(host, port, payloads, connections, window);
+      if (w.counts.sent != w.counts.received) {
+        std::cerr << "bench_net: A/B warm pass lost responses\n";
+        return 1;
+      }
+      total.merge(w.counts);
+    }
+    // The timed arms cycle the vector twice: a longer timed window
+    // halves the scheduler noise on small hosts without growing the
+    // unique-shape working set past the cache capacity.
+    std::vector<std::string> timed = payloads;
+    timed.insert(timed.end(), payloads.begin(), payloads.end());
+    RunResult ri, rq;
+    const bool inline_first = (round % 2 == 0);
+    for (int arm = 0; arm < 2; ++arm) {
+      const bool use_inline = (arm == 0) == inline_first;
+      server.set_inline_hits(use_inline);
+      const RunResult r =
+          run_closed_loop(host, port, timed, connections, window);
+      if (r.counts.sent != r.counts.received) {
+        std::cerr << "bench_net: A/B round lost responses\n";
+        return 1;
+      }
+      total.merge(r.counts);
+      (use_inline ? ri : rq) = r;
+    }
+    server.set_inline_hits(true);
+    in_p50.push_back(ri.p50_ms);
+    in_p99.push_back(ri.p99_ms);
+    in_rps.push_back(ri.rps);
+    q_p50.push_back(rq.p50_ms);
+    q_p99.push_back(rq.p99_ms);
+    q_rps.push_back(rq.rps);
+    ab_table.rowf(round, "inline", ri.rps, ri.p50_ms, ri.p99_ms);
+    ab_table.rowf(round, "queued", rq.rps, rq.p50_ms, rq.p99_ms);
+    json << "    {\"round\": " << round << ", \"inline_first\": "
+         << (inline_first ? "true" : "false") << ",\n     \"inline\": ";
+    emit_run_json(json, ri);
+    json << ",\n     \"queued\": ";
+    emit_run_json(json, rq);
+    json << "}" << (round + 1 < rounds ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  ab_table.print(std::cout);
+
+  // ---- BENCH_7 queued baseline, second interleaved replication -------
+  {
+    const RunResult b = run_bench7_baseline();
+    if (b.counts.sent != b.counts.received) {
+      std::cerr << "bench_net: baseline run lost responses\n";
+      return 1;
+    }
+    total.merge(b.counts);
+    std::cout << "\nBENCH_7 queued baseline run 2: " << b.rps << " rps, p50 "
+              << b.p50_ms << " ms\n";
+    b7_runs.push_back(b);
+  }
+  json << "  \"bench7_baseline_runs\": [\n";
+  for (std::size_t i = 0; i < b7_runs.size(); ++i) {
+    json << "    ";
+    emit_run_json(json, b7_runs[i]);
+    json << (i + 1 < b7_runs.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  std::vector<double> b7_p50, b7_p99, b7_rps;
+  for (const RunResult& b : b7_runs) {
+    b7_p50.push_back(b.p50_ms);
+    b7_p99.push_back(b.p99_ms);
+    b7_rps.push_back(b.rps);
+  }
+
+  const double inline_p50 = median_of(in_p50);
+  const double inline_rps = median_of(in_rps);
+  const double queued_p50 = median_of(q_p50);
+  const double queued_rps = median_of(q_rps);
+  const double b7_med_p50 = median_of(b7_p50);
+  const double b7_med_rps = median_of(b7_rps);
+  // Primary speedups, as the acceptance target defines them: the
+  // inline hit path on the dup-0.9 workload vs the BENCH_7 queued
+  // baseline replicated interleaved on this same host and server.
+  const double speedup_p50 = inline_p50 > 0.0 ? b7_med_p50 / inline_p50 : 0.0;
+  const double speedup_rps = b7_med_rps > 0.0 ? inline_rps / b7_med_rps : 0.0;
+  // Secondary: warm hit-vs-hit, isolating just the queue round trip
+  // (both arms fully cached, same payloads).
+  const double hvh_p50 = inline_p50 > 0.0 ? queued_p50 / inline_p50 : 0.0;
+  const double hvh_rps = queued_rps > 0.0 ? inline_rps / queued_rps : 0.0;
+  const bool p50_target = speedup_p50 >= 5.0;
+  const bool rps_target = speedup_rps >= 3.0;
+  std::cout << "\nmedians: inline " << inline_rps << " rps / " << inline_p50
+            << " ms p50\n  warm queued arm " << queued_rps << " rps / "
+            << queued_p50 << " ms p50 (hit-vs-hit " << hvh_p50 << "x p50, "
+            << hvh_rps << "x rps)\n  BENCH_7 queued baseline " << b7_med_rps
+            << " rps / " << b7_med_p50 << " ms p50\n"
+            << "speedup vs BENCH_7 baseline: p50 " << speedup_p50
+            << "x (target 5x" << (p50_target ? ", pass" : ", WARN")
+            << "), rps " << speedup_rps << "x (target 3x"
+            << (rps_target ? ", pass" : ", WARN") << ")\n";
+  json << "  \"inline_agg\": {\"rps\": " << inline_rps
+       << ", \"p50_ms\": " << inline_p50
+       << ", \"p99_ms\": " << median_of(in_p99) << "},\n"
+       << "  \"queued_warm_agg\": {\"rps\": " << queued_rps
+       << ", \"p50_ms\": " << queued_p50
+       << ", \"p99_ms\": " << median_of(q_p99) << "},\n"
+       << "  \"bench7_baseline_agg\": {\"rps\": " << b7_med_rps
+       << ", \"p50_ms\": " << b7_med_p50
+       << ", \"p99_ms\": " << median_of(b7_p99) << "},\n"
+       << "  \"speedup_p50\": " << speedup_p50 << ",\n"
+       << "  \"speedup_rps\": " << speedup_rps << ",\n"
+       << "  \"hit_vs_hit_speedup_p50\": " << hvh_p50 << ",\n"
+       << "  \"hit_vs_hit_speedup_rps\": " << hvh_rps << ",\n"
+       << "  \"target_p50_5x_pass\": " << (p50_target ? "true" : "false")
+       << ",\n  \"target_rps_3x_pass\": " << (rps_target ? "true" : "false")
+       << ",\n";
+
+  // ---- byte identity: inline vs queued on the same shape -------------
+  const bool byte_pass =
+      hit_bytes_identical(server, host, port, pool[0], 0, total) &&
+      hit_bytes_identical(server, host, port, pool[1 % pool.size()],
+                          kWireFlagWantEmbedding, total);
+  std::cout << "byte identity (inline vs queued, both flags): "
+            << (byte_pass ? "pass" : "FAIL") << "\n";
+  json << "  \"byte_identity_pass\": " << (byte_pass ? "true" : "false")
+       << ",\n";
+
+  // ---- accounting: ok answers split between service and event loop ---
+  const ServiceStats s = hosted.service->stats();
+  const NetServerStats ns = server.stats();
+  const bool identity =
+      s.submitted == s.completed + s.rejected_full + s.rejected_shutdown +
+                         s.expired + s.failed;
+  const bool hit_identity = total.ok == s.completed + ns.inline_hits;
+  std::cout << "accounting: ok " << total.ok << " == completed " << s.completed
+            << " + inline_hits " << ns.inline_hits
+            << (hit_identity ? "  [pass]" : "  [FAIL]") << "\n";
+  json << "  \"server_stats\": {\n\"service\": " << hosted.service->stats_json()
+       << ",\n\"net\": " << server.stats_json()
+       << ",\n\"accounting_identity_pass\": " << (identity ? "true" : "false")
+       << ",\n\"hit_accounting_pass\": " << (hit_identity ? "true" : "false")
+       << "\n}\n}\n";
+  hosted.stop();
+
+  if (cli.has("json")) {
+    const std::string path = cli.get("json", "BENCH_8.json");
+    std::ofstream out(path);
+    out << json.str();
+    std::cout << "wrote " << path << "\n";
+  }
+  if (!byte_pass || !identity || !hit_identity) {
+    std::cerr << "bench_net: hit-path invariant violated\n";
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -382,6 +761,36 @@ int main(int argc, char** argv) {
   } else {
     hosted = HostedServer::start(/*queue_capacity=*/256);
     port = hosted->server->port();
+  }
+
+  if (cli.has("hit-path")) {
+    if (!hosted.has_value()) {
+      std::cerr << "bench_net: --hit-path needs the self-hosted server "
+                   "(it toggles inline hits live); drop --connect\n";
+      return 2;
+    }
+    // Longer rounds than the default mode (timing stability), but small
+    // enough that one round's unique shapes (~10% + the hot pool) stay
+    // within the service cache capacity, so the warm pass guarantees
+    // the timed arms are all-hit.
+    const std::size_t hit_requests =
+        cli.has("requests") ? requests
+                            : static_cast<std::size_t>(smoke ? 600 : 8000);
+    // Enough client concurrency to keep the event loop busy, few
+    // enough that the sender threads don't starve it on small hosts.
+    const std::size_t hit_connections =
+        cli.has("connections") ? connections : 3;
+    // Right-size the event loops to the machine: on small hosts the
+    // default two loops just timeshare one core and add switching
+    // noise to both arms.
+    const unsigned loops = static_cast<unsigned>(cli.get_int(
+        "loops",
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency() / 2))));
+    hosted->stop();
+    hosted = HostedServer::start(/*queue_capacity=*/256, loops);
+    port = hosted->server->port();
+    return run_hit_path(*hosted, host, port, n, hot, hit_connections, window,
+                        hit_requests, smoke, rng, cli);
   }
 
   std::ostringstream json;

@@ -59,9 +59,12 @@ struct CanonicalForm {
                                            const NodeId* right);
 
 /// Reusable workspace for the digest routines.  A caller digesting a
-/// stream of trees (the bulk pipeline) holds one of these so the
-/// per-tree subtree-code and stack buffers are allocated once and
-/// recycled; results are bit-identical to the scratch-free overloads.
+/// stream of trees (the bulk pipeline, or the network edge's
+/// zero-copy wire-to-digest hit path, which hashes straight from
+/// payload bytes without ever materializing a BinaryTree) holds one
+/// of these so the per-tree subtree-code and stack buffers are
+/// allocated once and recycled; results are bit-identical to the
+/// scratch-free overloads.
 struct CanonicalScratch {
   std::vector<std::uint64_t> code;
   std::vector<NodeId> stack;

@@ -17,7 +17,7 @@
 #include "core/xtree_embedder.hpp"
 #include "embedding/metrics.hpp"
 #include "io/certificate.hpp"
-#include "service/cache.hpp"
+#include "service/canonical_cache.hpp"
 #include "topology/hypercube.hpp"
 #include "topology/xtree.hpp"
 #include "util/check.hpp"
@@ -402,16 +402,20 @@ BulkResult bulk_embed(const CorpusReader& reader, const BulkOptions& options) {
       out.records[i].canonical_hash = chash;
       const CacheKey key{chash, view.num_nodes, options.theorem, options.load};
 
-      if (auto entry = cache.lookup(key)) {
-        if (want_remap) {
-          const CanonicalForm canon =
-              canonical_form(view.num_nodes, view.left, view.right, scratch);
-          serve(i, BulkRecordStatus::kDeduped, *entry, canon.to_canonical);
-        } else {
-          serve(i, BulkRecordStatus::kDeduped, *entry, kNoRemap);
-        }
-        continue;
-      }
+      // Epoch-pinned probe (no shared_ptr copy, no lock): the same
+      // read path the network edge uses for inline hits.
+      const bool deduped =
+          cache.with_entry(key, [&](const CanonicalCache::Entry& e) {
+            if (want_remap) {
+              const CanonicalForm canon = canonical_form(
+                  view.num_nodes, view.left, view.right, scratch);
+              serve(i, BulkRecordStatus::kDeduped, e.value(),
+                    canon.to_canonical);
+            } else {
+              serve(i, BulkRecordStatus::kDeduped, e.value(), kNoRemap);
+            }
+          });
+      if (deduped) continue;
       if (auto it = pending.find(key); it != pending.end()) {
         Waiter w{i, {}};
         if (want_remap)

@@ -20,9 +20,9 @@ bool is_structural(char ch) {
          ch == ';' || ch == ',' || ch == '\'';
 }
 
-TreeParseResult fail(TreeParseStatus status, std::size_t offset,
-                     std::string message) {
-  TreeParseResult r;
+TreeSoaParseResult fail(TreeParseStatus status, std::size_t offset,
+                        std::string message) {
+  TreeSoaParseResult r;
   r.status = status;
   r.offset = offset;
   r.message = std::move(message);
@@ -36,7 +36,7 @@ struct NewickCursor {
   std::string_view text;
   std::size_t i = 0;
   NewickIgnored ignored;
-  TreeParseResult err;  // status kOk until something goes wrong
+  TreeSoaParseResult err;  // status kOk until something goes wrong
 
   [[nodiscard]] bool failed() const {
     return err.status != TreeParseStatus::kOk;
@@ -144,9 +144,11 @@ struct NewickCursor {
   }
 };
 
-TreeParseResult parse_impl(std::string_view text, std::size_t* consumed,
-                           bool require_full, NodeId max_nodes,
-                           NewickIgnored* ignored_out) {
+TreeSoaParseResult parse_soa_impl(std::string_view text,
+                                  std::size_t* consumed, bool require_full,
+                                  NodeId max_nodes,
+                                  NewickIgnored* ignored_out, TreeSoa& soa) {
+  soa.clear();
   NewickCursor cur;
   cur.text = text;
   cur.skip_trivia();
@@ -157,10 +159,10 @@ TreeParseResult parse_impl(std::string_view text, std::size_t* consumed,
 
   // SoA arrays built directly (mirrors try_parse_tree): `stack` holds
   // the open '(' nodes; a leaf or closed subtree attaches to the top.
-  std::vector<NodeId> parent;
-  std::vector<NodeId> left;
-  std::vector<NodeId> right;
-  std::vector<NodeId> stack;
+  std::vector<NodeId>& parent = soa.parent;
+  std::vector<NodeId>& left = soa.left;
+  std::vector<NodeId>& right = soa.right;
+  std::vector<NodeId>& stack = soa.stack;
 
   const auto new_node = [&](std::size_t at) -> NodeId {
     const auto v = static_cast<NodeId>(parent.size());
@@ -272,15 +274,31 @@ TreeParseResult parse_impl(std::string_view text, std::size_t* consumed,
   }
   if (consumed != nullptr) *consumed = cur.i;
   if (ignored_out != nullptr) *ignored_out = cur.ignored;
+  return TreeSoaParseResult{};
+}
 
+TreeParseResult parse_impl(std::string_view text, std::size_t* consumed,
+                           bool require_full, NodeId max_nodes,
+                           NewickIgnored* ignored_out) {
+  TreeSoa soa;
+  std::size_t used = 0;
+  TreeSoaParseResult s =
+      parse_soa_impl(text, &used, require_full, max_nodes, ignored_out, soa);
   TreeParseResult r;
+  r.status = s.status;
+  r.offset = s.offset;
+  r.message = std::move(s.message);
+  if (!r.ok()) return r;
+  if (consumed != nullptr) *consumed = used;
   try {
-    r.tree = BinaryTree::from_soa(std::move(parent), std::move(left),
-                                  std::move(right));
+    r.tree = BinaryTree::from_soa(std::move(soa.parent), std::move(soa.left),
+                                  std::move(soa.right));
   } catch (const std::exception& e) {
     // Unreachable for inputs this parser accepts; belt-and-braces so a
     // parser bug surfaces as a structured error, not an exception.
-    return fail(TreeParseStatus::kBadCharacter, cur.i, e.what());
+    r.status = TreeParseStatus::kBadCharacter;
+    r.offset = used;
+    r.message = e.what();
   }
   return r;
 }
@@ -307,6 +325,13 @@ std::string NewickIgnored::diagnostic() const {
 TreeParseResult try_parse_newick(std::string_view text, NodeId max_nodes,
                                  NewickIgnored* ignored) {
   return parse_impl(text, nullptr, /*require_full=*/true, max_nodes, ignored);
+}
+
+TreeSoaParseResult try_parse_newick_soa(std::string_view text,
+                                        NodeId max_nodes, TreeSoa& soa,
+                                        NewickIgnored* ignored) {
+  return parse_soa_impl(text, nullptr, /*require_full=*/true, max_nodes,
+                        ignored, soa);
 }
 
 TreeParseResult try_parse_newick_prefix(std::string_view text,

@@ -60,6 +60,15 @@ struct NewickIgnored {
                                                NodeId max_nodes = 0,
                                                NewickIgnored* ignored = nullptr);
 
+/// Allocation-reusing form of try_parse_newick: parses into `soa`
+/// (cleared first, capacity kept) without building a BinaryTree, for
+/// hot paths that only need the raw child arrays — the network fast
+/// path digests straight from them.  Same grammar, same single
+/// implementation as the materializing entry points.
+[[nodiscard]] TreeSoaParseResult try_parse_newick_soa(
+    std::string_view text, NodeId max_nodes, TreeSoa& soa,
+    NewickIgnored* ignored = nullptr);
+
 /// Streaming form: parses the first tree (through its ';') and sets
 /// *consumed to one past it, so a multi-tree .nwk file can be drained
 /// by repeated calls.  Trailing input is not an error here.

@@ -14,9 +14,9 @@ bool is_space(char ch) {
          ch == '\v' || ch == '\f';
 }
 
-TreeParseResult parse_fail(TreeParseStatus status, std::size_t offset,
-                           std::string message) {
-  TreeParseResult r;
+TreeSoaParseResult parse_fail(TreeParseStatus status, std::size_t offset,
+                              std::string message) {
+  TreeSoaParseResult r;
   r.status = status;
   r.offset = offset;
   r.message = std::move(message);
@@ -39,7 +39,9 @@ const char* tree_parse_status_name(TreeParseStatus s) {
   return "unknown";
 }
 
-TreeParseResult try_parse_tree(std::string_view text, NodeId max_nodes) {
+TreeSoaParseResult try_parse_tree_soa(std::string_view text, NodeId max_nodes,
+                                      TreeSoa& soa) {
+  soa.clear();
   std::size_t begin = 0;
   std::size_t end = text.size();
   while (begin < end && is_space(text[begin])) ++begin;
@@ -52,10 +54,10 @@ TreeParseResult try_parse_tree(std::string_view text, NodeId max_nodes) {
   // (-2 reserves a slot for an explicit '.' absent-child marker) so a
   // malformed line surfaces as a status instead of an exception thrown
   // mid-construction.
-  std::vector<NodeId> parent;
-  std::vector<NodeId> left;
-  std::vector<NodeId> right;
-  std::vector<NodeId> stack;
+  std::vector<NodeId>& parent = soa.parent;
+  std::vector<NodeId>& left = soa.left;
+  std::vector<NodeId>& right = soa.right;
+  std::vector<NodeId>& stack = soa.stack;
   const auto free_slot = [&](NodeId p) -> NodeId* {
     const auto pi = static_cast<std::size_t>(p);
     if (left[pi] == kInvalidNode) return &left[pi];
@@ -117,9 +119,20 @@ TreeParseResult try_parse_tree(std::string_view text, NodeId max_nodes) {
     if (c == -2) c = kInvalidNode;
   for (auto& c : right)
     if (c == -2) c = kInvalidNode;
+  return TreeSoaParseResult{};
+}
+
+TreeParseResult try_parse_tree(std::string_view text, NodeId max_nodes) {
+  TreeSoa soa;
+  TreeSoaParseResult s = try_parse_tree_soa(text, max_nodes, soa);
   TreeParseResult r;
-  r.tree = BinaryTree::from_soa(std::move(parent), std::move(left),
-                                std::move(right));
+  r.status = s.status;
+  r.offset = s.offset;
+  r.message = std::move(s.message);
+  if (r.ok()) {
+    r.tree = BinaryTree::from_soa(std::move(soa.parent), std::move(soa.left),
+                                  std::move(soa.right));
+  }
   return r;
 }
 

@@ -48,6 +48,39 @@ struct TreeParseResult {
   [[nodiscard]] bool ok() const { return status == TreeParseStatus::kOk; }
 };
 
+/// Reusable parse destination: the structure-of-arrays form of a tree
+/// plus the parser's work stack, all caller-owned so a hot loop (the
+/// network fast path digests straight from these arrays) parses with
+/// zero allocations after warm-up.  After a successful parse,
+/// parent/left/right hold `num_nodes()` entries with kInvalidNode for
+/// absent children — exactly the layout the canonical-hash raw-array
+/// kernels take.
+struct TreeSoa {
+  std::vector<NodeId> parent;
+  std::vector<NodeId> left;
+  std::vector<NodeId> right;
+  std::vector<NodeId> stack;  // parser scratch, meaningless after
+
+  [[nodiscard]] NodeId num_nodes() const {
+    return static_cast<NodeId>(parent.size());
+  }
+  void clear() {
+    parent.clear();
+    left.clear();
+    right.clear();
+    stack.clear();
+  }
+};
+
+/// try_parse_tree's status/diagnostics without the materialized tree.
+struct TreeSoaParseResult {
+  TreeParseStatus status = TreeParseStatus::kOk;
+  std::size_t offset = 0;
+  std::string message;
+
+  [[nodiscard]] bool ok() const { return status == TreeParseStatus::kOk; }
+};
+
 /// Non-throwing paren parser.  Accepts exactly the grammar
 /// BinaryTree::from_paren accepts (leading/trailing ASCII whitespace
 /// ignored) but reports malformed input as a structured status +
@@ -56,6 +89,14 @@ struct TreeParseResult {
 /// memory.  On success the tree is fully validated.
 [[nodiscard]] TreeParseResult try_parse_tree(std::string_view text,
                                              NodeId max_nodes = 0);
+
+/// Allocation-reusing form: parses into `soa` (cleared first, capacity
+/// kept) without building a BinaryTree.  One grammar, one
+/// implementation — try_parse_tree delegates here, so the zero-copy
+/// digest path and the materializing path can never diverge.
+[[nodiscard]] TreeSoaParseResult try_parse_tree_soa(std::string_view text,
+                                                    NodeId max_nodes,
+                                                    TreeSoa& soa);
 
 void save_tree(std::ostream& os, const BinaryTree& tree);
 

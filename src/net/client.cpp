@@ -29,6 +29,7 @@ NetClient& NetClient::operator=(NetClient&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     parser_ = std::move(other.parser_);
     http_buf_ = std::move(other.http_buf_);
+    send_buf_ = std::move(other.send_buf_);
   }
   return *this;
 }
@@ -125,7 +126,12 @@ bool NetClient::recv_frame(WireFrame* out, std::string* error) {
 
 bool NetClient::call(const WireFrame& request, WireFrame* response,
                      std::string* error) {
-  if (!send_all(encode_frame(request), error)) return false;
+  // Reuse the per-client scratch buffer: steady-state callers (the
+  // closed-loop benchmark, the hit-path loops) encode into capacity
+  // retained from the previous call instead of allocating per frame.
+  send_buf_.clear();
+  encode_frame_into(send_buf_, request, request.payload);
+  if (!send_all(send_buf_, error)) return false;
   return recv_frame(response, error);
 }
 

@@ -62,6 +62,7 @@ class NetClient {
   int fd_ = -1;
   FrameParser parser_;
   std::string http_buf_;  // response bytes beyond the last parsed one
+  std::string send_buf_;  // reused frame-encode scratch (call())
 };
 
 }  // namespace xt

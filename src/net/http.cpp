@@ -211,7 +211,15 @@ std::string http_response(int status, std::string_view body,
                           std::string_view content_type, bool keep_alive,
                           const std::vector<std::string>& extra_headers) {
   std::string out;
-  out.reserve(128 + body.size());
+  append_http_response(out, status, body, content_type, keep_alive,
+                       extra_headers);
+  return out;
+}
+
+void append_http_response(std::string& out, int status, std::string_view body,
+                          std::string_view content_type, bool keep_alive,
+                          const std::vector<std::string>& extra_headers) {
+  out.reserve(out.size() + 128 + body.size());
   out += "HTTP/1.1 ";
   out += std::to_string(status);
   out += ' ';
@@ -228,8 +236,7 @@ std::string http_response(int status, std::string_view body,
     out += "\r\n";
   }
   out += "\r\n";
-  out += body;
-  return out;
+  out.append(body.data(), body.size());
 }
 
 }  // namespace xt

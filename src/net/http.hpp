@@ -85,6 +85,13 @@ class HttpParser {
     bool keep_alive = true,
     const std::vector<std::string>& extra_headers = {});
 
+/// Appending form of http_response, for hot response writers (the
+/// event loops' inline hit encoder) that reuse a per-connection
+/// scratch buffer instead of allocating a string per response.
+void append_http_response(std::string& out, int status, std::string_view body,
+                          std::string_view content_type, bool keep_alive,
+                          const std::vector<std::string>& extra_headers);
+
 [[nodiscard]] const char* http_status_reason(int status);
 
 }  // namespace xt

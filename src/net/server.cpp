@@ -24,8 +24,10 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "btree/canonical.hpp"
 #include "io/newick.hpp"
 #include "io/serialize.hpp"
+#include "service/canonical_cache.hpp"
 #include "util/check.hpp"
 
 namespace xt {
@@ -43,6 +45,8 @@ struct NetServer::Counters {
   std::atomic<std::uint64_t> frames_received{0};
   std::atomic<std::uint64_t> http_requests{0};
   std::atomic<std::uint64_t> requests_submitted{0};
+  std::atomic<std::uint64_t> inline_hits{0};
+  std::atomic<std::uint64_t> inline_misses{0};
   std::atomic<std::uint64_t> responses_sent{0};
   std::atomic<std::uint64_t> responses_dropped{0};
   std::atomic<std::uint64_t> overloaded_rejections{0};
@@ -121,6 +125,13 @@ struct Conn {
   bool want_write = false;
   bool input_dead = false;  // fatal parse error answered; stop reading
   bool close_after_flush = false;
+
+  // Inline hit-path scratch, reused across this connection's requests
+  // so a steady stream of cache hits allocates nothing per request.
+  TreeSoa soa;
+  CanonicalScratch canon;
+  std::string payload_buf;  // response JSON body
+  std::string encode_buf;   // framed / HTTP-wrapped response bytes
 };
 
 std::string errno_text(const std::string& what) {
@@ -187,6 +198,8 @@ std::string NetServerStats::to_json() const {
      << "  \"frames_received\": " << frames_received << ",\n"
      << "  \"http_requests\": " << http_requests << ",\n"
      << "  \"requests_submitted\": " << requests_submitted << ",\n"
+     << "  \"inline_hits\": " << inline_hits << ",\n"
+     << "  \"inline_misses\": " << inline_misses << ",\n"
      << "  \"responses_sent\": " << responses_sent << ",\n"
      << "  \"responses_dropped\": " << responses_dropped << ",\n"
      << "  \"overloaded_rejections\": " << overloaded_rejections << ",\n"
@@ -211,6 +224,8 @@ NetServerStats NetServer::stats() const {
   s.frames_received = c.frames_received.load();
   s.http_requests = c.http_requests.load();
   s.requests_submitted = c.requests_submitted.load();
+  s.inline_hits = c.inline_hits.load();
+  s.inline_misses = c.inline_misses.load();
   s.responses_sent = c.responses_sent.load();
   s.responses_dropped = c.responses_dropped.load();
   s.overloaded_rejections = c.overloaded_rejections.load();
@@ -230,6 +245,7 @@ NetServer::NetServer(EmbeddingService& service, NetServerConfig config)
     : service_(service),
       config_(std::move(config)),
       counters_(std::make_shared<Counters>()) {
+  inline_hits_.store(config_.enable_inline_hits, std::memory_order_relaxed);
   if (config_.num_loops == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     config_.num_loops = std::clamp(hw / 4, 1u, 4u);
@@ -448,6 +464,21 @@ struct LoopOps {
       }
       update_write_interest(conn, false);
     } else {
+      // Inline hits append to `out` directly (no per-response cap
+      // check in flush()), so the slow-consumer bound is enforced
+      // here, on the undrained residue.
+      const std::size_t pending = conn.out.size() - conn.out_off;
+      if (pending > cfg().max_output_buffer) {
+        counters().slow_consumer_disconnects.fetch_add(
+            1, std::memory_order_relaxed);
+        counters().responses_dropped.fetch_add(conn.ready.size(),
+                                               std::memory_order_relaxed);
+        server.diag("net: slow consumer disconnected (pending " +
+                    std::to_string(pending) + " bytes, cap " +
+                    std::to_string(cfg().max_output_buffer) + ")");
+        destroy(conn);
+        return false;
+      }
       // Compact the consumed prefix once it dominates the buffer.
       if (conn.out_off > 65536 && conn.out_off * 2 > conn.out.size()) {
         conn.out.erase(0, conn.out_off);
@@ -502,6 +533,194 @@ struct LoopOps {
     conn.ready.emplace(seq, PendingOut{std::move(bytes), close_after});
   }
 
+  // ---- inline hit path -----------------------------------------------
+  //
+  // The queue-free fast path (ISSUE 8): digest the request payload in
+  // place, probe the epoch-guarded canonical cache lock-free on the
+  // event loop, and answer a hit from the memoized encoded body
+  // without ever constructing a BinaryTree, allocating a request, or
+  // touching the service.  Anything that is not a clean hit — parse
+  // error, unknown format or theorem, disabled cache, miss — returns
+  // false and the legacy path runs unchanged, so every error and every
+  // miss produces byte-identical responses to the pre-fast-path
+  // server.  Misses parse twice (SoA digest here, BinaryTree in the
+  // legacy path); the duplicate microsecond parse is noise next to the
+  // millisecond embed that follows.
+
+  /// Digests `payload` in place into raw (n, left, right) child
+  /// arrays.  xtb1 records are validated and aliased with zero copies;
+  /// paren / Newick parse into the connection's reusable SoA scratch.
+  bool digest_payload(Conn& conn, std::uint8_t format,
+                      std::string_view payload, NodeId* n,
+                      const NodeId** left, const NodeId** right) {
+    switch (format) {
+      case static_cast<std::uint8_t>(WireFormat::kParen): {
+        if (!try_parse_tree_soa(payload, cfg().max_tree_nodes, conn.soa).ok())
+          return false;
+        *n = conn.soa.num_nodes();
+        *left = conn.soa.left.data();
+        *right = conn.soa.right.data();
+        return true;
+      }
+      case static_cast<std::uint8_t>(WireFormat::kNewick): {
+        if (!try_parse_newick_soa(payload, cfg().max_tree_nodes, conn.soa)
+                 .ok())
+          return false;
+        *n = conn.soa.num_nodes();
+        *left = conn.soa.left.data();
+        *right = conn.soa.right.data();
+        return true;
+      }
+      case static_cast<std::uint8_t>(WireFormat::kXtb1Record): {
+        // Mirrors decode_xtb1_record's checks, but aliases the payload
+        // bytes instead of copying them into vectors.  NodeId is i32
+        // little-endian on both sides (asserted by the xtb1 format),
+        // and the arrays start at offset 8 of a heap-backed string, so
+        // the reinterpret_cast below reads 4-byte-aligned memory.
+        if (payload.size() < 8) return false;
+        std::uint32_t raw_n = 0;
+        std::memcpy(&raw_n, payload.data(), 4);
+        if (raw_n == 0) return false;
+        if (payload.size() !=
+            8 + static_cast<std::size_t>(raw_n) * 3 * sizeof(NodeId))
+          return false;
+        if (raw_n > static_cast<std::uint32_t>(cfg().max_tree_nodes))
+          return false;
+        const auto* base =
+            reinterpret_cast<const NodeId*>(payload.data() + 8);
+        const std::size_t nn = raw_n;
+        if (!soa_structure_error(static_cast<NodeId>(raw_n), base, base + nn,
+                                 base + 2 * nn)
+                 .empty())
+          return false;
+        *n = static_cast<NodeId>(raw_n);
+        *left = base + nn;
+        *right = base + 2 * nn;
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+
+  /// Sequences an inline response.  The common case — this request is
+  /// the next one to flush — appends straight onto the connection's
+  /// output buffer (no PendingOut allocation; process_completions
+  /// flushes after every completion, so `ready` cannot be holding
+  /// next_flush here).  Out-of-order cases take the ready-map route.
+  void deliver_inline(Conn& conn, std::uint64_t seq, std::string_view bytes,
+                      bool close_after) {
+    if (conn.next_flush == seq) {
+      conn.out.append(bytes.data(), bytes.size());
+      counters().responses_sent.fetch_add(1, std::memory_order_relaxed);
+      ++conn.next_flush;
+      if (close_after) {
+        conn.close_after_flush = true;
+        conn.input_dead = true;
+      }
+    } else {
+      enqueue_local(conn, seq, std::string(bytes), close_after);
+    }
+  }
+
+  /// Serves the request from the canonical cache if it is a hit.
+  /// Returns true iff the response was fully sequenced; false falls
+  /// through to the legacy parse/submit path.
+  bool try_inline_hit(Conn& conn, std::uint64_t seq, std::uint8_t format,
+                      std::string_view payload, std::uint8_t theorem_code,
+                      bool want_embedding, bool http, bool keep_alive,
+                      std::uint32_t request_id, std::uint8_t flags) {
+    if (!server.inline_hits_.load(std::memory_order_relaxed)) return false;
+    CanonicalCache* cache = server.service_.canonical_cache();
+    if (cache == nullptr || theorem_code > 2) return false;
+    const auto t0 = std::chrono::steady_clock::now();
+    NodeId n = 0;
+    const NodeId* left = nullptr;
+    const NodeId* right = nullptr;
+    if (!digest_payload(conn, format, payload, &n, &left, &right))
+      return false;
+    const CacheKey key{canonical_hash(n, left, right, conn.canon), n,
+                       static_cast<Theorem>(theorem_code),
+                       server.service_.config().load};
+    const bool hit =
+        cache->with_entry(key, [&](const CanonicalCache::Entry& e) {
+          std::string& body = conn.payload_buf;
+          body.clear();
+          if (want_embedding) {
+            // The embedding is per-request (guest labels differ even
+            // when the canonical tree matches), so it cannot be
+            // memoized: remap from the cached canonical assignment
+            // exactly as a service shard would.
+            const CachedEmbedding& ce = e.value();
+            EmbedResponse r;
+            r.status = RequestStatus::kOk;
+            r.host_height = ce.host_height;
+            r.dilation = ce.dilation;
+            r.load_factor = ce.load_factor;
+            r.cache_hit = true;
+            const CanonicalForm form = canonical_form(n, left, right,
+                                                      conn.canon);
+            Embedding emb(n, ce.host_vertices);
+            for (NodeId v = 0; v < n; ++v) {
+              emb.place(v, ce.canonical_assign[static_cast<std::size_t>(
+                               form.to_canonical[static_cast<std::size_t>(
+                                   v)])]);
+            }
+            r.embedding = std::move(emb);
+            append_embed_response_prefix(body, r, /*include_embedding=*/true);
+          } else {
+            const std::string* memo = e.encoded_body();
+            if (memo == nullptr) {
+              // First hit on this entry: build the cache-constant JSON
+              // prefix once and memoize it on the entry (the memo dies
+              // with the entry, so eviction invalidates it for free).
+              const CachedEmbedding& ce = e.value();
+              EmbedResponse r;
+              r.status = RequestStatus::kOk;
+              r.host_height = ce.host_height;
+              r.dilation = ce.dilation;
+              r.load_factor = ce.load_factor;
+              r.cache_hit = true;
+              std::string built;
+              append_embed_response_prefix(built, r,
+                                           /*include_embedding=*/false);
+              e.publish_encoded_body(std::move(built));
+              memo = e.encoded_body();
+            }
+            body += *memo;
+          }
+          const double latency_ms =
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+          // served_seq is a per-shard service stamp; inline answers
+          // never reach a shard and report 0 (see docs/net.md).
+          append_embed_response_tail(body, /*served_seq=*/0, latency_ms);
+          std::string& bytes = conn.encode_buf;
+          bytes.clear();
+          bool close_after = false;
+          if (http) {
+            append_http_response(bytes, 200, body, "application/json",
+                                 keep_alive, {});
+            close_after = !keep_alive;
+          } else {
+            WireFrame f;
+            f.format = 0;
+            f.code = static_cast<std::uint8_t>(WireStatus::kOk);
+            f.flags = flags;
+            f.request_id = request_id;
+            encode_frame_into(bytes, f, body);
+          }
+          deliver_inline(conn, seq, bytes, close_after);
+        });
+    if (hit) {
+      counters().inline_hits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      counters().inline_misses.fetch_add(1, std::memory_order_relaxed);
+    }
+    return hit;
+  }
+
   // ---- binary protocol -----------------------------------------------
 
   std::string wire_error_bytes(const WireFrame& request, WireStatus status,
@@ -536,6 +755,17 @@ struct LoopOps {
                     wire_error_bytes(frame, WireStatus::kOverloaded,
                                      "in-flight request cap reached"),
                     false);
+      return;
+    }
+
+    // Queue-free hit path: digest the payload in place and answer from
+    // the canonical cache without submitting.  A miss — or anything
+    // malformed — falls through to the legacy parse below, which
+    // produces byte-identical error responses.
+    if (try_inline_hit(conn, seq, frame.format, frame.payload, frame.code,
+                       (frame.flags & kWireFlagWantEmbedding) != 0,
+                       /*http=*/false, /*keep_alive=*/true, frame.request_id,
+                       frame.flags)) {
       return;
     }
 
@@ -706,6 +936,19 @@ struct LoopOps {
       bad = "bad deadline_ms";
     } else if (req.body.empty()) {
       bad = "empty body (expected a paren or Newick tree)";
+    }
+
+    if (bad.empty()) {
+      // Same queue-free hit path as the binary protocol; the body is
+      // format-sniffed exactly like the legacy parse below.
+      const auto format = static_cast<std::uint8_t>(
+          sniff_newick(req.body) ? WireFormat::kNewick : WireFormat::kParen);
+      if (try_inline_hit(conn, seq, format, req.body,
+                         static_cast<std::uint8_t>(*theorem),
+                         want_emb == "1" || want_emb == "true",
+                         /*http=*/true, keep, /*request_id=*/0, /*flags=*/0)) {
+        return;
+      }
     }
 
     EmbedRequest request;

@@ -74,6 +74,12 @@ struct NetServerConfig {
   std::size_t max_output_buffer = 4u << 20;
   /// Parse-size cap applied to trees arriving over the wire.
   NodeId max_tree_nodes = 1u << 20;
+  /// Serve canonical-cache hits inline on the event loop (digest the
+  /// payload in place, answer from the epoch-pinned cache without
+  /// submitting to the service).  Misses fall through unchanged.
+  /// Runtime-togglable via set_inline_hits(); xt_serve exposes
+  /// --no-inline-hits as the escape hatch.
+  bool enable_inline_hits = true;
   /// Graceful-stop budget: how long stop() waits for in-flight
   /// responses to drain and flush before force-closing.
   int drain_timeout_ms = 5000;
@@ -94,6 +100,8 @@ struct NetServerStats {
   std::uint64_t frames_received = 0;   // complete binary frames
   std::uint64_t http_requests = 0;     // complete HTTP requests
   std::uint64_t requests_submitted = 0;  // handed to the service
+  std::uint64_t inline_hits = 0;    // answered on the loop, no submit
+  std::uint64_t inline_misses = 0;  // digest probed the cache, missed
   std::uint64_t responses_sent = 0;   // serialised into a conn's output
   std::uint64_t responses_dropped = 0;   // connection died first
   std::uint64_t overloaded_rejections = 0;  // in-flight caps
@@ -144,6 +152,16 @@ class NetServer {
 
   [[nodiscard]] const NetServerConfig& config() const { return config_; }
 
+  /// Runtime toggle for the inline hit path (seeded from
+  /// NetServerConfig::enable_inline_hits).  Benchmarks flip it to A/B
+  /// inline-hit vs queued-hit serving on one live server.
+  void set_inline_hits(bool on) {
+    inline_hits_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool inline_hits_enabled() const {
+    return inline_hits_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend struct net_detail::LoopOps;
 
@@ -158,6 +176,7 @@ class NetServer {
   int accept_wake_fd_ = -1;
 
   std::atomic<bool> started_{false};
+  std::atomic<bool> inline_hits_{true};
   std::atomic<bool> draining_{false};
   std::atomic<bool> stop_loops_{false};
   std::atomic<std::int64_t> drain_deadline_ns_{0};

@@ -1,5 +1,6 @@
 #include "net/wire.hpp"
 
+#include <cstdio>
 #include <cstring>
 #include <sstream>
 
@@ -74,21 +75,26 @@ int http_status_of(WireStatus s) {
   return 500;
 }
 
-std::string encode_frame(const WireFrame& frame) {
-  XT_CHECK_MSG(frame.payload.size() <= 0xffffffffu, "payload too large");
-  std::string out;
-  out.reserve(kWireHeaderBytes + frame.payload.size());
+void encode_frame_into(std::string& out, const WireFrame& header,
+                       std::string_view payload) {
+  XT_CHECK_MSG(payload.size() <= 0xffffffffu, "payload too large");
+  out.reserve(out.size() + kWireHeaderBytes + payload.size());
   out.append(kWireMagic, 4);
-  out.push_back(static_cast<char>(frame.version));
-  out.push_back(static_cast<char>(frame.format));
-  out.push_back(static_cast<char>(frame.code));
-  out.push_back(static_cast<char>(frame.flags));
-  put_u32(out, static_cast<std::uint32_t>(frame.priority));
-  put_u32(out, frame.deadline_ms);
-  put_u32(out, frame.request_id);
-  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
-  put_u64(out, hash64(frame.payload.data(), frame.payload.size()));
-  out += frame.payload;
+  out.push_back(static_cast<char>(header.version));
+  out.push_back(static_cast<char>(header.format));
+  out.push_back(static_cast<char>(header.code));
+  out.push_back(static_cast<char>(header.flags));
+  put_u32(out, static_cast<std::uint32_t>(header.priority));
+  put_u32(out, header.deadline_ms);
+  put_u32(out, header.request_id);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u64(out, hash64(payload.data(), payload.size()));
+  out.append(payload.data(), payload.size());
+}
+
+std::string encode_frame(const WireFrame& frame) {
+  std::string out;
+  encode_frame_into(out, frame, frame.payload);
   return out;
 }
 
@@ -150,37 +156,65 @@ FrameParser::Result FrameParser::next(WireFrame* out) {
   return Result::kFrame;
 }
 
-std::string embed_response_json(const EmbedResponse& response,
-                                bool include_embedding) {
-  std::ostringstream os;
-  os << "{\"status\": \"" << status_name(response.status) << "\"";
+void append_embed_response_prefix(std::string& out,
+                                  const EmbedResponse& response,
+                                  bool include_embedding) {
+  out += "{\"status\": \"";
+  out += status_name(response.status);
+  out += '"';
   if (!response.reason.empty()) {
-    os << ", \"reason\": \"";
+    out += ", \"reason\": \"";
     for (const char ch : response.reason) {
       // The reasons are service-generated ASCII; escape defensively.
-      if (ch == '"' || ch == '\\') os << '\\' << ch;
-      else if (ch == '\n') os << "\\n";
-      else if (static_cast<unsigned char>(ch) >= 0x20) os << ch;
+      if (ch == '"' || ch == '\\') {
+        out += '\\';
+        out += ch;
+      } else if (ch == '\n') {
+        out += "\\n";
+      } else if (static_cast<unsigned char>(ch) >= 0x20) {
+        out += ch;
+      }
     }
-    os << "\"";
+    out += '"';
   }
-  os << ", \"host_height\": " << response.host_height
-     << ", \"dilation\": " << response.dilation
-     << ", \"load_factor\": " << response.load_factor
-     << ", \"cache_hit\": " << (response.cache_hit ? "true" : "false")
-     << ", \"served_seq\": " << response.served_seq
-     << ", \"latency_ms\": " << response.latency_ms;
+  out += ", \"host_height\": ";
+  out += std::to_string(response.host_height);
+  out += ", \"dilation\": ";
+  out += std::to_string(response.dilation);
+  out += ", \"load_factor\": ";
+  out += std::to_string(response.load_factor);
+  out += ", \"cache_hit\": ";
+  out += response.cache_hit ? "true" : "false";
   if (include_embedding && response.embedding.has_value()) {
     const Embedding& emb = *response.embedding;
-    os << ", \"embedding\": [";
+    out += ", \"embedding\": [";
     for (NodeId v = 0; v < emb.num_guest_nodes(); ++v) {
-      if (v > 0) os << ", ";
-      os << emb.host_of(v);
+      if (v > 0) out += ", ";
+      out += std::to_string(emb.host_of(v));
     }
-    os << "]";
+    out += ']';
   }
-  os << "}";
-  return os.str();
+}
+
+void append_embed_response_tail(std::string& out, std::uint64_t served_seq,
+                                double latency_ms) {
+  out += ", \"served_seq\": ";
+  out += std::to_string(served_seq);
+  out += ", \"latency_ms\": ";
+  // %g matches the ostream defaultfloat/precision-6 rendering the
+  // JSON body has always used for this field.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", latency_ms);
+  out += buf;
+  out += '}';
+}
+
+std::string embed_response_json(const EmbedResponse& response,
+                                bool include_embedding) {
+  std::string out;
+  append_embed_response_prefix(out, response, include_embedding);
+  append_embed_response_tail(out, response.served_seq, response.latency_ms);
+  return out;
 }
 
 std::string encode_xtb1_record(const BinaryTree& tree) {

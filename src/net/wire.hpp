@@ -86,6 +86,13 @@ inline constexpr std::uint8_t kWireFlagWantEmbedding = 1u << 1;
 /// Serialises a frame (header + checksummed payload).
 [[nodiscard]] std::string encode_frame(const WireFrame& frame);
 
+/// Appending form: serialises `header` with `payload` as the frame
+/// payload (header.payload is ignored) onto `out`, so hot paths —
+/// NetClient::call, the event loops' inline hit encoder — can reuse
+/// one scratch buffer instead of allocating a string per frame.
+void encode_frame_into(std::string& out, const WireFrame& header,
+                       std::string_view payload);
+
 /// Incremental frame decoder.  feed() appends bytes; next() extracts
 /// complete frames until kNeedMore.  After kError the parser is stuck
 /// by design — framing is lost, the stream cannot be resynchronised.
@@ -115,13 +122,29 @@ class FrameParser {
 };
 
 /// The response payload: a one-line JSON object with the service
-/// outcome ("status", "reason", "host_height", "dilation",
-/// "load_factor", "cache_hit", "latency_ms", "served_seq" and — iff
+/// outcome, in this field order: "status", "reason" (when set),
+/// "host_height", "dilation", "load_factor", "cache_hit", then — iff
 /// `include_embedding` and the response carries one — "embedding" as a
-/// host-vertex array indexed by guest node).  Shared by the binary and
-/// HTTP paths so both protocols speak the same body.
+/// host-vertex array indexed by guest node, and finally "served_seq"
+/// and "latency_ms".  The per-request fields come last on purpose:
+/// everything before them is a pure function of the cached outcome,
+/// so the inline hit path memoizes that prefix alongside the cache
+/// entry and appends only the tail per request.  Shared by the binary
+/// and HTTP paths so both protocols speak the same body.
 [[nodiscard]] std::string embed_response_json(const EmbedResponse& response,
                                               bool include_embedding);
+
+/// Appends the memoizable prefix of embed_response_json — every field
+/// except "served_seq"/"latency_ms", without the closing brace.
+void append_embed_response_prefix(std::string& out,
+                                  const EmbedResponse& response,
+                                  bool include_embedding);
+
+/// Appends the per-request tail: ", "served_seq": N, "latency_ms": X}".
+/// embed_response_json == prefix + tail by construction, which is what
+/// keeps inline-hit bytes identical to queued-path bytes.
+void append_embed_response_tail(std::string& out, std::uint64_t served_seq,
+                                double latency_ms);
 
 /// Encodes a tree as an xtb1-record payload (format 2).
 [[nodiscard]] std::string encode_xtb1_record(const BinaryTree& tree);

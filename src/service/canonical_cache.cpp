@@ -1,0 +1,227 @@
+#include "service/canonical_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace xt {
+
+namespace {
+
+const char* const kTheoremNames[] = {"T1", "T2", "T3"};
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+const char* theorem_name(Theorem t) {
+  return kTheoremNames[static_cast<int>(t)];
+}
+
+std::optional<Theorem> parse_theorem(const std::string& name) {
+  if (name == "T1" || name == "t1") return Theorem::kT1;
+  if (name == "T2" || name == "t2") return Theorem::kT2;
+  if (name == "T3" || name == "t3") return Theorem::kT3;
+  return std::nullopt;
+}
+
+const char* status_name(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kRejectedQueueFull: return "rejected_queue_full";
+    case RequestStatus::kRejectedShutdown: return "rejected_shutdown";
+    case RequestStatus::kExpiredDeadline: return "expired_deadline";
+    case RequestStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+CanonicalCache::CanonicalCache(std::size_t capacity) : capacity_(capacity) {
+  XT_CHECK(capacity >= 1);
+  // Small caches get one stripe so the global capacity (and the
+  // second-chance order the unit tests pin) is exact; large caches
+  // trade that for 8-way write concurrency, each stripe enforcing its
+  // share of the budget.
+  const std::size_t num_stripes = capacity >= 256 ? 8 : 1;
+  stripes_.reserve(num_stripes);
+  for (std::size_t i = 0; i < num_stripes; ++i) {
+    auto stripe = std::make_unique<Stripe>();
+    stripe->cap = capacity / num_stripes + (i < capacity % num_stripes ? 1 : 0);
+    // Load factor <= 0.5 against live entries; rebuilds only compact
+    // tombstones, the array size never changes.
+    stripe->table.store(new Table(next_pow2(std::max<std::size_t>(
+                            8, stripe->cap * 2))),
+                        std::memory_order_release);
+    stripes_.push_back(std::move(stripe));
+  }
+}
+
+CanonicalCache::~CanonicalCache() {
+  // Contract: no concurrent readers or writers at destruction.  Free
+  // live entries and tables here; the epoch domain's destructor then
+  // drains whatever was already retired.
+  for (auto& stripe : stripes_) {
+    Table* table = stripe->table.load(std::memory_order_relaxed);
+    for (Entry* e : stripe->fifo) delete e;
+    delete table;
+  }
+}
+
+std::shared_ptr<const CachedEmbedding> CanonicalCache::lookup(
+    const CacheKey& key) {
+  std::shared_ptr<const CachedEmbedding> out;
+  with_entry(key, [&out](const Entry& e) { out = e.value_ptr(); });
+  return out;
+}
+
+void CanonicalCache::insert(const CacheKey& key, CachedEmbedding value) {
+  auto shared = std::make_shared<const CachedEmbedding>(std::move(value));
+  Stripe& st = stripe_for(key);
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.insertions.fetch_add(1, std::memory_order_relaxed);
+  Table& table = *st.table.load(std::memory_order_relaxed);
+
+  const std::size_t h = CacheKeyHash{}(key);
+  std::size_t idx = h & table.mask;
+  std::size_t reuse = table.mask + 1;  // first tombstone on the path
+  for (std::size_t i = 0; i <= table.mask;
+       ++i, idx = (idx + 1) & table.mask) {
+    Entry* e = table.slots[idx].load(std::memory_order_relaxed);
+    if (e == nullptr) break;
+    if (e == tombstone()) {
+      if (reuse > table.mask) reuse = idx;
+      continue;
+    }
+    if (e->key() == key) {
+      // Replace in place: publish a fresh entry (new value, no memo),
+      // keep the queue position but grant a second chance, retire the
+      // old entry — readers pinned on it finish safely.
+      Entry* fresh = new Entry(key, std::move(shared));
+      fresh->ref_.store(1, std::memory_order_relaxed);
+      const auto it = std::find(st.fifo.begin(), st.fifo.end(), e);
+      XT_CHECK(it != st.fifo.end());
+      *it = fresh;
+      table.slots[idx].store(fresh, std::memory_order_release);
+      epoch_.retire_object(e);
+      return;
+    }
+  }
+
+  if (st.fifo.size() >= st.cap) evict_one_locked(st, table);
+
+  Entry* fresh = new Entry(key, std::move(shared));
+  std::size_t target = reuse;
+  if (target > table.mask) {
+    // No tombstone to reuse: take the first empty slot.  The eviction
+    // above guarantees one exists (load factor <= 0.5).
+    target = h & table.mask;
+    while (true) {
+      Entry* e = table.slots[target].load(std::memory_order_relaxed);
+      if (e == nullptr || e == tombstone()) break;
+      target = (target + 1) & table.mask;
+    }
+  }
+  if (table.slots[target].load(std::memory_order_relaxed) == tombstone()) {
+    XT_CHECK(st.tombstones > 0);
+    --st.tombstones;
+  }
+  table.slots[target].store(fresh, std::memory_order_release);
+  st.fifo.push_back(fresh);
+  st.live.store(st.fifo.size(), std::memory_order_relaxed);
+  maybe_rebuild_locked(st);
+}
+
+void CanonicalCache::evict_one_locked(Stripe& st, Table& table) {
+  // Second chance: a ref'd entry gets re-queued once with its bit
+  // cleared; terminates within 2n pops.
+  while (true) {
+    Entry* victim = st.fifo.front();
+    st.fifo.pop_front();
+    if (victim->ref_.exchange(0, std::memory_order_relaxed) != 0) {
+      st.fifo.push_back(victim);
+      continue;
+    }
+    unlink_locked(st, table, victim);
+    st.evictions.fetch_add(1, std::memory_order_relaxed);
+    st.live.store(st.fifo.size(), std::memory_order_relaxed);
+    epoch_.retire_object(victim);
+    return;
+  }
+}
+
+void CanonicalCache::unlink_locked(Stripe& st, Table& table,
+                                   const Entry* victim) {
+  std::size_t idx = CacheKeyHash{}(victim->key()) & table.mask;
+  for (std::size_t i = 0; i <= table.mask;
+       ++i, idx = (idx + 1) & table.mask) {
+    Entry* e = table.slots[idx].load(std::memory_order_relaxed);
+    XT_CHECK(e != nullptr);  // the victim is resident by construction
+    if (e == victim) {
+      table.slots[idx].store(tombstone(), std::memory_order_release);
+      ++st.tombstones;
+      return;
+    }
+  }
+  XT_CHECK(false);
+}
+
+void CanonicalCache::maybe_rebuild_locked(Stripe& st) {
+  // Tombstones lengthen every probe that crosses them; once they
+  // outnumber the stripe's capacity, compact into a fresh array and
+  // retire the old one (entries are shared, only the Table dies).
+  if (st.tombstones <= st.cap) return;
+  Table* old_table = st.table.load(std::memory_order_relaxed);
+  auto* fresh = new Table(old_table->mask + 1);
+  for (Entry* e : st.fifo) {
+    std::size_t idx = CacheKeyHash{}(e->key()) & fresh->mask;
+    while (fresh->slots[idx].load(std::memory_order_relaxed) != nullptr) {
+      idx = (idx + 1) & fresh->mask;
+    }
+    fresh->slots[idx].store(e, std::memory_order_relaxed);
+  }
+  st.tombstones = 0;
+  st.table.store(fresh, std::memory_order_release);
+  epoch_.retire_object(old_table);
+}
+
+void CanonicalCache::clear() {
+  for (auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    Table* old_table = stripe->table.load(std::memory_order_relaxed);
+    stripe->evictions.fetch_add(stripe->fifo.size(),
+                                std::memory_order_relaxed);
+    for (Entry* e : stripe->fifo) epoch_.retire_object(e);
+    stripe->fifo.clear();
+    stripe->tombstones = 0;
+    stripe->live.store(0, std::memory_order_relaxed);
+    stripe->table.store(new Table(old_table->mask + 1),
+                        std::memory_order_release);
+    epoch_.retire_object(old_table);
+  }
+}
+
+CanonicalCache::Counters CanonicalCache::counters() const {
+  Counters out;
+  for (const auto& stripe : stripes_) {
+    out.hits += stripe->hits.load(std::memory_order_relaxed);
+    out.misses += stripe->misses.load(std::memory_order_relaxed);
+    out.insertions += stripe->insertions.load(std::memory_order_relaxed);
+    out.evictions += stripe->evictions.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::size_t CanonicalCache::size() const {
+  std::size_t n = 0;
+  for (const auto& stripe : stripes_) {
+    n += stripe->live.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+}  // namespace xt

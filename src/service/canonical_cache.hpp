@@ -1,0 +1,236 @@
+// Canonical-tree embedding cache, rebuilt read-mostly: an epoch-
+// guarded striped hash table keyed by the AHU-style canonical digest
+// of the guest's shape (btree/canonical.hpp), so any two isomorphic
+// guests — real workloads (divide & conquer recursion trees,
+// data-arrangement instances) produce floods of structurally
+// identical trees — share one embedding.
+//
+// Read side (the epoll loops' inline hit path, bulk_embed's dedup
+// probe, the service shards): pin an epoch (util/epoch.hpp), load the
+// stripe's slot array with one acquire, probe linearly, unpin.  No
+// mutex, no reference-count ping-pong, no allocation.  Readers may
+// race with eviction; the epoch domain guarantees a probed entry is
+// never freed while any reader is pinned, so a probe returns either
+// a miss or a fully published entry — never a torn one.
+//
+// Write side keeps LRU-ish eviction exactly where the old mutex LRU
+// had it: each stripe holds a second-chance FIFO under a small writer
+// mutex.  Readers mark entries with a ref bit; eviction pops the
+// oldest entry, re-queues it once if it was referenced, and retires
+// the true victim through the epoch domain.  (For the sequence the
+// unit tests pin — insert a, insert b, touch a, insert c — second
+// chance evicts b, same as exact LRU.)
+//
+// Entries store the host assignment indexed by *canonical* node id
+// plus the verified metrics; a hit is remapped onto the requesting
+// tree's ids through its own canonical relabelling, an O(n) copy
+// instead of an embed.  Values are handed out as shared_ptr snapshots
+// so a reader keeps its entry alive beyond the epoch guard.  Each
+// entry can also memoize one pre-serialized response-body prefix
+// (the wire hit path's fast encode); the memo dies with the entry,
+// which is what makes its invalidation trivial: evict == invalidate.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "btree/binary_tree.hpp"
+#include "graph/graph.hpp"
+#include "service/request.hpp"
+#include "util/epoch.hpp"
+
+namespace xt {
+
+struct CacheKey {
+  std::uint64_t canonical_hash = 0;
+  NodeId num_nodes = 0;
+  Theorem theorem = Theorem::kT1;
+  NodeId load = 16;
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
+struct CacheKeyHash {
+  [[nodiscard]] std::size_t operator()(const CacheKey& k) const {
+    std::uint64_t h = k.canonical_hash;
+    h ^= (static_cast<std::uint64_t>(k.num_nodes) << 8) +
+         (static_cast<std::uint64_t>(k.theorem) << 2) +
+         static_cast<std::uint64_t>(k.load) + 0x9e3779b97f4a7c15ULL +
+         (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// One cached embedding, in canonical-id space.
+struct CachedEmbedding {
+  std::vector<VertexId> canonical_assign;  // canonical id -> host vertex
+  VertexId host_vertices = 0;
+  std::int32_t host_height = 0;  // X-tree height or cube dimension
+  std::int32_t dilation = 0;
+  NodeId load_factor = 0;
+};
+
+/// Thread-safe canonical cache: lock-free epoch-pinned reads, striped
+/// mutex writes, second-chance eviction, hit / miss / insertion /
+/// eviction counters.
+class CanonicalCache {
+ public:
+  /// A published cache entry.  Immutable after publication except for
+  /// the atomic ref bit and the write-once encoded-body memo.
+  class Entry {
+   public:
+    Entry(const CacheKey& key, std::shared_ptr<const CachedEmbedding> value)
+        : key_(key), value_(std::move(value)) {}
+    Entry(const Entry&) = delete;
+    Entry& operator=(const Entry&) = delete;
+    ~Entry() { delete encoded_.load(std::memory_order_relaxed); }
+
+    [[nodiscard]] const CacheKey& key() const { return key_; }
+    [[nodiscard]] const CachedEmbedding& value() const { return *value_; }
+    [[nodiscard]] const std::shared_ptr<const CachedEmbedding>& value_ptr()
+        const {
+      return value_;
+    }
+
+    /// The memoized pre-serialized response-body prefix, or nullptr
+    /// if no hit has been served for this entry yet.  Valid while the
+    /// caller is inside with_entry (epoch-pinned).
+    [[nodiscard]] const std::string* encoded_body() const {
+      return encoded_.load(std::memory_order_acquire);
+    }
+
+    /// Publishes the memo exactly once; concurrent losers discard
+    /// their candidate.  The string dies with the entry, so eviction
+    /// or replacement invalidates the memo automatically.
+    void publish_encoded_body(std::string body) const {
+      auto* candidate = new std::string(std::move(body));
+      const std::string* expected = nullptr;
+      if (!encoded_.compare_exchange_strong(expected, candidate,
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed)) {
+        delete candidate;
+      }
+    }
+
+   private:
+    friend class CanonicalCache;
+    const CacheKey key_;
+    const std::shared_ptr<const CachedEmbedding> value_;
+    mutable std::atomic<const std::string*> encoded_{nullptr};
+    std::atomic<std::uint32_t> ref_{0};  // second-chance bit
+  };
+
+  /// `capacity` = max resident entries (>= 1).
+  explicit CanonicalCache(std::size_t capacity);
+  ~CanonicalCache();
+  CanonicalCache(const CanonicalCache&) = delete;
+  CanonicalCache& operator=(const CanonicalCache&) = delete;
+
+  /// Lock-free probe.  On a hit, runs `fn(const Entry&)` while the
+  /// epoch pin is held (the entry and its memo stay valid for the
+  /// duration) and returns true; on a miss returns false.  `fn` must
+  /// not re-enter the cache's write side.
+  template <typename Fn>
+  bool with_entry(const CacheKey& key, Fn&& fn) {
+    Stripe& st = stripe_for(key);
+    const EpochDomain::Guard guard = epoch_.pin();
+    const Table* table = st.table.load(std::memory_order_acquire);
+    const std::size_t h = CacheKeyHash{}(key);
+    std::size_t idx = h & table->mask;
+    for (std::size_t i = 0; i <= table->mask;
+         ++i, idx = (idx + 1) & table->mask) {
+      Entry* e = table->slots[idx].load(std::memory_order_acquire);
+      if (e == nullptr) break;
+      if (e == tombstone()) continue;
+      if (e->key() == key) {
+        if (e->ref_.load(std::memory_order_relaxed) == 0) {
+          e->ref_.store(1, std::memory_order_relaxed);
+        }
+        st.hits.fetch_add(1, std::memory_order_relaxed);
+        fn(static_cast<const Entry&>(*e));
+        return true;
+      }
+    }
+    st.misses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Compatibility probe: returns a shared_ptr snapshot (usable past
+  /// any concurrent eviction) or nullptr on miss.
+  [[nodiscard]] std::shared_ptr<const CachedEmbedding> lookup(
+      const CacheKey& key);
+
+  /// Inserts (or replaces) an entry, evicting the second-chance
+  /// victim when the stripe is at capacity.
+  void insert(const CacheKey& key, CachedEmbedding value);
+
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+  [[nodiscard]] Counters counters() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Drops every resident entry (each counted as an eviction).  Used
+  /// by fault injection to force mid-run cold-cache behaviour; live
+  /// shared_ptr snapshots held by readers stay valid, and epoch-
+  /// pinned probes in flight finish against the retired table.
+  void clear();
+
+  /// Test hook: drives the epoch domain until everything retired
+  /// before the call has been freed.
+  void synchronize_epochs() { epoch_.synchronize(); }
+
+ private:
+  // Slot arrays are published as immutable Table objects so a rebuild
+  // (tombstone compaction) can swap in a fresh array and retire the
+  // old one through the epoch domain while readers still probe it.
+  struct Table {
+    explicit Table(std::size_t n)
+        : mask(n - 1), slots(new std::atomic<Entry*>[n]()) {}
+    const std::size_t mask;
+    const std::unique_ptr<std::atomic<Entry*>[]> slots;
+  };
+
+  struct alignas(64) Stripe {
+    std::mutex mu;  // writers only
+    std::atomic<Table*> table{nullptr};
+    std::deque<Entry*> fifo;  // second-chance order, front = oldest
+    std::size_t tombstones = 0;
+    std::size_t cap = 0;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> insertions{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> live{0};
+  };
+
+  static Entry* tombstone() {
+    static char marker;
+    return reinterpret_cast<Entry*>(&marker);
+  }
+
+  Stripe& stripe_for(const CacheKey& key) {
+    return *stripes_[(CacheKeyHash{}(key) >> 48) % stripes_.size()];
+  }
+
+  void evict_one_locked(Stripe& st, Table& table);
+  void unlink_locked(Stripe& st, Table& table, const Entry* victim);
+  void maybe_rebuild_locked(Stripe& st);
+
+  const std::size_t capacity_;
+  EpochDomain epoch_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+}  // namespace xt

@@ -43,7 +43,7 @@
 
 #include "btree/canonical.hpp"
 #include "core/xtree_embedder.hpp"
-#include "service/cache.hpp"
+#include "service/canonical_cache.hpp"
 #include "service/fault.hpp"
 #include "service/request.hpp"
 #include "util/stats.hpp"
@@ -158,6 +158,12 @@ class EmbeddingService {
   [[nodiscard]] std::string stats_json() const { return stats().to_json(); }
 
   [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+  /// The canonical cache, or nullptr when disabled.  The network edge
+  /// probes it lock-free (epoch-pinned) to serve hits inline without
+  /// submitting; the cache outlives every reader by construction (it
+  /// is destroyed with the service, after the server stops).
+  [[nodiscard]] CanonicalCache* canonical_cache() { return cache_.get(); }
 
  private:
   struct Pending {

@@ -1,0 +1,258 @@
+// Epoch-based reclamation for read-mostly shared structures.
+//
+// The read side of the canonical cache must never block: the epoll
+// loops probe it inline between socket reads, so a mutex there would
+// serialize every connection behind every writer.  Instead readers
+// *pin* an epoch (one CAS on a private cache line), probe whatever
+// lock-free structure the domain guards, and unpin.  Writers unlink
+// nodes from the structure first, then hand them to `retire()`; the
+// domain defers the actual free until every reader that could still
+// hold a raw pointer has unpinned.
+//
+// Scheme (three-bucket EBR, crossbeam-style):
+//
+//   global epoch  g ───────►  g+1  ───────►  g+2
+//   readers pin at the global epoch they observe; a pinned reader's
+//   slot therefore always holds g or g-1.
+//   advance g -> g+1 is permitted only when every slot is idle or
+//   already at g; it frees the limbo bucket of objects retired at
+//   epoch g-1 (two advances = one full grace period).
+//
+// Why that is safe: a reader that might hold an object retired at
+// epoch e was pinned at e or e-1 when the object was unlinked.  Both
+// advances e -> e+1 and e+1 -> e+2 wait for such readers to unpin, so
+// the bucket freed on the advance to e+1 (objects from e-1) can no
+// longer be reached.  A reader pinning *after* the advance read the
+// new global epoch (seq_cst), which synchronizes-with the advance
+// store; the unlink is ordered before that store (retire_mu_ +
+// program order), so the late reader observes the tombstone, never
+// the retired node.
+//
+// Readers claim one of 64 cache-line-padded slots per pin (CAS from
+// 0, scan start hashed from the thread id so distinct threads land on
+// distinct lines).  If all slots are busy the reader falls back to a
+// shared per-epoch pin counter — still lock-free, just contended.
+//
+// Lifetime contract: guards must not outlive the domain, and the
+// destructor assumes no concurrent readers (it frees all limbo
+// buckets unconditionally).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace xt {
+
+class EpochDomain {
+ public:
+  EpochDomain() = default;
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  ~EpochDomain() {
+    // No readers may be pinned here; drain every bucket.
+    for (auto& bucket : limbo_) {
+      for (const Retired& r : bucket) r.deleter(r.ptr);
+      bucket.clear();
+    }
+  }
+
+  /// RAII pin.  While alive, no object retired after construction is
+  /// freed, so raw pointers read from the guarded structure stay
+  /// valid until the guard drops.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(Guard&& other) noexcept
+        : domain_(std::exchange(other.domain_, nullptr)),
+          slot_(other.slot_),
+          epoch_(other.epoch_) {}
+    Guard& operator=(Guard&& other) noexcept {
+      if (this != &other) {
+        release();
+        domain_ = std::exchange(other.domain_, nullptr);
+        slot_ = other.slot_;
+        epoch_ = other.epoch_;
+      }
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { release(); }
+
+    [[nodiscard]] bool active() const { return domain_ != nullptr; }
+
+   private:
+    friend class EpochDomain;
+    Guard(EpochDomain* domain, int slot, std::uint64_t epoch)
+        : domain_(domain), slot_(slot), epoch_(epoch) {}
+
+    void release() {
+      if (domain_ == nullptr) return;
+      if (slot_ >= 0) {
+        domain_->slots_[static_cast<std::size_t>(slot_)].value.store(
+            kIdle, std::memory_order_release);
+      } else {
+        domain_->overflow_[epoch_ % kBuckets].value.fetch_sub(
+            1, std::memory_order_release);
+      }
+      domain_ = nullptr;
+    }
+
+    EpochDomain* domain_ = nullptr;
+    int slot_ = -1;
+    std::uint64_t epoch_ = 0;
+  };
+
+  /// Pins the current epoch.  Lock-free; never blocks on writers.
+  [[nodiscard]] Guard pin() {
+    const int slot = claim_slot();
+    std::uint64_t e = global_.load(std::memory_order_seq_cst);
+    if (slot >= 0) {
+      auto& cell = slots_[static_cast<std::size_t>(slot)].value;
+      // Publish the pin, then re-read the global epoch until the two
+      // agree: the advance scan must either see our pin or we must
+      // see its new epoch.
+      cell.store(e, std::memory_order_seq_cst);
+      for (;;) {
+        const std::uint64_t now = global_.load(std::memory_order_seq_cst);
+        if (now == e) break;
+        e = now;
+        cell.store(e, std::memory_order_seq_cst);
+      }
+      return Guard(this, slot, e);
+    }
+    // All slots busy: pin through the shared per-epoch counters.
+    for (;;) {
+      overflow_[e % kBuckets].value.fetch_add(1, std::memory_order_seq_cst);
+      const std::uint64_t now = global_.load(std::memory_order_seq_cst);
+      if (now == e) break;
+      overflow_[e % kBuckets].value.fetch_sub(1, std::memory_order_seq_cst);
+      e = now;
+    }
+    return Guard(this, -1, e);
+  }
+
+  /// Hands an unlinked object to the domain.  The deleter runs after
+  /// a full grace period (or in the destructor).  The caller must
+  /// have already made the object unreachable to new readers.
+  void retire(void* ptr, void (*deleter)(void*)) {
+    std::lock_guard<std::mutex> lock(retire_mu_);
+    const std::uint64_t e = global_.load(std::memory_order_relaxed);
+    limbo_[e % kBuckets].push_back(Retired{ptr, deleter});
+    ++retired_since_advance_;
+    if (retired_since_advance_ >= kAdvanceEvery) {
+      retired_since_advance_ = 0;
+      try_advance_locked();
+    }
+  }
+
+  template <typename T>
+  void retire_object(T* ptr) {
+    retire(ptr, [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  /// One advance attempt; returns true if the epoch moved (and the
+  /// expired bucket was freed).
+  bool try_advance() {
+    std::lock_guard<std::mutex> lock(retire_mu_);
+    return try_advance_locked();
+  }
+
+  /// Blocks (spinning politely) until everything retired before the
+  /// call has been freed.  Test/teardown helper, not a hot-path API.
+  void synchronize() {
+    for (int advances = 0; advances < 3;) {
+      if (try_advance()) {
+        ++advances;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint64_t epoch() const {
+    return global_.load(std::memory_order_relaxed);
+  }
+
+  /// Objects currently awaiting a grace period (diagnostics).
+  [[nodiscard]] std::size_t limbo_size() {
+    std::lock_guard<std::mutex> lock(retire_mu_);
+    std::size_t n = 0;
+    for (const auto& bucket : limbo_) n += bucket.size();
+    return n;
+  }
+
+ private:
+  static constexpr std::uint64_t kIdle = 0;
+  static constexpr std::size_t kBuckets = 3;
+  static constexpr std::size_t kSlots = 64;
+  static constexpr std::uint64_t kAdvanceEvery = 64;
+
+  struct alignas(64) PaddedEpoch {
+    std::atomic<std::uint64_t> value{kIdle};
+  };
+  struct alignas(64) PaddedCount {
+    std::atomic<std::uint64_t> value{0};
+  };
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+  };
+
+  int claim_slot() {
+    const std::size_t start =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) % kSlots;
+    for (std::size_t i = 0; i < kSlots; ++i) {
+      const std::size_t s = (start + i) % kSlots;
+      std::uint64_t expected = kIdle;
+      // Claim with a placeholder; pin() overwrites it with the real
+      // epoch.  A slot stuck at kClaimed holds no pointers yet (its
+      // owner reads the global epoch only after claiming), so
+      // try_advance treats it like idle.
+      if (slots_[s].value.compare_exchange_strong(
+              expected, kClaimed, std::memory_order_acq_rel)) {
+        return static_cast<int>(s);
+      }
+    }
+    return -1;
+  }
+
+  bool try_advance_locked() {
+    const std::uint64_t e = global_.load(std::memory_order_relaxed);
+    for (const auto& slot : slots_) {
+      const std::uint64_t v = slot.value.load(std::memory_order_seq_cst);
+      if (v != kIdle && v != e && v != kClaimed) return false;
+    }
+    // Overflow pins at e-1 (bucket (e+2)%3) also block the advance.
+    if (overflow_[(e + kBuckets - 1) % kBuckets].value.load(
+            std::memory_order_seq_cst) != 0) {
+      return false;
+    }
+    global_.store(e + 1, std::memory_order_seq_cst);
+    auto& expired = limbo_[(e + kBuckets - 1) % kBuckets];
+    for (const Retired& r : expired) r.deleter(r.ptr);
+    expired.clear();
+    return true;
+  }
+
+  // kClaimed marks a slot whose owner has not yet published an epoch
+  // (and therefore cannot hold a pointer).
+  static constexpr std::uint64_t kClaimed = ~std::uint64_t{0};
+
+  // Epochs start at 1 so kIdle (0) is unambiguous in a slot.
+  std::atomic<std::uint64_t> global_{1};
+  PaddedEpoch slots_[kSlots];
+  PaddedCount overflow_[kBuckets];
+
+  std::mutex retire_mu_;  // serializes retire bookkeeping and advances
+  std::vector<Retired> limbo_[kBuckets];
+  std::uint64_t retired_since_advance_ = 0;
+};
+
+}  // namespace xt

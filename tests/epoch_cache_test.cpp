@@ -1,0 +1,283 @@
+// Unit + stress coverage for the epoch-reclamation domain
+// (util/epoch.hpp) and the epoch-guarded canonical cache
+// (service/canonical_cache.hpp).  The stress test is the TSan target:
+// reader threads hammer the lock-free probe while a writer inserts,
+// evicts, replaces and clears; every probe must observe either a miss
+// or a fully published entry whose value is consistent with its key,
+// and no retired entry may be freed while a reader can still reach it
+// (TSan/ASan would flag the use-after-free or the race).
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/canonical_cache.hpp"
+#include "util/epoch.hpp"
+
+namespace xt {
+namespace {
+
+CacheKey key_of(std::uint64_t i) {
+  CacheKey k;
+  k.canonical_hash = 0x9e3779b97f4a7c15ULL * (i + 1);
+  k.num_nodes = static_cast<NodeId>(i % 1000 + 1);
+  k.theorem = Theorem::kT1;
+  k.load = 16;
+  return k;
+}
+
+/// The stress invariant: the value stored under key i is always
+/// derived from i, so a torn or stale read is detectable.
+CachedEmbedding value_of(std::uint64_t i) {
+  CachedEmbedding v;
+  v.canonical_assign = {static_cast<VertexId>(i), static_cast<VertexId>(i + 1)};
+  v.host_vertices = static_cast<VertexId>(i + 2);
+  v.host_height = static_cast<std::int32_t>(i % 97);
+  v.dilation = 3;
+  v.load_factor = 16;
+  return v;
+}
+
+bool value_matches(const CachedEmbedding& v, std::uint64_t i) {
+  return v.canonical_assign.size() == 2 &&
+         v.canonical_assign[0] == static_cast<VertexId>(i) &&
+         v.canonical_assign[1] == static_cast<VertexId>(i + 1) &&
+         v.host_vertices == static_cast<VertexId>(i + 2) &&
+         v.host_height == static_cast<std::int32_t>(i % 97);
+}
+
+TEST(EpochDomain, RetireeSurvivesWhileAReaderIsPinned) {
+  EpochDomain d;
+  bool freed = false;
+  {
+    const EpochDomain::Guard g = d.pin();
+    ASSERT_TRUE(g.active());
+    d.retire(&freed, [](void* p) { *static_cast<bool*>(p) = true; });
+    // A reader pinned at the current epoch permits one advance (it
+    // frees the *previous* bucket) but blocks the second — the one
+    // that would free our retiree's bucket.
+    EXPECT_TRUE(d.try_advance());
+    EXPECT_FALSE(d.try_advance());
+    EXPECT_FALSE(freed);
+  }
+  d.synchronize();
+  EXPECT_TRUE(freed);
+  EXPECT_EQ(d.limbo_size(), 0u);
+}
+
+TEST(EpochDomain, SynchronizeFreesEverythingRetired) {
+  EpochDomain d;
+  std::atomic<int> freed{0};
+  for (int i = 0; i < 100; ++i) {
+    auto* p = new std::pair<std::atomic<int>*, int>{&freed, i};
+    d.retire(p, [](void* q) {
+      auto* pr = static_cast<std::pair<std::atomic<int>*, int>*>(q);
+      pr->first->fetch_add(1);
+      delete pr;
+    });
+  }
+  d.synchronize();
+  EXPECT_EQ(freed.load(), 100);
+  EXPECT_EQ(d.limbo_size(), 0u);
+}
+
+TEST(EpochDomain, OverflowPinsBeyondTheSlotArrayStillProtect) {
+  EpochDomain d;
+  // More guards than reader slots: the tail pins go through the
+  // shared overflow counters and must block reclamation just the same.
+  std::vector<EpochDomain::Guard> guards;
+  guards.reserve(70);
+  for (int i = 0; i < 70; ++i) guards.push_back(d.pin());
+  for (const EpochDomain::Guard& g : guards) EXPECT_TRUE(g.active());
+
+  bool freed = false;
+  d.retire(&freed, [](void* p) { *static_cast<bool*>(p) = true; });
+  EXPECT_TRUE(d.try_advance());
+  EXPECT_FALSE(d.try_advance());
+  EXPECT_FALSE(freed);
+
+  guards.clear();
+  d.synchronize();
+  EXPECT_TRUE(freed);
+}
+
+TEST(EpochDomain, DestructorDrainsTheLimbo) {
+  std::atomic<int> freed{0};
+  {
+    EpochDomain d;
+    for (int i = 0; i < 5; ++i) {
+      d.retire(&freed, [](void* p) {
+        static_cast<std::atomic<int>*>(p)->fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(freed.load(), 5);
+}
+
+TEST(CanonicalCache, WithEntryHitRunsTheCallbackPinned) {
+  CanonicalCache cache(8);
+  cache.insert(key_of(1), value_of(1));
+
+  bool ran = false;
+  EXPECT_TRUE(cache.with_entry(key_of(1), [&](const CanonicalCache::Entry& e) {
+    ran = true;
+    EXPECT_EQ(e.key(), key_of(1));
+    EXPECT_TRUE(value_matches(e.value(), 1));
+  }));
+  EXPECT_TRUE(ran);
+  EXPECT_FALSE(cache.with_entry(
+      key_of(2), [](const CanonicalCache::Entry&) { FAIL(); }));
+
+  const CanonicalCache::Counters c = cache.counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.insertions, 1u);
+}
+
+TEST(CanonicalCache, EncodedBodyMemoPublishesExactlyOnce) {
+  CanonicalCache cache(8);
+  cache.insert(key_of(7), value_of(7));
+  cache.with_entry(key_of(7), [&](const CanonicalCache::Entry& e) {
+    EXPECT_EQ(e.encoded_body(), nullptr);
+    e.publish_encoded_body("first");
+    ASSERT_NE(e.encoded_body(), nullptr);
+    EXPECT_EQ(*e.encoded_body(), "first");
+    e.publish_encoded_body("second");  // loser: discarded
+    EXPECT_EQ(*e.encoded_body(), "first");
+  });
+}
+
+TEST(CanonicalCache, SecondChanceEvictsTheUntouchedEntry) {
+  CanonicalCache cache(2);
+  cache.insert(key_of(1), value_of(1));
+  cache.insert(key_of(2), value_of(2));
+  // Touch 1 (sets its second-chance ref bit), then overflow with 3:
+  // the untouched 2 is the victim, exactly as LRU would pick.
+  EXPECT_TRUE(cache.with_entry(key_of(1),
+                               [](const CanonicalCache::Entry&) {}));
+  cache.insert(key_of(3), value_of(3));
+
+  EXPECT_TRUE(cache.with_entry(key_of(1),
+                               [](const CanonicalCache::Entry&) {}));
+  EXPECT_FALSE(cache.with_entry(key_of(2),
+                                [](const CanonicalCache::Entry&) {}));
+  EXPECT_TRUE(cache.with_entry(key_of(3),
+                               [](const CanonicalCache::Entry&) {}));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.counters().evictions, 1u);
+}
+
+TEST(CanonicalCache, ReplacingAKeyRetiresTheOldEntry) {
+  CanonicalCache cache(4);
+  cache.insert(key_of(1), value_of(1));
+  cache.insert(key_of(1), value_of(41));
+  EXPECT_EQ(cache.size(), 1u);
+  cache.with_entry(key_of(1), [&](const CanonicalCache::Entry& e) {
+    EXPECT_TRUE(value_matches(e.value(), 41));
+  });
+  cache.synchronize_epochs();  // old entry must free cleanly (ASan)
+}
+
+TEST(CanonicalCache, SnapshotsSurviveClear) {
+  CanonicalCache cache(4);
+  cache.insert(key_of(1), value_of(1));
+  cache.insert(key_of(2), value_of(2));
+  const std::shared_ptr<const CachedEmbedding> snap = cache.lookup(key_of(1));
+  ASSERT_NE(snap, nullptr);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.with_entry(key_of(1),
+                                [](const CanonicalCache::Entry&) {}));
+  EXPECT_EQ(cache.counters().evictions, 2u);
+  // The shared_ptr snapshot outlives the entry.
+  EXPECT_TRUE(value_matches(*snap, 1));
+  cache.synchronize_epochs();
+  EXPECT_TRUE(value_matches(*snap, 1));
+}
+
+TEST(CanonicalCache, ChurnForcesEvictionAndTableRebuild) {
+  CanonicalCache cache(4);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    cache.insert(key_of(i), value_of(i));
+  }
+  EXPECT_LE(cache.size(), 4u);
+  const CanonicalCache::Counters c = cache.counters();
+  EXPECT_EQ(c.insertions, 200u);
+  EXPECT_EQ(c.evictions, 200u - cache.size());
+  // Whatever survived must still be findable and consistent.
+  std::size_t found = 0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    cache.with_entry(key_of(i), [&](const CanonicalCache::Entry& e) {
+      ++found;
+      EXPECT_TRUE(value_matches(e.value(), i));
+    });
+  }
+  EXPECT_EQ(found, cache.size());
+  cache.synchronize_epochs();
+}
+
+// The TSan lane's main course: N readers probe lock-free while one
+// writer inserts / replaces / evicts / clears.  Readers assert that a
+// hit is always a fully published entry consistent with its key and
+// that the memo, when present, matches too.
+TEST(CanonicalCache, ConcurrentReadersSurviveWriterChurn) {
+  constexpr std::uint64_t kKeySpace = 128;
+  constexpr std::uint64_t kWriterIters = 30000;
+  constexpr int kReaders = 4;
+  CanonicalCache cache(64);  // smaller than the key space: real churn
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> failed{false};
+  std::atomic<std::uint64_t> reader_hits{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::uint64_t x = 88172645463325252ULL + static_cast<std::uint64_t>(r);
+      while (!done.load(std::memory_order_relaxed)) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const std::uint64_t i = x % kKeySpace;
+        cache.with_entry(key_of(i), [&](const CanonicalCache::Entry& e) {
+          reader_hits.fetch_add(1, std::memory_order_relaxed);
+          if (!(e.key() == key_of(i)) || !value_matches(e.value(), i)) {
+            failed.store(true, std::memory_order_relaxed);
+          }
+          const std::string* memo = e.encoded_body();
+          if (memo == nullptr) {
+            e.publish_encoded_body(std::to_string(i));
+            memo = e.encoded_body();
+          }
+          if (memo == nullptr || *memo != std::to_string(i)) {
+            failed.store(true, std::memory_order_relaxed);
+          }
+        });
+      }
+    });
+  }
+
+  for (std::uint64_t i = 0; i < kWriterIters; ++i) {
+    cache.insert(key_of(i % kKeySpace), value_of(i % kKeySpace));
+    if (i % 5000 == 4999) cache.clear();
+  }
+  done.store(true);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_FALSE(failed.load());
+  EXPECT_GT(reader_hits.load(), 0u);
+  const CanonicalCache::Counters c = cache.counters();
+  EXPECT_EQ(c.insertions, kWriterIters);
+  cache.synchronize_epochs();
+  cache.clear();
+  cache.synchronize_epochs();
+}
+
+}  // namespace
+}  // namespace xt

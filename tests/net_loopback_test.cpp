@@ -9,7 +9,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
+#include <new>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -23,6 +25,39 @@
 #include "net/server.hpp"
 #include "net/wire.hpp"
 #include "service/service.hpp"
+
+// Thread-local allocation counting for the steady-state hit-path test:
+// when armed, every global new/delete on the calling thread bumps the
+// counter.  Replacing ::operator new is binary-wide, so the override
+// is a single thread_local increment when disarmed — noise for the
+// other tests, not a behavior change.
+namespace {
+thread_local bool t_count_allocs = false;
+thread_local std::uint64_t t_alloc_count = 0;
+}  // namespace
+
+// GCC pairs the replaced operators against its builtin knowledge of
+// new/delete and misfires -Wmismatched-new-delete on the free() calls;
+// the replacement set below is internally consistent (all malloc/free).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  if (t_count_allocs) ++t_alloc_count;
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) {
+  if (t_count_allocs) ++t_alloc_count;
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace xt {
 namespace {
@@ -254,9 +289,17 @@ TEST(NetLoopback, ConcurrentClientsAllGetAnswers) {
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(ok.load(), kClients * kRequestsPerClient);
   h.expect_accounting_identity();
+  // Every ok answer was served exactly once: either by a shard
+  // (service `completed`) or inline from the canonical cache on the
+  // event loop (`inline_hits`) — the extended accounting identity.
   const ServiceStats s = h.service->stats();
-  EXPECT_EQ(s.completed,
+  const NetServerStats n = h.server->stats();
+  EXPECT_EQ(s.completed + n.inline_hits,
             static_cast<std::uint64_t>(kClients * kRequestsPerClient));
+  // All 200 requests carry the same tree, so all but the first miss
+  // must be inline hits.
+  EXPECT_GE(n.inline_hits, 1u);
+  EXPECT_EQ(s.submitted, s.completed);
 }
 
 TEST(NetLoopback, QueueFullSurfacesAsStructuredRejection) {
@@ -425,12 +468,186 @@ TEST(NetLoopback, StatsJsonExposesTheCounterNames) {
        {"\"connections_accepted\"", "\"connections_closed\"",
         "\"connections_rejected\"", "\"slow_consumer_disconnects\"",
         "\"protocol_errors\"", "\"frames_received\"", "\"http_requests\"",
-        "\"requests_submitted\"", "\"responses_sent\"",
+        "\"requests_submitted\"", "\"inline_hits\"", "\"inline_misses\"",
+        "\"responses_sent\"",
         "\"responses_dropped\"", "\"overloaded_rejections\"",
         "\"shutdown_rejections\"", "\"bad_requests\"", "\"bytes_in\"",
         "\"bytes_out\"", "\"open_connections\"", "\"inflight\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
+}
+
+TEST(NetLoopback, InlineHitServesWithoutSubmitting) {
+  Harness h;
+  NetClient client = h.connect();
+  std::string error;
+
+  // First request: a digest-path miss that the service embeds and
+  // inserts into the canonical cache.
+  WireFrame response;
+  ASSERT_TRUE(client.call(paren_request("((.(..))(..))", 1), &response,
+                          &error))
+      << error;
+  ASSERT_EQ(static_cast<WireStatus>(response.code), WireStatus::kOk);
+  ASSERT_EQ(h.service->stats().submitted, 1u);
+  EXPECT_GE(h.server->stats().inline_misses, 1u);
+
+  // Second, identical request: answered inline on the event loop —
+  // the service never sees it.
+  ASSERT_TRUE(client.call(paren_request("((.(..))(..))", 2), &response,
+                          &error))
+      << error;
+  EXPECT_EQ(static_cast<WireStatus>(response.code), WireStatus::kOk);
+  EXPECT_EQ(response.request_id, 2u);
+  EXPECT_NE(response.payload.find("\"cache_hit\": true"), std::string::npos)
+      << response.payload;
+  // Inline answers never reach a shard, so served_seq reports 0.
+  EXPECT_NE(response.payload.find("\"served_seq\": 0"), std::string::npos)
+      << response.payload;
+  EXPECT_EQ(h.service->stats().submitted, 1u);
+  EXPECT_EQ(h.server->stats().inline_hits, 1u);
+
+  // An isomorphic tree under a different wire format hits the same
+  // canonical entry (the digest is format-independent).
+  WireFrame record = paren_request("", 3);
+  record.format = static_cast<std::uint8_t>(WireFormat::kXtb1Record);
+  record.payload = encode_xtb1_record(BinaryTree::from_paren("((.(..))(..))"));
+  ASSERT_TRUE(client.call(record, &response, &error)) << error;
+  EXPECT_EQ(static_cast<WireStatus>(response.code), WireStatus::kOk);
+  EXPECT_EQ(h.service->stats().submitted, 1u);
+  EXPECT_EQ(h.server->stats().inline_hits, 2u);
+
+  // GET /stats reports the new counters (pinned for scrapers).
+  NetClient http = h.connect();
+  NetClient::HttpResult result;
+  ASSERT_TRUE(http.http("GET", "/stats", "", &result, &error)) << error;
+  EXPECT_NE(result.body.find("\"inline_hits\": 2"), std::string::npos)
+      << result.body;
+  h.expect_accounting_identity();
+}
+
+TEST(NetLoopback, InlineHitBytesMatchQueuedPath) {
+  // The fast path must be invisible on the wire: for a warm cache
+  // entry, an inline answer and a queued answer are byte-identical
+  // except the per-request served_seq/latency_ms tail (which the JSON
+  // field order deliberately puts last).
+  Harness h;
+  NetClient client = h.connect();
+  std::string error;
+
+  const auto prefix_of = [](const std::string& body) {
+    const std::size_t pos = body.find(", \"served_seq\":");
+    EXPECT_NE(pos, std::string::npos) << body;
+    return body.substr(0, pos);
+  };
+
+  for (const std::uint8_t flags : {std::uint8_t{0}, kWireFlagWantEmbedding}) {
+    // Warm the cache (and skew request ids so runs stay readable).
+    WireFrame response;
+    ASSERT_TRUE(client.call(paren_request("((..)((..)(..)))", 10, flags),
+                            &response, &error))
+        << error;
+    ASSERT_EQ(static_cast<WireStatus>(response.code), WireStatus::kOk);
+
+    // Arm A: inline hit.
+    h.server->set_inline_hits(true);
+    WireFrame inline_hit;
+    ASSERT_TRUE(client.call(paren_request("((..)((..)(..)))", 11, flags),
+                            &inline_hit, &error))
+        << error;
+    // Arm B: same live server, fast path off — the hit goes through
+    // the service queue.
+    h.server->set_inline_hits(false);
+    WireFrame queued_hit;
+    ASSERT_TRUE(client.call(paren_request("((..)((..)(..)))", 12, flags),
+                            &queued_hit, &error))
+        << error;
+    h.server->set_inline_hits(true);
+
+    EXPECT_EQ(inline_hit.code, queued_hit.code);
+    EXPECT_EQ(inline_hit.flags, queued_hit.flags);
+    EXPECT_EQ(prefix_of(inline_hit.payload), prefix_of(queued_hit.payload))
+        << "flags=" << static_cast<int>(flags);
+  }
+
+  // Same comparison over HTTP.
+  NetClient http = h.connect();
+  NetClient::HttpResult warm, a, b;
+  ASSERT_TRUE(http.http("POST", "/embed?want_embedding=1", "((,),(,));",
+                        &warm, &error))
+      << error;
+  ASSERT_EQ(warm.status, 200);
+  ASSERT_TRUE(http.http("POST", "/embed?want_embedding=1", "((,),(,));", &a,
+                        &error))
+      << error;
+  h.server->set_inline_hits(false);
+  ASSERT_TRUE(http.http("POST", "/embed?want_embedding=1", "((,),(,));", &b,
+                        &error))
+      << error;
+  h.server->set_inline_hits(true);
+  EXPECT_EQ(a.status, 200);
+  EXPECT_EQ(b.status, 200);
+  EXPECT_EQ(prefix_of(a.body), prefix_of(b.body));
+  EXPECT_GE(h.server->stats().inline_hits, 3u);
+  h.expect_accounting_identity();
+}
+
+TEST(NetLoopback, DisablingInlineHitsForcesQueuedPath) {
+  NetServerConfig net_config;
+  net_config.enable_inline_hits = false;
+  Harness h(net_config);
+  NetClient client = h.connect();
+  std::string error;
+  for (std::uint32_t id = 1; id <= 3; ++id) {
+    WireFrame response;
+    ASSERT_TRUE(client.call(paren_request("((..)(..))", id), &response,
+                            &error))
+        << error;
+    EXPECT_EQ(static_cast<WireStatus>(response.code), WireStatus::kOk);
+  }
+  // Every repeat was a service-side cache hit, never an inline one.
+  EXPECT_EQ(h.server->stats().inline_hits, 0u);
+  EXPECT_EQ(h.server->stats().inline_misses, 0u);
+  EXPECT_EQ(h.service->stats().submitted, 3u);
+  h.expect_accounting_identity();
+}
+
+TEST(NetLoopback, SteadyStateHitPathDoesNotAllocateOnTheClient) {
+  // The client-side hit loop (encode into send_buf_, recv into the
+  // parser's retained buffer, payload reuse) must be allocation-free
+  // once warm.  Counted thread-locally so server threads don't bleed
+  // into the measurement; gtest macros stay out of the hot loop.
+  Harness h;
+  NetClient client = h.connect();
+  std::string error;
+
+  WireFrame request = paren_request("((.(..))(..))", 1);
+  WireFrame response;
+  bool all_ok = true;
+  for (int i = 0; i < 32; ++i) {  // warm-up: caches, buffer capacities
+    all_ok = client.call(request, &response, &error) && all_ok;
+  }
+  ASSERT_TRUE(all_ok) << error;
+  ASSERT_EQ(static_cast<WireStatus>(response.code), WireStatus::kOk);
+
+  constexpr int kMeasured = 100;
+  t_alloc_count = 0;
+  t_count_allocs = true;
+  for (int i = 0; i < kMeasured; ++i) {
+    all_ok = client.call(request, &response, &error) && all_ok;
+  }
+  t_count_allocs = false;
+  const std::uint64_t allocs = t_alloc_count;
+
+  ASSERT_TRUE(all_ok) << error;
+  EXPECT_EQ(static_cast<WireStatus>(response.code), WireStatus::kOk);
+  // A steady-state hit makes no client-side allocations; allow a tiny
+  // slack for one-off buffer growth (parser compaction) so the test
+  // pins the behavior without being brittle.
+  EXPECT_LE(allocs, 4u) << allocs << " allocations over " << kMeasured
+                        << " calls";
+  EXPECT_GE(h.server->stats().inline_hits,
+            static_cast<std::uint64_t>(kMeasured));
 }
 
 }  // namespace

@@ -51,6 +51,9 @@ int usage(const char* prog) {
       << "  --max-conns=N     connection cap (default 1024)\n"
       << "  --max-inflight=N  server-wide in-flight cap (default 4096)\n"
       << "  --drain-ms=N      graceful-stop budget (default 5000)\n"
+      << "  --no-inline-hits  disable event-loop hit serving: every\n"
+      << "                    request takes the queued service path\n"
+      << "                    (fault drills need the full state machine)\n"
       << "  --fault-plan=F    fault-injection directives (see header)\n"
       << "  --port-file=F     write the bound port to F (scripts)\n"
       << "  --verbose         echo diagnostics to stderr\n";
@@ -151,6 +154,7 @@ int main(int argc, char** argv) {
   net_config.drain_timeout_ms =
       static_cast<int>(cli.get_int("drain-ms", 5000));
   net_config.reuse_port = cli.has("reuse-port");
+  net_config.enable_inline_hits = !cli.has("no-inline-hits");
   if (verbose) {
     net_config.diagnostic_sink = [](const std::string& line) {
       std::cerr << "[net] " << line << "\n";
