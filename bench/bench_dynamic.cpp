@@ -21,7 +21,7 @@ void grow_like(DynamicEmbedder& dyn, const BinaryTree& target) {
   // target node -> dynamic node (root already exists).
   std::vector<NodeId> image(static_cast<std::size_t>(target.num_nodes()),
                             kInvalidNode);
-  image[static_cast<std::size_t>(target.root())] = dyn.guest().root();
+  image[static_cast<std::size_t>(target.root())] = dyn.root();
   std::vector<NodeId> queue{target.root()};
   for (std::size_t head = 0; head < queue.size(); ++head) {
     const NodeId v = queue[head];
@@ -52,9 +52,9 @@ int run(int argc, char** argv) {
 
       DynamicEmbedder dyn(r);
       grow_like(dyn, guest);
-      const Embedding online = dyn.snapshot();
+      const auto online = dyn.snapshot();
       const XTree host(r);
-      const auto online_rep = dilation_xtree(dyn.guest(), online, host);
+      const auto online_rep = dilation_xtree(online.tree, online.embedding, host);
 
       const auto offline = XTreeEmbedder::embed(guest);
       const auto offline_rep =

@@ -1,0 +1,474 @@
+// Session-workload benchmarks (BENCH_9.json): the online-maintenance
+// engine behind the session layer, measured at three seams.
+//
+//   throughput    mutation batches through a live SessionManager at
+//                 three op mixes (grow-heavy, churn, move-heavy):
+//                 ops/s end to end through the FIFO + writer thread,
+//                 with the repaired/escalated/rejected split.
+//   readers       snapshot-read p50 on an idle session vs the same
+//                 reads while a writer continuously publishes: the
+//                 epoch scheme promises readers never block, so the
+//                 under-writes p50 should stay within 2x of idle
+//                 (reported as a warn-only pass flag — CI runners
+//                 timeshare cores and compress the comparison).
+//   crossover     repair-vs-escalate sweep over max_repair_nodes on a
+//                 move-heavy workload against DynamicEmbedder
+//                 directly: where the local-repair budget stops
+//                 escalations, and what each regime costs per op.
+//
+// The embedders' accounting identity
+//     applied == repaired + escalated + rejected
+// is re-checked from the aggregated SessionStats at the end and the
+// run exits nonzero if it ever fails — that one is a hard invariant,
+// not a perf target.
+//
+// Usage:
+//   ./bench_session                      # full run
+//   ./bench_session --smoke              # CI-sized run
+//   ./bench_session --json=BENCH_9.json  # also write the JSON report
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dynamic_embedder.hpp"
+#include "io/mutation_script.hpp"
+#include "service/session.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace xt;
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Weights (percent) for one workload shape; the remainder is moves.
+struct OpMix {
+  const char* name;
+  int add = 0;
+  int remove_leaf = 0;
+  int remove_subtree = 0;
+};
+
+NodeId pick_live(const DynamicEmbedder& shadow, Rng& rng) {
+  const NodeId ids = shadow.num_ids();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const NodeId v = static_cast<NodeId>(rng.below(
+        static_cast<std::size_t>(ids)));
+    if (shadow.is_live(v)) return v;
+  }
+  return shadow.root();
+}
+
+NodeId pick_live_leaf(const DynamicEmbedder& shadow, Rng& rng) {
+  const NodeId ids = shadow.num_ids();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const NodeId v = static_cast<NodeId>(rng.below(
+        static_cast<std::size_t>(ids)));
+    if (shadow.is_live(v) && v != shadow.root() && shadow.is_leaf(v)) return v;
+  }
+  return pick_live(shadow, rng);
+}
+
+/// Generates `count` ops of the given mix, applying each to `shadow`
+/// so later ops reference the id space the real consumer will have
+/// after replaying the earlier ones in order (op validity is a pure
+/// function of structure, so shadow and consumer agree op by op).
+/// Near machine capacity the mix is overridden toward removals so the
+/// workload holds a steady state instead of devolving into host_full
+/// rejections.
+std::vector<MutationOp> make_ops(DynamicEmbedder& shadow, std::size_t count,
+                                 const OpMix& mix, Rng& rng) {
+  std::vector<MutationOp> ops;
+  ops.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    int roll = static_cast<int>(rng.below(100));
+    if (shadow.free_capacity() < 8) roll = mix.add;  // force remove-leaf
+    else if (shadow.num_live() < 8) roll = 0;        // force growth
+    MutationOp op;
+    if (roll < mix.add) {
+      op.kind = MutationOpKind::kAddLeaf;
+      op.a = pick_live(shadow, rng);
+      shadow.try_add_leaf(op.a);
+    } else if (roll < mix.add + mix.remove_leaf) {
+      op.kind = MutationOpKind::kRemoveLeaf;
+      op.a = pick_live_leaf(shadow, rng);
+      shadow.try_remove_leaf(op.a);
+    } else if (roll < mix.add + mix.remove_leaf + mix.remove_subtree) {
+      op.kind = MutationOpKind::kRemoveSubtree;
+      op.a = pick_live(shadow, rng);
+      shadow.try_remove_subtree(op.a);
+    } else {
+      op.kind = MutationOpKind::kMoveSubtree;
+      op.a = pick_live(shadow, rng);
+      op.b = pick_live(shadow, rng);
+      shadow.try_move_subtree(op.a, op.b);
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+struct ThroughputRow {
+  std::string mix;
+  std::size_t ops = 0;
+  std::size_t batches = 0;
+  double seconds = 0.0;
+  double ops_per_sec = 0.0;
+  SessionStats stats;
+};
+
+constexpr std::int32_t kHeight = 6;
+constexpr NodeId kLoad = 4;
+
+ThroughputRow run_throughput(const OpMix& mix, std::size_t total_ops,
+                             std::size_t batch_size, Rng& rng) {
+  SessionConfig config;
+  config.default_height = kHeight;
+  config.default_load = kLoad;
+  config.policy = MutationPolicy{/*max_repair_nodes=*/64, /*max_dilation=*/3};
+  // Queue every batch up front: the timed region covers the writer
+  // draining the FIFO, not the submitters racing the queue bound.
+  config.mutation_queue_capacity = total_ops / batch_size + 8;
+  SessionManager manager(config);
+  std::string reason;
+  if (manager.create("bench", kHeight, kLoad, &reason) != SessionStatus::kOk) {
+    std::cerr << "bench_session: create failed: " << reason << "\n";
+    std::exit(1);
+  }
+
+  DynamicEmbedder shadow(kHeight, kLoad, config.policy);
+  const std::vector<MutationOp> ops = make_ops(shadow, total_ops, mix, rng);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t completed = 0;
+  std::size_t expected = 0;
+  const auto start = Clock::now();
+  for (std::size_t off = 0; off < ops.size(); off += batch_size) {
+    const std::size_t end = std::min(off + batch_size, ops.size());
+    std::vector<MutationOp> batch(ops.begin() + static_cast<std::ptrdiff_t>(off),
+                                  ops.begin() + static_cast<std::ptrdiff_t>(end));
+    ++expected;
+    manager.mutate("bench", std::move(batch), [&](MutateOutcome outcome) {
+      if (outcome.status != SessionStatus::kOk)
+        std::cerr << "bench_session: batch failed: " << outcome.reason << "\n";
+      std::lock_guard<std::mutex> lock(mu);
+      ++completed;
+      cv.notify_one();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return completed == expected; });
+  }
+  ThroughputRow row;
+  row.mix = mix.name;
+  row.ops = ops.size();
+  row.batches = expected;
+  row.seconds = seconds_between(start, Clock::now());
+  row.ops_per_sec = static_cast<double>(ops.size()) / row.seconds;
+  row.stats = manager.stats();
+  manager.shutdown(/*drain=*/true);
+  return row;
+}
+
+void emit_throughput_json(std::ostringstream& os, const ThroughputRow& r) {
+  os << "{\"mix\": \"" << r.mix << "\", \"ops\": " << r.ops
+     << ", \"batches\": " << r.batches << ", \"seconds\": " << r.seconds
+     << ", \"ops_per_sec\": " << r.ops_per_sec
+     << ", \"repaired\": " << r.stats.ops_repaired
+     << ", \"escalated\": " << r.stats.ops_escalated
+     << ", \"rejected\": " << r.stats.ops_rejected
+     << ", \"nodes_touched\": " << r.stats.nodes_touched
+     << ", \"escalate_nodes\": " << r.stats.escalate_nodes
+     << ", \"snapshots_published\": " << r.stats.snapshots_published << "}";
+}
+
+struct ReaderPhase {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  std::uint64_t reads = 0;
+};
+
+/// `readers` threads each issue `reads_per_thread` latest-snapshot
+/// reads; every read touches the embedding so the snapshot is really
+/// dereferenced, not just pointer-loaded.
+ReaderPhase run_readers(SessionManager& manager, const std::string& id,
+                        std::size_t readers, std::size_t reads_per_thread) {
+  std::mutex mu;
+  LatencyReservoir reservoir(16384);
+  std::atomic<std::uint64_t> total_reads{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < readers; ++t) {
+    threads.emplace_back([&] {
+      std::vector<double> local;
+      local.reserve(reads_per_thread);
+      for (std::size_t i = 0; i < reads_per_thread; ++i) {
+        const auto t0 = Clock::now();
+        volatile std::uint64_t sink = 0;
+        const SessionStatus s = manager.with_snapshot(
+            id, /*version=*/0, [&](const EmbeddingSnapshot& snap) {
+              std::uint64_t acc = snap.version;
+              for (NodeId v = 0; v < snap.tree.num_nodes(); ++v)
+                acc += static_cast<std::uint64_t>(snap.embedding.host_of(v));
+              sink = acc;
+            });
+        if (s == SessionStatus::kOk) {
+          local.push_back(seconds_between(t0, Clock::now()) * 1e6);
+          total_reads.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      for (const double us : local) reservoir.add(us);
+    });
+  }
+  for (auto& t : threads) t.join();
+  ReaderPhase phase;
+  phase.p50_us = reservoir.percentile(50.0);
+  phase.p99_us = reservoir.percentile(99.0);
+  phase.mean_us = reservoir.mean();
+  phase.reads = total_reads.load();
+  return phase;
+}
+
+struct CrossoverRow {
+  std::int64_t budget = 0;
+  std::size_t ops = 0;
+  double seconds = 0.0;
+  double ops_per_sec = 0.0;
+  DynamicEmbedder::MutationStats stats;
+  std::int32_t dilation = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const bool smoke = cli.has("smoke");
+  const std::size_t total_ops = static_cast<std::size_t>(
+      cli.get_int("ops", smoke ? 2000 : 20000));
+  const std::size_t batch_size =
+      static_cast<std::size_t>(cli.get_int("batch", 64));
+  const std::size_t reads = static_cast<std::size_t>(
+      cli.get_int("reads", smoke ? 2000 : 10000));
+  const std::size_t readers =
+      static_cast<std::size_t>(cli.get_int("readers", 2));
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 9)));
+
+  std::ostringstream json;
+  json << "{\n  \"experiment\": \"session workload: mutation throughput, "
+       << "reader isolation under writes, repair-vs-escalate crossover\",\n"
+       << "  \"host\": \"X(" << kHeight << "), load " << kLoad << "\",\n"
+       << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+
+  // ---- mutation throughput by op mix ---------------------------------
+  const OpMix mixes[] = {
+      {"grow-heavy", /*add=*/80, /*remove_leaf=*/10, /*remove_subtree=*/3},
+      {"churn", /*add=*/40, /*remove_leaf=*/25, /*remove_subtree=*/15},
+      {"move-heavy", /*add=*/25, /*remove_leaf=*/10, /*remove_subtree=*/5},
+  };
+  std::cout << "== mutation throughput (" << total_ops << " ops, batch "
+            << batch_size << ") ==\n";
+  Table tput({"mix", "ops/s", "repaired", "escalated", "rejected"});
+  std::uint64_t agg_applied = 0, agg_repaired = 0, agg_escalated = 0,
+                agg_rejected = 0;
+  json << "  \"throughput\": [\n";
+  for (std::size_t i = 0; i < 3; ++i) {
+    const ThroughputRow row = run_throughput(mixes[i], total_ops,
+                                             batch_size, rng);
+    tput.rowf(row.mix.c_str(), row.ops_per_sec, row.stats.ops_repaired,
+              row.stats.ops_escalated, row.stats.ops_rejected);
+    agg_applied += row.stats.ops_applied;
+    agg_repaired += row.stats.ops_repaired;
+    agg_escalated += row.stats.ops_escalated;
+    agg_rejected += row.stats.ops_rejected;
+    json << "    ";
+    emit_throughput_json(json, row);
+    json << (i + 1 < 3 ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  tput.print(std::cout);
+
+  // ---- reader p50, write-idle vs under active writes -----------------
+  std::cout << "\n== snapshot readers (" << readers << " threads x " << reads
+            << " reads) ==\n";
+  {
+    SessionConfig config;
+    config.default_height = kHeight;
+    config.default_load = kLoad;
+    config.policy = MutationPolicy{64, 3};
+    config.mutation_queue_capacity = 4096;
+    SessionManager manager(config);
+    manager.create("readers");
+    // Populate a mid-sized guest so each read does real work.
+    DynamicEmbedder shadow(kHeight, kLoad, config.policy);
+    manager.mutate_sync(
+        "readers",
+        make_ops(shadow, 400, OpMix{"populate", 95, 2, 1}, rng));
+
+    const ReaderPhase idle = run_readers(manager, "readers", readers, reads);
+
+    // Writer thread: continuous small add/remove batches so versions
+    // keep publishing for the whole read phase.
+    std::atomic<bool> stop_writer{false};
+    std::atomic<std::uint64_t> writer_batches{0};
+    std::thread writer([&] {
+      Rng wrng(4242);
+      while (!stop_writer.load(std::memory_order_relaxed)) {
+        manager.mutate_sync(
+            "readers", make_ops(shadow, 16, OpMix{"churn", 45, 30, 10}, wrng));
+        writer_batches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    const ReaderPhase busy = run_readers(manager, "readers", readers, reads);
+    stop_writer.store(true);
+    writer.join();
+
+    const double ratio = idle.p50_us > 0.0 ? busy.p50_us / idle.p50_us : 0.0;
+    const bool pass = ratio <= 2.0;
+    std::cout << "idle    p50 " << idle.p50_us << " us, p99 " << idle.p99_us
+              << " us (" << idle.reads << " reads)\n"
+              << "writing p50 " << busy.p50_us << " us, p99 " << busy.p99_us
+              << " us (" << busy.reads << " reads, " << writer_batches.load()
+              << " writer batches concurrent)\n"
+              << "p50 ratio " << ratio << "x (target <= 2x"
+              << (pass ? ", pass" : ", WARN") << ")\n";
+    json << "  \"reader_latency\": {\n"
+         << "    \"readers\": " << readers << ", \"reads_per_thread\": "
+         << reads << ",\n"
+         << "    \"idle\": {\"p50_us\": " << idle.p50_us << ", \"p99_us\": "
+         << idle.p99_us << ", \"mean_us\": " << idle.mean_us
+         << ", \"reads\": " << idle.reads << "},\n"
+         << "    \"under_writes\": {\"p50_us\": " << busy.p50_us
+         << ", \"p99_us\": " << busy.p99_us << ", \"mean_us\": "
+         << busy.mean_us << ", \"reads\": " << busy.reads << "},\n"
+         << "    \"writer_batches_concurrent\": " << writer_batches.load()
+         << ",\n    \"p50_ratio\": " << ratio
+         << ",\n    \"target_2x_pass\": " << (pass ? "true" : "false")
+         << "\n  },\n";
+    const SessionStats s = manager.stats();
+    agg_applied += s.ops_applied;
+    agg_repaired += s.ops_repaired;
+    agg_escalated += s.ops_escalated;
+    agg_rejected += s.ops_rejected;
+    manager.shutdown(/*drain=*/true);
+  }
+
+  // ---- repair-vs-escalate crossover over max_repair_nodes ------------
+  // One move-heavy op sequence, replayed on a fresh embedder per
+  // budget (identical structural decisions every time — outcome
+  // validity is policy-independent), so the rows differ only in how
+  // the engine defends the dilation bound.
+  std::cout << "\n== repair-vs-escalate crossover (move-heavy, dilation "
+               "bound 2) ==\n";
+  const std::size_t xover_ops = static_cast<std::size_t>(
+      cli.get_int("crossover-ops", smoke ? 600 : 4000));
+  std::vector<MutationOp> xover;
+  {
+    DynamicEmbedder shadow(kHeight, kLoad, MutationPolicy{64, 3});
+    // Grow first so the moves operate on a populated guest.
+    Rng grng(77);
+    make_ops(shadow, 300, OpMix{"grow", 95, 2, 1}, grng);
+    DynamicEmbedder replay_shadow(kHeight, kLoad, MutationPolicy{64, 3});
+    Rng xrng(78);
+    std::vector<MutationOp> grow =
+        make_ops(replay_shadow, 300, OpMix{"grow", 95, 2, 1}, xrng);
+    std::vector<MutationOp> moves = make_ops(
+        replay_shadow, xover_ops, OpMix{"move-heavy", 10, 5, 2}, xrng);
+    xover = std::move(grow);
+    xover.insert(xover.end(), moves.begin(), moves.end());
+  }
+  const std::int64_t budgets[] = {0, 4, 8, 16, 32, 64, 128};
+  Table xt_table({"budget", "ops/s", "repaired", "escalated",
+                  "escalate_nodes", "dilation"});
+  json << "  \"crossover\": {\"dilation_bound\": 2, \"ops\": "
+       << xover.size() << ", \"rows\": [\n";
+  std::vector<CrossoverRow> xrows;
+  for (const std::int64_t budget : budgets) {
+    DynamicEmbedder dyn(kHeight, kLoad,
+                        MutationPolicy{budget, /*max_dilation=*/2});
+    const auto t0 = Clock::now();
+    for (const MutationOp& op : xover) {
+      switch (op.kind) {
+        case MutationOpKind::kAddLeaf: dyn.try_add_leaf(op.a); break;
+        case MutationOpKind::kRemoveLeaf: dyn.try_remove_leaf(op.a); break;
+        case MutationOpKind::kRemoveSubtree:
+          dyn.try_remove_subtree(op.a);
+          break;
+        case MutationOpKind::kMoveSubtree:
+          dyn.try_move_subtree(op.a, op.b);
+          break;
+      }
+    }
+    CrossoverRow row;
+    row.budget = budget;
+    row.ops = xover.size();
+    row.seconds = seconds_between(t0, Clock::now());
+    row.ops_per_sec = static_cast<double>(row.ops) / row.seconds;
+    row.stats = dyn.mutation_stats();  // identity asserted on read
+    row.dilation = dyn.current_dilation();
+    xrows.push_back(row);
+    xt_table.rowf(row.budget, row.ops_per_sec, row.stats.repaired,
+                  row.stats.escalated, row.stats.escalate_nodes, row.dilation);
+  }
+  for (std::size_t i = 0; i < xrows.size(); ++i) {
+    const CrossoverRow& r = xrows[i];
+    json << "    {\"max_repair_nodes\": " << r.budget << ", \"ops\": "
+         << r.ops << ", \"seconds\": " << r.seconds << ", \"ops_per_sec\": "
+         << r.ops_per_sec << ", \"repaired\": " << r.stats.repaired
+         << ", \"escalated\": " << r.stats.escalated << ", \"rejected\": "
+         << r.stats.rejected << ", \"nodes_touched\": "
+         << r.stats.nodes_touched << ", \"escalate_nodes\": "
+         << r.stats.escalate_nodes << ", \"dilation\": " << r.dilation
+         << "}" << (i + 1 < xrows.size() ? "," : "") << "\n";
+    agg_applied += static_cast<std::uint64_t>(r.stats.applied);
+    agg_repaired += static_cast<std::uint64_t>(r.stats.repaired);
+    agg_escalated += static_cast<std::uint64_t>(r.stats.escalated);
+    agg_rejected += static_cast<std::uint64_t>(r.stats.rejected);
+  }
+  json << "  ]},\n";
+  xt_table.print(std::cout);
+
+  // ---- the hard invariant --------------------------------------------
+  const bool identity =
+      agg_applied == agg_repaired + agg_escalated + agg_rejected;
+  std::cout << "\naccounting: applied " << agg_applied << " == repaired "
+            << agg_repaired << " + escalated " << agg_escalated
+            << " + rejected " << agg_rejected
+            << (identity ? "  [pass]" : "  [FAIL]") << "\n";
+  json << "  \"accounting\": {\"applied\": " << agg_applied
+       << ", \"repaired\": " << agg_repaired << ", \"escalated\": "
+       << agg_escalated << ", \"rejected\": " << agg_rejected
+       << ", \"identity_pass\": " << (identity ? "true" : "false")
+       << "}\n}\n";
+
+  if (cli.has("json")) {
+    const std::string path = cli.get("json", "BENCH_9.json");
+    std::ofstream out(path);
+    out << json.str();
+    std::cout << "wrote " << path << "\n";
+  }
+  if (!identity) {
+    std::cerr << "bench_session: accounting identity violated\n";
+    return 1;
+  }
+  return 0;
+}

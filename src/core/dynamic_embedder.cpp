@@ -1,37 +1,168 @@
 #include "core/dynamic_embedder.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/nset.hpp"
 #include "util/check.hpp"
 
 namespace xt {
 
-DynamicEmbedder::DynamicEmbedder(std::int32_t height, NodeId load)
+DynamicEmbedder::DynamicEmbedder(std::int32_t height, NodeId load,
+                                 MutationPolicy policy)
     : host_(height),
       load_(load),
-      guest_(BinaryTree::single()),
+      policy_(policy),
+      parent_{kInvalidNode},
+      left_{kInvalidNode},
+      right_{kInvalidNode},
+      alive_{1},
       assign_{host_.root()},
-      load_of_(static_cast<std::size_t>(host_.num_vertices()), 0) {
+      load_of_(static_cast<std::size_t>(host_.num_vertices()), 0),
+      // Any X(r) distance is at most level(a) + level(b) <= 2r (the
+      // root path is always available), so the histogram never
+      // overflows this bound.
+      dist_hist_(static_cast<std::size_t>(2 * height + 2), 0),
+      load_hist_(static_cast<std::size_t>(load) + 1, 0) {
   XT_CHECK(load >= 1);
   load_of_[static_cast<std::size_t>(host_.root())] = 1;
+  load_hist_[0] = host_.num_vertices() - 1;
+  load_hist_[1] = 1;
 }
 
 std::int64_t DynamicEmbedder::free_capacity() const {
-  return static_cast<std::int64_t>(load_) * host_.num_vertices() -
-         guest_.num_nodes();
+  return static_cast<std::int64_t>(load_) * host_.num_vertices() - num_live_;
 }
 
-DynamicEmbedder::GrowthResult DynamicEmbedder::try_add_leaf(NodeId parent) {
-  XT_CHECK(parent >= 0 && parent < guest_.num_nodes());
-  if (guest_.num_children(parent) >= 2)
-    return {kInvalidNode, GrowthError::kParentSlotsFull};
-  if (free_capacity() <= 0) return {kInvalidNode, GrowthError::kHostFull};
-  const VertexId slot = pick_slot(host_of(parent));
-  const NodeId leaf = guest_.add_child(parent);
-  assign_.push_back(slot);
+NodeId DynamicEmbedder::subtree_size(NodeId v) const {
+  XT_CHECK(is_live(v));
+  std::vector<NodeId> queue{v};
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    for (int w = 0; w < 2; ++w) {
+      const NodeId c = child_of(queue[head], w);
+      if (c != kInvalidNode) queue.push_back(c);
+    }
+  }
+  return static_cast<NodeId>(queue.size());
+}
+
+// --- metric bookkeeping ---------------------------------------------------
+
+void DynamicEmbedder::place_node(NodeId v, VertexId slot) {
+  assign_[static_cast<std::size_t>(v)] = slot;
+  const NodeId l = load_of_[static_cast<std::size_t>(slot)];
+  --load_hist_[static_cast<std::size_t>(l)];
   ++load_of_[static_cast<std::size_t>(slot)];
-  return {leaf, GrowthError::kOk};
+  ++load_hist_[static_cast<std::size_t>(l) + 1];
+  if (l + 1 > max_load_now_) max_load_now_ = l + 1;
+}
+
+void DynamicEmbedder::unplace_node(NodeId v) {
+  const VertexId slot = assign_[static_cast<std::size_t>(v)];
+  const NodeId l = load_of_[static_cast<std::size_t>(slot)];
+  --load_hist_[static_cast<std::size_t>(l)];
+  --load_of_[static_cast<std::size_t>(slot)];
+  ++load_hist_[static_cast<std::size_t>(l) - 1];
+  while (max_load_now_ > 0 &&
+         load_hist_[static_cast<std::size_t>(max_load_now_)] == 0) {
+    --max_load_now_;
+  }
+  assign_[static_cast<std::size_t>(v)] = kInvalidVertex;
+}
+
+void DynamicEmbedder::add_edge_metric(NodeId u, NodeId v) {
+  const std::int32_t d = host_.distance(host_of(u), host_of(v));
+  XT_CHECK(static_cast<std::size_t>(d) < dist_hist_.size());
+  ++dist_hist_[static_cast<std::size_t>(d)];
+  if (d > max_dist_) max_dist_ = d;
+}
+
+void DynamicEmbedder::remove_edge_metric(NodeId u, NodeId v) {
+  const std::int32_t d = host_.distance(host_of(u), host_of(v));
+  --dist_hist_[static_cast<std::size_t>(d)];
+  while (max_dist_ > 0 &&
+         dist_hist_[static_cast<std::size_t>(max_dist_)] == 0) {
+    --max_dist_;
+  }
+}
+
+void DynamicEmbedder::rebuild_metrics() {
+  std::fill(load_of_.begin(), load_of_.end(), 0);
+  std::fill(load_hist_.begin(), load_hist_.end(), 0);
+  std::fill(dist_hist_.begin(), dist_hist_.end(), 0);
+  max_dist_ = 0;
+  max_load_now_ = 0;
+  for (NodeId v = 0; v < num_ids(); ++v) {
+    if (!alive_[static_cast<std::size_t>(v)]) continue;
+    ++load_of_[static_cast<std::size_t>(host_of(v))];
+    const NodeId p = parent_of(v);
+    if (p != kInvalidNode) {
+      const std::int32_t d = host_.distance(host_of(p), host_of(v));
+      ++dist_hist_[static_cast<std::size_t>(d)];
+      if (d > max_dist_) max_dist_ = d;
+    }
+  }
+  for (VertexId h = 0; h < host_.num_vertices(); ++h) {
+    const NodeId l = load_of_[static_cast<std::size_t>(h)];
+    ++load_hist_[static_cast<std::size_t>(l)];
+    if (l > max_load_now_) max_load_now_ = l;
+  }
+}
+
+// --- growth ---------------------------------------------------------------
+
+DynamicEmbedder::GrowthResult DynamicEmbedder::try_add_leaf(NodeId parent) {
+  ++stats_.applied;
+  if (!is_live(parent)) {
+    ++stats_.rejected;
+    return {kInvalidNode, GrowthError::kInvalidParent};
+  }
+  if (num_children(parent) >= 2) {
+    ++stats_.rejected;
+    return {kInvalidNode, GrowthError::kParentSlotsFull};
+  }
+  if (free_capacity() <= 0) {
+    ++stats_.rejected;
+    return {kInvalidNode, GrowthError::kHostFull};
+  }
+  const VertexId slot = pick_slot(host_of(parent));
+
+  NodeId leaf;
+  if (!free_ids_.empty()) {
+    leaf = free_ids_.back();
+    free_ids_.pop_back();
+  } else {
+    leaf = num_ids();
+    parent_.push_back(kInvalidNode);
+    left_.push_back(kInvalidNode);
+    right_.push_back(kInvalidNode);
+    alive_.push_back(0);
+    assign_.push_back(kInvalidVertex);
+  }
+  parent_[static_cast<std::size_t>(leaf)] = parent;
+  left_[static_cast<std::size_t>(leaf)] = kInvalidNode;
+  right_[static_cast<std::size_t>(leaf)] = kInvalidNode;
+  auto& slot_ref = left_[static_cast<std::size_t>(parent)] == kInvalidNode
+                       ? left_[static_cast<std::size_t>(parent)]
+                       : right_[static_cast<std::size_t>(parent)];
+  slot_ref = leaf;
+  alive_[static_cast<std::size_t>(leaf)] = 1;
+  ++num_live_;
+  place_node(leaf, slot);
+  add_edge_metric(parent, leaf);
+
+  bool esc = false;
+  std::int64_t touched = 1;
+  if (policy_.max_dilation > 0 &&
+      host_.distance(host_of(parent), slot) > policy_.max_dilation) {
+    const std::int64_t n = escalate();
+    stats_.escalate_nodes += n;
+    touched += n;
+    esc = true;
+  }
+  esc ? ++stats_.escalated : ++stats_.repaired;
+  stats_.nodes_touched += touched;
+  return {leaf, GrowthError::kOk, esc};
 }
 
 std::vector<DynamicEmbedder::GrowthResult> DynamicEmbedder::try_add_leaves(
@@ -49,9 +180,200 @@ std::vector<DynamicEmbedder::GrowthResult> DynamicEmbedder::try_add_leaves(
 NodeId DynamicEmbedder::add_leaf(NodeId parent) {
   const GrowthResult r = try_add_leaf(parent);
   XT_CHECK_MSG(r.error != GrowthError::kHostFull, "machine is full");
+  XT_CHECK_MSG(r.error != GrowthError::kInvalidParent,
+               "parent " << parent << " is not a live node");
   XT_CHECK_MSG(r.ok(), "parent " << parent << " has no free child slot");
   return r.leaf;
 }
+
+// --- mutation -------------------------------------------------------------
+
+void DynamicEmbedder::collect_subtree(NodeId v, std::vector<NodeId>& out) const {
+  out.clear();
+  out.push_back(v);
+  for (std::size_t head = 0; head < out.size(); ++head) {
+    for (int w = 0; w < 2; ++w) {
+      const NodeId c = child_of(out[head], w);
+      if (c != kInvalidNode) out.push_back(c);
+    }
+  }
+}
+
+void DynamicEmbedder::retire_node(NodeId v) {
+  parent_[static_cast<std::size_t>(v)] = kInvalidNode;
+  left_[static_cast<std::size_t>(v)] = kInvalidNode;
+  right_[static_cast<std::size_t>(v)] = kInvalidNode;
+  alive_[static_cast<std::size_t>(v)] = 0;
+  free_ids_.push_back(v);
+  --num_live_;
+}
+
+DynamicEmbedder::MutationResult DynamicEmbedder::try_remove_leaf(NodeId v) {
+  ++stats_.applied;
+  const auto reject = [&](MutationError e) {
+    ++stats_.rejected;
+    return MutationResult{e, 0, false, max_dist_, max_load_now_};
+  };
+  if (!is_live(v)) return reject(MutationError::kDeadNode);
+  if (v == root()) return reject(MutationError::kIsRoot);
+  if (!is_leaf(v)) return reject(MutationError::kNotLeaf);
+
+  const NodeId p = parent_of(v);
+  remove_edge_metric(p, v);
+  unplace_node(v);
+  (left_[static_cast<std::size_t>(p)] == v
+       ? left_[static_cast<std::size_t>(p)]
+       : right_[static_cast<std::size_t>(p)]) = kInvalidNode;
+  retire_node(v);
+  ++stats_.repaired;
+  ++stats_.nodes_touched;
+  return {MutationError::kOk, 1, false, max_dist_, max_load_now_};
+}
+
+DynamicEmbedder::MutationResult DynamicEmbedder::try_remove_subtree(NodeId v) {
+  ++stats_.applied;
+  const auto reject = [&](MutationError e) {
+    ++stats_.rejected;
+    return MutationResult{e, 0, false, max_dist_, max_load_now_};
+  };
+  if (!is_live(v)) return reject(MutationError::kDeadNode);
+  if (v == root()) return reject(MutationError::kIsRoot);
+
+  auto& nodes = subtree_scratch_;
+  collect_subtree(v, nodes);
+  // All metric removals run first, while every placement is intact.
+  const NodeId p = parent_of(v);
+  remove_edge_metric(p, v);
+  for (const NodeId u : nodes) {
+    for (int w = 0; w < 2; ++w) {
+      const NodeId c = child_of(u, w);
+      if (c != kInvalidNode) remove_edge_metric(u, c);
+    }
+  }
+  (left_[static_cast<std::size_t>(p)] == v
+       ? left_[static_cast<std::size_t>(p)]
+       : right_[static_cast<std::size_t>(p)]) = kInvalidNode;
+  for (const NodeId u : nodes) {
+    unplace_node(u);
+    retire_node(u);
+  }
+  const auto touched = static_cast<std::int64_t>(nodes.size());
+  ++stats_.repaired;
+  stats_.nodes_touched += touched;
+  return {MutationError::kOk, touched, false, max_dist_, max_load_now_};
+}
+
+DynamicEmbedder::MutationResult DynamicEmbedder::try_move_subtree(
+    NodeId v, NodeId new_parent) {
+  ++stats_.applied;
+  const auto reject = [&](MutationError e) {
+    ++stats_.rejected;
+    return MutationResult{e, 0, false, max_dist_, max_load_now_};
+  };
+  if (!is_live(v)) return reject(MutationError::kDeadNode);
+  if (v == root()) return reject(MutationError::kIsRoot);
+  if (!is_live(new_parent)) return reject(MutationError::kInvalidParent);
+  if (new_parent == parent_of(v)) {
+    ++stats_.repaired;
+    return {MutationError::kOk, 0, false, max_dist_, max_load_now_};
+  }
+  // Destination inside the moved subtree (or the subtree root itself)
+  // would detach the subtree from the guest: walk the ancestor chain.
+  for (NodeId a = new_parent; a != kInvalidNode; a = parent_of(a)) {
+    if (a == v) return reject(MutationError::kWouldCycle);
+  }
+  if (num_children(new_parent) >= 2)
+    return reject(MutationError::kParentSlotsFull);
+
+  const NodeId old_p = parent_of(v);
+  remove_edge_metric(old_p, v);
+  (left_[static_cast<std::size_t>(old_p)] == v
+       ? left_[static_cast<std::size_t>(old_p)]
+       : right_[static_cast<std::size_t>(old_p)]) = kInvalidNode;
+  auto& slot_ref = left_[static_cast<std::size_t>(new_parent)] == kInvalidNode
+                       ? left_[static_cast<std::size_t>(new_parent)]
+                       : right_[static_cast<std::size_t>(new_parent)];
+  slot_ref = v;
+  parent_[static_cast<std::size_t>(v)] = new_parent;
+  add_edge_metric(new_parent, v);
+
+  std::int64_t touched = 1;
+  bool esc = false;
+  if (policy_.max_dilation > 0 &&
+      host_.distance(host_of(new_parent), host_of(v)) > policy_.max_dilation) {
+    auto& nodes = subtree_scratch_;
+    collect_subtree(v, nodes);
+    const auto k = static_cast<std::int64_t>(nodes.size());
+    bool fixed = false;
+    if (k <= policy_.max_repair_nodes) {
+      // Local repair: lift the whole subtree and greedily re-place it
+      // near its new parent, BFS order so each node lands relative to
+      // its (already re-placed) parent image.
+      remove_edge_metric(new_parent, v);
+      for (const NodeId u : nodes) {
+        for (int w = 0; w < 2; ++w) {
+          const NodeId c = child_of(u, w);
+          if (c != kInvalidNode) remove_edge_metric(u, c);
+        }
+      }
+      for (const NodeId u : nodes) unplace_node(u);
+      std::int32_t worst = 0;
+      for (const NodeId u : nodes) {
+        const NodeId up = parent_of(u);
+        const VertexId slot = pick_slot(host_of(up));
+        place_node(u, slot);
+        add_edge_metric(up, u);
+        worst = std::max(worst, host_.distance(host_of(up), slot));
+      }
+      touched += k;
+      fixed = worst <= policy_.max_dilation;
+    }
+    if (!fixed) {
+      const std::int64_t n = escalate();
+      stats_.escalate_nodes += n;
+      touched += n;
+      esc = true;
+    }
+  }
+  esc ? ++stats_.escalated : ++stats_.repaired;
+  stats_.nodes_touched += touched;
+  return {MutationError::kOk, touched, esc, max_dist_, max_load_now_};
+}
+
+const DynamicEmbedder::MutationStats& DynamicEmbedder::mutation_stats() const {
+  XT_CHECK_MSG(stats_.applied ==
+                   stats_.repaired + stats_.escalated + stats_.rejected,
+               "mutation accounting identity broken: applied="
+                   << stats_.applied << " repaired=" << stats_.repaired
+                   << " escalated=" << stats_.escalated
+                   << " rejected=" << stats_.rejected);
+  return stats_;
+}
+
+// --- escalation -----------------------------------------------------------
+
+XTreeEmbedder::Options DynamicEmbedder::escalation_options(
+    NodeId load, std::int32_t height) {
+  XTreeEmbedder::Options options;
+  options.load = load;
+  options.height = height;  // the machine is fixed; never resize it
+  return options;
+}
+
+std::int64_t DynamicEmbedder::escalate() {
+  const DynamicSnapshot snap = snapshot();
+  const auto offline = XTreeEmbedder::embed(
+      snap.tree, escalation_options(load_, host_.height()));
+  for (NodeId c = 0; c < snap.tree.num_nodes(); ++c) {
+    assign_[static_cast<std::size_t>(
+        snap.stable_of[static_cast<std::size_t>(c)])] =
+        offline.embedding.host_of(c);
+  }
+  rebuild_metrics();
+  return num_live_;
+}
+
+// --- placement ------------------------------------------------------------
 
 VertexId DynamicEmbedder::pick_slot(VertexId parent_host) const {
   // BFS rings around the parent's image; first collect the nearest
@@ -103,17 +425,49 @@ VertexId DynamicEmbedder::pick_slot(VertexId parent_host) const {
   return best;
 }
 
-std::int32_t DynamicEmbedder::current_dilation() const {
-  std::int32_t worst = 0;
-  for (const auto& [u, v] : guest_.edges())
-    worst = std::max(worst, host_.distance(host_of(u), host_of(v)));
-  return worst;
-}
+// --- snapshot -------------------------------------------------------------
 
-Embedding DynamicEmbedder::snapshot() const {
-  Embedding emb(guest_.num_nodes(), host_.num_vertices());
-  for (NodeId v = 0; v < guest_.num_nodes(); ++v) emb.place(v, host_of(v));
-  return emb;
+DynamicEmbedder::DynamicSnapshot DynamicEmbedder::snapshot() const {
+  DynamicSnapshot snap;
+  const auto n = static_cast<std::size_t>(num_live_);
+  snap.stable_of.reserve(n);
+  snap.compact_of.assign(static_cast<std::size_t>(num_ids()), kInvalidNode);
+  // Preorder DFS assigns compact ids so every parent precedes its
+  // children — the invariant BinaryTree::from_soa validates.
+  std::vector<NodeId> stack{root()};
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    snap.compact_of[static_cast<std::size_t>(v)] =
+        static_cast<NodeId>(snap.stable_of.size());
+    snap.stable_of.push_back(v);
+    const NodeId r = child_of(v, 1);
+    const NodeId l = child_of(v, 0);
+    if (r != kInvalidNode) stack.push_back(r);
+    if (l != kInvalidNode) stack.push_back(l);
+  }
+  XT_CHECK(snap.stable_of.size() == n);
+
+  std::vector<NodeId> parent(n, kInvalidNode);
+  std::vector<NodeId> left(n, kInvalidNode);
+  std::vector<NodeId> right(n, kInvalidNode);
+  const auto compact = [&](NodeId stable) {
+    return stable == kInvalidNode
+               ? kInvalidNode
+               : snap.compact_of[static_cast<std::size_t>(stable)];
+  };
+  for (std::size_t c = 0; c < n; ++c) {
+    const NodeId v = snap.stable_of[c];
+    parent[c] = compact(parent_of(v));
+    left[c] = compact(child_of(v, 0));
+    right[c] = compact(child_of(v, 1));
+  }
+  snap.tree = BinaryTree::from_soa(std::move(parent), std::move(left),
+                                   std::move(right));
+  snap.embedding = Embedding(static_cast<NodeId>(n), host_.num_vertices());
+  for (std::size_t c = 0; c < n; ++c)
+    snap.embedding.place(static_cast<NodeId>(c), host_of(snap.stable_of[c]));
+  return snap;
 }
 
 }  // namespace xt

@@ -1,14 +1,34 @@
-// Online embedding: growing a binary tree leaf by leaf on a live
-// X-tree machine.
+// Online embedding: maintaining a binary tree on a live X-tree
+// machine while the tree mutates.
 //
 // The paper's motivation is divide & conquer, whose recursion tree
 // unfolds *during* execution — but Theorem 1 is an offline
 // construction.  This extension keeps an embedding valid while the
-// guest grows: each new leaf is placed on the free host vertex that
-// best respects condition (3') relative to its parent's image
-// (greedy; no constant-dilation guarantee — the benches compare the
-// online quality against re-running the offline algorithm, which is
-// exactly the trade-off a scheduler would face).
+// guest changes shape:
+//
+//   * try_add_leaf places each new leaf on the free host vertex that
+//     best respects condition (3') relative to its parent's image
+//     (greedy; no constant-dilation guarantee);
+//   * try_remove_leaf / try_remove_subtree retire nodes, freeing
+//     their slots (removals never increase dilation);
+//   * try_move_subtree re-hangs a subtree under a new parent with
+//     *bounded local repair*: if the new connecting edge violates the
+//     policy's dilation bound, the moved subtree is re-placed near
+//     its new parent — and when the repair budget is exceeded (or the
+//     repair fails to meet the bound) the embedder *escalates*,
+//     re-running the offline Theorem 1 algorithm on the whole guest.
+//
+// Node ids are *stable*: a node keeps its id across other nodes'
+// mutations, removed ids are tombstoned and recycled LIFO.  The
+// compact preorder projection used by serialization, the offline
+// embedder and the certificate chain is produced by snapshot().
+//
+// Every mutation is accounted: nodes touched, repaired vs escalated
+// vs rejected, with the hard identity
+//     applied == repaired + escalated + rejected
+// checked on every stats read.  Dilation and max load are maintained
+// exactly via histograms, so current_dilation() / current_max_load()
+// are O(1) after every mutation.
 #pragma once
 
 #include <cstdint>
@@ -16,75 +36,249 @@
 #include <vector>
 
 #include "btree/binary_tree.hpp"
+#include "core/xtree_embedder.hpp"
 #include "embedding/embedding.hpp"
 #include "topology/xtree.hpp"
 
 namespace xt {
 
+/// When and how hard the embedder fights dilation decay under
+/// mutations.  max_dilation == 0 disables repair entirely: mutations
+/// are structural-only plus the greedy placement rule — the legacy
+/// growth behaviour, and the baseline the benches compare against.
+struct MutationPolicy {
+  /// Largest subtree (node count) the local repair pass may re-place;
+  /// a move whose subtree is bigger escalates straight away.
+  std::int64_t max_repair_nodes = 64;
+  /// Dilation bound repair defends (0 = disabled).  An *escalated*
+  /// state is accepted as-is even above the bound: the offline
+  /// algorithm is the best this machine can do, so its result is the
+  /// new truth (docs/sessions.md discusses picking the bound above
+  /// the offline envelope).
+  std::int32_t max_dilation = 0;
+};
+
 class DynamicEmbedder {
  public:
   /// An X(height) machine with `load` slots per vertex; the guest
   /// starts as a single root placed on the host root.
-  explicit DynamicEmbedder(std::int32_t height, NodeId load = 16);
+  explicit DynamicEmbedder(std::int32_t height, NodeId load = 16,
+                           MutationPolicy policy = {});
 
-  [[nodiscard]] const BinaryTree& guest() const { return guest_; }
   [[nodiscard]] const XTree& host() const { return host_; }
   [[nodiscard]] NodeId load_cap() const { return load_; }
+  [[nodiscard]] const MutationPolicy& policy() const { return policy_; }
+  void set_policy(const MutationPolicy& policy) { policy_ = policy; }
+
+  // --- structure (stable ids) -------------------------------------------
+  [[nodiscard]] NodeId root() const { return 0; }
+  /// Size of the id space, *including* tombstoned ids.  Valid stable
+  /// ids are [0, num_ids()); probe liveness with is_live.
+  [[nodiscard]] NodeId num_ids() const {
+    return static_cast<NodeId>(parent_.size());
+  }
+  /// Live nodes currently in the guest.
+  [[nodiscard]] NodeId num_live() const { return num_live_; }
+  [[nodiscard]] bool is_live(NodeId v) const {
+    return v >= 0 && v < num_ids() && alive_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] NodeId parent_of(NodeId v) const {
+    return parent_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] NodeId child_of(NodeId v, int which) const {
+    const auto& slots = which == 0 ? left_ : right_;
+    return slots[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] int num_children(NodeId v) const {
+    return (child_of(v, 0) != kInvalidNode) + (child_of(v, 1) != kInvalidNode);
+  }
+  [[nodiscard]] bool is_leaf(NodeId v) const { return num_children(v) == 0; }
+  /// Nodes in the subtree rooted at live node v (O(subtree)).
+  [[nodiscard]] NodeId subtree_size(NodeId v) const;
 
   /// Remaining total capacity of the machine.
   [[nodiscard]] std::int64_t free_capacity() const;
+
+  // --- growth -----------------------------------------------------------
 
   /// Why try_add_leaf could not grow the guest.
   enum class GrowthError {
     kOk,
     kHostFull,         // no free slot anywhere on the machine
     kParentSlotsFull,  // `parent` already has two children
+    kInvalidParent,    // `parent` is out of range or tombstoned
   };
 
   /// Outcome of try_add_leaf: `leaf` is valid iff ok().
   struct GrowthResult {
     NodeId leaf = kInvalidNode;
     GrowthError error = GrowthError::kOk;
+    /// True when the placement escalated to a full offline re-embed
+    /// (possible only under an active policy).
+    bool escalated = false;
     [[nodiscard]] bool ok() const { return error == GrowthError::kOk; }
   };
 
   /// Grows the guest by a leaf under `parent` and places it.  On a
-  /// full machine or a full parent the embedder state is untouched and
-  /// a structured error is returned instead of throwing — the caller
-  /// (a scheduler admitting recursion-tree growth) decides whether
-  /// that is fatal.  `parent` must be a valid guest node id (checked).
+  /// full machine, a full parent or a dead parent the embedder state
+  /// is untouched and a structured error is returned instead of
+  /// throwing — the caller (a scheduler admitting recursion-tree
+  /// growth, or a session applying a wire script) decides whether
+  /// that is fatal.
   GrowthResult try_add_leaf(NodeId parent);
 
   /// Batched growth: equivalent to calling try_add_leaf(parents[i]) in
   /// order — identical placements, identical per-entry outcomes
   /// (pinned by dynamic_test) — but the BFS scratch is reused across
   /// the whole batch via epoch stamps, so a bulk admission of k leaves
-  /// does O(1) allocations instead of O(k).  A failed entry does not
-  /// stop the batch; later entries may still succeed (and may name
-  /// leaves created earlier in the same batch as parents).
+  /// does O(1) allocations instead of O(k).
+  ///
+  /// Partial-failure contract: the batch is NOT transactional.
+  /// results[i] is computed against the state entries [0, i) left
+  /// behind; a failed entry leaves the embedder untouched and does
+  /// not stop the batch — later entries may still succeed (and may
+  /// name leaves created earlier in the same batch as parents).  An
+  /// empty span is a no-op returning an empty vector.
   std::vector<GrowthResult> try_add_leaves(std::span<const NodeId> parents);
 
-  /// Throwing form of try_add_leaf (check_error on either failure).
+  /// Throwing form of try_add_leaf (check_error on any failure).
   NodeId add_leaf(NodeId parent);
+
+  // --- mutation ---------------------------------------------------------
+
+  /// Why a removal / move was rejected.  Rejected mutations leave the
+  /// embedder completely untouched.
+  enum class MutationError {
+    kOk,
+    kDeadNode,         // target id out of range or tombstoned
+    kIsRoot,           // the root cannot be removed or moved
+    kNotLeaf,          // try_remove_leaf on an internal node
+    kInvalidParent,    // move destination out of range or tombstoned
+    kWouldCycle,       // move destination inside the moved subtree
+    kParentSlotsFull,  // move destination already has two children
+  };
+
+  /// Per-mutation amortized-cost record.
+  struct MutationResult {
+    MutationError error = MutationError::kOk;
+    /// Nodes whose placement or structure this mutation changed
+    /// (repair re-placements and escalation re-embeds included).
+    std::int64_t nodes_touched = 0;
+    /// True when the mutation fell back to the full offline re-embed.
+    bool escalated = false;
+    /// Exact guest dilation / max host load after the mutation.
+    std::int32_t dilation_after = 0;
+    NodeId max_load_after = 0;
+    [[nodiscard]] bool ok() const { return error == MutationError::kOk; }
+  };
+
+  /// Removes live leaf v (never the root).  Always a local repair:
+  /// removals free capacity and cannot increase dilation.
+  MutationResult try_remove_leaf(NodeId v);
+
+  /// Removes the whole subtree rooted at live node v (never the
+  /// root).  nodes_touched is the subtree size.
+  MutationResult try_remove_subtree(NodeId v);
+
+  /// Re-hangs the subtree rooted at v under new_parent (first free
+  /// child slot).  new_parent == parent_of(v) is a no-op success.
+  /// Under an active policy, if the new connecting edge exceeds
+  /// max_dilation the subtree is locally re-placed near its new
+  /// parent (greedy BFS order) when its size fits max_repair_nodes;
+  /// oversized or still-violating repairs escalate to a full offline
+  /// re-embed.
+  MutationResult try_move_subtree(NodeId v, NodeId new_parent);
+
+  /// Cumulative accounting across every try_* entry point (growth
+  /// included).  The identity applied == repaired + escalated +
+  /// rejected is checked on every read.
+  struct MutationStats {
+    std::int64_t applied = 0;    // mutations attempted
+    std::int64_t repaired = 0;   // succeeded via local/greedy placement
+    std::int64_t escalated = 0;  // succeeded via full offline re-embed
+    std::int64_t rejected = 0;   // structured failure, state untouched
+    std::int64_t nodes_touched = 0;   // cumulative MutationResult sum
+    std::int64_t escalate_nodes = 0;  // nodes re-placed by escalations
+  };
+  [[nodiscard]] const MutationStats& mutation_stats() const;
+
+  // --- embedding --------------------------------------------------------
 
   [[nodiscard]] VertexId host_of(NodeId v) const {
     return assign_[static_cast<std::size_t>(v)];
   }
 
-  /// Current max host distance over guest edges (exact, O(n)).
-  [[nodiscard]] std::int32_t current_dilation() const;
+  /// Current max host distance over guest edges (exact, O(1): the
+  /// edge-distance histogram is maintained by every mutation).
+  [[nodiscard]] std::int32_t current_dilation() const { return max_dist_; }
+  /// Current max guest load on one host vertex (exact, O(1)).
+  [[nodiscard]] NodeId current_max_load() const { return max_load_now_; }
 
-  /// Immutable snapshot of the current assignment.
-  [[nodiscard]] Embedding snapshot() const;
+  /// The options escalation embeds with — the exact recipe a fresh
+  /// offline run must use to be bit-identical (pinned by
+  /// tests/mutation_test.cpp).
+  [[nodiscard]] static XTreeEmbedder::Options escalation_options(
+      NodeId load, std::int32_t height);
+
+  /// Immutable compact projection of the current state: `tree` is the
+  /// live guest relabeled to preorder ids (the form every offline
+  /// consumer — serializers, XTreeEmbedder, the certificate chain —
+  /// expects), `embedding` places compact id c on the host vertex of
+  /// its stable node, and the two maps translate between the id
+  /// spaces.  Produced by one walk so tree and embedding always
+  /// agree.
+  struct DynamicSnapshot {
+    BinaryTree tree;
+    Embedding embedding{0, 0};
+    std::vector<NodeId> stable_of;   // compact id -> stable id
+    std::vector<NodeId> compact_of;  // stable id -> compact id or kInvalidNode
+  };
+  [[nodiscard]] DynamicSnapshot snapshot() const;
 
  private:
   [[nodiscard]] VertexId pick_slot(VertexId parent_host) const;
 
+  // Histogram bookkeeping: every placement / edge change funnels
+  // through these so dilation and max load stay exact.
+  void place_node(NodeId v, VertexId slot);
+  void unplace_node(NodeId v);
+  void add_edge_metric(NodeId u, NodeId v);
+  void remove_edge_metric(NodeId u, NodeId v);
+  void rebuild_metrics();
+
+  /// Collects the subtree of v in BFS order into `out`.
+  void collect_subtree(NodeId v, std::vector<NodeId>& out) const;
+  /// Frees one node's storage (caller already detached it).
+  void retire_node(NodeId v);
+  /// Full offline re-embed of the live guest (Theorem 1 recipe);
+  /// returns the number of nodes re-placed.
+  std::int64_t escalate();
+
   XTree host_;
   NodeId load_;
-  BinaryTree guest_;
+  MutationPolicy policy_;
+
+  // Stable-id SoA guest with tombstones.  parent_/left_/right_ mirror
+  // BinaryTree's layout; dead ids hold kInvalidNode everywhere, sit
+  // on free_ids_ and are recycled LIFO.
+  std::vector<NodeId> parent_;
+  std::vector<NodeId> left_;
+  std::vector<NodeId> right_;
+  std::vector<char> alive_;
+  std::vector<NodeId> free_ids_;
+  NodeId num_live_ = 1;
+
   std::vector<VertexId> assign_;
   std::vector<NodeId> load_of_;
+
+  // Exact metric histograms: dist_hist_[d] counts live guest edges at
+  // host distance d, load_hist_[l] counts host vertices with load l.
+  std::vector<std::int64_t> dist_hist_;
+  std::vector<std::int64_t> load_hist_;
+  std::int32_t max_dist_ = 0;
+  NodeId max_load_now_ = 1;
+
+  MutationStats stats_;
 
   // pick_slot's BFS working set, epoch-stamped so consecutive picks
   // (one try_add_leaves batch, or a long add_leaf run) clear the
@@ -95,6 +289,7 @@ class DynamicEmbedder {
   mutable std::uint32_t seen_epoch_ = 0;
   mutable std::vector<std::pair<VertexId, std::int32_t>> bfs_queue_;
   mutable std::vector<VertexId> nbr_scratch_;
+  std::vector<NodeId> subtree_scratch_;
 };
 
 }  // namespace xt

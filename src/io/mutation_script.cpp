@@ -1,0 +1,115 @@
+#include "io/mutation_script.hpp"
+
+#include <sstream>
+
+namespace xt {
+namespace {
+
+bool parse_node(std::istringstream& is, NodeId* out) {
+  long long v = 0;
+  if (!(is >> v)) return false;
+  // Stable ids are int32; out-of-range input is malformed, not UB.
+  if (v < -1 || v > 0x7fffffff) return false;
+  *out = static_cast<NodeId>(v);
+  return true;
+}
+
+bool trailing_garbage(std::istringstream& is) {
+  std::string rest;
+  return static_cast<bool>(is >> rest);
+}
+
+}  // namespace
+
+bool parse_mutation_script(std::string_view text, MutationScript* out,
+                           std::string* error) {
+  MutationScript script;
+  std::istringstream lines{std::string(text)};
+  std::string line;
+  std::size_t lineno = 0;
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr)
+      *error = "line " + std::to_string(lineno) + ": " + why;
+    return false;
+  };
+  while (std::getline(lines, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream is(line);
+    std::string verb;
+    if (!(is >> verb)) continue;  // blank
+    if (verb == "host") {
+      long long height = 0, load = 0;
+      if (!(is >> height >> load) || height < 0 || height > 25 || load < 1 ||
+          load > 0x7fffffff) {
+        return fail("host needs <height 0..25> <load >= 1>");
+      }
+      script.height = static_cast<std::int32_t>(height);
+      script.load = static_cast<NodeId>(load);
+    } else if (verb == "policy") {
+      long long repair = 0, dilation = 0;
+      if (!(is >> repair >> dilation) || repair < 0 || dilation < 0) {
+        return fail("policy needs <max_repair_nodes> <max_dilation>, both >= 0");
+      }
+      script.max_repair_nodes = repair;
+      script.max_dilation = static_cast<std::int32_t>(dilation);
+    } else if (verb == "add") {
+      MutationOp op{MutationOpKind::kAddLeaf, kInvalidNode, kInvalidNode};
+      if (!parse_node(is, &op.a)) return fail("add needs <parent>");
+      script.ops.push_back(op);
+    } else if (verb == "remove-leaf") {
+      MutationOp op{MutationOpKind::kRemoveLeaf, kInvalidNode, kInvalidNode};
+      if (!parse_node(is, &op.a)) return fail("remove-leaf needs <node>");
+      script.ops.push_back(op);
+    } else if (verb == "remove-subtree") {
+      MutationOp op{MutationOpKind::kRemoveSubtree, kInvalidNode,
+                    kInvalidNode};
+      if (!parse_node(is, &op.a)) return fail("remove-subtree needs <node>");
+      script.ops.push_back(op);
+    } else if (verb == "move") {
+      MutationOp op{MutationOpKind::kMoveSubtree, kInvalidNode, kInvalidNode};
+      if (!parse_node(is, &op.a) || !parse_node(is, &op.b))
+        return fail("move needs <node> <new-parent>");
+      script.ops.push_back(op);
+    } else {
+      return fail("unknown directive '" + verb + "'");
+    }
+    if (trailing_garbage(is)) return fail("trailing tokens after '" + verb + "'");
+  }
+  *out = std::move(script);
+  return true;
+}
+
+std::string format_mutation_op(const MutationOp& op) {
+  switch (op.kind) {
+    case MutationOpKind::kAddLeaf:
+      return "add " + std::to_string(op.a);
+    case MutationOpKind::kRemoveLeaf:
+      return "remove-leaf " + std::to_string(op.a);
+    case MutationOpKind::kRemoveSubtree:
+      return "remove-subtree " + std::to_string(op.a);
+    case MutationOpKind::kMoveSubtree:
+      return "move " + std::to_string(op.a) + " " + std::to_string(op.b);
+  }
+  return "";  // unreachable
+}
+
+std::string format_mutation_script(const MutationScript& script) {
+  std::string out;
+  if (script.height >= 0 && script.load >= 1) {
+    out += "host " + std::to_string(script.height) + " " +
+           std::to_string(script.load) + "\n";
+  }
+  if (script.max_repair_nodes >= 0 && script.max_dilation >= 0) {
+    out += "policy " + std::to_string(script.max_repair_nodes) + " " +
+           std::to_string(script.max_dilation) + "\n";
+  }
+  for (const MutationOp& op : script.ops) {
+    out += format_mutation_op(op);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace xt

@@ -1,0 +1,73 @@
+// The mutation-script interchange format: one line per mutation
+// against a session-hosted tree, referencing *stable* node ids.
+//
+//   # comment                 (blank lines and '#' comments ignored)
+//   host 4 16                 # optional: X-tree height, slots/vertex
+//   policy 64 8               # optional: repair budget, dilation bound
+//   add 0                     # new leaf under node 0
+//   remove-leaf 17
+//   remove-subtree 4
+//   move 9 2                  # re-hang subtree 9 under node 2
+//
+// This one format is spoken by every mutation surface: the wire
+// (kSessionMutate payloads), the xt_session replay CLI, the mutation
+// fuzzer's shrunken repros and the differential tests — so a failure
+// printed by any of them replays everywhere else unchanged.
+//
+// The header directives make a script self-contained (a repro file
+// carries its machine and policy); parsers for surfaces that fix the
+// machine themselves (a live session) simply reject or ignore them —
+// see parse_mutation_script's `out` contract below.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "btree/binary_tree.hpp"
+
+namespace xt {
+
+enum class MutationOpKind : std::uint8_t {
+  kAddLeaf = 0,
+  kRemoveLeaf = 1,
+  kRemoveSubtree = 2,
+  kMoveSubtree = 3,
+};
+
+/// One mutation: `a` is the target node (the parent for kAddLeaf),
+/// `b` the move destination (kMoveSubtree only).
+struct MutationOp {
+  MutationOpKind kind = MutationOpKind::kAddLeaf;
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+
+  friend bool operator==(const MutationOp&, const MutationOp&) = default;
+};
+
+/// A parsed script.  Header fields are -1 when the script did not set
+/// them (the caller's defaults apply).
+struct MutationScript {
+  std::int32_t height = -1;            // host X-tree height
+  NodeId load = -1;                    // slots per host vertex
+  std::int64_t max_repair_nodes = -1;  // MutationPolicy::max_repair_nodes
+  std::int32_t max_dilation = -1;      // MutationPolicy::max_dilation
+  std::vector<MutationOp> ops;
+};
+
+/// Parses the text format above.  Returns false with *error holding
+/// "line N: why" on the first malformed line; *out is valid only on
+/// success.
+[[nodiscard]] bool parse_mutation_script(std::string_view text,
+                                         MutationScript* out,
+                                         std::string* error);
+
+/// One op as a script line (no trailing newline).
+[[nodiscard]] std::string format_mutation_op(const MutationOp& op);
+
+/// The whole script in the text format, header directives included
+/// for every field that is set (round-trips through the parser).
+[[nodiscard]] std::string format_mutation_script(const MutationScript& script);
+
+}  // namespace xt

@@ -28,6 +28,7 @@
 #include "io/newick.hpp"
 #include "io/serialize.hpp"
 #include "service/canonical_cache.hpp"
+#include "service/session.hpp"
 #include "util/check.hpp"
 
 namespace xt {
@@ -164,6 +165,34 @@ std::optional<long> parse_long(std::string_view text) {
   const long v = std::strtol(buf.c_str(), &end, 10);
   if (errno != 0 || end == nullptr || *end != '\0') return std::nullopt;
   return v;
+}
+
+/// Session statuses that have a wire twin keep it; the rest surface
+/// as kBadRequest with the precise status in the JSON body.
+WireStatus wire_status_of_session(SessionStatus s) {
+  switch (s) {
+    case SessionStatus::kOk: return WireStatus::kOk;
+    case SessionStatus::kQueueFull:
+    case SessionStatus::kTooManySessions:
+      return WireStatus::kRejectedQueueFull;
+    case SessionStatus::kShutdown: return WireStatus::kRejectedShutdown;
+    default: return WireStatus::kBadRequest;
+  }
+}
+
+int http_status_of_session(SessionStatus s) {
+  switch (s) {
+    case SessionStatus::kOk: return 200;
+    case SessionStatus::kNotFound: return 404;
+    case SessionStatus::kAlreadyExists: return 409;
+    case SessionStatus::kVersionGone: return 410;
+    case SessionStatus::kQueueFull:
+    case SessionStatus::kTooManySessions:
+      return 429;
+    case SessionStatus::kShutdown: return 503;
+    case SessionStatus::kBadRequest: return 400;
+  }
+  return 500;
 }
 
 }  // namespace net_detail
@@ -758,6 +787,14 @@ struct LoopOps {
       return;
     }
 
+    // Session ops (formats 3-6) route to the SessionManager, not the
+    // embed service.
+    if (frame.format >= static_cast<std::uint8_t>(WireFormat::kSessionCreate) &&
+        frame.format <= static_cast<std::uint8_t>(WireFormat::kSessionDrop)) {
+      handle_session_frame(conn, seq, frame);
+      return;
+    }
+
     // Queue-free hit path: digest the payload in place and answer from
     // the canonical cache without submitting.  A miss — or anything
     // malformed — falls through to the legacy parse below, which
@@ -835,6 +872,261 @@ struct LoopOps {
            frame.flags);
   }
 
+  // ---- session workload (ISSUE 9) -------------------------------------
+  //
+  // Both protocols route session ops to NetServerConfig::sessions.
+  // Create/drop/query answer inline on the event loop (the manager
+  // serves them without blocking: map lookup + epoch-pinned snapshot
+  // read).  Mutations go through SessionManager::mutate, whose
+  // completion — writer thread for accepted batches, this thread for
+  // rejections — posts to the loop's completion queue exactly like an
+  // embed submit, so responses flush in request order either way.
+
+  void respond_session_wire(Conn& conn, std::uint64_t seq,
+                            const WireFrame& request, SessionStatus status,
+                            std::string body) {
+    WireFrame f;
+    f.format = 0;
+    f.code = static_cast<std::uint8_t>(wire_status_of_session(status));
+    f.flags = request.flags;
+    f.request_id = request.request_id;
+    f.payload = std::move(body);
+    enqueue_local(conn, seq, encode_frame(f), false);
+  }
+
+  void handle_session_frame(Conn& conn, std::uint64_t seq,
+                            const WireFrame& frame) {
+    SessionManager* sm = cfg().sessions;
+    if (sm == nullptr) {
+      counters().bad_requests.fetch_add(1, std::memory_order_relaxed);
+      enqueue_local(conn, seq,
+                    wire_error_bytes(frame, WireStatus::kBadRequest,
+                                     "session ops not enabled"),
+                    false);
+      return;
+    }
+    switch (frame.format) {
+      case static_cast<std::uint8_t>(WireFormat::kSessionCreate): {
+        std::istringstream is(frame.payload);
+        std::string id;
+        long long height = -1, load = -1;
+        is >> id >> height >> load;  // trailing fields optional
+        std::string reason;
+        const SessionStatus st =
+            sm->create(id, static_cast<std::int32_t>(height),
+                       static_cast<NodeId>(load), &reason);
+        if (st == SessionStatus::kOk) {
+          respond_session_wire(conn, seq, frame, st,
+                               "{\"status\": \"ok\", \"version\": 1}");
+        } else {
+          counters().bad_requests.fetch_add(1, std::memory_order_relaxed);
+          respond_session_wire(conn, seq, frame, st,
+                               json_error_body(session_status_name(st),
+                                               reason));
+        }
+        return;
+      }
+      case static_cast<std::uint8_t>(WireFormat::kSessionDrop): {
+        std::istringstream is(frame.payload);
+        std::string id;
+        is >> id;
+        const SessionStatus st = sm->drop(id);
+        respond_session_wire(
+            conn, seq, frame, st,
+            st == SessionStatus::kOk
+                ? std::string("{\"status\": \"ok\"}")
+                : json_error_body(session_status_name(st),
+                                  "unknown session '" + id + "'"));
+        return;
+      }
+      case static_cast<std::uint8_t>(WireFormat::kSessionQuery): {
+        std::istringstream is(frame.payload);
+        std::string id;
+        unsigned long long version = 0;
+        is >> id >> version;
+        std::string body;
+        const SessionStatus st = sm->with_snapshot(
+            id, version, [&](const EmbeddingSnapshot& snap) {
+              body = session_embedding_json(id, snap);
+            });
+        if (st != SessionStatus::kOk)
+          body = json_error_body(session_status_name(st),
+                                 "session '" + id + "' version " +
+                                     std::to_string(version));
+        respond_session_wire(conn, seq, frame, st, std::move(body));
+        return;
+      }
+      default: {  // kSessionMutate
+        const std::string& payload = frame.payload;
+        const std::size_t nl = payload.find('\n');
+        const std::string id = payload.substr(0, nl);
+        MutationScript script;
+        std::string perr;
+        if (id.empty() || id.find(' ') != std::string::npos) {
+          perr = "first payload line must be the session id";
+        } else if (nl != std::string::npos) {
+          (void)parse_mutation_script(
+              std::string_view(payload).substr(nl + 1), &script, &perr);
+        }
+        if (!perr.empty()) {
+          counters().bad_requests.fetch_add(1, std::memory_order_relaxed);
+          respond_session_wire(conn, seq, frame, SessionStatus::kBadRequest,
+                               json_error_body("bad_request", perr));
+          return;
+        }
+        submit_session_mutation(conn, seq, sm, id, std::move(script.ops),
+                                /*http=*/false, /*keep_alive=*/true,
+                                frame.request_id, frame.flags);
+        return;
+      }
+    }
+  }
+
+  void submit_session_mutation(Conn& conn, std::uint64_t seq,
+                               SessionManager* sm, const std::string& id,
+                               std::vector<MutationOp> ops, bool http,
+                               bool keep_alive, std::uint32_t request_id,
+                               std::uint8_t flags) {
+    ++conn.inflight;
+    counters().inflight.fetch_add(1);
+    counters().requests_submitted.fetch_add(1, std::memory_order_relaxed);
+    auto queue = loop.completions;
+    auto counters_sp = server.counters_;
+    const std::uint64_t conn_id = conn.id;
+    sm->mutate(id, std::move(ops),
+               [queue, counters_sp, conn_id, seq, http, keep_alive,
+                request_id, flags](MutateOutcome outcome) {
+                 const std::string body = mutate_outcome_json(outcome);
+                 std::string bytes;
+                 bool close_after = false;
+                 if (http) {
+                   const int status = http_status_of_session(outcome.status);
+                   std::vector<std::string> extra;
+                   if (status == 429) extra.push_back("Retry-After: 1");
+                   bytes = http_response(status, body, "application/json",
+                                         keep_alive, extra);
+                   close_after = !keep_alive;
+                 } else {
+                   WireFrame f;
+                   f.format = 0;
+                   f.code = static_cast<std::uint8_t>(
+                       wire_status_of_session(outcome.status));
+                   f.flags = flags;
+                   f.request_id = request_id;
+                   f.payload = body;
+                   bytes = encode_frame(f);
+                 }
+                 counters_sp->inflight.fetch_sub(1);
+                 queue->post({conn_id, seq, std::move(bytes), close_after});
+               });
+  }
+
+  void handle_session_http(Conn& conn, std::uint64_t seq,
+                           const HttpRequest& req, bool keep) {
+    SessionManager* sm = cfg().sessions;
+    const std::string_view path = req.path();
+    if (sm == nullptr) {
+      counters().bad_requests.fetch_add(1, std::memory_order_relaxed);
+      respond_http(conn, seq, 404,
+                   json_error_body("bad-request", "sessions not enabled"),
+                   keep);
+      return;
+    }
+    if (server.draining_.load(std::memory_order_relaxed)) {
+      counters().shutdown_rejections.fetch_add(1, std::memory_order_relaxed);
+      respond_http(conn, seq, 503,
+                   json_error_body("rejected-shutdown", "server draining"),
+                   keep);
+      return;
+    }
+    const auto bad = [&](const std::string& why) {
+      counters().bad_requests.fetch_add(1, std::memory_order_relaxed);
+      respond_http(conn, seq, 400, json_error_body("bad-request", why), keep);
+    };
+    if (path == "/session/create") {
+      if (req.method != "POST") return bad("session create is POST-only");
+      const std::string_view query = req.query();
+      const std::string id = query_param(query, "id", "");
+      const std::optional<long> height =
+          parse_long(query_param(query, "height", "-1"));
+      const std::optional<long> load =
+          parse_long(query_param(query, "load", "-1"));
+      if (!height.has_value() || !load.has_value())
+        return bad("non-numeric height/load");
+      std::string reason;
+      const SessionStatus st =
+          sm->create(id, static_cast<std::int32_t>(*height),
+                     static_cast<NodeId>(*load), &reason);
+      respond_http(conn, seq, http_status_of_session(st),
+                   st == SessionStatus::kOk
+                       ? std::string("{\"status\": \"ok\", \"version\": 1}")
+                       : json_error_body(session_status_name(st), reason),
+                   keep);
+      return;
+    }
+    // /session/{id}/{mutate|embedding|drop}
+    const std::string_view rest = path.substr(std::string_view("/session/").size());
+    const std::size_t slash = rest.find('/');
+    const std::string id(rest.substr(0, slash));
+    const std::string_view action =
+        slash == std::string_view::npos ? std::string_view{}
+                                        : rest.substr(slash + 1);
+    if (id.empty() || action.empty())
+      return bad("expected /session/{id}/{mutate|embedding|drop}");
+    if (action == "mutate") {
+      if (req.method != "POST") return bad("mutate is POST-only");
+      MutationScript script;
+      std::string perr;
+      if (!parse_mutation_script(req.body, &script, &perr))
+        return bad("mutation script: " + perr);
+      if (conn.inflight >= cfg().max_inflight_per_conn ||
+          counters().inflight.load(std::memory_order_relaxed) >=
+              cfg().max_inflight_total) {
+        counters().overloaded_rejections.fetch_add(1,
+                                                   std::memory_order_relaxed);
+        respond_http(
+            conn, seq, 429,
+            json_error_body("overloaded", "in-flight request cap reached"),
+            keep);
+        return;
+      }
+      submit_session_mutation(conn, seq, sm, id, std::move(script.ops),
+                              /*http=*/true, keep, /*request_id=*/0,
+                              /*flags=*/0);
+      return;
+    }
+    if (action == "embedding") {
+      if (req.method != "GET") return bad("embedding is GET-only");
+      const std::optional<long> version =
+          parse_long(query_param(req.query(), "version", "0"));
+      if (!version.has_value() || *version < 0) return bad("bad version");
+      std::string body;
+      const SessionStatus st = sm->with_snapshot(
+          id, static_cast<std::uint64_t>(*version),
+          [&](const EmbeddingSnapshot& snap) {
+            body = session_embedding_json(id, snap);
+          });
+      if (st != SessionStatus::kOk)
+        body = json_error_body(session_status_name(st),
+                               "session '" + id + "' version " +
+                                   std::to_string(*version));
+      respond_http(conn, seq, http_status_of_session(st), body, keep);
+      return;
+    }
+    if (action == "drop") {
+      if (req.method != "POST") return bad("drop is POST-only");
+      const SessionStatus st = sm->drop(id);
+      respond_http(conn, seq, http_status_of_session(st),
+                   st == SessionStatus::kOk
+                       ? std::string("{\"status\": \"ok\"}")
+                       : json_error_body(session_status_name(st),
+                                         "unknown session '" + id + "'"),
+                   keep);
+      return;
+    }
+    bad("unknown session action '" + std::string(action) + "'");
+  }
+
   // ---- HTTP ----------------------------------------------------------
 
   void respond_http(Conn& conn, std::uint64_t seq, int status,
@@ -879,8 +1171,16 @@ struct LoopOps {
       body += server.service_.stats_json();
       body += ",\n\"net\": ";
       body += server.stats_json();
+      if (cfg().sessions != nullptr) {
+        body += ",\n\"sessions\": ";
+        body += cfg().sessions->stats_json();
+      }
       body += "\n}";
       respond_http(conn, seq, 200, body, keep);
+      return;
+    }
+    if (path.rfind("/session/", 0) == 0) {
+      handle_session_http(conn, seq, req, keep);
       return;
     }
     if (path != "/embed") {

@@ -47,6 +47,8 @@
 
 namespace xt {
 
+class SessionManager;
+
 struct NetServerConfig {
   /// TCP port; 0 binds an ephemeral port (read it back via port()).
   std::uint16_t port = 0;
@@ -87,6 +89,12 @@ struct NetServerConfig {
   /// error, slow-consumer disconnect); same contract as the service
   /// sink.
   std::function<void(const std::string&)> diagnostic_sink;
+  /// Session workload (ISSUE 9): when set, the server routes the
+  /// kSessionCreate/Mutate/Query/Drop frame formats and the
+  /// /session/* HTTP endpoints to this manager, and /stats gains a
+  /// "sessions" object.  nullptr (default) answers those surfaces
+  /// with bad-request / 404.  Must outlive the server.
+  SessionManager* sessions = nullptr;
 };
 
 /// Monotonic counters (atomics: loops and the acceptor update them

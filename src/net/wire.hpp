@@ -43,11 +43,29 @@ inline constexpr std::size_t kWireHeaderBytes = 32;
 /// Default per-frame payload cap; NetServerConfig can lower/raise it.
 inline constexpr std::size_t kWireDefaultMaxPayload = 1u << 20;
 
-/// Payload encodings a request frame may carry.
+/// Payload encodings a request frame may carry.  Formats 0-2 are
+/// embed requests (code = theorem); formats 3-6 are session ops
+/// (ISSUE 9) routed to the server's SessionManager, with text
+/// payloads:
+///
+///   kSessionCreate  "id [height [load]]"
+///   kSessionMutate  "id\n" + mutation script (io/mutation_script.hpp;
+///                   host/policy directives are ignored — the machine
+///                   was fixed at create)
+///   kSessionQuery   "id [version]"   (version 0 / absent = latest)
+///   kSessionDrop    "id"
+///
+/// Session responses carry WireStatus in `code` as usual; statuses
+/// with no wire twin (not-found, version-gone, ...) map to
+/// kBadRequest with the precise session status in the JSON body.
 enum class WireFormat : std::uint8_t {
   kParen = 0,
   kNewick = 1,
   kXtb1Record = 2,
+  kSessionCreate = 3,
+  kSessionMutate = 4,
+  kSessionQuery = 5,
+  kSessionDrop = 6,
 };
 
 /// Response status codes on the wire.  kRejectedQueueFull is the

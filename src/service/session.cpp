@@ -1,0 +1,552 @@
+#include "service/session.hpp"
+
+#include <future>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace xt {
+
+namespace {
+
+const char* growth_error_name(DynamicEmbedder::GrowthError e) {
+  switch (e) {
+    case DynamicEmbedder::GrowthError::kOk: return "ok";
+    case DynamicEmbedder::GrowthError::kHostFull: return "host_full";
+    case DynamicEmbedder::GrowthError::kParentSlotsFull:
+      return "parent_slots_full";
+    case DynamicEmbedder::GrowthError::kInvalidParent:
+      return "invalid_parent";
+  }
+  return "unknown";
+}
+
+const char* mutation_error_name(DynamicEmbedder::MutationError e) {
+  switch (e) {
+    case DynamicEmbedder::MutationError::kOk: return "ok";
+    case DynamicEmbedder::MutationError::kDeadNode: return "dead_node";
+    case DynamicEmbedder::MutationError::kIsRoot: return "is_root";
+    case DynamicEmbedder::MutationError::kNotLeaf: return "not_leaf";
+    case DynamicEmbedder::MutationError::kInvalidParent:
+      return "invalid_parent";
+    case DynamicEmbedder::MutationError::kWouldCycle: return "would_cycle";
+    case DynamicEmbedder::MutationError::kParentSlotsFull:
+      return "parent_slots_full";
+  }
+  return "unknown";
+}
+
+bool valid_session_id(const std::string& id) {
+  if (id.empty() || id.size() > 64) return false;
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* session_status_name(SessionStatus s) {
+  switch (s) {
+    case SessionStatus::kOk: return "ok";
+    case SessionStatus::kNotFound: return "not_found";
+    case SessionStatus::kAlreadyExists: return "already_exists";
+    case SessionStatus::kTooManySessions: return "too_many_sessions";
+    case SessionStatus::kVersionGone: return "version_gone";
+    case SessionStatus::kQueueFull: return "queue_full";
+    case SessionStatus::kShutdown: return "shutdown";
+    case SessionStatus::kBadRequest: return "bad_request";
+  }
+  return "unknown";
+}
+
+std::uint64_t snapshot_checksum(const EmbeddingSnapshot& snap) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (byte * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(snap.version);
+  mix(static_cast<std::uint64_t>(snap.tree.num_nodes()));
+  mix(static_cast<std::uint64_t>(snap.host_height));
+  mix(static_cast<std::uint64_t>(snap.dilation));
+  mix(static_cast<std::uint64_t>(snap.max_load));
+  for (NodeId c = 0; c < snap.tree.num_nodes(); ++c) {
+    mix(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(snap.tree.parent(c))));
+    mix(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(snap.embedding.host_of(c))));
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(
+        snap.stable_of[static_cast<std::size_t>(c)])));
+  }
+  return h;
+}
+
+// --- TreeSession ----------------------------------------------------------
+
+struct SessionManager::TreeSession {
+  std::string id;
+  DynamicEmbedder embedder;
+  // Published versions live in a ring indexed version %
+  // ring.size(); slots hold nullptr until their first publication.
+  std::vector<std::atomic<EmbeddingSnapshot*>> ring;
+  std::atomic<std::uint64_t> latest{0};
+  std::atomic<bool> dropped{false};
+
+  TreeSession(std::string session_id, std::int32_t height, NodeId load,
+              MutationPolicy policy, std::size_t ring_size)
+      : id(std::move(session_id)),
+        embedder(height, load, policy),
+        ring(ring_size) {}
+
+  ~TreeSession() {
+    // Whatever is still linked in the ring was never retired; no
+    // reader can hold it here (readers hold the owning shared_ptr).
+    for (auto& slot : ring) delete slot.load(std::memory_order_relaxed);
+  }
+};
+
+// --- SessionManager -------------------------------------------------------
+
+SessionManager::SessionManager(SessionConfig config)
+    : config_(std::move(config)) {
+  if (config_.max_versions_retained == 0) config_.max_versions_retained = 1;
+  writer_ = std::thread([this] { writer_loop(); });
+}
+
+SessionManager::~SessionManager() { shutdown(/*drain=*/true); }
+
+void SessionManager::diag(const std::string& line) const {
+  if (config_.diagnostic_sink) config_.diagnostic_sink(line);
+}
+
+SessionStatus SessionManager::create(const std::string& id,
+                                     std::int32_t height, NodeId load,
+                                     std::string* reason) {
+  const auto fail = [&](SessionStatus s, const std::string& why) {
+    if (reason != nullptr) *reason = why;
+    return s;
+  };
+  if (!valid_session_id(id))
+    return fail(SessionStatus::kBadRequest,
+                "session id must be 1..64 chars of [A-Za-z0-9_.-]");
+  const std::int32_t h = height < 0 ? config_.default_height : height;
+  const NodeId l = load < 0 ? config_.default_load : load;
+  if (h < 0 || h > 25)
+    return fail(SessionStatus::kBadRequest, "height must be in 0..25");
+  if (l < 1)
+    return fail(SessionStatus::kBadRequest, "load must be >= 1");
+
+  auto session = std::make_shared<TreeSession>(
+      id, h, l, config_.policy, config_.max_versions_retained);
+  {
+    std::unique_lock lock(sessions_mu_);
+    if (sessions_.size() >= config_.max_sessions)
+      return fail(SessionStatus::kTooManySessions,
+                  "session cap reached (" +
+                      std::to_string(config_.max_sessions) + ")");
+    const auto [it, inserted] = sessions_.emplace(id, session);
+    (void)it;
+    if (!inserted)
+      return fail(SessionStatus::kAlreadyExists,
+                  "session '" + id + "' already exists");
+  }
+  // Not yet reachable by the writer (no queued batches) — publishing
+  // version 1 here races with nothing.
+  publish(*session);
+  sessions_created_.fetch_add(1, std::memory_order_relaxed);
+  diag("session created id=" + id + " height=" + std::to_string(h) +
+       " load=" + std::to_string(l));
+  return SessionStatus::kOk;
+}
+
+SessionStatus SessionManager::drop(const std::string& id) {
+  std::shared_ptr<TreeSession> session;
+  {
+    std::unique_lock lock(sessions_mu_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return SessionStatus::kNotFound;
+    session = std::move(it->second);
+    sessions_.erase(it);
+  }
+  session->dropped.store(true, std::memory_order_release);
+  sessions_dropped_.fetch_add(1, std::memory_order_relaxed);
+  diag("session dropped id=" + id);
+  return SessionStatus::kOk;
+}
+
+void SessionManager::mutate(const std::string& id,
+                            std::vector<MutationOp> ops,
+                            std::function<void(MutateOutcome)> on_done) {
+  batches_submitted_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<TreeSession> session;
+  {
+    std::shared_lock lock(sessions_mu_);
+    const auto it = sessions_.find(id);
+    if (it != sessions_.end()) session = it->second;
+  }
+  MutateOutcome rejection;
+  if (session == nullptr || session->dropped.load(std::memory_order_acquire)) {
+    batches_not_found_.fetch_add(1, std::memory_order_relaxed);
+    rejection.status = SessionStatus::kNotFound;
+    rejection.reason = "unknown session '" + id + "'";
+    on_done(std::move(rejection));
+    return;
+  }
+  {
+    std::lock_guard lock(queue_mu_);
+    if (stopping_) {
+      rejection.status = SessionStatus::kShutdown;
+      rejection.reason = "session manager draining";
+    } else if (queue_.size() >= config_.mutation_queue_capacity) {
+      rejection.status = SessionStatus::kQueueFull;
+      rejection.reason = "mutation queue full (" +
+                         std::to_string(config_.mutation_queue_capacity) +
+                         ")";
+    } else {
+      queue_.push_back(PendingBatch{std::move(session), std::move(ops),
+                                    std::move(on_done)});
+      queue_cv_.notify_one();
+      return;
+    }
+  }
+  if (rejection.status == SessionStatus::kQueueFull) {
+    batches_rejected_full_.fetch_add(1, std::memory_order_relaxed);
+    diag("mutation batch rejected (queue full) id=" + id);
+  } else {
+    batches_shutdown_.fetch_add(1, std::memory_order_relaxed);
+  }
+  on_done(std::move(rejection));
+}
+
+MutateOutcome SessionManager::mutate_sync(const std::string& id,
+                                          std::vector<MutationOp> ops) {
+  std::promise<MutateOutcome> promise;
+  auto future = promise.get_future();
+  mutate(id, std::move(ops),
+         [&promise](MutateOutcome outcome) {
+           promise.set_value(std::move(outcome));
+         });
+  return future.get();
+}
+
+void SessionManager::writer_loop() {
+  for (;;) {
+    PendingBatch batch;
+    {
+      std::unique_lock lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, drained
+      if (stopping_ && !drain_) {
+        // Answer everything kShutdown without applying.
+        std::deque<PendingBatch> rest;
+        rest.swap(queue_);
+        lock.unlock();
+        for (PendingBatch& p : rest) {
+          batches_shutdown_.fetch_add(1, std::memory_order_relaxed);
+          MutateOutcome outcome;
+          outcome.status = SessionStatus::kShutdown;
+          outcome.reason = "session manager stopping";
+          p.on_done(std::move(outcome));
+        }
+        return;
+      }
+      batch = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    MutateOutcome outcome;
+    if (batch.session->dropped.load(std::memory_order_acquire)) {
+      batches_not_found_.fetch_add(1, std::memory_order_relaxed);
+      outcome.status = SessionStatus::kNotFound;
+      outcome.reason = "session '" + batch.session->id + "' was dropped";
+    } else {
+      outcome = apply_batch(*batch.session, batch.ops);
+      batches_completed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    batch.on_done(std::move(outcome));
+  }
+}
+
+MutateOutcome SessionManager::apply_batch(TreeSession& session,
+                                          const std::vector<MutationOp>& ops) {
+  MutateOutcome outcome;
+  outcome.records.reserve(ops.size());
+  DynamicEmbedder& dyn = session.embedder;
+  const DynamicEmbedder::MutationStats before = dyn.mutation_stats();
+  for (const MutationOp& op : ops) {
+    const DynamicEmbedder::MutationStats at = dyn.mutation_stats();
+    MutationRecord record;
+    record.op = op;
+    switch (op.kind) {
+      case MutationOpKind::kAddLeaf: {
+        const auto res = dyn.try_add_leaf(op.a);
+        record.ok = res.ok();
+        record.leaf = res.leaf;
+        if (!res.ok()) record.error = growth_error_name(res.error);
+        break;
+      }
+      case MutationOpKind::kRemoveLeaf: {
+        const auto res = dyn.try_remove_leaf(op.a);
+        record.ok = res.ok();
+        if (!res.ok()) record.error = mutation_error_name(res.error);
+        break;
+      }
+      case MutationOpKind::kRemoveSubtree: {
+        const auto res = dyn.try_remove_subtree(op.a);
+        record.ok = res.ok();
+        if (!res.ok()) record.error = mutation_error_name(res.error);
+        break;
+      }
+      case MutationOpKind::kMoveSubtree: {
+        const auto res = dyn.try_move_subtree(op.a, op.b);
+        record.ok = res.ok();
+        if (!res.ok()) record.error = mutation_error_name(res.error);
+        break;
+      }
+    }
+    const DynamicEmbedder::MutationStats after = dyn.mutation_stats();
+    record.nodes_touched = after.nodes_touched - at.nodes_touched;
+    record.escalated = after.escalated > at.escalated;
+    record.dilation_after = dyn.current_dilation();
+    record.max_load_after = dyn.current_max_load();
+    if (record.escalated)
+      diag("session " + session.id + " escalated: " +
+           format_mutation_op(op) + " re-placed " +
+           std::to_string(record.nodes_touched) + " nodes");
+    outcome.records.push_back(std::move(record));
+  }
+  publish(session);
+  outcome.status = SessionStatus::kOk;
+  outcome.version = session.latest.load(std::memory_order_relaxed);
+
+  const DynamicEmbedder::MutationStats after = dyn.mutation_stats();
+  ops_applied_.fetch_add(
+      static_cast<std::uint64_t>(after.applied - before.applied),
+      std::memory_order_relaxed);
+  ops_repaired_.fetch_add(
+      static_cast<std::uint64_t>(after.repaired - before.repaired),
+      std::memory_order_relaxed);
+  ops_escalated_.fetch_add(
+      static_cast<std::uint64_t>(after.escalated - before.escalated),
+      std::memory_order_relaxed);
+  ops_rejected_.fetch_add(
+      static_cast<std::uint64_t>(after.rejected - before.rejected),
+      std::memory_order_relaxed);
+  nodes_touched_.fetch_add(
+      static_cast<std::uint64_t>(after.nodes_touched - before.nodes_touched),
+      std::memory_order_relaxed);
+  escalate_nodes_.fetch_add(
+      static_cast<std::uint64_t>(after.escalate_nodes -
+                                 before.escalate_nodes),
+      std::memory_order_relaxed);
+  return outcome;
+}
+
+void SessionManager::publish(TreeSession& session) {
+  const DynamicEmbedder& dyn = session.embedder;
+  auto* snap = new EmbeddingSnapshot;
+  snap->version = session.latest.load(std::memory_order_relaxed) + 1;
+  auto projection = dyn.snapshot();
+  snap->tree = std::move(projection.tree);
+  snap->embedding = std::move(projection.embedding);
+  snap->stable_of = std::move(projection.stable_of);
+  snap->compact_of = std::move(projection.compact_of);
+  snap->host_height = dyn.host().height();
+  snap->dilation = dyn.current_dilation();
+  snap->max_load = dyn.current_max_load();
+  snap->free_capacity = dyn.free_capacity();
+  snap->checksum = snapshot_checksum(*snap);
+
+  auto& slot = session.ring[static_cast<std::size_t>(
+      snap->version % session.ring.size())];
+  EmbeddingSnapshot* old = slot.exchange(snap, std::memory_order_release);
+  session.latest.store(snap->version, std::memory_order_release);
+  snapshots_published_.fetch_add(1, std::memory_order_relaxed);
+  if (old != nullptr) {
+    domain_.retire_object(old);
+    snapshots_retired_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+SessionStatus SessionManager::with_snapshot(
+    const std::string& id, std::uint64_t version,
+    const std::function<void(const EmbeddingSnapshot&)>& fn) {
+  std::shared_ptr<TreeSession> session;
+  {
+    std::shared_lock lock(sessions_mu_);
+    const auto it = sessions_.find(id);
+    if (it != sessions_.end()) session = it->second;
+  }
+  if (session == nullptr || session->dropped.load(std::memory_order_acquire)) {
+    reads_not_found_.fetch_add(1, std::memory_order_relaxed);
+    return SessionStatus::kNotFound;
+  }
+  // Pin before touching the ring: any snapshot the writer retires
+  // from here on outlives this guard.
+  const EpochDomain::Guard guard = domain_.pin();
+  const std::uint64_t latest = session->latest.load(std::memory_order_acquire);
+  const std::uint64_t want = version == 0 ? latest : version;
+  const std::size_t ring_size = session->ring.size();
+  if (want == 0 || want > latest || want + ring_size <= latest) {
+    reads_version_gone_.fetch_add(1, std::memory_order_relaxed);
+    return SessionStatus::kVersionGone;
+  }
+  const EmbeddingSnapshot* snap =
+      session->ring[static_cast<std::size_t>(want % ring_size)].load(
+          std::memory_order_acquire);
+  if (snap == nullptr || snap->version != want) {
+    // The slot was recycled by a newer publication between the latest
+    // read and the slot read — the version is gone, not torn.
+    reads_version_gone_.fetch_add(1, std::memory_order_relaxed);
+    return SessionStatus::kVersionGone;
+  }
+  fn(*snap);
+  reads_ok_.fetch_add(1, std::memory_order_relaxed);
+  return SessionStatus::kOk;
+}
+
+std::vector<std::string> SessionManager::session_ids() const {
+  std::vector<std::string> ids;
+  std::shared_lock lock(sessions_mu_);
+  ids.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) ids.push_back(id);
+  return ids;
+}
+
+void SessionManager::shutdown(bool drain) {
+  std::lock_guard shutdown_lock(shutdown_mu_);
+  {
+    std::lock_guard lock(queue_mu_);
+    stopping_ = true;
+    drain_ = drain;
+    queue_cv_.notify_all();
+  }
+  if (writer_.joinable()) writer_.join();
+}
+
+SessionStats SessionManager::stats() const {
+  SessionStats s;
+  s.sessions_created = sessions_created_.load(std::memory_order_relaxed);
+  s.sessions_dropped = sessions_dropped_.load(std::memory_order_relaxed);
+  {
+    std::shared_lock lock(sessions_mu_);
+    s.sessions_active = sessions_.size();
+  }
+  s.batches_submitted = batches_submitted_.load(std::memory_order_relaxed);
+  s.batches_completed = batches_completed_.load(std::memory_order_relaxed);
+  s.batches_rejected_full =
+      batches_rejected_full_.load(std::memory_order_relaxed);
+  s.batches_not_found = batches_not_found_.load(std::memory_order_relaxed);
+  s.batches_shutdown = batches_shutdown_.load(std::memory_order_relaxed);
+  s.ops_applied = ops_applied_.load(std::memory_order_relaxed);
+  s.ops_repaired = ops_repaired_.load(std::memory_order_relaxed);
+  s.ops_escalated = ops_escalated_.load(std::memory_order_relaxed);
+  s.ops_rejected = ops_rejected_.load(std::memory_order_relaxed);
+  s.nodes_touched = nodes_touched_.load(std::memory_order_relaxed);
+  s.escalate_nodes = escalate_nodes_.load(std::memory_order_relaxed);
+  s.snapshots_published = snapshots_published_.load(std::memory_order_relaxed);
+  s.snapshots_retired = snapshots_retired_.load(std::memory_order_relaxed);
+  s.reads_ok = reads_ok_.load(std::memory_order_relaxed);
+  s.reads_version_gone = reads_version_gone_.load(std::memory_order_relaxed);
+  s.reads_not_found = reads_not_found_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(queue_mu_);
+    s.mutation_queue_depth = queue_.size();
+  }
+  s.mutation_queue_capacity = config_.mutation_queue_capacity;
+  return s;
+}
+
+std::string SessionStats::to_json() const {
+  XT_CHECK_MSG(ops_applied == ops_repaired + ops_escalated + ops_rejected,
+               "session accounting identity broken: applied="
+                   << ops_applied << " repaired=" << ops_repaired
+                   << " escalated=" << ops_escalated
+                   << " rejected=" << ops_rejected);
+  std::string out = "{";
+  const auto field = [&out](const char* name, std::uint64_t value,
+                            bool first = false) {
+    if (!first) out += ", ";
+    out += "\"";
+    out += name;
+    out += "\": ";
+    out += std::to_string(value);
+  };
+  field("sessions_created", sessions_created, /*first=*/true);
+  field("sessions_dropped", sessions_dropped);
+  field("sessions_active", sessions_active);
+  field("batches_submitted", batches_submitted);
+  field("batches_completed", batches_completed);
+  field("batches_rejected_full", batches_rejected_full);
+  field("batches_not_found", batches_not_found);
+  field("batches_shutdown", batches_shutdown);
+  field("ops_applied", ops_applied);
+  field("ops_repaired", ops_repaired);
+  field("ops_escalated", ops_escalated);
+  field("ops_rejected", ops_rejected);
+  field("nodes_touched", nodes_touched);
+  field("escalate_nodes", escalate_nodes);
+  field("snapshots_published", snapshots_published);
+  field("snapshots_retired", snapshots_retired);
+  field("reads_ok", reads_ok);
+  field("reads_version_gone", reads_version_gone);
+  field("reads_not_found", reads_not_found);
+  field("mutation_queue_depth", mutation_queue_depth);
+  field("mutation_queue_capacity", mutation_queue_capacity);
+  out += "}";
+  return out;
+}
+
+std::string session_embedding_json(const std::string& id,
+                                   const EmbeddingSnapshot& snap) {
+  std::string out = "{\"id\": \"" + id + "\"";
+  out += ", \"version\": " + std::to_string(snap.version);
+  out += ", \"n\": " + std::to_string(snap.tree.num_nodes());
+  out += ", \"host_height\": " + std::to_string(snap.host_height);
+  out += ", \"dilation\": " + std::to_string(snap.dilation);
+  out += ", \"max_load\": " + std::to_string(snap.max_load);
+  out += ", \"free_capacity\": " + std::to_string(snap.free_capacity);
+  out += ", \"checksum\": " + std::to_string(snap.checksum);
+  out += ", \"stable\": [";
+  for (NodeId c = 0; c < snap.tree.num_nodes(); ++c) {
+    if (c > 0) out += ", ";
+    out += std::to_string(snap.stable_of[static_cast<std::size_t>(c)]);
+  }
+  out += "], \"hosts\": [";
+  for (NodeId c = 0; c < snap.tree.num_nodes(); ++c) {
+    if (c > 0) out += ", ";
+    out += std::to_string(snap.embedding.host_of(c));
+  }
+  out += "]}";
+  return out;
+}
+
+std::string mutate_outcome_json(const MutateOutcome& outcome) {
+  std::string out =
+      "{\"status\": \"" + std::string(session_status_name(outcome.status)) +
+      "\"";
+  if (!outcome.reason.empty()) out += ", \"reason\": \"" + outcome.reason + "\"";
+  out += ", \"version\": " + std::to_string(outcome.version);
+  out += ", \"ops\": [";
+  bool first = true;
+  for (const MutationRecord& r : outcome.records) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"op\": \"" + format_mutation_op(r.op) + "\"";
+    out += ", \"status\": \"" + (r.ok ? std::string("ok") : r.error) + "\"";
+    if (r.leaf != kInvalidNode) out += ", \"leaf\": " + std::to_string(r.leaf);
+    out += ", \"nodes_touched\": " + std::to_string(r.nodes_touched);
+    out += ", \"escalated\": " + std::string(r.escalated ? "true" : "false");
+    out += ", \"dilation_after\": " + std::to_string(r.dilation_after);
+    out += ", \"max_load_after\": " + std::to_string(r.max_load_after);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace xt

@@ -1,0 +1,268 @@
+// Stateful tree hosting: named mutable guests served under a
+// parallel-read / serial-write epoch scheme (ROADMAP item 1, the jump
+// from stateless embed oracle to session workload).
+//
+//   mutate(id, ops) ──> bounded FIFO ──> ONE writer thread
+//                         │                  │ applies ops in order on
+//                         │ full? explicit   │ the session's
+//                         │ kQueueFull (429) │ DynamicEmbedder, then
+//                         ▼                  ▼ publishes…
+//                    (never drops)   EmbeddingSnapshot v+1 ──┐
+//                                                            │ atomic
+//   with_snapshot(id, version) ◄─────────────────────────────┘
+//       readers pin the epoch domain, load the version slot and read
+//       an *immutable* snapshot — they never take the writer's locks,
+//       never block on a mutation in progress, and never observe a
+//       torn or reclaimed snapshot (the domain defers frees past
+//       every pinned reader; tests/session_stress_test.cpp runs this
+//       under TSan).
+//
+// Versions are dense (1, 2, … one per mutation batch) and the last
+// `max_versions_retained` stay readable, so a client can pin a
+// version and page an embedding out across multiple requests while
+// writers keep publishing.
+//
+// Mutations are accounted end to end with the embedder's hard
+// identity applied == repaired + escalated + rejected, re-asserted by
+// stats()/to_json() on every read.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dynamic_embedder.hpp"
+#include "io/mutation_script.hpp"
+#include "util/epoch.hpp"
+
+namespace xt {
+
+struct SessionConfig {
+  /// X-tree height / slots-per-vertex for sessions whose create op
+  /// does not choose its own.
+  std::int32_t default_height = 6;
+  NodeId default_load = 16;
+  /// Repair/escalate policy applied to every session.
+  MutationPolicy policy{/*max_repair_nodes=*/64, /*max_dilation=*/8};
+  /// Bounded mutation queue (batches, all sessions); a full queue
+  /// rejects at mutate() with kQueueFull — the session twin of the
+  /// service's explicit backpressure.
+  std::size_t mutation_queue_capacity = 256;
+  std::size_t max_sessions = 64;
+  /// Snapshot versions kept readable per session (>= 1).
+  std::size_t max_versions_retained = 8;
+  /// One line per notable event (create/drop, escalation, rejection);
+  /// same contract as the service sink.
+  std::function<void(const std::string&)> diagnostic_sink;
+};
+
+enum class SessionStatus : std::uint8_t {
+  kOk = 0,
+  kNotFound = 1,        // unknown (or dropped) session id
+  kAlreadyExists = 2,   // create() on a taken id
+  kTooManySessions = 3, // max_sessions reached
+  kVersionGone = 4,     // version never published or already evicted
+  kQueueFull = 5,       // mutation backpressure (HTTP 429)
+  kShutdown = 6,        // manager draining
+  kBadRequest = 7,      // malformed id / height / load
+};
+
+[[nodiscard]] const char* session_status_name(SessionStatus s);
+
+/// An immutable published state: the compact projection of the guest
+/// plus its embedding and quality metrics at one version.  Readers
+/// hold it only inside with_snapshot (epoch-pinned); everything in it
+/// is written once, before publication.
+struct EmbeddingSnapshot {
+  std::uint64_t version = 0;
+  BinaryTree tree;              // compact preorder projection
+  Embedding embedding{0, 0};    // indexed by compact id
+  std::vector<NodeId> stable_of;   // compact id -> stable id
+  std::vector<NodeId> compact_of;  // stable id -> compact id / kInvalidNode
+  std::int32_t host_height = 0;
+  std::int32_t dilation = 0;
+  NodeId max_load = 0;
+  std::int64_t free_capacity = 0;
+  /// snapshot_checksum over the fields above, written last; readers
+  /// (and the TSan stress test) recompute it to prove the snapshot
+  /// they dereferenced was fully constructed and never reclaimed.
+  std::uint64_t checksum = 0;
+};
+
+/// FNV-1a over the snapshot's version, shape and placements.
+[[nodiscard]] std::uint64_t snapshot_checksum(const EmbeddingSnapshot& snap);
+
+/// Outcome of one op inside a mutation batch (stable ids).
+struct MutationRecord {
+  MutationOp op;
+  bool ok = false;
+  std::string error;            // status name, "" when ok
+  NodeId leaf = kInvalidNode;   // the new node, kAddLeaf only
+  std::int64_t nodes_touched = 0;
+  bool escalated = false;
+  std::int32_t dilation_after = 0;
+  NodeId max_load_after = 0;
+};
+
+struct MutateOutcome {
+  SessionStatus status = SessionStatus::kOk;
+  std::string reason;           // set on non-kOk
+  /// Version published after the batch (kOk only).
+  std::uint64_t version = 0;
+  std::vector<MutationRecord> records;
+};
+
+/// Counters (monotonic unless noted).  ops_* carry the embedders'
+/// hard accounting identity across every session that ever ran:
+/// ops_applied == ops_repaired + ops_escalated + ops_rejected,
+/// asserted by to_json().
+struct SessionStats {
+  std::uint64_t sessions_created = 0;
+  std::uint64_t sessions_dropped = 0;
+  std::size_t sessions_active = 0;  // gauge
+  std::uint64_t batches_submitted = 0;
+  std::uint64_t batches_completed = 0;
+  std::uint64_t batches_rejected_full = 0;
+  std::uint64_t batches_not_found = 0;
+  std::uint64_t batches_shutdown = 0;
+  std::uint64_t ops_applied = 0;
+  std::uint64_t ops_repaired = 0;
+  std::uint64_t ops_escalated = 0;
+  std::uint64_t ops_rejected = 0;
+  std::uint64_t nodes_touched = 0;
+  std::uint64_t escalate_nodes = 0;
+  std::uint64_t snapshots_published = 0;
+  std::uint64_t snapshots_retired = 0;
+  std::uint64_t reads_ok = 0;
+  std::uint64_t reads_version_gone = 0;
+  std::uint64_t reads_not_found = 0;
+  std::size_t mutation_queue_depth = 0;     // gauge
+  std::size_t mutation_queue_capacity = 0;  // config echo
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+class SessionManager {
+ public:
+  explicit SessionManager(SessionConfig config = {});
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Creates a session hosting a single-root guest on X(height) and
+  /// publishes version 1.  height/load < 0 pick the config defaults.
+  /// Ids are [A-Za-z0-9_.-], 1..64 chars (no escaping anywhere on the
+  /// wire surface).
+  SessionStatus create(const std::string& id, std::int32_t height = -1,
+                       NodeId load = -1, std::string* reason = nullptr);
+
+  /// Removes the session.  In-flight reads finish safely (snapshots
+  /// are epoch-retired); queued mutations for it answer kNotFound.
+  SessionStatus drop(const std::string& id);
+
+  /// Enqueues a mutation batch.  `on_done` is invoked exactly once —
+  /// on the calling thread for rejections (queue full, unknown id,
+  /// shutdown), on the writer thread otherwise.  It must not block;
+  /// the net edge posts to its completion queue and returns.  Ops are
+  /// applied strictly in submission order (one writer, FIFO queue).
+  void mutate(const std::string& id, std::vector<MutationOp> ops,
+              std::function<void(MutateOutcome)> on_done);
+
+  /// Blocking convenience wrapper (tools, tests).
+  MutateOutcome mutate_sync(const std::string& id,
+                            std::vector<MutationOp> ops);
+
+  /// Runs `fn` against the requested snapshot (version 0 = latest)
+  /// without blocking writers or being blocked by them.  `fn` must
+  /// not stash the reference — the snapshot may be reclaimed after
+  /// the call returns.
+  SessionStatus with_snapshot(
+      const std::string& id, std::uint64_t version,
+      const std::function<void(const EmbeddingSnapshot&)>& fn);
+
+  [[nodiscard]] std::vector<std::string> session_ids() const;
+
+  /// Stops the writer.  drain=true applies queued batches first;
+  /// false answers them kShutdown.  Idempotent; the destructor drains.
+  void shutdown(bool drain = true);
+
+  [[nodiscard]] SessionStats stats() const;
+  [[nodiscard]] std::string stats_json() const { return stats().to_json(); }
+  [[nodiscard]] const SessionConfig& config() const { return config_; }
+
+ private:
+  struct TreeSession;
+  struct PendingBatch {
+    std::shared_ptr<TreeSession> session;
+    std::vector<MutationOp> ops;
+    std::function<void(MutateOutcome)> on_done;
+  };
+
+  void writer_loop();
+  MutateOutcome apply_batch(TreeSession& session,
+                            const std::vector<MutationOp>& ops);
+  void publish(TreeSession& session);
+  void diag(const std::string& line) const;
+
+  SessionConfig config_;
+
+  // Declared before the session map so it is destroyed after it: the
+  // map teardown retires nothing (TreeSession frees its own ring),
+  // but snapshots already in limbo must outlive any late teardown.
+  EpochDomain domain_;
+
+  mutable std::shared_mutex sessions_mu_;
+  std::unordered_map<std::string, std::shared_ptr<TreeSession>> sessions_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingBatch> queue_;
+  bool stopping_ = false;
+  bool drain_ = true;
+  std::mutex shutdown_mu_;  // serialises shutdown() callers around join
+  std::thread writer_;
+
+  // Counters: writer + readers + submitters update concurrently.
+  std::atomic<std::uint64_t> sessions_created_{0};
+  std::atomic<std::uint64_t> sessions_dropped_{0};
+  std::atomic<std::uint64_t> batches_submitted_{0};
+  std::atomic<std::uint64_t> batches_completed_{0};
+  std::atomic<std::uint64_t> batches_rejected_full_{0};
+  std::atomic<std::uint64_t> batches_not_found_{0};
+  std::atomic<std::uint64_t> batches_shutdown_{0};
+  std::atomic<std::uint64_t> ops_applied_{0};
+  std::atomic<std::uint64_t> ops_repaired_{0};
+  std::atomic<std::uint64_t> ops_escalated_{0};
+  std::atomic<std::uint64_t> ops_rejected_{0};
+  std::atomic<std::uint64_t> nodes_touched_{0};
+  std::atomic<std::uint64_t> escalate_nodes_{0};
+  std::atomic<std::uint64_t> snapshots_published_{0};
+  std::atomic<std::uint64_t> snapshots_retired_{0};
+  std::atomic<std::uint64_t> reads_ok_{0};
+  std::atomic<std::uint64_t> reads_version_gone_{0};
+  std::atomic<std::uint64_t> reads_not_found_{0};
+};
+
+/// The session-embedding response body shared by the binary and HTTP
+/// paths: one-line JSON with "id", "version", "n", "host_height",
+/// "dilation", "max_load", "free_capacity", "checksum", then
+/// "stable" (compact id -> stable id) and "hosts" (compact id -> host
+/// vertex) arrays.
+[[nodiscard]] std::string session_embedding_json(
+    const std::string& id, const EmbeddingSnapshot& snap);
+
+/// The mutation response body shared by both paths: "status",
+/// "version", then "ops" with one record per submitted op.
+[[nodiscard]] std::string mutate_outcome_json(const MutateOutcome& outcome);
+
+}  // namespace xt

@@ -1,0 +1,284 @@
+#include "verify/mutation_fuzz.hpp"
+
+#include <exception>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <utility>
+
+#include "core/xtree_embedder.hpp"
+#include "embedding/metrics.hpp"
+#include "topology/xtree.hpp"
+
+namespace xt {
+namespace {
+
+// Fallback machine when a script carries no host/policy directives;
+// mirrors MutationFuzzOptions' defaults so bare op lists replay on
+// the machine the generator meant.
+constexpr std::int32_t kDefaultHeight = 5;
+constexpr NodeId kDefaultLoad = 4;
+constexpr MutationPolicy kDefaultPolicy{/*max_repair_nodes=*/16,
+                                        /*max_dilation=*/3};
+
+struct AppliedOp {
+  bool ok = false;
+  bool escalated = false;
+  NodeId leaf = kInvalidNode;
+};
+
+AppliedOp apply_op(DynamicEmbedder& dyn, const MutationOp& op) {
+  const auto before = dyn.mutation_stats();
+  AppliedOp applied;
+  switch (op.kind) {
+    case MutationOpKind::kAddLeaf: {
+      const auto res = dyn.try_add_leaf(op.a);
+      applied.ok = res.ok();
+      applied.leaf = res.leaf;
+      break;
+    }
+    case MutationOpKind::kRemoveLeaf:
+      applied.ok = dyn.try_remove_leaf(op.a).ok();
+      break;
+    case MutationOpKind::kRemoveSubtree:
+      applied.ok = dyn.try_remove_subtree(op.a).ok();
+      break;
+    case MutationOpKind::kMoveSubtree:
+      applied.ok = dyn.try_move_subtree(op.a, op.b).ok();
+      break;
+  }
+  applied.escalated = dyn.mutation_stats().escalated > before.escalated;
+  return applied;
+}
+
+DynamicEmbedder make_embedder(const MutationScript& script) {
+  const std::int32_t height =
+      script.height >= 0 ? script.height : kDefaultHeight;
+  const NodeId load = script.load >= 1 ? script.load : kDefaultLoad;
+  MutationPolicy policy = kDefaultPolicy;
+  if (script.max_repair_nodes >= 0) policy.max_repair_nodes = script.max_repair_nodes;
+  if (script.max_dilation >= 0) policy.max_dilation = script.max_dilation;
+  return DynamicEmbedder(height, load, policy);
+}
+
+std::vector<NodeId> live_nodes(const DynamicEmbedder& dyn) {
+  std::vector<NodeId> live;
+  live.reserve(static_cast<std::size_t>(dyn.num_live()));
+  for (NodeId v = 0; v < dyn.num_ids(); ++v)
+    if (dyn.is_live(v)) live.push_back(v);
+  return live;
+}
+
+}  // namespace
+
+std::string mutation_property(const MutationScript& script) {
+  try {
+    DynamicEmbedder dyn = make_embedder(script);
+    const NodeId load = dyn.load_cap();
+    const XTree& host = dyn.host();
+    for (std::size_t k = 0; k < script.ops.size(); ++k) {
+      const MutationOp& op = script.ops[k];
+      const auto fail = [&](const std::string& why) {
+        return "op " + std::to_string(k) + " (" + format_mutation_op(op) +
+               "): " + why;
+      };
+      const AppliedOp applied = apply_op(dyn, op);
+
+      // 1. The live embedding is certificate-valid after every op.
+      const DynamicEmbedder::DynamicSnapshot snap = dyn.snapshot();
+      try {
+        validate_embedding(snap.tree, snap.embedding, load);
+      } catch (const std::exception& e) {
+        return fail(std::string("invalid embedding: ") + e.what());
+      }
+
+      // 2. O(1) maintained metrics equal a full recount.
+      const std::int32_t true_dilation =
+          dilation_xtree(snap.tree, snap.embedding, host).max;
+      if (dyn.current_dilation() != true_dilation)
+        return fail("maintained dilation " +
+                    std::to_string(dyn.current_dilation()) + " != recount " +
+                    std::to_string(true_dilation));
+      const NodeId true_load = snap.embedding.load_factor();
+      if (dyn.current_max_load() != true_load)
+        return fail("maintained max load " +
+                    std::to_string(dyn.current_max_load()) + " != recount " +
+                    std::to_string(true_load));
+
+      // 3. The accounting identity (mutation_stats() re-asserts it;
+      // a broken identity surfaces as check_error caught below).
+      const auto stats = dyn.mutation_stats();
+      if (stats.applied != static_cast<std::int64_t>(k) + 1)
+        return fail("applied count " + std::to_string(stats.applied) +
+                    " != ops seen " + std::to_string(k + 1));
+
+      // 4. Escalations are bit-identical to the offline oracle: a
+      // fresh Theorem 1 run on the same compact tree and machine.
+      if (applied.escalated) {
+        const auto offline = XTreeEmbedder::embed(
+            snap.tree,
+            DynamicEmbedder::escalation_options(load, host.height()));
+        for (NodeId c = 0; c < snap.tree.num_nodes(); ++c) {
+          if (snap.embedding.host_of(c) != offline.embedding.host_of(c))
+            return fail(
+                "escalation drift at compact node " + std::to_string(c) +
+                " (stable " +
+                std::to_string(snap.stable_of[static_cast<std::size_t>(c)]) +
+                "): online " + std::to_string(snap.embedding.host_of(c)) +
+                " vs offline " +
+                std::to_string(offline.embedding.host_of(c)));
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    return std::string("exception: ") + e.what();
+  }
+  return "";
+}
+
+MutationScript generate_mutation_script(const MutationFuzzOptions& options,
+                                        int trial) {
+  std::mt19937_64 rng(options.seed * 0x9E3779B97F4A7C15ULL +
+                      static_cast<std::uint64_t>(trial) * 0xBF58476D1CE4E5B9ULL +
+                      1);
+  MutationScript script;
+  script.height = options.height;
+  script.load = options.load;
+  script.max_repair_nodes = options.policy.max_repair_nodes;
+  script.max_dilation = options.policy.max_dilation;
+
+  // Generation runs against a shadow embedder so ops mostly target
+  // nodes that exist at that point of the replay; a small share is
+  // deliberately invalid to keep the rejection paths under test.
+  DynamicEmbedder shadow(options.height, options.load, options.policy);
+  std::uniform_int_distribution<int> pct(0, 99);
+  for (int i = 0; i < options.steps; ++i) {
+    const std::vector<NodeId> live = live_nodes(shadow);
+    const auto pick_live = [&]() -> NodeId {
+      return live[std::uniform_int_distribution<std::size_t>(
+          0, live.size() - 1)(rng)];
+    };
+    MutationOp op;
+    const int roll = pct(rng);
+    if (roll < 50 || live.size() <= 1) {
+      op = {MutationOpKind::kAddLeaf, pick_live(), kInvalidNode};
+    } else if (roll < 65) {
+      op = {MutationOpKind::kRemoveLeaf, pick_live(), kInvalidNode};
+    } else if (roll < 75) {
+      op = {MutationOpKind::kRemoveSubtree, pick_live(), kInvalidNode};
+    } else if (roll < 93) {
+      op = {MutationOpKind::kMoveSubtree, pick_live(), pick_live()};
+    } else {
+      // Invalid on purpose: dead / out-of-range ids, root removal.
+      const NodeId bogus = static_cast<NodeId>(
+          shadow.num_ids() + std::uniform_int_distribution<int>(0, 5)(rng));
+      switch (std::uniform_int_distribution<int>(0, 2)(rng)) {
+        case 0: op = {MutationOpKind::kAddLeaf, bogus, kInvalidNode}; break;
+        case 1: op = {MutationOpKind::kRemoveSubtree, shadow.root(),
+                      kInvalidNode}; break;
+        default: op = {MutationOpKind::kMoveSubtree, pick_live(), bogus};
+      }
+    }
+    (void)apply_op(shadow, op);
+    script.ops.push_back(op);
+  }
+  return script;
+}
+
+MutationScript shrink_mutation_script(
+    MutationScript failing,
+    const std::function<std::string(const MutationScript&)>& fails,
+    int max_evals, int* steps_out, int* evals_out) {
+  int steps = 0;
+  int evals = 0;
+  const auto still_fails = [&](const MutationScript& candidate) {
+    ++evals;
+    return !fails(candidate).empty();
+  };
+  // Chunked removal, halving the chunk until single ops.
+  std::size_t chunk = failing.ops.size() / 2;
+  if (chunk == 0) chunk = 1;
+  while (chunk >= 1 && evals < max_evals) {
+    bool reduced = false;
+    for (std::size_t start = 0;
+         start + 1 <= failing.ops.size() && evals < max_evals;) {
+      MutationScript candidate = failing;
+      const std::size_t end =
+          std::min(start + chunk, candidate.ops.size());
+      candidate.ops.erase(
+          candidate.ops.begin() + static_cast<std::ptrdiff_t>(start),
+          candidate.ops.begin() + static_cast<std::ptrdiff_t>(end));
+      if (!candidate.ops.empty() && still_fails(candidate)) {
+        failing = std::move(candidate);
+        ++steps;
+        reduced = true;
+        // Retry the same start: the next chunk slid into place.
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk == 1 && !reduced) break;
+    chunk = chunk > 1 ? chunk / 2 : 1;
+    if (!reduced && chunk == 1 && failing.ops.size() <= 1) break;
+  }
+  if (steps_out != nullptr) *steps_out = steps;
+  if (evals_out != nullptr) *evals_out = evals;
+  return failing;
+}
+
+std::string mutation_replay_command(const MutationScript& script) {
+  // Ops joined with ';' replay inline; the '@file' form replays a
+  // persisted script unchanged.
+  std::string inline_script = format_mutation_script(script);
+  for (char& c : inline_script)
+    if (c == '\n') c = ';';
+  if (!inline_script.empty() && inline_script.back() == ';')
+    inline_script.pop_back();
+  return "xt_fuzz --mutations --replay='" + inline_script + "'";
+}
+
+MutationFuzzReport run_mutation_fuzz(const MutationFuzzOptions& options) {
+  const auto log = [&](const std::string& line) {
+    if (options.log) options.log(line);
+  };
+  MutationFuzzReport report;
+  for (int trial = 0; trial < options.trials; ++trial) {
+    ++report.trials;
+    MutationScript script = generate_mutation_script(options, trial);
+    const std::string failure = mutation_property(script);
+    if (failure.empty()) continue;
+
+    MutationViolation violation;
+    violation.seed = options.seed;
+    violation.trial = trial;
+    violation.failure = failure;
+    violation.script = script;
+    log("[mutation-fuzz] trial " + std::to_string(trial) + " FAILED: " +
+        failure);
+    int evals = 0;
+    violation.shrunk = shrink_mutation_script(
+        std::move(script), mutation_property, options.max_shrink_evals,
+        &violation.shrink_steps, &evals);
+    violation.failure = mutation_property(violation.shrunk);
+    log("[mutation-fuzz]   minimized to " +
+        std::to_string(violation.shrunk.ops.size()) + " op(s) in " +
+        std::to_string(violation.shrink_steps) + " step(s), " +
+        std::to_string(evals) + " eval(s)");
+    violation.replay = mutation_replay_command(violation.shrunk);
+    if (!options.corpus_dir.empty()) {
+      std::ostringstream name;
+      name << options.corpus_dir << "/mut-" << std::hex << options.seed
+           << std::dec << "-t" << trial << ".mut";
+      std::ofstream out(name.str());
+      if (out) {
+        out << "# " << violation.failure << "\n"
+            << format_mutation_script(violation.shrunk);
+        violation.corpus_file = name.str();
+      }
+    }
+    report.violations.push_back(std::move(violation));
+  }
+  return report;
+}
+
+}  // namespace xt

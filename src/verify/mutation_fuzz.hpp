@@ -1,0 +1,97 @@
+// Differential fuzzer for the online-maintenance engine
+// (core/dynamic_embedder.hpp), the mutation twin of verify/fuzzer.hpp.
+//
+// Each trial generates a random mutation script (adds, removals,
+// subtree moves, plus a sprinkle of deliberately invalid ops) against
+// a small machine chosen to make repair and escalation fire, then
+// replays it on a fresh DynamicEmbedder checking after EVERY op that
+//
+//   * the snapshot is certificate-valid (validate_embedding),
+//   * the O(1) maintained dilation / max-load equal a full recount,
+//   * the accounting identity applied == repaired + escalated +
+//     rejected holds, and
+//   * whenever an op escalated, the resulting placement is
+//     bit-identical to a fresh offline XTreeEmbedder run on the same
+//     compact tree with DynamicEmbedder::escalation_options — the
+//     escalation path may not drift from the Theorem 1 oracle.
+//
+// A violating script is minimised ddmin-style (chunk removal, then
+// single-op removal) while it still fails, printed in the shared
+// io/mutation_script.hpp text format, given a one-line replay command
+// (`xt_fuzz --mutations --replay=...`), and optionally persisted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/dynamic_embedder.hpp"
+#include "io/mutation_script.hpp"
+
+namespace xt {
+
+struct MutationFuzzOptions {
+  std::uint64_t seed = 0xD15EA5EDULL;
+  int trials = 60;
+  /// Ops generated per trial script.
+  int steps = 250;
+  /// Machine for generated scripts (scripts carry these as header
+  /// directives so repros are self-contained).
+  std::int32_t height = 5;
+  NodeId load = 4;
+  MutationPolicy policy{/*max_repair_nodes=*/16, /*max_dilation=*/3};
+  /// Persist minimised repro scripts here ("" disables).
+  std::string corpus_dir;
+  std::function<void(const std::string&)> log;
+  /// Cap on property evaluations the shrinker may spend per violation.
+  int max_shrink_evals = 2000;
+};
+
+struct MutationViolation {
+  std::uint64_t seed = 0;
+  int trial = 0;
+  std::string failure;       // first violated claim (original script)
+  MutationScript script;     // original failing script
+  MutationScript shrunk;     // minimised reproducer
+  int shrink_steps = 0;      // accepted reductions
+  std::string replay;        // one-line reproduction command
+  std::string corpus_file;   // persisted path ("" when not persisted)
+};
+
+struct MutationFuzzReport {
+  int trials = 0;
+  std::vector<MutationViolation> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+};
+
+/// The property under test: replay `script` op by op on a fresh
+/// DynamicEmbedder and check the four invariants above after every
+/// op.  Returns "" on pass, else "op K (<op>): why".
+[[nodiscard]] std::string mutation_property(const MutationScript& script);
+
+/// Generates trial `trial`'s script for `options` (deterministic in
+/// (seed, trial)).  Exposed so tests can pin generator behaviour.
+[[nodiscard]] MutationScript generate_mutation_script(
+    const MutationFuzzOptions& options, int trial);
+
+/// ddmin-style minimisation over the op list (host/policy headers are
+/// kept): removes chunks then single ops while `fails` still returns
+/// non-empty.  `steps_out`/`evals_out` receive accepted-reduction and
+/// evaluation counts when non-null.
+[[nodiscard]] MutationScript shrink_mutation_script(
+    MutationScript failing,
+    const std::function<std::string(const MutationScript&)>& fails,
+    int max_evals, int* steps_out = nullptr, int* evals_out = nullptr);
+
+/// The exact command line that reproduces a failure on `script`.
+[[nodiscard]] std::string mutation_replay_command(
+    const MutationScript& script);
+
+/// Runs `options.trials` trials; every violation is shrunk, given a
+/// replay command, and (when corpus_dir is set) persisted.
+[[nodiscard]] MutationFuzzReport run_mutation_fuzz(
+    const MutationFuzzOptions& options);
+
+}  // namespace xt

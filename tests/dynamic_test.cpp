@@ -1,4 +1,6 @@
-// Tests for the online (dynamic) embedding extension.
+// Tests for the online (dynamic) embedding extension: growth, the
+// batched-growth contract, and the snapshot projection.  Mutation
+// (remove/move/repair/escalate) is covered by tests/mutation_test.cpp.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -17,7 +19,7 @@ namespace {
 
 TEST(DynamicEmbedder, StartsWithRootOnHostRoot) {
   DynamicEmbedder dyn(3);
-  EXPECT_EQ(dyn.guest().num_nodes(), 1);
+  EXPECT_EQ(dyn.num_live(), 1);
   EXPECT_EQ(dyn.host_of(0), dyn.host().root());
   EXPECT_EQ(dyn.free_capacity(), 16 * 15 - 1);
 }
@@ -30,15 +32,15 @@ TEST(DynamicEmbedder, GrowsValidEmbeddings) {
     const std::size_t pick = rng.below(open.size());
     const NodeId parent = open[pick];
     const NodeId leaf = dyn.add_leaf(parent);
-    if (dyn.guest().num_children(parent) == 2) {
+    if (dyn.num_children(parent) == 2) {
       open[pick] = open.back();
       open.pop_back();
     }
     open.push_back(leaf);
   }
-  const Embedding emb = dyn.snapshot();
-  validate_embedding(dyn.guest(), emb, 16);
-  EXPECT_EQ(dyn.guest().num_nodes(), 16 * 31);  // machine exactly full
+  const auto snap = dyn.snapshot();
+  validate_embedding(snap.tree, snap.embedding, 16);
+  EXPECT_EQ(dyn.num_live(), 16 * 31);  // machine exactly full
 }
 
 TEST(DynamicEmbedder, RefusesGrowthWhenFull) {
@@ -54,15 +56,16 @@ TEST(DynamicEmbedder, TryAddLeafReportsHostFullWithoutMutation) {
     DynamicEmbedder dyn(r);
     NodeId tip = 0;
     while (dyn.free_capacity() > 0) tip = dyn.add_leaf(tip);
-    const NodeId n_before = dyn.guest().num_nodes();
+    const NodeId n_before = dyn.num_live();
     const auto res = dyn.try_add_leaf(tip);
     EXPECT_FALSE(res.ok());
     EXPECT_EQ(res.error, DynamicEmbedder::GrowthError::kHostFull);
     EXPECT_EQ(res.leaf, kInvalidNode);
     // A failed growth leaves the embedder untouched and still valid.
-    EXPECT_EQ(dyn.guest().num_nodes(), n_before);
+    EXPECT_EQ(dyn.num_live(), n_before);
     EXPECT_EQ(dyn.free_capacity(), 0);
-    validate_embedding(dyn.guest(), dyn.snapshot(), 16);
+    const auto snap = dyn.snapshot();
+    validate_embedding(snap.tree, snap.embedding, 16);
   }
 }
 
@@ -76,6 +79,17 @@ TEST(DynamicEmbedder, TryAddLeafReportsParentSlotsFull) {
   EXPECT_THROW(dyn.add_leaf(0), check_error);
   // A parent with a free slot still grows fine afterwards.
   EXPECT_TRUE(dyn.try_add_leaf(a).ok());
+}
+
+TEST(DynamicEmbedder, TryAddLeafReportsInvalidParent) {
+  DynamicEmbedder dyn(2);
+  for (const NodeId bad : {NodeId{-1}, NodeId{7}, NodeId{1000}}) {
+    const auto res = dyn.try_add_leaf(bad);
+    EXPECT_EQ(res.error, DynamicEmbedder::GrowthError::kInvalidParent);
+    EXPECT_EQ(res.leaf, kInvalidNode);
+  }
+  EXPECT_THROW(dyn.add_leaf(99), check_error);
+  EXPECT_EQ(dyn.num_live(), 1);
 }
 
 TEST(DynamicEmbedder, BalancedGrowthKeepsDilationModerate) {
@@ -99,12 +113,13 @@ TEST(DynamicEmbedder, BalancedGrowthKeepsDilationModerate) {
   // behaviour of any online rule on a full machine.
   while (dyn.free_capacity() > 0) {
     std::vector<NodeId> open;
-    for (NodeId v = 0; v < dyn.guest().num_nodes(); ++v) {
-      if (dyn.guest().num_children(v) < 2) open.push_back(v);
+    for (NodeId v = 0; v < dyn.num_ids(); ++v) {
+      if (dyn.num_children(v) < 2) open.push_back(v);
     }
     dyn.add_leaf(open.front());
   }
-  validate_embedding(dyn.guest(), dyn.snapshot(), 16);
+  const auto snap = dyn.snapshot();
+  validate_embedding(snap.tree, snap.embedding, 16);
 }
 
 TEST(DynamicEmbedder, PathGrowthDegradesGracefully) {
@@ -114,8 +129,27 @@ TEST(DynamicEmbedder, PathGrowthDegradesGracefully) {
   DynamicEmbedder dyn(4);
   NodeId tip = 0;
   while (dyn.free_capacity() > 0) tip = dyn.add_leaf(tip);
-  const Embedding emb = dyn.snapshot();
-  validate_embedding(dyn.guest(), emb, 16);
+  const auto snap = dyn.snapshot();
+  validate_embedding(snap.tree, snap.embedding, 16);
+}
+
+TEST(DynamicEmbedder, MaintainedMetricsMatchSnapshotTruth) {
+  // current_dilation() / current_max_load() come from histograms the
+  // mutations maintain; they must agree with the O(n) recount over
+  // the snapshot at every probe.
+  Rng rng(304);
+  DynamicEmbedder dyn(4);
+  for (int step = 0; step < 300; ++step) {
+    const NodeId p =
+        static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(
+            dyn.num_ids())));
+    dyn.try_add_leaf(p);
+    if (step % 37 != 0) continue;
+    const auto snap = dyn.snapshot();
+    const auto rep = dilation_xtree(snap.tree, snap.embedding, dyn.host());
+    EXPECT_EQ(dyn.current_dilation(), rep.max);
+    EXPECT_EQ(dyn.current_max_load(), snap.embedding.load_factor());
+  }
 }
 
 TEST(DynamicEmbedder, BatchedGrowthMatchesOneAtATime) {
@@ -131,7 +165,7 @@ TEST(DynamicEmbedder, BatchedGrowthMatchesOneAtATime) {
     for (NodeId p : parents) sim.try_add_leaf(p);
     for (int step = 0; step < 400; ++step) {
       const NodeId p = static_cast<NodeId>(
-          rng.below(static_cast<std::uint64_t>(sim.guest().num_nodes())));
+          rng.below(static_cast<std::uint64_t>(sim.num_ids())));
       parents.push_back(p);
       sim.try_add_leaf(p);
     }
@@ -162,10 +196,54 @@ TEST(DynamicEmbedder, BatchedGrowthMatchesOneAtATime) {
   }
   EXPECT_GE(failures, 1u);  // the third entry above must have failed
 
-  ASSERT_EQ(batched.guest().num_nodes(), serial.guest().num_nodes());
-  for (NodeId v = 0; v < batched.guest().num_nodes(); ++v)
+  ASSERT_EQ(batched.num_live(), serial.num_live());
+  for (NodeId v = 0; v < batched.num_ids(); ++v)
     EXPECT_EQ(batched.host_of(v), serial.host_of(v)) << "node " << v;
-  validate_embedding(batched.guest(), batched.snapshot(), 16);
+  const auto snap = batched.snapshot();
+  validate_embedding(snap.tree, snap.embedding, 16);
+}
+
+TEST(DynamicEmbedder, TryAddLeavesEmptySpanIsANoOp) {
+  DynamicEmbedder dyn(2);
+  const auto before = dyn.mutation_stats().applied;
+  const auto results = dyn.try_add_leaves({});
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(dyn.num_live(), 1);
+  EXPECT_EQ(dyn.mutation_stats().applied, before);
+}
+
+TEST(DynamicEmbedder, TryAddLeavesDuplicateParentFillsThenRejects) {
+  // The same parent three times: the first two land as its children,
+  // the third sees the state the first two left behind — the
+  // documented non-transactional contract.
+  DynamicEmbedder dyn(2);
+  const std::vector<NodeId> parents{0, 0, 0};
+  const auto results = dyn.try_add_leaves(parents);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_TRUE(results[1].ok());
+  EXPECT_EQ(results[2].error, DynamicEmbedder::GrowthError::kParentSlotsFull);
+  EXPECT_EQ(dyn.num_live(), 3);
+  EXPECT_EQ(dyn.num_children(0), 2);
+  // And a failed entry mid-batch does not stop later entries: the
+  // fourth entry may parent a leaf created by the first.
+  const std::vector<NodeId> again{0, results[0].leaf};
+  const auto more = dyn.try_add_leaves(again);
+  EXPECT_EQ(more[0].error, DynamicEmbedder::GrowthError::kParentSlotsFull);
+  EXPECT_TRUE(more[1].ok());
+}
+
+TEST(DynamicEmbedder, GrowthFeedsTheMutationAccounting) {
+  DynamicEmbedder dyn(2);
+  ASSERT_TRUE(dyn.try_add_leaf(0).ok());
+  ASSERT_TRUE(dyn.try_add_leaf(0).ok());
+  ASSERT_FALSE(dyn.try_add_leaf(0).ok());
+  const auto& stats = dyn.mutation_stats();  // asserts the identity
+  EXPECT_EQ(stats.applied, 3);
+  EXPECT_EQ(stats.repaired, 2);
+  EXPECT_EQ(stats.escalated, 0);
+  EXPECT_EQ(stats.rejected, 1);
+  EXPECT_EQ(stats.nodes_touched, 2);
 }
 
 TEST(DynamicEmbedder, OfflineBeatsOnlineOnAdversarialGrowth) {
@@ -177,9 +255,10 @@ TEST(DynamicEmbedder, OfflineBeatsOnlineOnAdversarialGrowth) {
   while (dyn.free_capacity() > 0) {
     tip = dyn.add_leaf(tip);  // adversarial chain
   }
-  const auto offline = XTreeEmbedder::embed(dyn.guest());
+  const auto snap = dyn.snapshot();
+  const auto offline = XTreeEmbedder::embed(snap.tree);
   const XTree host(offline.stats.height);
-  const auto off_dil = dilation_xtree(dyn.guest(), offline.embedding, host);
+  const auto off_dil = dilation_xtree(snap.tree, offline.embedding, host);
   EXPECT_LE(off_dil.max, dyn.current_dilation());
   EXPECT_LE(off_dil.max, 3);
 }

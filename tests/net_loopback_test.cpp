@@ -25,6 +25,7 @@
 #include "net/server.hpp"
 #include "net/wire.hpp"
 #include "service/service.hpp"
+#include "service/session.hpp"
 
 // Thread-local allocation counting for the steady-state hit-path test:
 // when armed, every global new/delete on the calling thread bumps the
@@ -648,6 +649,271 @@ TEST(NetLoopback, SteadyStateHitPathDoesNotAllocateOnTheClient) {
                         << " calls";
   EXPECT_GE(h.server->stats().inline_hits,
             static_cast<std::uint64_t>(kMeasured));
+}
+
+// ---- session workload (ISSUE 9) -------------------------------------------
+
+/// SessionManager + Harness wired together; the manager outlives the
+/// server (declaration order) as NetServerConfig::sessions requires.
+struct SessionHarness {
+  explicit SessionHarness(SessionConfig session_config = {},
+                          NetServerConfig net_config = {})
+      : sessions(session_config) {
+    net_config.sessions = &sessions;
+    harness = std::make_unique<Harness>(net_config);
+  }
+  [[nodiscard]] NetClient connect() const { return harness->connect(); }
+
+  SessionManager sessions;
+  std::unique_ptr<Harness> harness;
+};
+
+WireFrame session_frame(WireFormat format, const std::string& payload,
+                        std::uint32_t id) {
+  WireFrame f;
+  f.format = static_cast<std::uint8_t>(format);
+  f.request_id = id;
+  f.payload = payload;
+  return f;
+}
+
+TEST(NetLoopback, SessionLifecycleOverHttp) {
+  SessionHarness h;
+  NetClient client = h.connect();
+  std::string error;
+  NetClient::HttpResult result;
+
+  // Create, mutate, query, drop — the full lifecycle over the wire.
+  ASSERT_TRUE(client.http("POST", "/session/create?id=web&height=4&load=16",
+                          "", &result, &error))
+      << error;
+  EXPECT_EQ(result.status, 200) << result.body;
+  ASSERT_TRUE(client.http("POST", "/session/create?id=web", "", &result,
+                          &error))
+      << error;
+  EXPECT_EQ(result.status, 409);  // duplicate id
+
+  ASSERT_TRUE(client.http("POST", "/session/web/mutate", "add 0\nadd 0\n",
+                          &result, &error))
+      << error;
+  EXPECT_EQ(result.status, 200) << result.body;
+  EXPECT_NE(result.body.find("\"version\": 2"), std::string::npos)
+      << result.body;
+  EXPECT_NE(result.body.find("\"leaf\": 1"), std::string::npos)
+      << result.body;
+
+  ASSERT_TRUE(
+      client.http("GET", "/session/web/embedding", "", &result, &error))
+      << error;
+  EXPECT_EQ(result.status, 200) << result.body;
+  EXPECT_NE(result.body.find("\"version\": 2"), std::string::npos);
+  EXPECT_NE(result.body.find("\"n\": 3"), std::string::npos) << result.body;
+  EXPECT_NE(result.body.find("\"checksum\""), std::string::npos);
+
+  // Version-pinned historical read: version 1 (pre-mutation) is still
+  // readable and reflects the single-root state.
+  ASSERT_TRUE(client.http("GET", "/session/web/embedding?version=1", "",
+                          &result, &error))
+      << error;
+  EXPECT_EQ(result.status, 200) << result.body;
+  EXPECT_NE(result.body.find("\"n\": 1"), std::string::npos) << result.body;
+
+  // A malformed mutation script is a 400 with the line number.
+  ASSERT_TRUE(client.http("POST", "/session/web/mutate", "frobnicate\n",
+                          &result, &error))
+      << error;
+  EXPECT_EQ(result.status, 400);
+  EXPECT_NE(result.body.find("line 1"), std::string::npos) << result.body;
+
+  // /stats now exposes the sessions object.
+  ASSERT_TRUE(client.http("GET", "/stats", "", &result, &error)) << error;
+  EXPECT_EQ(result.status, 200);
+  EXPECT_NE(result.body.find("\"sessions\""), std::string::npos);
+  EXPECT_NE(result.body.find("\"ops_applied\""), std::string::npos);
+
+  ASSERT_TRUE(client.http("POST", "/session/web/drop", "", &result, &error))
+      << error;
+  EXPECT_EQ(result.status, 200);
+  ASSERT_TRUE(
+      client.http("GET", "/session/web/embedding", "", &result, &error))
+      << error;
+  EXPECT_EQ(result.status, 404);
+  ASSERT_TRUE(client.http("POST", "/session/nope/mutate", "add 0\n", &result,
+                          &error))
+      << error;
+  EXPECT_EQ(result.status, 404);
+}
+
+TEST(NetLoopback, SessionBinaryFramesPipelineInOrder) {
+  SessionHarness h;
+  NetClient client = h.connect();
+  std::string error;
+  WireFrame response;
+
+  ASSERT_TRUE(client.call(
+      session_frame(WireFormat::kSessionCreate, "bin 4 16", 1), &response,
+      &error))
+      << error;
+  EXPECT_EQ(static_cast<WireStatus>(response.code), WireStatus::kOk)
+      << response.payload;
+
+  // Pipeline three mutation batches; responses must come back in
+  // submission order with strictly increasing versions — the
+  // serial-write guarantee observed from the wire.
+  std::string batch;
+  batch += encode_frame(
+      session_frame(WireFormat::kSessionMutate, "bin\nadd 0\n", 2));
+  batch += encode_frame(
+      session_frame(WireFormat::kSessionMutate, "bin\nadd 0\nadd 1\n", 3));
+  batch += encode_frame(
+      session_frame(WireFormat::kSessionMutate, "bin\nremove-leaf 2\n", 4));
+  ASSERT_TRUE(client.send_all(batch, &error)) << error;
+  std::uint64_t last_version = 1;
+  for (std::uint32_t id = 2; id <= 4; ++id) {
+    ASSERT_TRUE(client.recv_frame(&response, &error)) << error;
+    EXPECT_EQ(response.request_id, id);
+    EXPECT_EQ(static_cast<WireStatus>(response.code), WireStatus::kOk)
+        << response.payload;
+    const std::size_t pos = response.payload.find("\"version\": ");
+    ASSERT_NE(pos, std::string::npos) << response.payload;
+    const std::uint64_t version =
+        std::strtoull(response.payload.c_str() + pos + 11, nullptr, 10);
+    EXPECT_EQ(version, last_version + 1) << response.payload;
+    last_version = version;
+  }
+
+  // Query latest and a pinned version over the binary protocol.
+  ASSERT_TRUE(client.call(session_frame(WireFormat::kSessionQuery, "bin", 5),
+                          &response, &error))
+      << error;
+  EXPECT_EQ(static_cast<WireStatus>(response.code), WireStatus::kOk);
+  EXPECT_NE(response.payload.find("\"version\": 4"), std::string::npos)
+      << response.payload;
+  ASSERT_TRUE(client.call(
+      session_frame(WireFormat::kSessionQuery, "bin 2", 6), &response,
+      &error))
+      << error;
+  EXPECT_NE(response.payload.find("\"version\": 2"), std::string::npos)
+      << response.payload;
+
+  ASSERT_TRUE(client.call(session_frame(WireFormat::kSessionDrop, "bin", 7),
+                          &response, &error))
+      << error;
+  EXPECT_EQ(static_cast<WireStatus>(response.code), WireStatus::kOk);
+  ASSERT_TRUE(client.call(session_frame(WireFormat::kSessionQuery, "bin", 8),
+                          &response, &error))
+      << error;
+  EXPECT_EQ(static_cast<WireStatus>(response.code), WireStatus::kBadRequest);
+  EXPECT_NE(response.payload.find("not_found"), std::string::npos)
+      << response.payload;
+}
+
+TEST(NetLoopback, SessionVersionGoneIs410) {
+  SessionConfig config;
+  config.max_versions_retained = 2;
+  SessionHarness h(config);
+  NetClient client = h.connect();
+  std::string error;
+  NetClient::HttpResult result;
+  ASSERT_TRUE(client.http("POST", "/session/create?id=s", "", &result,
+                          &error))
+      << error;
+  ASSERT_EQ(result.status, 200);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        client.http("POST", "/session/s/mutate", "add 0\n", &result, &error))
+        << error;
+    ASSERT_EQ(result.status, 200) << result.body;
+  }
+  // Latest is 4; with 2 retained versions, version 1 is gone.
+  ASSERT_TRUE(client.http("GET", "/session/s/embedding?version=1", "",
+                          &result, &error))
+      << error;
+  EXPECT_EQ(result.status, 410);
+  EXPECT_NE(result.body.find("version_gone"), std::string::npos)
+      << result.body;
+  ASSERT_TRUE(client.http("GET", "/session/s/embedding?version=4", "",
+                          &result, &error))
+      << error;
+  EXPECT_EQ(result.status, 200);
+}
+
+TEST(NetLoopback, SessionQueueFullSurfacesAs429WithRetryAfter) {
+  // Queue capacity 0: every accepted-session mutation rejects with
+  // kQueueFull deterministically — the structured-backpressure
+  // surface, not the drain dynamics.
+  SessionConfig config;
+  config.mutation_queue_capacity = 0;
+  SessionHarness h(config);
+  NetClient client = h.connect();
+  std::string error;
+  NetClient::HttpResult result;
+  ASSERT_TRUE(client.http("POST", "/session/create?id=full", "", &result,
+                          &error))
+      << error;
+  ASSERT_EQ(result.status, 200);
+  ASSERT_TRUE(client.http("POST", "/session/full/mutate", "add 0\n", &result,
+                          &error))
+      << error;
+  EXPECT_EQ(result.status, 429);
+  EXPECT_NE(result.body.find("queue_full"), std::string::npos) << result.body;
+
+  // The binary twin answers kRejectedQueueFull.
+  NetClient bin = h.connect();
+  WireFrame response;
+  ASSERT_TRUE(bin.call(
+      session_frame(WireFormat::kSessionMutate, "full\nadd 0\n", 1),
+      &response, &error))
+      << error;
+  EXPECT_EQ(static_cast<WireStatus>(response.code),
+            WireStatus::kRejectedQueueFull)
+      << response.payload;
+}
+
+TEST(NetLoopback, SessionOpsWithoutManagerAreRejected) {
+  Harness h;  // no SessionManager wired
+  NetClient client = h.connect();
+  std::string error;
+  NetClient::HttpResult result;
+  ASSERT_TRUE(client.http("POST", "/session/create?id=x", "", &result,
+                          &error))
+      << error;
+  EXPECT_EQ(result.status, 404);
+  WireFrame response;
+  NetClient bin = h.connect();
+  ASSERT_TRUE(bin.call(session_frame(WireFormat::kSessionCreate, "x", 1),
+                       &response, &error))
+      << error;
+  EXPECT_EQ(static_cast<WireStatus>(response.code), WireStatus::kBadRequest);
+}
+
+TEST(NetLoopback, SessionLifecycleLeaksNoFds) {
+  const int before = open_fd_count();
+  {
+    SessionHarness h;
+    std::string error;
+    NetClient::HttpResult result;
+    for (int round = 0; round < 3; ++round) {
+      NetClient client = h.connect();
+      ASSERT_TRUE(client.http(
+          "POST", "/session/create?id=fd" + std::to_string(round), "",
+          &result, &error))
+          << error;
+      ASSERT_TRUE(client.http("POST",
+                              "/session/fd" + std::to_string(round) +
+                                  "/mutate",
+                              "add 0\n", &result, &error))
+          << error;
+      ASSERT_TRUE(client.http("POST",
+                              "/session/fd" + std::to_string(round) + "/drop",
+                              "", &result, &error))
+          << error;
+      client.close();
+    }
+    h.harness->server->stop();
+  }
+  const int after = open_fd_count();
+  EXPECT_EQ(before, after);
 }
 
 }  // namespace

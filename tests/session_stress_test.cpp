@@ -1,0 +1,158 @@
+// Snapshot-epoch stress: readers hammer with_snapshot (latest and
+// pinned versions) while the writer mutates and publishes, and a
+// churn thread creates/drops sessions.  Every dereferenced snapshot
+// must be fully constructed and never reclaimed under the reader —
+// proven by recomputing its checksum and by its internal consistency.
+// This is the test the TSan CI lane exists for: any torn publish,
+// use-after-retire or missed fence is a data race it will flag.
+#include "service/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace xt {
+namespace {
+
+TEST(SessionStressTest, ReadersNeverObserveTornOrRetiredSnapshots) {
+  SessionConfig config;
+  config.max_versions_retained = 4;
+  SessionManager mgr(config);
+  ASSERT_EQ(mgr.create("hot", 5, 16), SessionStatus::kOk);
+
+  constexpr int kReaders = 4;
+  constexpr int kWriterBatches = 200;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<std::uint64_t> torn{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&mgr, &stop, &reads, &torn, r] {
+      std::uint64_t last_version = 0;
+      std::uint64_t iter = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        ++iter;
+        // Alternate latest reads with pinned historical reads (the
+        // version we saw last time — may be evicted by now, which
+        // must answer kVersionGone, never a stale pointer).
+        const std::uint64_t want =
+            (iter % 2 == 0 && last_version > 1) ? last_version - 1 : 0;
+        const auto status = mgr.with_snapshot(
+            "hot", want, [&](const EmbeddingSnapshot& snap) {
+              if (snapshot_checksum(snap) != snap.checksum)
+                torn.fetch_add(1, std::memory_order_relaxed);
+              // Internal consistency: the projection arrays agree.
+              if (snap.tree.num_nodes() > 0 &&
+                  snap.stable_of.size() !=
+                      static_cast<std::size_t>(snap.tree.num_nodes()))
+                torn.fetch_add(1, std::memory_order_relaxed);
+              if (want == 0) {
+                // Latest reads must never go backwards for one reader.
+                if (snap.version < last_version)
+                  torn.fetch_add(1, std::memory_order_relaxed);
+                last_version = snap.version;
+              } else if (snap.version != want) {
+                torn.fetch_add(1, std::memory_order_relaxed);
+              }
+              reads.fetch_add(1, std::memory_order_relaxed);
+            });
+        if (want != 0) {
+          EXPECT_TRUE(status == SessionStatus::kOk ||
+                      status == SessionStatus::kVersionGone);
+        }
+        (void)r;
+      }
+    });
+  }
+
+  // Churn thread: create/drop a side session so the map mutates under
+  // the readers' shared locks too.
+  std::thread churn([&mgr, &stop] {
+    int i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::string id = "churn" + std::to_string(i++ % 3);
+      (void)mgr.create(id, 3, 16);
+      (void)mgr.mutate_sync(id, {{MutationOpKind::kAddLeaf, 0, kInvalidNode}});
+      (void)mgr.drop(id);
+    }
+  });
+
+  // Writer: grow, shrink and move on the hot session; every batch
+  // publishes a new version for the readers to race against.
+  std::vector<NodeId> leaves;
+  for (int b = 0; b < kWriterBatches; ++b) {
+    std::vector<MutationOp> ops;
+    if (b % 3 == 2 && !leaves.empty()) {
+      ops.push_back({MutationOpKind::kRemoveLeaf, leaves.back(),
+                     kInvalidNode});
+      leaves.pop_back();
+    } else {
+      const NodeId parent = leaves.empty() ? 0 : leaves[leaves.size() / 2];
+      ops.push_back({MutationOpKind::kAddLeaf, parent, kInvalidNode});
+    }
+    const auto out = mgr.mutate_sync("hot", std::move(ops));
+    ASSERT_EQ(out.status, SessionStatus::kOk);
+    for (const MutationRecord& rec : out.records)
+      if (rec.ok && rec.leaf != kInvalidNode) leaves.push_back(rec.leaf);
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  churn.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_GT(reads.load(), 0u);
+
+  const auto stats = mgr.stats();
+  EXPECT_EQ(stats.ops_applied,
+            stats.ops_repaired + stats.ops_escalated + stats.ops_rejected);
+  EXPECT_LE(stats.snapshots_retired, stats.snapshots_published);
+  EXPECT_GE(stats.snapshots_published,
+            static_cast<std::uint64_t>(kWriterBatches));
+}
+
+TEST(SessionStressTest, ConcurrentSubmittersSeeExactlyOneCompletionEach) {
+  SessionConfig config;
+  config.mutation_queue_capacity = 8;  // force backpressure
+  SessionManager mgr(config);
+  ASSERT_EQ(mgr.create("q", 4, 16), SessionStatus::kOk);
+
+  constexpr int kSubmitters = 4;
+  constexpr int kPerThread = 100;
+  std::atomic<int> done{0};
+  std::atomic<int> accepted{0};
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        mgr.mutate("q", {{MutationOpKind::kAddLeaf, 0, kInvalidNode}},
+                   [&](MutateOutcome out) {
+                     done.fetch_add(1, std::memory_order_relaxed);
+                     if (out.status == SessionStatus::kOk)
+                       accepted.fetch_add(1, std::memory_order_relaxed);
+                     else if (out.status == SessionStatus::kQueueFull)
+                       rejected.fetch_add(1, std::memory_order_relaxed);
+                   });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  mgr.shutdown(/*drain=*/true);
+
+  // Every submission completed exactly once, one way or the other.
+  EXPECT_EQ(done.load(), kSubmitters * kPerThread);
+  EXPECT_EQ(accepted.load() + rejected.load(), kSubmitters * kPerThread);
+  const auto stats = mgr.stats();
+  EXPECT_EQ(stats.batches_completed, static_cast<std::uint64_t>(accepted));
+  EXPECT_EQ(stats.batches_rejected_full,
+            static_cast<std::uint64_t>(rejected));
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,236 @@
+// SessionManager functional tests: lifecycle, serial-write ordering,
+// versioned reads, backpressure, drop semantics, and the end-to-end
+// mutation accounting identity.  Concurrency hammering lives in
+// session_stress_test.cpp (TSan lane); this file is single-purpose
+// correctness.
+#include "service/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "embedding/metrics.hpp"
+
+namespace xt {
+namespace {
+
+std::vector<MutationOp> ops_from_script(const std::string& text) {
+  MutationScript script;
+  std::string error;
+  EXPECT_TRUE(parse_mutation_script(text, &script, &error)) << error;
+  return script.ops;
+}
+
+TEST(SessionManagerTest, CreateQueryDropLifecycle) {
+  SessionManager mgr;
+  EXPECT_EQ(mgr.create("t1", 4, 16), SessionStatus::kOk);
+  EXPECT_EQ(mgr.create("t1", 4, 16), SessionStatus::kAlreadyExists);
+
+  std::uint64_t seen_version = 0;
+  NodeId seen_n = 0;
+  const auto status = mgr.with_snapshot(
+      "t1", 0, [&](const EmbeddingSnapshot& snap) {
+        seen_version = snap.version;
+        seen_n = snap.tree.num_nodes();
+        EXPECT_EQ(snapshot_checksum(snap), snap.checksum);
+      });
+  EXPECT_EQ(status, SessionStatus::kOk);
+  EXPECT_EQ(seen_version, 1u);  // create publishes version 1
+  EXPECT_EQ(seen_n, 1);         // single root
+
+  EXPECT_EQ(mgr.drop("t1"), SessionStatus::kOk);
+  EXPECT_EQ(mgr.drop("t1"), SessionStatus::kNotFound);
+  EXPECT_EQ(mgr.with_snapshot("t1", 0, [](const EmbeddingSnapshot&) {}),
+            SessionStatus::kNotFound);
+}
+
+TEST(SessionManagerTest, RejectsBadCreateArguments) {
+  SessionManager mgr;
+  std::string reason;
+  EXPECT_EQ(mgr.create("", 4, 16, &reason), SessionStatus::kBadRequest);
+  EXPECT_FALSE(reason.empty());
+  EXPECT_EQ(mgr.create("has space", 4, 16), SessionStatus::kBadRequest);
+  EXPECT_EQ(mgr.create(std::string(65, 'a'), 4, 16),
+            SessionStatus::kBadRequest);
+  EXPECT_EQ(mgr.create("ok", 26, 16), SessionStatus::kBadRequest);
+  EXPECT_EQ(mgr.create("ok", 4, 0), SessionStatus::kBadRequest);
+  EXPECT_EQ(mgr.create("ok-id_0.9", 4, 16), SessionStatus::kOk);
+}
+
+TEST(SessionManagerTest, EnforcesSessionCap) {
+  SessionConfig config;
+  config.max_sessions = 2;
+  SessionManager mgr(config);
+  EXPECT_EQ(mgr.create("a"), SessionStatus::kOk);
+  EXPECT_EQ(mgr.create("b"), SessionStatus::kOk);
+  EXPECT_EQ(mgr.create("c"), SessionStatus::kTooManySessions);
+  EXPECT_EQ(mgr.drop("a"), SessionStatus::kOk);
+  EXPECT_EQ(mgr.create("c"), SessionStatus::kOk);
+}
+
+TEST(SessionManagerTest, MutationsApplyInOrderAndPublishDenseVersions) {
+  SessionManager mgr;
+  ASSERT_EQ(mgr.create("t", 4, 16), SessionStatus::kOk);
+
+  // Three batches; versions must come back 2, 3, 4 in order.
+  auto o1 = mgr.mutate_sync("t", ops_from_script("add 0\nadd 0\n"));
+  auto o2 = mgr.mutate_sync("t", ops_from_script("add 1\n"));
+  auto o3 = mgr.mutate_sync("t", ops_from_script("remove-leaf 3\n"));
+  ASSERT_EQ(o1.status, SessionStatus::kOk);
+  ASSERT_EQ(o2.status, SessionStatus::kOk);
+  ASSERT_EQ(o3.status, SessionStatus::kOk);
+  EXPECT_EQ(o1.version, 2u);
+  EXPECT_EQ(o2.version, 3u);
+  EXPECT_EQ(o3.version, 4u);
+
+  ASSERT_EQ(o1.records.size(), 2u);
+  EXPECT_TRUE(o1.records[0].ok);
+  EXPECT_EQ(o1.records[0].leaf, 1);
+  EXPECT_TRUE(o1.records[1].ok);
+  EXPECT_EQ(o1.records[1].leaf, 2);
+  ASSERT_EQ(o2.records.size(), 1u);
+  EXPECT_EQ(o2.records[0].leaf, 3);
+  ASSERT_EQ(o3.records.size(), 1u);
+  EXPECT_TRUE(o3.records[0].ok);
+
+  // Latest snapshot reflects all of it: root + 2 children (leaf 3
+  // came and went).
+  mgr.with_snapshot("t", 0, [&](const EmbeddingSnapshot& snap) {
+    EXPECT_EQ(snap.version, 4u);
+    EXPECT_EQ(snap.tree.num_nodes(), 3);
+    EXPECT_NO_THROW(validate_embedding(snap.tree, snap.embedding, 16));
+  });
+}
+
+TEST(SessionManagerTest, FailedOpsAreRecordedNotFatal) {
+  SessionManager mgr;
+  ASSERT_EQ(mgr.create("t", 4, 16), SessionStatus::kOk);
+  const auto out = mgr.mutate_sync(
+      "t", ops_from_script("remove-leaf 0\nadd 99\nadd 0\nmove 1 1\n"));
+  ASSERT_EQ(out.status, SessionStatus::kOk);
+  ASSERT_EQ(out.records.size(), 4u);
+  EXPECT_FALSE(out.records[0].ok);  // root is not removable
+  EXPECT_EQ(out.records[0].error, "is_root");
+  EXPECT_FALSE(out.records[1].ok);  // unknown parent
+  EXPECT_EQ(out.records[1].error, "invalid_parent");
+  EXPECT_TRUE(out.records[2].ok);
+  EXPECT_FALSE(out.records[3].ok);  // move under itself
+  EXPECT_EQ(out.records[3].error, "would_cycle");
+
+  const auto stats = mgr.stats();
+  EXPECT_EQ(stats.ops_applied, 4u);
+  EXPECT_EQ(stats.ops_rejected, 3u);
+  EXPECT_EQ(stats.ops_applied,
+            stats.ops_repaired + stats.ops_escalated + stats.ops_rejected);
+}
+
+TEST(SessionManagerTest, VersionPinnedReadsSurviveNewPublishes) {
+  SessionConfig config;
+  config.max_versions_retained = 4;
+  SessionManager mgr(config);
+  ASSERT_EQ(mgr.create("t", 4, 16), SessionStatus::kOk);
+  for (int i = 0; i < 3; ++i)
+    ASSERT_EQ(mgr.mutate_sync("t", ops_from_script("add 0\nadd 0\n")).status,
+              SessionStatus::kOk);
+  // Versions 1..4 exist; all four are still in the ring.
+  for (std::uint64_t v = 1; v <= 4; ++v) {
+    const auto status =
+        mgr.with_snapshot("t", v, [&](const EmbeddingSnapshot& snap) {
+          EXPECT_EQ(snap.version, v);
+          EXPECT_EQ(snapshot_checksum(snap), snap.checksum);
+        });
+    EXPECT_EQ(status, SessionStatus::kOk) << "version " << v;
+  }
+  // Publish one more; version 1's slot is recycled.
+  ASSERT_EQ(mgr.mutate_sync("t", ops_from_script("add 0\n")).status,
+            SessionStatus::kOk);
+  EXPECT_EQ(mgr.with_snapshot("t", 1, [](const EmbeddingSnapshot&) {}),
+            SessionStatus::kVersionGone);
+  EXPECT_EQ(mgr.with_snapshot("t", 2, [](const EmbeddingSnapshot&) {}),
+            SessionStatus::kOk);
+  // Future versions are gone too, not a crash.
+  EXPECT_EQ(mgr.with_snapshot("t", 99, [](const EmbeddingSnapshot&) {}),
+            SessionStatus::kVersionGone);
+}
+
+TEST(SessionManagerTest, MutateUnknownSessionAnswersNotFound) {
+  SessionManager mgr;
+  std::atomic<int> called{0};
+  mgr.mutate("nope", ops_from_script("add 0\n"), [&](MutateOutcome out) {
+    EXPECT_EQ(out.status, SessionStatus::kNotFound);
+    called.fetch_add(1);
+  });
+  EXPECT_EQ(called.load(), 1);  // rejection runs on the calling thread
+}
+
+TEST(SessionManagerTest, ShutdownWithoutDrainAnswersShutdown) {
+  auto mgr = std::make_unique<SessionManager>();
+  ASSERT_EQ(mgr->create("t", 4, 16), SessionStatus::kOk);
+  mgr->shutdown(/*drain=*/false);
+  const auto out = mgr->mutate_sync("t", ops_from_script("add 0\n"));
+  EXPECT_EQ(out.status, SessionStatus::kShutdown);
+}
+
+TEST(SessionManagerTest, EscalationIsAccountedAndSnapshotStaysValid) {
+  SessionConfig config;
+  config.policy = MutationPolicy{/*max_repair_nodes=*/2,
+                                 /*max_dilation=*/1};
+  SessionManager mgr(config);
+  ASSERT_EQ(mgr.create("t", 5, 2), SessionStatus::kOk);
+  // Dense growth on a tight machine (load 2, dilation bound 1) must
+  // trip repair or escalation somewhere in 200 adds.
+  std::vector<MutationOp> ops;
+  NodeId next = 1;
+  for (int i = 0; i < 200; ++i) {
+    ops.push_back({MutationOpKind::kAddLeaf,
+                   static_cast<NodeId>(i == 0 ? 0 : (i / 2)), kInvalidNode});
+    (void)next;
+  }
+  const auto out = mgr.mutate_sync("t", std::move(ops));
+  ASSERT_EQ(out.status, SessionStatus::kOk);
+  const auto stats = mgr.stats();
+  EXPECT_EQ(stats.ops_applied, 200u);
+  EXPECT_EQ(stats.ops_applied,
+            stats.ops_repaired + stats.ops_escalated + stats.ops_rejected);
+  // The snapshot after all that is still certificate-valid and its
+  // metric fields match a recount.
+  mgr.with_snapshot("t", 0, [&](const EmbeddingSnapshot& snap) {
+    EXPECT_NO_THROW(validate_embedding(snap.tree, snap.embedding, 2));
+    const XTree host(snap.host_height);
+    EXPECT_EQ(snap.dilation,
+              dilation_xtree(snap.tree, snap.embedding, host).max);
+    EXPECT_EQ(snap.max_load, snap.embedding.load_factor());
+  });
+}
+
+TEST(SessionManagerTest, StatsJsonCarriesQueueAndSessionGauges) {
+  SessionManager mgr;
+  ASSERT_EQ(mgr.create("a"), SessionStatus::kOk);
+  ASSERT_EQ(mgr.create("b"), SessionStatus::kOk);
+  const std::string json = mgr.stats_json();
+  EXPECT_NE(json.find("\"sessions_active\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mutation_queue_capacity\": 256"), std::string::npos)
+      << json;
+  const auto ids = mgr.session_ids();
+  EXPECT_EQ(ids.size(), 2u);
+}
+
+TEST(SessionManagerTest, EmbeddingJsonRoundTripsCoreFields) {
+  SessionManager mgr;
+  ASSERT_EQ(mgr.create("t", 4, 16), SessionStatus::kOk);
+  ASSERT_EQ(mgr.mutate_sync("t", ops_from_script("add 0\nadd 0\n")).status,
+            SessionStatus::kOk);
+  std::string body;
+  mgr.with_snapshot("t", 0, [&](const EmbeddingSnapshot& snap) {
+    body = session_embedding_json("t", snap);
+  });
+  EXPECT_NE(body.find("\"id\": \"t\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"version\": 2"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"n\": 3"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"stable\": [0, 1, 2]"), std::string::npos) << body;
+}
+
+}  // namespace
+}  // namespace xt

@@ -10,6 +10,14 @@
 //                                          # network-edge parsers
 //   xt_fuzz --inject=overload-root         # demo: injected fault must
 //                                          # be caught and shrunk
+//   xt_fuzz --mutations --trials=1000      # differential mutation
+//                                          # fuzzing (ISSUE 9): random
+//                                          # mutation scripts against
+//                                          # DynamicEmbedder, checked
+//                                          # against the offline oracle
+//                                          # after every op
+//   xt_fuzz --mutations --replay='host 5 4; add 0; move 1 0'
+//   xt_fuzz --mutations --replay=@repro.mut
 //
 // Environment: XT_FUZZ_TRIALS / XT_FUZZ_SEED provide defaults for
 // --trials / --seed (flags win), so CI can scale the run without
@@ -32,6 +40,7 @@
 #include "net/wire.hpp"
 #include "util/cli.hpp"
 #include "verify/fuzzer.hpp"
+#include "verify/mutation_fuzz.hpp"
 
 namespace {
 
@@ -66,8 +75,97 @@ std::string resolve_replay_arg(const std::string& arg) {
 
 }  // namespace
 
+namespace {
+
+/// The --mutations mode: differential fuzzing of the online
+/// maintenance engine.  Shares --trials/--seed/--corpus with the
+/// chain fuzzer; --steps/--height/--load/--repair/--dilation shape
+/// the generated scripts.
+int run_mutations_mode(xt::Cli& cli) {
+  xt::MutationFuzzOptions options;
+  options.trials =
+      static_cast<int>(cli.get_int("trials", env_int("XT_FUZZ_TRIALS", 60)));
+  options.seed = static_cast<std::uint64_t>(cli.get_int(
+      "seed", static_cast<std::int64_t>(env_u64("XT_FUZZ_SEED", options.seed))));
+  options.steps = static_cast<int>(cli.get_int("steps", options.steps));
+  options.height =
+      static_cast<std::int32_t>(cli.get_int("height", options.height));
+  options.load = static_cast<xt::NodeId>(cli.get_int("load", options.load));
+  options.policy.max_repair_nodes =
+      cli.get_int("repair", options.policy.max_repair_nodes);
+  options.policy.max_dilation = static_cast<std::int32_t>(
+      cli.get_int("dilation", options.policy.max_dilation));
+  options.corpus_dir = cli.get("corpus", "");
+  options.max_shrink_evals = static_cast<int>(
+      cli.get_int("max-shrink-evals", options.max_shrink_evals));
+  options.log = [](const std::string& line) { std::cout << line << "\n"; };
+
+  if (cli.has("replay")) {
+    std::string text = cli.get("replay", "");
+    if (!text.empty() && text[0] == '@') {
+      std::ifstream in(text.substr(1));
+      if (!in) {
+        std::cerr << "xt_fuzz: cannot open mutation script "
+                  << text.substr(1) << "\n";
+        return 2;
+      }
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      text = ss.str();
+    } else {
+      for (char& c : text)
+        if (c == ';') c = '\n';
+    }
+    xt::MutationScript script;
+    std::string error;
+    if (!xt::parse_mutation_script(text, &script, &error)) {
+      std::cerr << "xt_fuzz: bad mutation script: " << error << "\n";
+      return 2;
+    }
+    const std::string failure = xt::mutation_property(script);
+    if (failure.empty()) {
+      std::cout << "[xt_fuzz] mutation replay PASSED ("
+                << script.ops.size() << " op(s))\n";
+      return 0;
+    }
+    std::cout << "[xt_fuzz] mutation replay FAILED: " << failure << "\n";
+    return 1;
+  }
+
+  std::cout << "[xt_fuzz] mutations: " << options.trials
+            << " trials x " << options.steps << " ops, seed 0x" << std::hex
+            << options.seed << std::dec << ", X(" << options.height
+            << ") load " << options.load << ", policy repair "
+            << options.policy.max_repair_nodes << " dilation "
+            << options.policy.max_dilation << "\n";
+  const xt::MutationFuzzReport report = xt::run_mutation_fuzz(options);
+  if (report.ok()) {
+    std::cout << "[xt_fuzz] OK: " << report.trials
+              << " trials, 0 violations\n";
+    return 0;
+  }
+  std::cout << "[xt_fuzz] FAILED: " << report.violations.size()
+            << " violation(s) in " << report.trials << " trials\n";
+  for (const auto& v : report.violations) {
+    std::cout << "  trial " << v.trial << ": " << v.failure
+              << "\n    minimized to " << v.shrunk.ops.size() << " op(s) in "
+              << v.shrink_steps << " step(s):\n";
+    std::istringstream lines(xt::format_mutation_script(v.shrunk));
+    std::string line;
+    while (std::getline(lines, line)) std::cout << "      " << line << "\n";
+    std::cout << "    " << v.replay << "\n";
+    if (!v.corpus_file.empty())
+      std::cout << "    persisted: " << v.corpus_file << "\n";
+  }
+  return 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   xt::Cli cli(argc, argv);
+
+  if (cli.has("mutations")) return run_mutations_mode(cli);
 
   xt::FuzzOptions options;
   options.trials =

@@ -28,8 +28,11 @@
 #include <string>
 #include <thread>
 
+#include <memory>
+
 #include "net/server.hpp"
 #include "service/service.hpp"
+#include "service/session.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -51,6 +54,17 @@ int usage(const char* prog) {
       << "  --max-conns=N     connection cap (default 1024)\n"
       << "  --max-inflight=N  server-wide in-flight cap (default 4096)\n"
       << "  --drain-ms=N      graceful-stop budget (default 5000)\n"
+      << "  --sessions        enable the session workload: named\n"
+      << "                    mutable trees behind /session/* and the\n"
+      << "                    kSessionCreate..kSessionDrop frame ops\n"
+      << "  --session-queue=N     mutation-queue capacity (default 256)\n"
+      << "  --session-versions=N  snapshot versions retained (default 8)\n"
+      << "  --session-cap=N       concurrent session cap (default 64)\n"
+      << "  --session-height=N    default host height (default 6)\n"
+      << "  --session-load=N      default load cap (default 16)\n"
+      << "  --session-repair=N    local-repair node budget (default 64)\n"
+      << "  --session-dilation=N  repair dilation bound, 0 = greedy\n"
+      << "                        legacy placement (default 8)\n"
       << "  --no-inline-hits  disable event-loop hit serving: every\n"
       << "                    request takes the queued service path\n"
       << "                    (fault drills need the full state machine)\n"
@@ -161,7 +175,35 @@ int main(int argc, char** argv) {
     };
   }
 
+  // The session manager must outlive the server: loops may still be
+  // routing /session/* requests at it right up to server.stop().
+  std::unique_ptr<xt::SessionManager> sessions;
+  if (cli.has("sessions")) {
+    xt::SessionConfig session_config;
+    session_config.mutation_queue_capacity =
+        static_cast<std::size_t>(cli.get_int("session-queue", 256));
+    session_config.max_versions_retained =
+        static_cast<std::size_t>(cli.get_int("session-versions", 8));
+    session_config.max_sessions =
+        static_cast<std::size_t>(cli.get_int("session-cap", 64));
+    session_config.default_height =
+        static_cast<int>(cli.get_int("session-height", 6));
+    session_config.default_load =
+        static_cast<int>(cli.get_int("session-load", 16));
+    session_config.policy.max_repair_nodes =
+        static_cast<std::size_t>(cli.get_int("session-repair", 64));
+    session_config.policy.max_dilation =
+        static_cast<int>(cli.get_int("session-dilation", 8));
+    if (verbose) {
+      session_config.diagnostic_sink = [](const std::string& line) {
+        std::cerr << "[session] " << line << "\n";
+      };
+    }
+    sessions = std::make_unique<xt::SessionManager>(session_config);
+  }
+
   xt::EmbeddingService service(service_config);
+  net_config.sessions = sessions.get();
   xt::NetServer server(service, net_config);
   server.start();
 
@@ -186,6 +228,11 @@ int main(int argc, char** argv) {
   server.stop();
   service.shutdown(/*drain=*/true);
   std::cout << "{\n\"service\": " << service.stats_json()
-            << ",\n\"net\": " << server.stats_json() << "\n}" << std::endl;
+            << ",\n\"net\": " << server.stats_json();
+  if (sessions) {
+    sessions->shutdown(/*drain=*/true);
+    std::cout << ",\n\"sessions\": " << sessions->stats_json();
+  }
+  std::cout << "\n}" << std::endl;
   return 0;
 }

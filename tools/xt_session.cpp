@@ -1,0 +1,202 @@
+// xt_session: replay a mutation script (io/mutation_script.hpp)
+// against a live DynamicEmbedder and report every outcome
+// (docs/sessions.md).
+//
+//   xt_session --script=repro.mut
+//   xt_fuzz --mutations ... | grep replay   # emits inline equivalents
+//   echo 'add 0' | xt_session --height=4 --load=8
+//
+// The script's host/policy header directives win over the flags; the
+// flags fill in whatever the script leaves unset.  Per-op outcomes go
+// to stdout (one line each, suppress with --quiet); the run always
+// ends with a stats JSON object whose accounting identity
+// applied == repaired + escalated + rejected is hard-asserted, and
+// with a full certificate validation of the final embedding.
+//
+// Exit codes: 0 replay ran (rejected ops are structured outcomes, not
+// failures), 1 invariant violation or --strict with rejected ops,
+// 2 usage / parse errors.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/dynamic_embedder.hpp"
+#include "embedding/metrics.hpp"
+#include "io/mutation_script.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+int usage(const char* prog) {
+  std::cerr << "usage: " << prog << " [options]\n"
+            << "  --script=F    mutation script file (default: stdin)\n"
+            << "  --height=N    host X-tree height when the script has\n"
+            << "                no 'host' directive (default 5)\n"
+            << "  --load=N      slots per host vertex fallback (default 4)\n"
+            << "  --repair=N    repair node budget fallback (default 64)\n"
+            << "  --dilation=N  repair dilation bound fallback, 0 = greedy\n"
+            << "                legacy placement (default 8)\n"
+            << "  --strict      exit 1 if any op is rejected\n"
+            << "  --quiet       suppress per-op lines (stats JSON only)\n";
+  return 2;
+}
+
+const char* growth_error_name(xt::DynamicEmbedder::GrowthError e) {
+  using E = xt::DynamicEmbedder::GrowthError;
+  switch (e) {
+    case E::kOk: return "ok";
+    case E::kHostFull: return "host_full";
+    case E::kParentSlotsFull: return "parent_slots_full";
+    case E::kInvalidParent: return "invalid_parent";
+  }
+  return "unknown";
+}
+
+const char* mutation_error_name(xt::DynamicEmbedder::MutationError e) {
+  using E = xt::DynamicEmbedder::MutationError;
+  switch (e) {
+    case E::kOk: return "ok";
+    case E::kDeadNode: return "dead_node";
+    case E::kIsRoot: return "is_root";
+    case E::kNotLeaf: return "not_leaf";
+    case E::kInvalidParent: return "invalid_parent";
+    case E::kWouldCycle: return "would_cycle";
+    case E::kParentSlotsFull: return "parent_slots_full";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  xt::Cli cli(argc, argv);
+  if (cli.has("help")) return usage(argv[0]);
+  const bool quiet = cli.has("quiet");
+
+  std::string text;
+  if (cli.has("script")) {
+    const std::string path = cli.get("script", "");
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "xt_session: cannot open script '" << path << "'\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  } else {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    text = buf.str();
+  }
+
+  xt::MutationScript script;
+  std::string parse_error;
+  if (!xt::parse_mutation_script(text, &script, &parse_error)) {
+    std::cerr << "xt_session: " << parse_error << "\n";
+    return 2;
+  }
+
+  const std::int32_t height = script.height >= 0
+                                  ? script.height
+                                  : static_cast<std::int32_t>(
+                                        cli.get_int("height", 5));
+  const xt::NodeId load =
+      script.load >= 0 ? script.load
+                       : static_cast<xt::NodeId>(cli.get_int("load", 4));
+  xt::MutationPolicy policy;
+  policy.max_repair_nodes = script.max_repair_nodes >= 0
+                                ? script.max_repair_nodes
+                                : cli.get_int("repair", 64);
+  policy.max_dilation = script.max_dilation >= 0
+                            ? script.max_dilation
+                            : static_cast<std::int32_t>(
+                                  cli.get_int("dilation", 8));
+
+  xt::DynamicEmbedder dyn(height, load, policy);
+  if (!quiet) {
+    std::cout << "[xt_session] replaying " << script.ops.size()
+              << " op(s) on X(" << height << "), load " << load
+              << ", policy{repair=" << policy.max_repair_nodes
+              << ", dilation=" << policy.max_dilation << "}\n";
+  }
+
+  std::uint64_t rejected = 0;
+  for (std::size_t i = 0; i < script.ops.size(); ++i) {
+    const xt::MutationOp& op = script.ops[i];
+    const char* status = "ok";
+    std::int64_t touched = 0;
+    bool escalated = false;
+    xt::NodeId leaf = xt::kInvalidNode;
+    switch (op.kind) {
+      case xt::MutationOpKind::kAddLeaf: {
+        const auto r = dyn.try_add_leaf(op.a);
+        status = growth_error_name(r.error);
+        touched = r.ok() ? 1 : 0;
+        escalated = r.escalated;
+        leaf = r.leaf;
+        if (!r.ok()) ++rejected;
+        break;
+      }
+      case xt::MutationOpKind::kRemoveLeaf:
+      case xt::MutationOpKind::kRemoveSubtree:
+      case xt::MutationOpKind::kMoveSubtree: {
+        const auto r = op.kind == xt::MutationOpKind::kRemoveLeaf
+                           ? dyn.try_remove_leaf(op.a)
+                       : op.kind == xt::MutationOpKind::kRemoveSubtree
+                           ? dyn.try_remove_subtree(op.a)
+                           : dyn.try_move_subtree(op.a, op.b);
+        status = mutation_error_name(r.error);
+        touched = r.nodes_touched;
+        escalated = r.escalated;
+        if (!r.ok()) ++rejected;
+        break;
+      }
+    }
+    if (!quiet) {
+      std::cout << "op " << (i + 1) << " " << xt::format_mutation_op(op)
+                << " -> " << status;
+      if (leaf != xt::kInvalidNode) std::cout << " leaf=" << leaf;
+      std::cout << " touched=" << touched
+                << (escalated ? " escalated" : "")
+                << " dilation=" << dyn.current_dilation()
+                << " max_load=" << dyn.current_max_load() << "\n";
+    }
+  }
+
+  // Certificate-validate the final state; a replay that ends invalid
+  // is an invariant violation no matter what the per-op outcomes said.
+  const auto snap = dyn.snapshot();
+  try {
+    xt::validate_embedding(snap.tree, snap.embedding, dyn.load_cap());
+  } catch (const std::exception& e) {
+    std::cerr << "xt_session: final embedding INVALID: " << e.what() << "\n";
+    return 1;
+  }
+
+  const auto& stats = dyn.mutation_stats();  // identity XT_CHECK'd here
+  std::ostringstream json;
+  json << "{\"ops\": " << script.ops.size()
+       << ", \"applied\": " << stats.applied
+       << ", \"repaired\": " << stats.repaired
+       << ", \"escalated\": " << stats.escalated
+       << ", \"rejected\": " << stats.rejected
+       << ", \"nodes_touched\": " << stats.nodes_touched
+       << ", \"escalate_nodes\": " << stats.escalate_nodes
+       << ", \"live\": " << dyn.num_live()
+       << ", \"free_capacity\": " << dyn.free_capacity()
+       << ", \"dilation\": " << dyn.current_dilation()
+       << ", \"max_load\": " << dyn.current_max_load()
+       << ", \"valid\": true}";
+  std::cout << json.str() << std::endl;
+
+  if (cli.has("strict") && rejected != 0) {
+    std::cerr << "xt_session: --strict and " << rejected
+              << " op(s) rejected\n";
+    return 1;
+  }
+  return 0;
+}
