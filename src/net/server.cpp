@@ -908,9 +908,26 @@ struct LoopOps {
     switch (frame.format) {
       case static_cast<std::uint8_t>(WireFormat::kSessionCreate): {
         std::istringstream is(frame.payload);
-        std::string id;
+        std::string id, height_tok, load_tok;
+        is >> id >> height_tok >> load_tok;
+        // Absent trailing tokens keep the -1 "use config default"
+        // sentinel; present-but-non-numeric tokens are errors (a
+        // failed `is >> long` would silently store 0 instead).
         long long height = -1, load = -1;
-        is >> id >> height >> load;  // trailing fields optional
+        const auto take = [](const std::string& tok, long long* out) {
+          if (tok.empty()) return true;
+          const std::optional<long> v = parse_long(tok);
+          if (!v.has_value()) return false;
+          *out = *v;
+          return true;
+        };
+        if (!take(height_tok, &height) || !take(load_tok, &load)) {
+          counters().bad_requests.fetch_add(1, std::memory_order_relaxed);
+          respond_session_wire(
+              conn, seq, frame, SessionStatus::kBadRequest,
+              json_error_body("bad_request", "non-numeric height/load"));
+          return;
+        }
         std::string reason;
         const SessionStatus st =
             sm->create(id, static_cast<std::int32_t>(height),
@@ -962,8 +979,10 @@ struct LoopOps {
         const std::string id = payload.substr(0, nl);
         MutationScript script;
         std::string perr;
-        if (id.empty() || id.find(' ') != std::string::npos) {
-          perr = "first payload line must be the session id";
+        if (!valid_session_id(id)) {
+          // Rejecting here also keeps arbitrary payload bytes out of
+          // every body that echoes the id.
+          perr = "first payload line must be a valid session id";
         } else if (nl != std::string::npos) {
           (void)parse_mutation_script(
               std::string_view(payload).substr(nl + 1), &script, &perr);
@@ -1073,6 +1092,7 @@ struct LoopOps {
                                         : rest.substr(slash + 1);
     if (id.empty() || action.empty())
       return bad("expected /session/{id}/{mutate|embedding|drop}");
+    if (!valid_session_id(id)) return bad("invalid session id");
     if (action == "mutate") {
       if (req.method != "POST") return bad("mutate is POST-only");
       MutationScript script;

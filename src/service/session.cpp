@@ -36,6 +36,8 @@ const char* mutation_error_name(DynamicEmbedder::MutationError e) {
   return "unknown";
 }
 
+}  // namespace
+
 bool valid_session_id(const std::string& id) {
   if (id.empty() || id.size() > 64) return false;
   for (const char c : id) {
@@ -46,7 +48,21 @@ bool valid_session_id(const std::string& id) {
   return true;
 }
 
-}  // namespace
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    if (ch == '"' || ch == '\\') {
+      out += '\\';
+      out += ch;
+    } else if (ch == '\n') {
+      out += "\\n";
+    } else if (static_cast<unsigned char>(ch) >= 0x20) {
+      out += ch;
+    }
+  }
+  return out;
+}
 
 const char* session_status_name(SessionStatus s) {
   switch (s) {
@@ -143,21 +159,34 @@ SessionStatus SessionManager::create(const std::string& id,
 
   auto session = std::make_shared<TreeSession>(
       id, h, l, config_.policy, config_.max_versions_retained);
+  // Publish version 1 BEFORE the session becomes reachable through
+  // the map: once inserted, a concurrent mutate() could reach the
+  // writer thread and publish version 2 while we were still writing
+  // version 1, breaking the dense-version invariant.
+  publish(*session);
+  const auto unpublish = [this] {
+    // The failed session was never shared; its ring frees the
+    // snapshot, so the publication never happened for accounting.
+    snapshots_published_.fetch_sub(1, std::memory_order_relaxed);
+  };
   {
     std::unique_lock lock(sessions_mu_);
-    if (sessions_.size() >= config_.max_sessions)
+    if (sessions_.size() >= config_.max_sessions) {
+      lock.unlock();
+      unpublish();
       return fail(SessionStatus::kTooManySessions,
                   "session cap reached (" +
                       std::to_string(config_.max_sessions) + ")");
+    }
     const auto [it, inserted] = sessions_.emplace(id, session);
     (void)it;
-    if (!inserted)
+    if (!inserted) {
+      lock.unlock();
+      unpublish();
       return fail(SessionStatus::kAlreadyExists,
                   "session '" + id + "' already exists");
+    }
   }
-  // Not yet reachable by the writer (no queued batches) — publishing
-  // version 1 here races with nothing.
-  publish(*session);
   sessions_created_.fetch_add(1, std::memory_order_relaxed);
   diag("session created id=" + id + " height=" + std::to_string(h) +
        " load=" + std::to_string(l));
@@ -324,25 +353,22 @@ MutateOutcome SessionManager::apply_batch(TreeSession& session,
   outcome.version = session.latest.load(std::memory_order_relaxed);
 
   const DynamicEmbedder::MutationStats after = dyn.mutation_stats();
-  ops_applied_.fetch_add(
-      static_cast<std::uint64_t>(after.applied - before.applied),
-      std::memory_order_relaxed);
-  ops_repaired_.fetch_add(
-      static_cast<std::uint64_t>(after.repaired - before.repaired),
-      std::memory_order_relaxed);
-  ops_escalated_.fetch_add(
-      static_cast<std::uint64_t>(after.escalated - before.escalated),
-      std::memory_order_relaxed);
-  ops_rejected_.fetch_add(
-      static_cast<std::uint64_t>(after.rejected - before.rejected),
-      std::memory_order_relaxed);
-  nodes_touched_.fetch_add(
-      static_cast<std::uint64_t>(after.nodes_touched - before.nodes_touched),
-      std::memory_order_relaxed);
-  escalate_nodes_.fetch_add(
-      static_cast<std::uint64_t>(after.escalate_nodes -
-                                 before.escalate_nodes),
-      std::memory_order_relaxed);
+  {
+    // One lock covers the whole group so stats() snapshots the
+    // accounting identity exactly — never mid-batch.
+    std::lock_guard lock(ops_mu_);
+    ops_applied_ += static_cast<std::uint64_t>(after.applied - before.applied);
+    ops_repaired_ +=
+        static_cast<std::uint64_t>(after.repaired - before.repaired);
+    ops_escalated_ +=
+        static_cast<std::uint64_t>(after.escalated - before.escalated);
+    ops_rejected_ +=
+        static_cast<std::uint64_t>(after.rejected - before.rejected);
+    nodes_touched_ +=
+        static_cast<std::uint64_t>(after.nodes_touched - before.nodes_touched);
+    escalate_nodes_ += static_cast<std::uint64_t>(after.escalate_nodes -
+                                                  before.escalate_nodes);
+  }
   return outcome;
 }
 
@@ -442,12 +468,15 @@ SessionStats SessionManager::stats() const {
       batches_rejected_full_.load(std::memory_order_relaxed);
   s.batches_not_found = batches_not_found_.load(std::memory_order_relaxed);
   s.batches_shutdown = batches_shutdown_.load(std::memory_order_relaxed);
-  s.ops_applied = ops_applied_.load(std::memory_order_relaxed);
-  s.ops_repaired = ops_repaired_.load(std::memory_order_relaxed);
-  s.ops_escalated = ops_escalated_.load(std::memory_order_relaxed);
-  s.ops_rejected = ops_rejected_.load(std::memory_order_relaxed);
-  s.nodes_touched = nodes_touched_.load(std::memory_order_relaxed);
-  s.escalate_nodes = escalate_nodes_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(ops_mu_);
+    s.ops_applied = ops_applied_;
+    s.ops_repaired = ops_repaired_;
+    s.ops_escalated = ops_escalated_;
+    s.ops_rejected = ops_rejected_;
+    s.nodes_touched = nodes_touched_;
+    s.escalate_nodes = escalate_nodes_;
+  }
   s.snapshots_published = snapshots_published_.load(std::memory_order_relaxed);
   s.snapshots_retired = snapshots_retired_.load(std::memory_order_relaxed);
   s.reads_ok = reads_ok_.load(std::memory_order_relaxed);
@@ -503,7 +532,7 @@ std::string SessionStats::to_json() const {
 
 std::string session_embedding_json(const std::string& id,
                                    const EmbeddingSnapshot& snap) {
-  std::string out = "{\"id\": \"" + id + "\"";
+  std::string out = "{\"id\": \"" + json_escape(id) + "\"";
   out += ", \"version\": " + std::to_string(snap.version);
   out += ", \"n\": " + std::to_string(snap.tree.num_nodes());
   out += ", \"host_height\": " + std::to_string(snap.host_height);
@@ -529,7 +558,8 @@ std::string mutate_outcome_json(const MutateOutcome& outcome) {
   std::string out =
       "{\"status\": \"" + std::string(session_status_name(outcome.status)) +
       "\"";
-  if (!outcome.reason.empty()) out += ", \"reason\": \"" + outcome.reason + "\"";
+  if (!outcome.reason.empty())
+    out += ", \"reason\": \"" + json_escape(outcome.reason) + "\"";
   out += ", \"version\": " + std::to_string(outcome.version);
   out += ", \"ops\": [";
   bool first = true;

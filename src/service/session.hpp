@@ -36,6 +36,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -77,6 +78,16 @@ enum class SessionStatus : std::uint8_t {
 };
 
 [[nodiscard]] const char* session_status_name(SessionStatus s);
+
+/// True iff `id` is 1..64 chars of [A-Za-z0-9_.-] — the only ids
+/// create() accepts.  The net edge applies the same test before
+/// echoing a wire-supplied id anywhere.
+[[nodiscard]] bool valid_session_id(const std::string& id);
+
+/// Escapes `"`, `\` and control characters for safe interpolation
+/// into a JSON string literal (control chars other than \n are
+/// dropped, matching the net edge's error bodies).
+[[nodiscard]] std::string json_escape(std::string_view s);
 
 /// An immutable published state: the compact projection of the guest
 /// plus its embedding and quality metrics at one version.  Readers
@@ -160,9 +171,9 @@ class SessionManager {
   SessionManager& operator=(const SessionManager&) = delete;
 
   /// Creates a session hosting a single-root guest on X(height) and
-  /// publishes version 1.  height/load < 0 pick the config defaults.
-  /// Ids are [A-Za-z0-9_.-], 1..64 chars (no escaping anywhere on the
-  /// wire surface).
+  /// publishes version 1 (before the session is reachable, so the
+  /// first snapshot can never race the writer thread).  height/load
+  /// < 0 pick the config defaults.  Ids must pass valid_session_id().
   SessionStatus create(const std::string& id, std::int32_t height = -1,
                        NodeId load = -1, std::string* reason = nullptr);
 
@@ -240,12 +251,18 @@ class SessionManager {
   std::atomic<std::uint64_t> batches_rejected_full_{0};
   std::atomic<std::uint64_t> batches_not_found_{0};
   std::atomic<std::uint64_t> batches_shutdown_{0};
-  std::atomic<std::uint64_t> ops_applied_{0};
-  std::atomic<std::uint64_t> ops_repaired_{0};
-  std::atomic<std::uint64_t> ops_escalated_{0};
-  std::atomic<std::uint64_t> ops_rejected_{0};
-  std::atomic<std::uint64_t> nodes_touched_{0};
-  std::atomic<std::uint64_t> escalate_nodes_{0};
+  // The ops_* group carries the hard identity applied == repaired +
+  // escalated + rejected, which to_json() asserts on every /stats
+  // read.  The writer updates all six under ops_mu_ and stats() reads
+  // them under the same lock, so no snapshot can observe a partial
+  // batch update (independent relaxed atomics could).
+  mutable std::mutex ops_mu_;
+  std::uint64_t ops_applied_ = 0;
+  std::uint64_t ops_repaired_ = 0;
+  std::uint64_t ops_escalated_ = 0;
+  std::uint64_t ops_rejected_ = 0;
+  std::uint64_t nodes_touched_ = 0;
+  std::uint64_t escalate_nodes_ = 0;
   std::atomic<std::uint64_t> snapshots_published_{0};
   std::atomic<std::uint64_t> snapshots_retired_{0};
   std::atomic<std::uint64_t> reads_ok_{0};

@@ -808,6 +808,57 @@ TEST(NetLoopback, SessionBinaryFramesPipelineInOrder) {
       << response.payload;
 }
 
+TEST(NetLoopback, SessionCreateFrameDefaultsAndBadTokens) {
+  SessionConfig config;
+  config.default_height = 5;
+  SessionHarness h(config);
+  NetClient client = h.connect();
+  std::string error;
+  WireFrame response;
+
+  // "create <id>" with no height/load tokens must fall back to the
+  // configured defaults, not a height-0 single-vertex host (a failed
+  // istream extraction stores 0, which once leaked through here).
+  ASSERT_TRUE(client.call(session_frame(WireFormat::kSessionCreate, "d", 1),
+                          &response, &error))
+      << error;
+  ASSERT_EQ(static_cast<WireStatus>(response.code), WireStatus::kOk)
+      << response.payload;
+  ASSERT_TRUE(client.call(session_frame(WireFormat::kSessionQuery, "d", 2),
+                          &response, &error))
+      << error;
+  EXPECT_EQ(static_cast<WireStatus>(response.code), WireStatus::kOk);
+  EXPECT_NE(response.payload.find("\"host_height\": 5"), std::string::npos)
+      << response.payload;
+
+  // Present-but-non-numeric tokens are structured errors, not zeros.
+  ASSERT_TRUE(client.call(
+      session_frame(WireFormat::kSessionCreate, "e nope", 3), &response,
+      &error))
+      << error;
+  EXPECT_EQ(static_cast<WireStatus>(response.code), WireStatus::kBadRequest);
+  EXPECT_NE(response.payload.find("non-numeric"), std::string::npos)
+      << response.payload;
+
+  // A mutate for an id that could corrupt echoed JSON is rejected at
+  // the edge; the body must stay well-formed (no raw quote).
+  ASSERT_TRUE(client.call(
+      session_frame(WireFormat::kSessionMutate, "a\"b\nadd 0\n", 4),
+      &response, &error))
+      << error;
+  EXPECT_EQ(static_cast<WireStatus>(response.code), WireStatus::kBadRequest);
+  EXPECT_EQ(response.payload.find("a\"b"), std::string::npos)
+      << response.payload;
+
+  // Same guard on the HTTP path.
+  NetClient http = h.connect();
+  NetClient::HttpResult result;
+  ASSERT_TRUE(http.http("POST", "/session/a%22b/mutate", "add 0\n", &result,
+                        &error))
+      << error;
+  EXPECT_EQ(result.status, 400);
+}
+
 TEST(NetLoopback, SessionVersionGoneIs410) {
   SessionConfig config;
   config.max_versions_retained = 2;

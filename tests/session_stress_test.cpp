@@ -116,6 +116,43 @@ TEST(SessionStressTest, ReadersNeverObserveTornOrRetiredSnapshots) {
             static_cast<std::uint64_t>(kWriterBatches));
 }
 
+TEST(SessionStressTest, StatsIdentityNeverTearsUnderConcurrentReads) {
+  // GET /stats calls stats_json() from the event loop while the
+  // writer thread is mid-batch; to_json() hard-asserts the identity
+  // applied == repaired + escalated + rejected, so a torn counter
+  // snapshot would throw check_error straight through the server.
+  // The ops_* group is updated and read under one lock precisely so
+  // this loop can never fire the assert.
+  SessionManager mgr;
+  ASSERT_EQ(mgr.create("hot", 5, 16), SessionStatus::kOk);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> polls{0};
+  std::thread poller([&mgr, &stop, &polls] {
+    while (!stop.load(std::memory_order_acquire)) {
+      EXPECT_NO_THROW((void)mgr.stats_json());
+      polls.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  for (int b = 0; b < 300; ++b) {
+    // Mixed outcomes each batch: one apply, one structured rejection.
+    std::vector<MutationOp> ops;
+    ops.push_back({MutationOpKind::kAddLeaf, 0, kInvalidNode});
+    ops.push_back({MutationOpKind::kRemoveLeaf, 0, kInvalidNode});  // is_root
+    ASSERT_EQ(mgr.mutate_sync("hot", std::move(ops)).status,
+              SessionStatus::kOk);
+  }
+
+  stop.store(true, std::memory_order_release);
+  poller.join();
+  EXPECT_GT(polls.load(), 0u);
+  const auto stats = mgr.stats();
+  EXPECT_EQ(stats.ops_applied, 600u);
+  EXPECT_EQ(stats.ops_applied,
+            stats.ops_repaired + stats.ops_escalated + stats.ops_rejected);
+}
+
 TEST(SessionStressTest, ConcurrentSubmittersSeeExactlyOneCompletionEach) {
   SessionConfig config;
   config.mutation_queue_capacity = 8;  // force backpressure

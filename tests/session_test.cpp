@@ -217,6 +217,24 @@ TEST(SessionManagerTest, StatsJsonCarriesQueueAndSessionGauges) {
   EXPECT_EQ(ids.size(), 2u);
 }
 
+TEST(SessionJsonTest, EscapeShieldsHostileStrings) {
+  EXPECT_EQ(json_escape("plain-id_0.9"), "plain-id_0.9");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string("a\x01")+ "b"), "ab");  // dropped
+
+  // A wire-supplied id ends up in MutateOutcome.reason; the body must
+  // stay well-formed JSON even when the id carries quotes.
+  MutateOutcome outcome;
+  outcome.status = SessionStatus::kNotFound;
+  outcome.reason = "unknown session '\"};evil'";
+  const std::string body = mutate_outcome_json(outcome);
+  EXPECT_NE(body.find("unknown session '\\\"};evil'"), std::string::npos)
+      << body;
+  EXPECT_EQ(body.find("'\"}"), std::string::npos) << body;
+}
+
 TEST(SessionManagerTest, EmbeddingJsonRoundTripsCoreFields) {
   SessionManager mgr;
   ASSERT_EQ(mgr.create("t", 4, 16), SessionStatus::kOk);
