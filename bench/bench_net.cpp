@@ -97,6 +97,7 @@ struct WireCounts {
   std::uint64_t expired = 0;
   std::uint64_t failed = 0;
   std::uint64_t bad_request = 0;
+  std::uint64_t shard_down = 0;
 
   void count(WireStatus s) {
     ++received;
@@ -108,6 +109,7 @@ struct WireCounts {
       case WireStatus::kExpiredDeadline: ++expired; break;
       case WireStatus::kFailed: ++failed; break;
       case WireStatus::kBadRequest: ++bad_request; break;
+      case WireStatus::kShardDown: ++shard_down; break;
     }
   }
 
@@ -121,10 +123,12 @@ struct WireCounts {
     expired += o.expired;
     failed += o.failed;
     bad_request += o.bad_request;
+    shard_down += o.shard_down;
   }
 
   [[nodiscard]] std::uint64_t structured_rejections() const {
-    return rejected_queue_full + overloaded + rejected_shutdown + expired;
+    return rejected_queue_full + overloaded + rejected_shutdown + expired +
+           shard_down;
   }
 };
 

@@ -36,6 +36,14 @@
 #                 max_repair_nodes; the accounting identity
 #                 applied == repaired + escalated + rejected is a hard
 #                 failure)
+#   BENCH_10.json PR 10 scale-out (bench_cluster: router rps at 1/2/4
+#                 shards interleaved with a single-process baseline,
+#                 2x overload with one shard down — zero silent drops
+#                 is a hard failure — sharded ingestion with the
+#                 global decoded == embedded + deduped + rejected
+#                 identity, and cold-vs-warm checkpoint-restore
+#                 hit-rate curves; scaling marked invalid on <4-core
+#                 hosts)
 #
 # Every BENCH_*.json written here gets a "provenance" object injected:
 # build type, compiler, flags (from <build-dir>/build_info.json, which
@@ -56,6 +64,12 @@
 #       BENCH_6_KERNELS.json, always warn-only: the kernel micros are
 #       sub-millisecond and the noisiest of the suite, so they flag
 #       regressions without failing anything.
+#   --compare-scale DIR   Warn-only gate for the macro workload
+#       reports: compares the fresh BENCH_9.json / BENCH_10.json
+#       headline throughputs against the copies in DIR (e.g. a
+#       checkout of the previous release).  Always warn-only — the
+#       macro numbers fold in socket and scheduler noise that shared
+#       runners amplify — but every >10% drop is surfaced by name.
 #   --smoke   CI-sized run (shorter min time, smaller scaling bench).
 #
 # The interesting counters:
@@ -71,6 +85,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 
 baseline=""
 kernels_baseline=""
+scale_baseline=""
 smoke=0
 args=()
 while [[ $# -gt 0 ]]; do
@@ -85,6 +100,11 @@ while [[ $# -gt 0 ]]; do
       kernels_baseline="$2"; shift 2 ;;
     --compare-kernels=*)
       kernels_baseline="${1#--compare-kernels=}"; shift ;;
+    --compare-scale)
+      [[ $# -ge 2 ]] || { echo "error: --compare-scale needs a dir" >&2; exit 2; }
+      scale_baseline="$2"; shift 2 ;;
+    --compare-scale=*)
+      scale_baseline="${1#--compare-scale=}"; shift ;;
     --smoke)
       smoke=1; shift ;;
     *)
@@ -271,6 +291,24 @@ else
   echo "warning: $session_bin not found; skipping BENCH_9.json" >&2
 fi
 
+cluster_bin="$build_dir/bench/bench_cluster"
+if [[ -x "$cluster_bin" ]]; then
+  smoke_flag=()
+  [[ $smoke -eq 1 ]] && smoke_flag=(--smoke)
+  # bench_cluster exits non-zero if a hard invariant breaks (a lost
+  # response, a silent drop with a shard down, the router accounting
+  # identity, or the bulk decoded == embedded + deduped + rejected
+  # identity) — that must propagate, so no `|| true`.  The scaling
+  # section is self-invalidating on <4-core hosts (flagged in the
+  # JSON, never failed on).
+  "$cluster_bin" ${smoke_flag[@]+"${smoke_flag[@]}"} \
+    --json="$repo_root/BENCH_10.json" >/dev/null
+  inject_provenance "$repo_root/BENCH_10.json"
+  echo "wrote $repo_root/BENCH_10.json"
+else
+  echo "warning: $cluster_bin not found; skipping BENCH_10.json" >&2
+fi
+
 if [[ -n "$baseline" ]]; then
   if [[ ! -f "$baseline" ]]; then
     echo "error: baseline $baseline not found" >&2
@@ -370,4 +408,78 @@ else:
           f"{THRESHOLD:.0%})")
 PY
   fi
+fi
+
+if [[ -n "$scale_baseline" ]]; then
+  if [[ ! -d "$scale_baseline" ]]; then
+    echo "error: scale baseline dir $scale_baseline not found" >&2
+    exit 2
+  fi
+  # Warn-only on purpose: the macro workload numbers (session FIFO
+  # throughput, router rps over loopback sockets, sharded ingestion)
+  # fold in socket and scheduler noise that shared runners amplify.
+  # Surface every >10% headline drop by name, never fail the run.
+  python3 - "$scale_baseline" "$repo_root" <<'PY' || true
+import json
+import os
+import sys
+
+THRESHOLD = 0.10  # warn on >10% throughput drop
+
+base_dir, fresh_dir = sys.argv[1], sys.argv[2]
+
+
+def headlines(directory):
+    """Extract name -> higher-is-better throughput from BENCH_9/BENCH_10."""
+    out = {}
+    p9 = os.path.join(directory, "BENCH_9.json")
+    if os.path.exists(p9):
+        with open(p9) as f:
+            doc = json.load(f)
+        for row in doc.get("throughput", []):
+            out[f"session mix={row['mix']} ops/s"] = float(row["ops_per_sec"])
+    p10 = os.path.join(directory, "BENCH_10.json")
+    if os.path.exists(p10):
+        with open(p10) as f:
+            doc = json.load(f)
+        scaling = doc.get("scaling", {})
+        # Only comparable when both runs had enough cores to mean
+        # anything; an invalid scaling section is skipped silently.
+        if scaling.get("valid"):
+            out["cluster baseline rps"] = float(
+                scaling.get("baseline_rps_median", 0.0))
+            for row in scaling.get("shard_rows", []):
+                out[f"cluster shards={row['shards']} rps"] = float(
+                    row["rps_median"])
+        for row in doc.get("ingestion", {}).get("rows", []):
+            out[f"ingest shards={row['shards']} trees/s"] = float(
+                row["trees_per_s"])
+    return out
+
+
+old, new = headlines(base_dir), headlines(fresh_dir)
+shared = sorted(set(old) & set(new))
+if not shared:
+    print("compare-scale: no headline metrics in common; nothing to check",
+          file=sys.stderr)
+    sys.exit(0)
+
+dropped = []
+for name in shared:
+    t_old, t_new = old[name], new[name]
+    ratio = t_new / t_old if t_old > 0 else float("inf")
+    flag = " <-- DROPPED (warn-only)" if ratio < 1.0 - THRESHOLD else ""
+    print(f"  {name}: {t_old:.1f} -> {t_new:.1f} "
+          f"({(ratio - 1.0) * 100.0:+.1f}%){flag}")
+    if flag:
+        dropped.append(name)
+
+if dropped:
+    print(f"compare-scale: WARNING {len(dropped)}/{len(shared)} headline "
+          f"throughputs dropped by more than {THRESHOLD:.0%} "
+          f"(warn-only, not failing)", file=sys.stderr)
+else:
+    print(f"compare-scale: OK ({len(shared)} headline metrics within "
+          f"{THRESHOLD:.0%})")
+PY
 fi

@@ -4,26 +4,30 @@
 #include <utility>
 
 #include "util/check.hpp"
+#include "util/hash_constants.hpp"
 
 namespace xt {
 namespace {
 
-// Fixed odd constants (splitmix64's increment family).  The digest
-// must be a pure function of the shape: no addresses, no randomised
-// seeds, so the same tree hashes identically in every process.
-constexpr std::uint64_t kLeafCode = 0x9e3779b97f4a7c15ULL;
-constexpr std::uint64_t kEmptyCode = 0xd1b54a32d192ed03ULL;
+// Fixed odd constants (splitmix64's increment family, shared via
+// util/hash_constants.hpp).  The digest must be a pure function of the
+// shape: no addresses, no randomised seeds, so the same tree hashes
+// identically in every process — and, since PR 10, routes to the same
+// shard on the consistent-hash ring and matches the same checkpointed
+// cache key.
+constexpr std::uint64_t kLeafCode = kGoldenGamma;
+constexpr std::uint64_t kEmptyCode = kCanonEmptyCode;
 
 constexpr std::uint64_t mix(std::uint64_t z) {
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = (z ^ (z >> 30)) * kMix1;
+  z = (z ^ (z >> 27)) * kMix2;
   return z ^ (z >> 31);
 }
 
 // Asymmetric in (a, b): the caller decides whether to sort the pair
 // (canonical digest) or keep child order (ordered digest).
 constexpr std::uint64_t combine(std::uint64_t a, std::uint64_t b) {
-  return mix(a + 0x9e3779b97f4a7c15ULL * b + 0x632be59bd9b4e019ULL);
+  return mix(a + kGoldenGamma * b + kCanonCombineOffset);
 }
 
 // Reverse-BFS bottom-up subtree codes into a caller-owned buffer.

@@ -230,13 +230,23 @@ std::string BulkStats::to_json() const {
 }
 
 BulkResult bulk_embed(const CorpusReader& reader, const BulkOptions& options) {
+  std::vector<std::uint64_t> all(reader.tree_count());
+  for (std::uint64_t i = 0; i < all.size(); ++i) all[i] = i;
+  return bulk_embed(reader, options, all);
+}
+
+BulkResult bulk_embed(const CorpusReader& reader, const BulkOptions& options,
+                      const std::vector<std::uint64_t>& indices) {
   XT_CHECK(options.max_in_flight >= 1);
   XT_CHECK(options.dedup_capacity >= 1);
   XT_CHECK(options.verify_sample >= 0.0 && options.verify_sample <= 1.0);
+  for (const std::uint64_t i : indices)
+    XT_CHECK_MSG(i < reader.tree_count(),
+                 "subset index " << i << " out of range");
   const auto t0 = std::chrono::steady_clock::now();
 
   BulkResult out;
-  out.records.resize(reader.tree_count());
+  out.records.resize(indices.size());
   BulkStats& stats = out.stats;
 
   CanonicalCache cache(options.dedup_capacity);
@@ -254,12 +264,15 @@ BulkResult bulk_embed(const CorpusReader& reader, const BulkOptions& options) {
     return static_cast<double>(h >> 11) * 0x1.0p-53 < options.verify_sample;
   };
 
-  const auto reject = [&](std::uint64_t i, std::string why) {
-    BulkRecordResult& rec = out.records[i];
+  // `slot` addresses out.records (the subset position); the corpus
+  // record id lives in the slot's .index, stamped before any terminal.
+  const auto reject = [&](std::uint64_t slot, std::string why) {
+    BulkRecordResult& rec = out.records[slot];
     rec.status = BulkRecordStatus::kRejected;
     rec.error = std::move(why);
     ++stats.rejected;
-    diag("[bulk] rejected record " + std::to_string(i) + ": " + rec.error);
+    diag("[bulk] rejected record " + std::to_string(rec.index) + ": " +
+         rec.error);
   };
 
   // Terminal bookkeeping for a served (embedded or deduped) record:
@@ -267,28 +280,28 @@ BulkResult bulk_embed(const CorpusReader& reader, const BulkOptions& options) {
   // verify sample.  The remap is skipped entirely when neither wants
   // it — the common bulk case does no per-duplicate O(n) work beyond
   // the digest.
-  const auto serve = [&](std::uint64_t i, BulkRecordStatus status,
+  const auto serve = [&](std::uint64_t slot, BulkRecordStatus status,
                          const CachedEmbedding& entry,
                          const std::vector<NodeId>& to_canonical) {
-    BulkRecordResult& rec = out.records[i];
+    BulkRecordResult& rec = out.records[slot];
     rec.status = status;
     rec.host_height = entry.host_height;
     rec.load_factor = entry.load_factor;
     (status == BulkRecordStatus::kEmbedded ? stats.embedded
                                            : stats.deduped)++;
-    const bool want_verify = sampled(i);
+    const bool want_verify = sampled(rec.index);
     if (!want_verify && !options.keep_embeddings) return;
     Embedding emb = remap_embedding(to_canonical, entry);
     if (want_verify) {
       ++stats.verified;
-      const std::string bad =
-          verify_served_record(reader.materialize(i), emb, options.theorem,
-                               options.load, entry.host_height);
+      const std::string bad = verify_served_record(
+          reader.materialize(rec.index), emb, options.theorem, options.load,
+          entry.host_height);
       if (!bad.empty()) {
         ++stats.verify_failures;
         rec.error = bad;
-        diag("[bulk] verify failure on record " + std::to_string(i) + ": " +
-             bad);
+        diag("[bulk] verify failure on record " + std::to_string(rec.index) +
+             ": " + bad);
       }
     }
     if (options.keep_embeddings) rec.embedding = std::move(emb);
@@ -299,12 +312,12 @@ BulkResult bulk_embed(const CorpusReader& reader, const BulkOptions& options) {
   // and resolve oldest-first; `pending` lets later records find them
   // by cache key.
   struct Waiter {
-    std::uint64_t index = 0;
+    std::uint64_t slot = 0;
     std::vector<NodeId> to_canonical;
   };
   struct InFlight {
     CacheKey key;
-    std::uint64_t lead_index = 0;
+    std::uint64_t lead_slot = 0;
     std::vector<NodeId> lead_to_canonical;
     TaskFuture<Computed> future;
     // Inline-compute variant (pool has no workers): the result or the
@@ -333,11 +346,11 @@ BulkResult bulk_embed(const CorpusReader& reader, const BulkOptions& options) {
       // The lead embed failed: the lead and every duplicate that
       // attached to it resolve to kRejected, keeping the accounting
       // identity exact.
-      reject(infl.lead_index, std::string("embed failed: ") + e.what());
+      const std::uint64_t lead_record = out.records[infl.lead_slot].index;
+      reject(infl.lead_slot, std::string("embed failed: ") + e.what());
       for (const Waiter& w : infl.waiters)
-        reject(w.index, std::string("embed failed (shared with record ") +
-                            std::to_string(infl.lead_index) +
-                            "): " + e.what());
+        reject(w.slot, std::string("embed failed (shared with record ") +
+                           std::to_string(lead_record) + "): " + e.what());
       return;
     }
     CachedEmbedding entry;
@@ -346,10 +359,10 @@ BulkResult bulk_embed(const CorpusReader& reader, const BulkOptions& options) {
     entry.host_height = computed.host_height;
     entry.dilation = -1;  // not audited on the bulk path (see Computed)
     entry.load_factor = computed.load_factor;
-    serve(infl.lead_index, BulkRecordStatus::kEmbedded, entry,
+    serve(infl.lead_slot, BulkRecordStatus::kEmbedded, entry,
           infl.lead_to_canonical);
     for (const Waiter& w : infl.waiters)
-      serve(w.index, BulkRecordStatus::kDeduped, entry, w.to_canonical);
+      serve(w.slot, BulkRecordStatus::kDeduped, entry, w.to_canonical);
     cache.insert(infl.key, std::move(entry));
   };
 
@@ -373,12 +386,14 @@ BulkResult bulk_embed(const CorpusReader& reader, const BulkOptions& options) {
   std::vector<RawTreeRef> refs;
   std::vector<std::uint64_t> digests;
 
-  for (std::uint64_t s = 0; s < reader.tree_count(); s += kDigestStrip) {
-    const std::uint64_t strip = std::min(kDigestStrip, reader.tree_count() - s);
+  for (std::uint64_t s = 0; s < indices.size(); s += kDigestStrip) {
+    const std::uint64_t strip =
+        std::min<std::uint64_t>(kDigestStrip, indices.size() - s);
     refs.clear();
     for (std::uint64_t j = 0; j < strip; ++j) {
       view_err[j].clear();
-      view_ok[j] = reader.try_view(s + j, &views[j], &view_err[j]) ? 1 : 0;
+      view_ok[j] =
+          reader.try_view(indices[s + j], &views[j], &view_err[j]) ? 1 : 0;
       if (view_ok[j])
         refs.push_back({views[j].num_nodes, views[j].left, views[j].right});
     }
@@ -387,19 +402,20 @@ BulkResult bulk_embed(const CorpusReader& reader, const BulkOptions& options) {
     std::size_t next_digest = 0;
 
     for (std::uint64_t j = 0; j < strip; ++j) {
-      const std::uint64_t i = s + j;
+      const std::uint64_t slot = s + j;
+      const std::uint64_t i = indices[slot];
       ++stats.decoded;
-      out.records[i].index = i;
+      out.records[slot].index = i;
 
       if (!view_ok[j]) {
-        reject(i, std::move(view_err[j]));
+        reject(slot, std::move(view_err[j]));
         continue;
       }
       const CorpusReader::View& view = views[j];
 
       const bool want_remap = sampled(i) || options.keep_embeddings;
       const std::uint64_t chash = digests[next_digest++];
-      out.records[i].canonical_hash = chash;
+      out.records[slot].canonical_hash = chash;
       const CacheKey key{chash, view.num_nodes, options.theorem, options.load};
 
       // Epoch-pinned probe (no shared_ptr copy, no lock): the same
@@ -409,15 +425,15 @@ BulkResult bulk_embed(const CorpusReader& reader, const BulkOptions& options) {
             if (want_remap) {
               const CanonicalForm canon = canonical_form(
                   view.num_nodes, view.left, view.right, scratch);
-              serve(i, BulkRecordStatus::kDeduped, e.value(),
+              serve(slot, BulkRecordStatus::kDeduped, e.value(),
                     canon.to_canonical);
             } else {
-              serve(i, BulkRecordStatus::kDeduped, e.value(), kNoRemap);
+              serve(slot, BulkRecordStatus::kDeduped, e.value(), kNoRemap);
             }
           });
       if (deduped) continue;
       if (auto it = pending.find(key); it != pending.end()) {
-        Waiter w{i, {}};
+        Waiter w{slot, {}};
         if (want_remap)
           w.to_canonical =
               canonical_form(view.num_nodes, view.left, view.right, scratch)
@@ -434,7 +450,7 @@ BulkResult bulk_embed(const CorpusReader& reader, const BulkOptions& options) {
       CanonicalForm canon =
           canonical_form(view.num_nodes, view.left, view.right, scratch);
       BinaryTree canonical = canonical_tree_from_view(view, canon.to_canonical);
-      window.push_back(InFlight{key, i, std::move(canon.to_canonical),
+      window.push_back(InFlight{key, slot, std::move(canon.to_canonical),
                                 TaskFuture<Computed>{}, std::nullopt, {}, {}});
       InFlight& infl = window.back();
       pending.emplace(key, &infl);

@@ -114,4 +114,14 @@ struct BulkResult {
 [[nodiscard]] BulkResult bulk_embed(const CorpusReader& reader,
                                     const BulkOptions& options);
 
+/// Index-subset drain (ISSUE 10): processes only `indices` (corpus
+/// record ids, in the given order — the sharded fan-out passes each
+/// shard its ring-owned subset in corpus order).  `records` has one
+/// entry per subset slot with records[k].index == indices[k]; the
+/// verify sample keys on the corpus index, so a record's sampling
+/// decision is independent of how the corpus was partitioned.
+[[nodiscard]] BulkResult bulk_embed(const CorpusReader& reader,
+                                    const BulkOptions& options,
+                                    const std::vector<std::uint64_t>& indices);
+
 }  // namespace xt

@@ -1,0 +1,133 @@
+#include "bulk/shard.hpp"
+
+#include <array>
+#include <chrono>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "btree/canonical.hpp"
+#include "util/check.hpp"
+#include "util/hash_ring.hpp"
+
+namespace xt {
+
+std::string ShardedBulkResult::to_json() const {
+  std::ostringstream os;
+  os << "{\n\"merged\": " << stats.to_json() << ",\n\"shards\": [";
+  for (std::size_t i = 0; i < shard_stats.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shard_stats[i].to_json();
+  }
+  os << "]\n}";
+  return os.str();
+}
+
+ShardedBulkResult sharded_bulk_embed(const CorpusReader& reader,
+                                     const ShardedBulkOptions& options) {
+  XT_CHECK(options.num_shards >= 1);
+  const auto t0 = std::chrono::steady_clock::now();
+  const HashRing ring(options.num_shards, options.points_per_shard);
+
+  ShardedBulkResult out;
+  out.shard_of.resize(reader.tree_count());
+  std::vector<std::vector<std::uint64_t>> subsets(options.num_shards);
+
+  // Partition pass: digest every record with the same strip kernel the
+  // pipeline uses and route it on the ring.  Undigestable records are
+  // round-robined; their owning pipeline re-discovers the corruption
+  // and rejects them with the structured per-record error.
+  {
+    constexpr std::uint64_t kDigestStrip = 64;
+    std::array<CorpusReader::View, kDigestStrip> views;
+    std::array<char, kDigestStrip> view_ok{};
+    std::vector<RawTreeRef> refs;
+    std::vector<std::uint64_t> digests;
+    CanonicalScratch scratch;
+    for (std::uint64_t s = 0; s < reader.tree_count(); s += kDigestStrip) {
+      const std::uint64_t strip =
+          std::min<std::uint64_t>(kDigestStrip, reader.tree_count() - s);
+      refs.clear();
+      for (std::uint64_t j = 0; j < strip; ++j) {
+        view_ok[j] = reader.try_view(s + j, &views[j], nullptr) ? 1 : 0;
+        if (view_ok[j])
+          refs.push_back({views[j].num_nodes, views[j].left, views[j].right});
+      }
+      digests.resize(refs.size());
+      canonical_hash_batch(refs, digests, scratch);
+      std::size_t next_digest = 0;
+      for (std::uint64_t j = 0; j < strip; ++j) {
+        const std::uint64_t i = s + j;
+        const std::size_t shard =
+            view_ok[j] ? ring.lookup(digests[next_digest++])
+                       : static_cast<std::size_t>(i % options.num_shards);
+        out.shard_of[i] = static_cast<std::uint32_t>(shard);
+        subsets[shard].push_back(i);
+      }
+    }
+  }
+
+  // Drain each subset through its own pipeline, one driver thread per
+  // shard.  Each pipeline owns its dedup cache and in-flight window;
+  // embeds share the process ThreadPool, which is submit-safe from
+  // concurrent drivers.
+  std::vector<BulkResult> shard_results(options.num_shards);
+  {
+    std::mutex diag_mu;
+    std::vector<std::thread> drivers;
+    drivers.reserve(options.num_shards);
+    for (std::size_t shard = 0; shard < options.num_shards; ++shard) {
+      drivers.emplace_back([&, shard] {
+        BulkOptions shard_options = options.bulk;
+        if (options.bulk.diagnostic_sink) {
+          shard_options.diagnostic_sink = [&, shard](const std::string& line) {
+            std::lock_guard<std::mutex> lock(diag_mu);
+            options.bulk.diagnostic_sink("[shard " + std::to_string(shard) +
+                                         "] " + line);
+          };
+        }
+        shard_results[shard] =
+            bulk_embed(reader, shard_options, subsets[shard]);
+      });
+    }
+    for (std::thread& t : drivers) t.join();
+  }
+
+  // Merge: per-shard counters sum, records re-assemble in corpus
+  // order (every corpus record appears in exactly one subset).
+  out.records.resize(reader.tree_count());
+  out.shard_stats.reserve(options.num_shards);
+  for (BulkResult& result : shard_results) {
+    out.shard_stats.push_back(result.stats);
+    out.stats.decoded += result.stats.decoded;
+    out.stats.embedded += result.stats.embedded;
+    out.stats.deduped += result.stats.deduped;
+    out.stats.rejected += result.stats.rejected;
+    out.stats.verified += result.stats.verified;
+    out.stats.verify_failures += result.stats.verify_failures;
+    for (BulkRecordResult& rec : result.records) {
+      const std::uint64_t i = rec.index;
+      out.records[i] = std::move(rec);
+    }
+  }
+  out.stats.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  out.stats.trees_per_s =
+      out.stats.wall_s > 0.0
+          ? static_cast<double>(out.stats.decoded) / out.stats.wall_s
+          : 0.0;
+
+  XT_CHECK_MSG(out.stats.decoded == reader.tree_count(),
+               "sharded bulk lost records: decoded "
+                   << out.stats.decoded << " of " << reader.tree_count());
+  XT_CHECK_MSG(out.stats.accounting_ok(),
+               "sharded bulk accounting violated: decoded "
+                   << out.stats.decoded << " != embedded "
+                   << out.stats.embedded << " + deduped " << out.stats.deduped
+                   << " + rejected " << out.stats.rejected);
+  return out;
+}
+
+}  // namespace xt

@@ -1,0 +1,71 @@
+// Sharded bulk ingestion (ISSUE 10): fan an xtb1 corpus over N
+// per-shard bulk_embed pipelines keyed by the same consistent-hash
+// ring the request router uses (util/hash_ring.hpp).
+//
+// The partition pass digests every record (the strip-of-64 batch
+// kernel, zero-copy off the mmap) and routes it by ring.lookup(
+// canonical digest) — exactly how xt_router routes live requests, so
+// a corpus pre-warmed through this fan-out lands each shape on the
+// shard that will serve its traffic.  Records too corrupt to digest
+// cannot be routed by content; they fall back to round-robin by
+// corpus index, and the owning shard's pipeline rejects them with the
+// usual structured error.
+//
+// Because the digest decides the shard, every member of an
+// isomorphism class lands on one shard, in corpus order: each shard's
+// pipeline sees the same lead record and the same duplicate set the
+// single-process drain would have seen, so per-record statuses,
+// placements, and the global embedded/deduped/rejected split are
+// identical to bulk_embed over the whole corpus (pinned by
+// bulk_test).  The merged accounting identity
+//
+//   decoded == embedded + deduped + rejected == corpus tree count
+//
+// holds globally, enforced by XT_CHECK.
+//
+// Shard pipelines run concurrently, one driver thread each, embeds
+// sharing the process ThreadPool — the in-process model of N
+// independent xt_serve shards ingesting their keyspace slice.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bulk/pipeline.hpp"
+
+namespace xt {
+
+struct ShardedBulkOptions {
+  /// Per-shard pipeline options (theorem, load, window, dedup
+  /// capacity, verify sample...).  dedup_capacity applies per shard.
+  BulkOptions bulk;
+  /// Number of shard pipelines (>= 1).
+  std::size_t num_shards = 1;
+  /// Ring points per shard — must match the router's ring for the
+  /// "pre-warm the serving shard" story to hold (64 everywhere).
+  std::size_t points_per_shard = 64;
+};
+
+struct ShardedBulkResult {
+  /// Merged accounting: counters summed across shards, wall_s the
+  /// fan-out's wall clock (not the sum of shard walls).
+  BulkStats stats;
+  /// Each shard's own accounting, indexed by shard id.
+  std::vector<BulkStats> shard_stats;
+  /// One entry per corpus record, in corpus order (re-assembled from
+  /// the shard subsets).
+  std::vector<BulkRecordResult> records;
+  /// The routing decision per corpus record.
+  std::vector<std::uint32_t> shard_of;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Partitions `reader` over the ring and drains every shard subset
+/// through its own bulk_embed pipeline.  num_shards == 1 degenerates
+/// to a plain bulk_embed with ring bookkeeping.
+[[nodiscard]] ShardedBulkResult sharded_bulk_embed(
+    const CorpusReader& reader, const ShardedBulkOptions& options);
+
+}  // namespace xt

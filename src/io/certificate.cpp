@@ -5,6 +5,7 @@
 #include "embedding/metrics.hpp"
 #include "topology/xtree.hpp"
 #include "util/check.hpp"
+#include "util/hash_constants.hpp"
 #include "util/rng.hpp"
 
 namespace xt {
@@ -27,7 +28,7 @@ std::uint64_t guest_fingerprint(const BinaryTree& guest) {
 
 std::uint64_t assignment_fingerprint(const Embedding& emb) {
   // Order-dependent mix over (guest, host) pairs.
-  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t h = kGoldenGamma;
   for (NodeId v = 0; v < emb.num_guest_nodes(); ++v) {
     std::uint64_t x = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(v))
                        << 32) |

@@ -1,0 +1,17 @@
+#include "net/backend.hpp"
+
+#include <utility>
+
+namespace xt {
+
+void ServiceBackend::submit(EmbedRequest request, bool want_embedding,
+                            std::function<void(WireStatus, std::string)> done) {
+  service_.submit(std::move(request),
+                  [want_embedding, done = std::move(done)](
+                      EmbedResponse response) {
+                    done(wire_status_of(response.status),
+                         embed_response_json(response, want_embedding));
+                  });
+}
+
+}  // namespace xt

@@ -1,0 +1,81 @@
+// What sits behind a NetServer (ISSUE 10).  PR 7-9 hard-wired the
+// server to an in-process EmbeddingService; the router needs the same
+// epoll edge — sniffing, framing, ordered flushing, backpressure —
+// with request execution replaced by forwarding to shard processes.
+// EmbedBackend is that seam: the server parses and sequences, the
+// backend answers with a terminal (WireStatus, JSON body) pair, and
+// the server frames it for whichever protocol the connection speaks.
+//
+// The callback contract matches EmbeddingService::submit's: invoked
+// exactly once per submit, from an arbitrary thread (service shard,
+// router shard-link worker, or the submitting thread for immediate
+// rejections), and it must not block — completions post to the event
+// loop's queue and return.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "net/wire.hpp"
+#include "service/service.hpp"
+
+namespace xt {
+
+class EmbedBackend {
+ public:
+  virtual ~EmbedBackend() = default;
+
+  /// Answer `request` and call `done` exactly once with the terminal
+  /// status and the response body (raw JSON, no HTTP/frame envelope).
+  virtual void submit(EmbedRequest request, bool want_embedding,
+                      std::function<void(WireStatus, std::string)> done) = 0;
+
+  /// The cache the event loops probe for inline hits; nullptr when
+  /// this backend has no local cache (the router: hits live in the
+  /// shards).
+  [[nodiscard]] virtual CanonicalCache* canonical_cache() { return nullptr; }
+
+  /// The load bound baked into this backend's cache keys (only
+  /// meaningful when canonical_cache() is non-null).
+  [[nodiscard]] virtual NodeId cache_load() const { return 16; }
+
+  /// True when the backend keys work on the canonical digest (the
+  /// router's hash ring): the event loop then digests payloads in
+  /// place and threads the digest through EmbedRequest even when the
+  /// inline hit path is off.
+  [[nodiscard]] virtual bool routes_by_digest() const { return false; }
+
+  /// Stats object for /stats, and the JSON key it is published under
+  /// ("service" for the in-process backend, "router" for the router).
+  [[nodiscard]] virtual std::string stats_json() const = 0;
+  [[nodiscard]] virtual const char* stats_key() const = 0;
+};
+
+/// The in-process backend: EmbeddingService behind the seam.  All
+/// pre-PR 10 server behaviour (status mapping, response JSON, inline
+/// hits against the service's cache) flows through here unchanged.
+class ServiceBackend final : public EmbedBackend {
+ public:
+  explicit ServiceBackend(EmbeddingService& service) : service_(service) {}
+
+  void submit(EmbedRequest request, bool want_embedding,
+              std::function<void(WireStatus, std::string)> done) override;
+
+  [[nodiscard]] CanonicalCache* canonical_cache() override {
+    return service_.canonical_cache();
+  }
+  [[nodiscard]] NodeId cache_load() const override {
+    return service_.config().load;
+  }
+  [[nodiscard]] std::string stats_json() const override {
+    return service_.stats_json();
+  }
+  [[nodiscard]] const char* stats_key() const override { return "service"; }
+
+ private:
+  EmbeddingService& service_;
+};
+
+}  // namespace xt

@@ -1,12 +1,16 @@
 #include "net/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
+#include <time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
@@ -35,7 +39,7 @@ NetClient& NetClient::operator=(NetClient&& other) noexcept {
 }
 
 bool NetClient::connect(const std::string& host, std::uint16_t port,
-                        std::string* error) {
+                        std::string* error, int timeout_ms) {
   close();
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) {
@@ -50,16 +54,77 @@ bool NetClient::connect(const std::string& host, std::uint16_t port,
     close();
     return false;
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    if (error != nullptr) *error = errno_text("connect");
-    close();
-    return false;
+  if (timeout_ms <= 0) {
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      if (error != nullptr) *error = errno_text("connect");
+      close();
+      return false;
+    }
+  } else {
+    // Non-blocking connect + poll so a dead peer costs `timeout_ms`,
+    // not the kernel's SYN-retransmit window (minutes by default).
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS) {
+      if (error != nullptr) *error = errno_text("connect");
+      close();
+      return false;
+    }
+    if (rc != 0) {
+      pollfd pfd{};
+      pfd.fd = fd_;
+      pfd.events = POLLOUT;
+      do {
+        rc = ::poll(&pfd, 1, timeout_ms);
+      } while (rc < 0 && errno == EINTR);
+      if (rc == 0) {
+        if (error != nullptr) *error = "connect: timed out";
+        close();
+        return false;
+      }
+      if (rc < 0) {
+        if (error != nullptr) *error = errno_text("poll");
+        close();
+        return false;
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len);
+      if (so_error != 0) {
+        if (error != nullptr) {
+          *error = std::string("connect: ") + std::strerror(so_error);
+        }
+        close();
+        return false;
+      }
+    }
+    ::fcntl(fd_, F_SETFL, flags);
   }
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   parser_ = FrameParser();
   http_buf_.clear();
   return true;
+}
+
+bool NetClient::connect_retry(const std::string& host, std::uint16_t port,
+                              const ConnectRetryPolicy& policy,
+                              std::string* error) {
+  int backoff_ms = policy.backoff_initial_ms;
+  const int attempts = policy.attempts > 0 ? policy.attempts : 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      timespec ts{};
+      ts.tv_sec = backoff_ms / 1000;
+      ts.tv_nsec = static_cast<long>(backoff_ms % 1000) * 1000000L;
+      ::nanosleep(&ts, nullptr);
+      backoff_ms = std::min(backoff_ms * 2, policy.backoff_max_ms);
+    }
+    if (connect(host, port, error, policy.connect_timeout_ms)) return true;
+  }
+  return false;
 }
 
 void NetClient::close() {

@@ -25,8 +25,31 @@ class NetClient {
   NetClient(NetClient&& other) noexcept { *this = std::move(other); }
   NetClient& operator=(NetClient&& other) noexcept;
 
+  /// Bounded-retry policy for connect_retry: `attempts` tries, a
+  /// per-attempt connect timeout, and exponential backoff between
+  /// failures (initial doubling up to the cap).  The defaults suit a
+  /// loopback shard link: a refused connect during a shard restart is
+  /// retried for roughly half a second before the caller gives up.
+  struct ConnectRetryPolicy {
+    int attempts = 4;
+    int connect_timeout_ms = 1000;
+    int backoff_initial_ms = 25;
+    int backoff_max_ms = 250;
+  };
+
+  /// Connects with an optional timeout (milliseconds; <= 0 blocks
+  /// forever as before).  A timed-out attempt fails with "connect:
+  /// timed out" instead of hanging for the kernel's SYN-retry window.
   [[nodiscard]] bool connect(const std::string& host, std::uint16_t port,
-                             std::string* error);
+                             std::string* error, int timeout_ms = 0);
+
+  /// connect() with bounded retry-with-backoff: used by the router's
+  /// shard links so a shard restarting under it looks like a brief
+  /// stall, not an error.  Returns false (last attempt's error) only
+  /// after all attempts fail.
+  [[nodiscard]] bool connect_retry(const std::string& host, std::uint16_t port,
+                                   const ConnectRetryPolicy& policy,
+                                   std::string* error);
   void close();
   /// Half-close the write side (tests: mid-stream disconnects).
   void shutdown_write();

@@ -1,0 +1,327 @@
+#include "net/router.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "btree/canonical.hpp"
+#include "util/check.hpp"
+
+namespace xt {
+
+namespace {
+
+std::string json_error_body(const char* status, const std::string& reason) {
+  std::string out = "{\"status\": \"";
+  out += status;
+  out += "\", \"reason\": \"";
+  for (const char ch : reason) {
+    if (ch == '"' || ch == '\\') {
+      out += '\\';
+      out += ch;
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      out += ' ';
+    } else {
+      out += ch;
+    }
+  }
+  out += "\"}";
+  return out;
+}
+
+std::string status_body(WireStatus status, const std::string& reason) {
+  return json_error_body(wire_status_name(status), reason);
+}
+
+}  // namespace
+
+// One shard's forwarding state: a bounded job queue drained by K
+// worker threads, each owning one blocking NetClient.  The down flag
+// is the circuit breaker — set after a failed connect burst, cleared
+// by the first job to connect after the cooldown.
+struct Router::ShardLink {
+  std::size_t index = 0;
+  RouterShardAddress address;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Job> queue;
+  std::size_t executing = 0;  // popped, not yet answered
+  bool stopping = false;
+  bool down = false;
+  std::chrono::steady_clock::time_point retry_at{};
+
+  std::atomic<std::uint64_t> forwarded{0};
+  std::atomic<std::uint64_t> shard_down{0};
+  std::atomic<std::uint64_t> overloaded{0};
+  std::atomic<std::uint64_t> reconnects{0};
+  std::atomic<std::uint64_t> call_failures{0};
+
+  std::vector<std::thread> workers;
+};
+
+std::string RouterStats::to_json() const {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"submitted\": " << submitted << ",\n"
+     << "  \"forwarded\": " << forwarded << ",\n"
+     << "  \"shard_down_rejections\": " << shard_down_rejections << ",\n"
+     << "  \"overloaded_rejections\": " << overloaded_rejections << ",\n"
+     << "  \"shutdown_rejections\": " << shutdown_rejections << ",\n"
+     << "  \"shards\": [";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const RouterShardStats& s = shards[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"forwarded\": " << s.forwarded
+       << ", \"shard_down\": " << s.shard_down
+       << ", \"overloaded\": " << s.overloaded
+       << ", \"reconnects\": " << s.reconnects
+       << ", \"call_failures\": " << s.call_failures
+       << ", \"queue_depth\": " << s.queue_depth
+       << ", \"down\": " << (s.down ? "true" : "false") << "}";
+  }
+  os << "\n  ]\n}";
+  return os.str();
+}
+
+Router::Router(RouterConfig config)
+    : config_(std::move(config)),
+      ring_(config_.shards.empty() ? 1 : config_.shards.size(),
+            config_.points_per_shard) {
+  XT_CHECK_MSG(!config_.shards.empty(), "router needs at least one shard");
+  links_.reserve(config_.shards.size());
+  for (std::size_t i = 0; i < config_.shards.size(); ++i) {
+    auto link = std::make_unique<ShardLink>();
+    link->index = i;
+    link->address = config_.shards[i];
+    links_.push_back(std::move(link));
+  }
+}
+
+Router::~Router() { stop(); }
+
+void Router::diag(const std::string& line) const {
+  if (config_.diagnostic_sink) config_.diagnostic_sink(line);
+}
+
+void Router::start() {
+  XT_CHECK_MSG(!started_.exchange(true), "Router::start called twice");
+  const int workers =
+      config_.connections_per_shard > 0 ? config_.connections_per_shard : 1;
+  for (auto& link : links_) {
+    link->workers.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      link->workers.emplace_back([this, &link = *link] { run_worker(link); });
+    }
+  }
+}
+
+void Router::stop() {
+  if (!started_.load() || stopped_.exchange(true)) return;
+  for (auto& link : links_) {
+    std::deque<Job> drained;
+    {
+      std::lock_guard<std::mutex> lock(link->mu);
+      link->stopping = true;
+      drained.swap(link->queue);
+    }
+    link->cv.notify_all();
+    for (Job& job : drained) {
+      shutdown_rejections_.fetch_add(1, std::memory_order_relaxed);
+      job.done(WireStatus::kRejectedShutdown,
+               status_body(WireStatus::kRejectedShutdown, "router stopping"));
+    }
+  }
+  for (auto& link : links_) {
+    for (std::thread& t : link->workers) t.join();
+    link->workers.clear();
+  }
+}
+
+void Router::submit(EmbedRequest request, bool want_embedding,
+                    std::function<void(WireStatus, std::string)> done) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t digest = request.canonical_digest.has_value()
+                                   ? *request.canonical_digest
+                                   : canonical_hash(request.tree);
+  request.canonical_digest = digest;
+  ShardLink& link = *links_[ring_.lookup(digest)];
+  {
+    std::lock_guard<std::mutex> lock(link.mu);
+    if (link.stopping) {
+      shutdown_rejections_.fetch_add(1, std::memory_order_relaxed);
+      done(WireStatus::kRejectedShutdown,
+           status_body(WireStatus::kRejectedShutdown, "router stopping"));
+      return;
+    }
+    if (link.queue.size() + link.executing >= config_.max_inflight_per_shard) {
+      link.overloaded.fetch_add(1, std::memory_order_relaxed);
+      done(WireStatus::kOverloaded,
+           status_body(WireStatus::kOverloaded,
+                       "shard " + std::to_string(link.index) +
+                           " in-flight cap reached"));
+      return;
+    }
+    link.queue.push_back(Job{std::move(request), want_embedding,
+                             std::move(done)});
+  }
+  link.cv.notify_one();
+}
+
+void Router::run_worker(ShardLink& link) {
+  NetClient client;
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(link.mu);
+      link.cv.wait(lock,
+                   [&link] { return link.stopping || !link.queue.empty(); });
+      if (link.queue.empty()) return;  // stopping, queue drained by stop()
+      job = std::move(link.queue.front());
+      link.queue.pop_front();
+      ++link.executing;
+    }
+    process_job(link, client, std::move(job));
+    {
+      std::lock_guard<std::mutex> lock(link.mu);
+      --link.executing;
+    }
+  }
+}
+
+void Router::process_job(ShardLink& link, NetClient& client, Job job) {
+  const auto fail_shard_down = [&](const std::string& reason) {
+    link.shard_down.fetch_add(1, std::memory_order_relaxed);
+    job.done(WireStatus::kShardDown,
+             status_body(WireStatus::kShardDown,
+                         "shard " + std::to_string(link.index) + ": " +
+                             reason));
+  };
+
+  // Deadline bookkeeping: a job whose deadline lapsed while queued
+  // here is answered locally, exactly as a service shard would.
+  std::uint32_t deadline_ms = 0;
+  if (job.request.deadline != ServiceClock::time_point{}) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        job.request.deadline - ServiceClock::now());
+    if (remaining.count() <= 0) {
+      job.done(WireStatus::kExpiredDeadline,
+               status_body(WireStatus::kExpiredDeadline,
+                           "deadline passed in router queue"));
+      return;
+    }
+    deadline_ms = static_cast<std::uint32_t>(remaining.count());
+  }
+
+  if (!client.connected()) {
+    // Circuit breaker: while the link is down and the cooldown has
+    // not lapsed, fail fast instead of re-running the connect burst
+    // for every queued request.
+    bool fast_fail = false;
+    {
+      std::lock_guard<std::mutex> lock(link.mu);
+      fast_fail =
+          link.down && std::chrono::steady_clock::now() < link.retry_at;
+    }
+    if (fast_fail) {
+      fail_shard_down("link down (cooling down before reconnect)");
+      return;
+    }
+    std::string error;
+    if (!client.connect_retry(link.address.host, link.address.port,
+                              config_.connect, &error)) {
+      bool newly_down = false;
+      {
+        std::lock_guard<std::mutex> lock(link.mu);
+        newly_down = !link.down;
+        link.down = true;
+        link.retry_at = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(config_.down_cooldown_ms);
+      }
+      if (newly_down) {
+        diag("router: shard " + std::to_string(link.index) + " down: " +
+             error);
+      }
+      fail_shard_down(error);
+      return;
+    }
+    client.set_recv_timeout_ms(config_.request_timeout_ms);
+    link.reconnects.fetch_add(1, std::memory_order_relaxed);
+    bool was_down = false;
+    {
+      std::lock_guard<std::mutex> lock(link.mu);
+      was_down = link.down;
+      link.down = false;
+    }
+    if (was_down) {
+      diag("router: shard " + std::to_string(link.index) + " recovered");
+    }
+  }
+
+  // The internal RPC is one xtn1 frame each way: the request re-packed
+  // as a kXtb1Record (the zero-copy digest format shards already
+  // serve), the reply passed through verbatim.
+  WireFrame request;
+  request.format = static_cast<std::uint8_t>(WireFormat::kXtb1Record);
+  request.code = static_cast<std::uint8_t>(job.request.theorem);
+  request.flags = (job.request.bulk ? kWireFlagBulk : 0) |
+                  (job.want_embedding ? kWireFlagWantEmbedding : 0);
+  request.priority = job.request.priority;
+  request.deadline_ms = deadline_ms;
+  request.request_id =
+      static_cast<std::uint32_t>(link.forwarded.load(std::memory_order_relaxed));
+  request.payload = encode_xtb1_record(job.request.tree);
+
+  WireFrame reply;
+  std::string error;
+  if (!client.call(request, &reply, &error)) {
+    // A mid-call failure poisons the connection: close it, trip the
+    // breaker, and answer structured.  The next job (post-cooldown)
+    // re-probes the shard.
+    client.close();
+    link.call_failures.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(link.mu);
+      link.down = true;
+      link.retry_at = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(config_.down_cooldown_ms);
+    }
+    diag("router: shard " + std::to_string(link.index) + " call failed: " +
+         error);
+    fail_shard_down(error);
+    return;
+  }
+
+  link.forwarded.fetch_add(1, std::memory_order_relaxed);
+  WireStatus status = static_cast<WireStatus>(reply.code);
+  if (reply.code > static_cast<std::uint8_t>(WireStatus::kShardDown)) {
+    status = WireStatus::kFailed;
+  }
+  job.done(status, std::move(reply.payload));
+}
+
+RouterStats Router::stats() const {
+  RouterStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.shutdown_rejections = shutdown_rejections_.load(std::memory_order_relaxed);
+  for (const auto& link : links_) {
+    RouterShardStats ls;
+    ls.forwarded = link->forwarded.load(std::memory_order_relaxed);
+    ls.shard_down = link->shard_down.load(std::memory_order_relaxed);
+    ls.overloaded = link->overloaded.load(std::memory_order_relaxed);
+    ls.reconnects = link->reconnects.load(std::memory_order_relaxed);
+    ls.call_failures = link->call_failures.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(link->mu);
+      ls.queue_depth = link->queue.size();
+      ls.down = link->down;
+    }
+    s.forwarded += ls.forwarded;
+    s.shard_down_rejections += ls.shard_down;
+    s.overloaded_rejections += ls.overloaded;
+    s.shards.push_back(ls);
+  }
+  return s;
+}
+
+std::string Router::stats_json() const { return stats().to_json(); }
+
+}  // namespace xt

@@ -1,0 +1,150 @@
+// Consistent-hash request router (ISSUE 10): the scale-out tier that
+// fronts N xt_serve shard processes on one host.
+//
+//   clients ──> NetServer (epoll edge, digests payloads in place)
+//                  │ EmbedBackend::submit(request + canonical digest)
+//                  ▼
+//               Router: HashRing(shards, 64 pts) picks the owner
+//                  │ bounded per-shard job queue (kOverloaded beyond)
+//                  ▼
+//               ShardLink workers (K blocking NetClients per shard)
+//                  │ xtn1 RPC: kXtb1Record request, status+JSON reply
+//                  ▼
+//               xt_serve shard ── reply passed through verbatim
+//
+// Digest routing means every isomorphic tree lands on the same shard,
+// so each shard's canonical cache and inline hit path behave exactly
+// as in the single-process deployment — the router adds fan-out, not
+// a new cache layer.  Replies are forwarded byte-for-byte (status code
+// and JSON body), so a routed response is the shard's response.
+//
+// Failure is structured, never silent: a full per-shard queue answers
+// kOverloaded; a shard that cannot be reached after a bounded
+// connect-retry burst (NetClient::connect_retry) marks its link down
+// and answers kShardDown (HTTP 503) instantly until a cooldown
+// expires, after which the next job probes the shard again — a
+// restarted shard is picked up within one cooldown.  stop() drains
+// queued jobs with kRejectedShutdown.  Every submit is answered
+// exactly once.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/backend.hpp"
+#include "net/client.hpp"
+#include "util/hash_ring.hpp"
+
+namespace xt {
+
+struct RouterShardAddress {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct RouterConfig {
+  /// The shard processes, in ring order.  Ring ownership is a pure
+  /// function of the shard *count*, so a restarted shard keeps its
+  /// keyspace as long as it keeps its slot.
+  std::vector<RouterShardAddress> shards;
+  /// Ring points per shard (HashRing::kDefaultPointsPerShard keeps
+  /// per-shard load imbalance within a few percent).
+  int points_per_shard = HashRing::kDefaultPointsPerShard;
+  /// Blocking RPC workers (each owning one connection) per shard.
+  int connections_per_shard = 4;
+  /// Queued + executing cap per shard; beyond it submits are answered
+  /// kOverloaded without queueing.
+  std::size_t max_inflight_per_shard = 256;
+  /// Bounds each forwarded call's receive (a hung shard surfaces as
+  /// kShardDown, never a stuck client).
+  int request_timeout_ms = 30000;
+  /// Per-burst connect policy for shard links (timeout + bounded
+  /// retry-with-backoff).
+  NetClient::ConnectRetryPolicy connect;
+  /// After a failed connect burst the link fast-fails kShardDown for
+  /// this long before the next job re-probes the shard.
+  int down_cooldown_ms = 250;
+  /// One line per notable event (link down, link recovered).
+  std::function<void(const std::string&)> diagnostic_sink;
+};
+
+struct RouterShardStats {
+  std::uint64_t forwarded = 0;       // calls answered by the shard
+  std::uint64_t shard_down = 0;      // answered kShardDown locally
+  std::uint64_t overloaded = 0;      // rejected at the queue cap
+  std::uint64_t reconnects = 0;      // successful (re)connects
+  std::uint64_t call_failures = 0;   // send/recv failures on a live link
+  std::size_t queue_depth = 0;       // gauge
+  bool down = false;                 // gauge
+};
+
+struct RouterStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t shard_down_rejections = 0;
+  std::uint64_t overloaded_rejections = 0;
+  std::uint64_t shutdown_rejections = 0;
+  std::vector<RouterShardStats> shards;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+class Router final : public EmbedBackend {
+ public:
+  explicit Router(RouterConfig config);
+  ~Router() override;
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Spawns the shard-link workers.  Connections are opened lazily by
+  /// the first forwarded request, so a router can start before its
+  /// shards finish binding.
+  void start();
+
+  /// Answers queued jobs kRejectedShutdown and joins the workers.
+  /// Idempotent.
+  void stop();
+
+  // EmbedBackend:
+  void submit(EmbedRequest request, bool want_embedding,
+              std::function<void(WireStatus, std::string)> done) override;
+  [[nodiscard]] bool routes_by_digest() const override { return true; }
+  [[nodiscard]] std::string stats_json() const override;
+  [[nodiscard]] const char* stats_key() const override { return "router"; }
+
+  [[nodiscard]] RouterStats stats() const;
+  [[nodiscard]] const HashRing& ring() const { return ring_; }
+
+ private:
+  struct Job {
+    EmbedRequest request;
+    bool want_embedding = false;
+    std::function<void(WireStatus, std::string)> done;
+  };
+
+  struct ShardLink;
+
+  void run_worker(ShardLink& link);
+  void process_job(ShardLink& link, NetClient& client, Job job);
+  void diag(const std::string& line) const;
+
+  RouterConfig config_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<ShardLink>> links_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> shutdown_rejections_{0};
+};
+
+}  // namespace xt

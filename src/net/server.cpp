@@ -133,6 +133,11 @@ struct Conn {
   CanonicalScratch canon;
   std::string payload_buf;  // response JSON body
   std::string encode_buf;   // framed / HTTP-wrapped response bytes
+  // Canonical digest of the current request's payload, set by
+  // try_inline_hit when it digests in place and consumed by the
+  // submit path so a digest-routing backend (the router's hash ring)
+  // never re-hashes the tree.  Reset per request.
+  std::optional<std::uint64_t> digest;
 };
 
 std::string errno_text(const std::string& what) {
@@ -271,7 +276,19 @@ NetServerStats NetServer::stats() const {
 // Lifecycle.
 
 NetServer::NetServer(EmbeddingService& service, NetServerConfig config)
-    : service_(service),
+    : owned_backend_(std::make_unique<ServiceBackend>(service)),
+      backend_(*owned_backend_),
+      config_(std::move(config)),
+      counters_(std::make_shared<Counters>()) {
+  inline_hits_.store(config_.enable_inline_hits, std::memory_order_relaxed);
+  if (config_.num_loops == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    config_.num_loops = std::clamp(hw / 4, 1u, 4u);
+  }
+}
+
+NetServer::NetServer(EmbedBackend& backend, NetServerConfig config)
+    : backend_(backend),
       config_(std::move(config)),
       counters_(std::make_shared<Counters>()) {
   inline_hits_.store(config_.enable_inline_hits, std::memory_order_relaxed);
@@ -659,18 +676,25 @@ struct LoopOps {
                       std::string_view payload, std::uint8_t theorem_code,
                       bool want_embedding, bool http, bool keep_alive,
                       std::uint32_t request_id, std::uint8_t flags) {
-    if (!server.inline_hits_.load(std::memory_order_relaxed)) return false;
-    CanonicalCache* cache = server.service_.canonical_cache();
-    if (cache == nullptr || theorem_code > 2) return false;
+    conn.digest.reset();
+    CanonicalCache* cache = server.backend_.canonical_cache();
+    const bool want_inline =
+        server.inline_hits_.load(std::memory_order_relaxed) &&
+        cache != nullptr;
+    // A digest-routing backend wants the payload hashed in place even
+    // when it cannot serve inline: the digest picks the shard.
+    if (!want_inline && !server.backend_.routes_by_digest()) return false;
+    if (theorem_code > 2) return false;
     const auto t0 = std::chrono::steady_clock::now();
     NodeId n = 0;
     const NodeId* left = nullptr;
     const NodeId* right = nullptr;
     if (!digest_payload(conn, format, payload, &n, &left, &right))
       return false;
-    const CacheKey key{canonical_hash(n, left, right, conn.canon), n,
-                       static_cast<Theorem>(theorem_code),
-                       server.service_.config().load};
+    conn.digest = canonical_hash(n, left, right, conn.canon);
+    if (!want_inline) return false;
+    const CacheKey key{*conn.digest, n, static_cast<Theorem>(theorem_code),
+                       server.backend_.cache_load()};
     const bool hit =
         cache->with_entry(key, [&](const CanonicalCache::Entry& e) {
           std::string& body = conn.payload_buf;
@@ -862,6 +886,7 @@ struct LoopOps {
     request.theorem = static_cast<Theorem>(frame.code);
     request.priority = frame.priority;
     request.bulk = (frame.flags & kWireFlagBulk) != 0;
+    request.canonical_digest = conn.digest;
     if (frame.deadline_ms != 0) {
       request.deadline =
           ServiceClock::now() + std::chrono::milliseconds(frame.deadline_ms);
@@ -1187,8 +1212,10 @@ struct LoopOps {
                      keep);
         return;
       }
-      std::string body = "{\n\"service\": ";
-      body += server.service_.stats_json();
+      std::string body = "{\n\"";
+      body += server.backend_.stats_key();
+      body += "\": ";
+      body += server.backend_.stats_json();
       body += ",\n\"net\": ";
       body += server.stats_json();
       if (cfg().sessions != nullptr) {
@@ -1197,6 +1224,30 @@ struct LoopOps {
       }
       body += "\n}";
       respond_http(conn, seq, 200, body, keep);
+      return;
+    }
+    if (path == "/admin/checkpoint") {
+      if (req.method != "POST") {
+        respond_http(conn, seq, 405,
+                     json_error_body("bad-request", "checkpoint is POST-only"),
+                     keep);
+        return;
+      }
+      if (!cfg().checkpoint_handler) {
+        counters().bad_requests.fetch_add(1, std::memory_order_relaxed);
+        respond_http(conn, seq, 404,
+                     json_error_body("bad-request",
+                                     "checkpointing not configured "
+                                     "(start with --checkpoint=FILE)"),
+                     keep);
+        return;
+      }
+      std::string detail;
+      if (cfg().checkpoint_handler(&detail)) {
+        respond_http(conn, seq, 200, detail, keep);
+      } else {
+        respond_http(conn, seq, 500, json_error_body("failed", detail), keep);
+      }
       return;
     }
     if (path.rfind("/session/", 0) == 0) {
@@ -1295,6 +1346,7 @@ struct LoopOps {
     request.theorem = *theorem;
     request.priority = static_cast<std::int32_t>(*priority);
     request.bulk = bulk == "1" || bulk == "true";
+    request.canonical_digest = conn.digest;
     if (*deadline_ms != 0) {
       request.deadline =
           ServiceClock::now() + std::chrono::milliseconds(*deadline_ms);
@@ -1315,31 +1367,29 @@ struct LoopOps {
     auto queue = loop.completions;
     auto counters_sp = server.counters_;
     const std::uint64_t conn_id = conn.id;
-    server.service_.submit(
-        std::move(request),
-        [queue, counters_sp, conn_id, seq, http, keep_alive, want_embedding,
-         request_id, flags](EmbedResponse response) {
-          // Shard thread: encode here so the event loop only copies
-          // bytes.  Holds no reference to the loop or server.
-          const std::string body =
-              embed_response_json(response, want_embedding);
+    server.backend_.submit(
+        std::move(request), want_embedding,
+        [queue, counters_sp, conn_id, seq, http, keep_alive, request_id,
+         flags](WireStatus status, std::string body) {
+          // Backend completion thread (service shard / router link):
+          // encode here so the event loop only copies bytes.  Holds no
+          // reference to the loop or server.
           std::string bytes;
           bool close_after = false;
           if (http) {
-            const int status = http_status_of(wire_status_of(response.status));
+            const int http_status = http_status_of(status);
             std::vector<std::string> extra;
-            if (status == 429) extra.push_back("Retry-After: 1");
-            bytes = http_response(status, body, "application/json",
+            if (http_status == 429) extra.push_back("Retry-After: 1");
+            bytes = http_response(http_status, body, "application/json",
                                   keep_alive, extra);
             close_after = !keep_alive;
           } else {
             WireFrame f;
             f.format = 0;
-            f.code =
-                static_cast<std::uint8_t>(wire_status_of(response.status));
+            f.code = static_cast<std::uint8_t>(status);
             f.flags = flags;
             f.request_id = request_id;
-            f.payload = body;
+            f.payload = std::move(body);
             bytes = encode_frame(f);
           }
           counters_sp->inflight.fetch_sub(1);

@@ -41,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/backend.hpp"
 #include "net/http.hpp"
 #include "net/wire.hpp"
 #include "service/service.hpp"
@@ -95,6 +96,14 @@ struct NetServerConfig {
   /// "sessions" object.  nullptr (default) answers those surfaces
   /// with bad-request / 404.  Must outlive the server.
   SessionManager* sessions = nullptr;
+  /// Admin hook (ISSUE 10): when set, POST /admin/checkpoint invokes
+  /// it on the event-loop thread.  On success it returns true and
+  /// fills *detail with a JSON body served as 200; on failure it
+  /// returns false and fills *detail with an error message served as
+  /// a structured 500.  Keep it quick — a cache snapshot holds each
+  /// stripe lock only for the memcpy walk, but the loop is blocked
+  /// for the file write.  Unset (default) answers the path 404.
+  std::function<bool(std::string* detail)> checkpoint_handler;
 };
 
 /// Monotonic counters (atomics: loops and the acceptor update them
@@ -135,8 +144,13 @@ class NetServer {
   struct Counters;
   struct Loop;
 
-  /// The service must outlive the server.
+  /// The service must outlive the server.  Wraps it in an owned
+  /// ServiceBackend — the pre-PR 10 single-process shape.
   NetServer(EmbeddingService& service, NetServerConfig config = {});
+
+  /// Serve an arbitrary backend (ISSUE 10: the router).  The backend
+  /// must outlive the server.
+  NetServer(EmbedBackend& backend, NetServerConfig config = {});
   ~NetServer();
 
   NetServer(const NetServer&) = delete;
@@ -177,7 +191,10 @@ class NetServer {
   void run_loop(Loop& loop);
   void diag(const std::string& line) const;
 
-  EmbeddingService& service_;
+  // Owned only by the EmbeddingService convenience constructor;
+  // declared before backend_ so the reference can bind to it.
+  std::unique_ptr<EmbedBackend> owned_backend_;
+  EmbedBackend& backend_;
   NetServerConfig config_;
   std::uint16_t bound_port_ = 0;
   int listen_fd_ = -1;

@@ -45,6 +45,7 @@ const char* wire_status_name(WireStatus s) {
     case WireStatus::kFailed: return "failed";
     case WireStatus::kBadRequest: return "bad-request";
     case WireStatus::kOverloaded: return "overloaded";
+    case WireStatus::kShardDown: return "shard-down";
   }
   return "unknown";
 }
@@ -71,6 +72,7 @@ int http_status_of(WireStatus s) {
     case WireStatus::kFailed: return 500;
     case WireStatus::kBadRequest: return 400;
     case WireStatus::kOverloaded: return 429;
+    case WireStatus::kShardDown: return 503;
   }
   return 500;
 }

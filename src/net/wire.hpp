@@ -78,6 +78,7 @@ enum class WireStatus : std::uint8_t {
   kFailed = 4,             // embedder error (HTTP 500)
   kBadRequest = 5,         // malformed payload / fields (HTTP 400)
   kOverloaded = 6,         // connection in-flight cap (HTTP 429)
+  kShardDown = 7,          // router: owning shard unreachable (HTTP 503)
 };
 
 [[nodiscard]] const char* wire_status_name(WireStatus s);

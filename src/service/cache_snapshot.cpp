@@ -1,0 +1,274 @@
+#include "service/cache_snapshot.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/hash.hpp"
+
+namespace xt {
+
+// Like xtb1, records are read back by pointer straight out of the
+// mmap, so the format is only defined for little-endian hosts with
+// 32-bit vertex ids.
+static_assert(std::endian::native == std::endian::little,
+              "xtc1 is a little-endian format");
+static_assert(sizeof(VertexId) == 4, "xtc1 records store 32-bit vertex ids");
+
+namespace {
+
+void put_u32(unsigned char* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
+void put_u64(unsigned char* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
+
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+bool fail(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+  return false;
+}
+
+std::string record_error(std::uint64_t i, const std::string& why) {
+  return "record " + std::to_string(i) + ": " + why;
+}
+
+/// Serializes one cache entry into `buf` (fixed part + payloads +
+/// checksum + padding), appending to the end.
+void append_record(std::vector<unsigned char>& buf, const CacheKey& key,
+                   const CachedEmbedding& value, const std::string* memo) {
+  const std::size_t assign_bytes = value.canonical_assign.size() * 4;
+  const std::size_t memo_bytes = memo != nullptr ? memo->size() : 0;
+  const std::size_t record_bytes =
+      kSnapshotRecordFixedBytes + assign_bytes + memo_bytes;
+  const std::size_t start = buf.size();
+  buf.resize(start + record_bytes);
+  unsigned char* p = buf.data() + start;
+  put_u64(p + 0, key.canonical_hash);
+  put_u32(p + 8, static_cast<std::uint32_t>(key.num_nodes));
+  put_u32(p + 12, static_cast<std::uint32_t>(key.load));
+  put_u32(p + 16, static_cast<std::uint32_t>(key.theorem));
+  put_u32(p + 20, static_cast<std::uint32_t>(value.host_vertices));
+  put_u32(p + 24, static_cast<std::uint32_t>(value.host_height));
+  put_u32(p + 28, static_cast<std::uint32_t>(value.dilation));
+  put_u32(p + 32, static_cast<std::uint32_t>(value.load_factor));
+  put_u32(p + 36, static_cast<std::uint32_t>(value.canonical_assign.size()));
+  put_u32(p + 40, static_cast<std::uint32_t>(memo_bytes));
+  put_u32(p + 44, 0);  // reserved
+  if (assign_bytes > 0)
+    std::memcpy(p + kSnapshotRecordFixedBytes, value.canonical_assign.data(),
+                assign_bytes);
+  if (memo_bytes > 0)
+    std::memcpy(p + kSnapshotRecordFixedBytes + assign_bytes, memo->data(),
+                memo_bytes);
+  const std::uint64_t checksum = hash64(buf.data() + start, record_bytes);
+  buf.resize(start + record_bytes + 8);
+  put_u64(buf.data() + start + record_bytes, checksum);
+  // Pad so the next record (hence its i32 array) stays aligned.
+  const std::size_t tail = buf.size() % 8;
+  if (tail != 0) buf.resize(buf.size() + (8 - tail), 0);
+}
+
+}  // namespace
+
+bool save_cache_snapshot(const CanonicalCache& cache, const std::string& path,
+                         std::string* error, std::size_t* saved) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os.good()) return fail(error, "cannot open " + path + " for writing");
+
+  // A checkpoint is a point-in-time walk, not a transaction: entries
+  // inserted while we serialize may or may not be included, which is
+  // fine for derived data.  The whole record region is staged in
+  // memory (bounded by the cache capacity) so the stripe locks are
+  // held only as long as the memcpy, never across file I/O.
+  std::vector<unsigned char> records;
+  std::vector<std::uint64_t> offsets;
+  cache.for_each_entry([&](const CacheKey& key, const CachedEmbedding& value,
+                           const std::string* memo) {
+    offsets.push_back(kSnapshotHeaderBytes + records.size());
+    append_record(records, key, value, memo);
+  });
+
+  unsigned char header[kSnapshotHeaderBytes] = {};
+  const std::uint64_t index_offset = kSnapshotHeaderBytes + records.size();
+  const std::uint64_t file_bytes = index_offset + offsets.size() * 8 + 8;
+  std::memcpy(header, kSnapshotMagic, 4);
+  put_u32(header + 4, kSnapshotVersion);
+  put_u64(header + 8, offsets.size());
+  put_u64(header + 16, index_offset);
+  put_u64(header + 24, file_bytes);
+  put_u64(header + 32, hash64(header, kSnapshotHeaderHashedBytes));
+
+  const std::uint64_t index_hash = hash64(offsets.data(), offsets.size() * 8);
+  os.write(reinterpret_cast<const char*>(header), kSnapshotHeaderBytes);
+  os.write(reinterpret_cast<const char*>(records.data()),
+           static_cast<std::streamsize>(records.size()));
+  os.write(reinterpret_cast<const char*>(offsets.data()),
+           static_cast<std::streamsize>(offsets.size() * 8));
+  os.write(reinterpret_cast<const char*>(&index_hash), 8);
+  os.flush();
+  if (!os.good()) return fail(error, "write failure on " + path);
+  os.close();
+  if (saved != nullptr) *saved = offsets.size();
+  return true;
+}
+
+SnapshotLoadReport load_cache_snapshot(const std::string& path,
+                                       CanonicalCache* cache) {
+  XT_CHECK(cache != nullptr);
+  SnapshotLoadReport report;
+
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    report.error = "cannot open " + path;
+    return report;
+  }
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    report.error = "cannot stat " + path;
+    return report;
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  void* map = nullptr;
+  if (size > 0) {
+    map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map == MAP_FAILED) {
+      ::close(fd);
+      report.error = "cannot mmap " + path;
+      return report;
+    }
+  }
+  ::close(fd);  // the mapping keeps the pages alive
+  const auto* bytes = static_cast<const unsigned char*>(map);
+
+  // Envelope validation, mirroring CorpusReader: everything the index
+  // depends on is checked before any record is trusted.
+  const auto envelope_fail = [&](const std::string& why) {
+    report.error = path + ": " + why;
+    if (bytes != nullptr) ::munmap(map, size);
+    return report;
+  };
+  if (size < kSnapshotHeaderBytes + 8)
+    return envelope_fail("too small to be an xtc1 snapshot");
+  if (std::memcmp(bytes, kSnapshotMagic, 4) != 0)
+    return envelope_fail("bad magic (not an xtc1 snapshot)");
+  if (get_u32(bytes + 4) != kSnapshotVersion)
+    return envelope_fail("unsupported xtc1 version " +
+                         std::to_string(get_u32(bytes + 4)));
+  if (get_u64(bytes + 32) != hash64(bytes, kSnapshotHeaderHashedBytes))
+    return envelope_fail("header checksum mismatch");
+  if (get_u64(bytes + 24) != size)
+    return envelope_fail("truncated (header records " +
+                         std::to_string(get_u64(bytes + 24)) +
+                         " bytes, file has " + std::to_string(size) + ")");
+  const std::uint64_t count = get_u64(bytes + 8);
+  const std::uint64_t index_offset = get_u64(bytes + 16);
+  if (index_offset < kSnapshotHeaderBytes || index_offset % 8 != 0 ||
+      index_offset > size || size - index_offset != count * 8 + 8)
+    return envelope_fail("index offset/size inconsistent with entry count");
+  const auto* offsets =
+      reinterpret_cast<const std::uint64_t*>(bytes + index_offset);
+  if (get_u64(bytes + size - 8) != hash64(offsets, count * 8))
+    return envelope_fail("index checksum mismatch");
+  const std::uint64_t records_end = index_offset;
+
+  report.ok = true;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto skip = [&](const std::string& why) {
+      ++report.skipped;
+      report.record_errors.push_back(record_error(i, why));
+    };
+    const std::uint64_t off = offsets[i];
+    if (off < kSnapshotHeaderBytes || off % 8 != 0 ||
+        off + kSnapshotRecordFixedBytes + 8 > records_end) {
+      skip("offset out of range");
+      continue;
+    }
+    const unsigned char* rec = bytes + off;
+    const std::uint32_t assign_len = get_u32(rec + 36);
+    const std::uint32_t memo_len = get_u32(rec + 40);
+    if (get_u32(rec + 44) != 0) {
+      skip("reserved field not zero");
+      continue;
+    }
+    // fixed + 4*assign_len + memo_len + 8 bytes must fit before the
+    // index; do the bound check in u64 so hostile lengths can't wrap.
+    const std::uint64_t budget = records_end - off - kSnapshotRecordFixedBytes - 8;
+    if (std::uint64_t{assign_len} * 4 + memo_len > budget) {
+      skip("payload lengths overrun the record region");
+      continue;
+    }
+    const std::uint64_t record_bytes =
+        kSnapshotRecordFixedBytes + std::uint64_t{assign_len} * 4 + memo_len;
+    if (get_u64(rec + record_bytes) != hash64(rec, record_bytes)) {
+      skip("payload checksum mismatch");
+      continue;
+    }
+    const std::uint32_t theorem = get_u32(rec + 16);
+    if (theorem > 2) {
+      skip("unknown theorem code " + std::to_string(theorem));
+      continue;
+    }
+    const std::uint32_t num_nodes = get_u32(rec + 8);
+    if (num_nodes == 0 || num_nodes > 0x7fffffffu || assign_len != num_nodes) {
+      skip("assignment length disagrees with node count");
+      continue;
+    }
+
+    CacheKey key;
+    key.canonical_hash = get_u64(rec + 0);
+    key.num_nodes = static_cast<NodeId>(num_nodes);
+    key.load = static_cast<NodeId>(get_u32(rec + 12));
+    key.theorem = static_cast<Theorem>(theorem);
+
+    CachedEmbedding value;
+    // The record offset is 8-aligned, so the i32 array at +48 is
+    // 4-aligned: safe to copy out as typed pointers.
+    const auto* assign =
+        reinterpret_cast<const VertexId*>(rec + kSnapshotRecordFixedBytes);
+    value.canonical_assign.assign(assign, assign + assign_len);
+    value.host_vertices = static_cast<VertexId>(get_u32(rec + 20));
+    value.host_height = static_cast<std::int32_t>(get_u32(rec + 24));
+    value.dilation = static_cast<std::int32_t>(get_u32(rec + 28));
+    value.load_factor = static_cast<NodeId>(get_u32(rec + 32));
+
+    if (memo_len > 0) {
+      const std::string memo(
+          reinterpret_cast<const char*>(rec + kSnapshotRecordFixedBytes +
+                                        std::uint64_t{assign_len} * 4),
+          memo_len);
+      cache->insert(key, std::move(value), &memo);
+    } else {
+      cache->insert(key, std::move(value));
+    }
+    ++report.restored;
+  }
+
+  if (bytes != nullptr) ::munmap(map, size);
+  return report;
+}
+
+bool snapshot_sniff(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  char magic[4] = {};
+  is.read(magic, 4);
+  return is.gcount() == 4 && std::memcmp(magic, kSnapshotMagic, 4) == 0;
+}
+
+}  // namespace xt

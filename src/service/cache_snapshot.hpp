@@ -1,0 +1,101 @@
+// xtc1: a checkpoint container for the canonical embedding cache
+// (ISSUE 10).  A graceful shard restart serializes its resident
+// entries — digests, placements, and memoized response prefixes — and
+// the next boot mmap-restores them, so the first minute of traffic
+// hits warm instead of re-embedding the whole working set.
+//
+// The layout deliberately mirrors xtb1 (bulk/corpus.hpp): same header
+// discipline, same per-record checksum + trailing offset index, so
+// the corruption story is identical — a flipped bit in one record
+// skips that record, a flipped bit in the envelope fails the whole
+// file with a structured error, and truncation is caught by the
+// file_bytes field before any record is trusted.
+//
+//   [64-byte header]
+//     0   magic "xtc1"
+//     4   u32 version (= 1)
+//     8   u64 entry_count
+//     16  u64 index_offset
+//     24  u64 file_bytes
+//     32  u64 header_hash           (hash64 of bytes [0, 32))
+//     40  24 reserved zero bytes
+//   [records, each 8-byte aligned]
+//     u64 canonical_hash            -- CacheKey
+//     u32 num_nodes
+//     u32 load
+//     u32 theorem                   (0=T1, 1=T2, 2=T3)
+//     u32 host_vertices             -- CachedEmbedding
+//     i32 host_height
+//     i32 dilation
+//     u32 load_factor
+//     u32 assign_len
+//     u32 memo_len                  (0 = no memoized response body)
+//     u32 reserved(0)
+//     i32 canonical_assign[assign_len]
+//     u8  memo[memo_len]            (pre-serialized response prefix)
+//     u64 checksum                  (hash64 of the record bytes before it)
+//     zero padding to the next 8-byte boundary
+//   [index at index_offset]
+//     u64 record_offset[entry_count]
+//     u64 index_hash                (hash64 of the offset array)
+//
+// Entries are written oldest-first per stripe (CanonicalCache::
+// for_each_entry order) and restored by replaying insert() in file
+// order, so a restored cache reproduces the checkpoint's eviction
+// order: what was about to be evicted before the restart is still
+// first in line after it.
+//
+// Everything in a record is derived data — a lost or corrupt
+// checkpoint costs warmth, never correctness — so load never throws
+// on per-record damage; it restores what it can and reports the rest.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/canonical_cache.hpp"
+
+namespace xt {
+
+inline constexpr char kSnapshotMagic[4] = {'x', 't', 'c', '1'};
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::size_t kSnapshotHeaderBytes = 64;
+/// Bytes of the header covered by header_hash (everything before it).
+inline constexpr std::size_t kSnapshotHeaderHashedBytes = 32;
+/// Fixed-size prefix of a record, before the assign/memo payloads.
+inline constexpr std::size_t kSnapshotRecordFixedBytes = 48;
+
+/// Serializes every resident cache entry to `path` (truncating any
+/// existing file).  Returns false with a diagnostic in *error (if
+/// non-null) on I/O failure; a failed save leaves whatever partial
+/// file the filesystem kept, which load will reject as truncated.
+/// `saved`, when non-null, receives the number of entries written.
+bool save_cache_snapshot(const CanonicalCache& cache, const std::string& path,
+                         std::string* error, std::size_t* saved = nullptr);
+
+/// The outcome of a restore: how many entries came back, how many
+/// records were skipped as corrupt (with one diagnostic each), or —
+/// when the envelope itself is bad — ok=false and a single error.
+struct SnapshotLoadReport {
+  std::size_t restored = 0;
+  std::size_t skipped = 0;
+  std::vector<std::string> record_errors;  // one per skipped record
+  bool ok = false;      // envelope parsed; restored entries are trustworthy
+  std::string error;    // set when ok is false
+};
+
+/// Restores a snapshot into `cache` by replaying insert() in file
+/// order.  Envelope damage (bad magic/version/header hash/size/index)
+/// restores nothing and sets ok=false; per-record damage skips that
+/// record only.  The cache need not be empty — restored entries land
+/// through the normal insert path, evicting as usual if the snapshot
+/// outsizes the cache.
+SnapshotLoadReport load_cache_snapshot(const std::string& path,
+                                       CanonicalCache* cache);
+
+/// True if the file at `path` starts with the xtc1 magic.
+bool snapshot_sniff(const std::string& path);
+
+}  // namespace xt

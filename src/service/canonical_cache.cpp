@@ -79,7 +79,8 @@ std::shared_ptr<const CachedEmbedding> CanonicalCache::lookup(
   return out;
 }
 
-void CanonicalCache::insert(const CacheKey& key, CachedEmbedding value) {
+void CanonicalCache::insert(const CacheKey& key, CachedEmbedding value,
+                            const std::string* memo) {
   auto shared = std::make_shared<const CachedEmbedding>(std::move(value));
   Stripe& st = stripe_for(key);
   std::lock_guard<std::mutex> lock(st.mu);
@@ -98,10 +99,11 @@ void CanonicalCache::insert(const CacheKey& key, CachedEmbedding value) {
       continue;
     }
     if (e->key() == key) {
-      // Replace in place: publish a fresh entry (new value, no memo),
-      // keep the queue position but grant a second chance, retire the
-      // old entry — readers pinned on it finish safely.
+      // Replace in place: publish a fresh entry (new value, fresh
+      // memo), keep the queue position but grant a second chance,
+      // retire the old entry — readers pinned on it finish safely.
       Entry* fresh = new Entry(key, std::move(shared));
+      if (memo != nullptr) fresh->publish_encoded_body(*memo);
       fresh->ref_.store(1, std::memory_order_relaxed);
       const auto it = std::find(st.fifo.begin(), st.fifo.end(), e);
       XT_CHECK(it != st.fifo.end());
@@ -115,6 +117,7 @@ void CanonicalCache::insert(const CacheKey& key, CachedEmbedding value) {
   if (st.fifo.size() >= st.cap) evict_one_locked(st, table);
 
   Entry* fresh = new Entry(key, std::move(shared));
+  if (memo != nullptr) fresh->publish_encoded_body(*memo);
   std::size_t target = reuse;
   if (target > table.mask) {
     // No tombstone to reuse: take the first empty slot.  The eviction

@@ -45,6 +45,7 @@
 #include "graph/graph.hpp"
 #include "service/request.hpp"
 #include "util/epoch.hpp"
+#include "util/hash_constants.hpp"
 
 namespace xt {
 
@@ -62,7 +63,7 @@ struct CacheKeyHash {
     std::uint64_t h = k.canonical_hash;
     h ^= (static_cast<std::uint64_t>(k.num_nodes) << 8) +
          (static_cast<std::uint64_t>(k.theorem) << 2) +
-         static_cast<std::uint64_t>(k.load) + 0x9e3779b97f4a7c15ULL +
+         static_cast<std::uint64_t>(k.load) + kGoldenGamma +
          (h << 6) + (h >> 2);
     return static_cast<std::size_t>(h);
   }
@@ -168,8 +169,29 @@ class CanonicalCache {
       const CacheKey& key);
 
   /// Inserts (or replaces) an entry, evicting the second-chance
-  /// victim when the stripe is at capacity.
-  void insert(const CacheKey& key, CachedEmbedding value);
+  /// victim when the stripe is at capacity.  `memo`, when non-null,
+  /// pre-publishes the entry's encoded-body memo before the entry is
+  /// visible to readers — checkpoint restore uses it to bring back
+  /// memoized response prefixes so a warm restart's first hit is as
+  /// fast (and byte-identical) as the pre-restart server's.
+  void insert(const CacheKey& key, CachedEmbedding value,
+              const std::string* memo = nullptr);
+
+  /// Visits every resident entry under the owning stripe's writer
+  /// lock, oldest-first within each stripe (the second-chance queue
+  /// order, so a checkpoint restored by replaying insertions in visit
+  /// order reproduces each stripe's eviction order).  `fn` is called
+  /// as fn(key, value, memo) with memo nullptr when no response body
+  /// has been memoized; it must not re-enter the cache.
+  template <typename Fn>
+  void for_each_entry(Fn&& fn) const {
+    for (const auto& stripe : stripes_) {
+      std::lock_guard<std::mutex> lock(stripe->mu);
+      for (const Entry* e : stripe->fifo) {
+        fn(e->key(), e->value(), e->encoded_body());
+      }
+    }
+  }
 
   struct Counters {
     std::uint64_t hits = 0;
@@ -203,7 +225,7 @@ class CanonicalCache {
   };
 
   struct alignas(64) Stripe {
-    std::mutex mu;  // writers only
+    mutable std::mutex mu;  // writers (and the checkpoint walk)
     std::atomic<Table*> table{nullptr};
     std::deque<Entry*> fifo;  // second-chance order, front = oldest
     std::size_t tombstones = 0;

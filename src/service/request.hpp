@@ -45,6 +45,11 @@ struct EmbedRequest {
   /// can saturate idle capacity without starving interactive traffic
   /// of admission headroom.
   bool bulk = false;
+  /// The tree's canonical digest, when a frontend already computed it
+  /// (the event loop digests payloads in place for the inline hit
+  /// path).  The router keys its consistent-hash ring on this instead
+  /// of re-hashing the tree; absent means "compute if you need it".
+  std::optional<std::uint64_t> canonical_digest;
 };
 
 enum class RequestStatus {

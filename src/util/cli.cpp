@@ -15,13 +15,20 @@ Cli::Cli(int argc, char** argv) {
     }
     arg.erase(0, 2);
     auto eq = arg.find('=');
+    std::string name;
+    std::string value;
     if (eq != std::string::npos) {
-      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      flags_[arg] = argv[++i];
+      name = arg;
+      value = argv[++i];
     } else {
-      flags_[arg] = "1";
+      name = arg;
+      value = "1";
     }
+    flags_[name] = value;
+    ordered_flags_.emplace_back(std::move(name), std::move(value));
   }
 }
 
@@ -42,6 +49,14 @@ double Cli::get_double(const std::string& name, double fallback) const {
   auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
   return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::vector<std::string> Cli::get_all(const std::string& name) const {
+  std::vector<std::string> values;
+  for (const auto& [flag, value] : ordered_flags_) {
+    if (flag == name) values.push_back(value);
+  }
+  return values;
 }
 
 }  // namespace xt

@@ -23,6 +23,11 @@ class Cli {
   [[nodiscard]] double get_double(const std::string& name,
                                   double fallback) const;
 
+  /// Every value given for a repeatable flag, in argument order
+  /// (xt_router's --shard=H:P).  get/get_int see the last one.
+  [[nodiscard]] std::vector<std::string> get_all(
+      const std::string& name) const;
+
   /// Positional (non-flag) arguments in order of appearance.
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;
@@ -33,6 +38,7 @@ class Cli {
  private:
   std::string program_;
   std::map<std::string, std::string> flags_;
+  std::vector<std::pair<std::string, std::string>> ordered_flags_;
   std::vector<std::string> positional_;
 };
 

@@ -12,15 +12,19 @@
 #include <cstdint>
 #include <cstring>
 
+#include "util/hash_constants.hpp"
+
 namespace xt {
 
 namespace detail {
 
-constexpr std::uint64_t kHashP1 = 0x9e3779b185ebca87ULL;
-constexpr std::uint64_t kHashP2 = 0xc2b2ae3d27d4eb4fULL;
-constexpr std::uint64_t kHashP3 = 0x165667b19e3779f9ULL;
-constexpr std::uint64_t kHashP4 = 0x85ebca77c2b2ae63ULL;
-constexpr std::uint64_t kHashP5 = 0x27d4eb2f165667c5ULL;
+// Stripe primes live in util/hash_constants.hpp (pinned by the golden
+// test) together with every other constant the on-disk formats bake in.
+using xt::kHashP1;
+using xt::kHashP2;
+using xt::kHashP3;
+using xt::kHashP4;
+using xt::kHashP5;
 
 constexpr std::uint64_t hash_rotl(std::uint64_t x, int r) {
   return (x << r) | (x >> (64 - r));

@@ -1,0 +1,53 @@
+// The single home of every fixed hashing constant the persistent
+// formats depend on (ISSUE 10).  Three on-disk surfaces checksum or
+// key their bytes with these values:
+//
+//   * hash64 (util/hash.hpp)      — xtb1 corpus record/header/index
+//                                   checksums, xtn1 frame checksums,
+//                                   xtc1 cache-snapshot checksums;
+//   * the canonical digest
+//     (btree/canonical.cpp)       — cache keys, and therefore every
+//                                   key stored in a cache checkpoint
+//                                   and every point on the consistent-
+//                                   hash ring that routes requests and
+//                                   shards bulk corpora;
+//   * CacheKeyHash / splitmix64   — in-memory table placement and all
+//                                   deterministic workload seeding.
+//
+// Changing any value here silently invalidates checkpoints, corpora
+// and wire captures written by earlier builds, so the values are
+// pinned forever by tests/hash_golden_test.cpp: edits that alter a
+// digest fail the golden test instead of corrupting data at load time.
+#pragma once
+
+#include <cstdint>
+
+namespace xt {
+
+// xxhash64 stripe primes (Collet's XXH64 constants).  hash64 is a
+// pure function of (bytes, seed) and these five values.
+inline constexpr std::uint64_t kHashP1 = 0x9e3779b185ebca87ULL;
+inline constexpr std::uint64_t kHashP2 = 0xc2b2ae3d27d4eb4fULL;
+inline constexpr std::uint64_t kHashP3 = 0x165667b19e3779f9ULL;
+inline constexpr std::uint64_t kHashP4 = 0x85ebca77c2b2ae63ULL;
+inline constexpr std::uint64_t kHashP5 = 0x27d4eb2f165667c5ULL;
+
+// The splitmix64 increment (2^64 / phi, forced odd): the golden-gamma
+// constant shared by splitmix64 seeding (util/rng.hpp), the canonical
+// digest's leaf code, CacheKeyHash's key scrambling and the
+// certificate assignment fingerprint.
+inline constexpr std::uint64_t kGoldenGamma = 0x9e3779b97f4a7c15ULL;
+
+// splitmix64 finalizer multipliers (Stafford mix13), shared by
+// splitmix64 and the canonical digest's node mix.
+inline constexpr std::uint64_t kMix1 = 0xbf58476d1ce4e5b9ULL;
+inline constexpr std::uint64_t kMix2 = 0x94d049bb133111ebULL;
+
+// Canonical-digest structure codes (btree/canonical.cpp): the code of
+// an absent child and the additive offset of the two-child combine.
+// Together with kGoldenGamma/kMix1/kMix2 these fix every canonical
+// hash ever written into a corpus, checkpoint, or ring lookup.
+inline constexpr std::uint64_t kCanonEmptyCode = 0xd1b54a32d192ed03ULL;
+inline constexpr std::uint64_t kCanonCombineOffset = 0x632be59bd9b4e019ULL;
+
+}  // namespace xt

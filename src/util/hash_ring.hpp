@@ -1,0 +1,71 @@
+// Consistent-hash ring over the canonical-digest keyspace (ISSUE 10).
+//
+// Each shard owns `points_per_shard` pseudo-random tokens on the
+// 64-bit ring; a digest maps to the shard owning the first token at or
+// after it (wrapping).  Many points per shard smooth the load split
+// (64 points keeps per-shard imbalance within a few percent) and make
+// rebalancing incremental: adding or removing one shard only moves the
+// keys adjacent to that shard's points, about 1/N of the keyspace,
+// while every other digest keeps its owner — which is what lets warm
+// shard caches survive a topology change.
+//
+// Determinism is the load-bearing property: tokens are hash64 over the
+// (shard, point) index pair with no salt, so the router's request
+// placement, the sharded bulk pipeline's corpus split, and any future
+// process agree on ownership from the shard count alone.  The digests
+// being hashed are the canonical tree digests (btree/canonical.hpp),
+// so isomorphic trees — the dedup population — always colocate.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/hash.hpp"
+
+namespace xt {
+
+class HashRing {
+ public:
+  static constexpr int kDefaultPointsPerShard = 64;
+
+  explicit HashRing(std::size_t num_shards,
+                    int points_per_shard = kDefaultPointsPerShard)
+      : num_shards_(num_shards) {
+    XT_CHECK_MSG(num_shards > 0, "hash ring needs at least one shard");
+    XT_CHECK_MSG(points_per_shard > 0, "hash ring needs at least one point");
+    points_.reserve(num_shards * static_cast<std::size_t>(points_per_shard));
+    for (std::uint32_t shard = 0; shard < num_shards; ++shard) {
+      for (std::uint32_t point = 0;
+           point < static_cast<std::uint32_t>(points_per_shard); ++point) {
+        unsigned char buf[8];
+        std::memcpy(buf, &shard, 4);
+        std::memcpy(buf + 4, &point, 4);
+        points_.emplace_back(hash64(buf, sizeof(buf)), shard);
+      }
+    }
+    std::sort(points_.begin(), points_.end());
+  }
+
+  /// The shard owning `digest`: the first ring point at or after it,
+  /// wrapping past the top of the keyspace.
+  [[nodiscard]] std::size_t lookup(std::uint64_t digest) const {
+    auto it = std::lower_bound(
+        points_.begin(), points_.end(), digest,
+        [](const auto& point, std::uint64_t d) { return point.first < d; });
+    if (it == points_.end()) it = points_.begin();
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t num_shards() const { return num_shards_; }
+  [[nodiscard]] std::size_t num_points() const { return points_.size(); }
+
+ private:
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> points_;
+  std::size_t num_shards_;
+};
+
+}  // namespace xt

@@ -12,14 +12,16 @@
 #include <cstdint>
 #include <limits>
 
+#include "util/hash_constants.hpp"
+
 namespace xt {
 
 /// splitmix64: used to expand a single seed into xoshiro state.
 /// Also useful as a cheap stateless hash for test parametrisation.
 constexpr std::uint64_t splitmix64(std::uint64_t& state) {
-  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  std::uint64_t z = (state += kGoldenGamma);
+  z = (z ^ (z >> 30)) * kMix1;
+  z = (z ^ (z >> 27)) * kMix2;
   return z ^ (z >> 31);
 }
 
@@ -28,7 +30,7 @@ class Rng {
  public:
   using result_type = std::uint64_t;
 
-  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+  explicit Rng(std::uint64_t seed = kGoldenGamma) { reseed(seed); }
 
   void reseed(std::uint64_t seed) {
     std::uint64_t sm = seed;

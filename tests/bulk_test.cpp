@@ -15,6 +15,7 @@
 #include "bulk/corpus.hpp"
 #include "bulk/feeder.hpp"
 #include "bulk/pipeline.hpp"
+#include "bulk/shard.hpp"
 #include "io/serialize.hpp"
 #include "service/service.hpp"
 #include "util/check.hpp"
@@ -290,6 +291,105 @@ TEST(BulkPipeline, PartialSampleIsDeterministic) {
   EXPECT_EQ(a.stats.verified, b.stats.verified);
   EXPECT_LE(a.stats.verified, a.stats.embedded + a.stats.deduped);
   EXPECT_EQ(a.stats.verify_failures, 0u);
+}
+
+TEST(BulkPipeline, SubsetDrainMatchesFullDrainPerRecord) {
+  const auto trees = load_corpus_trees();
+  const std::string path = pack_trees(trees, "subset.xtb");
+  const CorpusReader reader(path);
+  const BulkResult full = bulk_embed(reader, BulkOptions{});
+
+  // Every other record, in corpus order: slot k must describe corpus
+  // record indices[k] and carry the same digest.
+  std::vector<std::uint64_t> indices;
+  for (std::uint64_t i = 0; i < reader.tree_count(); i += 2)
+    indices.push_back(i);
+  const BulkResult subset = bulk_embed(reader, BulkOptions{}, indices);
+  ASSERT_EQ(subset.records.size(), indices.size());
+  EXPECT_EQ(subset.stats.decoded, indices.size());
+  EXPECT_TRUE(subset.stats.accounting_ok());
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    EXPECT_EQ(subset.records[k].index, indices[k]);
+    EXPECT_EQ(subset.records[k].canonical_hash,
+              full.records[indices[k]].canonical_hash);
+  }
+}
+
+TEST(BulkSharded, MatchesSingleProcessDrainExactly) {
+  // The global-identity acceptance claim: because the ring keys on
+  // the canonical digest, every isomorphism class lands on one shard
+  // in corpus order — same leads, same duplicate sets, so statuses,
+  // digests and placements are identical to the unsharded drain and
+  // the merged accounting balances globally.
+  Rng rng(502);
+  std::vector<BinaryTree> trees;
+  for (int i = 0; i < 16; ++i) trees.push_back(make_random_tree(40, rng));
+  trees.push_back(trees[2]);   // cross-record duplicates
+  trees.push_back(trees[9]);
+  trees.push_back(trees[2]);
+  const std::string path = pack_trees(trees, "sharded.xtb");
+  const CorpusReader reader(path);
+
+  BulkOptions options;
+  options.keep_embeddings = true;
+  const BulkResult single = bulk_embed(reader, options);
+
+  for (const std::size_t shards : {2u, 3u, 5u}) {
+    SCOPED_TRACE(shards);
+    ShardedBulkOptions sharded;
+    sharded.bulk = options;
+    sharded.num_shards = shards;
+    const ShardedBulkResult result = sharded_bulk_embed(reader, sharded);
+    ASSERT_EQ(result.records.size(), trees.size());
+    ASSERT_EQ(result.shard_stats.size(), shards);
+    EXPECT_EQ(result.stats.decoded, single.stats.decoded);
+    EXPECT_EQ(result.stats.embedded, single.stats.embedded);
+    EXPECT_EQ(result.stats.deduped, single.stats.deduped);
+    EXPECT_EQ(result.stats.rejected, 0u);
+    EXPECT_TRUE(result.stats.accounting_ok());
+    for (std::size_t i = 0; i < trees.size(); ++i) {
+      SCOPED_TRACE(i);
+      EXPECT_EQ(result.records[i].index, i);
+      EXPECT_EQ(result.records[i].status, single.records[i].status);
+      EXPECT_EQ(result.records[i].canonical_hash,
+                single.records[i].canonical_hash);
+      ASSERT_TRUE(result.records[i].embedding.has_value());
+      const Embedding& a = *single.records[i].embedding;
+      const Embedding& b = *result.records[i].embedding;
+      ASSERT_EQ(a.num_guest_nodes(), b.num_guest_nodes());
+      for (NodeId v = 0; v < a.num_guest_nodes(); ++v)
+        EXPECT_EQ(a.host_of(v), b.host_of(v)) << "node " << v;
+    }
+    // Isomorphic records really colocate.
+    for (std::size_t i = 0; i < trees.size(); ++i) {
+      for (std::size_t j = i + 1; j < trees.size(); ++j) {
+        if (result.records[i].canonical_hash ==
+            result.records[j].canonical_hash) {
+          EXPECT_EQ(result.shard_of[i], result.shard_of[j])
+              << i << " vs " << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(BulkSharded, CorruptRecordsAreRejectedOnceGlobally) {
+  const auto trees = load_corpus_trees();
+  const std::string path = pack_trees(trees, "sharded-corrupt.xtb");
+  std::string bytes = read_file(path);
+  bytes[kCorpusHeaderBytes + 8] ^= 0x20;  // record 0's payload
+  write_file(path, bytes);
+  const CorpusReader reader(path);
+
+  ShardedBulkOptions sharded;
+  sharded.num_shards = 3;
+  const ShardedBulkResult result = sharded_bulk_embed(reader, sharded);
+  EXPECT_EQ(result.stats.decoded, trees.size());
+  EXPECT_EQ(result.stats.rejected, 1u);
+  EXPECT_TRUE(result.stats.accounting_ok());
+  EXPECT_EQ(result.records[0].status, BulkRecordStatus::kRejected);
+  EXPECT_NE(result.records[0].error.find("checksum"), std::string::npos)
+      << result.records[0].error;
 }
 
 TEST(BulkFeeder, DrainsACorpusThroughALiveService) {

@@ -1,0 +1,444 @@
+// Multi-process-shaped cluster tests, in one process: N embed shards
+// (service + NetServer each) behind a consistent-hash Router fronted
+// by its own NetServer — the xt_router deployment — driven over real
+// loopback sockets.  Covers digest routing (global identity: the
+// routed response is byte-for-byte the shard's response, isomorphic
+// trees colocate), structured shard-down degradation with kill and
+// restart, zero silent drops under overload with a shard down, and
+// the NetClient connect timeout / bounded reconnect-backoff satellite
+// (ISSUE 10).
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "btree/binary_tree.hpp"
+#include "btree/canonical.hpp"
+#include "btree/generators.hpp"
+#include "net/client.hpp"
+#include "net/router.hpp"
+#include "net/server.hpp"
+#include "net/wire.hpp"
+#include "service/service.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+constexpr const char* kHost = "127.0.0.1";
+
+/// One embed shard: service + server on a loopback port (0 = pick an
+/// ephemeral one; a fixed port restarts a killed shard in place).
+struct Shard {
+  explicit Shard(std::uint16_t port = 0) {
+    ServiceConfig service_config;
+    service_config.num_shards = 1;
+    service = std::make_unique<EmbeddingService>(service_config);
+    NetServerConfig net_config;
+    net_config.port = port;
+    net_config.num_loops = 1;
+    server = std::make_unique<NetServer>(*service, net_config);
+    server->start();
+  }
+  ~Shard() { stop(); }
+
+  void stop() {
+    server->stop();
+    service->shutdown(/*drain=*/true);
+  }
+
+  std::unique_ptr<EmbeddingService> service;
+  std::unique_ptr<NetServer> server;
+};
+
+/// The full deployment: shards, router, and the router's own edge.
+struct Cluster {
+  explicit Cluster(std::size_t num_shards, RouterConfig router_config = {}) {
+    for (std::size_t i = 0; i < num_shards; ++i)
+      shards.push_back(std::make_unique<Shard>());
+    for (const auto& shard : shards)
+      router_config.shards.push_back(
+          RouterShardAddress{kHost, shard->server->port()});
+    // Tests want fast failure detection, not production patience.
+    router_config.connect.attempts = 2;
+    router_config.connect.connect_timeout_ms = 250;
+    router_config.connect.backoff_initial_ms = 5;
+    router_config.connect.backoff_max_ms = 20;
+    router_config.down_cooldown_ms = 100;
+    router = std::make_unique<Router>(std::move(router_config));
+    router->start();
+    NetServerConfig net_config;
+    net_config.num_loops = 1;
+    front = std::make_unique<NetServer>(*router, net_config);
+    front->start();
+  }
+  ~Cluster() {
+    front->stop();
+    router->stop();
+    for (auto& shard : shards) shard->stop();
+  }
+
+  [[nodiscard]] NetClient connect() const {
+    NetClient client;
+    std::string error;
+    EXPECT_TRUE(client.connect(kHost, front->port(), &error)) << error;
+    client.set_recv_timeout_ms(20000);
+    return client;
+  }
+
+  /// Zero-silent-drops check: every submit was answered with exactly
+  /// one terminal (a mid-call failure is answered kShardDown, so it
+  /// is already inside shard_down_rejections).
+  void expect_no_silent_drops() const {
+    const RouterStats stats = router->stats();
+    EXPECT_EQ(stats.submitted,
+              stats.forwarded + stats.shard_down_rejections +
+                  stats.overloaded_rejections + stats.shutdown_rejections);
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::unique_ptr<Router> router;
+  std::unique_ptr<NetServer> front;
+};
+
+WireFrame paren_request(const std::string& paren, std::uint32_t id) {
+  WireFrame f;
+  f.format = static_cast<std::uint8_t>(WireFormat::kParen);
+  f.code = 0;  // theorem 1
+  f.request_id = id;
+  f.payload = paren;
+  return f;
+}
+
+/// Rebuilds `t` with the two children of every node swapped — an
+/// isomorphic tree the canonical digest deliberately identifies.
+BinaryTree mirrored(const BinaryTree& t) {
+  BinaryTree out = BinaryTree::single();
+  std::vector<std::pair<NodeId, NodeId>> stack{{t.root(), out.root()}};
+  while (!stack.empty()) {
+    const auto [ov, nv] = stack.back();
+    stack.pop_back();
+    // Insert the right child first so it lands in the new node's
+    // first child slot.
+    for (int w : {1, 0}) {
+      const NodeId c = t.child(ov, w);
+      if (c != kInvalidNode) stack.emplace_back(c, out.add_child(nv));
+    }
+  }
+  return out;
+}
+
+/// The response bytes before the per-request tail (served_seq /
+/// latency_ms) — the part that must be identical whenever the same
+/// cache entry is served.
+std::string cache_prefix(const std::string& payload) {
+  const auto cut = payload.find("\"served_seq\"");
+  EXPECT_NE(cut, std::string::npos) << payload;
+  return payload.substr(0, cut);
+}
+
+TEST(Cluster, RoutesRequestsAcrossShardsWithGlobalIdentity) {
+  Cluster cluster(3);
+  NetClient client = cluster.connect();
+  std::string error;
+
+  Rng rng(611);
+  std::vector<std::string> parens;
+  for (int i = 0; i < 24; ++i)
+    parens.push_back(make_random_tree(24, rng).to_paren());
+
+  // Pass 1 warms the shard caches; pass 2 pins each entry's cache-hit
+  // response; pass 3 must reproduce pass 2 byte-for-byte up to the
+  // per-request tail — the routed response IS the owning shard's
+  // response, stable across repeated routing.
+  std::uint32_t next_id = 1;
+  std::vector<std::string> reference;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::size_t i = 0; i < parens.size(); ++i) {
+      WireFrame response;
+      ASSERT_TRUE(client.call(paren_request(parens[i], next_id++), &response,
+                              &error))
+          << error;
+      ASSERT_EQ(static_cast<WireStatus>(response.code), WireStatus::kOk)
+          << response.payload;
+      if (pass == 0) continue;
+      EXPECT_NE(response.payload.find("\"cache_hit\": true"),
+                std::string::npos)
+          << response.payload;
+      if (pass == 1) {
+        reference.push_back(cache_prefix(response.payload));
+      } else {
+        EXPECT_EQ(cache_prefix(response.payload), reference[i]);
+      }
+    }
+  }
+
+  // Isomorphic trees colocate: a mirrored tree digests identically,
+  // so it routes to the same shard and hits the cache entry its twin
+  // created — even though these exact bytes were never sent before.
+  Rng mirror_rng(612);
+  const BinaryTree twin = make_random_tree(24, mirror_rng);
+  const BinaryTree twin_mirror = mirrored(twin);
+  ASSERT_EQ(canonical_hash(twin), canonical_hash(twin_mirror));
+  WireFrame response;
+  ASSERT_TRUE(client.call(paren_request(twin.to_paren(), next_id++),
+                          &response, &error))
+      << error;
+  ASSERT_EQ(static_cast<WireStatus>(response.code), WireStatus::kOk);
+  ASSERT_TRUE(client.call(paren_request(twin_mirror.to_paren(), next_id++),
+                          &response, &error))
+      << error;
+  ASSERT_EQ(static_cast<WireStatus>(response.code), WireStatus::kOk);
+  EXPECT_NE(response.payload.find("\"cache_hit\": true"), std::string::npos)
+      << "mirror tree should hit the owning shard's cache: "
+      << response.payload;
+
+  const RouterStats stats = cluster.router->stats();
+  EXPECT_EQ(stats.submitted, stats.forwarded);
+  EXPECT_EQ(stats.shard_down_rejections, 0u);
+  EXPECT_EQ(stats.overloaded_rejections, 0u);
+  // Work actually spread: with 24 distinct shapes on 3 shards every
+  // shard should have seen traffic (the chance a working ring lands
+  // all 24 on one shard is ~1e-11).
+  std::size_t active = 0;
+  for (const RouterShardStats& s : stats.shards)
+    if (s.forwarded > 0) ++active;
+  EXPECT_EQ(active, cluster.shards.size());
+  cluster.expect_no_silent_drops();
+}
+
+TEST(Cluster, ShardDownIsStructuredAndRecoversAfterRestart) {
+  Cluster cluster(2);
+  NetClient client = cluster.connect();
+  std::string error;
+
+  // Find a tree owned by each shard (via the same ring the router
+  // routes on).
+  std::vector<std::string> owned_by_shard(2);
+  Rng rng(613);
+  while (owned_by_shard[0].empty() || owned_by_shard[1].empty()) {
+    const BinaryTree t = make_random_tree(16, rng);
+    const std::size_t shard = cluster.router->ring().lookup(canonical_hash(t));
+    if (owned_by_shard[shard].empty()) owned_by_shard[shard] = t.to_paren();
+  }
+
+  // Both shards answer while up.
+  for (const std::string& paren : owned_by_shard) {
+    WireFrame response;
+    ASSERT_TRUE(client.call(paren_request(paren, 1), &response, &error))
+        << error;
+    EXPECT_EQ(static_cast<WireStatus>(response.code), WireStatus::kOk);
+  }
+
+  // Kill shard 0, keeping its port for the restart below.
+  const std::uint16_t port0 = cluster.shards[0]->server->port();
+  cluster.shards[0]->stop();
+
+  // Shard 0's keyspace degrades to a structured kShardDown (the first
+  // call may ride the poisoned connection, so allow a few rounds for
+  // the breaker to trip); shard 1 is unaffected throughout.
+  WireFrame response;
+  bool down_seen = false;
+  for (int attempt = 0; attempt < 50 && !down_seen; ++attempt) {
+    ASSERT_TRUE(
+        client.call(paren_request(owned_by_shard[0], 2), &response, &error))
+        << error;
+    down_seen =
+        static_cast<WireStatus>(response.code) == WireStatus::kShardDown;
+    if (!down_seen) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(down_seen) << "shard 0 never reported down";
+  EXPECT_NE(response.payload.find("shard-down"), std::string::npos)
+      << response.payload;
+  ASSERT_TRUE(
+      client.call(paren_request(owned_by_shard[1], 3), &response, &error))
+      << error;
+  EXPECT_EQ(static_cast<WireStatus>(response.code), WireStatus::kOk);
+
+  // Restart shard 0 on the same port: once the breaker's cooldown
+  // lapses the next job re-probes, reconnects, and the keyspace
+  // serves again.
+  cluster.shards[0] = std::make_unique<Shard>(port0);
+  ASSERT_EQ(cluster.shards[0]->server->port(), port0);
+  bool recovered = false;
+  for (int attempt = 0; attempt < 100 && !recovered; ++attempt) {
+    ASSERT_TRUE(
+        client.call(paren_request(owned_by_shard[0], 4), &response, &error))
+        << error;
+    recovered = static_cast<WireStatus>(response.code) == WireStatus::kOk;
+    if (!recovered) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(recovered) << "shard 0 never recovered after restart: "
+                         << response.payload;
+
+  const RouterStats stats = cluster.router->stats();
+  EXPECT_GT(stats.shard_down_rejections, 0u);
+  EXPECT_GT(stats.shards[0].reconnects, 0u);
+  cluster.expect_no_silent_drops();
+}
+
+TEST(Cluster, OverloadWithShardDownDropsNothingSilently) {
+  RouterConfig router_config;
+  router_config.max_inflight_per_shard = 4;
+  router_config.connections_per_shard = 2;
+  Cluster cluster(2, router_config);
+  cluster.shards[1]->stop();  // one shard down for the whole run
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 32;
+  std::atomic<int> ok{0}, shard_down{0}, overloaded{0}, other{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      NetClient client = cluster.connect();
+      std::string error;
+      Rng rng(700 + static_cast<std::uint64_t>(c));
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::string paren = make_random_tree(16, rng).to_paren();
+        WireFrame response;
+        if (!client.call(paren_request(paren, static_cast<std::uint32_t>(i)),
+                         &response, &error)) {
+          ++other;  // a transport failure here would be a silent drop
+          continue;
+        }
+        switch (static_cast<WireStatus>(response.code)) {
+          case WireStatus::kOk: ++ok; break;
+          case WireStatus::kShardDown: ++shard_down; break;
+          case WireStatus::kOverloaded:
+          case WireStatus::kRejectedQueueFull: ++overloaded; break;
+          default: ++other; break;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Every request got exactly one structured answer.
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_EQ(ok.load() + shard_down.load() + overloaded.load(),
+            kClients * kPerClient);
+  EXPECT_GT(ok.load(), 0);          // the live shard kept serving
+  EXPECT_GT(shard_down.load(), 0);  // the dead keyspace answered 503s
+  cluster.expect_no_silent_drops();
+}
+
+TEST(NetClientRetry, ConnectTimesOutInsteadOfHanging) {
+  // A listener that never accepts, with a backlog of 1: once the
+  // accept queue fills, the kernel drops further SYNs and connect
+  // hangs in SYN-retry — exactly the case the timeout bounds.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  socklen_t addr_len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr),
+                          &addr_len),
+            0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+
+  // The first couple of connects land in the accept queue; one soon
+  // finds the queue full and must time out instead of hanging.
+  std::vector<NetClient> fillers;
+  bool timed_out = false;
+  for (int i = 0; i < 16 && !timed_out; ++i) {
+    NetClient client;
+    std::string error;
+    const auto t0 = std::chrono::steady_clock::now();
+    if (client.connect(kHost, port, &error, /*timeout_ms=*/200)) {
+      fillers.push_back(std::move(client));
+      continue;
+    }
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - t0);
+    EXPECT_FALSE(error.empty());
+    EXPECT_LT(elapsed.count(), 5000) << "timeout must bound the connect";
+    timed_out = true;
+  }
+  EXPECT_TRUE(timed_out)
+      << "no connect hit the full accept queue within 16 attempts";
+  ::close(listener);
+}
+
+TEST(NetClientRetry, BoundedRetryFailsFastWhenNothingListens) {
+  // Grab an ephemeral port nothing listens on by binding and closing.
+  std::uint16_t dead_port = 0;
+  {
+    Shard probe;
+    dead_port = probe.server->port();
+  }
+  NetClient client;
+  NetClient::ConnectRetryPolicy policy;
+  policy.attempts = 3;
+  policy.connect_timeout_ms = 100;
+  policy.backoff_initial_ms = 5;
+  policy.backoff_max_ms = 10;
+  std::string error;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client.connect_retry(kHost, dead_port, policy, &error));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_FALSE(error.empty());
+  EXPECT_LT(elapsed.count(), 2000) << "retry burst must be bounded";
+}
+
+TEST(NetClientRetry, ReconnectsAfterKillAndRestart) {
+  // The loopback kill/restart drill: connect, kill the server, prove
+  // the link fails fast, restart on the same port, reconnect with the
+  // bounded backoff policy, and serve on the fresh connection.
+  const std::string paren = make_complete_tree(3).to_paren();
+  auto shard = std::make_unique<Shard>();
+  const std::uint16_t port = shard->server->port();
+
+  NetClient client;
+  std::string error;
+  ASSERT_TRUE(client.connect(kHost, port, &error)) << error;
+  client.set_recv_timeout_ms(5000);
+  WireFrame response;
+  ASSERT_TRUE(client.call(paren_request(paren, 1), &response, &error))
+      << error;
+  EXPECT_EQ(static_cast<WireStatus>(response.code), WireStatus::kOk);
+
+  shard->stop();
+  shard.reset();
+  EXPECT_FALSE(client.call(paren_request(paren, 2), &response, &error))
+      << "call against a killed server must fail, not hang";
+  client.close();
+
+  // While the port is dark, a bounded retry burst gives up quickly...
+  NetClient::ConnectRetryPolicy policy;
+  policy.attempts = 2;
+  policy.connect_timeout_ms = 100;
+  policy.backoff_initial_ms = 5;
+  policy.backoff_max_ms = 10;
+  EXPECT_FALSE(client.connect_retry(kHost, port, policy, &error));
+
+  // ...and once the server is back on the same port, a retry burst
+  // lands and the connection serves.
+  shard = std::make_unique<Shard>(port);
+  ASSERT_EQ(shard->server->port(), port);
+  policy.attempts = 5;
+  ASSERT_TRUE(client.connect_retry(kHost, port, policy, &error)) << error;
+  client.set_recv_timeout_ms(5000);
+  ASSERT_TRUE(client.call(paren_request(paren, 3), &response, &error))
+      << error;
+  EXPECT_EQ(static_cast<WireStatus>(response.code), WireStatus::kOk);
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,84 @@
+// Golden pins for every hashing constant and digest the on-disk
+// formats depend on (util/hash_constants.hpp).  A cache checkpoint
+// (xtc1), a bulk corpus (xtb1), a wire capture (xtn1) and a
+// consistent-hash ring placement are all pure functions of these
+// values: if any expectation here changes, previously written
+// checkpoints stop loading and requests re-shard — so such a change
+// must come with a format version bump, never silently.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "btree/binary_tree.hpp"
+#include "btree/canonical.hpp"
+#include "service/canonical_cache.hpp"
+#include "util/hash.hpp"
+#include "util/hash_constants.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+TEST(HashGolden, ConstantValuesArePinned) {
+  EXPECT_EQ(kHashP1, 0x9e3779b185ebca87ULL);
+  EXPECT_EQ(kHashP2, 0xc2b2ae3d27d4eb4fULL);
+  EXPECT_EQ(kHashP3, 0x165667b19e3779f9ULL);
+  EXPECT_EQ(kHashP4, 0x85ebca77c2b2ae63ULL);
+  EXPECT_EQ(kHashP5, 0x27d4eb2f165667c5ULL);
+  EXPECT_EQ(kGoldenGamma, 0x9e3779b97f4a7c15ULL);
+  EXPECT_EQ(kMix1, 0xbf58476d1ce4e5b9ULL);
+  EXPECT_EQ(kMix2, 0x94d049bb133111ebULL);
+  EXPECT_EQ(kCanonEmptyCode, 0xd1b54a32d192ed03ULL);
+  EXPECT_EQ(kCanonCombineOffset, 0x632be59bd9b4e019ULL);
+}
+
+TEST(HashGolden, Hash64DigestsArePinned) {
+  // One case per length class of hash64: empty, tail-only (1/4/8-byte
+  // folds), exactly one 32-byte stripe, and stripes + mixed tail.
+  EXPECT_EQ(hash64("", 0), 0xef46db3751d8e999ULL);
+  EXPECT_EQ(hash64("xt", 2), 0x6879d062c2c4952dULL);
+  EXPECT_EQ(hash64("tree", 4), 0x8c093fc9c0532e3cULL);
+  EXPECT_EQ(hash64("xtrees!!", 8), 0xc45160e81bb2f62fULL);
+  const std::string s32 = "0123456789abcdef0123456789abcdef";
+  EXPECT_EQ(hash64(s32.data(), s32.size()), 0x642a94958e71e6c5ULL);
+  std::string s100;
+  for (int i = 0; i < 100; ++i) s100.push_back(static_cast<char>('a' + i % 26));
+  EXPECT_EQ(hash64(s100.data(), s100.size()), 0x79c9fa152bb53c71ULL);
+  EXPECT_EQ(hash64(s32.data(), s32.size(), 777), 0xa592977cf884b833ULL);
+}
+
+TEST(HashGolden, Splitmix64StreamIsPinned) {
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64(state), 0x6e789e6aa1b965f4ULL);
+}
+
+TEST(HashGolden, CanonicalDigestsArePinned) {
+  // Cache-checkpoint keys and ring placement both hash these digests;
+  // they must match across builds and across shard processes.
+  const auto digest = [](const char* paren) {
+    return canonical_hash(BinaryTree::from_paren(paren));
+  };
+  EXPECT_EQ(canonical_hash(BinaryTree::single()), 0x2a4c004b6ae97d7fULL);
+  EXPECT_EQ(digest("((..).)"), 0x55db11934c0f03efULL);
+  // Canonical form is order-insensitive: the mirrored two-node path
+  // collapses onto the same digest.
+  EXPECT_EQ(digest("(.(..))"), 0x55db11934c0f03efULL);
+  EXPECT_EQ(digest("((..)(..))"), 0xb8e3a2dd9156173fULL);
+  EXPECT_EQ(digest("((.(..))((..).))"), 0x7c2533efe69e8c49ULL);
+  EXPECT_EQ(digest("(.((.(..))))"), 0xf13e22bd0e4374eeULL);
+}
+
+TEST(HashGolden, CacheKeyHashIsPinned) {
+  CacheKey k;
+  k.canonical_hash = 0x0123456789abcdefULL;
+  k.num_nodes = 15;
+  k.theorem = Theorem::kT2;
+  k.load = 16;
+  EXPECT_EQ(static_cast<std::uint64_t>(CacheKeyHash{}(k)),
+            0xe672e1924503378bULL);
+}
+
+}  // namespace
+}  // namespace xt

@@ -1,0 +1,372 @@
+// Cache checkpoint/restore tests (ISSUE 10): xtc1 round-trips (keys,
+// placements, memoized response prefixes, stripe eviction order),
+// envelope and per-record corruption handling mirroring the xtb1
+// suite, and the warm-restart identity claim — a service running on a
+// restored cache serves the cache-derived bytes of every response
+// byte-identical to the pre-checkpoint service.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "btree/binary_tree.hpp"
+#include "btree/canonical.hpp"
+#include "btree/generators.hpp"
+#include "net/wire.hpp"
+#include "service/cache_snapshot.hpp"
+#include "service/canonical_cache.hpp"
+#include "service/service.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace xt {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "xtc1-" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+CacheKey make_key(std::uint64_t digest, NodeId n,
+                  Theorem theorem = Theorem::kT1, NodeId load = 16) {
+  CacheKey key;
+  key.canonical_hash = digest;
+  key.num_nodes = n;
+  key.theorem = theorem;
+  key.load = load;
+  return key;
+}
+
+/// A synthetic but internally consistent entry: assign length == n.
+CachedEmbedding make_value(NodeId n, VertexId host_vertices,
+                           std::int32_t height, std::int32_t dilation) {
+  CachedEmbedding value;
+  value.canonical_assign.resize(static_cast<std::size_t>(n));
+  for (NodeId u = 0; u < n; ++u)
+    value.canonical_assign[static_cast<std::size_t>(u)] = u % host_vertices;
+  value.host_vertices = host_vertices;
+  value.host_height = height;
+  value.dilation = dilation;
+  value.load_factor = 16;
+  return value;
+}
+
+/// Fills `cache` with `count` distinct entries; every third one gets
+/// a memoized response prefix.  Returns the keys in insertion order.
+std::vector<CacheKey> populate(CanonicalCache& cache, int count) {
+  std::vector<CacheKey> keys;
+  for (int i = 0; i < count; ++i) {
+    const NodeId n = static_cast<NodeId>(3 + i);
+    const CacheKey key = make_key(0x1000 + static_cast<std::uint64_t>(i) *
+                                               0x9e3779b97f4a7c15ull,
+                                  n, static_cast<Theorem>(i % 3));
+    CachedEmbedding value = make_value(n, 7 + i % 5, 4 + i % 3, 3);
+    if (i % 3 == 0) {
+      const std::string memo =
+          "{\"status\": \"ok\", \"memo\": " + std::to_string(i);
+      cache.insert(key, std::move(value), &memo);
+    } else {
+      cache.insert(key, std::move(value));
+    }
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+TEST(Xtc1, RoundTripRestoresEntriesAndMemos) {
+  CanonicalCache cache(64);
+  const std::vector<CacheKey> keys = populate(cache, 20);
+  const std::string path = temp_path("roundtrip.xtc");
+  std::string error;
+  std::size_t saved = 0;
+  ASSERT_TRUE(save_cache_snapshot(cache, path, &error, &saved)) << error;
+  EXPECT_EQ(saved, 20u);
+
+  CanonicalCache restored(64);
+  const SnapshotLoadReport report = load_cache_snapshot(path, &restored);
+  EXPECT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.restored, 20u);
+  EXPECT_EQ(report.skipped, 0u);
+  EXPECT_EQ(restored.size(), 20u);
+
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    SCOPED_TRACE(i);
+    bool checked = false;
+    const bool hit = restored.with_entry(
+        keys[i], [&](const CanonicalCache::Entry& e) {
+          const CachedEmbedding expected = *cache.lookup(keys[i]);
+          EXPECT_EQ(e.value().canonical_assign, expected.canonical_assign);
+          EXPECT_EQ(e.value().host_vertices, expected.host_vertices);
+          EXPECT_EQ(e.value().host_height, expected.host_height);
+          EXPECT_EQ(e.value().dilation, expected.dilation);
+          EXPECT_EQ(e.value().load_factor, expected.load_factor);
+          if (i % 3 == 0) {
+            ASSERT_NE(e.encoded_body(), nullptr) << "memo lost in restore";
+            EXPECT_EQ(*e.encoded_body(),
+                      "{\"status\": \"ok\", \"memo\": " + std::to_string(i));
+          } else {
+            EXPECT_EQ(e.encoded_body(), nullptr);
+          }
+          checked = true;
+        });
+    EXPECT_TRUE(hit);
+    EXPECT_TRUE(checked);
+  }
+}
+
+TEST(Xtc1, SaveIsDeterministic) {
+  // Two identical caches checkpoint to byte-identical files — the
+  // walk order is the stripe FIFO, not pointer order.
+  const std::string a = temp_path("det-a.xtc");
+  const std::string b = temp_path("det-b.xtc");
+  for (const std::string& path : {a, b}) {
+    CanonicalCache cache(64);
+    populate(cache, 17);
+    std::string error;
+    ASSERT_TRUE(save_cache_snapshot(cache, path, &error, nullptr)) << error;
+  }
+  EXPECT_EQ(read_file(a), read_file(b));
+}
+
+TEST(Xtc1, RestoreReproducesEvictionOrder) {
+  // Single-stripe cache (capacity < 256) with exact FIFO semantics:
+  // the restored cache must evict in the same order the original
+  // would have.
+  CanonicalCache cache(3);
+  const CacheKey ka = make_key(1, 5), kb = make_key(2, 6), kc = make_key(3, 7);
+  cache.insert(ka, make_value(5, 4, 3, 3));
+  cache.insert(kb, make_value(6, 4, 3, 3));
+  cache.insert(kc, make_value(7, 4, 3, 3));
+  const std::string path = temp_path("order.xtc");
+  ASSERT_TRUE(save_cache_snapshot(cache, path, nullptr, nullptr));
+
+  CanonicalCache restored(3);
+  const SnapshotLoadReport report = load_cache_snapshot(path, &restored);
+  ASSERT_TRUE(report.ok) << report.error;
+  ASSERT_EQ(report.restored, 3u);
+
+  // A fourth insert evicts the oldest restored entry: ka.
+  restored.insert(make_key(4, 8), make_value(8, 4, 3, 3));
+  EXPECT_EQ(restored.lookup(ka), nullptr);
+  EXPECT_NE(restored.lookup(kb), nullptr);
+  EXPECT_NE(restored.lookup(kc), nullptr);
+}
+
+TEST(Xtc1, EmptySnapshotRoundTrips) {
+  CanonicalCache cache(8);
+  const std::string path = temp_path("empty.xtc");
+  std::size_t saved = 999;
+  ASSERT_TRUE(save_cache_snapshot(cache, path, nullptr, &saved));
+  EXPECT_EQ(saved, 0u);
+  CanonicalCache restored(8);
+  const SnapshotLoadReport report = load_cache_snapshot(path, &restored);
+  EXPECT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.restored, 0u);
+  EXPECT_EQ(restored.size(), 0u);
+}
+
+TEST(Xtc1, SniffsSnapshotsVsOtherFiles) {
+  CanonicalCache cache(8);
+  populate(cache, 3);
+  const std::string path = temp_path("sniff.xtc");
+  ASSERT_TRUE(save_cache_snapshot(cache, path, nullptr, nullptr));
+  EXPECT_TRUE(snapshot_sniff(path));
+  const std::string text = temp_path("sniff.txt");
+  write_file(text, "((..)(..))\n");
+  EXPECT_FALSE(snapshot_sniff(text));
+  EXPECT_FALSE(snapshot_sniff(temp_path("does-not-exist")));
+}
+
+TEST(Xtc1, RejectsCorruptedEnvelopes) {
+  CanonicalCache cache(64);
+  populate(cache, 12);
+  const std::string path = temp_path("envelope.xtc");
+  ASSERT_TRUE(save_cache_snapshot(cache, path, nullptr, nullptr));
+  const std::string good = read_file(path);
+
+  const auto expect_rejected = [&](std::string bytes, const char* what,
+                                   const char* needle) {
+    const std::string bad_path = temp_path("envelope-bad.xtc");
+    write_file(bad_path, bytes);
+    CanonicalCache restored(64);
+    const SnapshotLoadReport report = load_cache_snapshot(bad_path, &restored);
+    EXPECT_FALSE(report.ok) << what;
+    EXPECT_NE(report.error.find(needle), std::string::npos)
+        << what << ": " << report.error;
+    EXPECT_EQ(report.restored, 0u) << what;
+    EXPECT_EQ(restored.size(), 0u) << what;
+  };
+
+  expect_rejected(good.substr(0, good.size() - 1), "truncated file",
+                  "truncated");
+  expect_rejected(good.substr(0, 40), "file shorter than the header",
+                  "too small");
+  {
+    std::string bad = good;
+    bad[0] = 'X';
+    expect_rejected(bad, "bad magic", "bad magic");
+  }
+  {
+    std::string bad = good;
+    bad[4] = 2;  // unsupported version (also breaks the header hash)
+    expect_rejected(bad, "bad version", "version");
+  }
+  {
+    std::string bad = good;
+    bad[8] ^= 1;  // entry_count no longer matches header_hash
+    expect_rejected(bad, "header checksum", "header checksum");
+  }
+  {
+    std::string bad = good;
+    bad[good.size() - 1] ^= 1;  // index hash
+    expect_rejected(bad, "index checksum", "index checksum");
+  }
+  {
+    CanonicalCache restored(64);
+    const SnapshotLoadReport report =
+        load_cache_snapshot(temp_path("no-such-file.xtc"), &restored);
+    EXPECT_FALSE(report.ok);
+    EXPECT_NE(report.error.find("cannot open"), std::string::npos)
+        << report.error;
+  }
+}
+
+TEST(Xtc1, SkipsCorruptedRecordNotWholeSnapshot) {
+  CanonicalCache cache(64);
+  const std::vector<CacheKey> keys = populate(cache, 12);
+  const std::string path = temp_path("record.xtc");
+  ASSERT_TRUE(save_cache_snapshot(cache, path, nullptr, nullptr));
+  std::string bytes = read_file(path);
+  // Flip one payload byte of the first record (inside its canonical
+  // hash), leaving the envelope intact.
+  bytes[kSnapshotHeaderBytes + 3] ^= 0x20;
+  write_file(path, bytes);
+
+  CanonicalCache restored(64);
+  const SnapshotLoadReport report = load_cache_snapshot(path, &restored);
+  EXPECT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.skipped, 1u);
+  EXPECT_EQ(report.restored, keys.size() - 1);
+  ASSERT_EQ(report.record_errors.size(), 1u);
+  EXPECT_NE(report.record_errors[0].find("checksum"), std::string::npos)
+      << report.record_errors[0];
+  // Every entry except the damaged one is back.
+  std::size_t present = 0;
+  for (const CacheKey& key : keys)
+    if (restored.lookup(key) != nullptr) ++present;
+  EXPECT_EQ(present, keys.size() - 1);
+}
+
+TEST(Xtc1, SkipsRecordsWithHostileLengths) {
+  CanonicalCache cache(8);
+  cache.insert(make_key(42, 5), make_value(5, 4, 3, 3));
+  const std::string path = temp_path("hostile.xtc");
+  ASSERT_TRUE(save_cache_snapshot(cache, path, nullptr, nullptr));
+  std::string bytes = read_file(path);
+  // assign_len lives at record offset 36; blow it up and re-stamp the
+  // record checksum so only the bounds check can catch it.  The
+  // record is 48 + 5*4 = 68 bytes, checksum at +68.
+  const std::size_t rec = kSnapshotHeaderBytes;
+  const std::uint32_t huge = 0x40000000u;
+  std::memcpy(&bytes[rec + 36], &huge, 4);
+  const std::uint64_t checksum =
+      hash64(bytes.data() + rec, 48 + 5 * 4);
+  std::memcpy(&bytes[rec + 48 + 5 * 4], &checksum, 8);
+  // The index hash guards offsets only, so the envelope still parses.
+  write_file(path, bytes);
+
+  CanonicalCache restored(8);
+  const SnapshotLoadReport report = load_cache_snapshot(path, &restored);
+  EXPECT_TRUE(report.ok) << report.error;
+  EXPECT_EQ(report.restored, 0u);
+  EXPECT_EQ(report.skipped, 1u);
+  ASSERT_EQ(report.record_errors.size(), 1u);
+  EXPECT_NE(report.record_errors[0].find("overrun"), std::string::npos)
+      << report.record_errors[0];
+}
+
+EmbedResponse submit_sync(EmbeddingService& service, const BinaryTree& tree,
+                          Theorem theorem) {
+  EmbedRequest request;
+  request.tree = tree;
+  request.theorem = theorem;
+  return service.submit(std::move(request)).get();
+}
+
+/// The cache-derived bytes of a response: everything except the
+/// per-request served_seq / latency_ms tail.
+std::string response_prefix(const EmbedResponse& response) {
+  std::string out;
+  append_embed_response_prefix(out, response, /*include_embedding=*/true);
+  return out;
+}
+
+TEST(Xtc1, RestoredServiceServesByteIdenticalResponses) {
+  // The warm-restart contract: checkpoint service A's cache, restore
+  // it into a fresh service B, and every request that hit A's cache
+  // hits B's with a byte-identical cache-derived body — placements,
+  // metrics and JSON encoding all survive the round trip.  (The
+  // served_seq / latency_ms tail is per-request by design, so the
+  // comparison pins the memoizable prefix, exactly what the inline
+  // hit path memoizes and serves.)
+  Rng rng(1007);
+  std::vector<BinaryTree> trees;
+  for (int i = 0; i < 10; ++i) trees.push_back(make_random_tree(40, rng));
+
+  const std::string path = temp_path("service.xtc");
+  std::vector<std::string> reference;
+  {
+    ServiceConfig config;
+    config.num_shards = 1;
+    config.cache_capacity = 64;
+    EmbeddingService a(config);
+    for (const BinaryTree& t : trees)
+      ASSERT_EQ(submit_sync(a, t, Theorem::kT1).status, RequestStatus::kOk);
+    // Second pass: cache hits, the bytes a warm server serves.
+    for (const BinaryTree& t : trees) {
+      const EmbedResponse r = submit_sync(a, t, Theorem::kT1);
+      ASSERT_EQ(r.status, RequestStatus::kOk);
+      ASSERT_TRUE(r.cache_hit);
+      reference.push_back(response_prefix(r));
+    }
+    std::string error;
+    ASSERT_TRUE(save_cache_snapshot(*a.canonical_cache(), path, &error))
+        << error;
+    a.shutdown(/*drain=*/true);
+  }
+
+  ServiceConfig config;
+  config.num_shards = 1;
+  config.cache_capacity = 64;
+  EmbeddingService b(config);
+  const SnapshotLoadReport report =
+      load_cache_snapshot(path, b.canonical_cache());
+  ASSERT_TRUE(report.ok) << report.error;
+  ASSERT_EQ(report.restored, trees.size());
+
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    SCOPED_TRACE(i);
+    const EmbedResponse r = submit_sync(b, trees[i], Theorem::kT1);
+    ASSERT_EQ(r.status, RequestStatus::kOk);
+    EXPECT_TRUE(r.cache_hit) << "restored cache should serve the hit";
+    EXPECT_EQ(response_prefix(r), reference[i]);
+  }
+  const ServiceStats stats = b.stats();
+  EXPECT_EQ(stats.cache_hits, trees.size());
+  EXPECT_EQ(stats.cache_misses, 0u);
+}
+
+}  // namespace
+}  // namespace xt

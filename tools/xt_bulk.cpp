@@ -4,12 +4,15 @@
 //   xt_bulk embed corpus.xtb [--theorem=t1] [--load=16]
 //           [--max-in-flight=64] [--dedup-capacity=4096]
 //           [--sample=0.0] [--seed=1] [--parallelism=1]
+//           [--shards=N] [--ring-points=64]
 //   xt_bulk verify corpus.xtb [--sample=1.0] [...]
 //
 // pack reads one paren-form tree per non-comment line of each input
 // file (the tests/corpus format) and writes one xtb1 container.
 // embed drains the container through the streaming bulk pipeline and
-// prints the stats JSON.  verify is embed with the certificate-chain
+// prints the stats JSON; --shards=N fans it over N per-shard
+// pipelines keyed by the router's consistent-hash ring (merged +
+// per-shard stats).  verify is embed with the certificate-chain
 // sample defaulted to 1.0 — every record re-derived by the oracle.
 //
 // Exit status: 0 = success, 1 = pipeline found problems (rejected
@@ -22,6 +25,7 @@
 
 #include "bulk/corpus.hpp"
 #include "bulk/pipeline.hpp"
+#include "bulk/shard.hpp"
 #include "io/newick.hpp"
 #include "io/serialize.hpp"
 #include "util/cli.hpp"
@@ -149,8 +153,22 @@ int cmd_embed(const xt::Cli& cli, bool verify_mode) {
   options.diagnostic_sink = [](const std::string& line) {
     std::cerr << line << "\n";
   };
+  const auto shards = static_cast<std::size_t>(cli.get_int("shards", 1));
   try {
     const xt::CorpusReader reader(args[1]);
+    if (shards > 1) {
+      xt::ShardedBulkOptions sharded;
+      sharded.bulk = options;
+      sharded.num_shards = shards;
+      sharded.points_per_shard =
+          static_cast<std::size_t>(cli.get_int("ring-points", 64));
+      const xt::ShardedBulkResult result =
+          xt::sharded_bulk_embed(reader, sharded);
+      std::cout << result.to_json() << "\n";
+      return result.stats.rejected == 0 && result.stats.verify_failures == 0
+                 ? 0
+                 : 1;
+    }
     const xt::BulkResult result = xt::bulk_embed(reader, options);
     std::cout << result.stats.to_json() << "\n";
     return result.stats.rejected == 0 && result.stats.verify_failures == 0

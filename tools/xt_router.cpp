@@ -1,0 +1,146 @@
+// xt_router: the consistent-hash front for N xt_serve shards
+// (docs/distributed.md).
+//
+//   xt_serve --port=7481 & xt_serve --port=7482 &
+//   xt_router --port=7471 --shard=127.0.0.1:7481 --shard=127.0.0.1:7482
+//   curl -s 'http://127.0.0.1:7471/embed?theorem=t1' -d '((,),(,));'
+//
+// Speaks the same two protocols on one port as xt_serve (the NetServer
+// edge is shared); requests are digested on the event loop and
+// forwarded to the shard owning the digest on the hash ring.  /stats
+// reports the router object in place of the service object.  A lost
+// shard degrades to structured shard-down (HTTP 503) answers for its
+// slice of the keyspace; the rest of the ring keeps serving.
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "net/router.hpp"
+#include "net/server.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+int usage(const char* prog) {
+  std::cerr
+      << "usage: " << prog << " --shard=HOST:PORT [--shard=...] [options]\n"
+      << "  --shard=H:P       add a shard (repeatable; >= 1 required;\n"
+      << "                    ring slot order = argument order)\n"
+      << "  --port=N          listen port (default 0 = ephemeral)\n"
+      << "  --addr=A          bind address (default 127.0.0.1)\n"
+      << "  --loops=N         event-loop threads (default auto)\n"
+      << "  --conns-per-shard=N   RPC connections per shard (default 4)\n"
+      << "  --shard-inflight=N    per-shard in-flight cap (default 256)\n"
+      << "  --request-timeout-ms=N   forwarded-call bound (default 30000)\n"
+      << "  --connect-timeout-ms=N   per-attempt connect bound (default 1000)\n"
+      << "  --connect-attempts=N     connects per burst (default 4)\n"
+      << "  --down-cooldown-ms=N     fast-fail window after a failed\n"
+      << "                           burst (default 250)\n"
+      << "  --max-conns=N     client connection cap (default 1024)\n"
+      << "  --max-inflight=N  server-wide in-flight cap (default 4096)\n"
+      << "  --drain-ms=N      graceful-stop budget (default 5000)\n"
+      << "  --port-file=F     write the bound port to F (scripts)\n"
+      << "  --verbose         echo diagnostics to stderr\n";
+  return 2;
+}
+
+bool parse_shard(const std::string& spec, xt::RouterShardAddress* out) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= spec.size()) return false;
+  const long port = std::atol(spec.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) return false;
+  out->host = colon == 0 ? "127.0.0.1" : spec.substr(0, colon);
+  out->port = static_cast<std::uint16_t>(port);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  xt::Cli cli(argc, argv);
+  if (cli.has("help")) return usage(argv[0]);
+  const bool verbose = cli.has("verbose");
+
+  xt::RouterConfig router_config;
+  for (const std::string& spec : cli.get_all("shard")) {
+    xt::RouterShardAddress addr;
+    if (!parse_shard(spec, &addr)) {
+      std::cerr << "xt_router: bad --shard '" << spec
+                << "' (expected HOST:PORT)\n";
+      return 2;
+    }
+    router_config.shards.push_back(addr);
+  }
+  if (router_config.shards.empty()) return usage(argv[0]);
+  router_config.connections_per_shard =
+      static_cast<int>(cli.get_int("conns-per-shard", 4));
+  router_config.max_inflight_per_shard =
+      static_cast<std::size_t>(cli.get_int("shard-inflight", 256));
+  router_config.request_timeout_ms =
+      static_cast<int>(cli.get_int("request-timeout-ms", 30000));
+  router_config.connect.connect_timeout_ms =
+      static_cast<int>(cli.get_int("connect-timeout-ms", 1000));
+  router_config.connect.attempts =
+      static_cast<int>(cli.get_int("connect-attempts", 4));
+  router_config.down_cooldown_ms =
+      static_cast<int>(cli.get_int("down-cooldown-ms", 250));
+  if (verbose) {
+    router_config.diagnostic_sink = [](const std::string& line) {
+      std::cerr << "[router] " << line << "\n";
+    };
+  }
+
+  xt::NetServerConfig net_config;
+  net_config.port = static_cast<std::uint16_t>(cli.get_int("port", 0));
+  net_config.bind_addr = cli.get("addr", "127.0.0.1");
+  net_config.num_loops = static_cast<unsigned>(cli.get_int("loops", 0));
+  net_config.max_connections =
+      static_cast<std::size_t>(cli.get_int("max-conns", 1024));
+  net_config.max_inflight_total =
+      static_cast<std::size_t>(cli.get_int("max-inflight", 4096));
+  net_config.drain_timeout_ms =
+      static_cast<int>(cli.get_int("drain-ms", 5000));
+  net_config.reuse_port = cli.has("reuse-port");
+  if (verbose) {
+    net_config.diagnostic_sink = [](const std::string& line) {
+      std::cerr << "[net] " << line << "\n";
+    };
+  }
+
+  xt::Router router(router_config);
+  router.start();
+  xt::NetServer server(router, net_config);
+  server.start();
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  std::cout << "xt_router listening on " << net_config.bind_addr << ":"
+            << server.port() << " (shards=" << router_config.shards.size()
+            << ", ring points=" << router.ring().num_points()
+            << ", loops=" << server.config().num_loops << ")" << std::endl;
+  if (cli.has("port-file")) {
+    std::ofstream pf(cli.get("port-file", ""));
+    pf << server.port() << "\n";
+  }
+
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::cerr << "xt_router: draining..." << std::endl;
+  server.stop();
+  router.stop();
+  std::cout << "{\n\"router\": " << router.stats_json() << ",\n\"net\": "
+            << server.stats_json() << "\n}" << std::endl;
+  return 0;
+}

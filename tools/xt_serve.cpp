@@ -31,6 +31,7 @@
 #include <memory>
 
 #include "net/server.hpp"
+#include "service/cache_snapshot.hpp"
 #include "service/service.hpp"
 #include "service/session.hpp"
 #include "util/cli.hpp"
@@ -65,6 +66,9 @@ int usage(const char* prog) {
       << "  --session-repair=N    local-repair node budget (default 64)\n"
       << "  --session-dilation=N  repair dilation bound, 0 = greedy\n"
       << "                        legacy placement (default 8)\n"
+      << "  --checkpoint=F    cache checkpoint file (xtc1): restored at\n"
+      << "                    boot when present, saved on graceful stop\n"
+      << "                    and on POST /admin/checkpoint\n"
       << "  --no-inline-hits  disable event-loop hit serving: every\n"
       << "                    request takes the queued service path\n"
       << "                    (fault drills need the full state machine)\n"
@@ -203,6 +207,48 @@ int main(int argc, char** argv) {
   }
 
   xt::EmbeddingService service(service_config);
+
+  // Checkpoint/restore (docs/distributed.md): restore a warm cache
+  // before the listener opens, and expose the same save path to both
+  // the admin endpoint and the graceful-stop path below.  A missing
+  // file is a normal cold start; a damaged one degrades per record.
+  const std::string checkpoint_path = cli.get("checkpoint", "");
+  if (!checkpoint_path.empty()) {
+    if (std::ifstream(checkpoint_path).good()) {
+      const xt::SnapshotLoadReport report =
+          xt::load_cache_snapshot(checkpoint_path, service.canonical_cache());
+      if (!report.ok) {
+        std::cerr << "xt_serve: checkpoint restore failed: " << report.error
+                  << " (starting cold)\n";
+      } else {
+        std::cerr << "xt_serve: restored " << report.restored
+                  << " cache entries from " << checkpoint_path;
+        if (report.skipped > 0)
+          std::cerr << " (" << report.skipped << " corrupt records skipped)";
+        std::cerr << "\n";
+        if (verbose) {
+          for (const std::string& e : report.record_errors)
+            std::cerr << "[checkpoint] " << e << "\n";
+        }
+      }
+    }
+    net_config.checkpoint_handler = [&service,
+                                     checkpoint_path](std::string* detail) {
+      std::string error;
+      std::size_t saved = 0;
+      if (!xt::save_cache_snapshot(*service.canonical_cache(),
+                                   checkpoint_path, &error, &saved)) {
+        *detail = error;
+        return false;
+      }
+      std::ostringstream os;
+      os << "{\"status\": \"ok\", \"entries\": " << saved << ", \"path\": \""
+         << checkpoint_path << "\"}";
+      *detail = os.str();
+      return true;
+    };
+  }
+
   net_config.sessions = sessions.get();
   xt::NetServer server(service, net_config);
   server.start();
@@ -227,8 +273,24 @@ int main(int argc, char** argv) {
   std::cerr << "xt_serve: draining..." << std::endl;
   server.stop();
   service.shutdown(/*drain=*/true);
+  std::string checkpoint_json;
+  if (!checkpoint_path.empty()) {
+    std::string error;
+    std::size_t saved = 0;
+    if (xt::save_cache_snapshot(*service.canonical_cache(), checkpoint_path,
+                                &error, &saved)) {
+      checkpoint_json = "{\"saved\": " + std::to_string(saved) + "}";
+      std::cerr << "xt_serve: checkpointed " << saved << " cache entries to "
+                << checkpoint_path << "\n";
+    } else {
+      checkpoint_json = "{\"error\": \"save failed\"}";
+      std::cerr << "xt_serve: checkpoint save failed: " << error << "\n";
+    }
+  }
   std::cout << "{\n\"service\": " << service.stats_json()
             << ",\n\"net\": " << server.stats_json();
+  if (!checkpoint_json.empty())
+    std::cout << ",\n\"checkpoint\": " << checkpoint_json;
   if (sessions) {
     sessions->shutdown(/*drain=*/true);
     std::cout << ",\n\"sessions\": " << sessions->stats_json();
